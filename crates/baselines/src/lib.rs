@@ -1,0 +1,28 @@
+//! # zsdb-baselines
+//!
+//! Workload-driven baselines the paper compares against (Figure 3):
+//!
+//! * [`ScaledOptimizerCost`] — a linear model mapping the classical
+//!   optimizer's cost metric to runtimes,
+//! * [`MscnModel`] — the multi-set convolutional network of Kipf et al.
+//!   (CIDR 2019) adapted to runtime prediction: table / join / predicate
+//!   sets with **database-specific one-hot encodings** and literal values,
+//! * [`E2EModel`] — a plan-tree model in the spirit of Sun & Li (VLDB
+//!   2019): the same tree-structured message passing as the zero-shot
+//!   model, but with a non-transferable (hashed one-hot) featurization of
+//!   tables and columns and the optimizer's estimated cardinalities.
+//!
+//! All three are trained on executions of the *target* database only —
+//! exactly the property the paper criticises: training data must be
+//! collected anew for every database.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e2e;
+pub mod mscn;
+pub mod opt_cost;
+
+pub use e2e::E2EModel;
+pub use mscn::{MscnConfig, MscnModel};
+pub use opt_cost::ScaledOptimizerCost;

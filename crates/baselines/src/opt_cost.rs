@@ -1,0 +1,103 @@
+//! The "Scaled Optimizer Costs" baseline: a linear model fit from the
+//! classical optimizer's cost metric to observed runtimes.
+
+use serde::{Deserialize, Serialize};
+use zsdb_engine::QueryExecution;
+
+/// Linear regression `runtime ≈ slope · cost + intercept`, fit by ordinary
+/// least squares on the training executions of the target database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaledOptimizerCost {
+    /// Fitted slope (seconds per planner cost unit).
+    pub slope: f64,
+    /// Fitted intercept (seconds).
+    pub intercept: f64,
+    /// Number of training executions the fit used.
+    pub num_samples: usize,
+}
+
+impl ScaledOptimizerCost {
+    /// Fit the linear model on training executions.  With fewer than two
+    /// samples the model degenerates to predicting the mean (or 1 ms).
+    pub fn fit(executions: &[QueryExecution]) -> Self {
+        let n = executions.len();
+        if n == 0 {
+            return ScaledOptimizerCost {
+                slope: 0.0,
+                intercept: 1e-3,
+                num_samples: 0,
+            };
+        }
+        let xs: Vec<f64> = executions.iter().map(|e| e.optimizer_cost()).collect();
+        let ys: Vec<f64> = executions.iter().map(|e| e.runtime_secs).collect();
+        let mean_x = xs.iter().sum::<f64>() / n as f64;
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            cov += (x - mean_x) * (y - mean_y);
+            var += (x - mean_x) * (x - mean_x);
+        }
+        let slope = if var > 1e-12 { cov / var } else { 0.0 };
+        let intercept = mean_y - slope * mean_x;
+        ScaledOptimizerCost {
+            slope,
+            intercept,
+            num_samples: n,
+        }
+    }
+
+    /// Predict the runtime (seconds) of a planned query from its optimizer
+    /// cost.
+    pub fn predict_cost(&self, optimizer_cost: f64) -> f64 {
+        (self.slope * optimizer_cost + self.intercept).max(1e-6)
+    }
+
+    /// Predict the runtime of an executed/planned query.
+    pub fn predict(&self, execution: &QueryExecution) -> f64 {
+        self.predict_cost(execution.optimizer_cost())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::presets;
+    use zsdb_core::dataset::collect_for_database;
+    use zsdb_nn::{median, q_error};
+    use zsdb_query::WorkloadSpec;
+    use zsdb_storage::Database;
+
+    #[test]
+    fn fit_recovers_reasonable_mapping() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let executions = collect_for_database(&db, &WorkloadSpec::paper_training(), 120, 1);
+        let (train, test) = executions.split_at(80);
+        let model = ScaledOptimizerCost::fit(train);
+        assert_eq!(model.num_samples, 80);
+        let qs: Vec<f64> = test
+            .iter()
+            .map(|e| q_error(model.predict(e), e.runtime_secs))
+            .collect();
+        let med = median(&qs);
+        // The optimizer cost correlates with runtime, so the scaled cost
+        // should be within a moderate factor on most queries.
+        assert!(med < 5.0, "median q-error {med}");
+    }
+
+    #[test]
+    fn degenerate_fits_do_not_panic() {
+        let model = ScaledOptimizerCost::fit(&[]);
+        assert!(model.predict_cost(1000.0) > 0.0);
+    }
+
+    #[test]
+    fn predictions_are_monotone_in_cost() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let executions = collect_for_database(&db, &WorkloadSpec::paper_training(), 60, 2);
+        let model = ScaledOptimizerCost::fit(&executions);
+        if model.slope > 0.0 {
+            assert!(model.predict_cost(10_000.0) > model.predict_cost(10.0));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Throughput of the transferable graph featurization (plan → PlanGraph).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zsdb_catalog::presets;
+use zsdb_core::features::{featurize_execution, featurize_plan, FeaturizerConfig};
+use zsdb_engine::QueryRunner;
+use zsdb_query::WorkloadGenerator;
+use zsdb_storage::Database;
+
+fn bench_encoding(c: &mut Criterion) {
+    let db = Database::generate(presets::imdb_like(0.02), 1);
+    let runner = QueryRunner::with_defaults(&db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 50, 2);
+    let executions = runner.run_workload(&queries, 0);
+
+    c.bench_function("featurize_executed_plan", |b| {
+        b.iter(|| {
+            black_box(featurize_execution(
+                db.catalog(),
+                black_box(&executions[0]),
+                FeaturizerConfig::exact(),
+            ))
+        })
+    });
+    c.bench_function("featurize_plan_only_50", |b| {
+        b.iter(|| {
+            for e in &executions {
+                black_box(featurize_plan(
+                    db.catalog(),
+                    black_box(&e.plan),
+                    FeaturizerConfig::estimated(),
+                ));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Optimizer and executor throughput of the underlying engine substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zsdb_cardest::PostgresLikeEstimator;
+use zsdb_catalog::presets;
+use zsdb_engine::{EngineConfig, Executor, Optimizer, QueryRunner};
+use zsdb_query::WorkloadGenerator;
+use zsdb_storage::Database;
+
+fn bench_engine(c: &mut Criterion) {
+    let db = Database::generate(presets::imdb_like(0.02), 1);
+    let estimator = PostgresLikeEstimator::new(db.catalog().clone());
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 20, 3);
+    let optimizer = Optimizer::new(&db, EngineConfig::default(), &estimator);
+    let plans: Vec<_> = queries.iter().map(|q| optimizer.plan(q)).collect();
+
+    c.bench_function("optimizer_plan_20_queries", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(optimizer.plan(black_box(q)));
+            }
+        })
+    });
+    c.bench_function("executor_single_join_query", |b| {
+        let executor = Executor::new(&db);
+        b.iter(|| black_box(executor.execute(black_box(&plans[0]))))
+    });
+    c.bench_function("runner_end_to_end_query", |b| {
+        let runner = QueryRunner::with_defaults(&db);
+        b.iter(|| black_box(runner.run(black_box(&queries[0]), 0)))
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Inference latency of the zero-shot cost model (prediction for a single
+//! featurized plan) and of graph featurization + prediction end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zsdb_catalog::presets;
+use zsdb_core::features::{featurize_execution, FeaturizerConfig};
+use zsdb_core::{ModelConfig, ZeroShotCostModel};
+use zsdb_engine::QueryRunner;
+use zsdb_query::WorkloadGenerator;
+use zsdb_storage::Database;
+
+fn bench_inference(c: &mut Criterion) {
+    let db = Database::generate(presets::imdb_like(0.02), 1);
+    let runner = QueryRunner::with_defaults(&db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 20, 1);
+    let executions = runner.run_workload(&queries, 0);
+    let graphs: Vec<_> = executions
+        .iter()
+        .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact()))
+        .collect();
+    let model = ZeroShotCostModel::new(ModelConfig::default());
+
+    c.bench_function("zero_shot_predict_single_plan", |b| {
+        b.iter(|| black_box(model.predict(black_box(&graphs[0]))))
+    });
+    c.bench_function("zero_shot_predict_20_plans", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for g in &graphs {
+                acc += model.predict(black_box(g));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: accuracy on the unseen database as a function of the number
+//! of training databases.  The paper reports that "after 19 databases the
+//! performance stagnated"; this binary sweeps the number of training
+//! databases and prints the resulting median Q-errors so the saturation
+//! point of this (simulated) setup can be read off.
+//!
+//! Usage: `cargo run -p zsdb-bench --release --bin training_dbs_ablation [--quick|--full]`
+
+use zsdb_bench::{benchmark_executions, evaluation_database, ExperimentScale};
+use zsdb_core::dataset::collect_training_corpus;
+use zsdb_core::{evaluate, FeaturizerConfig, ModelConfig, Trainer};
+use zsdb_query::WorkloadKind;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let sweep: Vec<usize> = if std::env::args().any(|a| a == "--full") {
+        vec![1, 2, 4, 8, 12, 16, 19]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    println!("# Training-database ablation (scale: {scale:?})\n");
+
+    let db = evaluation_database(&scale);
+    let eval = benchmark_executions(&db, WorkloadKind::Synthetic, &scale);
+
+    println!("| training databases | training queries | median q-error | 95th |");
+    println!("|---|---|---|---|");
+    for &num_dbs in &sweep {
+        let mut data_config = scale.training_data_config();
+        data_config.num_databases = num_dbs;
+        let corpus = collect_training_corpus(&data_config);
+        let schemas = zsdb_catalog::SchemaGenerator::new(data_config.schema_config.clone())
+            .generate_corpus("train", num_dbs, data_config.seed);
+        let trainer = Trainer::new(
+            ModelConfig::default(),
+            scale.training_config(),
+            FeaturizerConfig::exact(),
+        );
+        let graphs = trainer.featurize_corpus(&corpus, |name| {
+            schemas.iter().find(|s| s.name == name).expect("catalog")
+        });
+        let trained = trainer.train(&graphs);
+        let report = evaluate(&trained, &db, "synthetic", &eval);
+        println!(
+            "| {num_dbs} | {} | {:.2} | {:.2} |",
+            corpus.len(),
+            report.qerrors.median,
+            report.qerrors.p95
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! # zsdb-bench
+//!
+//! Shared harness code for the experiment binaries that regenerate the
+//! paper's Figure 3 and Table 1, plus the criterion micro-benchmarks.
+//!
+//! Every binary accepts `--quick` (default) or `--full` plus individual
+//! overrides (`--train-dbs N`, `--queries-per-db N`, `--eval-queries N`,
+//! `--scale F`), so the same code can run a CI-sized sanity pass or an
+//! overnight paper-scale reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use zsdb_catalog::presets;
+use zsdb_core::dataset::{collect_training_corpus, TrainingDataConfig};
+use zsdb_core::{FeaturizerConfig, ModelConfig, TrainedModel, Trainer, TrainingConfig};
+use zsdb_engine::{EngineConfig, HardwareProfile, QueryExecution, QueryRunner};
+use zsdb_query::{BenchmarkWorkload, WorkloadKind};
+use zsdb_storage::Database;
+
+/// Knobs of an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Number of synthetic training databases for the zero-shot model.
+    pub train_databases: usize,
+    /// Queries executed per training database.
+    pub queries_per_database: usize,
+    /// Scale factor of the IMDB-like evaluation database.
+    pub eval_scale: f64,
+    /// Number of queries per evaluation workload.
+    pub eval_queries: usize,
+    /// Training-set sizes for the workload-driven baselines (Figure 3
+    /// x-axis).
+    pub baseline_training_sizes: Vec<usize>,
+    /// Training epochs for the zero-shot model.
+    pub epochs: usize,
+    /// Random indexes per training database (for the Table 1 index row).
+    pub random_indexes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// A quick configuration that finishes in a few minutes on a laptop.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            train_databases: 8,
+            queries_per_database: 250,
+            eval_scale: 0.04,
+            eval_queries: 150,
+            baseline_training_sizes: vec![100, 300, 1_000, 3_000],
+            epochs: 30,
+            random_indexes: 3,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// The paper-scale configuration (19 databases × 5,000 queries,
+    /// baseline training sets up to 50,000 queries).  Expect hours of
+    /// runtime.
+    pub fn full() -> Self {
+        ExperimentScale {
+            train_databases: 19,
+            queries_per_database: 5_000,
+            eval_scale: 0.5,
+            eval_queries: 500,
+            baseline_training_sizes: vec![100, 500, 1_000, 5_000, 10_000, 50_000],
+            epochs: 60,
+            random_indexes: 5,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Parse command-line arguments (`--quick`, `--full` and individual
+    /// overrides).  Unknown arguments are ignored.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--full") {
+            ExperimentScale::full()
+        } else {
+            ExperimentScale::quick()
+        };
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        if let Some(v) = value_of("--train-dbs").and_then(|v| v.parse().ok()) {
+            scale.train_databases = v;
+        }
+        if let Some(v) = value_of("--queries-per-db").and_then(|v| v.parse().ok()) {
+            scale.queries_per_database = v;
+        }
+        if let Some(v) = value_of("--eval-queries").and_then(|v| v.parse().ok()) {
+            scale.eval_queries = v;
+        }
+        if let Some(v) = value_of("--scale").and_then(|v| v.parse().ok()) {
+            scale.eval_scale = v;
+        }
+        if let Some(v) = value_of("--epochs").and_then(|v| v.parse().ok()) {
+            scale.epochs = v;
+        }
+        scale
+    }
+
+    /// Training-data configuration derived from this experiment scale.
+    pub fn training_data_config(&self) -> TrainingDataConfig {
+        TrainingDataConfig {
+            num_databases: self.train_databases,
+            queries_per_database: self.queries_per_database,
+            random_indexes_per_database: self.random_indexes,
+            seed: self.seed,
+            ..TrainingDataConfig::default()
+        }
+    }
+
+    /// Training configuration derived from this experiment scale.
+    pub fn training_config(&self) -> TrainingConfig {
+        TrainingConfig {
+            epochs: self.epochs,
+            ..TrainingConfig::default()
+        }
+    }
+}
+
+/// Build the (unseen) IMDB-like evaluation database.
+pub fn evaluation_database(scale: &ExperimentScale) -> Database {
+    Database::generate(presets::imdb_like(scale.eval_scale), scale.seed ^ 0x1111)
+}
+
+/// Execute one of the evaluation benchmark workloads on the evaluation
+/// database and return the executions (ground-truth runtimes).
+pub fn benchmark_executions(
+    db: &Database,
+    kind: WorkloadKind,
+    scale: &ExperimentScale,
+) -> Vec<QueryExecution> {
+    let workload =
+        BenchmarkWorkload::generate(kind, db.catalog(), scale.eval_queries, scale.seed ^ 0x77);
+    let runner = QueryRunner::new(db, EngineConfig::default(), HardwareProfile::default());
+    runner.run_workload(&workload.queries, scale.seed ^ 0x99)
+}
+
+/// Train a zero-shot model with the given featurizer over the multi
+/// database training corpus described by `scale`.  Returns the trained
+/// model and the corpus size (for reporting).
+pub fn train_zero_shot(scale: &ExperimentScale, featurizer: FeaturizerConfig) -> (TrainedModel, usize) {
+    let data_config = scale.training_data_config();
+    let corpus = collect_training_corpus(&data_config);
+    let schemas = zsdb_catalog::SchemaGenerator::new(data_config.schema_config.clone())
+        .generate_corpus("train", data_config.num_databases, data_config.seed);
+    let trainer = Trainer::new(ModelConfig::default(), scale.training_config(), featurizer);
+    let graphs = trainer.featurize_corpus(&corpus, |name| {
+        schemas
+            .iter()
+            .find(|s| s.name == name)
+            .expect("catalog for corpus database")
+    });
+    (trainer.train(&graphs), corpus.len())
+}
+
+/// Print a markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_full() {
+        let quick = ExperimentScale::quick();
+        let full = ExperimentScale::full();
+        assert!(quick.train_databases < full.train_databases);
+        assert!(quick.queries_per_database < full.queries_per_database);
+        assert!(quick.baseline_training_sizes.len() <= full.baseline_training_sizes.len());
+    }
+
+    #[test]
+    fn evaluation_database_has_imdb_tables() {
+        let scale = ExperimentScale {
+            eval_scale: 0.02,
+            ..ExperimentScale::quick()
+        };
+        let db = evaluation_database(&scale);
+        assert!(db.catalog().table_by_name("title").is_ok());
+    }
+
+    #[test]
+    fn benchmark_executions_produce_runtimes() {
+        let scale = ExperimentScale {
+            eval_scale: 0.02,
+            eval_queries: 5,
+            ..ExperimentScale::quick()
+        };
+        let db = evaluation_database(&scale);
+        let execs = benchmark_executions(&db, WorkloadKind::JobLight, &scale);
+        assert_eq!(execs.len(), 5);
+        assert!(execs.iter().all(|e| e.runtime_secs > 0.0));
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`CardinalityEstimator`] trait and shared combination logic.
+
+use zsdb_query::{JoinCondition, Predicate, Query};
+use zsdb_catalog::{SchemaCatalog, TableId};
+
+/// A cardinality estimator: given per-predicate and per-join selectivities,
+/// produces cardinality estimates for base tables and connected sub-queries.
+///
+/// The default sub-query combination follows the classical System-R recipe:
+/// the product of base-table cardinalities, predicate selectivities
+/// (independence assumption) and join selectivities
+/// (`1 / max(distinct(left), distinct(right))`).
+pub trait CardinalityEstimator {
+    /// The schema the estimator was built for.
+    fn catalog(&self) -> &SchemaCatalog;
+
+    /// Selectivity of one predicate on its base table, in `[0, 1]`.
+    fn predicate_selectivity(&self, predicate: &Predicate) -> f64;
+
+    /// Selectivity of an equi-join edge relative to the Cartesian product
+    /// of its two input tables.
+    fn join_selectivity(&self, join: &JoinCondition) -> f64 {
+        let left = self.catalog().column(join.left);
+        let right = self.catalog().column(join.right);
+        let distinct = left
+            .stats
+            .distinct_count
+            .max(right.stats.distinct_count)
+            .max(1);
+        1.0 / distinct as f64
+    }
+
+    /// Estimated number of rows of `table` after applying `predicates`
+    /// (only predicates on that table are considered).
+    fn table_cardinality(&self, table: TableId, predicates: &[Predicate]) -> f64 {
+        let base = self.catalog().table(table).num_tuples as f64;
+        let selectivity: f64 = predicates
+            .iter()
+            .filter(|p| p.column.table == table)
+            .map(|p| self.predicate_selectivity(p).clamp(0.0, 1.0))
+            .product();
+        (base * selectivity).max(0.0)
+    }
+
+    /// Estimated cardinality of the connected sub-query of `query`
+    /// restricted to `tables`: joins whose both sides are in `tables` and
+    /// predicates on those tables are applied.
+    fn subquery_cardinality(&self, query: &Query, tables: &[TableId]) -> f64 {
+        let mut card = 1.0f64;
+        for &t in tables {
+            card *= self.table_cardinality(t, &query.predicates);
+        }
+        for join in &query.joins {
+            if tables.contains(&join.left.table) && tables.contains(&join.right.table) {
+                card *= self.join_selectivity(join).clamp(0.0, 1.0);
+            }
+        }
+        card.max(1e-6)
+    }
+
+    /// Estimated output cardinality of the full query (before aggregation).
+    fn query_cardinality(&self, query: &Query) -> f64 {
+        self.subquery_cardinality(query, &query.tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::{presets, Value};
+    use zsdb_query::{CmpOp, JoinCondition, Predicate};
+
+    /// A trivially simple estimator with constant predicate selectivity,
+    /// used to test the default combination logic in isolation.
+    struct ConstEstimator {
+        catalog: SchemaCatalog,
+        sel: f64,
+    }
+
+    impl CardinalityEstimator for ConstEstimator {
+        fn catalog(&self) -> &SchemaCatalog {
+            &self.catalog
+        }
+        fn predicate_selectivity(&self, _predicate: &Predicate) -> f64 {
+            self.sel
+        }
+    }
+
+    #[test]
+    fn table_cardinality_multiplies_selectivities() {
+        let catalog = presets::imdb_like(0.02);
+        let (title, tmeta) = catalog.table_by_name("title").unwrap();
+        let year = catalog.resolve_column("title", "production_year").unwrap();
+        let est = ConstEstimator {
+            sel: 0.1,
+            catalog: catalog.clone(),
+        };
+        let preds = vec![
+            Predicate::new(year, CmpOp::Gt, Value::Int(1990)),
+            Predicate::new(year, CmpOp::Lt, Value::Int(2000)),
+        ];
+        let expected = tmeta.num_tuples as f64 * 0.01;
+        assert!((est.table_cardinality(title, &preds) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn join_selectivity_uses_max_distinct() {
+        let catalog = presets::imdb_like(0.02);
+        let title_id = catalog.resolve_column("title", "id").unwrap();
+        let movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
+        let est = ConstEstimator {
+            sel: 1.0,
+            catalog: catalog.clone(),
+        };
+        let join = JoinCondition::new(movie_id, title_id);
+        let title_rows = catalog.table(title_id.table).num_tuples as f64;
+        assert!((est.join_selectivity(&join) - 1.0 / title_rows).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subquery_cardinality_is_fk_join_shaped() {
+        // For an FK join with no predicates, |A ⋈ B| ≈ |child| when joining
+        // child to parent on the parent's key.
+        let catalog = presets::imdb_like(0.02);
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let (mc, mc_meta) = catalog.table_by_name("movie_companies").unwrap();
+        let title_id = catalog.resolve_column("title", "id").unwrap();
+        let movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
+        let est = ConstEstimator {
+            sel: 1.0,
+            catalog: catalog.clone(),
+        };
+        let query = Query {
+            tables: vec![title, mc],
+            joins: vec![JoinCondition::new(movie_id, title_id)],
+            predicates: vec![],
+            aggregates: vec![zsdb_query::Aggregate::count_star()],
+        };
+        let card = est.query_cardinality(&query);
+        let expected = mc_meta.num_tuples as f64;
+        assert!(
+            (card - expected).abs() / expected < 0.01,
+            "card {card} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn cardinality_never_hits_zero() {
+        let catalog = presets::imdb_like(0.02);
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let est = ConstEstimator {
+            sel: 0.0,
+            catalog,
+        };
+        let query = Query::scan(title);
+        assert!(est.query_cardinality(&query) > 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Equi-depth histograms over numeric views of column values.
+
+use serde::{Deserialize, Serialize};
+use zsdb_query::CmpOp;
+
+/// An equi-depth histogram plus auxiliary statistics for one column.
+///
+/// Built from (a sample of) the actual data, it answers selectivity queries
+/// for all comparison operators.  Boolean/categorical columns work too via
+/// their numeric view (dictionary codes), where only equality estimates are
+/// meaningful and handled through the distinct count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiDepthHistogram {
+    /// Bucket boundaries, length `num_buckets + 1`; bucket `i` covers
+    /// `[bounds[i], bounds[i+1])` (last bucket inclusive).
+    bounds: Vec<f64>,
+    /// Fraction of non-null values per bucket (sums to 1 unless empty).
+    fractions: Vec<f64>,
+    /// Estimated number of distinct non-null values.
+    distinct: u64,
+    /// Fraction of NULL values in the column.
+    null_fraction: f64,
+    /// Number of (sampled) values the histogram was built from.
+    sample_size: usize,
+}
+
+impl EquiDepthHistogram {
+    /// Build a histogram with `num_buckets` buckets from the numeric views
+    /// of the (sampled) values; `None` entries are NULLs.
+    pub fn build(values: &[Option<f64>], num_buckets: usize) -> Self {
+        let total = values.len();
+        let mut non_null: Vec<f64> = values.iter().flatten().copied().collect();
+        let null_fraction = if total == 0 {
+            0.0
+        } else {
+            1.0 - non_null.len() as f64 / total as f64
+        };
+        non_null.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut distinct = 0u64;
+        for (i, v) in non_null.iter().enumerate() {
+            if i == 0 || (*v - non_null[i - 1]).abs() > 0.0 {
+                distinct += 1;
+            }
+        }
+
+        if non_null.is_empty() {
+            return EquiDepthHistogram {
+                bounds: vec![0.0, 0.0],
+                fractions: vec![0.0],
+                distinct: 0,
+                null_fraction,
+                sample_size: total,
+            };
+        }
+
+        let buckets = num_buckets.max(1).min(non_null.len());
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        let mut fractions = Vec::with_capacity(buckets);
+        bounds.push(non_null[0]);
+        let per_bucket = non_null.len() as f64 / buckets as f64;
+        for b in 1..=buckets {
+            let end_idx = ((b as f64 * per_bucket).round() as usize).clamp(1, non_null.len());
+            let start_idx = (((b - 1) as f64 * per_bucket).round() as usize).min(end_idx - 1);
+            bounds.push(non_null[end_idx - 1]);
+            fractions.push((end_idx - start_idx) as f64 / non_null.len() as f64);
+        }
+
+        EquiDepthHistogram {
+            bounds,
+            fractions,
+            distinct: distinct.max(1),
+            null_fraction,
+            sample_size: total,
+        }
+    }
+
+    /// Estimated number of distinct non-null values.
+    pub fn distinct_count(&self) -> u64 {
+        self.distinct
+    }
+
+    /// Fraction of NULL values.
+    pub fn null_fraction(&self) -> f64 {
+        self.null_fraction
+    }
+
+    /// Number of values the histogram was built from.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Estimated selectivity of `column op literal` as a fraction of the
+    /// table (NULLs never match, so the result is scaled by the non-null
+    /// fraction).
+    pub fn selectivity(&self, op: CmpOp, literal: f64) -> f64 {
+        let non_null = 1.0 - self.null_fraction;
+        if self.distinct == 0 || non_null <= 0.0 {
+            return 0.0;
+        }
+        let sel = match op {
+            CmpOp::Eq => 1.0 / self.distinct as f64,
+            CmpOp::Neq => 1.0 - 1.0 / self.distinct as f64,
+            CmpOp::Lt | CmpOp::Leq => self.fraction_below(literal, matches!(op, CmpOp::Leq)),
+            CmpOp::Gt | CmpOp::Geq => 1.0 - self.fraction_below(literal, matches!(op, CmpOp::Gt)),
+        };
+        (sel.clamp(0.0, 1.0)) * non_null
+    }
+
+    /// Fraction of non-null values `< literal` (or `<= literal` if
+    /// `inclusive`), interpolating linearly within the containing bucket.
+    fn fraction_below(&self, literal: f64, inclusive: bool) -> f64 {
+        let lo = self.bounds[0];
+        let hi = *self.bounds.last().expect("at least two bounds");
+        if literal < lo {
+            return 0.0;
+        }
+        if literal > hi || (inclusive && literal >= hi) {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        for (i, frac) in self.fractions.iter().enumerate() {
+            let b_lo = self.bounds[i];
+            let b_hi = self.bounds[i + 1];
+            if literal >= b_hi {
+                acc += frac;
+            } else {
+                let width = (b_hi - b_lo).max(1e-12);
+                let partial = ((literal - b_lo) / width).clamp(0.0, 1.0);
+                acc += frac * partial;
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_values(n: usize) -> Vec<Option<f64>> {
+        (0..n).map(|i| Some(i as f64)).collect()
+    }
+
+    #[test]
+    fn range_selectivity_on_uniform_data() {
+        let hist = EquiDepthHistogram::build(&uniform_values(1000), 20);
+        let sel = hist.selectivity(CmpOp::Lt, 500.0);
+        assert!((sel - 0.5).abs() < 0.05, "sel = {sel}");
+        let sel = hist.selectivity(CmpOp::Gt, 900.0);
+        assert!((sel - 0.1).abs() < 0.05, "sel = {sel}");
+    }
+
+    #[test]
+    fn equality_uses_distinct_count() {
+        let values: Vec<Option<f64>> = (0..1000).map(|i| Some((i % 10) as f64)).collect();
+        let hist = EquiDepthHistogram::build(&values, 10);
+        assert_eq!(hist.distinct_count(), 10);
+        assert!((hist.selectivity(CmpOp::Eq, 3.0) - 0.1).abs() < 1e-9);
+        assert!((hist.selectivity(CmpOp::Neq, 3.0) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nulls_scale_selectivity() {
+        let mut values = uniform_values(500);
+        values.extend(std::iter::repeat_n(None, 500));
+        let hist = EquiDepthHistogram::build(&values, 10);
+        assert!((hist.null_fraction() - 0.5).abs() < 1e-9);
+        let sel = hist.selectivity(CmpOp::Lt, 250.0);
+        assert!((sel - 0.25).abs() < 0.05, "sel = {sel}");
+    }
+
+    #[test]
+    fn out_of_range_literals_clamp() {
+        let hist = EquiDepthHistogram::build(&uniform_values(100), 10);
+        assert_eq!(hist.selectivity(CmpOp::Lt, -10.0), 0.0);
+        assert!((hist.selectivity(CmpOp::Lt, 1e9) - 1.0).abs() < 1e-9);
+        assert!((hist.selectivity(CmpOp::Gt, 1e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        let empty = EquiDepthHistogram::build(&[], 10);
+        assert_eq!(empty.selectivity(CmpOp::Eq, 1.0), 0.0);
+        let nulls: Vec<Option<f64>> = vec![None; 100];
+        let hist = EquiDepthHistogram::build(&nulls, 10);
+        assert_eq!(hist.distinct_count(), 0);
+        assert_eq!(hist.selectivity(CmpOp::Lt, 0.0), 0.0);
+    }
+
+    #[test]
+    fn skewed_data_range_estimates() {
+        // 90% of values are 0, 10% spread over 1..=100.
+        let mut values: Vec<Option<f64>> = vec![Some(0.0); 900];
+        values.extend((1..=100).map(|i| Some(i as f64)));
+        let hist = EquiDepthHistogram::build(&values, 20);
+        let sel = hist.selectivity(CmpOp::Gt, 0.0);
+        assert!(sel < 0.2, "skew should be captured, sel = {sel}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # zsdb-cardest
+//!
+//! Cardinality estimation for the `zero-shot-db` workspace.
+//!
+//! The paper's separation-of-concerns argument (Section 2.2) is that a
+//! zero-shot cost model should *not* internalise data characteristics;
+//! instead cardinalities are supplied as input features, either from a
+//! data-driven model / simple estimator (the "estimated cardinalities"
+//! variant) or as exact values (the upper-bound variant).  This crate
+//! provides those suppliers:
+//!
+//! * [`PostgresLikeEstimator`] — classical catalog-statistics estimator
+//!   (uniformity + independence assumptions), the stand-in for "Postgres
+//!   optimizer cardinalities",
+//! * [`HistogramEstimator`] — equi-depth histograms built from a data
+//!   sample, the stand-in for a simple data-driven model,
+//! * [`SamplingEstimator`] — evaluates predicates on a row sample.
+//!
+//! Exact cardinalities are recorded by the executor in `zsdb-engine` while
+//! collecting runtimes, so they need no estimator here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod histogram;
+pub mod postgres_like;
+pub mod sampling;
+pub mod table_stats;
+
+pub use estimator::CardinalityEstimator;
+pub use histogram::EquiDepthHistogram;
+pub use postgres_like::PostgresLikeEstimator;
+pub use sampling::SamplingEstimator;
+pub use table_stats::{DatabaseStatistics, HistogramEstimator};

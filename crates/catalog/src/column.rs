@@ -1,0 +1,135 @@
+//! Column metadata and column references.
+
+use crate::stats::ColumnStatistics;
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::schema::TableId;
+
+/// Index of a column *within its table* (0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ColumnId(pub u32);
+
+impl ColumnId {
+    /// Column index as `usize` for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Fully qualified reference to a column: `(table, column)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ColumnRef {
+    /// Table the column belongs to.
+    pub table: TableId,
+    /// Column index within that table.
+    pub column: ColumnId,
+}
+
+impl ColumnRef {
+    /// Convenience constructor.
+    pub fn new(table: TableId, column: ColumnId) -> Self {
+        ColumnRef { table, column }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.table.0, self.column)
+    }
+}
+
+/// Metadata of a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Human-readable name (unique within its table).
+    pub name: String,
+    /// Logical data type.
+    pub data_type: DataType,
+    /// Whether the column is the table's primary key.
+    pub is_primary_key: bool,
+    /// Catalog statistics (distinct count, range, null fraction, generative
+    /// distribution).
+    pub stats: ColumnStatistics,
+}
+
+impl ColumnMeta {
+    /// Create a new column with the given name, type and statistics.
+    pub fn new(name: impl Into<String>, data_type: DataType, stats: ColumnStatistics) -> Self {
+        ColumnMeta {
+            name: name.into(),
+            data_type,
+            is_primary_key: false,
+            stats,
+        }
+    }
+
+    /// Create a primary-key column named `name` for a table with
+    /// `num_tuples` rows.
+    pub fn primary_key(name: impl Into<String>, num_tuples: u64) -> Self {
+        ColumnMeta {
+            name: name.into(),
+            data_type: DataType::Int,
+            is_primary_key: true,
+            stats: ColumnStatistics::primary_key(num_tuples),
+        }
+    }
+
+    /// Byte width of a value of this column.
+    pub fn width_bytes(&self) -> u32 {
+        self.data_type.width_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Distribution;
+
+    #[test]
+    fn primary_key_column() {
+        let c = ColumnMeta::primary_key("id", 500);
+        assert!(c.is_primary_key);
+        assert_eq!(c.data_type, DataType::Int);
+        assert_eq!(c.stats.distinct_count, 500);
+        assert_eq!(c.width_bytes(), 8);
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let r = ColumnRef::new(TableId(3), ColumnId(2));
+        assert_eq!(r.to_string(), "t3.c2");
+    }
+
+    #[test]
+    fn column_ref_ordering_is_total() {
+        let a = ColumnRef::new(TableId(0), ColumnId(1));
+        let b = ColumnRef::new(TableId(1), ColumnId(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn plain_column_is_not_pk() {
+        let stats = ColumnStatistics {
+            distinct_count: 10,
+            null_fraction: 0.1,
+            min: Some(0.0),
+            max: Some(9.0),
+            distribution: Distribution::Uniform,
+        };
+        let c = ColumnMeta::new("kind", DataType::Categorical, stats);
+        assert!(!c.is_primary_key);
+        assert_eq!(c.width_bytes(), 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for catalog operations.
+
+use std::fmt;
+
+/// Errors produced when building or querying a [`crate::SchemaCatalog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// No table with this name / id exists.
+    UnknownTable(String),
+    /// No column with this name exists in the named table.
+    UnknownColumn {
+        /// Table that was searched.
+        table: String,
+        /// Column name that was not found.
+        column: String,
+    },
+    /// A foreign key references a non-existent table or column.
+    InvalidForeignKey(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(name) => write!(f, "duplicate table `{name}`"),
+            CatalogError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            CatalogError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            CatalogError::DuplicateTable("t".into()).to_string(),
+            "duplicate table `t`"
+        );
+        assert_eq!(
+            CatalogError::UnknownColumn {
+                table: "a".into(),
+                column: "b".into()
+            }
+            .to_string(),
+            "unknown column `b` in table `a`"
+        );
+    }
+}

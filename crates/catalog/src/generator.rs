@@ -1,0 +1,407 @@
+//! Synthetic schema generator.
+//!
+//! The paper trains its zero-shot model on ~19 publicly available databases
+//! with different numbers of tables, sizes and data characteristics.  Those
+//! datasets are not available here, so this module generates a *family* of
+//! synthetic schemas whose diversity plays the same role: different table
+//! counts, join topologies, table sizes, column types, skews and null
+//! fractions.  `zsdb-storage` materialises matching data.
+
+use crate::column::{ColumnId, ColumnMeta, ColumnRef};
+use crate::schema::{SchemaCatalog, TableId};
+use crate::stats::{ColumnStatistics, Distribution};
+use crate::table::TableMeta;
+use crate::types::DataType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Join topology of a generated schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// One central fact table referencing every dimension table.
+    Star,
+    /// A chain `t0 <- t1 <- t2 <- ...` of foreign keys.
+    Chain,
+    /// A star whose dimensions may themselves have sub-dimensions.
+    Snowflake,
+    /// A random spanning tree over the tables.
+    RandomTree,
+}
+
+impl Topology {
+    /// All topologies, used for round-robin assignment across generated
+    /// databases.
+    pub const ALL: [Topology; 4] = [
+        Topology::Star,
+        Topology::Chain,
+        Topology::Snowflake,
+        Topology::RandomTree,
+    ];
+}
+
+/// Configuration for the synthetic schema generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Minimum number of tables per database (inclusive).
+    pub min_tables: usize,
+    /// Maximum number of tables per database (inclusive).
+    pub max_tables: usize,
+    /// Minimum number of rows for the *largest* table of a database.
+    pub min_rows: u64,
+    /// Maximum number of rows for the *largest* table of a database.
+    pub max_rows: u64,
+    /// Minimum number of non-key columns per table.
+    pub min_extra_columns: usize,
+    /// Maximum number of non-key columns per table.
+    pub max_extra_columns: usize,
+    /// Probability that a non-key column is categorical.
+    pub categorical_fraction: f64,
+    /// Maximum null fraction assigned to nullable columns.
+    pub max_null_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_tables: 3,
+            max_tables: 8,
+            min_rows: 5_000,
+            max_rows: 100_000,
+            min_extra_columns: 2,
+            max_extra_columns: 6,
+            categorical_fraction: 0.4,
+            max_null_fraction: 0.3,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for unit tests and doc examples (tiny tables,
+    /// fast data generation).
+    pub fn tiny() -> Self {
+        GeneratorConfig {
+            min_tables: 2,
+            max_tables: 4,
+            min_rows: 200,
+            max_rows: 2_000,
+            min_extra_columns: 1,
+            max_extra_columns: 3,
+            ..GeneratorConfig::default()
+        }
+    }
+}
+
+/// Deterministic generator of diverse synthetic schemas.
+#[derive(Debug, Clone)]
+pub struct SchemaGenerator {
+    config: GeneratorConfig,
+}
+
+impl SchemaGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        SchemaGenerator { config }
+    }
+
+    /// Generator with the default configuration.
+    pub fn with_defaults() -> Self {
+        SchemaGenerator::new(GeneratorConfig::default())
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generate one schema.  The same `(name, seed)` always produces the
+    /// same schema.
+    pub fn generate(&self, name: &str, seed: u64) -> SchemaCatalog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = &self.config;
+
+        let num_tables = rng.random_range(cfg.min_tables..=cfg.max_tables);
+        let topology = Topology::ALL[rng.random_range(0..Topology::ALL.len())];
+        let max_rows = rng.random_range(cfg.min_rows..=cfg.max_rows);
+
+        let mut schema = SchemaCatalog::new(name);
+
+        // Table 0 is the root (fact) table and is the largest.
+        let mut table_rows = Vec::with_capacity(num_tables);
+        table_rows.push(max_rows);
+        for _ in 1..num_tables {
+            // Dimension tables are 2x–50x smaller than the fact table.
+            let shrink = rng.random_range(2.0..50.0);
+            let rows = ((max_rows as f64 / shrink) as u64).max(50);
+            table_rows.push(rows);
+        }
+
+        for (i, &rows) in table_rows.iter().enumerate() {
+            let table = self.generate_table(&mut rng, &format!("{name}_t{i}"), rows);
+            schema
+                .add_table(table)
+                .expect("generated table names are unique");
+        }
+
+        // Parent assignment per topology: edge from child table to parent
+        // table; the child gets an FK column appended.
+        let parents = self.assign_parents(&mut rng, num_tables, topology);
+        for (child_idx, parent_idx) in parents {
+            let child = TableId(child_idx as u32);
+            let parent = TableId(parent_idx as u32);
+            self.add_fk_column(&mut rng, &mut schema, child, parent);
+        }
+
+        schema
+    }
+
+    /// Generate a whole corpus of `count` schemas with names
+    /// `"{prefix}_{i}"`, seeds derived from `base_seed`.
+    pub fn generate_corpus(&self, prefix: &str, count: usize, base_seed: u64) -> Vec<SchemaCatalog> {
+        (0..count)
+            .map(|i| {
+                self.generate(
+                    &format!("{prefix}_{i:02}"),
+                    base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
+            .collect()
+    }
+
+    fn generate_table(&self, rng: &mut StdRng, name: &str, rows: u64) -> TableMeta {
+        let cfg = &self.config;
+        let mut columns = vec![ColumnMeta::primary_key("id", rows)];
+        let extra = rng.random_range(cfg.min_extra_columns..=cfg.max_extra_columns);
+        for c in 0..extra {
+            columns.push(self.generate_column(rng, &format!("attr{c}"), rows));
+        }
+        TableMeta::new(name, columns, rows)
+    }
+
+    fn generate_column(&self, rng: &mut StdRng, name: &str, rows: u64) -> ColumnMeta {
+        let cfg = &self.config;
+        let is_categorical = rng.random_bool(cfg.categorical_fraction);
+        let nullable = rng.random_bool(0.3);
+        let null_fraction = if nullable {
+            rng.random_range(0.0..cfg.max_null_fraction)
+        } else {
+            0.0
+        };
+
+        if is_categorical {
+            // Categorical columns: small-ish domains, often skewed.
+            let distinct = rng.random_range(2..200u64).min(rows.max(2));
+            let distribution = if rng.random_bool(0.5) {
+                Distribution::Zipf {
+                    skew: rng.random_range(0.8..2.0),
+                }
+            } else {
+                Distribution::Uniform
+            };
+            ColumnMeta::new(
+                name,
+                DataType::Categorical,
+                ColumnStatistics {
+                    distinct_count: distinct,
+                    null_fraction,
+                    min: Some(0.0),
+                    max: Some(distinct.saturating_sub(1) as f64),
+                    distribution,
+                },
+            )
+        } else {
+            // Numeric columns: Int, Float or Date with varying domains.
+            let data_type = match rng.random_range(0..3) {
+                0 => DataType::Int,
+                1 => DataType::Float,
+                _ => DataType::Date,
+            };
+            let lo = rng.random_range(-1_000.0..1_000.0f64);
+            let width = rng.random_range(10.0..1.0e6f64);
+            let hi = lo + width;
+            let distinct = rng
+                .random_range(16..5_000u64)
+                .min(rows.max(16));
+            let distribution = match rng.random_range(0..3) {
+                0 => Distribution::Uniform,
+                1 => Distribution::Normal {
+                    spread: rng.random_range(0.05..0.35),
+                },
+                _ => Distribution::Zipf {
+                    skew: rng.random_range(0.8..1.8),
+                },
+            };
+            ColumnMeta::new(
+                name,
+                data_type,
+                ColumnStatistics {
+                    distinct_count: distinct,
+                    null_fraction,
+                    min: Some(lo),
+                    max: Some(hi),
+                    distribution,
+                },
+            )
+        }
+    }
+
+    /// Pick `(child, parent)` table-index pairs according to the topology.
+    fn assign_parents(
+        &self,
+        rng: &mut StdRng,
+        num_tables: usize,
+        topology: Topology,
+    ) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        match topology {
+            Topology::Star => {
+                for i in 1..num_tables {
+                    edges.push((0, i)); // fact table references every dimension
+                }
+            }
+            Topology::Chain => {
+                for i in 1..num_tables {
+                    edges.push((i - 1, i));
+                }
+            }
+            Topology::Snowflake => {
+                for i in 1..num_tables {
+                    if i <= (num_tables - 1).div_ceil(2) {
+                        edges.push((0, i));
+                    } else {
+                        // Sub-dimension hangs off one of the first-level dims.
+                        let parent = rng.random_range(1..=(num_tables - 1).div_ceil(2));
+                        edges.push((parent, i));
+                    }
+                }
+            }
+            Topology::RandomTree => {
+                for i in 1..num_tables {
+                    let parent = rng.random_range(0..i);
+                    edges.push((parent, i));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Append an FK column to `child` referencing `parent`'s primary key and
+    /// register the foreign key in the schema.
+    fn add_fk_column(
+        &self,
+        rng: &mut StdRng,
+        schema: &mut SchemaCatalog,
+        child: TableId,
+        parent: TableId,
+    ) {
+        let parent_rows = schema.table(parent).num_tuples;
+        let parent_name = schema.table(parent).name.clone();
+        let fk_name = format!("{parent_name}_id");
+        let skewed = rng.random_bool(0.4);
+        let distribution = if skewed {
+            Distribution::ForeignKeyZipf {
+                skew: rng.random_range(0.8..1.6),
+            }
+        } else {
+            Distribution::ForeignKeyUniform
+        };
+        let stats = ColumnStatistics {
+            distinct_count: parent_rows.max(1),
+            null_fraction: 0.0,
+            min: Some(0.0),
+            max: Some(parent_rows.saturating_sub(1) as f64),
+            distribution,
+        };
+        let child_meta = schema.table_mut(child);
+        let col_id = ColumnId(child_meta.columns.len() as u32);
+        child_meta
+            .columns
+            .push(ColumnMeta::new(fk_name, DataType::Int, stats));
+
+        let parent_pk = schema
+            .table(parent)
+            .primary_key()
+            .map(|(id, _)| id)
+            .expect("generated tables always have a primary key");
+        schema
+            .add_foreign_key(
+                ColumnRef::new(child, col_id),
+                ColumnRef::new(parent, parent_pk),
+            )
+            .expect("generated foreign keys are valid");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let generator = SchemaGenerator::with_defaults();
+        let a = generator.generate("db", 42);
+        let b = generator.generate("db", 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let generator = SchemaGenerator::with_defaults();
+        let a = generator.generate("db", 1);
+        let b = generator.generate("db", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn schema_is_connected_tree() {
+        let generator = SchemaGenerator::with_defaults();
+        for seed in 0..20 {
+            let schema = generator.generate("db", seed);
+            let n = schema.num_tables();
+            // A spanning tree over n tables has exactly n-1 foreign keys.
+            assert_eq!(schema.foreign_keys().len(), n - 1, "seed {seed}");
+            // Every table participates in at least one join edge (n >= 2).
+            for (tid, _) in schema.iter_tables() {
+                assert!(
+                    !schema.foreign_keys_of(tid).is_empty(),
+                    "table {tid} disconnected at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fk_columns_reference_primary_keys() {
+        let generator = SchemaGenerator::with_defaults();
+        let schema = generator.generate("db", 7);
+        for fk in schema.foreign_keys() {
+            let parent_col = schema.column(fk.parent);
+            assert!(parent_col.is_primary_key);
+            let child_col = schema.column(fk.child);
+            assert!(child_col.stats.distribution.is_foreign_key());
+        }
+    }
+
+    #[test]
+    fn corpus_generates_distinct_names() {
+        let generator = SchemaGenerator::new(GeneratorConfig::tiny());
+        let corpus = generator.generate_corpus("train", 5, 99);
+        assert_eq!(corpus.len(), 5);
+        for (i, schema) in corpus.iter().enumerate() {
+            assert_eq!(schema.name, format!("train_{i:02}"));
+        }
+    }
+
+    #[test]
+    fn table_sizes_respect_config() {
+        let cfg = GeneratorConfig::tiny();
+        let generator = SchemaGenerator::new(cfg.clone());
+        for seed in 0..10 {
+            let schema = generator.generate("db", seed);
+            assert!(schema.num_tables() >= cfg.min_tables);
+            assert!(schema.num_tables() <= cfg.max_tables);
+            let largest = schema.tables().iter().map(|t| t.num_tuples).max().unwrap();
+            assert!(largest <= cfg.max_rows);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # zsdb-catalog
+//!
+//! Relational schema metadata for the `zero-shot-db` workspace.
+//!
+//! A [`SchemaCatalog`] describes a database *without* its data: tables, columns,
+//! data types, primary/foreign keys and coarse per-column statistics (tuple
+//! counts, distinct counts, value ranges, null fractions).  Everything a
+//! *transferable* query featurization (in the sense of Hilprecht & Binnig,
+//! CIDR 2022) is allowed to look at lives here; everything tied to concrete
+//! values lives in `zsdb-storage`.
+//!
+//! The crate also contains:
+//!
+//! * [`generator::SchemaGenerator`] — a synthetic schema generator producing
+//!   diverse databases (the substitute for the paper's 19 public training
+//!   datasets), and
+//! * [`presets`] — hand-written IMDB-like and SSB-like schemas used as the
+//!   *unseen* evaluation databases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod error;
+pub mod generator;
+pub mod presets;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use column::{ColumnId, ColumnMeta, ColumnRef};
+pub use error::CatalogError;
+pub use generator::{GeneratorConfig, SchemaGenerator, Topology};
+pub use schema::{ForeignKey, SchemaCatalog, TableId};
+pub use stats::{ColumnStatistics, Distribution};
+pub use table::TableMeta;
+pub use types::{DataType, Value};
+
+/// Number of bytes in one storage page of the simulated engine.
+///
+/// Matches PostgreSQL's default block size; used to derive `num_pages` from
+/// tuple counts and row widths everywhere in the workspace.
+pub const PAGE_SIZE_BYTES: u64 = 8192;

@@ -1,0 +1,417 @@
+//! Hand-built evaluation schemas.
+//!
+//! The paper evaluates on the IMDB database (JOB-light / scale / synthetic
+//! workloads) and mentions SSB as a contrasting schema.  The real datasets
+//! are not available in this environment, so these presets reproduce their
+//! *shape*: the IMDB-like schema mirrors the six JOB-light tables with a
+//! central `title` table, realistic relative cardinalities and skewed
+//! foreign keys; the SSB-like schema is a classic star schema.
+//!
+//! The `scale` parameter lets tests use tiny instances while the benchmark
+//! harness uses larger ones.
+
+use crate::column::{ColumnMeta, ColumnRef};
+use crate::schema::SchemaCatalog;
+use crate::stats::{ColumnStatistics, Distribution};
+use crate::table::TableMeta;
+use crate::types::DataType;
+
+fn numeric_col(
+    name: &str,
+    data_type: DataType,
+    distinct: u64,
+    min: f64,
+    max: f64,
+    null_fraction: f64,
+    distribution: Distribution,
+) -> ColumnMeta {
+    ColumnMeta::new(
+        name,
+        data_type,
+        ColumnStatistics {
+            distinct_count: distinct,
+            null_fraction,
+            min: Some(min),
+            max: Some(max),
+            distribution,
+        },
+    )
+}
+
+fn categorical_col(name: &str, distinct: u64, null_fraction: f64, skew: f64) -> ColumnMeta {
+    ColumnMeta::new(
+        name,
+        DataType::Categorical,
+        ColumnStatistics {
+            distinct_count: distinct,
+            null_fraction,
+            min: Some(0.0),
+            max: Some(distinct.saturating_sub(1) as f64),
+            distribution: Distribution::Zipf { skew },
+        },
+    )
+}
+
+fn fk_col(name: &str, parent_rows: u64, skew: Option<f64>) -> ColumnMeta {
+    let distribution = match skew {
+        Some(s) => Distribution::ForeignKeyZipf { skew: s },
+        None => Distribution::ForeignKeyUniform,
+    };
+    ColumnMeta::new(
+        name,
+        DataType::Int,
+        ColumnStatistics {
+            distinct_count: parent_rows.max(1),
+            null_fraction: 0.0,
+            min: Some(0.0),
+            max: Some(parent_rows.saturating_sub(1) as f64),
+            distribution,
+        },
+    )
+}
+
+/// IMDB-like schema with the six tables used by the JOB-light benchmark:
+/// `title`, `movie_companies`, `movie_info`, `movie_info_idx`,
+/// `movie_keyword`, `cast_info`.  `scale = 1.0` gives a ~25k-row `title`
+/// table with proportionally sized satellite tables (the real IMDB has
+/// ~2.5M titles; the relative sizes are preserved).
+pub fn imdb_like(scale: f64) -> SchemaCatalog {
+    let scale = scale.max(0.01);
+    let rows = |base: f64| ((base * scale) as u64).max(100);
+
+    let title_rows = rows(25_000.0);
+    let mc_rows = rows(65_000.0);
+    let mi_rows = rows(120_000.0);
+    let mi_idx_rows = rows(35_000.0);
+    let mk_rows = rows(110_000.0);
+    let ci_rows = rows(160_000.0);
+
+    let mut schema = SchemaCatalog::new("imdb_like");
+
+    let title = schema
+        .add_table(TableMeta::new(
+            "title",
+            vec![
+                ColumnMeta::primary_key("id", title_rows),
+                numeric_col(
+                    "production_year",
+                    DataType::Int,
+                    130,
+                    1890.0,
+                    2020.0,
+                    0.05,
+                    Distribution::Normal { spread: 0.18 },
+                ),
+                categorical_col("kind_id", 7, 0.0, 1.1),
+                numeric_col(
+                    "episode_nr",
+                    DataType::Int,
+                    500,
+                    0.0,
+                    500.0,
+                    0.6,
+                    Distribution::Zipf { skew: 1.4 },
+                ),
+                categorical_col("series_years", 80, 0.7, 1.2),
+            ],
+            title_rows,
+        ))
+        .expect("fresh schema");
+
+    let movie_companies = schema
+        .add_table(TableMeta::new(
+            "movie_companies",
+            vec![
+                ColumnMeta::primary_key("id", mc_rows),
+                fk_col("movie_id", title_rows, Some(0.8)),
+                categorical_col("company_id", 2_000, 0.0, 1.3),
+                categorical_col("company_type_id", 4, 0.0, 0.9),
+            ],
+            mc_rows,
+        ))
+        .expect("fresh schema");
+
+    let movie_info = schema
+        .add_table(TableMeta::new(
+            "movie_info",
+            vec![
+                ColumnMeta::primary_key("id", mi_rows),
+                fk_col("movie_id", title_rows, Some(0.9)),
+                categorical_col("info_type_id", 110, 0.0, 1.2),
+            ],
+            mi_rows,
+        ))
+        .expect("fresh schema");
+
+    let movie_info_idx = schema
+        .add_table(TableMeta::new(
+            "movie_info_idx",
+            vec![
+                ColumnMeta::primary_key("id", mi_idx_rows),
+                fk_col("movie_id", title_rows, None),
+                categorical_col("info_type_id", 5, 0.0, 0.8),
+                numeric_col(
+                    "info",
+                    DataType::Float,
+                    1_000,
+                    0.0,
+                    10.0,
+                    0.0,
+                    Distribution::Normal { spread: 0.2 },
+                ),
+            ],
+            mi_idx_rows,
+        ))
+        .expect("fresh schema");
+
+    let movie_keyword = schema
+        .add_table(TableMeta::new(
+            "movie_keyword",
+            vec![
+                ColumnMeta::primary_key("id", mk_rows),
+                fk_col("movie_id", title_rows, Some(0.9)),
+                categorical_col("keyword_id", 5_000, 0.0, 1.4),
+            ],
+            mk_rows,
+        ))
+        .expect("fresh schema");
+
+    let cast_info = schema
+        .add_table(TableMeta::new(
+            "cast_info",
+            vec![
+                ColumnMeta::primary_key("id", ci_rows),
+                fk_col("movie_id", title_rows, Some(0.9)),
+                categorical_col("person_id", 10_000, 0.0, 1.3),
+                categorical_col("role_id", 11, 0.0, 1.0),
+                numeric_col(
+                    "nr_order",
+                    DataType::Int,
+                    200,
+                    0.0,
+                    200.0,
+                    0.4,
+                    Distribution::Zipf { skew: 1.1 },
+                ),
+            ],
+            ci_rows,
+        ))
+        .expect("fresh schema");
+
+    let title_pk = ColumnRef::new(title, schema.table(title).primary_key().unwrap().0);
+    for child in [
+        movie_companies,
+        movie_info,
+        movie_info_idx,
+        movie_keyword,
+        cast_info,
+    ] {
+        let (fk_id, _) = schema.table(child).column_by_name("movie_id").unwrap();
+        schema
+            .add_foreign_key(ColumnRef::new(child, fk_id), title_pk)
+            .expect("preset foreign keys are valid");
+    }
+
+    schema
+}
+
+/// SSB-like star schema: a `lineorder` fact table referencing `customer`,
+/// `supplier`, `part` and `date_dim` dimensions.  Used as one of the held
+/// out databases for generalization experiments.
+pub fn ssb_like(scale: f64) -> SchemaCatalog {
+    let scale = scale.max(0.01);
+    let rows = |base: f64| ((base * scale) as u64).max(50);
+
+    let lineorder_rows = rows(150_000.0);
+    let customer_rows = rows(7_500.0);
+    let supplier_rows = rows(500.0);
+    let part_rows = rows(5_000.0);
+    let date_rows = 2_556u64.max((2_556.0 * scale.min(1.0)) as u64);
+
+    let mut schema = SchemaCatalog::new("ssb_like");
+
+    let customer = schema
+        .add_table(TableMeta::new(
+            "customer",
+            vec![
+                ColumnMeta::primary_key("c_custkey", customer_rows),
+                categorical_col("c_region", 5, 0.0, 0.9),
+                categorical_col("c_nation", 25, 0.0, 1.0),
+                categorical_col("c_mktsegment", 5, 0.0, 0.9),
+            ],
+            customer_rows,
+        ))
+        .expect("fresh schema");
+
+    let supplier = schema
+        .add_table(TableMeta::new(
+            "supplier",
+            vec![
+                ColumnMeta::primary_key("s_suppkey", supplier_rows),
+                categorical_col("s_region", 5, 0.0, 0.9),
+                categorical_col("s_nation", 25, 0.0, 1.0),
+            ],
+            supplier_rows,
+        ))
+        .expect("fresh schema");
+
+    let part = schema
+        .add_table(TableMeta::new(
+            "part",
+            vec![
+                ColumnMeta::primary_key("p_partkey", part_rows),
+                categorical_col("p_category", 25, 0.0, 1.0),
+                categorical_col("p_brand", 1_000, 0.0, 1.2),
+                numeric_col(
+                    "p_size",
+                    DataType::Int,
+                    50,
+                    1.0,
+                    50.0,
+                    0.0,
+                    Distribution::Uniform,
+                ),
+            ],
+            part_rows,
+        ))
+        .expect("fresh schema");
+
+    let date_dim = schema
+        .add_table(TableMeta::new(
+            "date_dim",
+            vec![
+                ColumnMeta::primary_key("d_datekey", date_rows),
+                numeric_col(
+                    "d_year",
+                    DataType::Int,
+                    7,
+                    1992.0,
+                    1998.0,
+                    0.0,
+                    Distribution::Uniform,
+                ),
+                numeric_col(
+                    "d_month",
+                    DataType::Int,
+                    12,
+                    1.0,
+                    12.0,
+                    0.0,
+                    Distribution::Uniform,
+                ),
+            ],
+            date_rows,
+        ))
+        .expect("fresh schema");
+
+    let lineorder = schema
+        .add_table(TableMeta::new(
+            "lineorder",
+            vec![
+                ColumnMeta::primary_key("lo_orderkey", lineorder_rows),
+                fk_col("lo_custkey", customer_rows, Some(0.8)),
+                fk_col("lo_suppkey", supplier_rows, None),
+                fk_col("lo_partkey", part_rows, Some(0.9)),
+                fk_col("lo_orderdate", date_rows, None),
+                numeric_col(
+                    "lo_quantity",
+                    DataType::Int,
+                    50,
+                    1.0,
+                    50.0,
+                    0.0,
+                    Distribution::Uniform,
+                ),
+                numeric_col(
+                    "lo_revenue",
+                    DataType::Float,
+                    10_000,
+                    0.0,
+                    600_000.0,
+                    0.0,
+                    Distribution::Normal { spread: 0.25 },
+                ),
+                numeric_col(
+                    "lo_discount",
+                    DataType::Float,
+                    11,
+                    0.0,
+                    0.1,
+                    0.0,
+                    Distribution::Uniform,
+                ),
+            ],
+            lineorder_rows,
+        ))
+        .expect("fresh schema");
+
+    let fk_pairs = [
+        ("lo_custkey", customer),
+        ("lo_suppkey", supplier),
+        ("lo_partkey", part),
+        ("lo_orderdate", date_dim),
+    ];
+    for (fk_name, parent) in fk_pairs {
+        let (fk_id, _) = schema.table(lineorder).column_by_name(fk_name).unwrap();
+        let parent_pk = ColumnRef::new(parent, schema.table(parent).primary_key().unwrap().0);
+        schema
+            .add_foreign_key(ColumnRef::new(lineorder, fk_id), parent_pk)
+            .expect("preset foreign keys are valid");
+    }
+
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imdb_like_has_job_light_tables() {
+        let schema = imdb_like(0.1);
+        for name in [
+            "title",
+            "movie_companies",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+            "cast_info",
+        ] {
+            assert!(schema.table_by_name(name).is_ok(), "missing table {name}");
+        }
+        assert_eq!(schema.foreign_keys().len(), 5);
+    }
+
+    #[test]
+    fn imdb_like_satellites_join_to_title() {
+        let schema = imdb_like(0.1);
+        let (title, _) = schema.table_by_name("title").unwrap();
+        for fk in schema.foreign_keys() {
+            assert_eq!(fk.parent.table, title);
+            assert!(schema.column(fk.parent).is_primary_key);
+        }
+    }
+
+    #[test]
+    fn imdb_like_scales_with_parameter() {
+        let small = imdb_like(0.05);
+        let large = imdb_like(0.5);
+        assert!(large.total_tuples() > small.total_tuples() * 5);
+    }
+
+    #[test]
+    fn ssb_like_is_a_star() {
+        let schema = ssb_like(0.1);
+        let (fact, _) = schema.table_by_name("lineorder").unwrap();
+        assert_eq!(schema.foreign_keys().len(), 4);
+        for fk in schema.foreign_keys() {
+            assert_eq!(fk.child.table, fact);
+        }
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        assert_eq!(imdb_like(0.2), imdb_like(0.2));
+        assert_eq!(ssb_like(0.2), ssb_like(0.2));
+    }
+}

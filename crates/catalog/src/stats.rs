@@ -1,0 +1,188 @@
+//! Coarse per-column statistics and generative distribution specifications.
+//!
+//! [`ColumnStatistics`] is the *catalog-level* view of a column used for
+//! transferable featurization and for the Postgres-style cardinality
+//! estimator: distinct count, min/max, null fraction.  The finer-grained
+//! histograms are built from the actual data in `zsdb-cardest`.
+//!
+//! [`Distribution`] describes how synthetic data for the column is generated;
+//! it is part of the catalog so that the schema generator can decide the
+//! data characteristics and `zsdb-storage` merely realises them.
+
+use serde::{Deserialize, Serialize};
+
+/// How synthetic values for a column are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Dense sequential values `0..n`; used for primary keys.
+    Sequential,
+    /// Uniform over `[min, max]`.
+    Uniform,
+    /// Zipf-distributed over the distinct domain with the given skew
+    /// parameter (1.0 ≈ classic Zipf, larger = more skew).
+    Zipf {
+        /// Skew exponent; must be > 0.
+        skew: f64,
+    },
+    /// (Truncated) normal around the domain midpoint; `spread` is the
+    /// standard deviation as a fraction of the domain width.
+    Normal {
+        /// Standard deviation as a fraction of `(max - min)`.
+        spread: f64,
+    },
+    /// Values drawn uniformly from the key domain of the referenced table;
+    /// used for foreign-key columns.
+    ForeignKeyUniform,
+    /// Foreign-key values drawn with Zipf skew, so some parents have many
+    /// children (e.g. popular movies with many cast entries).
+    ForeignKeyZipf {
+        /// Skew exponent; must be > 0.
+        skew: f64,
+    },
+}
+
+impl Distribution {
+    /// Whether this distribution models a foreign-key column.
+    pub fn is_foreign_key(&self) -> bool {
+        matches!(
+            self,
+            Distribution::ForeignKeyUniform | Distribution::ForeignKeyZipf { .. }
+        )
+    }
+}
+
+/// Coarse statistics of a single column, as a classical catalog would keep
+/// them (`pg_stats`-style).  These are *transferable* features: they do not
+/// name the column or database, only describe its data characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStatistics {
+    /// Number of distinct non-null values.
+    pub distinct_count: u64,
+    /// Fraction of NULL values in `[0, 1]`.
+    pub null_fraction: f64,
+    /// Minimum value (as f64 view); `None` if the column is all-NULL.
+    pub min: Option<f64>,
+    /// Maximum value (as f64 view); `None` if the column is all-NULL.
+    pub max: Option<f64>,
+    /// Generative distribution of the column data.
+    pub distribution: Distribution,
+}
+
+impl ColumnStatistics {
+    /// Statistics for a dense primary-key column over `0..num_tuples`.
+    pub fn primary_key(num_tuples: u64) -> Self {
+        ColumnStatistics {
+            distinct_count: num_tuples,
+            null_fraction: 0.0,
+            min: Some(0.0),
+            max: Some(num_tuples.saturating_sub(1) as f64),
+            distribution: Distribution::Sequential,
+        }
+    }
+
+    /// Width of the value domain (`max - min`), or 0 if unknown/degenerate.
+    pub fn domain_width(&self) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if hi > lo => hi - lo,
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of rows with a non-null value.
+    pub fn non_null_fraction(&self) -> f64 {
+        (1.0 - self.null_fraction).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of an equality predicate under the classical uniformity
+    /// assumption: `(1 - null_frac) / distinct_count`.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct_count == 0 {
+            return 0.0;
+        }
+        self.non_null_fraction() / self.distinct_count as f64
+    }
+
+    /// Selectivity of `col < v` (or `> v` via `1 - sel`) under a uniform
+    /// value assumption over `[min, max]`.
+    pub fn lt_selectivity(&self, v: f64) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if hi > lo => {
+                (((v - lo) / (hi - lo)).clamp(0.0, 1.0)) * self.non_null_fraction()
+            }
+            _ => 0.5 * self.non_null_fraction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_key_stats() {
+        let s = ColumnStatistics::primary_key(1000);
+        assert_eq!(s.distinct_count, 1000);
+        assert_eq!(s.null_fraction, 0.0);
+        assert_eq!(s.min, Some(0.0));
+        assert_eq!(s.max, Some(999.0));
+        assert!(matches!(s.distribution, Distribution::Sequential));
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let s = ColumnStatistics {
+            distinct_count: 100,
+            null_fraction: 0.0,
+            min: Some(0.0),
+            max: Some(99.0),
+            distribution: Distribution::Uniform,
+        };
+        assert!((s.eq_selectivity() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_selectivity_respects_nulls() {
+        let s = ColumnStatistics {
+            distinct_count: 10,
+            null_fraction: 0.5,
+            min: Some(0.0),
+            max: Some(9.0),
+            distribution: Distribution::Uniform,
+        };
+        assert!((s.eq_selectivity() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lt_selectivity_clamps() {
+        let s = ColumnStatistics {
+            distinct_count: 10,
+            null_fraction: 0.0,
+            min: Some(0.0),
+            max: Some(100.0),
+            distribution: Distribution::Uniform,
+        };
+        assert_eq!(s.lt_selectivity(-5.0), 0.0);
+        assert_eq!(s.lt_selectivity(200.0), 1.0);
+        assert!((s.lt_selectivity(50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distinct_eq_selectivity_is_zero() {
+        let s = ColumnStatistics {
+            distinct_count: 0,
+            null_fraction: 1.0,
+            min: None,
+            max: None,
+            distribution: Distribution::Uniform,
+        };
+        assert_eq!(s.eq_selectivity(), 0.0);
+        assert_eq!(s.domain_width(), 0.0);
+    }
+
+    #[test]
+    fn fk_distributions_flagged() {
+        assert!(Distribution::ForeignKeyUniform.is_foreign_key());
+        assert!(Distribution::ForeignKeyZipf { skew: 1.2 }.is_foreign_key());
+        assert!(!Distribution::Uniform.is_foreign_key());
+    }
+}

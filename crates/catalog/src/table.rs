@@ -1,0 +1,137 @@
+//! Table metadata.
+
+use crate::column::{ColumnId, ColumnMeta};
+use crate::PAGE_SIZE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Per-tuple storage overhead in bytes (header, alignment), mimicking the
+/// ~23-byte PostgreSQL tuple header rounded to 24.
+pub const TUPLE_OVERHEAD_BYTES: u64 = 24;
+
+/// Metadata of a single table: its columns and physical size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name (unique within the schema).
+    pub name: String,
+    /// Columns in definition order; `ColumnId(i)` refers to `columns[i]`.
+    pub columns: Vec<ColumnMeta>,
+    /// Number of tuples stored in the table.
+    pub num_tuples: u64,
+}
+
+impl TableMeta {
+    /// Create a table with the given name, columns and row count.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnMeta>, num_tuples: u64) -> Self {
+        TableMeta {
+            name: name.into(),
+            columns,
+            num_tuples,
+        }
+    }
+
+    /// Width of one row in bytes (sum of column widths plus tuple overhead).
+    pub fn row_width_bytes(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|c| c.width_bytes() as u64)
+            .sum::<u64>()
+            + TUPLE_OVERHEAD_BYTES
+    }
+
+    /// Number of heap pages occupied by the table.
+    pub fn num_pages(&self) -> u64 {
+        let rows_per_page = (PAGE_SIZE_BYTES / self.row_width_bytes().max(1)).max(1);
+        self.num_tuples.div_ceil(rows_per_page).max(1)
+    }
+
+    /// Look up a column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<(ColumnId, &ColumnMeta)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name == name)
+            .map(|(i, c)| (ColumnId(i as u32), c))
+    }
+
+    /// Column metadata by id; panics on out-of-range ids (programmer error).
+    pub fn column(&self, id: ColumnId) -> &ColumnMeta {
+        &self.columns[id.index()]
+    }
+
+    /// The primary-key column of this table, if any.
+    pub fn primary_key(&self) -> Option<(ColumnId, &ColumnMeta)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.is_primary_key)
+            .map(|(i, c)| (ColumnId(i as u32), c))
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{ColumnStatistics, Distribution};
+    use crate::types::DataType;
+
+    fn sample_table() -> TableMeta {
+        let stats = ColumnStatistics {
+            distinct_count: 50,
+            null_fraction: 0.0,
+            min: Some(0.0),
+            max: Some(49.0),
+            distribution: Distribution::Uniform,
+        };
+        TableMeta::new(
+            "movies",
+            vec![
+                ColumnMeta::primary_key("id", 10_000),
+                ColumnMeta::new("year", DataType::Int, stats.clone()),
+                ColumnMeta::new("kind", DataType::Categorical, stats),
+            ],
+            10_000,
+        )
+    }
+
+    #[test]
+    fn row_width_includes_overhead() {
+        let t = sample_table();
+        assert_eq!(t.row_width_bytes(), 8 + 8 + 4 + TUPLE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn page_count_is_sane() {
+        let t = sample_table();
+        let rows_per_page = PAGE_SIZE_BYTES / t.row_width_bytes();
+        assert_eq!(t.num_pages(), 10_000u64.div_ceil(rows_per_page));
+        assert!(t.num_pages() > 0);
+    }
+
+    #[test]
+    fn empty_table_has_one_page() {
+        let t = TableMeta::new("empty", vec![ColumnMeta::primary_key("id", 0)], 0);
+        assert_eq!(t.num_pages(), 1);
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let t = sample_table();
+        let (id, c) = t.column_by_name("year").unwrap();
+        assert_eq!(id, ColumnId(1));
+        assert_eq!(c.data_type, DataType::Int);
+        assert!(t.column_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn primary_key_lookup() {
+        let t = sample_table();
+        let (id, c) = t.primary_key().unwrap();
+        assert_eq!(id, ColumnId(0));
+        assert_eq!(c.name, "id");
+    }
+}

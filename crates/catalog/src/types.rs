@@ -1,0 +1,215 @@
+//! Scalar data types and runtime values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical data type of a column.
+///
+/// The set is deliberately small but covers the feature dimensions the
+/// zero-shot featurization needs (numeric vs. categorical, fixed widths).
+/// Dates are represented as days-since-epoch integers, text columns as
+/// dictionary-encoded categoricals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for surrogate keys).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Dictionary-encoded categorical / text value.
+    Categorical,
+    /// Boolean flag.
+    Bool,
+    /// Date stored as days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// All data types, in the canonical order used for one-hot encodings.
+    pub const ALL: [DataType; 5] = [
+        DataType::Int,
+        DataType::Float,
+        DataType::Categorical,
+        DataType::Bool,
+        DataType::Date,
+    ];
+
+    /// Index of this type in [`DataType::ALL`]; stable across runs, used by
+    /// one-hot featurizations.
+    pub fn index(self) -> usize {
+        match self {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Categorical => 2,
+            DataType::Bool => 3,
+            DataType::Date => 4,
+        }
+    }
+
+    /// In-memory / on-page width of a value of this type in bytes.
+    pub fn width_bytes(self) -> u32 {
+        match self {
+            DataType::Int | DataType::Float | DataType::Date => 8,
+            DataType::Categorical => 4,
+            DataType::Bool => 1,
+        }
+    }
+
+    /// Whether values of this type have a meaningful total order for range
+    /// predicates (`<`, `>`, `BETWEEN`).
+    pub fn is_orderable(self) -> bool {
+        !matches!(self, DataType::Bool)
+    }
+
+    /// Whether the type is numeric (Int, Float or Date).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Date)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Categorical => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value as stored in the column store or used in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer (also dates).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Dictionary code of a categorical value.
+    Cat(u32),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Cat(_) => Some(DataType::Categorical),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Numeric view of the value used for ordering, histograms and
+    /// normalisation.  NULL maps to `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Cat(v) => Some(*v as f64),
+            Value::Bool(v) => Some(if *v { 1.0 } else { 0.0 }),
+        }
+    }
+
+    /// Integer view, if the value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Compare two values with SQL-ish semantics: NULL is not comparable to
+    /// anything (returns `None`), numeric types compare by value.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        let a = self.as_f64()?;
+        let b = other.as_f64()?;
+        a.partial_cmp(&b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Cat(v) => write!(f, "'c{v}'"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_index_roundtrips() {
+        for (i, dt) in DataType::ALL.iter().enumerate() {
+            assert_eq!(dt.index(), i);
+        }
+    }
+
+    #[test]
+    fn widths_are_positive() {
+        for dt in DataType::ALL {
+            assert!(dt.width_bytes() >= 1);
+        }
+    }
+
+    #[test]
+    fn bool_is_not_orderable() {
+        assert!(!DataType::Bool.is_orderable());
+        assert!(DataType::Int.is_orderable());
+        assert!(DataType::Date.is_orderable());
+    }
+
+    #[test]
+    fn null_compares_to_nothing() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn numeric_comparison_crosses_types() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn value_as_f64() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Cat(3).to_string(), "'c3'");
+        assert_eq!(DataType::Categorical.to_string(), "TEXT");
+    }
+}

@@ -1,0 +1,172 @@
+//! Training-data collection across many databases.
+//!
+//! The paper's recipe: generate (or obtain) a set of training databases,
+//! run a randomized workload on each and record the executed plans with
+//! their runtimes; this is a one-time effort, after which the zero-shot
+//! model supports new databases without executing a single query on them.
+
+use serde::{Deserialize, Serialize};
+use zsdb_catalog::{GeneratorConfig, SchemaGenerator};
+use zsdb_engine::{EngineConfig, HardwareProfile, QueryExecution, QueryRunner};
+use zsdb_query::{WorkloadGenerator, WorkloadSpec};
+use zsdb_storage::Database;
+
+/// Configuration of the multi-database training-data collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingDataConfig {
+    /// Number of synthetic training databases (the paper uses 19).
+    pub num_databases: usize,
+    /// Number of training queries executed per database (the paper uses
+    /// 5,000; scaled-down defaults keep CI fast).
+    pub queries_per_database: usize,
+    /// Schema-generator configuration controlling database diversity.
+    pub schema_config: GeneratorConfig,
+    /// Workload-generator specification (joins, predicates, aggregates).
+    pub workload_spec: WorkloadSpec,
+    /// Whether to create a random-but-fixed set of secondary indexes per
+    /// training database (enables index what-if training, paper §4.1).
+    /// The value is the number of random indexes per database.
+    pub random_indexes_per_database: usize,
+    /// Master seed; everything else is derived deterministically.
+    pub seed: u64,
+}
+
+impl Default for TrainingDataConfig {
+    fn default() -> Self {
+        TrainingDataConfig {
+            num_databases: 19,
+            queries_per_database: 5_000,
+            schema_config: GeneratorConfig::default(),
+            workload_spec: WorkloadSpec::paper_training(),
+            random_indexes_per_database: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl TrainingDataConfig {
+    /// A tiny configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        TrainingDataConfig {
+            num_databases: 3,
+            queries_per_database: 80,
+            schema_config: GeneratorConfig::tiny(),
+            ..TrainingDataConfig::default()
+        }
+    }
+
+    /// A scaled-down but representative configuration used by the
+    /// benchmark harness when the full paper-scale run would be too slow.
+    pub fn benchmark(num_databases: usize, queries_per_database: usize) -> Self {
+        TrainingDataConfig {
+            num_databases,
+            queries_per_database,
+            ..TrainingDataConfig::default()
+        }
+    }
+}
+
+/// Collect a training corpus: generate `num_databases` synthetic databases,
+/// run a random workload on each and return all executions.
+///
+/// The executions of database `i` carry the database name `"train_{i}"`, so
+/// per-database splits (e.g. holdout validation) remain possible.
+pub fn collect_training_corpus(config: &TrainingDataConfig) -> Vec<QueryExecution> {
+    let schema_generator = SchemaGenerator::new(config.schema_config.clone());
+    let schemas = schema_generator.generate_corpus("train", config.num_databases, config.seed);
+    let mut corpus = Vec::new();
+    for (i, schema) in schemas.into_iter().enumerate() {
+        let db_seed = config.seed.wrapping_add(1000 + i as u64);
+        let mut db = Database::generate(schema, db_seed);
+        if config.random_indexes_per_database > 0 {
+            db.create_random_indexes(config.random_indexes_per_database, db_seed ^ 0xA5A5);
+        }
+        corpus.extend(collect_for_database(
+            &db,
+            &config.workload_spec,
+            config.queries_per_database,
+            db_seed ^ 0x77,
+        ));
+    }
+    corpus
+}
+
+/// Run a random workload of `num_queries` queries on one database and
+/// return the executions (used both for training databases and for
+/// collecting workload-driven baselines' training data on the target
+/// database).
+pub fn collect_for_database(
+    db: &Database,
+    spec: &WorkloadSpec,
+    num_queries: usize,
+    seed: u64,
+) -> Vec<QueryExecution> {
+    let queries = WorkloadGenerator::new(spec.clone()).generate(db.catalog(), num_queries, seed);
+    let runner = QueryRunner::new(db, EngineConfig::default(), HardwareProfile::default());
+    runner.run_workload(&queries, seed ^ 0x1234)
+}
+
+/// Total simulated execution time of a set of executions in hours — the
+/// quantity plotted in the right-most panel of the paper's Figure 3
+/// ("Execution Time (h)" needed to collect the training queries).
+pub fn workload_execution_hours(executions: &[QueryExecution]) -> f64 {
+    executions.iter().map(|e| e.runtime_secs).sum::<f64>() / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_all_databases() {
+        let config = TrainingDataConfig::tiny();
+        let corpus = collect_training_corpus(&config);
+        assert_eq!(
+            corpus.len(),
+            config.num_databases * config.queries_per_database
+        );
+        let mut names: Vec<&str> = corpus.iter().map(|e| e.database.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), config.num_databases);
+    }
+
+    #[test]
+    fn corpus_collection_is_deterministic() {
+        let config = TrainingDataConfig::tiny();
+        let a = collect_training_corpus(&config);
+        let b = collect_training_corpus(&config);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].runtime_secs, b[0].runtime_secs);
+        assert_eq!(a[a.len() - 1].runtime_secs, b[b.len() - 1].runtime_secs);
+    }
+
+    #[test]
+    fn random_indexes_produce_index_scans_in_training_data() {
+        let config = TrainingDataConfig {
+            random_indexes_per_database: 3,
+            num_databases: 2,
+            queries_per_database: 60,
+            schema_config: GeneratorConfig::tiny(),
+            ..TrainingDataConfig::default()
+        };
+        let corpus = collect_training_corpus(&config);
+        let has_index_scan = corpus.iter().any(|e| {
+            e.executed
+                .iter()
+                .iter()
+                .any(|n| n.kind == zsdb_engine::PhysOperatorKind::IndexScan)
+        });
+        assert!(has_index_scan, "expected at least one index scan in the corpus");
+    }
+
+    #[test]
+    fn execution_hours_accumulate() {
+        let config = TrainingDataConfig::tiny();
+        let corpus = collect_training_corpus(&config);
+        let hours = workload_execution_hours(&corpus);
+        assert!(hours > 0.0);
+        let half = workload_execution_hours(&corpus[..corpus.len() / 2]);
+        assert!(half < hours);
+    }
+}

@@ -1,0 +1,518 @@
+//! Transferable graph encoding of executed query plans (paper Figure 2).
+//!
+//! A physical plan is turned into a DAG of typed nodes:
+//!
+//! * **plan-operator** nodes — one per physical operator, featurized by the
+//!   operator kind (one-hot), its cardinality (exact or estimated) and its
+//!   output tuple width;
+//! * **table** nodes — tuple count, page count, row width;
+//! * **column** nodes — data type (one-hot), value width, distinct count,
+//!   null fraction;
+//! * **predicate** nodes — comparison operator (one-hot) and the *data
+//!   type* of the literal (never its value — selectivity information
+//!   reaches the model only through cardinalities, the paper's
+//!   "separation of concerns");
+//! * **aggregation** nodes — aggregate function (one-hot).
+//!
+//! All features are database-independent, so a model trained on one set of
+//! databases can be applied to a completely different one.  For the
+//! ablation study, [`FeatureMode::HashedOneHot`] replaces the table and
+//! column features by hashed identity one-hots — the *non-transferable*
+//! encoding the paper criticises in workload-driven models.
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use zsdb_catalog::{ColumnRef, SchemaCatalog, TableId};
+use zsdb_engine::{ExecutedNode, PhysOperator, PhysOperatorKind, PlanNode, QueryExecution};
+use zsdb_query::{Aggregate, CmpOp, Predicate};
+
+/// Which cardinalities annotate the plan-operator nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CardinalityMode {
+    /// True cardinalities observed by the executor (upper-bound variant,
+    /// "Zero-Shot (Exact Cardinalities)").
+    Exact,
+    /// The optimizer's estimates ("Zero-Shot (Est. Cardinalities)").
+    Estimated,
+}
+
+/// Which featurization is used for tables and columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureMode {
+    /// Database-independent statistics (the paper's proposal).
+    Transferable,
+    /// Hashed identity one-hots of table/column names — non-transferable;
+    /// used only by the featurization ablation.
+    HashedOneHot,
+}
+
+/// Number of slots used by the hashed one-hot ablation encoding.
+const HASH_SLOTS: usize = 16;
+
+/// Node types of the plan graph, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Physical plan operator.
+    PlanOperator,
+    /// Base table.
+    Table,
+    /// Column.
+    Column,
+    /// Filter predicate.
+    Predicate,
+    /// Aggregation expression.
+    Aggregation,
+}
+
+impl NodeKind {
+    /// All node kinds.
+    pub const ALL: [NodeKind; 5] = [
+        NodeKind::PlanOperator,
+        NodeKind::Table,
+        NodeKind::Column,
+        NodeKind::Predicate,
+        NodeKind::Aggregation,
+    ];
+
+    /// Stable index of the node kind.
+    pub fn index(self) -> usize {
+        match self {
+            NodeKind::PlanOperator => 0,
+            NodeKind::Table => 1,
+            NodeKind::Column => 2,
+            NodeKind::Predicate => 3,
+            NodeKind::Aggregation => 4,
+        }
+    }
+
+    /// Dimension of the feature vector of this node kind.
+    pub fn feature_dim(self) -> usize {
+        match self {
+            NodeKind::PlanOperator => PhysOperatorKind::ALL.len() + 3,
+            NodeKind::Table => 3 + HASH_SLOTS,
+            NodeKind::Column => 5 + 3 + HASH_SLOTS,
+            NodeKind::Predicate => 6 + 5,
+            NodeKind::Aggregation => 5,
+        }
+    }
+}
+
+/// One node of the plan graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Node type.
+    pub kind: NodeKind,
+    /// Feature vector of length `kind.feature_dim()`.
+    pub features: Vec<f64>,
+    /// Indices of child nodes (always smaller than the node's own index, so
+    /// index order is a topological order).
+    pub children: Vec<usize>,
+}
+
+/// A featurized query plan: a DAG with a single root (the topmost plan
+/// operator) whose nodes appear in topological (children-first) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanGraph {
+    /// Nodes in topological order.
+    pub nodes: Vec<GraphNode>,
+    /// Index of the root plan-operator node (always the last node).
+    pub root: usize,
+    /// The runtime label in seconds, if known (training data).
+    pub runtime_secs: Option<f64>,
+}
+
+impl PlanGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of nodes of the given kind.
+    pub fn count_kind(&self, kind: NodeKind) -> usize {
+        self.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+}
+
+/// Configuration of the featurizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeaturizerConfig {
+    /// Exact or estimated cardinalities on plan operators.
+    pub cardinality_mode: CardinalityMode,
+    /// Transferable or hashed-one-hot table/column features.
+    pub feature_mode: FeatureMode,
+}
+
+impl Default for FeaturizerConfig {
+    fn default() -> Self {
+        FeaturizerConfig {
+            cardinality_mode: CardinalityMode::Exact,
+            feature_mode: FeatureMode::Transferable,
+        }
+    }
+}
+
+impl FeaturizerConfig {
+    /// Exact-cardinality transferable featurization.
+    pub fn exact() -> Self {
+        FeaturizerConfig::default()
+    }
+
+    /// Estimated-cardinality transferable featurization.
+    pub fn estimated() -> Self {
+        FeaturizerConfig {
+            cardinality_mode: CardinalityMode::Estimated,
+            ..FeaturizerConfig::default()
+        }
+    }
+}
+
+/// Build the plan graph of an executed query (training / evaluation data).
+pub fn featurize_execution(
+    catalog: &SchemaCatalog,
+    execution: &QueryExecution,
+    config: FeaturizerConfig,
+) -> PlanGraph {
+    let mut builder = GraphBuilder::new(catalog, config);
+    let root = builder.add_plan_node(&execution.plan, Some(&execution.executed));
+    PlanGraph {
+        nodes: builder.nodes,
+        root,
+        runtime_secs: Some(execution.runtime_secs),
+    }
+}
+
+/// Build the plan graph of a *planned but not executed* query (inference,
+/// e.g. what-if scenarios).  Only estimated cardinalities are available, so
+/// `config.cardinality_mode` is forced to [`CardinalityMode::Estimated`].
+pub fn featurize_plan(
+    catalog: &SchemaCatalog,
+    plan: &PlanNode,
+    config: FeaturizerConfig,
+) -> PlanGraph {
+    let config = FeaturizerConfig {
+        cardinality_mode: CardinalityMode::Estimated,
+        ..config
+    };
+    let mut builder = GraphBuilder::new(catalog, config);
+    let root = builder.add_plan_node(plan, None);
+    PlanGraph {
+        nodes: builder.nodes,
+        root,
+        runtime_secs: None,
+    }
+}
+
+struct GraphBuilder<'a> {
+    catalog: &'a SchemaCatalog,
+    config: FeaturizerConfig,
+    nodes: Vec<GraphNode>,
+    table_nodes: HashMap<TableId, usize>,
+    column_nodes: HashMap<ColumnRef, usize>,
+}
+
+impl<'a> GraphBuilder<'a> {
+    fn new(catalog: &'a SchemaCatalog, config: FeaturizerConfig) -> Self {
+        GraphBuilder {
+            catalog,
+            config,
+            nodes: Vec::new(),
+            table_nodes: HashMap::new(),
+            column_nodes: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, kind: NodeKind, features: Vec<f64>, children: Vec<usize>) -> usize {
+        debug_assert_eq!(features.len(), kind.feature_dim());
+        let idx = self.nodes.len();
+        debug_assert!(children.iter().all(|c| *c < idx));
+        self.nodes.push(GraphNode {
+            kind,
+            features,
+            children,
+        });
+        idx
+    }
+
+    /// Recursively add a plan operator with its child operators and its
+    /// attached table / column / predicate / aggregation nodes.
+    fn add_plan_node(&mut self, plan: &PlanNode, executed: Option<&ExecutedNode>) -> usize {
+        // Children first so that indices are a topological order.
+        let mut children: Vec<usize> = plan
+            .children
+            .iter()
+            .enumerate()
+            .map(|(i, child)| self.add_plan_node(child, executed.map(|e| &e.children[i])))
+            .collect();
+
+        match &plan.op {
+            PhysOperator::SeqScan { table, predicates } => {
+                children.push(self.table_node(*table));
+                for p in predicates {
+                    children.push(self.predicate_node(p));
+                }
+            }
+            PhysOperator::IndexScan {
+                table,
+                index_column,
+                residual,
+                ..
+            } => {
+                children.push(self.table_node(*table));
+                children.push(self.column_node(*index_column));
+                for p in residual {
+                    children.push(self.predicate_node(p));
+                }
+            }
+            PhysOperator::HashJoin {
+                build_key,
+                probe_key,
+            } => {
+                children.push(self.column_node(*build_key));
+                children.push(self.column_node(*probe_key));
+            }
+            PhysOperator::NestedLoopJoin {
+                outer_key,
+                inner_key,
+            } => {
+                children.push(self.column_node(*outer_key));
+                children.push(self.column_node(*inner_key));
+            }
+            PhysOperator::Aggregate { aggregates } => {
+                for agg in aggregates {
+                    children.push(self.aggregation_node(agg));
+                }
+            }
+        }
+
+        let cardinality = match (self.config.cardinality_mode, executed) {
+            (CardinalityMode::Exact, Some(e)) => e.actual_cardinality as f64,
+            _ => plan.est_cardinality,
+        };
+        let mut features = one_hot(plan.op.kind().index(), PhysOperatorKind::ALL.len());
+        features.push(log1p(cardinality));
+        features.push(log1p(plan.output_width));
+        features.push(log1p(plan.est_cardinality * plan.output_width));
+        self.push(NodeKind::PlanOperator, features, children)
+    }
+
+    fn table_node(&mut self, table: TableId) -> usize {
+        if let Some(&idx) = self.table_nodes.get(&table) {
+            return idx;
+        }
+        let meta = self.catalog.table(table);
+        let mut features = vec![
+            log1p(meta.num_tuples as f64),
+            log1p(meta.num_pages() as f64),
+            log1p(meta.row_width_bytes() as f64),
+        ];
+        match self.config.feature_mode {
+            FeatureMode::Transferable => features.extend(vec![0.0; HASH_SLOTS]),
+            FeatureMode::HashedOneHot => {
+                // Non-transferable ablation: identity of the table instead of
+                // its statistics.
+                features = vec![0.0; 3];
+                features.extend(hashed_one_hot(&meta.name));
+            }
+        }
+        let idx = self.push(NodeKind::Table, features, Vec::new());
+        self.table_nodes.insert(table, idx);
+        idx
+    }
+
+    fn column_node(&mut self, column: ColumnRef) -> usize {
+        if let Some(&idx) = self.column_nodes.get(&column) {
+            return idx;
+        }
+        let meta = self.catalog.column(column);
+        let mut features = one_hot(meta.data_type.index(), 5);
+        match self.config.feature_mode {
+            FeatureMode::Transferable => {
+                features.push(meta.width_bytes() as f64 / 8.0);
+                features.push(log1p(meta.stats.distinct_count as f64));
+                features.push(meta.stats.null_fraction);
+                features.extend(vec![0.0; HASH_SLOTS]);
+            }
+            FeatureMode::HashedOneHot => {
+                features.extend(vec![0.0; 3]);
+                let table_name = &self.catalog.table(column.table).name;
+                features.extend(hashed_one_hot(&format!("{table_name}.{}", meta.name)));
+            }
+        }
+        let idx = self.push(NodeKind::Column, features, Vec::new());
+        self.column_nodes.insert(column, idx);
+        idx
+    }
+
+    fn predicate_node(&mut self, predicate: &Predicate) -> usize {
+        let column = self.column_node(predicate.column);
+        let mut features = one_hot(predicate.op.index(), CmpOp::ALL.len());
+        let literal_type = predicate
+            .value
+            .data_type()
+            .map(|t| t.index())
+            .unwrap_or(0);
+        features.extend(one_hot(literal_type, 5));
+        self.push(NodeKind::Predicate, features, vec![column])
+    }
+
+    fn aggregation_node(&mut self, aggregate: &Aggregate) -> usize {
+        let children = match aggregate.column {
+            Some(c) => vec![self.column_node(c)],
+            None => Vec::new(),
+        };
+        let features = one_hot(aggregate.func.index(), 5);
+        self.push(NodeKind::Aggregation, features, children)
+    }
+}
+
+fn one_hot(index: usize, len: usize) -> Vec<f64> {
+    let mut v = vec![0.0; len];
+    if index < len {
+        v[index] = 1.0;
+    }
+    v
+}
+
+fn hashed_one_hot(name: &str) -> Vec<f64> {
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    one_hot((hasher.finish() % HASH_SLOTS as u64) as usize, HASH_SLOTS)
+}
+
+fn log1p(x: f64) -> f64 {
+    (x.max(0.0) + 1.0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::presets;
+    use zsdb_engine::QueryRunner;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    fn sample_executions() -> (Database, Vec<QueryExecution>) {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 10, 1);
+        let executions = runner.run_workload(&queries, 0);
+        (db, executions)
+    }
+
+    #[test]
+    fn graph_is_topologically_ordered_with_plan_root() {
+        let (db, executions) = sample_executions();
+        for e in &executions {
+            let g = featurize_execution(db.catalog(), e, FeaturizerConfig::exact());
+            assert_eq!(g.root, g.len() - 1);
+            assert_eq!(g.nodes[g.root].kind, NodeKind::PlanOperator);
+            for (i, node) in g.nodes.iter().enumerate() {
+                assert_eq!(node.features.len(), node.kind.feature_dim());
+                for &c in &node.children {
+                    assert!(c < i, "child {c} not before parent {i}");
+                }
+            }
+            assert_eq!(g.runtime_secs, Some(e.runtime_secs));
+        }
+    }
+
+    #[test]
+    fn graph_contains_all_node_types() {
+        let (db, executions) = sample_executions();
+        let with_predicates = executions
+            .iter()
+            .find(|e| !e.query.predicates.is_empty())
+            .expect("some query has predicates");
+        let g = featurize_execution(db.catalog(), with_predicates, FeaturizerConfig::exact());
+        assert!(g.count_kind(NodeKind::PlanOperator) >= 2);
+        assert!(g.count_kind(NodeKind::Table) == with_predicates.query.num_tables());
+        assert!(g.count_kind(NodeKind::Predicate) == with_predicates.query.predicates.len());
+        assert!(g.count_kind(NodeKind::Aggregation) == with_predicates.query.aggregates.len());
+        assert!(g.count_kind(NodeKind::Column) >= 1);
+    }
+
+    #[test]
+    fn exact_and_estimated_cardinalities_differ() {
+        let (db, executions) = sample_executions();
+        // Find a query where the estimate is off (almost always true for
+        // multi-predicate queries).
+        let mut found_difference = false;
+        for e in &executions {
+            let exact = featurize_execution(db.catalog(), e, FeaturizerConfig::exact());
+            let est = featurize_execution(db.catalog(), e, FeaturizerConfig::estimated());
+            assert_eq!(exact.len(), est.len());
+            if exact
+                .nodes
+                .iter()
+                .zip(&est.nodes)
+                .any(|(a, b)| a.features != b.features)
+            {
+                found_difference = true;
+            }
+        }
+        assert!(found_difference);
+    }
+
+    #[test]
+    fn shared_columns_are_deduplicated() {
+        let (db, executions) = sample_executions();
+        for e in &executions {
+            let g = featurize_execution(db.catalog(), e, FeaturizerConfig::exact());
+            // Each distinct referenced column appears at most once.
+            let num_column_nodes = g.count_kind(NodeKind::Column);
+            let mut referenced = e.query.referenced_columns();
+            referenced.sort();
+            referenced.dedup();
+            assert!(num_column_nodes <= referenced.len() + e.query.num_tables());
+        }
+    }
+
+    #[test]
+    fn transferable_features_are_identical_across_databases_for_same_structure() {
+        // Featurize the same logical structure on two different databases:
+        // the *shape* of features must be identical (same dims), and table
+        // features must differ only through statistics, not identity.
+        let (db, executions) = sample_executions();
+        let g = featurize_execution(db.catalog(), &executions[0], FeaturizerConfig::exact());
+        let other_db = Database::generate(presets::ssb_like(0.02), 1);
+        let runner = QueryRunner::with_defaults(&other_db);
+        let queries = WorkloadGenerator::with_defaults().generate(other_db.catalog(), 1, 1);
+        let other =
+            featurize_execution(other_db.catalog(), &runner.run(&queries[0], 0), FeaturizerConfig::exact());
+        for node in g.nodes.iter().chain(other.nodes.iter()) {
+            assert_eq!(node.features.len(), node.kind.feature_dim());
+        }
+    }
+
+    #[test]
+    fn hashed_one_hot_mode_hides_statistics() {
+        let (db, executions) = sample_executions();
+        let config = FeaturizerConfig {
+            feature_mode: FeatureMode::HashedOneHot,
+            ..FeaturizerConfig::exact()
+        };
+        let g = featurize_execution(db.catalog(), &executions[0], config);
+        for node in g.nodes.iter().filter(|n| n.kind == NodeKind::Table) {
+            // Statistics slots are zeroed in the ablation mode.
+            assert_eq!(&node.features[0..3], &[0.0, 0.0, 0.0]);
+            assert_eq!(node.features[3..].iter().sum::<f64>(), 1.0);
+        }
+    }
+
+    #[test]
+    fn featurize_plan_without_execution_uses_estimates() {
+        let (db, executions) = sample_executions();
+        let g = featurize_plan(db.catalog(), &executions[0].plan, FeaturizerConfig::exact());
+        assert!(g.runtime_secs.is_none());
+        let est = featurize_execution(db.catalog(), &executions[0], FeaturizerConfig::estimated());
+        // Plan-only featurization equals the estimated-cardinality variant.
+        assert_eq!(g.nodes, est.nodes);
+    }
+}

@@ -1,0 +1,362 @@
+//! Training, validation and few-shot fine-tuning of zero-shot cost models.
+
+use crate::features::{featurize_execution, FeaturizerConfig, PlanGraph};
+use crate::model::{ModelConfig, ZeroShotCostModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use zsdb_engine::QueryExecution;
+use zsdb_nn::{median, q_error, Adam};
+use zsdb_storage::Database;
+
+/// Hyper-parameters of the training loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Number of passes over the training corpus.
+    pub epochs: usize,
+    /// Mini-batch size (gradient accumulation before an Adam step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Fraction of training *databases* held out for validation (0 = no
+    /// validation split).
+    pub validation_fraction: f64,
+    /// Shuffling / initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            epochs: 40,
+            batch_size: 16,
+            learning_rate: 1.5e-3,
+            validation_fraction: 0.1,
+            seed: 13,
+        }
+    }
+}
+
+impl TrainingConfig {
+    /// Fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        TrainingConfig {
+            epochs: 60,
+            batch_size: 8,
+            validation_fraction: 0.0,
+            ..TrainingConfig::default()
+        }
+    }
+}
+
+/// A trained zero-shot model together with its featurizer configuration and
+/// training statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// The trained model.
+    pub model: ZeroShotCostModel,
+    /// Featurizer configuration used during training (and required at
+    /// inference time).
+    pub featurizer: FeaturizerConfig,
+    /// Median training Q-error after the last epoch.
+    pub final_train_qerror: f64,
+    /// Median validation Q-error after the last epoch (`None` when no
+    /// validation split was used).
+    pub final_validation_qerror: Option<f64>,
+    /// Per-epoch median training Q-errors (training curve).
+    pub training_curve: Vec<f64>,
+}
+
+impl TrainedModel {
+    /// Predict the runtime (seconds) of a featurized plan.
+    pub fn predict(&self, graph: &PlanGraph) -> f64 {
+        self.model.predict(graph)
+    }
+
+    /// Serialize to JSON (for persistence).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trained model serialization cannot fail")
+    }
+
+    /// Restore from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Trainer for zero-shot cost models.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    model_config: ModelConfig,
+    training_config: TrainingConfig,
+    featurizer: FeaturizerConfig,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    pub fn new(
+        model_config: ModelConfig,
+        training_config: TrainingConfig,
+        featurizer: FeaturizerConfig,
+    ) -> Self {
+        Trainer {
+            model_config,
+            training_config,
+            featurizer,
+        }
+    }
+
+    /// Trainer with default hyper-parameters and exact-cardinality
+    /// featurization.
+    pub fn with_defaults() -> Self {
+        Trainer::new(
+            ModelConfig::default(),
+            TrainingConfig::default(),
+            FeaturizerConfig::exact(),
+        )
+    }
+
+    /// Featurize a multi-database corpus of executions.
+    ///
+    /// Every execution is featurized against the catalog of the database it
+    /// ran on — `catalogs` maps database names to catalogs via the supplied
+    /// lookup closure.
+    pub fn featurize_corpus<'a, F>(&self, corpus: &[QueryExecution], mut catalog_of: F) -> Vec<PlanGraph>
+    where
+        F: FnMut(&str) -> &'a zsdb_catalog::SchemaCatalog,
+    {
+        corpus
+            .iter()
+            .map(|e| featurize_execution(catalog_of(&e.database), e, self.featurizer))
+            .collect()
+    }
+
+    /// Train a model on already-featurized plan graphs (each must carry its
+    /// runtime label).  Graphs whose `database` is in the validation split
+    /// are evaluated but not trained on.
+    pub fn train(&self, graphs: &[PlanGraph]) -> TrainedModel {
+        assert!(
+            graphs.iter().all(|g| g.runtime_secs.is_some()),
+            "all training graphs must carry runtime labels"
+        );
+        let cfg = &self.training_config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Split into train / validation by index (graphs from the same
+        // database are contiguous in collection order, so a tail split
+        // approximates a database-level holdout).
+        let val_len = ((graphs.len() as f64) * cfg.validation_fraction) as usize;
+        let (train_graphs, val_graphs) = graphs.split_at(graphs.len() - val_len);
+
+        let mut model = ZeroShotCostModel::new(self.model_config);
+        let mut adam = Adam::new(cfg.learning_rate);
+        let mut indices: Vec<usize> = (0..train_graphs.len()).collect();
+        let mut training_curve = Vec::with_capacity(cfg.epochs);
+
+        for _epoch in 0..cfg.epochs {
+            indices.shuffle(&mut rng);
+            let mut batch_count = 0usize;
+            model.zero_grad();
+            for &i in &indices {
+                let g = &train_graphs[i];
+                model.accumulate_gradients(g, g.runtime_secs.expect("labelled"));
+                batch_count += 1;
+                if batch_count == cfg.batch_size {
+                    model.apply_step(&mut adam);
+                    model.zero_grad();
+                    batch_count = 0;
+                }
+            }
+            if batch_count > 0 {
+                model.apply_step(&mut adam);
+                model.zero_grad();
+            }
+            training_curve.push(median_q_error(&model, train_graphs));
+        }
+
+        let final_train_qerror = *training_curve.last().unwrap_or(&f64::NAN);
+        let final_validation_qerror = if val_graphs.is_empty() {
+            None
+        } else {
+            Some(median_q_error(&model, val_graphs))
+        };
+        TrainedModel {
+            model,
+            featurizer: self.featurizer,
+            final_train_qerror,
+            final_validation_qerror,
+            training_curve,
+        }
+    }
+}
+
+/// Median Q-error of a model over labelled graphs.
+pub fn median_q_error(model: &ZeroShotCostModel, graphs: &[PlanGraph]) -> f64 {
+    let qs: Vec<f64> = graphs
+        .iter()
+        .filter_map(|g| g.runtime_secs.map(|rt| q_error(model.predict(g), rt)))
+        .collect();
+    median(&qs)
+}
+
+/// Few-shot fine-tuning: continue training an existing zero-shot model with
+/// a small number of executions from the (previously unseen) target
+/// database.  Returns a new `TrainedModel`; the original is not modified.
+pub fn few_shot_finetune(
+    trained: &TrainedModel,
+    target_db: &Database,
+    executions: &[QueryExecution],
+    epochs: usize,
+    learning_rate: f64,
+) -> TrainedModel {
+    let graphs: Vec<PlanGraph> = executions
+        .iter()
+        .map(|e| featurize_execution(target_db.catalog(), e, trained.featurizer))
+        .collect();
+    let mut model = trained.model.clone();
+    let mut adam = Adam::new(learning_rate);
+    for _ in 0..epochs {
+        model.zero_grad();
+        for g in &graphs {
+            model.accumulate_gradients(g, g.runtime_secs.expect("labelled"));
+        }
+        model.apply_step(&mut adam);
+    }
+    let final_train_qerror = median_q_error(&model, &graphs);
+    TrainedModel {
+        model,
+        featurizer: trained.featurizer,
+        final_train_qerror,
+        final_validation_qerror: None,
+        training_curve: vec![final_train_qerror],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
+    use zsdb_catalog::presets;
+    use zsdb_query::WorkloadSpec;
+
+    fn featurized_tiny_corpus() -> Vec<PlanGraph> {
+        let config = TrainingDataConfig::tiny();
+        let corpus = collect_training_corpus(&config);
+        // Rebuild the catalogs the corpus was generated from.
+        let schemas = zsdb_catalog::SchemaGenerator::new(config.schema_config.clone())
+            .generate_corpus("train", config.num_databases, config.seed);
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig::tiny(),
+            FeaturizerConfig::exact(),
+        );
+        trainer.featurize_corpus(&corpus, |name| {
+            schemas
+                .iter()
+                .find(|s| s.name == name)
+                .expect("catalog for corpus database")
+        })
+    }
+
+    #[test]
+    fn training_reduces_qerror() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig::tiny(),
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+        let first = trained.training_curve.first().copied().unwrap();
+        let last = trained.final_train_qerror;
+        assert!(last < first, "q-error should improve: {first} -> {last}");
+        assert!(last < 2.5, "final training q-error too high: {last}");
+    }
+
+    #[test]
+    fn trained_model_generalizes_to_unseen_database() {
+        // Train on the tiny synthetic corpus, evaluate on the IMDB-like
+        // database the model has never seen.  Zero-shot predictions should
+        // be far better than a naive constant predictor.
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig::tiny(),
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+
+        let imdb = Database::generate(presets::imdb_like(0.02), 42);
+        let eval_execs =
+            collect_for_database(&imdb, &WorkloadSpec::paper_training(), 30, 77);
+        let eval_graphs: Vec<PlanGraph> = eval_execs
+            .iter()
+            .map(|e| featurize_execution(imdb.catalog(), e, trained.featurizer))
+            .collect();
+        let zero_shot_q = median_q_error(&trained.model, &eval_graphs);
+
+        // Naive baseline: always predict the mean training runtime.
+        let mean_runtime = graphs
+            .iter()
+            .filter_map(|g| g.runtime_secs)
+            .sum::<f64>()
+            / graphs.len() as f64;
+        let naive_q = median(
+            &eval_execs
+                .iter()
+                .map(|e| q_error(mean_runtime, e.runtime_secs))
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            zero_shot_q < naive_q,
+            "zero-shot {zero_shot_q} should beat naive {naive_q}"
+        );
+        assert!(zero_shot_q < 5.0, "zero-shot median q-error {zero_shot_q}");
+    }
+
+    #[test]
+    fn few_shot_improves_on_target_database() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig::tiny(),
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+
+        let imdb = Database::generate(presets::imdb_like(0.02), 42);
+        let target_execs =
+            collect_for_database(&imdb, &WorkloadSpec::paper_training(), 40, 5);
+        let (finetune_set, holdout) = target_execs.split_at(25);
+
+        let holdout_graphs: Vec<PlanGraph> = holdout
+            .iter()
+            .map(|e| featurize_execution(imdb.catalog(), e, trained.featurizer))
+            .collect();
+        let before = median_q_error(&trained.model, &holdout_graphs);
+        let finetuned = few_shot_finetune(&trained, &imdb, finetune_set, 30, 1e-3);
+        let after = median_q_error(&finetuned.model, &holdout_graphs);
+        assert!(
+            after <= before * 1.15,
+            "few-shot should not make things much worse: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn trained_model_serialization_roundtrip() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+        let json = trained.to_json();
+        let restored = TrainedModel::from_json(&json).unwrap();
+        assert!((restored.predict(&graphs[0]) - trained.predict(&graphs[0])).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,75 @@
+//! Engine configuration ("knobs").
+//!
+//! The cost constants mirror PostgreSQL's planner parameters; the memory
+//! budget plays the role of `work_mem` and drives the spill behaviour of
+//! the runtime simulator.  Exposing them as a struct keeps the door open
+//! for the knob-tuning extension discussed in Section 4.1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Planner and execution configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Cost of reading one page sequentially (planner units).
+    pub seq_page_cost: f64,
+    /// Cost of reading one page randomly (planner units).
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple.
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of evaluating one operator/predicate.
+    pub cpu_operator_cost: f64,
+    /// CPU cost of processing one index entry.
+    pub cpu_index_tuple_cost: f64,
+    /// Memory budget per operator in bytes (`work_mem`); hash tables larger
+    /// than this are considered spilled by the runtime simulator.
+    pub work_mem_bytes: u64,
+    /// Whether the optimizer may pick index scans.
+    pub enable_index_scan: bool,
+    /// Whether the optimizer may pick nested-loop joins.
+    pub enable_nested_loop: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_operator_cost: 0.0025,
+            cpu_index_tuple_cost: 0.005,
+            work_mem_bytes: 4 * 1024 * 1024,
+            enable_index_scan: true,
+            enable_nested_loop: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with index scans disabled (used to contrast what-if
+    /// scenarios).
+    pub fn without_indexes(mut self) -> Self {
+        self.enable_index_scan = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_postgres() {
+        let c = EngineConfig::default();
+        assert_eq!(c.seq_page_cost, 1.0);
+        assert_eq!(c.random_page_cost, 4.0);
+        assert!(c.enable_index_scan);
+        assert!(c.work_mem_bytes > 0);
+    }
+
+    #[test]
+    fn without_indexes_flips_flag() {
+        let c = EngineConfig::default().without_indexes();
+        assert!(!c.enable_index_scan);
+        assert!(c.enable_nested_loop);
+    }
+}

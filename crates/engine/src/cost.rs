@@ -1,0 +1,148 @@
+//! Classical optimizer cost model.
+//!
+//! The formulas follow PostgreSQL's planner closely enough that the "Scaled
+//! Optimizer Cost" baseline of the paper (a linear model mapping planner
+//! cost to runtime) is meaningful: sequential pages, random pages, per-tuple
+//! CPU and per-operator CPU terms.  These costs drive plan selection in the
+//! [`crate::Optimizer`] and are also recorded on every plan node so learned
+//! models can use them as features if desired.
+
+use crate::config::EngineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Cost model over an [`EngineConfig`]'s planner constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    config: EngineConfig,
+}
+
+impl CostModel {
+    /// Create a cost model from planner constants.
+    pub fn new(config: EngineConfig) -> Self {
+        CostModel { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cost of a sequential scan over `pages` pages producing `rows` tuples
+    /// with `num_predicates` predicates evaluated per tuple.
+    pub fn seq_scan(&self, pages: f64, rows: f64, num_predicates: usize) -> f64 {
+        let c = &self.config;
+        pages * c.seq_page_cost
+            + rows * c.cpu_tuple_cost
+            + rows * num_predicates as f64 * c.cpu_operator_cost
+    }
+
+    /// Cost of an index scan returning `matched_rows` of a table with
+    /// `table_rows` rows over `table_pages` heap pages, via an index of the
+    /// given height, with `num_residual` residual predicates.
+    pub fn index_scan(
+        &self,
+        index_height: f64,
+        matched_rows: f64,
+        table_rows: f64,
+        table_pages: f64,
+        num_residual: usize,
+    ) -> f64 {
+        let c = &self.config;
+        let selectivity = if table_rows > 0.0 {
+            (matched_rows / table_rows).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // Heap fetches: uncorrelated index order → up to one random page per
+        // matched row, capped at touching every heap page once.
+        let heap_pages = (matched_rows).min(table_pages.max(1.0) * selectivity.max(1e-3) + 1.0);
+        index_height * c.random_page_cost
+            + matched_rows * c.cpu_index_tuple_cost
+            + heap_pages * c.random_page_cost
+            + matched_rows * c.cpu_tuple_cost
+            + matched_rows * num_residual as f64 * c.cpu_operator_cost
+    }
+
+    /// Incremental cost of a hash join with the given input/output sizes
+    /// (child costs are added by the caller).
+    pub fn hash_join(&self, build_rows: f64, probe_rows: f64, output_rows: f64) -> f64 {
+        let c = &self.config;
+        // Building the table costs ~1.5 operator evaluations per tuple
+        // (hashing + insertion), probing one hash evaluation per tuple.
+        build_rows * c.cpu_operator_cost * 1.5
+            + probe_rows * c.cpu_operator_cost
+            + output_rows * c.cpu_tuple_cost
+    }
+
+    /// Incremental cost of a nested-loop join.
+    pub fn nested_loop_join(&self, outer_rows: f64, inner_rows: f64, output_rows: f64) -> f64 {
+        let c = &self.config;
+        outer_rows * inner_rows * c.cpu_operator_cost + output_rows * c.cpu_tuple_cost
+    }
+
+    /// Incremental cost of scalar aggregation.
+    pub fn aggregate(&self, input_rows: f64, num_aggregates: usize) -> f64 {
+        let c = &self.config;
+        input_rows * num_aggregates.max(1) as f64 * c.cpu_operator_cost + c.cpu_tuple_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(EngineConfig::default())
+    }
+
+    #[test]
+    fn seq_scan_scales_with_pages_and_rows() {
+        let m = model();
+        let small = m.seq_scan(10.0, 1_000.0, 1);
+        let large = m.seq_scan(100.0, 10_000.0, 1);
+        assert!(large > small * 5.0);
+    }
+
+    #[test]
+    fn index_scan_beats_seq_scan_for_selective_predicates() {
+        let m = model();
+        let table_rows = 1_000_000.0;
+        let table_pages = 10_000.0;
+        let seq = m.seq_scan(table_pages, table_rows, 1);
+        let idx = m.index_scan(3.0, 100.0, table_rows, table_pages, 0);
+        assert!(idx < seq, "selective index scan should win: {idx} vs {seq}");
+    }
+
+    #[test]
+    fn seq_scan_beats_index_scan_for_unselective_predicates() {
+        let m = model();
+        let table_rows = 100_000.0;
+        let table_pages = 1_000.0;
+        let seq = m.seq_scan(table_pages, table_rows, 1);
+        let idx = m.index_scan(3.0, 90_000.0, table_rows, table_pages, 1);
+        assert!(seq < idx, "unselective index scan should lose: {seq} vs {idx}");
+    }
+
+    #[test]
+    fn hash_join_beats_nested_loop_for_large_inputs() {
+        let m = model();
+        let hash = m.hash_join(10_000.0, 100_000.0, 100_000.0);
+        let nl = m.nested_loop_join(10_000.0, 100_000.0, 100_000.0);
+        assert!(hash < nl);
+    }
+
+    #[test]
+    fn nested_loop_wins_for_tiny_inner() {
+        let m = model();
+        let hash = m.hash_join(2.0, 10.0, 10.0);
+        let nl = m.nested_loop_join(10.0, 2.0, 10.0);
+        assert!(nl <= hash * 2.0, "nl {nl} should be competitive with hash {hash}");
+    }
+
+    #[test]
+    fn aggregate_cost_is_positive_and_monotone() {
+        let m = model();
+        assert!(m.aggregate(0.0, 1) > 0.0);
+        assert!(m.aggregate(1_000.0, 3) > m.aggregate(1_000.0, 1));
+    }
+}

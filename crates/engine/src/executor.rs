@@ -1,0 +1,650 @@
+//! Plan execution with work accounting.
+//!
+//! The executor evaluates a physical plan against the column store and
+//! records, per operator, both the *true* output cardinality and a set of
+//! [`WorkMetrics`] (tuples, pages, probes, comparisons, bytes).  True
+//! cardinalities feed the zero-shot model's "exact cardinalities" variant;
+//! the work metrics feed the runtime simulator.
+
+use crate::physical::{PhysOperator, PhysOperatorKind, PlanNode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use zsdb_catalog::{ColumnId, ColumnRef, TableId, Value, PAGE_SIZE_BYTES};
+use zsdb_query::{AggFunc, Aggregate, Predicate};
+use zsdb_storage::Database;
+
+/// Work performed by one operator during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkMetrics {
+    /// Tuples read from children (or from the base table for scans).
+    pub input_tuples: u64,
+    /// Tuples produced.
+    pub output_tuples: u64,
+    /// Heap pages read sequentially.
+    pub pages_seq: u64,
+    /// Pages read with random access (index pages and heap fetches).
+    pub pages_random: u64,
+    /// Index entries touched.
+    pub index_entries: u64,
+    /// Tuples inserted into a hash table.
+    pub hash_build_tuples: u64,
+    /// Hash table probes performed.
+    pub hash_probe_tuples: u64,
+    /// Key comparisons (nested-loop joins).
+    pub comparisons: u64,
+    /// Predicate evaluations.
+    pub predicate_evals: u64,
+    /// Bytes held in the operator's hash table / state.
+    pub build_bytes: u64,
+    /// Bytes of produced tuples.
+    pub output_bytes: u64,
+}
+
+impl WorkMetrics {
+    /// Element-wise sum of two work metrics (used for aggregating over a
+    /// plan or a workload).
+    pub fn add(&self, other: &WorkMetrics) -> WorkMetrics {
+        WorkMetrics {
+            input_tuples: self.input_tuples + other.input_tuples,
+            output_tuples: self.output_tuples + other.output_tuples,
+            pages_seq: self.pages_seq + other.pages_seq,
+            pages_random: self.pages_random + other.pages_random,
+            index_entries: self.index_entries + other.index_entries,
+            hash_build_tuples: self.hash_build_tuples + other.hash_build_tuples,
+            hash_probe_tuples: self.hash_probe_tuples + other.hash_probe_tuples,
+            comparisons: self.comparisons + other.comparisons,
+            predicate_evals: self.predicate_evals + other.predicate_evals,
+            build_bytes: self.build_bytes + other.build_bytes,
+            output_bytes: self.output_bytes + other.output_bytes,
+        }
+    }
+}
+
+/// A plan node annotated with execution results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutedNode {
+    /// Operator kind.
+    pub kind: PhysOperatorKind,
+    /// Optimizer-estimated cardinality (copied from the plan).
+    pub est_cardinality: f64,
+    /// True output cardinality observed during execution.
+    pub actual_cardinality: u64,
+    /// Output tuple width in bytes (copied from the plan).
+    pub output_width: f64,
+    /// Work performed by this operator alone (not including children).
+    pub work: WorkMetrics,
+    /// Executed children, in the same order as the plan's children.
+    pub children: Vec<ExecutedNode>,
+}
+
+impl ExecutedNode {
+    /// Total work of the subtree.
+    pub fn total_work(&self) -> WorkMetrics {
+        self.children
+            .iter()
+            .fold(self.work, |acc, c| acc.add(&c.total_work()))
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ExecutedNode::size).sum::<usize>()
+    }
+
+    /// Pre-order traversal of the subtree.
+    pub fn iter(&self) -> Vec<&ExecutedNode> {
+        let mut nodes = vec![self];
+        let mut i = 0;
+        while i < nodes.len() {
+            let node = nodes[i];
+            nodes.extend(node.children.iter());
+            i += 1;
+        }
+        nodes
+    }
+}
+
+/// Result of executing a plan: aggregate values plus the executed tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// One value per aggregate in the plan's root `Aggregate` operator
+    /// (NULL when the input was empty for value aggregates).
+    pub aggregates: Vec<Value>,
+    /// The executed plan with true cardinalities and work metrics.
+    pub root: ExecutedNode,
+}
+
+/// An intermediate relation flowing between operators.
+struct Relation {
+    columns: Vec<ColumnRef>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    fn position(&self, column: ColumnRef) -> usize {
+        self.columns
+            .iter()
+            .position(|c| *c == column)
+            .unwrap_or_else(|| panic!("column {column} not present in intermediate relation"))
+    }
+
+    fn width_bytes(&self) -> u64 {
+        self.columns.len() as u64 * 8
+    }
+}
+
+/// Plan executor over one database.
+pub struct Executor<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor for the given database.
+    pub fn new(db: &'a Database) -> Self {
+        Executor { db }
+    }
+
+    /// Execute a physical plan and return aggregate values plus the
+    /// executed tree.  The plan's root must be an `Aggregate` operator (the
+    /// optimizer always produces one).
+    pub fn execute(&self, plan: &PlanNode) -> QueryResult {
+        let (relation, node) = self.exec_node(plan);
+        let aggregates = match &plan.op {
+            PhysOperator::Aggregate { .. } => {
+                // The aggregate values were computed by exec_node and stored
+                // in the single output row.
+                relation.rows.first().cloned().unwrap_or_default()
+            }
+            _ => Vec::new(),
+        };
+        QueryResult {
+            aggregates,
+            root: node,
+        }
+    }
+
+    fn exec_node(&self, plan: &PlanNode) -> (Relation, ExecutedNode) {
+        match &plan.op {
+            PhysOperator::SeqScan { table, predicates } => self.exec_seq_scan(plan, *table, predicates),
+            PhysOperator::IndexScan {
+                table,
+                index_column,
+                lo,
+                hi,
+                residual,
+            } => self.exec_index_scan(plan, *table, *index_column, *lo, *hi, residual),
+            PhysOperator::HashJoin {
+                build_key,
+                probe_key,
+            } => self.exec_hash_join(plan, *build_key, *probe_key),
+            PhysOperator::NestedLoopJoin {
+                outer_key,
+                inner_key,
+            } => self.exec_nested_loop(plan, *outer_key, *inner_key),
+            PhysOperator::Aggregate { aggregates } => self.exec_aggregate(plan, aggregates),
+        }
+    }
+
+    fn table_columns(&self, table: TableId) -> Vec<ColumnRef> {
+        (0..self.db.catalog().table(table).num_columns())
+            .map(|i| ColumnRef::new(table, ColumnId(i as u32)))
+            .collect()
+    }
+
+    fn exec_seq_scan(
+        &self,
+        plan: &PlanNode,
+        table: TableId,
+        predicates: &[Predicate],
+    ) -> (Relation, ExecutedNode) {
+        let data = self.db.table_data(table);
+        let meta = self.db.catalog().table(table);
+        let columns = self.table_columns(table);
+        let mut rows = Vec::new();
+        let mut predicate_evals = 0u64;
+        for row in 0..data.num_rows() {
+            let mut keep = true;
+            for p in predicates {
+                predicate_evals += 1;
+                if !p.matches(data.value(row, p.column.column)) {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                rows.push(data.row(row));
+            }
+        }
+        let relation = Relation { columns, rows };
+        let work = WorkMetrics {
+            input_tuples: data.num_rows() as u64,
+            output_tuples: relation.rows.len() as u64,
+            pages_seq: meta.num_pages(),
+            predicate_evals,
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::SeqScan,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: Vec::new(),
+        };
+        (relation, node)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_index_scan(
+        &self,
+        plan: &PlanNode,
+        table: TableId,
+        index_column: ColumnRef,
+        lo: Option<f64>,
+        hi: Option<f64>,
+        residual: &[Predicate],
+    ) -> (Relation, ExecutedNode) {
+        let index_id = self
+            .db
+            .index_on(index_column)
+            .unwrap_or_else(|| panic!("index scan requires a physical index on {index_column}"));
+        let index = self.db.index(index_id);
+        let data = self.db.table_data(table);
+        let meta = self.db.catalog().table(table);
+        let columns = self.table_columns(table);
+
+        let matched = index.range(lo, hi);
+        let mut rows = Vec::new();
+        let mut predicate_evals = 0u64;
+        for &row in &matched {
+            let row = row as usize;
+            let mut keep = true;
+            for p in residual {
+                predicate_evals += 1;
+                if !p.matches(data.value(row, p.column.column)) {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                rows.push(data.row(row));
+            }
+        }
+        let relation = Relation { columns, rows };
+        // Random pages: index descent + heap fetches, capping heap fetches
+        // at the table size (clustered access would not re-read pages, but
+        // our ordering is uncorrelated with heap order).
+        let heap_fetch_pages = (matched.len() as u64).min(meta.num_pages() * 4);
+        let work = WorkMetrics {
+            input_tuples: matched.len() as u64,
+            output_tuples: relation.rows.len() as u64,
+            pages_random: index.height() as u64 + heap_fetch_pages,
+            index_entries: matched.len() as u64,
+            predicate_evals,
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::IndexScan,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: Vec::new(),
+        };
+        (relation, node)
+    }
+
+    fn exec_hash_join(
+        &self,
+        plan: &PlanNode,
+        build_key: ColumnRef,
+        probe_key: ColumnRef,
+    ) -> (Relation, ExecutedNode) {
+        let (build_rel, build_node) = self.exec_node(&plan.children[0]);
+        let (probe_rel, probe_node) = self.exec_node(&plan.children[1]);
+
+        let build_pos = build_rel.position(build_key);
+        let probe_pos = probe_rel.position(probe_key);
+
+        let mut hash_table: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, row) in build_rel.rows.iter().enumerate() {
+            if let Some(key) = join_key(&row[build_pos]) {
+                hash_table.entry(key).or_default().push(i);
+            }
+        }
+
+        let mut columns = build_rel.columns.clone();
+        columns.extend(probe_rel.columns.iter().copied());
+        let mut rows = Vec::new();
+        for probe_row in &probe_rel.rows {
+            if let Some(key) = join_key(&probe_row[probe_pos]) {
+                if let Some(matches) = hash_table.get(&key) {
+                    for &build_idx in matches {
+                        let mut row = build_rel.rows[build_idx].clone();
+                        row.extend(probe_row.iter().copied());
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        let relation = Relation { columns, rows };
+        let build_bytes = build_rel.rows.len() as u64 * (build_rel.width_bytes() + 16);
+        let work = WorkMetrics {
+            input_tuples: (build_rel.rows.len() + probe_rel.rows.len()) as u64,
+            output_tuples: relation.rows.len() as u64,
+            hash_build_tuples: build_rel.rows.len() as u64,
+            hash_probe_tuples: probe_rel.rows.len() as u64,
+            build_bytes,
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::HashJoin,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: vec![build_node, probe_node],
+        };
+        (relation, node)
+    }
+
+    fn exec_nested_loop(
+        &self,
+        plan: &PlanNode,
+        outer_key: ColumnRef,
+        inner_key: ColumnRef,
+    ) -> (Relation, ExecutedNode) {
+        let (outer_rel, outer_node) = self.exec_node(&plan.children[0]);
+        let (inner_rel, inner_node) = self.exec_node(&plan.children[1]);
+
+        let outer_pos = outer_rel.position(outer_key);
+        let inner_pos = inner_rel.position(inner_key);
+
+        let mut columns = outer_rel.columns.clone();
+        columns.extend(inner_rel.columns.iter().copied());
+        let mut rows = Vec::new();
+        let mut comparisons = 0u64;
+        for outer_row in &outer_rel.rows {
+            for inner_row in &inner_rel.rows {
+                comparisons += 1;
+                let matches = match (join_key(&outer_row[outer_pos]), join_key(&inner_row[inner_pos]))
+                {
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                };
+                if matches {
+                    let mut row = outer_row.clone();
+                    row.extend(inner_row.iter().copied());
+                    rows.push(row);
+                }
+            }
+        }
+        let relation = Relation { columns, rows };
+        let work = WorkMetrics {
+            input_tuples: (outer_rel.rows.len() + inner_rel.rows.len()) as u64,
+            output_tuples: relation.rows.len() as u64,
+            comparisons,
+            build_bytes: inner_rel.rows.len() as u64 * inner_rel.width_bytes(),
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::NestedLoopJoin,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: vec![outer_node, inner_node],
+        };
+        (relation, node)
+    }
+
+    fn exec_aggregate(
+        &self,
+        plan: &PlanNode,
+        aggregates: &[Aggregate],
+    ) -> (Relation, ExecutedNode) {
+        let (input, child_node) = self.exec_node(&plan.children[0]);
+        let values: Vec<Value> = aggregates
+            .iter()
+            .map(|agg| compute_aggregate(&input, agg))
+            .collect();
+        let relation = Relation {
+            columns: Vec::new(),
+            rows: vec![values],
+        };
+        let work = WorkMetrics {
+            input_tuples: input.rows.len() as u64,
+            output_tuples: 1,
+            predicate_evals: input.rows.len() as u64 * aggregates.len() as u64,
+            output_bytes: 8 * aggregates.len() as u64,
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::Aggregate,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: 1,
+            output_width: plan.output_width,
+            work,
+            children: vec![child_node],
+        };
+        (relation, node)
+    }
+}
+
+/// Integer join key of a value (NULL → no key, floats are not join keys).
+fn join_key(value: &Value) -> Option<i64> {
+    match value {
+        Value::Int(v) => Some(*v),
+        Value::Cat(v) => Some(*v as i64),
+        Value::Bool(v) => Some(*v as i64),
+        Value::Float(_) | Value::Null => None,
+    }
+}
+
+fn compute_aggregate(input: &Relation, agg: &Aggregate) -> Value {
+    match agg.column {
+        None => Value::Int(input.rows.len() as i64),
+        Some(column) => {
+            let pos = input.position(column);
+            let values: Vec<f64> = input
+                .rows
+                .iter()
+                .filter_map(|row| row[pos].as_f64())
+                .collect();
+            if values.is_empty() {
+                return match agg.func {
+                    AggFunc::Count => Value::Int(0),
+                    _ => Value::Null,
+                };
+            }
+            match agg.func {
+                AggFunc::Count => Value::Int(values.len() as i64),
+                AggFunc::Sum => Value::Float(values.iter().sum()),
+                AggFunc::Avg => Value::Float(values.iter().sum::<f64>() / values.len() as f64),
+                AggFunc::Min => Value::Float(values.iter().copied().fold(f64::INFINITY, f64::min)),
+                AggFunc::Max => {
+                    Value::Float(values.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                }
+            }
+        }
+    }
+}
+
+/// Approximate number of pages a materialised relation of `rows` tuples of
+/// `width` bytes would occupy (helper shared with the runtime simulator).
+pub fn pages_for(rows: u64, width: f64) -> u64 {
+    let bytes = (rows as f64 * width).max(0.0) as u64;
+    bytes.div_ceil(PAGE_SIZE_BYTES).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::optimizer::Optimizer;
+    use zsdb_cardest::PostgresLikeEstimator;
+    use zsdb_catalog::presets;
+    use zsdb_query::{CmpOp, JoinCondition, Query, WorkloadGenerator};
+
+    fn imdb_db() -> Database {
+        Database::generate(presets::imdb_like(0.02), 5)
+    }
+
+    fn run(db: &Database, q: &Query) -> QueryResult {
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(db, EngineConfig::default(), &est);
+        let plan = optimizer.plan(q);
+        Executor::new(db).execute(&plan)
+    }
+
+    #[test]
+    fn count_star_on_single_table_matches_row_count() {
+        let db = imdb_db();
+        let (title, meta) = db.catalog().table_by_name("title").unwrap();
+        let result = run(&db, &Query::scan(title));
+        assert_eq!(result.aggregates[0], Value::Int(meta.num_tuples as i64));
+    }
+
+    #[test]
+    fn predicate_filtering_matches_brute_force() {
+        let db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let predicate = Predicate::new(year, CmpOp::Gt, Value::Int(2000));
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![predicate],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let result = run(&db, &q);
+        let column = db.table_data(title).column(year.column);
+        let expected = (0..column.len())
+            .filter(|&r| predicate.matches(column.get(r)))
+            .count() as i64;
+        assert_eq!(result.aggregates[0], Value::Int(expected));
+    }
+
+    #[test]
+    fn fk_join_count_matches_child_cardinality() {
+        // Every movie_companies row joins to exactly one title, so the join
+        // cardinality equals |movie_companies|.
+        let db = imdb_db();
+        let catalog = db.catalog();
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let (mc, mc_meta) = catalog.table_by_name("movie_companies").unwrap();
+        let title_id = catalog.resolve_column("title", "id").unwrap();
+        let movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let q = Query {
+            tables: vec![title, mc],
+            joins: vec![JoinCondition::new(movie_id, title_id)],
+            predicates: vec![],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let result = run(&db, &q);
+        assert_eq!(result.aggregates[0], Value::Int(mc_meta.num_tuples as i64));
+    }
+
+    #[test]
+    fn index_scan_and_seq_scan_agree() {
+        let mut db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let predicate = Predicate::new(year, CmpOp::Geq, Value::Int(2015));
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![predicate],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let without_index = run(&db, &q);
+        db.create_index(year);
+        let with_index = run(&db, &q);
+        assert_eq!(without_index.aggregates, with_index.aggregates);
+        // The indexed execution must actually use the index.
+        let kinds: Vec<PhysOperatorKind> =
+            with_index.root.iter().iter().map(|n| n.kind).collect();
+        assert!(kinds.contains(&PhysOperatorKind::IndexScan));
+    }
+
+    #[test]
+    fn actual_cardinalities_and_work_are_recorded() {
+        let db = imdb_db();
+        let workload = WorkloadGenerator::with_defaults().generate(db.catalog(), 20, 3);
+        for q in &workload {
+            let result = run(&db, q);
+            let root = &result.root;
+            assert_eq!(root.kind, PhysOperatorKind::Aggregate);
+            assert_eq!(root.actual_cardinality, 1);
+            let total = root.total_work();
+            assert!(total.input_tuples > 0);
+            assert!(total.output_bytes > 0);
+            // Scans must have read at least one page.
+            for node in root.iter() {
+                if node.kind == PhysOperatorKind::SeqScan {
+                    assert!(node.work.pages_seq > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_aggregate_computes_minimum() {
+        let db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![],
+            aggregates: vec![Aggregate::over(AggFunc::Min, year), Aggregate::count_star()],
+        };
+        let result = run(&db, &q);
+        let column = db.table_data(title).column(year.column);
+        let expected_min = (0..column.len())
+            .filter_map(|r| column.as_f64(r))
+            .fold(f64::INFINITY, f64::min);
+        match result.aggregates[0] {
+            Value::Float(v) => assert!((v - expected_min).abs() < 1e-9),
+            ref other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn work_metrics_add_componentwise() {
+        let a = WorkMetrics {
+            input_tuples: 1,
+            output_tuples: 2,
+            pages_seq: 3,
+            ..WorkMetrics::default()
+        };
+        let b = WorkMetrics {
+            input_tuples: 10,
+            comparisons: 5,
+            ..WorkMetrics::default()
+        };
+        let c = a.add(&b);
+        assert_eq!(c.input_tuples, 11);
+        assert_eq!(c.output_tuples, 2);
+        assert_eq!(c.pages_seq, 3);
+        assert_eq!(c.comparisons, 5);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0, 100.0), 1);
+        assert_eq!(pages_for(100, 100.0), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # zsdb-engine
+//!
+//! A single-node analytical query engine over the `zsdb-storage` column
+//! store: physical plans, a classical cost-based optimizer, an executor
+//! that records *work counters* and true per-operator cardinalities, and a
+//! runtime simulator that converts work into wall-clock-like runtimes.
+//!
+//! ## Why a simulator?
+//!
+//! The paper collects training data by running workloads on PostgreSQL and
+//! measuring real runtimes.  This workspace has no Postgres testbed, so the
+//! executor counts the work every operator performs (tuples scanned, pages
+//! read sequentially/randomly, hash builds and probes, comparisons, bytes
+//! materialised) and [`runtime::HardwareProfile`] maps that work to seconds
+//! using hidden per-operation constants, memory-hierarchy effects (hash
+//! tables spilling past the cache budget) and multiplicative noise.  The
+//! learned models never see the profile — they must infer the mapping from
+//! (plan structure, cardinalities, widths) to runtime, which is exactly the
+//! learning problem of the paper.
+//!
+//! The main entry point is [`runner::QueryRunner`], which optimizes,
+//! executes and times a logical query and returns a [`QueryExecution`] —
+//! the unit of training data for all learned cost models in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod executor;
+pub mod observed;
+pub mod optimizer;
+pub mod physical;
+pub mod runner;
+pub mod runtime;
+pub mod whatif;
+
+pub use config::EngineConfig;
+pub use cost::CostModel;
+pub use executor::{ExecutedNode, Executor, WorkMetrics};
+pub use observed::QueryExecution;
+pub use optimizer::Optimizer;
+pub use physical::{PhysOperator, PhysOperatorKind, PlanNode};
+pub use runner::QueryRunner;
+pub use runtime::HardwareProfile;
+pub use whatif::WhatIfPlanner;

@@ -1,0 +1,85 @@
+//! Observed query executions — the unit of training data.
+
+use crate::executor::ExecutedNode;
+use crate::physical::PlanNode;
+use serde::{Deserialize, Serialize};
+use zsdb_catalog::Value;
+use zsdb_query::Query;
+
+/// One executed query with everything the learned cost models may need:
+/// the logical query, the chosen physical plan (with estimates), the
+/// executed tree (with true cardinalities and work) and the simulated
+/// runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryExecution {
+    /// Name of the database the query ran on (diagnostics only; never used
+    /// as a model feature).
+    pub database: String,
+    /// The logical query.
+    pub query: Query,
+    /// The optimizer's physical plan with estimated cardinalities/costs.
+    pub plan: PlanNode,
+    /// The executed plan with true cardinalities and work counters.
+    pub executed: ExecutedNode,
+    /// Aggregate results (for correctness checks in tests/examples).
+    pub aggregates: Vec<Value>,
+    /// Simulated runtime in seconds — the regression target.
+    pub runtime_secs: f64,
+}
+
+impl QueryExecution {
+    /// The optimizer's total estimated cost of the plan (planner units),
+    /// used by the "Scaled Optimizer Cost" baseline.
+    pub fn optimizer_cost(&self) -> f64 {
+        self.plan.est_cost
+    }
+
+    /// Number of physical operators in the plan.
+    pub fn num_operators(&self) -> usize {
+        self.plan.size()
+    }
+
+    /// Largest true intermediate cardinality in the executed plan.
+    pub fn max_true_cardinality(&self) -> u64 {
+        self.executed
+            .iter()
+            .iter()
+            .map(|n| n.actual_cardinality)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::runner::QueryRunner;
+    use crate::runtime::HardwareProfile;
+    use zsdb_catalog::presets;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    #[test]
+    fn execution_exposes_cost_and_size() {
+        let db = Database::generate(presets::imdb_like(0.02), 1);
+        let runner = QueryRunner::new(&db, EngineConfig::default(), HardwareProfile::default());
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 3, 0);
+        let execution = runner.run(&queries[0], 0);
+        assert!(execution.optimizer_cost() > 0.0);
+        assert!(execution.num_operators() >= 2);
+        assert!(execution.runtime_secs > 0.0);
+        assert_eq!(execution.database, "imdb_like");
+    }
+
+    #[test]
+    fn executions_serialize_roundtrip() {
+        let db = Database::generate(presets::imdb_like(0.02), 1);
+        let runner = QueryRunner::new(&db, EngineConfig::default(), HardwareProfile::default());
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 1, 5);
+        let execution = runner.run(&queries[0], 0);
+        let json = serde_json::to_string(&execution).expect("serialize");
+        let back: QueryExecution = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(execution, back);
+    }
+}

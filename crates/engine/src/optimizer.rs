@@ -1,0 +1,498 @@
+//! Cost-based query optimizer.
+//!
+//! A textbook System-R style optimizer: access-path selection per base
+//! table (sequential vs. index scan), dynamic programming over connected
+//! table subsets for the join order (bushy plans allowed), and physical
+//! join selection (hash vs. nested loop) by estimated cost.  Cardinalities
+//! come from a pluggable [`CardinalityEstimator`], which is how the
+//! classical estimates reach both the plans and, later, the zero-shot
+//! featurization.
+
+use crate::config::EngineConfig;
+use crate::cost::CostModel;
+use crate::physical::{PhysOperator, PlanNode};
+use zsdb_cardest::CardinalityEstimator;
+use zsdb_catalog::{ColumnRef, TableId};
+use zsdb_query::{CmpOp, Predicate, Query};
+use zsdb_storage::Database;
+
+/// Cost-based optimizer over one database.
+pub struct Optimizer<'a, E: CardinalityEstimator> {
+    db: &'a Database,
+    estimator: &'a E,
+    cost: CostModel,
+    /// Extra columns to treat as indexed even though no physical index
+    /// exists (hypothetical indexes for what-if planning).
+    hypothetical_indexes: Vec<ColumnRef>,
+}
+
+impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
+    /// Create an optimizer for `db` with the given configuration and
+    /// cardinality estimator.
+    pub fn new(db: &'a Database, config: EngineConfig, estimator: &'a E) -> Self {
+        Optimizer {
+            db,
+            estimator,
+            cost: CostModel::new(config),
+            hypothetical_indexes: Vec::new(),
+        }
+    }
+
+    /// Register a hypothetical index on `column`: the optimizer will plan
+    /// as if that index existed ("what-if" mode).
+    pub fn add_hypothetical_index(&mut self, column: ColumnRef) {
+        if !self.hypothetical_indexes.contains(&column) {
+            self.hypothetical_indexes.push(column);
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Produce the cheapest physical plan for `query`.
+    ///
+    /// The query must be valid for the database's catalog (checked by
+    /// debug assertion) and reference at most 20 tables (bitmask limit,
+    /// far above the 5-way joins used in the workloads).
+    pub fn plan(&self, query: &Query) -> PlanNode {
+        debug_assert!(query.validate(self.db.catalog()).is_ok());
+        assert!(
+            query.tables.len() <= 20,
+            "join order DP supports at most 20 tables"
+        );
+
+        let n = query.tables.len();
+        // best[mask] = cheapest plan joining exactly the tables in `mask`.
+        let mut best: Vec<Option<PlanNode>> = vec![None; 1 << n];
+
+        for (i, &table) in query.tables.iter().enumerate() {
+            best[1 << i] = Some(self.best_access_path(query, table));
+        }
+
+        for mask in 1usize..(1 << n) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let mut best_for_mask: Option<PlanNode> = None;
+            // Enumerate proper non-empty subsets of `mask`.
+            let mut left = (mask - 1) & mask;
+            while left > 0 {
+                let right = mask ^ left;
+                if left < right {
+                    // Each split is considered once; build/probe choice is
+                    // made inside `join_plans`.
+                    left = (left - 1) & mask;
+                    continue;
+                }
+                if let (Some(lp), Some(rp)) = (&best[left], &best[right]) {
+                    if let Some(edge) = self.connecting_edge(query, left, right) {
+                        let candidate = self.join_plans(query, mask, lp.clone(), rp.clone(), edge);
+                        if best_for_mask
+                            .as_ref()
+                            .map(|b| candidate.est_cost < b.est_cost)
+                            .unwrap_or(true)
+                        {
+                            best_for_mask = Some(candidate);
+                        }
+                    }
+                }
+                left = (left - 1) & mask;
+            }
+            best[mask] = best_for_mask;
+        }
+
+        let join_plan = best[(1 << n) - 1]
+            .clone()
+            .expect("query join graph is connected, so a full plan exists");
+
+        // Scalar aggregation on top.
+        let agg_cost = self
+            .cost
+            .aggregate(join_plan.est_cardinality, query.aggregates.len());
+        PlanNode {
+            est_cardinality: 1.0,
+            est_cost: join_plan.est_cost + agg_cost,
+            output_width: 8.0 * query.aggregates.len().max(1) as f64,
+            op: PhysOperator::Aggregate {
+                aggregates: query.aggregates.clone(),
+            },
+            children: vec![join_plan],
+        }
+    }
+
+    /// Find a join condition connecting the two table subsets, if any.
+    fn connecting_edge(
+        &self,
+        query: &Query,
+        left_mask: usize,
+        right_mask: usize,
+    ) -> Option<zsdb_query::JoinCondition> {
+        for join in &query.joins {
+            let li = query.tables.iter().position(|t| *t == join.left.table)?;
+            let ri = query.tables.iter().position(|t| *t == join.right.table)?;
+            let l_in_left = left_mask & (1 << li) != 0;
+            let r_in_left = left_mask & (1 << ri) != 0;
+            let l_in_right = right_mask & (1 << li) != 0;
+            let r_in_right = right_mask & (1 << ri) != 0;
+            if (l_in_left && r_in_right) || (l_in_right && r_in_left) {
+                return Some(*join);
+            }
+        }
+        None
+    }
+
+    /// Cheapest physical join of two sub-plans along `edge`.
+    fn join_plans(
+        &self,
+        query: &Query,
+        mask: usize,
+        left: PlanNode,
+        right: PlanNode,
+        edge: zsdb_query::JoinCondition,
+    ) -> PlanNode {
+        let tables: Vec<TableId> = query
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        let out_card = self.estimator.subquery_cardinality(query, &tables).max(1.0);
+        let out_width = left.output_width + right.output_width;
+
+        // Keys per side: the edge column that belongs to a table scanned in
+        // that subtree.
+        let left_tables = left.scanned_tables();
+        let (left_key, right_key) = if left_tables.contains(&edge.left.table) {
+            (edge.left, edge.right)
+        } else {
+            (edge.right, edge.left)
+        };
+
+        // Hash join: build on the smaller side.
+        let (build, probe, build_key, probe_key) =
+            if left.est_cardinality <= right.est_cardinality {
+                (left.clone(), right.clone(), left_key, right_key)
+            } else {
+                (right.clone(), left.clone(), right_key, left_key)
+            };
+        let hash_cost = build.est_cost
+            + probe.est_cost
+            + self
+                .cost
+                .hash_join(build.est_cardinality, probe.est_cardinality, out_card);
+        let hash_plan = PlanNode {
+            est_cardinality: out_card,
+            est_cost: hash_cost,
+            output_width: out_width,
+            op: PhysOperator::HashJoin {
+                build_key,
+                probe_key,
+            },
+            children: vec![build, probe],
+        };
+
+        if !self.cost.config().enable_nested_loop {
+            return hash_plan;
+        }
+
+        // Nested loop: outer = larger side, inner = smaller side (the inner
+        // is materialised once by our executor).
+        let (outer, inner, outer_key, inner_key) =
+            if left.est_cardinality >= right.est_cardinality {
+                (left, right, left_key, right_key)
+            } else {
+                (right, left, right_key, left_key)
+            };
+        let nl_cost = outer.est_cost
+            + inner.est_cost
+            + self
+                .cost
+                .nested_loop_join(outer.est_cardinality, inner.est_cardinality, out_card);
+        if nl_cost < hash_plan.est_cost {
+            PlanNode {
+                est_cardinality: out_card,
+                est_cost: nl_cost,
+                output_width: out_width,
+                op: PhysOperator::NestedLoopJoin {
+                    outer_key,
+                    inner_key,
+                },
+                children: vec![outer, inner],
+            }
+        } else {
+            hash_plan
+        }
+    }
+
+    /// Cheapest access path (sequential or index scan) for one base table.
+    fn best_access_path(&self, query: &Query, table: TableId) -> PlanNode {
+        let meta = self.db.catalog().table(table);
+        let predicates: Vec<Predicate> = query
+            .predicates
+            .iter()
+            .filter(|p| p.column.table == table)
+            .copied()
+            .collect();
+        let est_rows = self
+            .estimator
+            .table_cardinality(table, &predicates)
+            .max(1.0);
+        let width = meta.row_width_bytes() as f64;
+        let pages = meta.num_pages() as f64;
+
+        let seq_cost = self.cost.seq_scan(pages, meta.num_tuples as f64, predicates.len());
+        let mut best = PlanNode::leaf(
+            PhysOperator::SeqScan {
+                table,
+                predicates: predicates.clone(),
+            },
+            est_rows,
+            seq_cost,
+            width,
+        );
+
+        if !self.cost.config().enable_index_scan {
+            return best;
+        }
+
+        // Try an index scan driven by each sargable predicate on an indexed
+        // (physically or hypothetically) column.
+        for (i, p) in predicates.iter().enumerate() {
+            if !self.has_index(p.column) {
+                continue;
+            }
+            let Some((lo, hi)) = sargable_range(p) else {
+                continue;
+            };
+            let driving_selectivity = self.estimator.predicate_selectivity(p).clamp(0.0, 1.0);
+            let matched = (meta.num_tuples as f64 * driving_selectivity).max(1.0);
+            let mut residual = predicates.clone();
+            residual.remove(i);
+            let height = self
+                .db
+                .index_on(p.column)
+                .map(|id| self.db.index(id).height() as f64)
+                .unwrap_or_else(|| hypothetical_index_height(meta.num_tuples));
+            let idx_cost = self.cost.index_scan(
+                height,
+                matched,
+                meta.num_tuples as f64,
+                pages,
+                residual.len(),
+            );
+            if idx_cost < best.est_cost {
+                best = PlanNode::leaf(
+                    PhysOperator::IndexScan {
+                        table,
+                        index_column: p.column,
+                        lo,
+                        hi,
+                        residual,
+                    },
+                    est_rows,
+                    idx_cost,
+                    width,
+                );
+            }
+        }
+        best
+    }
+
+    /// Whether a physical or hypothetical index exists on `column`.
+    fn has_index(&self, column: ColumnRef) -> bool {
+        self.db.index_on(column).is_some() || self.hypothetical_indexes.contains(&column)
+    }
+}
+
+/// Estimated height of a B-tree index over `rows` entries that does not
+/// physically exist yet (hypothetical what-if indexes): ~512 entries per
+/// leaf page and a fan-out of 256 for inner nodes, matching
+/// `zsdb_storage::BTreeIndex::height`.
+fn hypothetical_index_height(rows: u64) -> f64 {
+    let mut nodes = (rows as f64 / 512.0).ceil().max(1.0);
+    let mut height = 1.0;
+    while nodes > 1.0 {
+        nodes = (nodes / 256.0).ceil();
+        height += 1.0;
+    }
+    height
+}
+
+/// Key range implied by a sargable predicate, or `None` if the predicate
+/// cannot drive an index scan (`<>` cannot).
+fn sargable_range(p: &Predicate) -> Option<(Option<f64>, Option<f64>)> {
+    let v = p.value.as_f64()?;
+    match p.op {
+        CmpOp::Eq => Some((Some(v), Some(v))),
+        CmpOp::Lt | CmpOp::Leq => Some((None, Some(v))),
+        CmpOp::Gt | CmpOp::Geq => Some((Some(v), None)),
+        CmpOp::Neq => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysOperatorKind;
+    use zsdb_cardest::PostgresLikeEstimator;
+    use zsdb_catalog::{presets, Value};
+    use zsdb_query::{Aggregate, JoinCondition, WorkloadGenerator};
+
+    fn imdb_db() -> Database {
+        Database::generate(presets::imdb_like(0.02), 5)
+    }
+
+    fn two_way_query(db: &Database) -> Query {
+        let catalog = db.catalog();
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
+        let title_id = catalog.resolve_column("title", "id").unwrap();
+        let movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let year = catalog.resolve_column("title", "production_year").unwrap();
+        Query {
+            tables: vec![title, mc],
+            joins: vec![JoinCondition::new(movie_id, title_id)],
+            predicates: vec![Predicate::new(year, CmpOp::Gt, Value::Int(2010))],
+            aggregates: vec![Aggregate::count_star()],
+        }
+    }
+
+    #[test]
+    fn plans_have_aggregate_root_and_all_scans() {
+        let db = imdb_db();
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let workload = WorkloadGenerator::with_defaults().generate(db.catalog(), 50, 1);
+        for q in &workload {
+            let plan = optimizer.plan(q);
+            assert_eq!(plan.op.kind(), PhysOperatorKind::Aggregate);
+            assert_eq!(plan.scanned_tables().len(), q.num_tables());
+            assert!(plan.est_cost.is_finite() && plan.est_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn join_count_matches_tables() {
+        let db = imdb_db();
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let q = two_way_query(&db);
+        let plan = optimizer.plan(&q);
+        let joins = plan
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.op.kind(),
+                    PhysOperatorKind::HashJoin | PhysOperatorKind::NestedLoopJoin
+                )
+            })
+            .count();
+        assert_eq!(joins, 1);
+    }
+
+    #[test]
+    fn index_scan_chosen_for_selective_indexed_predicate() {
+        let mut db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        db.create_index(year);
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Gt, Value::Int(2018))],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let plan = optimizer.plan(&q);
+        let has_index_scan = plan
+            .iter()
+            .any(|n| n.op.kind() == PhysOperatorKind::IndexScan);
+        assert!(has_index_scan, "{}", plan.explain());
+    }
+
+    #[test]
+    fn hypothetical_index_changes_plan_without_physical_index() {
+        let db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Gt, Value::Int(2018))],
+            aggregates: vec![Aggregate::count_star()],
+        };
+
+        let plain = Optimizer::new(&db, EngineConfig::default(), &est).plan(&q);
+        assert!(plain.iter().all(|n| n.op.kind() != PhysOperatorKind::IndexScan));
+
+        let mut whatif = Optimizer::new(&db, EngineConfig::default(), &est);
+        whatif.add_hypothetical_index(year);
+        let plan = whatif.plan(&q);
+        assert!(plan.iter().any(|n| n.op.kind() == PhysOperatorKind::IndexScan));
+    }
+
+    #[test]
+    fn disabling_index_scans_forces_seq_scan() {
+        let mut db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        db.create_index(year);
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let config = EngineConfig::default().without_indexes();
+        let optimizer = Optimizer::new(&db, config, &est);
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Gt, Value::Int(2018))],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let plan = optimizer.plan(&q);
+        assert!(plan.iter().all(|n| n.op.kind() != PhysOperatorKind::IndexScan));
+    }
+
+    #[test]
+    fn five_way_joins_plan_quickly() {
+        let db = imdb_db();
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let spec = zsdb_query::WorkloadSpec {
+            max_tables: 5,
+            ..Default::default()
+        };
+        let workload = WorkloadGenerator::new(spec).generate(db.catalog(), 20, 9);
+        for q in workload.iter().filter(|q| q.num_tables() >= 4) {
+            let plan = optimizer.plan(q);
+            assert!(plan.size() >= q.num_tables() * 2 - 1);
+        }
+    }
+
+    #[test]
+    fn sargable_ranges() {
+        let db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let eq = Predicate::new(year, CmpOp::Eq, Value::Int(2000));
+        assert_eq!(sargable_range(&eq), Some((Some(2000.0), Some(2000.0))));
+        let lt = Predicate::new(year, CmpOp::Lt, Value::Int(2000));
+        assert_eq!(sargable_range(&lt), Some((None, Some(2000.0))));
+        let neq = Predicate::new(year, CmpOp::Neq, Value::Int(2000));
+        assert_eq!(sargable_range(&neq), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Runtime simulation: work counters → seconds.
+//!
+//! This is the workspace's substitute for measuring real PostgreSQL
+//! runtimes.  A [`HardwareProfile`] holds per-operation latencies, a cache
+//! budget and a spill penalty; given the [`ExecutedNode`] tree produced by
+//! the executor it computes a runtime that is a *nonlinear* function of the
+//! work: random pages cost much more than sequential ones, hash tables that
+//! exceed the cache budget slow every probe down, and every operator and
+//! query pays a fixed startup overhead.  A multiplicative log-normal noise
+//! term models run-to-run variance.
+//!
+//! Crucially the profile is *hidden* from all learned models — they only
+//! see plans, cardinalities and widths — so learning the mapping from plan
+//! features to runtime is a genuine regression problem, as in the paper.
+
+use crate::executor::ExecutedNode;
+use crate::physical::PhysOperatorKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation latency constants of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Microseconds to read one page sequentially.
+    pub seq_page_us: f64,
+    /// Microseconds to read one page with random access.
+    pub random_page_us: f64,
+    /// Microseconds of CPU per tuple passed through an operator.
+    pub tuple_cpu_us: f64,
+    /// Microseconds per predicate evaluation.
+    pub predicate_us: f64,
+    /// Microseconds per hash-table insertion.
+    pub hash_build_us: f64,
+    /// Microseconds per hash-table probe.
+    pub hash_probe_us: f64,
+    /// Microseconds per key comparison (nested loops).
+    pub compare_us: f64,
+    /// Microseconds per index entry touched.
+    pub index_entry_us: f64,
+    /// Microseconds per output byte materialised.
+    pub output_byte_us: f64,
+    /// Fixed startup cost per operator in microseconds.
+    pub operator_startup_us: f64,
+    /// Fixed per-query overhead (parsing, planning, round trip) in
+    /// microseconds.
+    pub query_overhead_us: f64,
+    /// Cache/memory budget in bytes; hash tables larger than this spill.
+    pub cache_bytes: u64,
+    /// Multiplier applied to probe/build work of spilled hash tables.
+    pub spill_factor: f64,
+    /// Standard deviation of the log-normal noise on the total runtime.
+    pub noise_sigma: f64,
+}
+
+impl Default for HardwareProfile {
+    fn default() -> Self {
+        HardwareProfile {
+            seq_page_us: 18.0,
+            random_page_us: 70.0,
+            tuple_cpu_us: 0.10,
+            predicate_us: 0.035,
+            hash_build_us: 0.16,
+            hash_probe_us: 0.07,
+            compare_us: 0.012,
+            index_entry_us: 0.06,
+            output_byte_us: 0.0006,
+            operator_startup_us: 45.0,
+            query_overhead_us: 1800.0,
+            cache_bytes: 8 * 1024 * 1024,
+            spill_factor: 2.6,
+            noise_sigma: 0.06,
+        }
+    }
+}
+
+impl HardwareProfile {
+    /// A machine with fast NVMe storage (cheap random reads, large cache).
+    pub fn fast_nvme() -> Self {
+        HardwareProfile {
+            seq_page_us: 8.0,
+            random_page_us: 30.0,
+            cache_bytes: 64 * 1024 * 1024,
+            ..HardwareProfile::default()
+        }
+    }
+
+    /// A machine with slow spinning disks (expensive random reads).
+    pub fn slow_disk() -> Self {
+        HardwareProfile {
+            seq_page_us: 40.0,
+            random_page_us: 900.0,
+            cache_bytes: 2 * 1024 * 1024,
+            spill_factor: 4.0,
+            ..HardwareProfile::default()
+        }
+    }
+
+    /// Noise-free copy of the profile (used by tests and ablations).
+    pub fn noiseless(mut self) -> Self {
+        self.noise_sigma = 0.0;
+        self
+    }
+
+    /// Simulated runtime of a single executed operator in microseconds
+    /// (children not included).
+    pub fn node_runtime_us(&self, node: &ExecutedNode) -> f64 {
+        let w = &node.work;
+        let spilled = w.build_bytes > self.cache_bytes;
+        let spill = if spilled { self.spill_factor } else { 1.0 };
+
+        let io = w.pages_seq as f64 * self.seq_page_us
+            + w.pages_random as f64 * self.random_page_us;
+        let cpu = w.input_tuples as f64 * self.tuple_cpu_us
+            + w.predicate_evals as f64 * self.predicate_us
+            + w.index_entries as f64 * self.index_entry_us
+            + w.comparisons as f64 * self.compare_us
+            + (w.hash_build_tuples as f64 * self.hash_build_us
+                + w.hash_probe_tuples as f64 * self.hash_probe_us)
+                * spill;
+        let materialise = w.output_bytes as f64 * self.output_byte_us;
+
+        // Aggregation and join output formation get a small extra per output
+        // tuple to reflect tuple construction costs.
+        let per_output = match node.kind {
+            PhysOperatorKind::HashJoin | PhysOperatorKind::NestedLoopJoin => {
+                w.output_tuples as f64 * self.tuple_cpu_us * 0.5
+            }
+            _ => 0.0,
+        };
+
+        self.operator_startup_us + io + cpu + materialise + per_output
+    }
+
+    /// Simulated runtime of a whole executed plan in **seconds**, including
+    /// the per-query overhead and (if `noise_sigma > 0`) multiplicative
+    /// log-normal noise seeded by `noise_seed`.
+    pub fn plan_runtime_secs(&self, root: &ExecutedNode, noise_seed: u64) -> f64 {
+        let mut total_us = self.query_overhead_us;
+        for node in root.iter() {
+            total_us += self.node_runtime_us(node);
+        }
+        let noisy = if self.noise_sigma > 0.0 {
+            let mut rng = StdRng::seed_from_u64(noise_seed);
+            let z = standard_normal(&mut rng);
+            total_us * (self.noise_sigma * z).exp()
+        } else {
+            total_us
+        };
+        noisy / 1e6
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::WorkMetrics;
+
+    fn scan_node(pages: u64, rows: u64) -> ExecutedNode {
+        ExecutedNode {
+            kind: PhysOperatorKind::SeqScan,
+            est_cardinality: rows as f64,
+            actual_cardinality: rows,
+            output_width: 40.0,
+            work: WorkMetrics {
+                input_tuples: rows,
+                output_tuples: rows,
+                pages_seq: pages,
+                output_bytes: rows * 40,
+                ..WorkMetrics::default()
+            },
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn more_work_means_more_time() {
+        let profile = HardwareProfile::default().noiseless();
+        let small = profile.plan_runtime_secs(&scan_node(10, 1_000), 0);
+        let large = profile.plan_runtime_secs(&scan_node(1_000, 100_000), 0);
+        assert!(large > small * 5.0);
+    }
+
+    #[test]
+    fn spilled_hash_tables_are_slower() {
+        let profile = HardwareProfile::default().noiseless();
+        let mut node = scan_node(1, 1);
+        node.kind = PhysOperatorKind::HashJoin;
+        node.work.hash_build_tuples = 100_000;
+        node.work.hash_probe_tuples = 100_000;
+        node.work.build_bytes = 1024; // fits in cache
+        let fast = profile.node_runtime_us(&node);
+        node.work.build_bytes = profile.cache_bytes + 1; // spills
+        let slow = profile.node_runtime_us(&node);
+        assert!(slow > fast * 1.5);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed_and_bounded() {
+        let profile = HardwareProfile::default();
+        let node = scan_node(100, 10_000);
+        let a = profile.plan_runtime_secs(&node, 7);
+        let b = profile.plan_runtime_secs(&node, 7);
+        assert_eq!(a, b);
+        let c = profile.plan_runtime_secs(&node, 8);
+        assert_ne!(a, c);
+        let noiseless = profile.clone().noiseless().plan_runtime_secs(&node, 7);
+        assert!((a / noiseless).ln().abs() < 5.0 * profile.noise_sigma);
+    }
+
+    #[test]
+    fn random_pages_cost_more_than_sequential() {
+        let profile = HardwareProfile::default().noiseless();
+        let seq = scan_node(1_000, 0);
+        let mut random = scan_node(0, 0);
+        random.work.pages_random = 1_000;
+        assert!(profile.node_runtime_us(&random) > profile.node_runtime_us(&seq));
+    }
+
+    #[test]
+    fn hardware_variants_differ() {
+        let node = scan_node(500, 50_000);
+        let nvme = HardwareProfile::fast_nvme().noiseless().plan_runtime_secs(&node, 0);
+        let disk = HardwareProfile::slow_disk().noiseless().plan_runtime_secs(&node, 0);
+        assert!(disk > nvme);
+    }
+
+    #[test]
+    fn runtime_includes_query_overhead() {
+        let profile = HardwareProfile::default().noiseless();
+        let tiny = profile.plan_runtime_secs(&scan_node(0, 0), 0);
+        assert!(tiny >= profile.query_overhead_us / 1e6);
+    }
+}

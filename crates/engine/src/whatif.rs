@@ -1,0 +1,174 @@
+//! "What-if" index planning and ground-truth evaluation (paper §4.1).
+//!
+//! A zero-shot cost model in what-if mode must answer "how long would this
+//! query take *if* an index on column X existed?".  Two pieces are needed:
+//!
+//! 1. [`WhatIfPlanner::plan_with_index`] — produce the physical plan the
+//!    optimizer would choose if the index existed (a *hypothetical* index;
+//!    nothing is built).  This plan is what the learned model featurizes.
+//! 2. [`WhatIfPlanner::ground_truth_with_index`] — actually build the
+//!    index, execute and time the query, then restore the database.  This
+//!    provides the label for evaluating what-if predictions.
+
+use crate::config::EngineConfig;
+use crate::observed::QueryExecution;
+use crate::optimizer::Optimizer;
+use crate::physical::PlanNode;
+use crate::runner::QueryRunner;
+use crate::runtime::HardwareProfile;
+use zsdb_cardest::PostgresLikeEstimator;
+use zsdb_catalog::ColumnRef;
+use zsdb_query::Query;
+use zsdb_storage::Database;
+
+/// Plans and evaluates hypothetical-index scenarios.
+#[derive(Debug, Clone)]
+pub struct WhatIfPlanner {
+    config: EngineConfig,
+    profile: HardwareProfile,
+}
+
+impl WhatIfPlanner {
+    /// Create a what-if planner with the given configuration and hardware
+    /// profile.
+    pub fn new(config: EngineConfig, profile: HardwareProfile) -> Self {
+        WhatIfPlanner { config, profile }
+    }
+
+    /// Planner with default configuration.
+    pub fn with_defaults() -> Self {
+        WhatIfPlanner::new(EngineConfig::default(), HardwareProfile::default())
+    }
+
+    /// The plan the optimizer would pick if an index on `column` existed.
+    /// No index is physically created.
+    pub fn plan_with_index(&self, db: &Database, query: &Query, column: ColumnRef) -> PlanNode {
+        let estimator = PostgresLikeEstimator::new(db.catalog().clone());
+        let mut optimizer = Optimizer::new(db, self.config.clone(), &estimator);
+        optimizer.add_hypothetical_index(column);
+        optimizer.plan(query)
+    }
+
+    /// Ground truth for a what-if scenario: temporarily build the index,
+    /// run the query (so index scans really execute against it), and drop
+    /// the index again if it did not exist before.
+    pub fn ground_truth_with_index(
+        &self,
+        db: &mut Database,
+        query: &Query,
+        column: ColumnRef,
+        noise_seed: u64,
+    ) -> QueryExecution {
+        let existed = db.index_on(column).is_some();
+        db.create_index(column);
+        let execution = {
+            let runner = QueryRunner::new(db, self.config.clone(), self.profile.clone());
+            runner.run(query, noise_seed)
+        };
+        if !existed {
+            db.drop_index(column);
+        }
+        execution
+    }
+
+    /// Pick, for each query, a "random but fixed" candidate index column
+    /// from the columns the query filters on — mirroring the paper's index
+    /// what-if evaluation ("randomly selected attributes of queries").
+    /// Queries without filter predicates yield `None`.
+    pub fn candidate_index_column(query: &Query, pick_seed: u64) -> Option<ColumnRef> {
+        if query.predicates.is_empty() {
+            return None;
+        }
+        let idx = (pick_seed as usize) % query.predicates.len();
+        Some(query.predicates[idx].column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysOperatorKind;
+    use zsdb_catalog::{presets, Value};
+    use zsdb_query::{Aggregate, CmpOp, Predicate};
+
+    fn selective_query(db: &Database) -> (Query, ColumnRef) {
+        let catalog = db.catalog();
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let year = catalog.resolve_column("title", "production_year").unwrap();
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Geq, Value::Int(2018))],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        (q, year)
+    }
+
+    #[test]
+    fn hypothetical_plan_uses_index_scan() {
+        let db = Database::generate(presets::imdb_like(0.02), 7);
+        let (query, column) = selective_query(&db);
+        let planner = WhatIfPlanner::with_defaults();
+        let plan = planner.plan_with_index(&db, &query, column);
+        assert!(plan.iter().any(|n| n.op.kind() == PhysOperatorKind::IndexScan));
+        // And the database has not changed.
+        assert!(db.indexes().is_empty());
+    }
+
+    #[test]
+    fn ground_truth_restores_database_state() {
+        let mut db = Database::generate(presets::imdb_like(0.02), 7);
+        let (query, column) = selective_query(&db);
+        let planner = WhatIfPlanner::with_defaults();
+        let execution = planner.ground_truth_with_index(&mut db, &query, column, 3);
+        assert!(execution.runtime_secs > 0.0);
+        assert!(
+            execution
+                .executed
+                .iter()
+                .iter()
+                .any(|n| n.kind == PhysOperatorKind::IndexScan),
+            "ground truth execution should have used the index"
+        );
+        assert!(db.index_on(column).is_none(), "temporary index must be dropped");
+    }
+
+    #[test]
+    fn index_speeds_up_selective_queries() {
+        let mut db = Database::generate(presets::imdb_like(0.3), 7);
+        let catalog = db.catalog();
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let year = catalog.resolve_column("title", "production_year").unwrap();
+        // A point predicate on the tail of the year distribution is highly
+        // selective, so an index scan should clearly win over a seq scan.
+        let query = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Eq, Value::Int(2019))],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let column = year;
+        let profile = HardwareProfile::default().noiseless();
+        let planner = WhatIfPlanner::new(EngineConfig::default(), profile.clone());
+        let baseline = QueryRunner::new(&db, EngineConfig::default(), profile).run(&query, 0);
+        let with_index = planner.ground_truth_with_index(&mut db, &query, column, 0);
+        assert!(
+            with_index.runtime_secs < baseline.runtime_secs,
+            "index {:.6}s should beat seq scan {:.6}s",
+            with_index.runtime_secs,
+            baseline.runtime_secs
+        );
+    }
+
+    #[test]
+    fn candidate_column_comes_from_predicates() {
+        let db = Database::generate(presets::imdb_like(0.02), 7);
+        let (query, column) = selective_query(&db);
+        assert_eq!(WhatIfPlanner::candidate_index_column(&query, 0), Some(column));
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        assert_eq!(
+            WhatIfPlanner::candidate_index_column(&Query::scan(title), 1),
+            None
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # zsdb-nn
+//!
+//! A deliberately small neural-network library: dense layers over `f64`
+//! vectors, multi-layer perceptrons with manual backpropagation, the Adam
+//! optimizer and regression metrics (Q-error).
+//!
+//! All learned cost models in the workspace — the zero-shot model in
+//! `zsdb-core` as well as the MSCN / E2E baselines — are built from these
+//! pieces.  There is no autograd: models call `forward_cached` /
+//! `backward` explicitly, which keeps the DAG message-passing architecture
+//! of the zero-shot model easy to reason about and fast enough on a CPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+
+pub use metrics::{median, percentile, q_error, QErrorSummary};
+pub use mlp::{Activation, Mlp, MlpCache};
+pub use optim::Adam;
+pub use param::ParamBuf;

@@ -1,0 +1,348 @@
+//! Dense layers and multi-layer perceptrons with manual backpropagation.
+
+use crate::param::ParamBuf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied after every hidden layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// x if x > 0 else 0.01 x
+    LeakyRelu,
+    /// identity (linear layer)
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Identity => x,
+        }
+    }
+
+    fn derivative(self, pre: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer `y = W x + b` with `W` stored row-major
+/// (`out_dim × in_dim`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    w: ParamBuf,
+    b: ParamBuf,
+}
+
+impl Linear {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        // He-style initialisation keeps ReLU activations well-scaled.
+        let scale = (2.0 / in_dim.max(1) as f64).sqrt();
+        let w: Vec<f64> = (0..in_dim * out_dim)
+            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Linear {
+            in_dim,
+            out_dim,
+            w: ParamBuf::new(w),
+            b: ParamBuf::zeros(out_dim),
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w.data[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b.data[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Accumulate parameter gradients for this layer given the input `x`
+    /// and the gradient w.r.t. the (pre-activation) output `dy`; returns
+    /// the gradient w.r.t. the input.
+    fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = dy[o];
+            self.b.grad[o] += g;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.w.grad[row_start + i] += g * x[i];
+                dx[i] += g * self.w.data[row_start + i];
+            }
+        }
+        dx
+    }
+}
+
+/// Forward-pass cache needed for backpropagation through an [`Mlp`].
+#[derive(Debug, Clone, Default)]
+pub struct MlpCache {
+    /// Input and all post-activation vectors, layer by layer
+    /// (`activations[0]` is the input).
+    activations: Vec<Vec<f64>>,
+    /// Pre-activation vectors per layer.
+    pre_activations: Vec<Vec<f64>>,
+}
+
+/// A multi-layer perceptron: `dims[0] → dims[1] → … → dims[last]`, with the
+/// configured activation after every layer except the last (which is
+/// linear).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Create an MLP with the given layer sizes; weights are initialised
+    /// deterministically from `seed`.
+    pub fn new(dims: &[usize], activation: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.in_dim).unwrap_or(0)
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim).unwrap_or(0)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass without keeping a cache (inference).
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut current = x.to_vec();
+        let mut buffer = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&current, &mut buffer);
+            let is_last = i + 1 == self.layers.len();
+            current = if is_last {
+                buffer.clone()
+            } else {
+                buffer.iter().map(|&v| self.activation.apply(v)).collect()
+            };
+        }
+        current
+    }
+
+    /// Forward pass that records the cache needed by [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &[f64]) -> (Vec<f64>, MlpCache) {
+        let mut cache = MlpCache {
+            activations: vec![x.to_vec()],
+            pre_activations: Vec::with_capacity(self.layers.len()),
+        };
+        let mut current = x.to_vec();
+        let mut buffer = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&current, &mut buffer);
+            cache.pre_activations.push(buffer.clone());
+            let is_last = i + 1 == self.layers.len();
+            current = if is_last {
+                buffer.clone()
+            } else {
+                buffer.iter().map(|&v| self.activation.apply(v)).collect()
+            };
+            cache.activations.push(current.clone());
+        }
+        (current, cache)
+    }
+
+    /// Backpropagate `d_out` (gradient w.r.t. the MLP output) through the
+    /// network, accumulating parameter gradients, and return the gradient
+    /// w.r.t. the input.
+    pub fn backward(&mut self, cache: &MlpCache, d_out: &[f64]) -> Vec<f64> {
+        let mut grad = d_out.to_vec();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let is_last = i + 1 == cache.pre_activations.len();
+            if !is_last {
+                let pre = &cache.pre_activations[i];
+                for (g, p) in grad.iter_mut().zip(pre) {
+                    *g *= self.activation.derivative(*p);
+                }
+            }
+            let input = &cache.activations[i];
+            grad = layer.backward(input, &grad);
+        }
+        grad
+    }
+
+    /// Mutable access to every parameter buffer (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut ParamBuf> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| [&mut l.w, &mut l.b])
+            .collect()
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check: compare analytic input/parameter gradients
+    /// against central finite differences on a scalar loss.
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut mlp = Mlp::new(&[4, 8, 1], Activation::LeakyRelu, 3);
+        let x = vec![0.3, -0.7, 1.2, 0.05];
+        let target = 0.8;
+
+        // Analytic gradients.
+        mlp.zero_grad();
+        let (out, cache) = mlp.forward_cached(&x);
+        let d_out = vec![2.0 * (out[0] - target)];
+        mlp.backward(&cache, &d_out);
+        let analytic: Vec<f64> = mlp
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.grad.clone())
+            .collect();
+
+        // Finite differences.
+        let eps = 1e-6;
+        let mut numeric = Vec::with_capacity(analytic.len());
+        let num_params: Vec<usize> = mlp.params_mut().iter().map(|p| p.len()).collect();
+        for (pi, &len) in num_params.iter().enumerate() {
+            for j in 0..len {
+                let orig = mlp.params_mut()[pi].data[j];
+                mlp.params_mut()[pi].data[j] = orig + eps;
+                let up = (mlp.forward(&x)[0] - target).powi(2);
+                mlp.params_mut()[pi].data[j] = orig - eps;
+                let down = (mlp.forward(&x)[0] - target).powi(2);
+                mlp.params_mut()[pi].data[j] = orig;
+                numeric.push((up - down) / (2.0 * eps));
+            }
+        }
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!(
+                (a - n).abs() < 1e-5 * (1.0 + a.abs().max(n.abs())),
+                "analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_per_seed() {
+        let a = Mlp::new(&[3, 5, 2], Activation::Relu, 7);
+        let b = Mlp::new(&[3, 5, 2], Activation::Relu, 7);
+        let c = Mlp::new(&[3, 5, 2], Activation::Relu, 8);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.forward(&x), b.forward(&x));
+        assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn shapes_and_parameter_counts() {
+        let mlp = Mlp::new(&[6, 16, 16, 1], Activation::Relu, 1);
+        assert_eq!(mlp.input_dim(), 6);
+        assert_eq!(mlp.output_dim(), 1);
+        assert_eq!(
+            mlp.num_parameters(),
+            6 * 16 + 16 + 16 * 16 + 16 + 16 + 1
+        );
+        assert_eq!(mlp.forward(&[0.0; 6]).len(), 1);
+    }
+
+    #[test]
+    fn mlp_learns_a_simple_function() {
+        // Fit y = 2*x0 - x1 with Adam; should get close within a few
+        // hundred steps.
+        let mut mlp = Mlp::new(&[2, 16, 1], Activation::LeakyRelu, 5);
+        let mut adam = crate::optim::Adam::new(0.01);
+        let data: Vec<([f64; 2], f64)> = (0..64)
+            .map(|i| {
+                let x0 = (i % 8) as f64 / 8.0;
+                let x1 = (i / 8) as f64 / 8.0;
+                ([x0, x1], 2.0 * x0 - x1)
+            })
+            .collect();
+        for _ in 0..400 {
+            mlp.zero_grad();
+            for (x, y) in &data {
+                let (out, cache) = mlp.forward_cached(x);
+                let d = vec![2.0 * (out[0] - y) / data.len() as f64];
+                mlp.backward(&cache, &d);
+            }
+            adam.step(&mut mlp.params_mut());
+        }
+        let mse: f64 = data
+            .iter()
+            .map(|(x, y)| (mlp.forward(x)[0] - y).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(mse < 0.01, "mse = {mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_dim_mlp_rejected() {
+        Mlp::new(&[4], Activation::Relu, 0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mlp = Mlp::new(&[3, 4, 1], Activation::Relu, 9);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        // JSON may lose the last bit of a float, so compare behaviour, not
+        // bit-exact structure.
+        let x = [0.5, -1.0, 2.0];
+        let (a, b) = (mlp.forward(&x)[0], back.forward(&x)[0]);
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(back.num_parameters(), mlp.num_parameters());
+    }
+}

@@ -1,0 +1,114 @@
+//! Trainable parameter buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// A flat buffer of trainable parameters together with its gradient and
+/// Adam moment estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamBuf {
+    /// Parameter values.
+    pub data: Vec<f64>,
+    /// Accumulated gradient (same length as `data`).
+    pub grad: Vec<f64>,
+    /// First-moment estimate (Adam).
+    pub m: Vec<f64>,
+    /// Second-moment estimate (Adam).
+    pub v: Vec<f64>,
+}
+
+impl ParamBuf {
+    /// Create a parameter buffer from initial values.
+    pub fn new(data: Vec<f64>) -> Self {
+        let n = data.len();
+        ParamBuf {
+            data,
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Zero-initialised buffer of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        ParamBuf::new(vec![0.0; n])
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Apply one Adam update with bias correction for step `t` (1-based).
+    pub fn adam_step(&mut self, lr: f64, beta1: f64, beta2: f64, eps: f64, t: u64) {
+        let t = t.max(1) as i32;
+        let bc1 = 1.0 - beta1.powi(t);
+        let bc2 = 1.0 - beta2.powi(t);
+        for i in 0..self.data.len() {
+            let g = self.grad[i];
+            self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * g;
+            self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            self.data[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    /// Apply one plain SGD update.
+    pub fn sgd_step(&mut self, lr: f64) {
+        for i in 0..self.data.len() {
+            self.data[i] -= lr * self.grad[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut p = ParamBuf::new(vec![1.0, -1.0]);
+        p.grad = vec![1.0, -1.0];
+        p.adam_step(0.1, 0.9, 0.999, 1e-8, 1);
+        assert!(p.data[0] < 1.0);
+        assert!(p.data[1] > -1.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = ParamBuf::zeros(3);
+        p.grad = vec![1.0, 2.0, 3.0];
+        p.zero_grad();
+        assert_eq!(p.grad, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn sgd_step_is_linear() {
+        let mut p = ParamBuf::new(vec![2.0]);
+        p.grad = vec![0.5];
+        p.sgd_step(0.2);
+        assert!((p.data[0] - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_adam_steps_converge_on_quadratic() {
+        // Minimise f(x) = (x - 3)^2 with gradient 2(x - 3).
+        let mut p = ParamBuf::new(vec![0.0]);
+        for t in 1..=2000 {
+            p.zero_grad();
+            p.grad[0] = 2.0 * (p.data[0] - 3.0);
+            p.adam_step(0.05, 0.9, 0.999, 1e-8, t);
+        }
+        assert!((p.data[0] - 3.0).abs() < 1e-2, "got {}", p.data[0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # zsdb-query
+//!
+//! Logical query representation and workload generation.
+//!
+//! Queries are select-project-join-aggregate (SPJA) blocks over a
+//! [`zsdb_catalog::SchemaCatalog`]: a set of tables connected by
+//! foreign-key equi-joins, conjunctive filter predicates and a list of
+//! aggregates — exactly the query class used in the paper's evaluation
+//! ("up to five-way joins with up to five numerical and categorical
+//! predicates and up to three aggregates").
+//!
+//! The crate contains:
+//!
+//! * [`Query`], [`Predicate`], [`Aggregate`] — the logical representation,
+//! * [`WorkloadGenerator`] — the randomized training-workload generator,
+//! * [`benchmarks`] — deterministic *scale*, *synthetic* and *JOB-light*
+//!   style evaluation workloads over the IMDB-like schema,
+//! * [`sql`] — SQL rendering for diagnostics and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod expr;
+pub mod generator;
+pub mod query;
+pub mod sql;
+
+pub use benchmarks::{BenchmarkWorkload, WorkloadKind};
+pub use expr::{AggFunc, Aggregate, CmpOp, Predicate};
+pub use generator::{WorkloadGenerator, WorkloadSpec};
+pub use query::{JoinCondition, Query};

@@ -1,0 +1,179 @@
+//! Rendering logical queries as SQL text.
+//!
+//! Only used for diagnostics, examples and documentation — the engine plans
+//! directly from the structured [`Query`] representation.
+
+use crate::expr::{AggFunc, Aggregate, Predicate};
+use crate::query::Query;
+use std::fmt::Write as _;
+use zsdb_catalog::{ColumnRef, SchemaCatalog, Value};
+
+/// Render a fully-qualified column name (`table.column`).
+fn column_name(catalog: &SchemaCatalog, column: ColumnRef) -> String {
+    format!(
+        "{}.{}",
+        catalog.table(column.table).name,
+        catalog.column(column).name
+    )
+}
+
+fn literal(value: &Value) -> String {
+    match value {
+        Value::Null => "NULL".to_string(),
+        Value::Int(v) => v.to_string(),
+        Value::Float(v) => format!("{v:.4}"),
+        Value::Cat(v) => format!("'c{v}'"),
+        Value::Bool(v) => v.to_string().to_uppercase(),
+    }
+}
+
+fn aggregate_sql(catalog: &SchemaCatalog, agg: &Aggregate) -> String {
+    match agg.column {
+        None => "COUNT(*)".to_string(),
+        Some(c) => format!("{}({})", agg.func, column_name(catalog, c)),
+    }
+}
+
+fn predicate_sql(catalog: &SchemaCatalog, predicate: &Predicate) -> String {
+    format!(
+        "{} {} {}",
+        column_name(catalog, predicate.column),
+        predicate.op,
+        literal(&predicate.value)
+    )
+}
+
+/// Render a query as a SQL SELECT statement.
+pub fn to_sql(catalog: &SchemaCatalog, query: &Query) -> String {
+    let mut sql = String::from("SELECT ");
+
+    if query.aggregates.is_empty() {
+        sql.push('*');
+    } else {
+        let aggs: Vec<String> = query
+            .aggregates
+            .iter()
+            .map(|a| aggregate_sql(catalog, a))
+            .collect();
+        sql.push_str(&aggs.join(", "));
+    }
+
+    let tables: Vec<&str> = query
+        .tables
+        .iter()
+        .map(|t| catalog.table(*t).name.as_str())
+        .collect();
+    let _ = write!(sql, " FROM {}", tables.join(", "));
+
+    let mut conditions: Vec<String> = query
+        .joins
+        .iter()
+        .map(|j| {
+            format!(
+                "{} = {}",
+                column_name(catalog, j.left),
+                column_name(catalog, j.right)
+            )
+        })
+        .collect();
+    conditions.extend(query.predicates.iter().map(|p| predicate_sql(catalog, p)));
+
+    if !conditions.is_empty() {
+        let _ = write!(sql, " WHERE {}", conditions.join(" AND "));
+    }
+    sql.push(';');
+    sql
+}
+
+/// Short human-readable summary (`3 tables, 2 predicates, 1 aggregate`),
+/// used in logs and example output.
+pub fn summarize(query: &Query) -> String {
+    format!(
+        "{} table(s), {} join(s), {} predicate(s), {} aggregate(s)",
+        query.tables.len(),
+        query.joins.len(),
+        query.predicates.len(),
+        query.aggregates.len()
+    )
+}
+
+/// Render an aggregate function name with column for display purposes.
+pub fn aggregate_label(catalog: &SchemaCatalog, func: AggFunc, column: Option<ColumnRef>) -> String {
+    aggregate_sql(
+        catalog,
+        &Aggregate {
+            func,
+            column,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::query::JoinCondition;
+    use zsdb_catalog::presets;
+
+    #[test]
+    fn renders_example_query_from_the_paper() {
+        // SELECT MIN(t.production_year) FROM movie_companies mc, title t
+        // WHERE t.id = mc.movie_id AND t.production_year > 1990
+        //   AND mc.company_type_id = 2
+        let catalog = presets::imdb_like(0.02);
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
+        let title_id = catalog.resolve_column("title", "id").unwrap();
+        let movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let year = catalog.resolve_column("title", "production_year").unwrap();
+        let ctype = catalog
+            .resolve_column("movie_companies", "company_type_id")
+            .unwrap();
+        let query = Query {
+            tables: vec![mc, title],
+            joins: vec![JoinCondition::new(movie_id, title_id)],
+            predicates: vec![
+                Predicate::new(year, CmpOp::Gt, Value::Int(1990)),
+                Predicate::new(ctype, CmpOp::Eq, Value::Cat(2)),
+            ],
+            aggregates: vec![Aggregate::over(AggFunc::Min, year)],
+        };
+        let sql = to_sql(&catalog, &query);
+        assert!(sql.starts_with("SELECT MIN(title.production_year) FROM movie_companies, title"));
+        assert!(sql.contains("movie_companies.movie_id = title.id"));
+        assert!(sql.contains("title.production_year > 1990"));
+        assert!(sql.contains("movie_companies.company_type_id = 'c2'"));
+        assert!(sql.ends_with(';'));
+    }
+
+    #[test]
+    fn count_star_and_no_predicates() {
+        let catalog = presets::imdb_like(0.02);
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let query = Query::scan(title);
+        let sql = to_sql(&catalog, &query);
+        assert_eq!(sql, "SELECT COUNT(*) FROM title;");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let catalog = presets::imdb_like(0.02);
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let query = Query::scan(title);
+        assert_eq!(
+            summarize(&query),
+            "1 table(s), 0 join(s), 0 predicate(s), 1 aggregate(s)"
+        );
+    }
+
+    #[test]
+    fn aggregate_label_renders() {
+        let catalog = presets::imdb_like(0.02);
+        let year = catalog.resolve_column("title", "production_year").unwrap();
+        assert_eq!(
+            aggregate_label(&catalog, AggFunc::Max, Some(year)),
+            "MAX(title.production_year)"
+        );
+        assert_eq!(aggregate_label(&catalog, AggFunc::Count, None), "COUNT(*)");
+    }
+}

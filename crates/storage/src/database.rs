@@ -1,0 +1,219 @@
+//! A fully materialised database: catalog + data + indexes.
+
+use crate::datagen::DataGenerator;
+use crate::index::BTreeIndex;
+use crate::table::TableData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zsdb_catalog::{ColumnRef, SchemaCatalog, TableId};
+
+/// Identifier of an index within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexId(pub u32);
+
+/// A materialised database the engine can plan against and execute on.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: SchemaCatalog,
+    tables: Vec<TableData>,
+    indexes: Vec<BTreeIndex>,
+}
+
+impl Database {
+    /// Generate a database from a catalog with the given data seed.
+    pub fn generate(catalog: SchemaCatalog, seed: u64) -> Self {
+        let tables = DataGenerator::new(seed).generate(&catalog);
+        Database {
+            catalog,
+            tables,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Build a database from already-materialised tables (mainly for tests).
+    pub fn from_parts(catalog: SchemaCatalog, tables: Vec<TableData>) -> Self {
+        assert_eq!(
+            catalog.num_tables(),
+            tables.len(),
+            "one TableData per catalog table required"
+        );
+        Database {
+            catalog,
+            tables,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &SchemaCatalog {
+        &self.catalog
+    }
+
+    /// Data of the given table.
+    pub fn table_data(&self, table: TableId) -> &TableData {
+        &self.tables[table.index()]
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[BTreeIndex] {
+        &self.indexes
+    }
+
+    /// Index by id.
+    pub fn index(&self, id: IndexId) -> &BTreeIndex {
+        &self.indexes[id.0 as usize]
+    }
+
+    /// Create a secondary index on `column`; returns its id.  Creating a
+    /// duplicate index returns the existing id (idempotent).
+    pub fn create_index(&mut self, column: ColumnRef) -> IndexId {
+        if let Some(existing) = self.index_on(column) {
+            return existing;
+        }
+        let table_name = &self.catalog.table(column.table).name;
+        let column_name = &self.catalog.column(column).name;
+        let name = format!("idx_{table_name}_{column_name}");
+        let data = self.tables[column.table.index()].column(column.column);
+        let index = BTreeIndex::build(name, column, data);
+        let id = IndexId(self.indexes.len() as u32);
+        self.indexes.push(index);
+        id
+    }
+
+    /// Drop all secondary indexes (used between what-if scenarios).
+    pub fn drop_all_indexes(&mut self) {
+        self.indexes.clear();
+    }
+
+    /// Drop the index on `column`, if one exists.  Returns `true` if an
+    /// index was removed.
+    pub fn drop_index(&mut self, column: ColumnRef) -> bool {
+        let before = self.indexes.len();
+        self.indexes.retain(|idx| idx.column != column);
+        self.indexes.len() != before
+    }
+
+    /// The id of an existing index on `column`, if any.
+    pub fn index_on(&self, column: ColumnRef) -> Option<IndexId> {
+        self.indexes
+            .iter()
+            .position(|idx| idx.column == column)
+            .map(|i| IndexId(i as u32))
+    }
+
+    /// Create indexes on every primary-key column (mirrors the implicit PK
+    /// indexes of a real system).
+    pub fn create_primary_key_indexes(&mut self) -> Vec<IndexId> {
+        let pk_columns: Vec<ColumnRef> = self
+            .catalog
+            .iter_tables()
+            .filter_map(|(tid, t)| t.primary_key().map(|(cid, _)| ColumnRef::new(tid, cid)))
+            .collect();
+        pk_columns
+            .into_iter()
+            .map(|c| self.create_index(c))
+            .collect()
+    }
+
+    /// Create a random-but-fixed set of secondary indexes on non-key
+    /// attribute columns, as the paper does for index-what-if training data
+    /// ("we additionally created a random but fixed set of indexes per
+    /// database").  Returns the chosen columns.
+    pub fn create_random_indexes(&mut self, count: usize, seed: u64) -> Vec<ColumnRef> {
+        let mut candidates: Vec<ColumnRef> = Vec::new();
+        for (tid, table) in self.catalog.iter_tables() {
+            for (i, col) in table.columns.iter().enumerate() {
+                let r = ColumnRef::new(tid, zsdb_catalog::ColumnId(i as u32));
+                let is_fk = self.catalog.foreign_keys().iter().any(|fk| fk.child == r);
+                if !col.is_primary_key && !is_fk && col.data_type.is_orderable() {
+                    candidates.push(r);
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen = Vec::new();
+        for _ in 0..count.min(candidates.len()) {
+            let pick = rng.random_range(0..candidates.len());
+            let column = candidates.swap_remove(pick);
+            self.create_index(column);
+            chosen.push(column);
+        }
+        chosen
+    }
+
+    /// Approximate total heap size of the database in bytes (used for
+    /// reporting and memory-pressure modelling).
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.catalog
+            .iter_tables()
+            .map(|(_, t)| t.num_pages() * zsdb_catalog::PAGE_SIZE_BYTES)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::{presets, GeneratorConfig, SchemaGenerator};
+
+    fn tiny_db() -> Database {
+        let catalog = SchemaGenerator::new(GeneratorConfig::tiny()).generate("db", 11);
+        Database::generate(catalog, 7)
+    }
+
+    #[test]
+    fn generate_matches_catalog() {
+        let db = tiny_db();
+        for (tid, table) in db.catalog().iter_tables() {
+            assert_eq!(db.table_data(tid).num_rows() as u64, table.num_tuples);
+        }
+        assert!(db.heap_size_bytes() > 0);
+    }
+
+    #[test]
+    fn index_creation_is_idempotent() {
+        let mut db = tiny_db();
+        let (tid, table) = db.catalog().iter_tables().next().unwrap();
+        let (pk, _) = table.primary_key().unwrap();
+        let col = ColumnRef::new(tid, pk);
+        let a = db.create_index(col);
+        let b = db.create_index(col);
+        assert_eq!(a, b);
+        assert_eq!(db.indexes().len(), 1);
+        assert_eq!(db.index_on(col), Some(a));
+    }
+
+    #[test]
+    fn primary_key_indexes_cover_all_tables() {
+        let mut db = tiny_db();
+        let ids = db.create_primary_key_indexes();
+        assert_eq!(ids.len(), db.catalog().num_tables());
+    }
+
+    #[test]
+    fn random_indexes_avoid_keys() {
+        let catalog = presets::imdb_like(0.02);
+        let mut db = Database::generate(catalog, 3);
+        let chosen = db.create_random_indexes(4, 99);
+        assert!(!chosen.is_empty());
+        for c in &chosen {
+            let col = db.catalog().column(*c);
+            assert!(!col.is_primary_key);
+            assert!(db.index_on(*c).is_some());
+        }
+        // Deterministic with the same seed.
+        let catalog2 = presets::imdb_like(0.02);
+        let mut db2 = Database::generate(catalog2, 3);
+        let chosen2 = db2.create_random_indexes(4, 99);
+        assert_eq!(chosen, chosen2);
+    }
+
+    #[test]
+    fn drop_all_indexes() {
+        let mut db = tiny_db();
+        db.create_primary_key_indexes();
+        assert!(!db.indexes().is_empty());
+        db.drop_all_indexes();
+        assert!(db.indexes().is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Secondary indexes.
+//!
+//! The engine only needs ordered point/range lookups and a few physical
+//! characteristics (height, leaf page count) for costing and what-if
+//! featurization, so the index is a sorted array of `(key, row)` pairs with
+//! binary-search lookups — the access pattern and work counters are the same
+//! as for a read-only B+-tree.
+
+use crate::column::ColumnData;
+use zsdb_catalog::{ColumnRef, PAGE_SIZE_BYTES};
+
+/// Number of `(key, row)` entries that fit into one index leaf page
+/// (8-byte key + 4-byte row pointer + overhead).
+const ENTRIES_PER_LEAF: u64 = PAGE_SIZE_BYTES / 16;
+
+/// Fan-out assumed for inner nodes when estimating index height.
+const INNER_FANOUT: f64 = 256.0;
+
+/// A read-only ordered secondary index over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BTreeIndex {
+    /// Indexed column.
+    pub column: ColumnRef,
+    /// Diagnostic name, e.g. `"idx_title_production_year"`.
+    pub name: String,
+    /// `(key, row)` pairs sorted by key; NULL rows are not indexed.
+    entries: Vec<(f64, u32)>,
+}
+
+impl BTreeIndex {
+    /// Build an index over `column_data` for the given column reference.
+    /// NULL values are skipped (as in PostgreSQL, NULLs are not returned by
+    /// range scans).
+    pub fn build(name: impl Into<String>, column: ColumnRef, column_data: &ColumnData) -> Self {
+        let mut entries: Vec<(f64, u32)> = (0..column_data.len())
+            .filter_map(|row| column_data.as_f64(row).map(|k| (k, row as u32)))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        BTreeIndex {
+            column,
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// Number of indexed (non-null) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Row ids whose key lies in `[lo, hi]` (both optional → half-open /
+    /// full scans).  Returned in key order.
+    pub fn range(&self, lo: Option<f64>, hi: Option<f64>) -> Vec<u32> {
+        let start = match lo {
+            Some(lo) => self.entries.partition_point(|(k, _)| *k < lo),
+            None => 0,
+        };
+        let end = match hi {
+            Some(hi) => self.entries.partition_point(|(k, _)| *k <= hi),
+            None => self.entries.len(),
+        };
+        self.entries[start..end.max(start)]
+            .iter()
+            .map(|(_, row)| *row)
+            .collect()
+    }
+
+    /// Row ids with key exactly equal to `key`.
+    pub fn lookup(&self, key: f64) -> Vec<u32> {
+        self.range(Some(key), Some(key))
+    }
+
+    /// Number of leaf pages the index occupies.
+    pub fn leaf_pages(&self) -> u64 {
+        (self.entries.len() as u64).div_ceil(ENTRIES_PER_LEAF).max(1)
+    }
+
+    /// Estimated height of an equivalent B+-tree (root = height 1); used as
+    /// an index characteristic feature for what-if costing.
+    pub fn height(&self) -> u32 {
+        let mut nodes = self.leaf_pages() as f64;
+        let mut height = 1u32;
+        while nodes > 1.0 {
+            nodes = (nodes / INNER_FANOUT).ceil();
+            height += 1;
+        }
+        height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::{ColumnId, DataType, TableId, Value};
+
+    fn column_with(values: &[Option<i64>]) -> ColumnData {
+        let mut col = ColumnData::new(DataType::Int);
+        for v in values {
+            match v {
+                Some(v) => col.push(Value::Int(*v)),
+                None => col.push(Value::Null),
+            }
+        }
+        col
+    }
+
+    fn colref() -> ColumnRef {
+        ColumnRef::new(TableId(0), ColumnId(1))
+    }
+
+    #[test]
+    fn range_lookup_returns_matching_rows() {
+        let col = column_with(&[Some(5), Some(1), Some(3), Some(9), Some(3)]);
+        let idx = BTreeIndex::build("idx", colref(), &col);
+        assert_eq!(idx.len(), 5);
+        let rows = idx.range(Some(2.0), Some(5.0));
+        // keys 3 (rows 2 and 4), 5 (row 0)
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&0) && rows.contains(&2) && rows.contains(&4));
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let col = column_with(&[Some(1), None, Some(2)]);
+        let idx = BTreeIndex::build("idx", colref(), &col);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.range(None, None).len(), 2);
+    }
+
+    #[test]
+    fn point_lookup() {
+        let col = column_with(&[Some(7), Some(7), Some(8)]);
+        let idx = BTreeIndex::build("idx", colref(), &col);
+        assert_eq!(idx.lookup(7.0), vec![0, 1]);
+        assert!(idx.lookup(6.0).is_empty());
+    }
+
+    #[test]
+    fn open_ended_ranges() {
+        let col = column_with(&[Some(1), Some(2), Some(3)]);
+        let idx = BTreeIndex::build("idx", colref(), &col);
+        assert_eq!(idx.range(Some(2.0), None).len(), 2);
+        assert_eq!(idx.range(None, Some(1.0)).len(), 1);
+        assert_eq!(idx.range(None, None).len(), 3);
+    }
+
+    #[test]
+    fn height_grows_with_size() {
+        let small = BTreeIndex::build("s", colref(), &column_with(&[Some(1); 10]));
+        assert_eq!(small.height(), 1);
+        let mut values = Vec::new();
+        for i in 0..200_000i64 {
+            values.push(Some(i));
+        }
+        let large = BTreeIndex::build("l", colref(), &column_with(&values));
+        assert!(large.height() >= 2);
+        assert!(large.leaf_pages() > small.leaf_pages());
+    }
+
+    #[test]
+    fn empty_range_when_bounds_cross() {
+        let col = column_with(&[Some(1), Some(2)]);
+        let idx = BTreeIndex::build("idx", colref(), &col);
+        assert!(idx.range(Some(5.0), Some(3.0)).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # zsdb-storage
+//!
+//! In-memory column store for the `zero-shot-db` workspace.
+//!
+//! A [`Database`] couples a [`zsdb_catalog::SchemaCatalog`] with concrete
+//! column data ([`TableData`]) and secondary indexes ([`BTreeIndex`]).  Data
+//! is produced by the deterministic [`datagen::DataGenerator`], which
+//! realises the distribution specifications recorded in the catalog
+//! (uniform / normal / Zipf / foreign-key) so that training databases have
+//! genuinely different data characteristics.
+//!
+//! The storage layer is deliberately simple — append-only columnar arrays
+//! with a null bitmap — because the workspace only needs read-heavy
+//! analytical execution with reproducible work counters, not transactional
+//! storage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod database;
+pub mod datagen;
+pub mod index;
+pub mod sample;
+pub mod table;
+
+pub use column::ColumnData;
+pub use database::{Database, IndexId};
+pub use datagen::DataGenerator;
+pub use index::BTreeIndex;
+pub use sample::TableSample;
+pub use table::TableData;

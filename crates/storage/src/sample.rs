@@ -1,0 +1,129 @@
+//! Row sampling for data-driven models.
+//!
+//! The paper argues that data characteristics should be captured by
+//! *data-driven* models that can be built from a sample of the database
+//! without executing any query.  [`TableSample`] provides the deterministic
+//! uniform sample those models (histogram and sampling estimators in
+//! `zsdb-cardest`) are built from.
+
+use crate::table::TableData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniform random sample of row ids from a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSample {
+    rows: Vec<u32>,
+    table_rows: usize,
+}
+
+impl TableSample {
+    /// Draw a sample of at most `sample_size` rows from `table` (without
+    /// replacement, reservoir sampling, deterministic in `seed`).
+    pub fn draw(table: &TableData, sample_size: usize, seed: u64) -> Self {
+        let n = table.num_rows();
+        let k = sample_size.min(n);
+        let mut reservoir: Vec<u32> = (0..k as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for row in k..n {
+            let j = rng.random_range(0..=row);
+            if j < k {
+                reservoir[j] = row as u32;
+            }
+        }
+        TableSample {
+            rows: reservoir,
+            table_rows: n,
+        }
+    }
+
+    /// Sampled row ids.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the sample is empty (source table was empty).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows in the sampled table.
+    pub fn table_rows(&self) -> usize {
+        self.table_rows
+    }
+
+    /// Scale factor from sample counts to table counts
+    /// (`table_rows / sample_rows`).
+    pub fn scale_factor(&self) -> f64 {
+        if self.rows.is_empty() {
+            1.0
+        } else {
+            self.table_rows as f64 / self.rows.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+    use zsdb_catalog::{DataType, Value};
+
+    fn table_with_rows(n: usize) -> TableData {
+        let mut col = ColumnData::new(DataType::Int);
+        for i in 0..n {
+            col.push(Value::Int(i as i64));
+        }
+        TableData::from_columns(vec![col])
+    }
+
+    #[test]
+    fn sample_is_without_replacement() {
+        let table = table_with_rows(1000);
+        let sample = TableSample::draw(&table, 100, 42);
+        assert_eq!(sample.len(), 100);
+        let mut rows = sample.rows().to_vec();
+        rows.sort_unstable();
+        rows.dedup();
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| (*r as usize) < 1000));
+    }
+
+    #[test]
+    fn sample_smaller_table_takes_all_rows() {
+        let table = table_with_rows(10);
+        let sample = TableSample::draw(&table, 100, 1);
+        assert_eq!(sample.len(), 10);
+        assert!((sample.scale_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let table = table_with_rows(500);
+        let a = TableSample::draw(&table, 50, 7);
+        let b = TableSample::draw(&table, 50, 7);
+        assert_eq!(a, b);
+        let c = TableSample::draw(&table, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_factor() {
+        let table = table_with_rows(1000);
+        let sample = TableSample::draw(&table, 100, 42);
+        assert!((sample.scale_factor() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_sample() {
+        let table = table_with_rows(0);
+        let sample = TableSample::draw(&table, 10, 0);
+        assert!(sample.is_empty());
+        assert_eq!(sample.scale_factor(), 1.0);
+    }
+}

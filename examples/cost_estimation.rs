@@ -1,0 +1,59 @@
+//! Full zero-shot cost-estimation pipeline (paper Section 3): train on a
+//! corpus of synthetic databases, then evaluate on the scale / synthetic /
+//! JOB-light benchmark workloads over the unseen IMDB-like database, with
+//! both exact and estimated cardinalities — a miniature version of the
+//! paper's Table 1 upper rows.
+//!
+//! Run with: `cargo run --release --example cost_estimation`
+
+use zero_shot_db::catalog::{presets, SchemaGenerator};
+use zero_shot_db::engine::{EngineConfig, HardwareProfile, QueryRunner};
+use zero_shot_db::query::{BenchmarkWorkload, WorkloadKind};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::dataset::{collect_training_corpus, TrainingDataConfig};
+use zero_shot_db::zeroshot::{evaluate, FeaturizerConfig, ModelConfig, Trainer, TrainingConfig};
+
+fn main() {
+    let data_config = TrainingDataConfig {
+        num_databases: 6,
+        queries_per_database: 250,
+        ..TrainingDataConfig::tiny()
+    };
+    println!("Collecting multi-database training corpus ...");
+    let corpus = collect_training_corpus(&data_config);
+    let schemas = SchemaGenerator::new(data_config.schema_config.clone()).generate_corpus(
+        "train",
+        data_config.num_databases,
+        data_config.seed,
+    );
+
+    let imdb = Database::generate(presets::imdb_like(0.04), 2024);
+
+    for featurizer in [FeaturizerConfig::exact(), FeaturizerConfig::estimated()] {
+        let trainer = Trainer::new(
+            ModelConfig::default(),
+            TrainingConfig {
+                epochs: 30,
+                ..TrainingConfig::default()
+            },
+            featurizer,
+        );
+        let graphs = trainer.featurize_corpus(&corpus, |name| {
+            schemas.iter().find(|s| s.name == name).expect("catalog")
+        });
+        let model = trainer.train(&graphs);
+        println!(
+            "\n=== Zero-shot model with {:?} cardinalities (train q-error {:.2}) ===",
+            featurizer.cardinality_mode, model.final_train_qerror
+        );
+
+        for kind in WorkloadKind::FIGURE3 {
+            let workload = BenchmarkWorkload::generate(kind, imdb.catalog(), 80, 99);
+            let runner =
+                QueryRunner::new(&imdb, EngineConfig::default(), HardwareProfile::default());
+            let executions = runner.run_workload(&workload.queries, 55);
+            let report = evaluate(&model, &imdb, kind.name(), &executions);
+            println!("  {report}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! What-if index tuning on an unseen database (paper Section 4.1): the
+//! zero-shot model predicts how query runtimes would change if a certain
+//! index existed, without ever having executed a query on that database.
+//!
+//! Run with: `cargo run --release --example index_whatif`
+
+use zero_shot_db::catalog::{presets, SchemaGenerator};
+use zero_shot_db::engine::WhatIfPlanner;
+use zero_shot_db::query::{sql, BenchmarkWorkload, WorkloadKind};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::dataset::{collect_training_corpus, TrainingDataConfig};
+use zero_shot_db::zeroshot::{
+    FeaturizerConfig, ModelConfig, Trainer, TrainingConfig, WhatIfCostEstimator,
+};
+
+fn main() {
+    // Training databases get a random-but-fixed set of indexes so the model
+    // sees index scans during training (as in the paper).
+    let data_config = TrainingDataConfig {
+        num_databases: 5,
+        queries_per_database: 250,
+        random_indexes_per_database: 3,
+        ..TrainingDataConfig::tiny()
+    };
+    println!("Collecting training data (with random indexes per database) ...");
+    let corpus = collect_training_corpus(&data_config);
+    let schemas = SchemaGenerator::new(data_config.schema_config.clone()).generate_corpus(
+        "train",
+        data_config.num_databases,
+        data_config.seed,
+    );
+    let trainer = Trainer::new(
+        ModelConfig::default(),
+        TrainingConfig {
+            epochs: 30,
+            ..TrainingConfig::default()
+        },
+        FeaturizerConfig::estimated(),
+    );
+    let graphs = trainer.featurize_corpus(&corpus, |name| {
+        schemas.iter().find(|s| s.name == name).expect("catalog")
+    });
+    let model = trainer.train(&graphs);
+
+    // What-if questions on the unseen IMDB-like database.
+    let mut imdb = Database::generate(presets::imdb_like(0.04), 7);
+    let estimator = WhatIfCostEstimator::new(&model);
+    let planner = WhatIfPlanner::with_defaults();
+    let workload = BenchmarkWorkload::generate(WorkloadKind::Index, imdb.catalog(), 40, 3);
+
+    println!("\nWhat-if index predictions on the unseen IMDB-like database:\n");
+    let mut shown = 0;
+    for (i, query) in workload.queries.iter().enumerate() {
+        let Some(column) = WhatIfPlanner::candidate_index_column(query, i as u64) else {
+            continue;
+        };
+        let predicted_with = estimator.predict_with_index(&imdb, query, column);
+        let predicted_without = estimator.predict_without_index(&imdb, query);
+        let truth = planner.ground_truth_with_index(&mut imdb, query, column, i as u64);
+        if shown < 8 {
+            let column_name = format!(
+                "{}.{}",
+                imdb.catalog().table(column.table).name,
+                imdb.catalog().column(column).name
+            );
+            println!("  {}", sql::to_sql(imdb.catalog(), query));
+            println!(
+                "    hypothetical index on {column_name}: predicted {:.2} ms (without index {:.2} ms), true with index {:.2} ms",
+                predicted_with * 1e3,
+                predicted_without * 1e3,
+                truth.runtime_secs * 1e3
+            );
+            shown += 1;
+        }
+    }
+    println!("\n(Ground truth was obtained by temporarily building each index and executing.)");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: train a small zero-shot cost model on a handful of synthetic
+//! databases and predict query runtimes on a database it has never seen.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use zero_shot_db::catalog::presets;
+use zero_shot_db::query::{sql, WorkloadGenerator};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
+use zero_shot_db::zeroshot::{
+    evaluate, predict_runtime, FeaturizerConfig, ModelConfig, Trainer, TrainingConfig,
+};
+
+fn main() {
+    // 1. Collect training data: workloads executed on several *synthetic*
+    //    databases (a one-time effort in the zero-shot paradigm).
+    let data_config = TrainingDataConfig {
+        num_databases: 5,
+        queries_per_database: 200,
+        ..TrainingDataConfig::tiny()
+    };
+    println!(
+        "Collecting training data on {} synthetic databases ({} queries each) ...",
+        data_config.num_databases, data_config.queries_per_database
+    );
+    let corpus = collect_training_corpus(&data_config);
+    let schemas = zero_shot_db::catalog::SchemaGenerator::new(data_config.schema_config.clone())
+        .generate_corpus("train", data_config.num_databases, data_config.seed);
+
+    // 2. Train the zero-shot model (exact cardinalities as features).
+    let trainer = Trainer::new(
+        ModelConfig::default(),
+        TrainingConfig {
+            epochs: 30,
+            ..TrainingConfig::default()
+        },
+        FeaturizerConfig::exact(),
+    );
+    let graphs = trainer.featurize_corpus(&corpus, |name| {
+        schemas.iter().find(|s| s.name == name).expect("catalog")
+    });
+    println!("Training on {} executed plans ...", graphs.len());
+    let model = trainer.train(&graphs);
+    println!(
+        "Final training median q-error: {:.2}",
+        model.final_train_qerror
+    );
+
+    // 3. Predict runtimes on an *unseen* database (IMDB-like).
+    let imdb = Database::generate(presets::imdb_like(0.03), 123);
+    let eval_queries = WorkloadGenerator::with_defaults().generate(imdb.catalog(), 25, 7);
+    let executions = collect_for_database(
+        &imdb,
+        &zero_shot_db::query::WorkloadSpec::paper_training(),
+        25,
+        7,
+    );
+
+    println!("\nPredictions on the unseen IMDB-like database:");
+    for (query, execution) in eval_queries.iter().zip(&executions).take(5) {
+        let predicted = predict_runtime(&model, &imdb, execution);
+        println!(
+            "  {}\n    predicted {:.2} ms, actual {:.2} ms",
+            sql::to_sql(imdb.catalog(), query),
+            predicted * 1e3,
+            execution.runtime_secs * 1e3
+        );
+    }
+
+    let report = evaluate(&model, &imdb, "quickstart", &executions);
+    println!("\nZero-shot accuracy on the unseen database: {report}");
+}

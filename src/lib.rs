@@ -1,0 +1,30 @@
+//! # zero-shot-db
+//!
+//! A from-scratch Rust reproduction of *"One Model to Rule them All: Towards
+//! Zero-Shot Learning for Databases"* (Hilprecht & Binnig, CIDR 2022).
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names.  See the README for the architecture overview and the `examples/`
+//! directory for runnable end-to-end pipelines.
+//!
+//! * [`catalog`] — schemas, statistics, synthetic schema generator.
+//! * [`storage`] — in-memory column store, data generator, indexes.
+//! * [`query`] — logical queries, workload generator, benchmark workloads.
+//! * [`cardest`] — cardinality estimation (exact / histogram / sampling).
+//! * [`engine`] — physical plans, optimizer, executor, runtime simulator.
+//! * [`nn`] — minimal neural-network library used by all learned models.
+//! * [`zeroshot`] — the paper's contribution: transferable graph encoding and
+//!   the zero-shot cost model, training / few-shot / what-if pipelines.
+//! * [`baselines`] — workload-driven baselines (MSCN, E2E, scaled optimizer
+//!   cost).
+
+#![forbid(unsafe_code)]
+
+pub use zsdb_baselines as baselines;
+pub use zsdb_cardest as cardest;
+pub use zsdb_catalog as catalog;
+pub use zsdb_core as zeroshot;
+pub use zsdb_engine as engine;
+pub use zsdb_nn as nn;
+pub use zsdb_query as query;
+pub use zsdb_storage as storage;

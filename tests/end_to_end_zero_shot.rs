@@ -1,0 +1,88 @@
+//! Integration test: the full zero-shot pipeline across crates — synthetic
+//! schema generation, data generation, workload execution on the engine,
+//! multi-database training, and evaluation on an unseen database.
+
+use zero_shot_db::catalog::{presets, SchemaGenerator};
+use zero_shot_db::query::WorkloadSpec;
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::dataset::{
+    collect_for_database, collect_training_corpus, TrainingDataConfig,
+};
+use zero_shot_db::zeroshot::{
+    evaluate, few_shot_finetune, FeaturizerConfig, ModelConfig, Trainer, TrainingConfig,
+};
+
+fn train_tiny_zero_shot(
+    featurizer: FeaturizerConfig,
+) -> (zero_shot_db::zeroshot::TrainedModel, TrainingDataConfig) {
+    let config = TrainingDataConfig::tiny();
+    let corpus = collect_training_corpus(&config);
+    let schemas = SchemaGenerator::new(config.schema_config.clone()).generate_corpus(
+        "train",
+        config.num_databases,
+        config.seed,
+    );
+    let trainer = Trainer::new(ModelConfig::tiny(), TrainingConfig::tiny(), featurizer);
+    let graphs = trainer.featurize_corpus(&corpus, |name| {
+        schemas.iter().find(|s| s.name == name).expect("catalog")
+    });
+    (trainer.train(&graphs), config)
+}
+
+#[test]
+fn zero_shot_pipeline_on_unseen_database() {
+    let (model, _) = train_tiny_zero_shot(FeaturizerConfig::exact());
+    assert!(model.final_train_qerror < 3.0);
+
+    // The IMDB-like database was never part of the training corpus.
+    let imdb = Database::generate(presets::imdb_like(0.02), 555);
+    let executions = collect_for_database(&imdb, &WorkloadSpec::paper_training(), 40, 3);
+    let report = evaluate(&model, &imdb, "unseen-imdb", &executions);
+    assert!(report.qerrors.median.is_finite());
+    assert!(
+        report.qerrors.median < 6.0,
+        "zero-shot median q-error on unseen database too high: {}",
+        report.qerrors.median
+    );
+    assert!(report.qerrors.max >= report.qerrors.median);
+}
+
+#[test]
+fn estimated_cardinality_variant_works_end_to_end() {
+    let (model, _) = train_tiny_zero_shot(FeaturizerConfig::estimated());
+    let ssb = Database::generate(presets::ssb_like(0.02), 7);
+    let executions = collect_for_database(&ssb, &WorkloadSpec::paper_training(), 30, 9);
+    let report = evaluate(&model, &ssb, "unseen-ssb", &executions);
+    assert!(report.qerrors.median.is_finite());
+    assert_eq!(report.qerrors.count, 30);
+}
+
+#[test]
+fn few_shot_pipeline_runs_and_stays_reasonable() {
+    let (model, _) = train_tiny_zero_shot(FeaturizerConfig::exact());
+    let imdb = Database::generate(presets::imdb_like(0.02), 99);
+    let executions = collect_for_database(&imdb, &WorkloadSpec::paper_training(), 60, 21);
+    let (budget, holdout) = executions.split_at(30);
+
+    let before = evaluate(&model, &imdb, "holdout", holdout);
+    let finetuned = few_shot_finetune(&model, &imdb, budget, 25, 1e-3);
+    let after = evaluate(&finetuned, &imdb, "holdout", holdout);
+    assert!(after.qerrors.median.is_finite());
+    // Fine-tuning on real target-database queries should not catastrophically
+    // hurt accuracy.
+    assert!(after.qerrors.median <= before.qerrors.median * 1.5);
+}
+
+#[test]
+fn trained_models_roundtrip_through_json() {
+    let (model, _) = train_tiny_zero_shot(FeaturizerConfig::exact());
+    let imdb = Database::generate(presets::imdb_like(0.02), 1);
+    let executions = collect_for_database(&imdb, &WorkloadSpec::paper_training(), 5, 2);
+    let json = model.to_json();
+    let restored = zero_shot_db::zeroshot::TrainedModel::from_json(&json).unwrap();
+    for e in &executions {
+        let a = zero_shot_db::zeroshot::predict_runtime(&model, &imdb, e);
+        let b = zero_shot_db::zeroshot::predict_runtime(&restored, &imdb, e);
+        assert!((a - b).abs() < 1e-9);
+    }
+}

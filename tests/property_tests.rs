@@ -1,0 +1,80 @@
+//! Property-based tests over the core invariants of the workspace:
+//! generated schemas/workloads are always valid, plans always cover their
+//! queries, executions are deterministic, featurization is structurally
+//! sound and Q-errors behave like a metric.
+
+use proptest::prelude::*;
+use zero_shot_db::catalog::{GeneratorConfig, SchemaGenerator};
+use zero_shot_db::engine::QueryRunner;
+use zero_shot_db::nn::{percentile, q_error};
+use zero_shot_db::query::{WorkloadGenerator, WorkloadSpec};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::features::{featurize_execution, FeaturizerConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated schema yields valid workloads whose optimizer plans
+    /// scan exactly the queried tables and whose graphs are topologically
+    /// ordered.
+    #[test]
+    fn generated_schemas_workloads_and_plans_are_consistent(seed in 0u64..5_000) {
+        let schema = SchemaGenerator::new(GeneratorConfig::tiny()).generate("prop_db", seed);
+        let db = Database::generate(schema, seed ^ 0xF00D);
+        let queries = WorkloadGenerator::new(WorkloadSpec {
+            max_tables: 3,
+            ..WorkloadSpec::default()
+        })
+        .generate(db.catalog(), 3, seed);
+        let runner = QueryRunner::with_defaults(&db);
+        for q in &queries {
+            prop_assert!(q.validate(db.catalog()).is_ok());
+            let execution = runner.run(q, seed);
+            prop_assert_eq!(execution.plan.scanned_tables().len(), q.num_tables());
+            prop_assert!(execution.runtime_secs > 0.0);
+            let graph = featurize_execution(db.catalog(), &execution, FeaturizerConfig::exact());
+            prop_assert_eq!(graph.root, graph.len() - 1);
+            for (i, node) in graph.nodes.iter().enumerate() {
+                for &c in &node.children {
+                    prop_assert!(c < i);
+                }
+            }
+        }
+    }
+
+    /// Executions are bit-for-bit deterministic given the same seeds.
+    #[test]
+    fn executions_are_deterministic(seed in 0u64..2_000) {
+        let schema = SchemaGenerator::new(GeneratorConfig::tiny()).generate("prop_db", seed);
+        let db = Database::generate(schema, 1);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 1, seed);
+        let runner = QueryRunner::with_defaults(&db);
+        let a = runner.run(&queries[0], seed);
+        let b = runner.run(&queries[0], seed);
+        prop_assert_eq!(a.runtime_secs, b.runtime_secs);
+        prop_assert_eq!(a.aggregates, b.aggregates);
+    }
+
+    /// Q-error is symmetric, ≥ 1 and multiplicative in the error factor.
+    #[test]
+    fn q_error_properties(actual in 1e-6f64..1e3, factor in 1.0f64..1e3) {
+        let over = q_error(actual * factor, actual);
+        let under = q_error(actual / factor, actual);
+        prop_assert!((over - factor).abs() < 1e-6 * factor);
+        prop_assert!((under - factor).abs() < 1e-6 * factor);
+        prop_assert!(q_error(actual, actual) >= 1.0);
+    }
+
+    /// Percentiles are monotone in `p` and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(mut values in prop::collection::vec(0.0f64..1e6, 1..50)) {
+        let p50 = percentile(&values, 50.0);
+        let p95 = percentile(&values, 95.0);
+        let p100 = percentile(&values, 100.0);
+        prop_assert!(p50 <= p95 + 1e-9);
+        prop_assert!(p95 <= p100 + 1e-9);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(p100 <= values[values.len() - 1] + 1e-9);
+        prop_assert!(percentile(&values, 0.0) >= values[0] - 1e-9);
+    }
+}
