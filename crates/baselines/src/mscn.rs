@@ -66,7 +66,11 @@ impl MscnModel {
         // Predicate feature: column one-hot + operator one-hot + normalised literal.
         let pred_dim = columns.len() + CmpOp::ALL.len() + 1;
         MscnModel {
-            table_mlp: Mlp::new(&[num_tables + 1, h, h], Activation::LeakyRelu, config.seed ^ 1),
+            table_mlp: Mlp::new(
+                &[num_tables + 1, h, h],
+                Activation::LeakyRelu,
+                config.seed ^ 1,
+            ),
             join_mlp: Mlp::new(&[num_joins, h, h], Activation::LeakyRelu, config.seed ^ 2),
             predicate_mlp: Mlp::new(&[pred_dim, h, h], Activation::LeakyRelu, config.seed ^ 3),
             output_mlp: Mlp::new(&[3 * h, h, 1], Activation::LeakyRelu, config.seed ^ 4),
@@ -221,13 +225,14 @@ impl MscnModel {
 
         // Split the gradient back onto the three pooled vectors and push it
         // through every set element (mean pooling → divide by set size).
-        let mut backprop_set = |mlp: &mut Mlp, caches: &[zsdb_nn::MlpCache], offset: usize, n: usize| {
-            let grad = &d_features[offset..offset + h];
-            for cache in caches {
-                let scaled: Vec<f64> = grad.iter().map(|g| g / n as f64).collect();
-                mlp.backward(cache, &scaled);
-            }
-        };
+        let backprop_set =
+            |mlp: &mut Mlp, caches: &[zsdb_nn::MlpCache], offset: usize, n: usize| {
+                let grad = &d_features[offset..offset + h];
+                for cache in caches {
+                    let scaled: Vec<f64> = grad.iter().map(|g| g / n as f64).collect();
+                    mlp.backward(cache, &scaled);
+                }
+            };
         backprop_set(&mut self.table_mlp, &t_caches, 0, table_items.len());
         backprop_set(&mut self.join_mlp, &j_caches, h, join_items.len());
         backprop_set(&mut self.predicate_mlp, &p_caches, 2 * h, pred_items.len());

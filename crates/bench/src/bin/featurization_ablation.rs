@@ -39,7 +39,10 @@ fn main() {
     println!("|---|---|---|---|---|");
     for (label, featurizer) in variants {
         let (model, _) = train_zero_shot(&scale, featurizer);
-        let mut cells = vec![label.to_string(), format!("{:.2}", model.final_train_qerror)];
+        let mut cells = vec![
+            label.to_string(),
+            format!("{:.2}", model.final_train_qerror),
+        ];
         for kind in WorkloadKind::FIGURE3 {
             let eval = benchmark_executions(&db, kind, &scale);
             let report = evaluate(&model, &db, kind.name(), &eval);

@@ -19,7 +19,10 @@ fn main() {
     println!("# Figure 3 reproduction (scale: {scale:?})\n");
 
     // 1. Zero-shot models trained on synthetic databases only.
-    println!("Training zero-shot models on {} synthetic databases ...", scale.train_databases);
+    println!(
+        "Training zero-shot models on {} synthetic databases ...",
+        scale.train_databases
+    );
     let (zs_exact, corpus_size) = train_zero_shot(&scale, FeaturizerConfig::exact());
     let (zs_est, _) = train_zero_shot(&scale, FeaturizerConfig::estimated());
     println!(
@@ -33,7 +36,9 @@ fn main() {
     // 3. Training pool for the workload-driven baselines (queries executed
     //    on the *target* database, as the paper's x-axis).
     let max_training = *scale.baseline_training_sizes.iter().max().unwrap_or(&100);
-    println!("Collecting up to {max_training} baseline training queries on the target database ...");
+    println!(
+        "Collecting up to {max_training} baseline training queries on the target database ..."
+    );
     let baseline_pool = collect_for_database(
         &db,
         &WorkloadSpec::paper_training(),

@@ -144,7 +144,10 @@ pub fn benchmark_executions(
 /// Train a zero-shot model with the given featurizer over the multi
 /// database training corpus described by `scale`.  Returns the trained
 /// model and the corpus size (for reporting).
-pub fn train_zero_shot(scale: &ExperimentScale, featurizer: FeaturizerConfig) -> (TrainedModel, usize) {
+pub fn train_zero_shot(
+    scale: &ExperimentScale,
+    featurizer: FeaturizerConfig,
+) -> (TrainedModel, usize) {
     let data_config = scale.training_data_config();
     let corpus = collect_training_corpus(&data_config);
     let schemas = zsdb_catalog::SchemaGenerator::new(data_config.schema_config.clone())

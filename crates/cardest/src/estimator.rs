@@ -1,7 +1,7 @@
 //! The [`CardinalityEstimator`] trait and shared combination logic.
 
-use zsdb_query::{JoinCondition, Predicate, Query};
 use zsdb_catalog::{SchemaCatalog, TableId};
+use zsdb_query::{JoinCondition, Predicate, Query};
 
 /// A cardinality estimator: given per-predicate and per-join selectivities,
 /// produces cardinality estimates for base tables and connected sub-queries.
@@ -152,10 +152,7 @@ mod tests {
     fn cardinality_never_hits_zero() {
         let catalog = presets::imdb_like(0.02);
         let (title, _) = catalog.table_by_name("title").unwrap();
-        let est = ConstEstimator {
-            sel: 0.0,
-            catalog,
-        };
+        let est = ConstEstimator { sel: 0.0, catalog };
         let query = Query::scan(title);
         assert!(est.query_cardinality(&query) > 0.0);
     }

@@ -1,0 +1,129 @@
+//! Exact (brute-force) selectivity computation over the full base tables.
+//!
+//! The zero-shot paper's upper-bound featurization variant feeds *exact*
+//! cardinalities to the cost model.  Per-operator exact cardinalities are
+//! recorded by the executor while collecting runtimes; this estimator
+//! provides the same ground truth through the [`CardinalityEstimator`]
+//! interface, so baselines and tests can compare approximate estimators
+//! (histograms, sampling) against the truth on equal footing.
+//!
+//! Per-table predicate conjunctions are evaluated exactly by scanning every
+//! row (no independence assumption).  Join cardinalities still use the
+//! trait's default System-R combination, which is the standard behaviour
+//! for "exact base-table cardinality" estimators.
+
+use crate::estimator::CardinalityEstimator;
+use zsdb_catalog::{SchemaCatalog, TableId};
+use zsdb_query::Predicate;
+use zsdb_storage::{Database, TableData};
+
+/// Ground-truth selectivities computed by scanning the full tables.
+///
+/// Build cost is proportional to the database size on every estimate call
+/// (the data is scanned, not summarised), so this is a tool for evaluation
+/// and tests, not for optimisation hot paths.
+#[derive(Debug, Clone)]
+pub struct ExactEstimator {
+    catalog: SchemaCatalog,
+    tables: Vec<TableData>,
+}
+
+impl ExactEstimator {
+    /// Snapshot the database's tables for exact evaluation.
+    pub fn build(db: &Database) -> Self {
+        let catalog = db.catalog().clone();
+        let tables = catalog
+            .iter_tables()
+            .map(|(tid, _)| db.table_data(tid).clone())
+            .collect();
+        ExactEstimator { catalog, tables }
+    }
+
+    /// Exact fraction of rows of `table` satisfying *all* `predicates` that
+    /// reference it.  Returns 1.0 when no predicate references the table.
+    pub fn conjunctive_selectivity(&self, table: TableId, predicates: &[Predicate]) -> f64 {
+        let relevant: Vec<&Predicate> = predicates
+            .iter()
+            .filter(|p| p.column.table == table)
+            .collect();
+        if relevant.is_empty() {
+            return 1.0;
+        }
+        let data = &self.tables[table.index()];
+        if data.num_rows() == 0 {
+            return 0.0;
+        }
+        let matching = (0..data.num_rows())
+            .filter(|&row| {
+                relevant
+                    .iter()
+                    .all(|p| p.matches(data.value(row, p.column.column)))
+            })
+            .count();
+        matching as f64 / data.num_rows() as f64
+    }
+}
+
+impl CardinalityEstimator for ExactEstimator {
+    fn catalog(&self) -> &SchemaCatalog {
+        &self.catalog
+    }
+
+    fn predicate_selectivity(&self, predicate: &Predicate) -> f64 {
+        self.conjunctive_selectivity(predicate.column.table, std::slice::from_ref(predicate))
+    }
+
+    fn table_cardinality(&self, table: TableId, predicates: &[Predicate]) -> f64 {
+        let rows = self.tables[table.index()].num_rows() as f64;
+        rows * self.conjunctive_selectivity(table, predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::{presets, Value};
+    use zsdb_query::{CmpOp, Predicate};
+
+    #[test]
+    fn matches_brute_force_single_predicate() {
+        let db = Database::generate(presets::imdb_like(0.02), 17);
+        let est = ExactEstimator::build(&db);
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let p = Predicate::new(year, CmpOp::Gt, Value::Int(1995));
+        let column = db.table_data(year.table).column(year.column);
+        let truth = (0..column.len())
+            .filter(|&r| p.matches(column.get(r)))
+            .count() as f64
+            / column.len() as f64;
+        assert_eq!(est.predicate_selectivity(&p), truth);
+    }
+
+    #[test]
+    fn empty_predicate_list_is_full_table() {
+        let db = Database::generate(presets::imdb_like(0.02), 17);
+        let est = ExactEstimator::build(&db);
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let rows = db.table_data(title).num_rows() as f64;
+        assert_eq!(est.table_cardinality(title, &[]), rows);
+    }
+
+    #[test]
+    fn contradictory_conjunction_is_zero() {
+        let db = Database::generate(presets::imdb_like(0.02), 17);
+        let est = ExactEstimator::build(&db);
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let preds = [
+            Predicate::new(year, CmpOp::Lt, Value::Int(1950)),
+            Predicate::new(year, CmpOp::Gt, Value::Int(2000)),
+        ];
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        assert_eq!(est.conjunctive_selectivity(title, &preds), 0.0);
+    }
+}

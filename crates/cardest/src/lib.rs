@@ -14,21 +14,25 @@
 //!   optimizer cardinalities",
 //! * [`HistogramEstimator`] — equi-depth histograms built from a data
 //!   sample, the stand-in for a simple data-driven model,
-//! * [`SamplingEstimator`] — evaluates predicates on a row sample.
+//! * [`SamplingEstimator`] — evaluates predicates on a row sample,
+//! * [`ExactEstimator`] — ground truth by brute-force table scans, for
+//!   evaluating the approximate estimators.
 //!
-//! Exact cardinalities are recorded by the executor in `zsdb-engine` while
-//! collecting runtimes, so they need no estimator here.
+//! Exact *per-operator* cardinalities are additionally recorded by the
+//! executor in `zsdb-engine` while collecting runtimes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod estimator;
+pub mod exact;
 pub mod histogram;
 pub mod postgres_like;
 pub mod sampling;
 pub mod table_stats;
 
 pub use estimator::CardinalityEstimator;
+pub use exact::ExactEstimator;
 pub use histogram::EquiDepthHistogram;
 pub use postgres_like::PostgresLikeEstimator;
 pub use sampling::SamplingEstimator;

@@ -43,9 +43,10 @@ impl CardinalityEstimator for PostgresLikeEstimator {
             CmpOp::Neq => (stats.non_null_fraction() - stats.eq_selectivity()).max(0.0),
             CmpOp::Lt => stats.lt_selectivity(literal),
             CmpOp::Leq => stats.lt_selectivity(literal) + stats.eq_selectivity(),
-            CmpOp::Gt => (stats.non_null_fraction() - stats.lt_selectivity(literal)
-                - stats.eq_selectivity())
-            .max(0.0),
+            CmpOp::Gt => {
+                (stats.non_null_fraction() - stats.lt_selectivity(literal) - stats.eq_selectivity())
+                    .max(0.0)
+            }
             CmpOp::Geq => (stats.non_null_fraction() - stats.lt_selectivity(literal)).max(0.0),
         };
         if stats.domain_width() == 0.0 && predicate.op.is_range() {

@@ -180,8 +180,7 @@ mod tests {
     fn estimator_handles_generated_workload() {
         let db = imdb_db();
         let est = HistogramEstimator::build(&db, 3);
-        let workload =
-            zsdb_query::WorkloadGenerator::with_defaults().generate(db.catalog(), 50, 2);
+        let workload = zsdb_query::WorkloadGenerator::with_defaults().generate(db.catalog(), 50, 2);
         for q in &workload {
             let card = est.query_cardinality(q);
             assert!(card.is_finite() && card >= 0.0);

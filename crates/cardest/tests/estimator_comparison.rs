@@ -1,0 +1,125 @@
+//! Cross-estimator accuracy test: the histogram and sampling estimators
+//! must track the exact (brute-force) estimator within bounded q-error on
+//! a small generated database.
+
+use zsdb_cardest::{CardinalityEstimator, ExactEstimator, HistogramEstimator, SamplingEstimator};
+use zsdb_catalog::{GeneratorConfig, SchemaGenerator};
+use zsdb_query::{WorkloadGenerator, WorkloadSpec};
+use zsdb_storage::Database;
+
+/// Q-error with a floor of one row, so empty results are not penalised
+/// infinitely.
+fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+struct Comparison {
+    qs: Vec<f64>,
+}
+
+impl Comparison {
+    /// Collect per-table cardinality q-errors of `estimator` vs. the exact
+    /// estimator over a generated workload.
+    fn collect<E: CardinalityEstimator>(
+        db: &Database,
+        exact: &ExactEstimator,
+        estimator: &E,
+        seed: u64,
+    ) -> Self {
+        let queries = WorkloadGenerator::new(WorkloadSpec {
+            max_tables: 2,
+            ..WorkloadSpec::default()
+        })
+        .generate(db.catalog(), 40, seed);
+        let mut qs = Vec::new();
+        for query in &queries {
+            for &table in &query.tables {
+                let truth = exact.table_cardinality(table, &query.predicates);
+                let estimate = estimator.table_cardinality(table, &query.predicates);
+                assert!(
+                    estimate.is_finite() && estimate >= 0.0,
+                    "estimate must be a finite non-negative count, got {estimate}"
+                );
+                qs.push(q_error(estimate, truth));
+            }
+        }
+        assert!(!qs.is_empty(), "workload produced no table cardinalities");
+        Comparison { qs }
+    }
+
+    fn median(&self) -> f64 {
+        let mut sorted = self.qs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+
+    fn fraction_within(&self, bound: f64) -> f64 {
+        self.qs.iter().filter(|&&q| q <= bound).count() as f64 / self.qs.len() as f64
+    }
+}
+
+fn small_generated_db() -> Database {
+    let schema = SchemaGenerator::new(GeneratorConfig::tiny()).generate("cmp_db", 21);
+    Database::generate(schema, 22)
+}
+
+#[test]
+fn histogram_estimator_has_bounded_qerror() {
+    let db = small_generated_db();
+    let exact = ExactEstimator::build(&db);
+    let histogram = HistogramEstimator::build(&db, 5);
+    let cmp = Comparison::collect(&db, &exact, &histogram, 77);
+    let median = cmp.median();
+    assert!(median < 1.5, "histogram median q-error too high: {median}");
+    let within10 = cmp.fraction_within(10.0);
+    assert!(
+        within10 >= 0.9,
+        "only {:.0}% of histogram estimates within q-error 10",
+        within10 * 100.0
+    );
+}
+
+#[test]
+fn sampling_estimator_has_bounded_qerror() {
+    let db = small_generated_db();
+    let exact = ExactEstimator::build(&db);
+    let sampling = SamplingEstimator::build(&db, 1_000, 5);
+    let cmp = Comparison::collect(&db, &exact, &sampling, 77);
+    let median = cmp.median();
+    assert!(median < 1.5, "sampling median q-error too high: {median}");
+    let within10 = cmp.fraction_within(10.0);
+    assert!(
+        within10 >= 0.9,
+        "only {:.0}% of sampling estimates within q-error 10",
+        within10 * 100.0
+    );
+}
+
+#[test]
+fn sampling_beats_histograms_on_correlated_conjunctions() {
+    // Sampling sees the joint distribution of conjunctions on one table,
+    // histograms multiply marginals (independence assumption).  Over the
+    // whole workload sampling must therefore be at least as accurate in
+    // aggregate.
+    let db = small_generated_db();
+    let exact = ExactEstimator::build(&db);
+    let histogram = HistogramEstimator::build(&db, 5);
+    let sampling = SamplingEstimator::build(&db, 2_000, 5);
+    let hist_cmp = Comparison::collect(&db, &exact, &histogram, 123);
+    let samp_cmp = Comparison::collect(&db, &exact, &sampling, 123);
+    let (h, s) = (hist_cmp.median(), samp_cmp.median());
+    assert!(
+        s <= h * 1.25,
+        "sampling median q-error {s} should not trail histogram {h} by much"
+    );
+}
+
+#[test]
+fn exact_estimator_is_its_own_ground_truth() {
+    let db = small_generated_db();
+    let exact = ExactEstimator::build(&db);
+    let cmp = Comparison::collect(&db, &exact, &exact, 99);
+    assert!(cmp.qs.iter().all(|&q| q == 1.0));
+}

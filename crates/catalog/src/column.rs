@@ -27,9 +27,7 @@ impl fmt::Display for ColumnId {
 }
 
 /// Fully qualified reference to a column: `(table, column)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ColumnRef {
     /// Table the column belongs to.
     pub table: TableId,

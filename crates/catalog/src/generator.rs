@@ -157,7 +157,12 @@ impl SchemaGenerator {
 
     /// Generate a whole corpus of `count` schemas with names
     /// `"{prefix}_{i}"`, seeds derived from `base_seed`.
-    pub fn generate_corpus(&self, prefix: &str, count: usize, base_seed: u64) -> Vec<SchemaCatalog> {
+    pub fn generate_corpus(
+        &self,
+        prefix: &str,
+        count: usize,
+        base_seed: u64,
+    ) -> Vec<SchemaCatalog> {
         (0..count)
             .map(|i| {
                 self.generate(
@@ -219,9 +224,7 @@ impl SchemaGenerator {
             let lo = rng.random_range(-1_000.0..1_000.0f64);
             let width = rng.random_range(10.0..1.0e6f64);
             let hi = lo + width;
-            let distinct = rng
-                .random_range(16..5_000u64)
-                .min(rows.max(16));
+            let distinct = rng.random_range(16..5_000u64).min(rows.max(16));
             let distribution = match rng.random_range(0..3) {
                 0 => Distribution::Uniform,
                 1 => Distribution::Normal {

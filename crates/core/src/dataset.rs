@@ -157,7 +157,10 @@ mod tests {
                 .iter()
                 .any(|n| n.kind == zsdb_engine::PhysOperatorKind::IndexScan)
         });
-        assert!(has_index_scan, "expected at least one index scan in the corpus");
+        assert!(
+            has_index_scan,
+            "expected at least one index scan in the corpus"
+        );
     }
 
     #[test]

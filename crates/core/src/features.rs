@@ -353,11 +353,7 @@ impl<'a> GraphBuilder<'a> {
     fn predicate_node(&mut self, predicate: &Predicate) -> usize {
         let column = self.column_node(predicate.column);
         let mut features = one_hot(predicate.op.index(), CmpOp::ALL.len());
-        let literal_type = predicate
-            .value
-            .data_type()
-            .map(|t| t.index())
-            .unwrap_or(0);
+        let literal_type = predicate.value.data_type().map(|t| t.index()).unwrap_or(0);
         features.extend(one_hot(literal_type, 5));
         self.push(NodeKind::Predicate, features, vec![column])
     }
@@ -484,8 +480,11 @@ mod tests {
         let other_db = Database::generate(presets::ssb_like(0.02), 1);
         let runner = QueryRunner::with_defaults(&other_db);
         let queries = WorkloadGenerator::with_defaults().generate(other_db.catalog(), 1, 1);
-        let other =
-            featurize_execution(other_db.catalog(), &runner.run(&queries[0], 0), FeaturizerConfig::exact());
+        let other = featurize_execution(
+            other_db.catalog(),
+            &runner.run(&queries[0], 0),
+            FeaturizerConfig::exact(),
+        );
         for node in g.nodes.iter().chain(other.nodes.iter()) {
             assert_eq!(node.features.len(), node.kind.feature_dim());
         }

@@ -35,7 +35,9 @@ pub mod train;
 pub mod whatif;
 
 pub use dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
-pub use eval::{evaluate, evaluate_graphs, evaluate_predictions, predict_runtime, EvaluationReport};
+pub use eval::{
+    evaluate, evaluate_graphs, evaluate_predictions, predict_runtime, EvaluationReport,
+};
 pub use features::{CardinalityMode, FeatureMode, FeaturizerConfig, NodeKind, PlanGraph};
 pub use model::{ModelConfig, ZeroShotCostModel};
 pub use train::{few_shot_finetune, TrainedModel, Trainer, TrainingConfig};

@@ -113,10 +113,7 @@ impl ZeroShotCostModel {
 
     /// Total number of trainable parameters.
     pub fn num_parameters(&self) -> usize {
-        self.encoders
-            .iter()
-            .map(Mlp::num_parameters)
-            .sum::<usize>()
+        self.encoders.iter().map(Mlp::num_parameters).sum::<usize>()
             + self.combine.num_parameters()
             + self.output.num_parameters()
     }

@@ -122,7 +122,11 @@ impl Trainer {
     /// Every execution is featurized against the catalog of the database it
     /// ran on — `catalogs` maps database names to catalogs via the supplied
     /// lookup closure.
-    pub fn featurize_corpus<'a, F>(&self, corpus: &[QueryExecution], mut catalog_of: F) -> Vec<PlanGraph>
+    pub fn featurize_corpus<'a, F>(
+        &self,
+        corpus: &[QueryExecution],
+        mut catalog_of: F,
+    ) -> Vec<PlanGraph>
     where
         F: FnMut(&str) -> &'a zsdb_catalog::SchemaCatalog,
     {
@@ -288,8 +292,7 @@ mod tests {
         let trained = trainer.train(&graphs);
 
         let imdb = Database::generate(presets::imdb_like(0.02), 42);
-        let eval_execs =
-            collect_for_database(&imdb, &WorkloadSpec::paper_training(), 30, 77);
+        let eval_execs = collect_for_database(&imdb, &WorkloadSpec::paper_training(), 30, 77);
         let eval_graphs: Vec<PlanGraph> = eval_execs
             .iter()
             .map(|e| featurize_execution(imdb.catalog(), e, trained.featurizer))
@@ -297,11 +300,8 @@ mod tests {
         let zero_shot_q = median_q_error(&trained.model, &eval_graphs);
 
         // Naive baseline: always predict the mean training runtime.
-        let mean_runtime = graphs
-            .iter()
-            .filter_map(|g| g.runtime_secs)
-            .sum::<f64>()
-            / graphs.len() as f64;
+        let mean_runtime =
+            graphs.iter().filter_map(|g| g.runtime_secs).sum::<f64>() / graphs.len() as f64;
         let naive_q = median(
             &eval_execs
                 .iter()
@@ -326,8 +326,7 @@ mod tests {
         let trained = trainer.train(&graphs);
 
         let imdb = Database::generate(presets::imdb_like(0.02), 42);
-        let target_execs =
-            collect_for_database(&imdb, &WorkloadSpec::paper_training(), 40, 5);
+        let target_execs = collect_for_database(&imdb, &WorkloadSpec::paper_training(), 40, 5);
         let (finetune_set, holdout) = target_execs.split_at(25);
 
         let holdout_graphs: Vec<PlanGraph> = holdout
@@ -335,7 +334,7 @@ mod tests {
             .map(|e| featurize_execution(imdb.catalog(), e, trained.featurizer))
             .collect();
         let before = median_q_error(&trained.model, &holdout_graphs);
-        let finetuned = few_shot_finetune(&trained, &imdb, finetune_set, 30, 1e-3);
+        let finetuned = few_shot_finetune(&trained, &imdb, finetune_set, 30, 3e-4);
         let after = median_q_error(&finetuned.model, &holdout_graphs);
         assert!(
             after <= before * 1.15,

@@ -120,7 +120,10 @@ mod tests {
         let table_pages = 1_000.0;
         let seq = m.seq_scan(table_pages, table_rows, 1);
         let idx = m.index_scan(3.0, 90_000.0, table_rows, table_pages, 1);
-        assert!(seq < idx, "unselective index scan should lose: {seq} vs {idx}");
+        assert!(
+            seq < idx,
+            "unselective index scan should lose: {seq} vs {idx}"
+        );
     }
 
     #[test]
@@ -136,7 +139,10 @@ mod tests {
         let m = model();
         let hash = m.hash_join(2.0, 10.0, 10.0);
         let nl = m.nested_loop_join(10.0, 2.0, 10.0);
-        assert!(nl <= hash * 2.0, "nl {nl} should be competitive with hash {hash}");
+        assert!(
+            nl <= hash * 2.0,
+            "nl {nl} should be competitive with hash {hash}"
+        );
     }
 
     #[test]

@@ -164,7 +164,9 @@ impl<'a> Executor<'a> {
 
     fn exec_node(&self, plan: &PlanNode) -> (Relation, ExecutedNode) {
         match &plan.op {
-            PhysOperator::SeqScan { table, predicates } => self.exec_seq_scan(plan, *table, predicates),
+            PhysOperator::SeqScan { table, predicates } => {
+                self.exec_seq_scan(plan, *table, predicates)
+            }
             PhysOperator::IndexScan {
                 table,
                 index_column,
@@ -369,8 +371,10 @@ impl<'a> Executor<'a> {
         for outer_row in &outer_rel.rows {
             for inner_row in &inner_rel.rows {
                 comparisons += 1;
-                let matches = match (join_key(&outer_row[outer_pos]), join_key(&inner_row[inner_pos]))
-                {
+                let matches = match (
+                    join_key(&outer_row[outer_pos]),
+                    join_key(&inner_row[inner_pos]),
+                ) {
                     (Some(a), Some(b)) => a == b,
                     _ => false,
                 };
@@ -540,7 +544,9 @@ mod tests {
         let (title, _) = catalog.table_by_name("title").unwrap();
         let (mc, mc_meta) = catalog.table_by_name("movie_companies").unwrap();
         let title_id = catalog.resolve_column("title", "id").unwrap();
-        let movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
         let q = Query {
             tables: vec![title, mc],
             joins: vec![JoinCondition::new(movie_id, title_id)],
@@ -571,8 +577,7 @@ mod tests {
         let with_index = run(&db, &q);
         assert_eq!(without_index.aggregates, with_index.aggregates);
         // The indexed execution must actually use the index.
-        let kinds: Vec<PhysOperatorKind> =
-            with_index.root.iter().iter().map(|n| n.kind).collect();
+        let kinds: Vec<PhysOperatorKind> = with_index.root.iter().iter().map(|n| n.kind).collect();
         assert!(kinds.contains(&PhysOperatorKind::IndexScan));
     }
 

@@ -172,12 +172,12 @@ impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
         };
 
         // Hash join: build on the smaller side.
-        let (build, probe, build_key, probe_key) =
-            if left.est_cardinality <= right.est_cardinality {
-                (left.clone(), right.clone(), left_key, right_key)
-            } else {
-                (right.clone(), left.clone(), right_key, left_key)
-            };
+        let (build, probe, build_key, probe_key) = if left.est_cardinality <= right.est_cardinality
+        {
+            (left.clone(), right.clone(), left_key, right_key)
+        } else {
+            (right.clone(), left.clone(), right_key, left_key)
+        };
         let hash_cost = build.est_cost
             + probe.est_cost
             + self
@@ -200,12 +200,12 @@ impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
 
         // Nested loop: outer = larger side, inner = smaller side (the inner
         // is materialised once by our executor).
-        let (outer, inner, outer_key, inner_key) =
-            if left.est_cardinality >= right.est_cardinality {
-                (left, right, left_key, right_key)
-            } else {
-                (right, left, right_key, left_key)
-            };
+        let (outer, inner, outer_key, inner_key) = if left.est_cardinality >= right.est_cardinality
+        {
+            (left, right, left_key, right_key)
+        } else {
+            (right, left, right_key, left_key)
+        };
         let nl_cost = outer.est_cost
             + inner.est_cost
             + self
@@ -243,7 +243,9 @@ impl<'a, E: CardinalityEstimator> Optimizer<'a, E> {
         let width = meta.row_width_bytes() as f64;
         let pages = meta.num_pages() as f64;
 
-        let seq_cost = self.cost.seq_scan(pages, meta.num_tuples as f64, predicates.len());
+        let seq_cost = self
+            .cost
+            .seq_scan(pages, meta.num_tuples as f64, predicates.len());
         let mut best = PlanNode::leaf(
             PhysOperator::SeqScan {
                 table,
@@ -350,7 +352,9 @@ mod tests {
         let (title, _) = catalog.table_by_name("title").unwrap();
         let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
         let title_id = catalog.resolve_column("title", "id").unwrap();
-        let movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
         let year = catalog.resolve_column("title", "production_year").unwrap();
         Query {
             tables: vec![title, mc],
@@ -435,12 +439,16 @@ mod tests {
         };
 
         let plain = Optimizer::new(&db, EngineConfig::default(), &est).plan(&q);
-        assert!(plain.iter().all(|n| n.op.kind() != PhysOperatorKind::IndexScan));
+        assert!(plain
+            .iter()
+            .all(|n| n.op.kind() != PhysOperatorKind::IndexScan));
 
         let mut whatif = Optimizer::new(&db, EngineConfig::default(), &est);
         whatif.add_hypothetical_index(year);
         let plan = whatif.plan(&q);
-        assert!(plan.iter().any(|n| n.op.kind() == PhysOperatorKind::IndexScan));
+        assert!(plan
+            .iter()
+            .any(|n| n.op.kind() == PhysOperatorKind::IndexScan));
     }
 
     #[test]
@@ -462,7 +470,9 @@ mod tests {
             aggregates: vec![Aggregate::count_star()],
         };
         let plan = optimizer.plan(&q);
-        assert!(plan.iter().all(|n| n.op.kind() != PhysOperatorKind::IndexScan));
+        assert!(plan
+            .iter()
+            .all(|n| n.op.kind() != PhysOperatorKind::IndexScan));
     }
 
     #[test]

@@ -181,10 +181,7 @@ impl PlanNode {
 
     /// All base tables scanned anywhere in the subtree.
     pub fn scanned_tables(&self) -> Vec<TableId> {
-        let mut tables: Vec<TableId> = self
-            .iter()
-            .filter_map(|n| n.op.scanned_table())
-            .collect();
+        let mut tables: Vec<TableId> = self.iter().filter_map(|n| n.op.scanned_table()).collect();
         tables.sort();
         tables.dedup();
         tables

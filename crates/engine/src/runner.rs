@@ -115,7 +115,10 @@ mod tests {
         let single = runner.run(&Query::scan(title), 0);
 
         let title_id = db.catalog().resolve_column("title", "id").unwrap();
-        let movie_id = db.catalog().resolve_column("cast_info", "movie_id").unwrap();
+        let movie_id = db
+            .catalog()
+            .resolve_column("cast_info", "movie_id")
+            .unwrap();
         let join_query = Query {
             tables: vec![title, ci],
             joins: vec![zsdb_query::JoinCondition::new(movie_id, title_id)],

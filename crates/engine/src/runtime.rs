@@ -109,8 +109,8 @@ impl HardwareProfile {
         let spilled = w.build_bytes > self.cache_bytes;
         let spill = if spilled { self.spill_factor } else { 1.0 };
 
-        let io = w.pages_seq as f64 * self.seq_page_us
-            + w.pages_random as f64 * self.random_page_us;
+        let io =
+            w.pages_seq as f64 * self.seq_page_us + w.pages_random as f64 * self.random_page_us;
         let cpu = w.input_tuples as f64 * self.tuple_cpu_us
             + w.predicate_evals as f64 * self.predicate_us
             + w.index_entries as f64 * self.index_entry_us
@@ -226,8 +226,12 @@ mod tests {
     #[test]
     fn hardware_variants_differ() {
         let node = scan_node(500, 50_000);
-        let nvme = HardwareProfile::fast_nvme().noiseless().plan_runtime_secs(&node, 0);
-        let disk = HardwareProfile::slow_disk().noiseless().plan_runtime_secs(&node, 0);
+        let nvme = HardwareProfile::fast_nvme()
+            .noiseless()
+            .plan_runtime_secs(&node, 0);
+        let disk = HardwareProfile::slow_disk()
+            .noiseless()
+            .plan_runtime_secs(&node, 0);
         assert!(disk > nvme);
     }
 

@@ -110,7 +110,9 @@ mod tests {
         let (query, column) = selective_query(&db);
         let planner = WhatIfPlanner::with_defaults();
         let plan = planner.plan_with_index(&db, &query, column);
-        assert!(plan.iter().any(|n| n.op.kind() == PhysOperatorKind::IndexScan));
+        assert!(plan
+            .iter()
+            .any(|n| n.op.kind() == PhysOperatorKind::IndexScan));
         // And the database has not changed.
         assert!(db.indexes().is_empty());
     }
@@ -130,7 +132,10 @@ mod tests {
                 .any(|n| n.kind == PhysOperatorKind::IndexScan),
             "ground truth execution should have used the index"
         );
-        assert!(db.index_on(column).is_none(), "temporary index must be dropped");
+        assert!(
+            db.index_on(column).is_none(),
+            "temporary index must be dropped"
+        );
     }
 
     #[test]
@@ -164,7 +169,10 @@ mod tests {
     fn candidate_column_comes_from_predicates() {
         let db = Database::generate(presets::imdb_like(0.02), 7);
         let (query, column) = selective_query(&db);
-        assert_eq!(WhatIfPlanner::candidate_index_column(&query, 0), Some(column));
+        assert_eq!(
+            WhatIfPlanner::candidate_index_column(&query, 0),
+            Some(column)
+        );
         let (title, _) = db.catalog().table_by_name("title").unwrap();
         assert_eq!(
             WhatIfPlanner::candidate_index_column(&Query::scan(title), 1),

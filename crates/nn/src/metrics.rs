@@ -102,6 +102,49 @@ mod tests {
     }
 
     #[test]
+    fn q_error_exact_match_is_exactly_one() {
+        for v in [1e-6, 0.5, 1.0, 3.5, 1e9] {
+            assert_eq!(q_error(v, v), 1.0, "q_error({v}, {v})");
+        }
+    }
+
+    #[test]
+    fn q_error_guards_zero_and_negative_inputs() {
+        // Zero and negative values are clamped to the positive floor, so
+        // the metric stays finite and ≥ 1 instead of dividing by zero.
+        assert!(q_error(0.0, 1.0).is_finite());
+        assert!(q_error(1.0, 0.0).is_finite());
+        assert!(q_error(-5.0, 2.0).is_finite());
+        assert!(q_error(2.0, -5.0).is_finite());
+        assert!(q_error(0.0, 0.0) >= 1.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0); // both clamp to the same floor
+        assert_eq!(q_error(-1.0, -2.0), 1.0);
+        assert!(q_error(0.0, 1.0) >= 1e8); // floor makes the error huge, not infinite
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let values = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&values, -10.0), 1.0);
+        assert_eq!(percentile(&values, 150.0), 3.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_single_element_is_constant() {
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let values = [0.0, 10.0];
+        assert!((percentile(&values, 25.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&values, 75.0) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn summary_matches_hand_computation() {
         let pairs = [(1.0, 1.0), (2.0, 1.0), (1.0, 4.0), (8.0, 1.0)];
         let s = QErrorSummary::from_predictions(&pairs);

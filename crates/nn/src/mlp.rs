@@ -95,9 +95,11 @@ impl Linear {
     /// and the gradient w.r.t. the (pre-activation) output `dy`; returns
     /// the gradient w.r.t. the input.
     fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        // Hard assert: a short `dy` would otherwise silently skip gradient
+        // accumulation for the tail output units in release builds.
+        assert_eq!(dy.len(), self.out_dim);
         let mut dx = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate() {
             self.b.grad[o] += g;
             let row_start = o * self.in_dim;
             for i in 0..self.in_dim {
@@ -132,7 +134,10 @@ impl Mlp {
     /// Create an MLP with the given layer sizes; weights are initialised
     /// deterministically from `seed`.
     pub fn new(dims: &[usize], activation: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = dims
             .windows(2)
@@ -275,6 +280,84 @@ mod tests {
         }
     }
 
+    /// The input gradient returned by [`Mlp::backward`] must also match
+    /// central finite differences (it is what upstream graph models chain
+    /// through).
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut mlp = Mlp::new(&[3, 6, 6, 1], Activation::LeakyRelu, 11);
+        let x = vec![0.9, -0.4, 0.2];
+        let target = -0.3;
+
+        mlp.zero_grad();
+        let (out, cache) = mlp.forward_cached(&x);
+        let d_out = vec![2.0 * (out[0] - target)];
+        let analytic = mlp.backward(&cache, &d_out);
+        assert_eq!(analytic.len(), x.len());
+
+        let eps = 1e-6;
+        for i in 0..x.len() {
+            let mut up_x = x.clone();
+            up_x[i] += eps;
+            let mut down_x = x.clone();
+            down_x[i] -= eps;
+            let up = (mlp.forward(&up_x)[0] - target).powi(2);
+            let down = (mlp.forward(&down_x)[0] - target).powi(2);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "input grad {i}: analytic {} vs numeric {numeric}",
+                analytic[i]
+            );
+        }
+    }
+
+    /// Gradient check per activation: every supported activation must
+    /// backpropagate consistently with its forward definition.
+    #[test]
+    fn gradient_check_covers_all_activations() {
+        for activation in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Identity,
+        ] {
+            let mut mlp = Mlp::new(&[2, 4, 1], activation, 23);
+            // Offset inputs away from ReLU kinks so finite differences are
+            // well-defined.
+            let x = vec![0.37, -0.61];
+            mlp.zero_grad();
+            let (out, cache) = mlp.forward_cached(&x);
+            mlp.backward(&cache, &[1.0]);
+            let analytic: Vec<f64> = mlp
+                .params_mut()
+                .iter()
+                .flat_map(|p| p.grad.clone())
+                .collect();
+
+            let eps = 1e-6;
+            let num_params: Vec<usize> = mlp.params_mut().iter().map(|p| p.len()).collect();
+            let mut k = 0;
+            for (pi, &len) in num_params.iter().enumerate() {
+                for j in 0..len {
+                    let orig = mlp.params_mut()[pi].data[j];
+                    mlp.params_mut()[pi].data[j] = orig + eps;
+                    let up = mlp.forward(&x)[0];
+                    mlp.params_mut()[pi].data[j] = orig - eps;
+                    let down = mlp.forward(&x)[0];
+                    mlp.params_mut()[pi].data[j] = orig;
+                    let numeric = (up - down) / (2.0 * eps);
+                    assert!(
+                        (analytic[k] - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                        "{activation:?} param {k}: analytic {} vs numeric {numeric}",
+                        analytic[k]
+                    );
+                    k += 1;
+                }
+            }
+            let _ = out;
+        }
+    }
+
     #[test]
     fn forward_is_deterministic_per_seed() {
         let a = Mlp::new(&[3, 5, 2], Activation::Relu, 7);
@@ -290,10 +373,7 @@ mod tests {
         let mlp = Mlp::new(&[6, 16, 16, 1], Activation::Relu, 1);
         assert_eq!(mlp.input_dim(), 6);
         assert_eq!(mlp.output_dim(), 1);
-        assert_eq!(
-            mlp.num_parameters(),
-            6 * 16 + 16 + 16 * 16 + 16 + 16 + 1
-        );
+        assert_eq!(mlp.num_parameters(), 6 * 16 + 16 + 16 * 16 + 16 + 16 + 1);
         assert_eq!(mlp.forward(&[0.0; 6]).len(), 1);
     }
 

@@ -72,12 +72,7 @@ impl BenchmarkWorkload {
     ///
     /// `catalog` must contain the IMDB-like tables (`title`,
     /// `movie_companies`, …); use [`zsdb_catalog::presets::imdb_like`].
-    pub fn generate(
-        kind: WorkloadKind,
-        catalog: &SchemaCatalog,
-        count: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(kind: WorkloadKind, catalog: &SchemaCatalog, count: usize, seed: u64) -> Self {
         let queries = match kind {
             WorkloadKind::Scale => scale_workload(catalog, count, seed),
             WorkloadKind::Synthetic => synthetic_workload(catalog, count, seed),
@@ -180,7 +175,11 @@ fn job_light_workload(catalog: &SchemaCatalog, count: usize, seed: u64) -> Vec<Q
                 let year = catalog
                     .resolve_column("title", "production_year")
                     .expect("imdb preset column");
-                let op = if rng.random_bool(0.5) { CmpOp::Gt } else { CmpOp::Lt };
+                let op = if rng.random_bool(0.5) {
+                    CmpOp::Gt
+                } else {
+                    CmpOp::Lt
+                };
                 let value = Value::Int(rng.random_range(1950..2015));
                 predicates.push(Predicate::new(year, op, value));
             } else if let Some(p) = random_categorical_eq(catalog, &tables, &mut rng) {

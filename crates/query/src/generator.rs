@@ -294,7 +294,10 @@ mod tests {
         let catalog = presets::imdb_like(0.02);
         let workload = WorkloadGenerator::with_defaults().generate(&catalog, 300, 11);
         let max_tables = workload.iter().map(|q| q.num_tables()).max().unwrap();
-        assert!(max_tables >= 4, "expected some multi-way joins, got {max_tables}");
+        assert!(
+            max_tables >= 4,
+            "expected some multi-way joins, got {max_tables}"
+        );
         let has_range = workload
             .iter()
             .any(|q| q.predicates.iter().any(|p| p.op.is_range()));

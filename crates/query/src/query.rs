@@ -182,16 +182,15 @@ mod tests {
         let (title, _) = catalog.table_by_name("title").unwrap();
         let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
         let title_id = catalog.resolve_column("title", "id").unwrap();
-        let mc_movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let mc_movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
         let year = catalog.resolve_column("title", "production_year").unwrap();
         Query {
             tables: vec![title, mc],
             joins: vec![JoinCondition::new(mc_movie_id, title_id)],
             predicates: vec![Predicate::new(year, CmpOp::Gt, Value::Int(1990))],
-            aggregates: vec![
-                Aggregate::count_star(),
-                Aggregate::over(AggFunc::Min, year),
-            ],
+            aggregates: vec![Aggregate::count_star(), Aggregate::over(AggFunc::Min, year)],
         }
     }
 
@@ -221,7 +220,9 @@ mod tests {
     fn predicate_on_foreign_table_rejected() {
         let catalog = imdb();
         let (title, _) = catalog.table_by_name("title").unwrap();
-        let kw_col = catalog.resolve_column("movie_keyword", "keyword_id").unwrap();
+        let kw_col = catalog
+            .resolve_column("movie_keyword", "keyword_id")
+            .unwrap();
         let q = Query {
             tables: vec![title],
             joins: vec![],

@@ -98,14 +98,12 @@ pub fn summarize(query: &Query) -> String {
 }
 
 /// Render an aggregate function name with column for display purposes.
-pub fn aggregate_label(catalog: &SchemaCatalog, func: AggFunc, column: Option<ColumnRef>) -> String {
-    aggregate_sql(
-        catalog,
-        &Aggregate {
-            func,
-            column,
-        },
-    )
+pub fn aggregate_label(
+    catalog: &SchemaCatalog,
+    func: AggFunc,
+    column: Option<ColumnRef>,
+) -> String {
+    aggregate_sql(catalog, &Aggregate { func, column })
 }
 
 #[cfg(test)]
@@ -124,7 +122,9 @@ mod tests {
         let (title, _) = catalog.table_by_name("title").unwrap();
         let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
         let title_id = catalog.resolve_column("title", "id").unwrap();
-        let movie_id = catalog.resolve_column("movie_companies", "movie_id").unwrap();
+        let movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
         let year = catalog.resolve_column("title", "production_year").unwrap();
         let ctype = catalog
             .resolve_column("movie_companies", "company_type_id")

@@ -167,7 +167,14 @@ impl ColumnData {
                 values.push(0.0);
                 nulls.push(true);
             }
-            (ColumnData::Cat { values, nulls, domain }, Value::Cat(v)) => {
+            (
+                ColumnData::Cat {
+                    values,
+                    nulls,
+                    domain,
+                },
+                Value::Cat(v),
+            ) => {
                 values.push(v);
                 nulls.push(false);
                 *domain = (*domain).max(v + 1);

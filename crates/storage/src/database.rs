@@ -60,6 +60,9 @@ impl Database {
     }
 
     /// Index by id.
+    // Deliberately named like a lookup, not `std::ops::Index` (which cannot
+    // take an `IndexId` ergonomically here).
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, id: IndexId) -> &BTreeIndex {
         &self.indexes[id.0 as usize]
     }

@@ -265,8 +265,7 @@ mod tests {
             for (cid, col_meta) in table.columns.iter().enumerate() {
                 let col = data[tid.index()].column(zsdb_catalog::ColumnId(cid as u32));
                 let declared = col_meta.stats.null_fraction;
-                let observed =
-                    1.0 - col.non_null_count() as f64 / col.len().max(1) as f64;
+                let observed = 1.0 - col.non_null_count() as f64 / col.len().max(1) as f64;
                 assert!(
                     (observed - declared).abs() < 0.15,
                     "null fraction off: declared {declared}, observed {observed}"

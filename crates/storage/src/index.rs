@@ -77,7 +77,9 @@ impl BTreeIndex {
 
     /// Number of leaf pages the index occupies.
     pub fn leaf_pages(&self) -> u64 {
-        (self.entries.len() as u64).div_ceil(ENTRIES_PER_LEAF).max(1)
+        (self.entries.len() as u64)
+            .div_ceil(ENTRIES_PER_LEAF)
+            .max(1)
     }
 
     /// Estimated height of an equivalent B+-tree (root = height 1); used as

@@ -53,6 +53,8 @@ fn main() {
         let after = evaluate(&finetuned, &imdb, "holdout", holdout);
         println!("Few-shot with {budget:>2} target-database queries:      {after}");
     }
-    println!("\nFew-shot models reuse the system behaviour already internalised by the zero-shot model,");
+    println!(
+        "\nFew-shot models reuse the system behaviour already internalised by the zero-shot model,"
+    );
     println!("so a handful of queries suffices where workload-driven models need thousands.");
 }

@@ -6,7 +6,9 @@
 use zero_shot_db::catalog::presets;
 use zero_shot_db::query::{sql, WorkloadGenerator};
 use zero_shot_db::storage::Database;
-use zero_shot_db::zeroshot::dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
+use zero_shot_db::zeroshot::dataset::{
+    collect_for_database, collect_training_corpus, TrainingDataConfig,
+};
 use zero_shot_db::zeroshot::{
     evaluate, predict_runtime, FeaturizerConfig, ModelConfig, Trainer, TrainingConfig,
 };

@@ -12,7 +12,11 @@ use zero_shot_db::storage::Database;
 fn main() {
     // 1. Generate a synthetic schema and materialise its data.
     let schema = SchemaGenerator::new(GeneratorConfig::default()).generate("demo_db", 42);
-    println!("Generated schema `{}` with {} tables:", schema.name, schema.num_tables());
+    println!(
+        "Generated schema `{}` with {} tables:",
+        schema.name,
+        schema.num_tables()
+    );
     for (tid, table) in schema.iter_tables() {
         println!(
             "  {:<12} {:>8} rows, {:>5} pages, {} columns",

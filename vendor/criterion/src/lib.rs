@@ -1,0 +1,186 @@
+//! Offline vendored stand-in for [`criterion`](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! Provides the `criterion_group!` / `criterion_main!` / `Criterion` /
+//! `Bencher::iter` surface the workspace benches use.  Measurement is a
+//! simple calibrated wall-clock loop (warmup, then enough iterations to
+//! fill a short measurement window) with mean/min reporting — adequate for
+//! spotting order-of-magnitude regressions, with no statistics machinery.
+//!
+//! Set `CRITERION_QUICK=1` to run each benchmark body exactly once
+//! (useful to smoke-test bench targets in CI).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to the functions named in `criterion_group!`.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+            quick: std::env::var_os("CRITERION_QUICK").is_some(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.  `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            quick: self.quick,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!(
+                "{name:<40} {:>12}/iter (mean over {} iters, min {})",
+                format_ns(report.mean_ns),
+                report.iters,
+                format_ns(report.min_ns),
+            ),
+            None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Timer handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    quick: bool,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measure `routine`, preventing its result from being optimised away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            let ns = start.elapsed().as_nanos() as f64;
+            self.report = Some(Report {
+                mean_ns: ns,
+                min_ns: ns,
+                iters: 1,
+            });
+            return;
+        }
+
+        // Warmup while estimating the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+        // Measure in batches so Instant overhead stays negligible.
+        let target_iters = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        let batch = (target_iters / 10).max(1);
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut iters = 0u64;
+        let measure_start = Instant::now();
+        while iters < target_iters && measure_start.elapsed() < 2 * self.measurement {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns * batch as f64;
+            min_ns = min_ns.min(ns);
+            iters += batch;
+        }
+        self.report = Some(Report {
+            mean_ns: total_ns / iters.max(1) as f64,
+            min_ns,
+            iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(name, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(group_a, group_b)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher {
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+            quick: true,
+            report: None,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.report.is_some());
+    }
+
+    #[test]
+    fn bench_function_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,108 @@
+//! Round-trip tests for the vendored derive macros, covering every item
+//! shape the hand-rolled token parser supports — including the formatting
+//! edge cases (trailing commas, fn-pointer-free generic types) that a
+//! rustfmt pass can introduce.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: Serialize + Deserialize + std::fmt::Debug + PartialEq,
+{
+    let json = serde_json::to_string(value).unwrap();
+    let back: T = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, value, "via {json}");
+    back
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Named {
+    id: u64,
+    score: f64,
+    label: String,
+    tags: Vec<String>,
+    maybe: Option<i32>,
+    nested: HashMap<String, Vec<f64>>,
+}
+
+#[test]
+fn named_struct_round_trips() {
+    let mut nested = HashMap::new();
+    nested.insert("a".to_string(), vec![1.5, -2.25]);
+    round_trip(&Named {
+        id: 42,
+        score: 0.1,
+        label: "hello \"world\"".to_string(),
+        tags: vec!["x".into(), "y".into()],
+        maybe: None,
+        nested,
+    });
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[test]
+fn unit_struct_encodes_as_null() {
+    assert_eq!(serde_json::to_string(&Unit).unwrap(), "null");
+    round_trip(&Unit);
+}
+
+// Trailing commas after a rustfmt reflow must not change the parsed arity
+// (rustfmt::skip keeps the fixture multiline with its trailing comma).
+#[rustfmt::skip]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Pair(
+    f64,
+    f64,
+);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Wrapper(Vec<HashMap<String, u32>>);
+
+#[test]
+fn tuple_structs_round_trip() {
+    round_trip(&Pair(1.25, -0.5));
+    let mut m = HashMap::new();
+    m.insert("k".to_string(), 7u32);
+    round_trip(&Wrapper(vec![m]));
+    // Newtype encoding: transparent, like upstream serde.
+    assert_eq!(serde_json::to_string(&Wrapper(vec![])).unwrap(), "[]");
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    Unit,
+    Newtype(f64),
+    Tuple(i64, String),
+    Named { x: f64, y: Option<Box<Shape>> },
+}
+
+#[test]
+fn enums_round_trip_in_externally_tagged_form() {
+    assert_eq!(serde_json::to_string(&Shape::Unit).unwrap(), "\"Unit\"");
+    assert_eq!(
+        serde_json::to_string(&Shape::Newtype(2.5)).unwrap(),
+        "{\"Newtype\":2.5}"
+    );
+    round_trip(&Shape::Unit);
+    round_trip(&Shape::Newtype(-1.0));
+    round_trip(&Shape::Tuple(9, "t".into()));
+    round_trip(&Shape::Named {
+        x: 3.5,
+        y: Some(Box::new(Shape::Unit)),
+    });
+}
+
+#[test]
+fn unknown_variant_is_an_error() {
+    let err = serde_json::from_str::<Shape>("\"Nope\"").unwrap_err();
+    assert!(err.to_string().contains("Nope"));
+}
+
+#[test]
+fn missing_field_is_an_error() {
+    let err = serde_json::from_str::<Pair>("[1.0]").unwrap_err();
+    assert!(err.to_string().contains("2"));
+}

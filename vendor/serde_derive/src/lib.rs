@@ -1,0 +1,490 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (the container has no registry
+//! access): the input item is parsed with a hand-rolled token walk and the
+//! generated impl is assembled as source text, then re-parsed into a
+//! `TokenStream`.  Supported shapes — non-generic named-field structs,
+//! unit structs, tuple structs, and enums with unit / tuple / struct
+//! variants — cover every derive in this workspace.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is the arity.
+    Unnamed(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `union`, or modifiers we don't expect on data types.
+                return Err(format!("serde_derive: unsupported item keyword `{s}`"));
+            }
+            Some(_) => {}
+            None => return Err("serde_derive: unexpected end of input".into()),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored shim"
+            ));
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(body.stream())?),
+                })
+            } else {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(body.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::Struct {
+                name,
+                fields: Fields::Unnamed(count_top_level_commas(body.stream())),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+            name,
+            fields: Fields::Unit,
+        }),
+        other => Err(format!("serde_derive: unexpected body {other:?}")),
+    }
+}
+
+/// Number of comma-separated entries in a token stream, ignoring commas
+/// nested in groups or between `<`/`>` (generic argument lists) and the
+/// `>` of `->` (fn-pointer types).  A trailing comma does not add an
+/// entry.
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut entries = 0usize;
+    let mut tokens_since_comma = false;
+    let mut arrow_pending = false; // previous token was the `-` of `->`
+    for tt in stream {
+        let mut next_arrow_pending = false;
+        match &tt {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '-' if p.spacing() == Spacing::Joint => next_arrow_pending = true,
+                    '<' => angle_depth += 1,
+                    '>' if !arrow_pending => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        entries += 1;
+                        tokens_since_comma = false;
+                        arrow_pending = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                tokens_since_comma = true;
+            }
+            _ => tokens_since_comma = true,
+        }
+        arrow_pending = next_arrow_pending;
+    }
+    if tokens_since_comma {
+        entries + 1
+    } else {
+        entries
+    }
+}
+
+/// Advance `iter` past a type (or expression) up to and including the next
+/// top-level comma, respecting nested groups, generic argument lists and
+/// the `>` of `->`.
+fn skip_to_top_level_comma(iter: &mut dyn Iterator<Item = TokenTree>) {
+    let mut angle_depth = 0i32;
+    let mut arrow_pending = false;
+    for tt in iter {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '-' if p.spacing() == Spacing::Joint => {
+                    arrow_pending = true;
+                    continue;
+                }
+                '<' => angle_depth += 1,
+                '>' if !arrow_pending => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        arrow_pending = false;
+    }
+}
+
+/// Split `a: T, b: U, ...` (with optional per-field attrs/vis) into field
+/// names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field_name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde_derive: unexpected field token {other:?}"))
+                }
+                None => return Ok(fields),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+        }
+        fields.push(field_name);
+        // Skip the type up to the next top-level comma.
+        skip_to_top_level_comma(&mut iter);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments before the variant name.
+        let variant_name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde_derive: unexpected variant token {other:?}"))
+                }
+                None => return Ok(variants),
+            }
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_commas(g.stream());
+                iter.next();
+                Fields::Unnamed(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                iter.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: variant_name,
+            fields,
+        });
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        skip_to_top_level_comma(&mut iter);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                // Real serde_json encodes unit structs as `null`; match it
+                // so persisted JSON survives a swap to the real crates.
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Unnamed(arity) => {
+                    if *arity == 1 {
+                        "::serde::Serialize::to_value(&self.0)".to_string()
+                    } else {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                    }
+                }
+                Fields::Named(field_names) => object_expr(field_names.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(String::from({vname:?})),\n"
+                        ));
+                    }
+                    Fields::Unnamed(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(String::from({vname:?}), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let payload =
+                            object_expr(field_names.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(String::from({vname:?}), {payload})]),\n",
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn object_expr(entries: impl Iterator<Item = (String, String)>) -> String {
+    let parts: Vec<String> = entries
+        .map(|(key, value)| format!("(String::from({key:?}), {value})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", parts.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match __value {{\n\
+                         ::serde::Value::Str(s) if s == {name:?} => Ok({name}),\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"expected unit struct {name}, found {{}}\", other.kind()))),\n\
+                     }}"
+                ),
+                Fields::Unnamed(arity) => {
+                    if *arity == 1 {
+                        format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+                    } else {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{{\n\
+                                 let __items = __value.as_array().ok_or_else(|| ::serde::Error::custom(\n\
+                                     format!(\"expected array, found {{}}\", __value.kind())))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                     return Err(::serde::Error::custom(format!(\n\
+                                         \"expected {arity} elements, found {{}}\", __items.len())));\n\
+                                 }}\n\
+                                 Ok({name}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        )
+                    }
+                }
+                Fields::Named(field_names) => {
+                    let inits: Vec<String> = field_names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::__field(__value, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Unnamed(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{\n\
+                                     let __items = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\n\
+                                         format!(\"expected array, found {{}}\", __payload.kind())))?;\n\
+                                     if __items.len() != {arity} {{\n\
+                                         return Err(::serde::Error::custom(format!(\n\
+                                             \"expected {arity} elements, found {{}}\", __items.len())));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("{vname:?} => {body},\n"));
+                    }
+                    Fields::Named(field_names) => {
+                        let inits: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__field(__payload, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __payload) = (&__entries[0].0, &__entries[0].1);\n\
+                                 let _ = __payload;\n\
+                                 match __tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\n\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"expected {name} variant, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
