@@ -1,0 +1,28 @@
+//! Microbenchmark for the MLP inference hot path: per-call allocation
+//! (`Mlp::forward`) versus a reused scratch buffer (`Mlp::forward_into`).
+//!
+//! The scratch variant is what the serving worker pool uses; this bench
+//! documents the win of not reallocating per layer on every prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zsdb_nn::{Activation, ForwardScratch, Mlp};
+
+fn bench_mlp_forward(c: &mut Criterion) {
+    // The combine MLP of the default zero-shot model ([96, 48, 48]) is the
+    // most frequently evaluated network during inference.
+    let mlp = Mlp::new(&[96, 48, 48], Activation::LeakyRelu, 42);
+    let x: Vec<f64> = (0..96).map(|i| (i as f64 * 0.173).sin()).collect();
+
+    c.bench_function("mlp_forward_alloc_per_call", |b| {
+        b.iter(|| black_box(mlp.forward(black_box(&x))))
+    });
+
+    let mut scratch = ForwardScratch::default();
+    c.bench_function("mlp_forward_reused_scratch", |b| {
+        b.iter(|| black_box(mlp.forward_into(black_box(&x), &mut scratch)[0]))
+    });
+}
+
+criterion_group!(benches, bench_mlp_forward);
+criterion_main!(benches);

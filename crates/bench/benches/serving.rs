@@ -1,0 +1,67 @@
+//! Serving-layer micro-benchmarks: end-to-end request latency through the
+//! worker pool, with and without feature-cache hits, against the
+//! direct single-threaded prediction path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zsdb_bench::tiny_serving_fixture;
+use zsdb_catalog::presets;
+use zsdb_core::features::featurize_plan;
+use zsdb_serve::{PredictionServer, ServerConfig};
+use zsdb_storage::Database;
+
+fn bench_serving(c: &mut Criterion) {
+    let db = Database::generate(presets::imdb_like(0.02), 1);
+    let (model, plans) = tiny_serving_fixture(&db, 20, 1);
+
+    c.bench_function("direct_featurize_and_predict", |b| {
+        b.iter(|| {
+            let g = featurize_plan(db.catalog(), black_box(&plans[0]), model.featurizer);
+            black_box(model.predict(&g))
+        })
+    });
+
+    let server = PredictionServer::start(
+        model.clone(),
+        db.catalog().clone(),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    );
+    // Warm the cache so the cached benchmark measures pure hits.
+    for p in &plans {
+        server.predict_blocking(p.clone()).unwrap();
+    }
+    c.bench_function("served_predict_cache_hit", |b| {
+        b.iter(|| {
+            black_box(
+                server
+                    .predict_blocking(black_box(plans[0].clone()))
+                    .unwrap(),
+            )
+        })
+    });
+
+    let uncached_server = PredictionServer::start(
+        model,
+        db.catalog().clone(),
+        ServerConfig {
+            workers: 4,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    );
+    c.bench_function("served_predict_uncached", |b| {
+        b.iter(|| {
+            black_box(
+                uncached_server
+                    .predict_blocking(black_box(plans[0].clone()))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

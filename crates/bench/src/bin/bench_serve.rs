@@ -1,0 +1,102 @@
+//! Serving benchmark: drives a concurrent request stream through the
+//! `zsdb_serve` worker pool and emits a machine-readable
+//! `BENCH_serve.json` report (throughput, p50/p95/p99 latency, cache
+//! hit-rate).
+//!
+//! Usage:
+//! `cargo run -p zsdb_bench --release --bin bench_serve -- \
+//!    [--requests N] [--distinct N] [--workers N] [--queue N] [--cache N] [--out PATH]`
+
+use std::sync::Arc;
+use zsdb_bench::tiny_serving_fixture;
+use zsdb_catalog::presets;
+use zsdb_serve::{PredictionServer, ServerConfig};
+use zsdb_storage::Database;
+
+struct Args {
+    requests: usize,
+    distinct: usize,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1).cloned())
+        };
+        let num = |flag: &str, default: usize| {
+            value_of(flag)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Args {
+            requests: num("--requests", 5_000),
+            distinct: num("--distinct", 200),
+            workers: num("--workers", 4),
+            queue: num("--queue", 256),
+            cache: num("--cache", 1_024),
+            out: value_of("--out").unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "# Serving benchmark: {} requests over {} distinct plans, {} workers\n",
+        args.requests, args.distinct, args.workers
+    );
+
+    // 1. Train a small model on executions from the target database (the
+    //    benchmark measures serving, not zero-shot accuracy) and plan the
+    //    request stream; requests cycle through the plans, so repeats
+    //    exercise the cache.
+    let db = Database::generate(presets::imdb_like(0.02), 11);
+    let (model, plans) = tiny_serving_fixture(&db, args.distinct, 5);
+    let server = Arc::new(PredictionServer::start(
+        model,
+        db.catalog().clone(),
+        ServerConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+        },
+    ));
+
+    // 3. Fire from as many client threads as workers; `submit` blocks on
+    //    the bounded queue, so producers experience backpressure instead
+    //    of queueing without limit.
+    let clients = args.workers.max(1);
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        // Spread the remainder over the first `requests % clients`
+        // threads so exactly `requests` predictions are served.
+        let per_client = args.requests / clients + usize::from(c < args.requests % clients);
+        let server = Arc::clone(&server);
+        let plans = plans.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut checksum = 0.0f64;
+            for i in 0..per_client {
+                let plan = plans[(c + i * clients) % plans.len()].clone();
+                let prediction = server.submit(plan).unwrap().wait().unwrap();
+                checksum += prediction.runtime_secs;
+            }
+            checksum
+        }));
+    }
+    let checksum: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    let snapshot = server.metrics();
+    println!("{snapshot}");
+    println!("(prediction checksum {checksum:.6})");
+
+    let json = serde_json::to_string_pretty(&snapshot).expect("metrics serialize");
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    println!("\nwrote {}", args.out);
+}

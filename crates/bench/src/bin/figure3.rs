@@ -10,8 +10,7 @@
 use zsdb_baselines::{E2EModel, MscnConfig, MscnModel, ScaledOptimizerCost};
 use zsdb_bench::{benchmark_executions, evaluation_database, train_zero_shot, ExperimentScale};
 use zsdb_core::dataset::{collect_for_database, workload_execution_hours};
-use zsdb_core::{evaluate, FeaturizerConfig, ModelConfig};
-use zsdb_nn::{median, q_error};
+use zsdb_core::{evaluate, median_qerror_of, FeaturizerConfig, ModelConfig};
 use zsdb_query::{WorkloadKind, WorkloadSpec};
 
 fn main() {
@@ -59,28 +58,28 @@ fn main() {
             let train_slice = &baseline_pool[..n.min(baseline_pool.len())];
 
             let opt = ScaledOptimizerCost::fit(train_slice);
-            let opt_q = median(
+            let opt_q = median_qerror_of(
                 &eval
                     .iter()
-                    .map(|e| q_error(opt.predict(e), e.runtime_secs))
+                    .map(|e| (opt.predict(e), e.runtime_secs))
                     .collect::<Vec<_>>(),
             );
 
             let mut mscn = MscnModel::new(db.catalog(), MscnConfig::default());
             mscn.train(db.catalog(), train_slice);
-            let mscn_q = median(
+            let mscn_q = median_qerror_of(
                 &eval
                     .iter()
-                    .map(|e| q_error(mscn.predict(db.catalog(), &e.query), e.runtime_secs))
+                    .map(|e| (mscn.predict(db.catalog(), &e.query), e.runtime_secs))
                     .collect::<Vec<_>>(),
             );
 
             let mut e2e = E2EModel::new(ModelConfig::default(), scale.epochs, 1.5e-3);
             e2e.train(&db, train_slice);
-            let e2e_q = median(
+            let e2e_q = median_qerror_of(
                 &eval
                     .iter()
-                    .map(|e| q_error(e2e.predict(&db, e), e.runtime_secs))
+                    .map(|e| (e2e.predict(&db, e), e.runtime_secs))
                     .collect::<Vec<_>>(),
             );
 

@@ -13,9 +13,10 @@
 
 use zsdb_catalog::presets;
 use zsdb_core::dataset::{collect_training_corpus, TrainingDataConfig};
+use zsdb_core::features::featurize_execution;
 use zsdb_core::{FeaturizerConfig, ModelConfig, TrainedModel, Trainer, TrainingConfig};
-use zsdb_engine::{EngineConfig, HardwareProfile, QueryExecution, QueryRunner};
-use zsdb_query::{BenchmarkWorkload, WorkloadKind};
+use zsdb_engine::{EngineConfig, HardwareProfile, PlanNode, QueryExecution, QueryRunner};
+use zsdb_query::{BenchmarkWorkload, WorkloadGenerator, WorkloadKind};
 use zsdb_storage::Database;
 
 /// Knobs of an experiment run.
@@ -165,6 +166,34 @@ pub fn train_zero_shot(
 /// Print a markdown-style table row.
 pub fn print_row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
+}
+
+/// Shared fixture of the serving bench targets: execute a `num_queries`
+/// random workload on a small IMDB-like database, train a tiny model on
+/// it, and return the model together with the workload's optimizer plans
+/// (the request stream a serving benchmark replays).
+pub fn tiny_serving_fixture(
+    db: &Database,
+    num_queries: usize,
+    seed: u64,
+) -> (TrainedModel, Vec<PlanNode>) {
+    let runner = QueryRunner::with_defaults(db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), num_queries, seed);
+    let graphs: Vec<_> = runner
+        .run_workload(&queries, 0)
+        .iter()
+        .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact()))
+        .collect();
+    let trainer = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 3,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    );
+    (trainer.train(&graphs), runner.plan_workload(&queries))
 }
 
 #[cfg(test)]

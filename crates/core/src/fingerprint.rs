@@ -1,0 +1,318 @@
+//! Structural fingerprints of physical plans and featurized plan graphs.
+//!
+//! The serving layer caches featurized [`PlanGraph`]s keyed by a
+//! fingerprint of the incoming [`PlanNode`], so repeated query shapes skip
+//! re-featurization entirely.  The fingerprint therefore hashes exactly the
+//! plan structure the featurizer reads (operator kinds, tables, columns,
+//! predicates, aggregates, cardinality/width annotations and child order)
+//! using a fixed-constant FNV-1a — **stable across processes, seeds and
+//! platforms**, unlike `std`'s `DefaultHasher`, whose algorithm is not
+//! guaranteed between Rust releases.
+
+use crate::features::PlanGraph;
+use zsdb_engine::{PhysOperator, PlanNode};
+use zsdb_query::{Aggregate, Predicate};
+
+/// Incremental FNV-1a (64-bit) hasher with the standard offset basis and
+/// prime, specified byte-for-byte so fingerprints can be persisted.
+#[derive(Debug, Clone)]
+struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    fn write_u8(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable structural fingerprint of a physical plan.
+///
+/// Two plans receive the same fingerprint exactly when the featurizer
+/// would produce the same graph from them (against a fixed catalog): the
+/// hash covers operator kinds and parameters, predicate/aggregate
+/// structure, literal values, estimated cardinalities and output widths,
+/// and the tree shape.  Optimizer cost annotations are *excluded* — they
+/// never reach the feature vectors.
+pub fn plan_fingerprint(plan: &PlanNode) -> u64 {
+    let mut h = Fnv64::new();
+    hash_plan_node(plan, &mut h);
+    h.finish()
+}
+
+fn hash_plan_node(plan: &PlanNode, h: &mut Fnv64) {
+    h.write_u8(plan.op.kind().index() as u8);
+    h.write_f64(plan.est_cardinality);
+    h.write_f64(plan.output_width);
+    match &plan.op {
+        PhysOperator::SeqScan { table, predicates } => {
+            h.write_u32(table.0);
+            hash_predicates(predicates, h);
+        }
+        PhysOperator::IndexScan {
+            table,
+            index_column,
+            lo,
+            hi,
+            residual,
+        } => {
+            h.write_u32(table.0);
+            h.write_u32(index_column.table.0);
+            h.write_u32(index_column.column.0);
+            hash_opt_f64(*lo, h);
+            hash_opt_f64(*hi, h);
+            hash_predicates(residual, h);
+        }
+        PhysOperator::HashJoin {
+            build_key,
+            probe_key,
+        } => {
+            h.write_u32(build_key.table.0);
+            h.write_u32(build_key.column.0);
+            h.write_u32(probe_key.table.0);
+            h.write_u32(probe_key.column.0);
+        }
+        PhysOperator::NestedLoopJoin {
+            outer_key,
+            inner_key,
+        } => {
+            h.write_u32(outer_key.table.0);
+            h.write_u32(outer_key.column.0);
+            h.write_u32(inner_key.table.0);
+            h.write_u32(inner_key.column.0);
+        }
+        PhysOperator::Aggregate { aggregates } => {
+            h.write_u8(aggregates.len() as u8);
+            for agg in aggregates {
+                hash_aggregate(agg, h);
+            }
+        }
+    }
+    h.write_u8(plan.children.len() as u8);
+    for child in &plan.children {
+        hash_plan_node(child, h);
+    }
+}
+
+fn hash_opt_f64(value: Option<f64>, h: &mut Fnv64) {
+    match value {
+        Some(v) => {
+            h.write_u8(1);
+            h.write_f64(v);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+fn hash_predicates(predicates: &[Predicate], h: &mut Fnv64) {
+    h.write_u8(predicates.len() as u8);
+    for p in predicates {
+        h.write_u32(p.column.table.0);
+        h.write_u32(p.column.column.0);
+        h.write_u8(p.op.index() as u8);
+        hash_value(&p.value, h);
+    }
+}
+
+fn hash_aggregate(agg: &Aggregate, h: &mut Fnv64) {
+    h.write_u8(agg.func.index() as u8);
+    match agg.column {
+        Some(c) => {
+            h.write_u8(1);
+            h.write_u32(c.table.0);
+            h.write_u32(c.column.0);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+fn hash_value(value: &zsdb_catalog::Value, h: &mut Fnv64) {
+    use zsdb_catalog::Value;
+    match value {
+        Value::Null => h.write_u8(0),
+        Value::Int(v) => {
+            h.write_u8(1);
+            h.write_u64(*v as u64);
+        }
+        Value::Float(v) => {
+            h.write_u8(2);
+            h.write_f64(*v);
+        }
+        Value::Cat(v) => {
+            h.write_u8(3);
+            h.write_u32(*v);
+        }
+        Value::Bool(v) => {
+            h.write_u8(4);
+            h.write_u8(*v as u8);
+        }
+    }
+}
+
+/// Stable fingerprint of a featurized plan graph (node kinds, feature
+/// bits, edges).  Used by the model registry to identify integrity-probe
+/// graphs in artifact manifests.
+pub fn graph_fingerprint(graph: &PlanGraph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(graph.nodes.len() as u64);
+    h.write_u64(graph.root as u64);
+    for node in &graph.nodes {
+        h.write_u8(node.kind.index() as u8);
+        h.write_u64(node.features.len() as u64);
+        for f in &node.features {
+            h.write_f64(*f);
+        }
+        h.write_u64(node.children.len() as u64);
+        for &c in &node.children {
+            h.write_u64(c as u64);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{featurize_plan, FeaturizerConfig};
+    use std::collections::HashMap;
+    use zsdb_catalog::presets;
+    use zsdb_engine::QueryRunner;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    fn sample_plan() -> PlanNode {
+        use zsdb_catalog::{ColumnId, ColumnRef, TableId};
+        PlanNode {
+            op: PhysOperator::HashJoin {
+                build_key: ColumnRef::new(TableId(0), ColumnId(1)),
+                probe_key: ColumnRef::new(TableId(2), ColumnId(0)),
+            },
+            children: vec![
+                PlanNode::leaf(
+                    PhysOperator::SeqScan {
+                        table: TableId(0),
+                        predicates: vec![],
+                    },
+                    128.0,
+                    10.0,
+                    16.0,
+                ),
+                PlanNode::leaf(
+                    PhysOperator::SeqScan {
+                        table: TableId(2),
+                        predicates: vec![],
+                    },
+                    1024.0,
+                    80.0,
+                    24.0,
+                ),
+            ],
+            est_cardinality: 512.0,
+            est_cost: 200.0,
+            output_width: 40.0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_a_pure_stable_function() {
+        // Golden value: pins the byte-level hash definition, so any change
+        // that would silently invalidate persisted fingerprints (or break
+        // cross-process stability) fails this test.
+        let plan = sample_plan();
+        assert_eq!(plan_fingerprint(&plan), plan_fingerprint(&plan));
+        assert_eq!(plan_fingerprint(&plan), 0x94B1_C0AA_B259_A63A);
+    }
+
+    #[test]
+    fn distinct_plans_have_distinct_fingerprints_across_a_workload() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 200, 9);
+        let mut by_fingerprint: HashMap<u64, PlanNode> = HashMap::new();
+        let mut distinct = 0usize;
+        for q in &queries {
+            let plan = runner.plan(q);
+            let fp = plan_fingerprint(&plan);
+            match by_fingerprint.get(&fp) {
+                Some(seen) => assert_eq!(
+                    seen, &plan,
+                    "fingerprint collision between structurally different plans"
+                ),
+                None => {
+                    by_fingerprint.insert(fp, plan);
+                    distinct += 1;
+                }
+            }
+        }
+        assert!(distinct > 50, "workload produced only {distinct} shapes");
+    }
+
+    #[test]
+    fn identical_plans_from_identically_seeded_databases_agree() {
+        // Two independently generated (but identically seeded) databases
+        // and workloads must produce identical fingerprints — the property
+        // that makes fingerprints stable across processes.
+        let fps = |_: ()| -> Vec<u64> {
+            let db = Database::generate(presets::imdb_like(0.02), 5);
+            let runner = QueryRunner::with_defaults(&db);
+            let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 30, 4);
+            queries
+                .iter()
+                .map(|q| plan_fingerprint(&runner.plan(q)))
+                .collect()
+        };
+        assert_eq!(fps(()), fps(()));
+    }
+
+    #[test]
+    fn fingerprint_ignores_cost_but_not_cardinality() {
+        let plan = sample_plan();
+        let mut costlier = plan.clone();
+        costlier.est_cost *= 10.0;
+        assert_eq!(plan_fingerprint(&plan), plan_fingerprint(&costlier));
+
+        let mut bigger = plan.clone();
+        bigger.est_cardinality *= 2.0;
+        assert_ne!(plan_fingerprint(&plan), plan_fingerprint(&bigger));
+    }
+
+    #[test]
+    fn graph_fingerprint_tracks_features() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 5, 1);
+        let plan = runner.plan(&queries[0]);
+        let g = featurize_plan(db.catalog(), &plan, FeaturizerConfig::exact());
+        let fp = graph_fingerprint(&g);
+        assert_eq!(fp, graph_fingerprint(&g.clone()));
+        let mut perturbed = g.clone();
+        perturbed.nodes[0].features[0] += 1.0;
+        assert_ne!(fp, graph_fingerprint(&perturbed));
+    }
+}

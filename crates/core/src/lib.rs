@@ -30,15 +30,18 @@
 pub mod dataset;
 pub mod eval;
 pub mod features;
+pub mod fingerprint;
 pub mod model;
 pub mod train;
 pub mod whatif;
 
 pub use dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
 pub use eval::{
-    evaluate, evaluate_graphs, evaluate_predictions, predict_runtime, EvaluationReport,
+    evaluate, evaluate_graphs, evaluate_predictions, median_qerror_of, predict_runtime,
+    qerror_percentiles, qerror_percentiles_of, EvaluationReport, QErrorPercentiles,
 };
 pub use features::{CardinalityMode, FeatureMode, FeaturizerConfig, NodeKind, PlanGraph};
-pub use model::{ModelConfig, ZeroShotCostModel};
+pub use fingerprint::{graph_fingerprint, plan_fingerprint};
+pub use model::{InferenceScratch, ModelConfig, ZeroShotCostModel};
 pub use train::{few_shot_finetune, TrainedModel, Trainer, TrainingConfig};
 pub use whatif::WhatIfCostEstimator;

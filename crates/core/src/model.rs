@@ -18,7 +18,7 @@
 
 use crate::features::{NodeKind, PlanGraph};
 use serde::{Deserialize, Serialize};
-use zsdb_nn::{Activation, Adam, Mlp, MlpCache};
+use zsdb_nn::{Activation, Adam, ForwardScratch, Mlp, MlpCache};
 
 /// Hyper-parameters of the zero-shot cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +62,24 @@ pub struct ZeroShotCostModel {
     combine: Mlp,
     /// Output MLP: root hidden state → predicted `ln(runtime_secs)`.
     output: Mlp,
+}
+
+/// Reusable buffers for allocation-free inference (no backprop caches).
+///
+/// Serving workers hold one scratch per thread and push every request
+/// through [`ZeroShotCostModel::predict_with`]; all buffers are reused
+/// across calls, so steady-state inference performs no heap allocation.
+/// The model itself is only read, so one model can be shared (`&self` /
+/// `Arc`) across any number of worker threads, each with its own scratch.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    /// Combined hidden state per node (grown on demand, inner `Vec`s
+    /// reused).
+    states: Vec<Vec<f64>>,
+    /// Ping-pong buffers for the encoder/combine/output MLPs.
+    mlp: ForwardScratch,
+    /// `[own encoding ‖ sum of child states]` input of the combine MLP.
+    combine_input: Vec<f64>,
 }
 
 /// Per-graph forward caches needed for backpropagation.
@@ -120,13 +138,58 @@ impl ZeroShotCostModel {
 
     /// Predict the runtime (in seconds) of a featurized plan.
     pub fn predict(&self, graph: &PlanGraph) -> f64 {
-        self.forward(graph).prediction.exp()
+        self.predict_with(graph, &mut InferenceScratch::default())
     }
 
     /// Predict the log-runtime of a featurized plan (the model's native
     /// output space).
     pub fn predict_log(&self, graph: &PlanGraph) -> f64 {
-        self.forward(graph).prediction
+        self.predict_log_with(graph, &mut InferenceScratch::default())
+    }
+
+    /// Allocation-free runtime prediction with caller-provided scratch
+    /// buffers (the serving hot path).  Bit-identical to
+    /// [`ZeroShotCostModel::predict`].
+    pub fn predict_with(&self, graph: &PlanGraph, scratch: &mut InferenceScratch) -> f64 {
+        self.predict_log_with(graph, scratch).exp()
+    }
+
+    /// Allocation-free log-runtime prediction with caller-provided scratch
+    /// buffers.
+    ///
+    /// Performs the same floating-point operations in the same order as
+    /// the training-time forward pass, but skips every backprop cache —
+    /// no per-layer activation snapshots, no per-node `MlpCache` — which
+    /// is what makes concurrent shared-read inference cheap.
+    pub fn predict_log_with(&self, graph: &PlanGraph, scratch: &mut InferenceScratch) -> f64 {
+        let h = self.config.hidden_dim;
+        if scratch.states.len() < graph.len() {
+            scratch.states.resize_with(graph.len(), Vec::new);
+        }
+
+        for (idx, node) in graph.nodes.iter().enumerate() {
+            // Own encoding, then the DeepSets sum of child states, laid out
+            // back-to-back as the combine MLP's input.
+            let combine_input = &mut scratch.combine_input;
+            combine_input.clear();
+            combine_input.reserve(2 * h);
+            combine_input.extend_from_slice(
+                self.encoders[node.kind.index()].forward_into(&node.features, &mut scratch.mlp),
+            );
+            combine_input.resize(2 * h, 0.0);
+            let (_, sum) = combine_input.split_at_mut(h);
+            for &c in &node.children {
+                for (s, v) in sum.iter_mut().zip(&scratch.states[c]) {
+                    *s += v;
+                }
+            }
+            let state = self.combine.forward_into(combine_input, &mut scratch.mlp);
+            scratch.states[idx].clear();
+            scratch.states[idx].extend_from_slice(state);
+        }
+
+        self.output
+            .forward_into(&scratch.states[graph.root], &mut scratch.mlp)[0]
     }
 
     fn forward(&self, graph: &PlanGraph) -> ForwardTrace {
@@ -332,6 +395,25 @@ mod tests {
             assert!((model.predict(g) - restored.predict(g)).abs() < 1e-9);
         }
         assert_eq!(model.num_parameters(), restored.num_parameters());
+    }
+
+    #[test]
+    fn scratch_inference_is_bit_identical_to_fresh_prediction() {
+        // One reused scratch across many graphs must produce exactly the
+        // same bits as per-call predictions — the property the concurrent
+        // serving layer relies on to match the single-threaded path.
+        let graphs = graphs();
+        let model = ZeroShotCostModel::new(ModelConfig::tiny());
+        let mut scratch = InferenceScratch::default();
+        for g in &graphs {
+            let fresh = model.predict(g);
+            let reused = model.predict_with(g, &mut scratch);
+            assert_eq!(fresh.to_bits(), reused.to_bits());
+            assert_eq!(
+                model.predict_log(g).to_bits(),
+                model.predict_log_with(g, &mut scratch).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,15 @@ impl<'a> QueryRunner<'a> {
         Optimizer::new(self.db, self.config.clone(), &self.estimator).plan(query)
     }
 
+    /// Plan every query of a workload without executing any of them.
+    ///
+    /// This is how the serving layer drives realistic prediction-request
+    /// streams: plans come out of the same optimizer a live system would
+    /// use, but no query is ever run against the data.
+    pub fn plan_workload(&self, queries: &[Query]) -> Vec<PlanNode> {
+        queries.iter().map(|q| self.plan(q)).collect()
+    }
+
     /// Plan, execute and time one query.  `noise_seed` controls the
     /// run-to-run noise of the simulated runtime.
     pub fn run(&self, query: &Query, noise_seed: u64) -> QueryExecution {
@@ -127,6 +136,18 @@ mod tests {
         };
         let joined = runner.run(&join_query, 0);
         assert!(joined.runtime_secs > single.runtime_secs);
+    }
+
+    #[test]
+    fn plan_workload_matches_individual_planning() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 5, 2);
+        let plans = runner.plan_workload(&queries);
+        assert_eq!(plans.len(), queries.len());
+        for (q, p) in queries.iter().zip(&plans) {
+            assert_eq!(p, &runner.plan(q));
+        }
     }
 
     #[test]

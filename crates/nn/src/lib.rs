@@ -19,6 +19,6 @@ pub mod optim;
 pub mod param;
 
 pub use metrics::{median, percentile, q_error, QErrorSummary};
-pub use mlp::{Activation, Mlp, MlpCache};
+pub use mlp::{Activation, ForwardScratch, Mlp, MlpCache};
 pub use optim::Adam;
 pub use param::ParamBuf;

@@ -111,6 +111,20 @@ impl Linear {
     }
 }
 
+/// Reusable ping-pong buffers for allocation-free inference through an
+/// [`Mlp`] (see [`Mlp::forward_into`]).
+///
+/// A scratch instance may be reused across calls and across different
+/// `Mlp`s; buffers grow to the widest layer encountered and are never
+/// shrunk, so a long-lived scratch makes repeated inference allocation-free
+/// — the optimisation that matters on the serving hot path, where the same
+/// worker thread pushes thousands of plans through the same model.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
 /// Forward-pass cache needed for backpropagation through an [`Mlp`].
 #[derive(Debug, Clone, Default)]
 pub struct MlpCache {
@@ -162,19 +176,57 @@ impl Mlp {
     }
 
     /// Forward pass without keeping a cache (inference).
+    ///
+    /// Convenience wrapper around [`Mlp::forward_into`] that allocates a
+    /// fresh scratch per call; hot paths should hold a [`ForwardScratch`]
+    /// and call `forward_into` directly.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut current = x.to_vec();
-        let mut buffer = Vec::new();
-        for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(&current, &mut buffer);
-            let is_last = i + 1 == self.layers.len();
-            current = if is_last {
-                buffer.clone()
-            } else {
-                buffer.iter().map(|&v| self.activation.apply(v)).collect()
-            };
+        let mut scratch = ForwardScratch::default();
+        self.forward_into(x, &mut scratch).to_vec()
+    }
+
+    /// Allocation-free forward pass: ping-pongs between the two scratch
+    /// buffers instead of allocating per layer, and returns a slice into
+    /// the scratch holding the output activations.
+    ///
+    /// Produces bit-identical results to [`Mlp::forward`] and to the
+    /// output of [`Mlp::forward_cached`] (same operations in the same
+    /// order).
+    pub fn forward_into<'s>(&self, x: &[f64], scratch: &'s mut ForwardScratch) -> &'s [f64] {
+        let num_layers = self.layers.len();
+        if num_layers == 0 {
+            scratch.a.clear();
+            scratch.a.extend_from_slice(x);
+            return &scratch.a;
         }
-        current
+        // Layer 0 reads the caller's input; subsequent layers alternate
+        // between the two scratch buffers.
+        self.layers[0].forward(x, &mut scratch.a);
+        if num_layers > 1 {
+            for v in scratch.a.iter_mut() {
+                *v = self.activation.apply(*v);
+            }
+        }
+        let mut in_a = true;
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let (src, dst) = if in_a {
+                (&scratch.a, &mut scratch.b)
+            } else {
+                (&scratch.b, &mut scratch.a)
+            };
+            layer.forward(src, dst);
+            if i + 1 < num_layers {
+                for v in dst.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            in_a = !in_a;
+        }
+        if in_a {
+            &scratch.a
+        } else {
+            &scratch.b
+        }
     }
 
     /// Forward pass that records the cache needed by [`Mlp::backward`].
@@ -356,6 +408,52 @@ mod tests {
             }
             let _ = out;
         }
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bit_for_bit() {
+        let mlp = Mlp::new(&[5, 9, 7, 2], Activation::LeakyRelu, 17);
+        let mut scratch = ForwardScratch::default();
+        for trial in 0..10 {
+            let x: Vec<f64> = (0..5).map(|i| (i as f64 - trial as f64) * 0.37).collect();
+            let allocating = mlp.forward(&x);
+            let (cached_out, _) = mlp.forward_cached(&x);
+            let scratch_out = mlp.forward_into(&x, &mut scratch);
+            assert_eq!(scratch_out.len(), allocating.len());
+            for ((a, b), c) in allocating.iter().zip(scratch_out).zip(&cached_out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_models_of_different_shapes() {
+        let narrow = Mlp::new(&[2, 3, 1], Activation::Relu, 1);
+        let wide = Mlp::new(&[4, 32, 32, 2], Activation::Relu, 2);
+        let mut scratch = ForwardScratch::default();
+        let narrow_expected = narrow.forward(&[0.5, -0.5]);
+        let wide_expected = wide.forward(&[1.0, 2.0, 3.0, 4.0]);
+        for _ in 0..3 {
+            assert_eq!(
+                narrow.forward_into(&[0.5, -0.5], &mut scratch),
+                &narrow_expected[..]
+            );
+            assert_eq!(
+                wide.forward_into(&[1.0, 2.0, 3.0, 4.0], &mut scratch),
+                &wide_expected[..]
+            );
+        }
+    }
+
+    #[test]
+    fn single_layer_mlp_forward_into() {
+        // One linear layer: no activation is applied (the last layer is
+        // linear by convention), and only one scratch buffer is used.
+        let mlp = Mlp::new(&[3, 2], Activation::LeakyRelu, 4);
+        let mut scratch = ForwardScratch::default();
+        let x = [0.1, -0.2, 0.3];
+        assert_eq!(mlp.forward_into(&x, &mut scratch), &mlp.forward(&x)[..]);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Thread-safe LRU cache of featurized plan graphs.
+//!
+//! Serving workers key the cache by the structural
+//! [`plan_fingerprint`](zsdb_core::fingerprint::plan_fingerprint) of an
+//! incoming plan, so repeated query shapes skip re-featurization and go
+//! straight to model inference.  Hit/miss counters feed the serving
+//! metrics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use zsdb_core::features::PlanGraph;
+
+/// Interior LRU bookkeeping: recency is a monotonically increasing tick;
+/// the `BTreeMap` orders keys by last use so eviction pops its first
+/// (oldest) entry in `O(log n)`.
+struct LruInner {
+    entries: HashMap<u64, (Arc<PlanGraph>, u64)>,
+    by_tick: BTreeMap<u64, u64>,
+    next_tick: u64,
+}
+
+impl LruInner {
+    fn touch(&mut self, key: u64) {
+        if let Some((_, tick)) = self.entries.get_mut(&key) {
+            self.by_tick.remove(tick);
+            *tick = self.next_tick;
+            self.by_tick.insert(self.next_tick, key);
+            self.next_tick += 1;
+        }
+    }
+}
+
+/// A bounded, thread-safe LRU cache mapping plan fingerprints to their
+/// featurized graphs.
+pub struct FeatureCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FeatureCache {
+    /// Create a cache holding at most `capacity` graphs (a capacity of 0
+    /// disables caching: every lookup is a miss and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        FeatureCache {
+            inner: Mutex::new(LruInner {
+                entries: HashMap::new(),
+                by_tick: BTreeMap::new(),
+                next_tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a fingerprint, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<PlanGraph>> {
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        match inner.entries.get(&key).map(|(g, _)| Arc::clone(g)) {
+            Some(graph) => {
+                inner.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(graph)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a graph, evicting the least recently used entry if the
+    /// cache is full.
+    pub fn insert(&self, key: u64, graph: Arc<PlanGraph>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        if inner.entries.contains_key(&key) {
+            inner.touch(key);
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            if let Some((_, oldest_key)) = inner.by_tick.pop_first() {
+                inner.entries.remove(&oldest_key);
+            }
+        }
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        inner.entries.insert(key, (graph, tick));
+        inner.by_tick.insert(tick, key);
+    }
+
+    /// Fetch the graph for `key`, computing and inserting it on a miss.
+    /// Returns the graph and whether the lookup was a cache hit.
+    ///
+    /// The featurization closure runs *outside* the cache lock, so
+    /// concurrent misses never serialise on each other; two threads
+    /// missing the same key may both featurize, with one result winning —
+    /// harmless, because featurization is deterministic.
+    pub fn get_or_insert_with<F>(&self, key: u64, featurize: F) -> (Arc<PlanGraph>, bool)
+    where
+        F: FnOnce() -> PlanGraph,
+    {
+        if let Some(graph) = self.get(key) {
+            return (graph, true);
+        }
+        let graph = Arc::new(featurize());
+        self.insert(key, Arc::clone(&graph));
+        (graph, false)
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        let len = self
+            .inner
+            .lock()
+            .expect("feature cache poisoned")
+            .entries
+            .len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to featurize.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum number of entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(tag: f64) -> PlanGraph {
+        use zsdb_core::features::{GraphNode, NodeKind};
+        PlanGraph {
+            nodes: vec![GraphNode {
+                kind: NodeKind::PlanOperator,
+                features: vec![tag; NodeKind::PlanOperator.feature_dim()],
+                children: vec![],
+            }],
+            root: 0,
+            runtime_secs: None,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = FeatureCache::new(4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, Arc::new(graph(1.0)));
+        assert!(cache.get(1).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let cache = FeatureCache::new(2);
+        cache.insert(1, Arc::new(graph(1.0)));
+        cache.insert(2, Arc::new(graph(2.0)));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, Arc::new(graph(3.0)));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none(), "LRU entry should have been evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn get_or_insert_with_featurizes_once_per_shape() {
+        let cache = FeatureCache::new(8);
+        let mut featurizations = 0;
+        for _ in 0..5 {
+            let (g, _hit) = cache.get_or_insert_with(42, || {
+                featurizations += 1;
+                graph(42.0)
+            });
+            assert_eq!(g.nodes[0].features[0], 42.0);
+        }
+        assert_eq!(featurizations, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = FeatureCache::new(0);
+        let (_, hit) = cache.get_or_insert_with(7, || graph(7.0));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_insert_with(7, || graph(7.0));
+        assert!(!hit);
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(FeatureCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let key = (t * 31 + i) % 100;
+                    let (g, _) = cache.get_or_insert_with(key, || graph(key as f64));
+                    assert_eq!(g.nodes[0].features[0], key as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+        assert!(stats.len <= 64);
+    }
+}

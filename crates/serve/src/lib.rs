@@ -1,0 +1,51 @@
+//! # zsdb-serve — model serving for the zero-shot cost model
+//!
+//! The paper's promise is a model that works on unseen databases *out of
+//! the box*; this crate supplies the "box": everything needed to take a
+//! trained [`TrainedModel`](zsdb_core::train::TrainedModel) from a training
+//! run to a deployable prediction service.
+//!
+//! * [`registry`] — a persistent, versioned model registry.  Artifacts are
+//!   plain serde_json files carrying the full model plus provenance
+//!   (architecture, featurizer mode) and *integrity probes*: recorded
+//!   prediction bit-patterns that every load re-verifies, so a corrupted
+//!   or drifted artifact is rejected before it serves a single request.
+//! * [`server`] — a concurrent inference engine: a `std::thread` worker
+//!   pool consuming a **bounded** MPSC queue (backpressure instead of
+//!   unbounded growth), sharing one read-only model and answering each
+//!   request bit-identically to the single-threaded path.
+//! * [`cache`] — an LRU feature cache keyed by the structural plan
+//!   fingerprint ([`zsdb_core::fingerprint`]), so repeated query shapes
+//!   skip featurization entirely.
+//! * [`metrics`] — throughput and p50/p95/p99 latency, exportable as the
+//!   machine-readable `BENCH_serve.json` report.
+//!
+//! ```no_run
+//! use zsdb_serve::{ModelRegistry, PredictionServer, ServerConfig};
+//! # fn demo(model: zsdb_core::train::TrainedModel,
+//! #         catalog: zsdb_catalog::SchemaCatalog,
+//! #         probe: Vec<zsdb_core::PlanGraph>,
+//! #         plan: zsdb_engine::PlanNode) -> Result<(), zsdb_serve::ServeError> {
+//! let registry = ModelRegistry::open("models")?;
+//! let version = registry.register("cost", &model, &probe)?;
+//! let served = registry.load("cost", version)?; // integrity-checked
+//! let server = PredictionServer::start(served, catalog, ServerConfig::default());
+//! let prediction = server.predict_blocking(plan)?;
+//! println!("predicted {:.3}s ({})", prediction.runtime_secs, server.metrics());
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, FeatureCache};
+pub use error::ServeError;
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{ArtifactManifest, IntegrityProbe, ModelRegistry, ARTIFACT_FORMAT_VERSION};
+pub use server::{Prediction, PredictionServer, PredictionTicket, RejectedRequest, ServerConfig};

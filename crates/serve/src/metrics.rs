@@ -1,0 +1,271 @@
+//! Serving metrics: request throughput and latency percentiles.
+
+use crate::cache::CacheStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many of the most recent request latencies are retained for the
+/// percentile estimates.  A bounded ring keeps a long-running server's
+/// memory constant (a naive grow-forever log at ~50k q/s leaks ≈ 1.5
+/// GB/hour) and keeps `snapshot()` cost independent of uptime; `max` is
+/// tracked separately over the whole lifetime.
+pub const LATENCY_WINDOW: usize = 65_536;
+
+/// Bounded ring of recent latencies (nanoseconds).
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+    /// Lifetime maximum, independent of the window.
+    max_ns: u64,
+}
+
+/// Shared latency/throughput recorder, updated by every worker thread.
+pub struct ServeMetrics {
+    started: Instant,
+    completed: AtomicU64,
+    ring: Mutex<LatencyRing>,
+}
+
+impl ServeMetrics {
+    /// Create a recorder; throughput is measured from this instant.
+    pub fn new() -> Self {
+        ServeMetrics {
+            started: Instant::now(),
+            completed: AtomicU64::new(0),
+            ring: Mutex::new(LatencyRing {
+                samples: Vec::new(),
+                next: 0,
+                max_ns: 0,
+            }),
+        }
+    }
+
+    /// Record one completed request and its queue-to-response latency.
+    pub fn record(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let ns = latency.as_nanos() as u64;
+        let mut ring = self.ring.lock().expect("metrics poisoned");
+        ring.max_ns = ring.max_ns.max(ns);
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(ns);
+        } else {
+            let slot = ring.next;
+            ring.samples[slot] = ns;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Snapshot the current metrics, combining them with cache statistics
+    /// and the worker count for a complete serving report.
+    ///
+    /// Percentiles are computed over the most recent [`LATENCY_WINDOW`]
+    /// requests; `latency_max_ms` covers the whole server lifetime.
+    pub fn snapshot(&self, cache: CacheStats, workers: usize) -> MetricsSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let (mut latencies_ms, max_ns) = {
+            let ring = self.ring.lock().expect("metrics poisoned");
+            let ms: Vec<f64> = ring.samples.iter().map(|&ns| ns as f64 / 1e6).collect();
+            (ms, ring.max_ns)
+        };
+        // One sort serves every percentile.
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let total_requests = self.completed.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            total_requests,
+            elapsed_secs: elapsed,
+            throughput_qps: if elapsed > 0.0 {
+                total_requests as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency_p50_ms: percentile_of_sorted(&latencies_ms, 50.0),
+            latency_p95_ms: percentile_of_sorted(&latencies_ms, 95.0),
+            latency_p99_ms: percentile_of_sorted(&latencies_ms, 99.0),
+            latency_max_ms: if total_requests == 0 {
+                f64::NAN
+            } else {
+                max_ns as f64 / 1e6
+            },
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: cache.hit_rate(),
+            workers,
+        }
+    }
+}
+
+/// Linear-interpolation percentile of an already-sorted sample (same
+/// definition as [`zsdb_nn::percentile`], without the per-call clone and
+/// sort).  Returns `NaN` for empty input.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+/// A point-in-time serving report — the payload of `BENCH_serve.json`.
+///
+/// Latency percentiles are `NaN` until at least one request completed
+/// (serde_json renders them as `null`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests fully served since the server started.
+    pub total_requests: u64,
+    /// Wall-clock seconds since the server started.
+    pub elapsed_secs: f64,
+    /// Completed requests per second of server lifetime.
+    pub throughput_qps: f64,
+    /// Median request latency (enqueue → response) in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub latency_p99_ms: f64,
+    /// Worst observed latency in milliseconds.
+    pub latency_max_ms: f64,
+    /// Feature-cache hits.
+    pub cache_hits: u64,
+    /// Feature-cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 before any traffic.
+    pub cache_hit_rate: f64,
+    /// Number of worker threads serving predictions.
+    pub workers: usize,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests in {:.2}s ({:.0} q/s) · latency p50 {:.3} ms, p95 {:.3} ms, \
+             p99 {:.3} ms · cache hit-rate {:.1}% ({} workers)",
+            self.total_requests,
+            self.elapsed_secs,
+            self.throughput_qps,
+            self.latency_p50_ms,
+            self.latency_p95_ms,
+            self.latency_p99_ms,
+            self.cache_hit_rate * 100.0,
+            self.workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_stats(hits: u64, misses: u64) -> CacheStats {
+        CacheStats {
+            hits,
+            misses,
+            len: 0,
+            capacity: 16,
+        }
+    }
+
+    #[test]
+    fn snapshot_aggregates_latencies() {
+        let metrics = ServeMetrics::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            metrics.record(Duration::from_millis(ms));
+        }
+        let snap = metrics.snapshot(cache_stats(3, 2), 4);
+        assert_eq!(snap.total_requests, 5);
+        assert_eq!(snap.workers, 4);
+        assert!(snap.latency_p50_ms >= 2.0 && snap.latency_p50_ms <= 4.0);
+        assert!(snap.latency_p99_ms <= snap.latency_max_ms);
+        assert!(snap.latency_max_ms >= 99.0);
+        assert!((snap.cache_hit_rate - 0.6).abs() < 1e-12);
+        assert!(snap.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_has_nan_latencies_and_zero_throughput_requests() {
+        let metrics = ServeMetrics::new();
+        let snap = metrics.snapshot(cache_stats(0, 0), 1);
+        assert_eq!(snap.total_requests, 0);
+        assert!(snap.latency_p50_ms.is_nan());
+        assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded_but_max_is_lifetime() {
+        let metrics = ServeMetrics::new();
+        // One early outlier, then far more than LATENCY_WINDOW fast
+        // requests: the ring forgets the outlier for percentiles, but the
+        // lifetime max keeps it.
+        metrics.record(Duration::from_secs(2));
+        for _ in 0..(LATENCY_WINDOW + 100) {
+            metrics.record(Duration::from_micros(50));
+        }
+        let snap = metrics.snapshot(cache_stats(0, 0), 1);
+        assert_eq!(snap.total_requests, (LATENCY_WINDOW + 101) as u64);
+        assert!(snap.latency_p99_ms < 1.0, "window forgot the outlier");
+        assert!(snap.latency_max_ms >= 2_000.0, "lifetime max retained");
+        assert_eq!(
+            metrics.ring.lock().unwrap().samples.len(),
+            LATENCY_WINDOW,
+            "sample storage is bounded"
+        );
+    }
+
+    #[test]
+    fn percentile_of_sorted_matches_nn_percentile() {
+        let samples = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 0.5];
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                percentile_of_sorted(&sorted, p),
+                zsdb_nn::percentile(&samples, p)
+            );
+        }
+        assert!(percentile_of_sorted(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let metrics = ServeMetrics::new();
+        metrics.record(Duration::from_micros(1500));
+        let snap = metrics.snapshot(cache_stats(1, 1), 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        for key in [
+            "throughput_qps",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "cache_hit_rate",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_requests, 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let metrics = ServeMetrics::new();
+        metrics.record(Duration::from_millis(2));
+        let text = metrics.snapshot(cache_stats(1, 0), 8).to_string();
+        assert!(text.contains("8 workers"));
+        assert!(text.contains("hit-rate"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Persistent, versioned model registry.
+//!
+//! A registered model becomes an on-disk *artifact directory*
+//!
+//! ```text
+//! <root>/<model-name>/v0001/
+//! ├── manifest.json   — provenance + integrity probes
+//! └── model.json      — the full TrainedModel (weights, featurizer, curve)
+//! ```
+//!
+//! Versions are monotonically increasing per model name; re-registering
+//! under the same name creates the next version instead of overwriting.
+//!
+//! **Integrity probes.**  At registration time the registry records, for a
+//! handful of probe plan graphs, the exact bit-pattern of the model's
+//! prediction.  [`ModelRegistry::load`] re-runs those predictions and
+//! refuses to return a model whose outputs changed — catching artifact
+//! corruption, lossy float round-trips, or a drifted inference
+//! implementation before bad predictions ever reach a client.
+
+use crate::error::ServeError;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+use zsdb_core::features::PlanGraph;
+use zsdb_core::fingerprint::graph_fingerprint;
+use zsdb_core::model::ModelConfig;
+use zsdb_core::train::TrainedModel;
+use zsdb_core::FeaturizerConfig;
+
+/// On-disk artifact format version understood by this build.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
+
+/// Maximum number of integrity probes stored per artifact.
+const MAX_PROBES: usize = 8;
+
+/// One prediction round-trip probe: a featurized plan graph plus the
+/// bit-exact prediction the model produced at registration time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntegrityProbe {
+    /// Stable fingerprint of the probe graph (diagnostics).
+    pub graph_fingerprint: u64,
+    /// The probe graph itself.
+    pub graph: PlanGraph,
+    /// `f64::to_bits` of the model's prediction on `graph`.
+    pub prediction_bits: u64,
+}
+
+/// Provenance and integrity metadata stored next to every model artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactManifest {
+    /// Registry format version (see [`ARTIFACT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Model name this artifact is registered under.
+    pub name: String,
+    /// Artifact version (1-based, monotonically increasing).
+    pub version: u32,
+    /// Architecture hyper-parameters of the stored model.
+    pub model_config: ModelConfig,
+    /// Featurizer configuration (cardinality mode + feature mode) the
+    /// model was trained with — required to featurize requests the same
+    /// way at serving time.
+    pub featurizer: FeaturizerConfig,
+    /// Number of trainable parameters (sanity metadata).
+    pub num_parameters: usize,
+    /// Median training Q-error recorded at training time.
+    pub final_train_qerror: f64,
+    /// Prediction round-trip probes verified on every load.
+    pub probes: Vec<IntegrityProbe>,
+}
+
+/// A directory-backed registry of versioned model artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Open (creating if necessary) a registry rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Register a trained model under `name`, returning the new version.
+    ///
+    /// `probe_graphs` seed the prediction round-trip integrity check; up
+    /// to eight are stored (held-out plans from any database work — the
+    /// check only needs *deterministic* inputs, not labelled ones).  At
+    /// least one probe graph is required so a load can never silently
+    /// skip verification.
+    pub fn register(
+        &self,
+        name: &str,
+        model: &TrainedModel,
+        probe_graphs: &[PlanGraph],
+    ) -> Result<u32, ServeError> {
+        assert!(
+            !probe_graphs.is_empty(),
+            "at least one integrity probe graph is required"
+        );
+        let probes = probe_graphs
+            .iter()
+            .take(MAX_PROBES)
+            .map(|g| IntegrityProbe {
+                graph_fingerprint: graph_fingerprint(g),
+                graph: g.clone(),
+                prediction_bits: model.predict(g).to_bits(),
+            })
+            .collect();
+        // Claim the next version atomically: `create_dir` (unlike
+        // `create_dir_all`) fails on an existing directory, so two
+        // concurrent registrations of the same name can never compute the
+        // same version and silently overwrite each other — the loser just
+        // retries with the next number.
+        fs::create_dir_all(self.root.join(name))?;
+        let mut version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        let dir = loop {
+            let dir = self.version_dir(name, version);
+            match fs::create_dir(&dir) {
+                Ok(()) => break dir,
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => version += 1,
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        let manifest = ArtifactManifest {
+            format_version: ARTIFACT_FORMAT_VERSION,
+            name: name.to_string(),
+            version,
+            model_config: *model.model.config(),
+            featurizer: model.featurizer,
+            num_parameters: model.model.num_parameters(),
+            final_train_qerror: model.final_train_qerror,
+            probes,
+        };
+        fs::write(dir.join("manifest.json"), serde_json::to_string(&manifest)?)?;
+        fs::write(dir.join("model.json"), model.to_json())?;
+        Ok(version)
+    }
+
+    /// All registered versions of `name`, ascending.  A name with no
+    /// artifacts yields an empty list.
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>, ServeError> {
+        let dir = self.root.join(name);
+        let mut versions = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(versions),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let file_name = entry?.file_name();
+            let file_name = file_name.to_string_lossy();
+            if let Some(v) = file_name
+                .strip_prefix('v')
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// All model names with at least one registered version.
+    pub fn model_names(&self) -> Result<Vec<String>, ServeError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !self.versions(&name)?.is_empty() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// The newest version of `name`.
+    pub fn latest(&self, name: &str) -> Result<u32, ServeError> {
+        self.versions(name)?
+            .last()
+            .copied()
+            .ok_or_else(|| ServeError::NotFound {
+                name: name.to_string(),
+                version: None,
+            })
+    }
+
+    /// Read an artifact's manifest without loading the model weights.
+    pub fn manifest(&self, name: &str, version: u32) -> Result<ArtifactManifest, ServeError> {
+        let path = self.version_dir(name, version).join("manifest.json");
+        let raw = fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                ServeError::NotFound {
+                    name: name.to_string(),
+                    version: Some(version),
+                }
+            } else {
+                e.into()
+            }
+        })?;
+        let manifest: ArtifactManifest = serde_json::from_str(&raw)?;
+        if manifest.format_version != ARTIFACT_FORMAT_VERSION {
+            return Err(ServeError::FormatVersionMismatch {
+                found: manifest.format_version,
+                supported: ARTIFACT_FORMAT_VERSION,
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Load a specific version of a model and run its prediction
+    /// round-trip integrity check.
+    pub fn load(&self, name: &str, version: u32) -> Result<TrainedModel, ServeError> {
+        let manifest = self.manifest(name, version)?;
+        let raw = fs::read_to_string(self.version_dir(name, version).join("model.json"))?;
+        let model = TrainedModel::from_json(&raw)?;
+        for (i, probe) in manifest.probes.iter().enumerate() {
+            let bits = model.predict(&probe.graph).to_bits();
+            if bits != probe.prediction_bits {
+                return Err(ServeError::IntegrityViolation {
+                    name: name.to_string(),
+                    version,
+                    details: format!(
+                        "probe {i} (graph {:#018x}): stored prediction bits {:#018x}, \
+                         recomputed {bits:#018x}",
+                        probe.graph_fingerprint, probe.prediction_bits
+                    ),
+                });
+            }
+        }
+        Ok(model)
+    }
+
+    /// Load the newest version of `name` (with integrity check).
+    pub fn load_latest(&self, name: &str) -> Result<TrainedModel, ServeError> {
+        let version = self.latest(name)?;
+        self.load(name, version)
+    }
+
+    fn version_dir(&self, name: &str, version: u32) -> PathBuf {
+        self.root.join(name).join(format!("v{version:04}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use zsdb_catalog::presets;
+    use zsdb_core::features::{featurize_execution, FeaturizerConfig};
+    use zsdb_core::model::ModelConfig;
+    use zsdb_core::train::{Trainer, TrainingConfig};
+    use zsdb_engine::QueryRunner;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    fn temp_registry() -> ModelRegistry {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "zsdb_registry_test_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        ModelRegistry::open(dir).unwrap()
+    }
+
+    fn tiny_trained_model_and_graphs() -> (TrainedModel, Vec<PlanGraph>) {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 20, 1);
+        let graphs: Vec<PlanGraph> = runner
+            .run_workload(&queries, 0)
+            .iter()
+            .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact()))
+            .collect();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 3,
+                validation_fraction: 0.0,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+        (trained, graphs)
+    }
+
+    #[test]
+    fn register_load_roundtrip_preserves_predictions() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let version = registry.register("cost", &model, &graphs[..5]).unwrap();
+        assert_eq!(version, 1);
+        let loaded = registry.load("cost", version).unwrap();
+        for g in &graphs {
+            assert_eq!(model.predict(g).to_bits(), loaded.predict(g).to_bits());
+        }
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        assert_eq!(registry.versions("cost").unwrap(), Vec::<u32>::new());
+        for expected in 1..=3 {
+            let v = registry.register("cost", &model, &graphs[..2]).unwrap();
+            assert_eq!(v, expected);
+        }
+        assert_eq!(registry.versions("cost").unwrap(), vec![1, 2, 3]);
+        assert_eq!(registry.latest("cost").unwrap(), 3);
+        assert_eq!(registry.model_names().unwrap(), vec!["cost".to_string()]);
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn concurrent_registrations_never_overwrite_each_other() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let model = std::sync::Arc::new(model);
+        let probe = std::sync::Arc::new(vec![graphs[0].clone()]);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let registry = registry.clone();
+            let model = std::sync::Arc::clone(&model);
+            let probe = std::sync::Arc::clone(&probe);
+            handles.push(std::thread::spawn(move || {
+                registry.register("cost", &model, &probe).unwrap()
+            }));
+        }
+        let mut versions: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        versions.sort_unstable();
+        // Every registration claimed a distinct version and all artifacts
+        // load cleanly.
+        assert_eq!(versions, vec![1, 2, 3, 4]);
+        for v in versions {
+            registry.load("cost", v).unwrap();
+        }
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn missing_models_are_not_found() {
+        let registry = temp_registry();
+        assert!(matches!(
+            registry.latest("nope"),
+            Err(ServeError::NotFound { .. })
+        ));
+        assert!(matches!(
+            registry.manifest("nope", 1),
+            Err(ServeError::NotFound { .. })
+        ));
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn manifest_records_provenance() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let v = registry.register("cost", &model, &graphs[..3]).unwrap();
+        let manifest = registry.manifest("cost", v).unwrap();
+        assert_eq!(manifest.format_version, ARTIFACT_FORMAT_VERSION);
+        assert_eq!(manifest.name, "cost");
+        assert_eq!(manifest.featurizer, model.featurizer);
+        assert_eq!(manifest.model_config, *model.model.config());
+        assert_eq!(manifest.num_parameters, model.model.num_parameters());
+        assert_eq!(manifest.probes.len(), 3);
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn corrupted_weights_fail_the_integrity_check() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let v = registry.register("cost", &model, &graphs[..3]).unwrap();
+
+        // Corrupt the stored weights by swapping a digit in every float
+        // containing "0.0", keeping the JSON valid.  (A single targeted
+        // flip could land on a weight that only multiplies a one-hot slot
+        // the probe graphs never activate; flipping all of them guarantees
+        // live parameters change.)
+        let path = registry
+            .root()
+            .join("cost")
+            .join("v0001")
+            .join("model.json");
+        let raw = fs::read_to_string(&path).unwrap();
+        let corrupted = raw.replace("0.0", "0.5");
+        assert_ne!(raw, corrupted, "corruption should change the artifact");
+        fs::write(&path, corrupted).unwrap();
+
+        match registry.load("cost", v) {
+            Err(ServeError::IntegrityViolation { details, .. }) => {
+                assert!(details.contains("probe"));
+            }
+            other => panic!("expected integrity violation, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let v = registry.register("cost", &model, &graphs[..1]).unwrap();
+        let path = registry
+            .root()
+            .join("cost")
+            .join("v0001")
+            .join("manifest.json");
+        let raw = fs::read_to_string(&path).unwrap();
+        fs::write(
+            &path,
+            raw.replacen("\"format_version\":1", "\"format_version\":99", 1),
+        )
+        .unwrap();
+        assert!(matches!(
+            registry.load("cost", v),
+            Err(ServeError::FormatVersionMismatch { found: 99, .. })
+        ));
+        let _ = fs::remove_dir_all(registry.root());
+    }
+}

@@ -1,0 +1,443 @@
+//! Concurrent prediction server: a `std::thread` worker pool over a
+//! bounded MPSC request queue.
+//!
+//! Design notes:
+//!
+//! * **Backpressure, not unbounded queueing** — requests enter through a
+//!   [`std::sync::mpsc::sync_channel`] with a fixed capacity.
+//!   [`PredictionServer::submit`] blocks the producer when the queue is
+//!   full; [`PredictionServer::try_submit`] sheds load immediately with
+//!   [`ServeError::Overloaded`].
+//! * **Shared-read model** — the trained model is behind an `Arc` and only
+//!   ever read; each worker owns a private [`InferenceScratch`], so
+//!   steady-state inference takes no locks and performs no allocation.
+//! * **Deterministic results** — workers featurize with the model's own
+//!   [`FeaturizerConfig`](zsdb_core::FeaturizerConfig) and predict with
+//!   the same floating-point operations as the single-threaded path, so a
+//!   served prediction is bit-identical to
+//!   `model.predict(featurize_plan(...))`.
+
+use crate::cache::{CacheStats, FeatureCache};
+use crate::error::ServeError;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zsdb_catalog::SchemaCatalog;
+use zsdb_core::features::featurize_plan;
+use zsdb_core::fingerprint::plan_fingerprint;
+use zsdb_core::model::InferenceScratch;
+use zsdb_core::train::TrainedModel;
+use zsdb_engine::PlanNode;
+
+/// Tunables of a [`PredictionServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Capacity of the bounded request queue (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Capacity of the feature cache (entries; 0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One answered prediction request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted runtime in seconds.
+    pub runtime_secs: f64,
+    /// Structural fingerprint of the request plan.
+    pub fingerprint: u64,
+    /// Whether featurization was skipped thanks to the feature cache.
+    pub cache_hit: bool,
+    /// Enqueue-to-response latency.
+    pub latency: Duration,
+}
+
+/// Claim ticket for an in-flight request; redeem with
+/// [`PredictionTicket::wait`].
+pub struct PredictionTicket {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl PredictionTicket {
+    /// Block until the prediction is ready.  Fails with
+    /// [`ServeError::Closed`] if the server shut down before answering.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// A request that [`PredictionServer::try_submit`] could not enqueue: the
+/// plan comes back (boxed, to keep the `Err` variant small) together with
+/// the rejection reason so the caller can retry or shed it.
+#[derive(Debug)]
+pub struct RejectedRequest {
+    /// The plan that was not enqueued.
+    pub plan: Box<PlanNode>,
+    /// Why it was rejected ([`ServeError::Overloaded`] or
+    /// [`ServeError::Closed`]).
+    pub reason: ServeError,
+}
+
+impl RejectedRequest {
+    fn new(plan: PlanNode, reason: ServeError) -> Self {
+        RejectedRequest {
+            plan: Box::new(plan),
+            reason,
+        }
+    }
+}
+
+impl std::fmt::Display for RejectedRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RejectedRequest {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.reason)
+    }
+}
+
+struct Job {
+    plan: PlanNode,
+    enqueued: Instant,
+    reply: mpsc::Sender<Prediction>,
+}
+
+struct Shared {
+    model: TrainedModel,
+    catalog: SchemaCatalog,
+    cache: FeatureCache,
+    metrics: ServeMetrics,
+}
+
+/// A running prediction service over one trained model and one database
+/// catalog.
+pub struct PredictionServer {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+}
+
+impl PredictionServer {
+    /// Spawn the worker pool and start accepting requests.
+    ///
+    /// The catalog must describe the database the request plans were
+    /// optimised for — it supplies the table/column statistics the
+    /// transferable featurization reads.
+    pub fn start(model: TrainedModel, catalog: SchemaCatalog, config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "a server needs at least one worker");
+        assert!(
+            config.queue_capacity > 0,
+            "a zero-capacity queue would reject every request"
+        );
+        let shared = Arc::new(Shared {
+            model,
+            catalog,
+            cache: FeatureCache::new(config.cache_capacity),
+            metrics: ServeMetrics::new(),
+        });
+        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("zsdb-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &receiver))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        PredictionServer {
+            sender: Some(sender),
+            workers,
+            shared,
+            config,
+        }
+    }
+
+    /// Enqueue a prediction request, blocking while the queue is full
+    /// (backpressure).
+    pub fn submit(&self, plan: PlanNode) -> Result<PredictionTicket, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            plan,
+            enqueued: Instant::now(),
+            reply,
+        };
+        self.sender
+            .as_ref()
+            .ok_or(ServeError::Closed)?
+            .send(job)
+            .map_err(|_| ServeError::Closed)?;
+        Ok(PredictionTicket { rx })
+    }
+
+    /// Enqueue a prediction request without blocking; fails with a
+    /// [`RejectedRequest`] carrying [`ServeError::Overloaded`] when the
+    /// queue is full, returning the plan to the caller for retry.
+    pub fn try_submit(&self, plan: PlanNode) -> Result<PredictionTicket, RejectedRequest> {
+        let sender = match self.sender.as_ref() {
+            Some(s) => s,
+            None => return Err(RejectedRequest::new(plan, ServeError::Closed)),
+        };
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            plan,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match sender.try_send(job) {
+            Ok(()) => Ok(PredictionTicket { rx }),
+            Err(TrySendError::Full(job)) => {
+                Err(RejectedRequest::new(job.plan, ServeError::Overloaded))
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                Err(RejectedRequest::new(job.plan, ServeError::Closed))
+            }
+        }
+    }
+
+    /// Submit and wait for the answer (convenience for sequential
+    /// clients).
+    pub fn predict_blocking(&self, plan: PlanNode) -> Result<Prediction, ServeError> {
+        self.submit(plan)?.wait()
+    }
+
+    /// Current serving metrics (throughput, latency percentiles, cache
+    /// effectiveness).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.stats(), self.config.workers)
+    }
+
+    /// Feature-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Drain the queue, stop all workers and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_workers();
+        self.metrics()
+    }
+
+    fn stop_workers(&mut self) {
+        // Dropping the sole SyncSender disconnects the channel; workers
+        // finish queued jobs and exit when `recv` fails.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PredictionServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
+    let mut scratch = InferenceScratch::default();
+    loop {
+        // Hold the receiver lock only while dequeuing, never during
+        // inference.
+        let job = match receiver.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: shutdown
+        };
+        let fingerprint = plan_fingerprint(&job.plan);
+        let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
+            featurize_plan(&shared.catalog, &job.plan, shared.model.featurizer)
+        });
+        let runtime_secs = shared.model.model.predict_with(&graph, &mut scratch);
+        let latency = job.enqueued.elapsed();
+        shared.metrics.record(latency);
+        // A dropped ticket just means the client stopped waiting.
+        let _ = job.reply.send(Prediction {
+            runtime_secs,
+            fingerprint,
+            cache_hit,
+            latency,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::presets;
+    use zsdb_core::features::FeaturizerConfig;
+    use zsdb_core::model::ModelConfig;
+    use zsdb_core::train::{Trainer, TrainingConfig};
+    use zsdb_engine::QueryRunner;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    fn tiny_server_fixture() -> (TrainedModel, SchemaCatalog, Vec<PlanNode>) {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 15, 1);
+        let graphs: Vec<_> = runner
+            .run_workload(&queries, 0)
+            .iter()
+            .map(|e| {
+                zsdb_core::features::featurize_execution(db.catalog(), e, FeaturizerConfig::exact())
+            })
+            .collect();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                validation_fraction: 0.0,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let model = trainer.train(&graphs);
+        let plans = runner.plan_workload(&queries);
+        (model, db.catalog().clone(), plans)
+    }
+
+    #[test]
+    fn served_predictions_match_the_single_threaded_path() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model.clone(),
+            catalog.clone(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        for plan in &plans {
+            let served = server.predict_blocking(plan.clone()).unwrap();
+            let reference = model.predict(&featurize_plan(&catalog, plan, model.featurizer));
+            assert_eq!(served.runtime_secs.to_bits(), reference.to_bits());
+            assert_eq!(served.fingerprint, plan_fingerprint(plan));
+        }
+    }
+
+    #[test]
+    fn repeated_plans_hit_the_cache() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(model, catalog, ServerConfig::default());
+        let first = server.predict_blocking(plans[0].clone()).unwrap();
+        assert!(!first.cache_hit);
+        let second = server.predict_blocking(plans[0].clone()).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.runtime_secs.to_bits(), second.runtime_secs.to_bits());
+        assert!(server.cache_stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_the_queue_is_full() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        // One worker and a one-slot queue: a burst must eventually see
+        // `Overloaded` (the first job may still be in flight).
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                cache_capacity: 0,
+            },
+        );
+        let mut overloaded = 0;
+        let mut tickets = Vec::new();
+        for _ in 0..200 {
+            match server.try_submit(plans[1].clone()) {
+                Ok(t) => tickets.push(t),
+                Err(RejectedRequest {
+                    plan,
+                    reason: ServeError::Overloaded,
+                }) => {
+                    overloaded += 1;
+                    // The plan comes back intact for a later retry.
+                    assert_eq!(&*plan, &plans[1]);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert!(overloaded > 0, "a 200-request burst should overflow");
+    }
+
+    #[test]
+    fn shutdown_reports_final_metrics_and_closes_submission() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(model, catalog, ServerConfig::default());
+        for plan in plans.iter().take(6) {
+            server.predict_blocking(plan.clone()).unwrap();
+        }
+        let final_metrics = server.shutdown();
+        assert_eq!(final_metrics.total_requests, 6);
+        assert!(final_metrics.throughput_qps > 0.0);
+        assert!(final_metrics.latency_p50_ms > 0.0);
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let expected: Vec<u64> = plans
+            .iter()
+            .map(|p| {
+                model
+                    .predict(&featurize_plan(&catalog, p, model.featurizer))
+                    .to_bits()
+            })
+            .collect();
+        let server = Arc::new(PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 4,
+                queue_capacity: 16,
+                cache_capacity: 128,
+            },
+        ));
+        let mut clients = Vec::new();
+        for c in 0..4 {
+            let server = Arc::clone(&server);
+            let plans = plans.clone();
+            let expected = expected.clone();
+            clients.push(std::thread::spawn(move || {
+                for round in 0..5 {
+                    let idx = (c + round) % plans.len();
+                    let served = server.predict_blocking(plans[idx].clone()).unwrap();
+                    assert_eq!(served.runtime_secs.to_bits(), expected[idx]);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(server.metrics().total_requests, 20);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`nn`] — minimal neural-network library used by all learned models.
 //! * [`zeroshot`] — the paper's contribution: transferable graph encoding and
 //!   the zero-shot cost model, training / few-shot / what-if pipelines.
+//! * [`serve`] — production serving: persistent model registry, concurrent
+//!   worker-pool inference with a fingerprint-keyed feature cache, metrics.
 //! * [`baselines`] — workload-driven baselines (MSCN, E2E, scaled optimizer
 //!   cost).
 
@@ -27,4 +29,5 @@ pub use zsdb_core as zeroshot;
 pub use zsdb_engine as engine;
 pub use zsdb_nn as nn;
 pub use zsdb_query as query;
+pub use zsdb_serve as serve;
 pub use zsdb_storage as storage;

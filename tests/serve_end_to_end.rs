@@ -1,0 +1,215 @@
+//! End-to-end serving test (ISSUE 2 acceptance): train a zero-shot model
+//! on generated databases, register it, reload it through the integrity
+//! check, and serve ≥ 1000 concurrent predictions through a ≥ 4-thread
+//! worker pool, asserting
+//!
+//! (a) every served prediction equals the single-threaded path
+//!     bit-for-bit,
+//! (b) the feature cache gets hits on a repeated workload, and
+//! (c) the emitted `BENCH_serve.json` reports throughput and p50/p95/p99
+//!     latency.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use zero_shot_db::catalog::presets;
+use zero_shot_db::query::WorkloadGenerator;
+use zero_shot_db::serve::{MetricsSnapshot, ModelRegistry, PredictionServer, ServerConfig};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::dataset::{collect_training_corpus, TrainingDataConfig};
+use zero_shot_db::zeroshot::features::featurize_plan;
+use zero_shot_db::zeroshot::{
+    plan_fingerprint, FeaturizerConfig, ModelConfig, PlanGraph, Trainer, TrainingConfig,
+};
+use zsdb_engine::QueryRunner;
+
+const WORKERS: usize = 4;
+const REPEATS: usize = 10;
+const DISTINCT_PLANS: usize = 100;
+
+#[test]
+fn train_register_and_serve_concurrently() {
+    // ---- Train on generated databases --------------------------------
+    let data_config = TrainingDataConfig::tiny();
+    let corpus = collect_training_corpus(&data_config);
+    let schemas = zero_shot_db::catalog::SchemaGenerator::new(data_config.schema_config.clone())
+        .generate_corpus("train", data_config.num_databases, data_config.seed);
+    let trainer = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 3,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::estimated(),
+    );
+    let graphs = trainer.featurize_corpus(&corpus, |name| {
+        schemas.iter().find(|s| s.name == name).expect("catalog")
+    });
+    let model = trainer.train(&graphs);
+
+    // ---- Register + integrity-checked reload -------------------------
+    let dir = std::env::temp_dir().join(format!("zsdb_serve_e2e_{}", std::process::id()));
+    let registry = ModelRegistry::open(&dir).expect("open registry");
+    let version = registry
+        .register("e2e", &model, &graphs[..6])
+        .expect("register");
+    let served_model = registry
+        .load("e2e", version)
+        .expect("integrity-checked load");
+
+    // ---- Request stream: optimizer plans on an unseen database -------
+    let imdb = Database::generate(presets::imdb_like(0.02), 42);
+    let runner = QueryRunner::with_defaults(&imdb);
+    let queries = WorkloadGenerator::with_defaults().generate(imdb.catalog(), DISTINCT_PLANS, 99);
+    let plans = runner.plan_workload(&queries);
+    assert_eq!(plans.len(), DISTINCT_PLANS);
+
+    // Single-threaded reference predictions, keyed by fingerprint.
+    let reference: HashMap<u64, u64> = plans
+        .iter()
+        .map(|p| {
+            let g: PlanGraph = featurize_plan(imdb.catalog(), p, served_model.featurizer);
+            (plan_fingerprint(p), served_model.predict(&g).to_bits())
+        })
+        .collect();
+
+    // ---- Serve ≥ 1000 requests through ≥ 4 workers -------------------
+    let server = Arc::new(PredictionServer::start(
+        served_model,
+        imdb.catalog().clone(),
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: 64,
+            cache_capacity: 512,
+        },
+    ));
+    let clients = 8;
+    let per_client = DISTINCT_PLANS * REPEATS / clients;
+    assert!(clients * per_client >= 1000);
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let server = Arc::clone(&server);
+        let plans = plans.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut results = Vec::with_capacity(per_client);
+            for i in 0..per_client {
+                let plan = plans[(c * per_client + i) % plans.len()].clone();
+                let prediction = server.submit(plan).expect("submit").wait().expect("wait");
+                results.push(prediction);
+            }
+            results
+        }));
+    }
+    let predictions: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    assert_eq!(predictions.len(), DISTINCT_PLANS * REPEATS);
+
+    // (a) bit-for-bit equality with the single-threaded path.
+    for p in &predictions {
+        let expected = reference
+            .get(&p.fingerprint)
+            .expect("served fingerprint matches a submitted plan");
+        assert_eq!(
+            p.runtime_secs.to_bits(),
+            *expected,
+            "served prediction diverged from the single-threaded path"
+        );
+    }
+
+    // (b) repeated workload ⇒ cache hits.
+    let final_metrics = server.metrics();
+    assert!(
+        final_metrics.cache_hit_rate > 0.0,
+        "expected cache hits on a {REPEATS}x-repeated workload"
+    );
+    assert!(predictions.iter().any(|p| p.cache_hit));
+
+    // (c) BENCH_serve.json reports throughput and latency percentiles.
+    let report_path = dir.join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&final_metrics).expect("serialize metrics");
+    std::fs::write(&report_path, &json).expect("write BENCH_serve.json");
+    let raw = std::fs::read_to_string(&report_path).expect("read back report");
+    for key in [
+        "throughput_qps",
+        "latency_p50_ms",
+        "latency_p95_ms",
+        "latency_p99_ms",
+        "cache_hit_rate",
+        "total_requests",
+    ] {
+        assert!(raw.contains(key), "BENCH_serve.json missing key {key}");
+    }
+    let parsed: MetricsSnapshot = serde_json::from_str(&raw).expect("parse report");
+    assert_eq!(parsed.total_requests, (DISTINCT_PLANS * REPEATS) as u64);
+    assert_eq!(parsed.workers, WORKERS);
+    assert!(parsed.throughput_qps > 0.0);
+    assert!(parsed.latency_p50_ms > 0.0);
+    assert!(parsed.latency_p95_ms >= parsed.latency_p50_ms);
+    assert!(parsed.latency_p99_ms >= parsed.latency_p95_ms);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backpressure_sheds_load_under_a_burst() {
+    // A tiny queue and a single worker: a fast burst of try_submit calls
+    // must observe `Overloaded` instead of queueing without bound, while
+    // blocking `submit` still eventually serves everything.
+    let db = Database::generate(presets::imdb_like(0.02), 7);
+    let runner = QueryRunner::with_defaults(&db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 10, 3);
+    let executions = runner.run_workload(&queries, 0);
+    let graphs: Vec<PlanGraph> = executions
+        .iter()
+        .map(|e| {
+            zero_shot_db::zeroshot::features::featurize_execution(
+                db.catalog(),
+                e,
+                FeaturizerConfig::exact(),
+            )
+        })
+        .collect();
+    let model = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    )
+    .train(&graphs);
+    let plans = runner.plan_workload(&queries);
+
+    let server = PredictionServer::start(
+        model,
+        db.catalog().clone(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 0,
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..300 {
+        match server.try_submit(plans[i % plans.len()].clone()) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(rejected)
+                if matches!(rejected.reason, zero_shot_db::serve::ServeError::Overloaded) =>
+            {
+                shed += 1
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(shed > 0, "burst of 300 should overflow a 2-slot queue");
+    for ticket in accepted {
+        ticket.wait().expect("accepted requests are served");
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.total_requests as usize, 300 - shed);
+}

@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for [`serde_json`].
+//! Offline vendored stand-in for `serde_json`.
 //!
 //! Renders the vendored [`serde::Value`] tree as JSON text and parses it
 //! back.  Floats round-trip exactly: they are printed with Rust's
