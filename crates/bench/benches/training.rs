@@ -32,6 +32,18 @@ fn bench_training(c: &mut Criterion) {
             model.apply_step(&mut adam);
         })
     });
+
+    c.bench_function("training_minibatch_16_batched", |b| {
+        let mut model = ZeroShotCostModel::new(ModelConfig::default());
+        let mut adam = Adam::new(1e-3);
+        let refs: Vec<&zsdb_core::PlanGraph> = graphs.iter().collect();
+        let targets: Vec<f64> = refs.iter().map(|g| g.runtime_secs.unwrap()).collect();
+        b.iter(|| {
+            model.zero_grad();
+            black_box(model.accumulate_gradients_batch(black_box(&refs), &targets));
+            model.apply_step(&mut adam);
+        })
+    });
 }
 
 criterion_group!(benches, bench_training);

@@ -66,6 +66,7 @@ fn main() {
             workers: args.workers,
             queue_capacity: args.queue,
             cache_capacity: args.cache,
+            ..ServerConfig::default()
         },
     ));
 

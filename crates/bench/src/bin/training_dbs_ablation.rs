@@ -6,7 +6,9 @@
 //!
 //! Usage: `cargo run -p zsdb-bench --release --bin training_dbs_ablation [--quick|--full]`
 
-use zsdb_bench::{benchmark_executions, evaluation_database, ExperimentScale};
+use zsdb_bench::{
+    benchmark_executions, evaluation_database, print_training_settings, ExperimentScale,
+};
 use zsdb_core::dataset::collect_training_corpus;
 use zsdb_core::{evaluate, FeaturizerConfig, ModelConfig, Trainer};
 use zsdb_query::WorkloadKind;
@@ -19,6 +21,7 @@ fn main() {
         vec![1, 2, 4, 8]
     };
     println!("# Training-database ablation (scale: {scale:?})\n");
+    print_training_settings(&scale.training_config());
 
     let db = evaluation_database(&scale);
     let eval = benchmark_executions(&db, WorkloadKind::Synthetic, &scale);

@@ -5,8 +5,10 @@
 //!
 //! Every binary accepts `--quick` (default) or `--full` plus individual
 //! overrides (`--train-dbs N`, `--queries-per-db N`, `--eval-queries N`,
-//! `--scale F`), so the same code can run a CI-sized sanity pass or an
-//! overnight paper-scale reproduction.
+//! `--scale F`, `--threads N`), so the same code can run a CI-sized
+//! sanity pass or an overnight paper-scale reproduction.  All binaries
+//! train through the batched (level, kind)-scheduled engine and print the
+//! batch/thread settings they ran with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +39,9 @@ pub struct ExperimentScale {
     pub epochs: usize,
     /// Random indexes per training database (for the Table 1 index row).
     pub random_indexes: usize,
+    /// Worker threads for sharded gradient accumulation (0 = one per
+    /// available CPU core; any value trains to bit-identical weights).
+    pub threads: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -52,6 +57,7 @@ impl ExperimentScale {
             baseline_training_sizes: vec![100, 300, 1_000, 3_000],
             epochs: 30,
             random_indexes: 3,
+            threads: 0,
             seed: 0xBEEF,
         }
     }
@@ -68,6 +74,7 @@ impl ExperimentScale {
             baseline_training_sizes: vec![100, 500, 1_000, 5_000, 10_000, 50_000],
             epochs: 60,
             random_indexes: 5,
+            threads: 0,
             seed: 0xBEEF,
         }
     }
@@ -101,6 +108,9 @@ impl ExperimentScale {
         if let Some(v) = value_of("--epochs").and_then(|v| v.parse().ok()) {
             scale.epochs = v;
         }
+        if let Some(v) = value_of("--threads").and_then(|v| v.parse().ok()) {
+            scale.threads = v;
+        }
         scale
     }
 
@@ -119,9 +129,25 @@ impl ExperimentScale {
     pub fn training_config(&self) -> TrainingConfig {
         TrainingConfig {
             epochs: self.epochs,
+            threads: self.threads,
             ..TrainingConfig::default()
         }
     }
+}
+
+/// Print the batched-trainer settings an experiment runs with (batch and
+/// shard sizes, threads, early stopping) so every experiment log records
+/// how its training was executed.
+pub fn print_training_settings(config: &TrainingConfig) {
+    println!(
+        "batched trainer: batch {} · microbatch {} · threads {} · \
+         validation {:.0}% · early-stopping patience {}",
+        config.batch_size,
+        config.microbatch_size,
+        config.effective_threads(),
+        config.validation_fraction * 100.0,
+        config.early_stopping_patience
+    );
 }
 
 /// Build the (unseen) IMDB-like evaluation database.
@@ -153,7 +179,9 @@ pub fn train_zero_shot(
     let corpus = collect_training_corpus(&data_config);
     let schemas = zsdb_catalog::SchemaGenerator::new(data_config.schema_config.clone())
         .generate_corpus("train", data_config.num_databases, data_config.seed);
-    let trainer = Trainer::new(ModelConfig::default(), scale.training_config(), featurizer);
+    let training_config = scale.training_config();
+    print_training_settings(&training_config);
+    let trainer = Trainer::new(ModelConfig::default(), training_config, featurizer);
     let graphs = trainer.featurize_corpus(&corpus, |name| {
         schemas
             .iter()

@@ -70,20 +70,54 @@ pub fn predict_runtime(model: &TrainedModel, db: &Database, execution: &QueryExe
 
 /// Evaluate a trained model on a workload's executions over an (unseen)
 /// database and summarise the Q-errors.
+///
+/// Predictions run through the batched forward pass (bit-identical to
+/// [`predict_runtime`] per execution, one batched MLP call per
+/// level/kind group instead of per node).
 pub fn evaluate(
     model: &TrainedModel,
     db: &Database,
     workload_name: &str,
     executions: &[QueryExecution],
 ) -> EvaluationReport {
-    let pairs: Vec<(f64, f64)> = executions
-        .iter()
-        .map(|e| (predict_runtime(model, db, e), e.runtime_secs))
-        .collect();
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(executions.len());
+    // Featurize and predict chunk by chunk so peak memory stays flat for
+    // arbitrarily large evaluation workloads.
+    for chunk in executions.chunks(EVAL_CHUNK) {
+        let graphs: Vec<PlanGraph> = chunk
+            .iter()
+            .map(|e| featurize_execution(db.catalog(), e, model.featurizer))
+            .collect();
+        let refs: Vec<&PlanGraph> = graphs.iter().collect();
+        pairs.extend(
+            batched_predictions(&model.model, &refs)
+                .into_iter()
+                .zip(chunk)
+                .map(|(p, e)| (p, e.runtime_secs)),
+        );
+    }
     EvaluationReport {
         workload: workload_name.to_string(),
         qerrors: QErrorSummary::from_predictions(&pairs),
     }
+}
+
+/// Mini-batch size of the chunked evaluation sweeps (bounds the size of
+/// the batched forward's intermediate state).
+const EVAL_CHUNK: usize = 256;
+
+/// Predict a slice of graphs in bounded-size batches (keeps peak memory
+/// flat for arbitrarily large evaluation sets).  Shared by every batched
+/// evaluation path in the crate (see also [`crate::train::median_q_error`]).
+pub(crate) fn batched_predictions(
+    model: &crate::model::ZeroShotCostModel,
+    graphs: &[&PlanGraph],
+) -> Vec<f64> {
+    let mut predictions = Vec::with_capacity(graphs.len());
+    for chunk in graphs.chunks(EVAL_CHUNK) {
+        predictions.extend(model.predict_batch(chunk));
+    }
+    predictions
 }
 
 /// Evaluate predictions that were produced by any means (used by the
@@ -103,9 +137,11 @@ pub fn evaluate_graphs(
     workload_name: &str,
     graphs: &[PlanGraph],
 ) -> EvaluationReport {
-    let pairs: Vec<(f64, f64)> = graphs
-        .iter()
-        .filter_map(|g| g.runtime_secs.map(|rt| (model.predict(g), rt)))
+    let labelled: Vec<&PlanGraph> = graphs.iter().filter(|g| g.runtime_secs.is_some()).collect();
+    let pairs: Vec<(f64, f64)> = batched_predictions(&model.model, &labelled)
+        .into_iter()
+        .zip(&labelled)
+        .map(|(p, g)| (p, g.runtime_secs.expect("labelled")))
         .collect();
     EvaluationReport {
         workload: workload_name.to_string(),

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dataset;
 pub mod eval;
 pub mod features;
@@ -35,6 +36,7 @@ pub mod model;
 pub mod train;
 pub mod whatif;
 
+pub use batch::{BatchBackprop, BatchSchedule};
 pub use dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
 pub use eval::{
     evaluate, evaluate_graphs, evaluate_predictions, median_qerror_of, predict_runtime,

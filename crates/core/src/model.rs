@@ -55,13 +55,13 @@ impl ModelConfig {
 /// The zero-shot cost model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ZeroShotCostModel {
-    config: ModelConfig,
+    pub(crate) config: ModelConfig,
     /// One encoder per node kind, indexed by `NodeKind::index()`.
-    encoders: Vec<Mlp>,
+    pub(crate) encoders: Vec<Mlp>,
     /// Combine MLP: `[own encoding ‖ sum of child states] → hidden`.
-    combine: Mlp,
+    pub(crate) combine: Mlp,
     /// Output MLP: root hidden state → predicted `ln(runtime_secs)`.
-    output: Mlp,
+    pub(crate) output: Mlp,
 }
 
 /// Reusable buffers for allocation-free inference (no backprop caches).
@@ -278,15 +278,74 @@ impl ZeroShotCostModel {
         self.output.zero_grad();
     }
 
-    /// Apply one optimizer step over all parameters.
+    /// Apply one optimizer step over all parameters (in the canonical
+    /// parameter order — the same layout the flat gradient reduction of
+    /// [`ZeroShotCostModel::export_gradients`] uses).
     pub fn apply_step(&mut self, adam: &mut Adam) {
+        adam.step(&mut self.all_params_mut());
+    }
+
+    /// Every parameter buffer in the model's canonical order (encoders by
+    /// node kind, then combine, then output; weights before bias per
+    /// layer).  This order defines the layout of the flat gradient vectors
+    /// used by the deterministic shard reduction in the trainer.
+    pub(crate) fn all_params(&self) -> Vec<&zsdb_nn::ParamBuf> {
+        let mut params = Vec::new();
+        for e in &self.encoders {
+            params.extend(e.params());
+        }
+        params.extend(self.combine.params());
+        params.extend(self.output.params());
+        params
+    }
+
+    /// Mutable counterpart of [`ZeroShotCostModel::all_params`], same
+    /// order.
+    pub(crate) fn all_params_mut(&mut self) -> Vec<&mut zsdb_nn::ParamBuf> {
         let mut params = Vec::new();
         for e in &mut self.encoders {
             params.extend(e.params_mut());
         }
         params.extend(self.combine.params_mut());
         params.extend(self.output.params_mut());
-        adam.step(&mut params);
+        params
+    }
+
+    /// Export the accumulated gradients as one flat vector in canonical
+    /// parameter order (cleared and refilled).
+    pub fn export_gradients(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for p in self.all_params() {
+            out.extend_from_slice(&p.grad);
+        }
+    }
+
+    /// Add a flat gradient vector (as produced by
+    /// [`ZeroShotCostModel::export_gradients`]) onto this model's
+    /// gradient buffers.  Together with a fixed caller-side reduction
+    /// order this makes multi-shard gradient accumulation deterministic.
+    pub fn add_gradients(&mut self, flat: &[f64]) {
+        let mut offset = 0;
+        for p in self.all_params_mut() {
+            let len = p.grad.len();
+            for (g, v) in p.grad.iter_mut().zip(&flat[offset..offset + len]) {
+                *g += v;
+            }
+            offset += len;
+        }
+        assert_eq!(offset, flat.len(), "flat gradient length mismatch");
+    }
+
+    /// Copy the parameter *values* (not gradients or optimizer moments)
+    /// from `src`.  Used to refresh worker-shard model replicas after
+    /// every optimizer step; allocation-free (buffer-to-buffer copies).
+    pub fn copy_weights_from(&mut self, src: &Self) {
+        let from = src.all_params();
+        let dst = self.all_params_mut();
+        assert_eq!(dst.len(), from.len(), "model shapes differ");
+        for (d, s) in dst.into_iter().zip(from) {
+            d.data.copy_from_slice(&s.data);
+        }
     }
 
     /// Serialize the model to a JSON string.

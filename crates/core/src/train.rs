@@ -1,4 +1,18 @@
 //! Training, validation and few-shot fine-tuning of zero-shot cost models.
+//!
+//! [`Trainer::train`] is the **batched** trainer: every optimizer step
+//! forwards a shuffled mini-batch of plan graphs through the
+//! (level, kind)-batched message-passing engine
+//! ([`crate::batch`]), with the mini-batch split into fixed-size
+//! micro-batch *shards* whose gradients are computed independently
+//! (optionally on `std::thread` workers) and reduced in ascending shard
+//! order.  Because the shard boundaries depend only on the configuration
+//! — never on the thread count — training with 1 thread and with N
+//! threads produces **bit-identical** weights.
+//!
+//! The original one-graph-at-a-time loop is retained as
+//! [`Trainer::train_per_example`]; it is the reference implementation the
+//! batched path is benchmarked against (`bench_train`).
 
 use crate::features::{featurize_execution, FeaturizerConfig, PlanGraph};
 use crate::model::{ModelConfig, ZeroShotCostModel};
@@ -6,6 +20,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use zsdb_engine::QueryExecution;
 use zsdb_nn::{median, q_error, Adam};
 use zsdb_storage::Database;
@@ -13,9 +29,10 @@ use zsdb_storage::Database;
 /// Hyper-parameters of the training loop.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainingConfig {
-    /// Number of passes over the training corpus.
+    /// Number of passes over the training corpus (upper bound when early
+    /// stopping is enabled).
     pub epochs: usize,
-    /// Mini-batch size (gradient accumulation before an Adam step).
+    /// Mini-batch size (graphs per optimizer step).
     pub batch_size: usize,
     /// Adam learning rate.
     pub learning_rate: f64,
@@ -24,6 +41,21 @@ pub struct TrainingConfig {
     pub validation_fraction: f64,
     /// Shuffling / initialisation seed.
     pub seed: u64,
+    /// Fixed shard granularity of data-parallel gradient accumulation:
+    /// each mini-batch is split into micro-batches of at most this many
+    /// graphs, whose gradients are computed independently and reduced in
+    /// ascending micro-batch order.  The shard boundaries depend only on
+    /// this value — not on [`TrainingConfig::threads`] — which is what
+    /// makes training results independent of the thread count.
+    pub microbatch_size: usize,
+    /// Worker threads for micro-batch gradient computation (0 = one per
+    /// available CPU core).  Any value produces bit-identical weights.
+    pub threads: usize,
+    /// Early stopping: abort after this many epochs without improvement
+    /// of the monitored median Q-error (validation when a split exists,
+    /// training otherwise) and return the best epoch's weights.  0
+    /// disables early stopping.
+    pub early_stopping_patience: usize,
 }
 
 impl Default for TrainingConfig {
@@ -34,18 +66,36 @@ impl Default for TrainingConfig {
             learning_rate: 1.5e-3,
             validation_fraction: 0.1,
             seed: 13,
+            microbatch_size: 8,
+            threads: 1,
+            early_stopping_patience: 6,
         }
     }
 }
 
 impl TrainingConfig {
-    /// Fast configuration for unit tests.
+    /// Fast configuration for unit tests.  Early stopping is disabled so
+    /// test assertions about full training curves stay deterministic.
     pub fn tiny() -> Self {
         TrainingConfig {
             epochs: 60,
             batch_size: 8,
             validation_fraction: 0.0,
+            microbatch_size: 4,
+            early_stopping_patience: 0,
             ..TrainingConfig::default()
+        }
+    }
+
+    /// Effective number of worker threads (resolves the `0 = auto`
+    /// setting against the machine's available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -59,19 +109,32 @@ pub struct TrainedModel {
     /// Featurizer configuration used during training (and required at
     /// inference time).
     pub featurizer: FeaturizerConfig,
-    /// Median training Q-error after the last epoch.
+    /// Median training Q-error of the returned weights.
     pub final_train_qerror: f64,
-    /// Median validation Q-error after the last epoch (`None` when no
+    /// Median validation Q-error of the returned weights (`None` when no
     /// validation split was used).
     pub final_validation_qerror: Option<f64>,
-    /// Per-epoch median training Q-errors (training curve).
+    /// Per-epoch median training Q-errors (training curve; one entry per
+    /// epoch actually run).
     pub training_curve: Vec<f64>,
+    /// Per-epoch median validation Q-errors (empty without a validation
+    /// split).
+    pub validation_curve: Vec<f64>,
+    /// Whether early stopping ended training before
+    /// [`TrainingConfig::epochs`] epochs.
+    pub stopped_early: bool,
 }
 
 impl TrainedModel {
     /// Predict the runtime (seconds) of a featurized plan.
     pub fn predict(&self, graph: &PlanGraph) -> f64 {
         self.model.predict(graph)
+    }
+
+    /// Batched runtime prediction, bit-identical per graph to
+    /// [`TrainedModel::predict`].
+    pub fn predict_batch(&self, graphs: &[&PlanGraph]) -> Vec<f64> {
+        self.model.predict_batch(graphs)
     }
 
     /// Serialize to JSON (for persistence).
@@ -117,6 +180,11 @@ impl Trainer {
         )
     }
 
+    /// The trainer's training configuration.
+    pub fn training_config(&self) -> &TrainingConfig {
+        &self.training_config
+    }
+
     /// Featurize a multi-database corpus of executions.
     ///
     /// Every execution is featurized against the catalog of the database it
@@ -137,8 +205,12 @@ impl Trainer {
     }
 
     /// Train a model on already-featurized plan graphs (each must carry its
-    /// runtime label).  Graphs whose `database` is in the validation split
-    /// are evaluated but not trained on.
+    /// runtime label) with the batched engine: shuffled mini-batches,
+    /// (level, kind)-batched message passing, deterministic sharded
+    /// gradient accumulation, validation split and early stopping.
+    ///
+    /// Graphs in the validation tail split are evaluated but never trained
+    /// on.
     pub fn train(&self, graphs: &[PlanGraph]) -> TrainedModel {
         assert!(
             graphs.iter().all(|g| g.runtime_secs.is_some()),
@@ -150,6 +222,115 @@ impl Trainer {
         // Split into train / validation by index (graphs from the same
         // database are contiguous in collection order, so a tail split
         // approximates a database-level holdout).
+        let val_len = ((graphs.len() as f64) * cfg.validation_fraction) as usize;
+        let (train_graphs, val_graphs) = graphs.split_at(graphs.len() - val_len);
+
+        let mut model = ZeroShotCostModel::new(self.model_config);
+        let mut adam = Adam::new(cfg.learning_rate);
+        let threads = cfg.effective_threads();
+        let batch_size = cfg.batch_size.max(1);
+        let microbatch = cfg.microbatch_size.max(1);
+
+        // Worker replicas compute shard gradients against a snapshot of
+        // the current weights.  A single replica is used even when
+        // `threads == 1`, so the reduction structure (zeroed shard buffer
+        // → flat export → ordered add) never depends on the thread count.
+        let mut replicas: Vec<ZeroShotCostModel> =
+            (0..threads.min(batch_size.div_ceil(microbatch)).max(1))
+                .map(|_| model.clone())
+                .collect();
+
+        let mut indices: Vec<usize> = (0..train_graphs.len()).collect();
+        let mut training_curve = Vec::with_capacity(cfg.epochs);
+        let mut validation_curve = Vec::new();
+        let mut best: Option<(f64, ZeroShotCostModel)> = None;
+        let mut epochs_without_improvement = 0usize;
+        let mut stopped_early = false;
+
+        let mut epoch_qerrors: Vec<f64> = Vec::with_capacity(train_graphs.len());
+        for _epoch in 0..cfg.epochs {
+            indices.shuffle(&mut rng);
+            epoch_qerrors.clear();
+            for step in indices.chunks(batch_size) {
+                let micro_batches: Vec<&[usize]> = step.chunks(microbatch).collect();
+                let shards =
+                    compute_shard_gradients(&model, &mut replicas, train_graphs, &micro_batches);
+                model.zero_grad();
+                for shard in &shards {
+                    model.add_gradients(&shard.gradients);
+                }
+                model.apply_step(&mut adam);
+                for shard in shards {
+                    epoch_qerrors.extend(shard.qerrors);
+                }
+            }
+
+            // Running training metric: the median Q-error of the
+            // predictions made by the epoch's own training forwards (no
+            // separate evaluation pass over the training set).
+            let train_q = median(&epoch_qerrors);
+            training_curve.push(train_q);
+            let monitored = if val_graphs.is_empty() {
+                train_q
+            } else {
+                let val_q = median_q_error(&model, val_graphs);
+                validation_curve.push(val_q);
+                val_q
+            };
+
+            if cfg.early_stopping_patience > 0 {
+                let improved = best.as_ref().map(|(b, _)| monitored < *b).unwrap_or(true);
+                if improved {
+                    best = Some((monitored, model.clone()));
+                    epochs_without_improvement = 0;
+                } else {
+                    epochs_without_improvement += 1;
+                    if epochs_without_improvement >= cfg.early_stopping_patience {
+                        stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // With early stopping enabled, return the best-epoch weights.
+        if let Some((_, best_model)) = best {
+            model = best_model;
+        }
+
+        let final_train_qerror = median_q_error(&model, train_graphs);
+        let final_validation_qerror = if val_graphs.is_empty() {
+            None
+        } else {
+            Some(median_q_error(&model, val_graphs))
+        };
+        TrainedModel {
+            model,
+            featurizer: self.featurizer,
+            final_train_qerror,
+            final_validation_qerror,
+            training_curve,
+            validation_curve,
+            stopped_early,
+        }
+    }
+
+    /// The pre-batching reference trainer: one graph at a time through
+    /// per-node mat-vec message passing, gradients accumulated directly
+    /// into the model.
+    ///
+    /// Kept (verbatim from the original implementation) as the baseline
+    /// that `bench_train` measures the batched engine against, and as an
+    /// independent oracle for equivalence tests.  New code should use
+    /// [`Trainer::train`].
+    pub fn train_per_example(&self, graphs: &[PlanGraph]) -> TrainedModel {
+        assert!(
+            graphs.iter().all(|g| g.runtime_secs.is_some()),
+            "all training graphs must carry runtime labels"
+        );
+        let cfg = &self.training_config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
         let val_len = ((graphs.len() as f64) * cfg.validation_fraction) as usize;
         let (train_graphs, val_graphs) = graphs.split_at(graphs.len() - val_len);
 
@@ -176,14 +357,14 @@ impl Trainer {
                 model.apply_step(&mut adam);
                 model.zero_grad();
             }
-            training_curve.push(median_q_error(&model, train_graphs));
+            training_curve.push(median_q_error_per_example(&model, train_graphs));
         }
 
         let final_train_qerror = *training_curve.last().unwrap_or(&f64::NAN);
         let final_validation_qerror = if val_graphs.is_empty() {
             None
         } else {
-            Some(median_q_error(&model, val_graphs))
+            Some(median_q_error_per_example(&model, val_graphs))
         };
         TrainedModel {
             model,
@@ -191,12 +372,113 @@ impl Trainer {
             final_train_qerror,
             final_validation_qerror,
             training_curve,
+            validation_curve: Vec::new(),
+            stopped_early: false,
         }
     }
 }
 
-/// Median Q-error of a model over labelled graphs.
+/// One shard's contribution to an optimizer step.
+struct ShardResult {
+    /// Flat gradient vector (canonical parameter order).
+    gradients: Vec<f64>,
+    /// Q-errors of the shard's training-forward predictions.
+    qerrors: Vec<f64>,
+}
+
+/// Compute the flat gradient vector of every micro-batch shard, in shard
+/// order, using up to `replicas.len()` worker threads.
+///
+/// Every shard's gradient is accumulated into a zeroed replica and
+/// exported as a flat vector; the caller reduces the vectors in ascending
+/// shard order.  Work distribution across threads is dynamic (an atomic
+/// cursor), but since each shard is computed independently, the *results*
+/// — and therefore training — do not depend on which thread computed
+/// which shard.
+fn compute_shard_gradients(
+    model: &ZeroShotCostModel,
+    replicas: &mut [ZeroShotCostModel],
+    train_graphs: &[PlanGraph],
+    micro_batches: &[&[usize]],
+) -> Vec<ShardResult> {
+    // Only the replicas that will actually run a shard need this step's
+    // weights (e.g. the final partial mini-batch of an epoch may have a
+    // single shard).
+    let used = replicas.len().min(micro_batches.len()).max(1);
+    let replicas = &mut replicas[..used];
+    for replica in replicas.iter_mut() {
+        replica.copy_weights_from(model);
+    }
+
+    let run_shard = |replica: &mut ZeroShotCostModel, shard: &[usize]| -> ShardResult {
+        let refs: Vec<&PlanGraph> = shard.iter().map(|&i| &train_graphs[i]).collect();
+        let targets: Vec<f64> = refs
+            .iter()
+            .map(|g| g.runtime_secs.expect("labelled"))
+            .collect();
+        replica.zero_grad();
+        let backprop = replica.accumulate_gradients_batch(&refs, &targets);
+        let mut gradients = Vec::new();
+        replica.export_gradients(&mut gradients);
+        ShardResult {
+            gradients,
+            qerrors: backprop
+                .predictions
+                .iter()
+                .zip(&targets)
+                .map(|(p, t)| q_error(*p, *t))
+                .collect(),
+        }
+    };
+
+    if replicas.len() <= 1 || micro_batches.len() <= 1 {
+        let replica = replicas.first_mut().expect("at least one replica");
+        return micro_batches
+            .iter()
+            .map(|shard| run_shard(replica, shard))
+            .collect();
+    }
+
+    let slots: Mutex<Vec<Option<ShardResult>>> =
+        Mutex::new((0..micro_batches.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for replica in replicas.iter_mut() {
+            let slots = &slots;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= micro_batches.len() {
+                    break;
+                }
+                let flat = run_shard(replica, micro_batches[k]);
+                slots.lock().expect("gradient slots poisoned")[k] = Some(flat);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("gradient slots poisoned")
+        .into_iter()
+        .map(|s| s.expect("every shard computed"))
+        .collect()
+}
+
+/// Median Q-error of a model over labelled graphs, evaluated through the
+/// batched forward pass (bit-identical to per-example prediction).
 pub fn median_q_error(model: &ZeroShotCostModel, graphs: &[PlanGraph]) -> f64 {
+    let labelled: Vec<&PlanGraph> = graphs.iter().filter(|g| g.runtime_secs.is_some()).collect();
+    let qs: Vec<f64> = crate::eval::batched_predictions(model, &labelled)
+        .into_iter()
+        .zip(&labelled)
+        .map(|(p, g)| q_error(p, g.runtime_secs.expect("labelled")))
+        .collect();
+    median(&qs)
+}
+
+/// Per-example counterpart of [`median_q_error`], used by the reference
+/// trainer so its measured cost matches the pre-batching implementation.
+fn median_q_error_per_example(model: &ZeroShotCostModel, graphs: &[PlanGraph]) -> f64 {
     let qs: Vec<f64> = graphs
         .iter()
         .filter_map(|g| g.runtime_secs.map(|rt| q_error(model.predict(g), rt)))
@@ -207,6 +489,9 @@ pub fn median_q_error(model: &ZeroShotCostModel, graphs: &[PlanGraph]) -> f64 {
 /// Few-shot fine-tuning: continue training an existing zero-shot model with
 /// a small number of executions from the (previously unseen) target
 /// database.  Returns a new `TrainedModel`; the original is not modified.
+///
+/// Fine-tuning sets are tiny by definition, so this path intentionally
+/// keeps the simple full-batch per-example loop.
 pub fn few_shot_finetune(
     trained: &TrainedModel,
     target_db: &Database,
@@ -234,6 +519,8 @@ pub fn few_shot_finetune(
         final_train_qerror,
         final_validation_qerror: None,
         training_curve: vec![final_train_qerror],
+        validation_curve: Vec::new(),
+        stopped_early: false,
     }
 }
 
@@ -357,5 +644,118 @@ mod tests {
         let json = trained.to_json();
         let restored = TrainedModel::from_json(&json).unwrap();
         assert!((restored.predict(&graphs[0]) - trained.predict(&graphs[0])).abs() < 1e-9);
+        assert_eq!(restored.stopped_early, trained.stopped_early);
+        assert_eq!(restored.training_curve.len(), trained.training_curve.len());
+    }
+
+    #[test]
+    fn one_thread_and_two_thread_training_produce_identical_weights() {
+        // The determinism guarantee of the sharded gradient reduction:
+        // shard boundaries are fixed by `microbatch_size`, shard gradients
+        // are reduced in ascending shard order, so the thread count must
+        // not change a single bit of the trained weights.
+        let graphs = featurized_tiny_corpus();
+        let base = TrainingConfig {
+            epochs: 3,
+            batch_size: 8,
+            microbatch_size: 3,
+            validation_fraction: 0.1,
+            early_stopping_patience: 0,
+            ..TrainingConfig::tiny()
+        };
+        let train_with = |threads: usize| {
+            Trainer::new(
+                ModelConfig::tiny(),
+                TrainingConfig { threads, ..base },
+                FeaturizerConfig::exact(),
+            )
+            .train(&graphs)
+        };
+        let one = train_with(1);
+        let two = train_with(2);
+        let four = train_with(4);
+        assert_eq!(one.model.to_json(), two.model.to_json());
+        assert_eq!(one.model.to_json(), four.model.to_json());
+        for g in graphs.iter().take(10) {
+            assert_eq!(one.predict(g).to_bits(), two.predict(g).to_bits());
+        }
+        assert_eq!(one.training_curve, two.training_curve);
+        assert_eq!(one.validation_curve, two.validation_curve);
+    }
+
+    #[test]
+    fn validation_split_and_early_stopping_work_together() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 60,
+                validation_fraction: 0.25,
+                early_stopping_patience: 2,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+
+        // A validation split was carved out and evaluated every epoch.
+        assert_eq!(trained.validation_curve.len(), trained.training_curve.len());
+        let final_val = trained
+            .final_validation_qerror
+            .expect("validation split requested");
+        assert!(final_val.is_finite());
+
+        // The returned weights are the *best* monitored epoch, not the
+        // last one.
+        let best_seen = trained
+            .validation_curve
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (final_val - best_seen).abs() < 1e-12,
+            "returned model should be the best epoch: best {best_seen}, got {final_val}"
+        );
+
+        // With patience 2 over 60 epochs on a tiny corpus, early stopping
+        // fires well before the epoch cap.
+        assert!(
+            trained.stopped_early || trained.training_curve.len() == 60,
+            "curve bookkeeping is consistent"
+        );
+    }
+
+    #[test]
+    fn early_stopping_disabled_runs_all_epochs() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 4,
+                early_stopping_patience: 0,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let trained = trainer.train(&graphs);
+        assert_eq!(trained.training_curve.len(), 4);
+        assert!(!trained.stopped_early);
+    }
+
+    #[test]
+    fn batched_and_per_example_trainers_converge_to_similar_quality() {
+        // The two trainers differ in gradient summation order, so weights
+        // are not bit-equal — but both must fit the same tiny corpus to a
+        // comparable final q-error.
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig::tiny(),
+            FeaturizerConfig::exact(),
+        );
+        let batched = trainer.train(&graphs);
+        let reference = trainer.train_per_example(&graphs);
+        assert!(batched.final_train_qerror < 2.5);
+        assert!(reference.final_train_qerror < 2.5);
     }
 }

@@ -9,16 +9,24 @@
 //! pieces.  There is no autograd: models call `forward_cached` /
 //! `backward` explicitly, which keeps the DAG message-passing architecture
 //! of the zero-shot model easy to reason about and fast enough on a CPU.
+//!
+//! Every MLP also runs in **batched** mode ([`batch::Batch`],
+//! [`Mlp::forward_batch`], [`Mlp::backward_batch`]): one fused loop per
+//! layer over a whole mini-batch, bit-identical per example to the
+//! per-example forward, with a fixed ascending-example gradient reduction
+//! order so training stays deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod metrics;
 pub mod mlp;
 pub mod optim;
 pub mod param;
 
+pub use batch::Batch;
 pub use metrics::{median, percentile, q_error, QErrorSummary};
-pub use mlp::{Activation, ForwardScratch, Mlp, MlpCache};
+pub use mlp::{Activation, ForwardScratch, Mlp, MlpBatchCache, MlpCache};
 pub use optim::Adam;
 pub use param::ParamBuf;

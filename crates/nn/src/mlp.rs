@@ -1,5 +1,19 @@
 //! Dense layers and multi-layer perceptrons with manual backpropagation.
+//!
+//! Every MLP offers two execution modes:
+//!
+//! * **per-example** (`forward`, `forward_cached`, `backward`) — one
+//!   vector at a time, the original training/inference path;
+//! * **batched** (`forward_batch`, `forward_batch_cached`,
+//!   `backward_batch`) — a whole [`Batch`] of examples through one fused
+//!   loop per layer.  For a fixed `(example, output unit)` pair the
+//!   accumulation order over input units is identical to the per-example
+//!   path, so batched *forward* outputs are bit-identical to per-example
+//!   outputs; the batched layout additionally lets the inner loops run
+//!   over independent per-example accumulators in contiguous memory,
+//!   which is what makes batching fast on a CPU.
 
+use crate::batch::Batch;
 use crate::param::ParamBuf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -109,6 +123,223 @@ impl Linear {
         }
         dx
     }
+
+    /// Batched forward: `out[o][e] = b[o] + Σ_i w[o][i] · x[i][e]`.
+    ///
+    /// For every `(e, o)` the sum over `i` is accumulated sequentially in
+    /// ascending `i` starting from the bias — the exact operation order of
+    /// the per-example [`Linear::forward`] — so each column of `out` is
+    /// bit-identical to a per-example forward of that column.
+    ///
+    /// The computation is register-blocked: tiles of [`TILE_O`] output
+    /// units × [`TILE_E`] examples accumulate in local arrays (mapped to
+    /// SIMD registers), so each input row is streamed once per `TILE_O`
+    /// outputs instead of once per output — the batched path is
+    /// compute-bound where the per-example path is latency-bound.
+    fn forward_batch(&self, x: &Batch, out: &mut Batch) {
+        debug_assert_eq!(x.dim(), self.in_dim);
+        debug_assert_eq!(out.dim(), self.out_dim);
+        debug_assert_eq!(x.n(), out.n());
+        let n = x.n();
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        let mut e = 0;
+        while e + TILE_E <= n {
+            let mut o = 0;
+            while o + TILE_O <= out_dim {
+                let mut acc = [[0.0f64; TILE_E]; TILE_O];
+                for (ob, row) in acc.iter_mut().enumerate() {
+                    row.fill(self.b.data[o + ob]);
+                }
+                for i in 0..in_dim {
+                    let xv: &[f64; TILE_E] =
+                        x.feature_row(i)[e..e + TILE_E].try_into().expect("tile");
+                    for (ob, row) in acc.iter_mut().enumerate() {
+                        let w_oi = self.w.data[(o + ob) * in_dim + i];
+                        for (a, &xe) in row.iter_mut().zip(xv) {
+                            *a += w_oi * xe;
+                        }
+                    }
+                }
+                for (ob, row) in acc.iter().enumerate() {
+                    out.feature_row_mut(o + ob)[e..e + TILE_E].copy_from_slice(row);
+                }
+                o += TILE_O;
+            }
+            // Remaining output units, one at a time over the same tile.
+            while o < out_dim {
+                let mut acc = [self.b.data[o]; TILE_E];
+                for i in 0..in_dim {
+                    let xv: &[f64; TILE_E] =
+                        x.feature_row(i)[e..e + TILE_E].try_into().expect("tile");
+                    let w_oi = self.w.data[o * in_dim + i];
+                    for (a, &xe) in acc.iter_mut().zip(xv) {
+                        *a += w_oi * xe;
+                    }
+                }
+                out.feature_row_mut(o)[e..e + TILE_E].copy_from_slice(&acc);
+                o += 1;
+            }
+            e += TILE_E;
+        }
+        // Remaining examples: plain per-example accumulation (identical
+        // operation order, just unblocked).
+        for e in e..n {
+            for o in 0..out_dim {
+                let mut acc = self.b.data[o];
+                let wrow = &self.w.data[o * in_dim..(o + 1) * in_dim];
+                for (i, &w_oi) in wrow.iter().enumerate() {
+                    acc += w_oi * x.feature_row(i)[e];
+                }
+                out.feature_row_mut(o)[e] = acc;
+            }
+        }
+    }
+
+    /// Batched backward: accumulate parameter gradients over the whole
+    /// batch (reduced with the fixed 4-lane order of [`lane_sum`] /
+    /// [`lane_dot`] — deterministic for any batch) and write the input
+    /// gradients to `dx`.
+    fn backward_batch(&mut self, x: &Batch, dy: &Batch, dx: &mut Batch) {
+        debug_assert_eq!(x.dim(), self.in_dim);
+        debug_assert_eq!(dy.dim(), self.out_dim);
+        debug_assert_eq!(dx.dim(), self.in_dim);
+        debug_assert_eq!(x.n(), dy.n());
+        debug_assert_eq!(x.n(), dx.n());
+        // Parameter gradients: block over output units so each input row
+        // is streamed once per TILE_O outputs.
+        let mut o = 0;
+        while o + TILE_O <= self.out_dim {
+            for ob in 0..TILE_O {
+                self.b.grad[o + ob] += lane_sum(dy.feature_row(o + ob));
+            }
+            for i in 0..self.in_dim {
+                let xrow = x.feature_row(i);
+                for ob in 0..TILE_O {
+                    self.w.grad[(o + ob) * self.in_dim + i] +=
+                        lane_dot(dy.feature_row(o + ob), xrow);
+                }
+            }
+            o += TILE_O;
+        }
+        while o < self.out_dim {
+            let dyrow = dy.feature_row(o);
+            self.b.grad[o] += lane_sum(dyrow);
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.w.grad[row_start + i] += lane_dot(dyrow, x.feature_row(i));
+            }
+            o += 1;
+        }
+
+        // Input gradients: same register tiling as the batched forward,
+        // with the roles of inputs and outputs swapped
+        // (`dx[i][e] = Σ_o w[o][i] · dy[o][e]`, summed in ascending `o`).
+        let n = dx.n();
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        dx.data_mut().fill(0.0);
+        let mut e = 0;
+        while e + TILE_E <= n {
+            let mut i = 0;
+            while i + TILE_O <= in_dim {
+                let mut acc = [[0.0f64; TILE_E]; TILE_O];
+                for o in 0..out_dim {
+                    let gv: &[f64; TILE_E] =
+                        dy.feature_row(o)[e..e + TILE_E].try_into().expect("tile");
+                    for (ib, row) in acc.iter_mut().enumerate() {
+                        let w_oi = self.w.data[o * in_dim + i + ib];
+                        for (a, &ge) in row.iter_mut().zip(gv) {
+                            *a += w_oi * ge;
+                        }
+                    }
+                }
+                for (ib, row) in acc.iter().enumerate() {
+                    dx.feature_row_mut(i + ib)[e..e + TILE_E].copy_from_slice(row);
+                }
+                i += TILE_O;
+            }
+            while i < in_dim {
+                let mut acc = [0.0f64; TILE_E];
+                for o in 0..out_dim {
+                    let gv: &[f64; TILE_E] =
+                        dy.feature_row(o)[e..e + TILE_E].try_into().expect("tile");
+                    let w_oi = self.w.data[o * in_dim + i];
+                    for (a, &ge) in acc.iter_mut().zip(gv) {
+                        *a += w_oi * ge;
+                    }
+                }
+                dx.feature_row_mut(i)[e..e + TILE_E].copy_from_slice(&acc);
+                i += 1;
+            }
+            e += TILE_E;
+        }
+        for e in e..n {
+            for i in 0..in_dim {
+                let mut acc = 0.0;
+                for o in 0..out_dim {
+                    acc += self.w.data[o * in_dim + i] * dy.feature_row(o)[e];
+                }
+                dx.feature_row_mut(i)[e] = acc;
+            }
+        }
+    }
+}
+
+/// Number of independent accumulator lanes used by the batched gradient
+/// reductions.  Splitting a sum into a fixed number of interleaved lanes
+/// breaks the floating-point dependency chain (the lanes run as
+/// independent FMA chains, or SIMD lanes) while keeping the reduction
+/// order a *fixed* function of the input length — the property the
+/// deterministic-training guarantee rests on.
+const REDUCE_LANES: usize = 4;
+
+/// Examples per register tile of the batched kernels (one AVX-512 f64
+/// vector, two AVX2 vectors).
+const TILE_E: usize = 8;
+
+/// Output units per register tile of the batched kernels:
+/// `TILE_O × TILE_E` accumulators stay in registers, so every input row
+/// is loaded once per `TILE_O` outputs instead of once per output.
+const TILE_O: usize = 4;
+
+/// Deterministic 4-lane sum: `v[0] + v[4] + …`, `v[1] + v[5] + …`, …,
+/// combined as `((l0 + l1) + (l2 + l3)) + tail`.
+fn lane_sum(v: &[f64]) -> f64 {
+    let mut acc = [0.0f64; REDUCE_LANES];
+    let chunks = v.len() / REDUCE_LANES;
+    for k in 0..chunks {
+        let c = &v[REDUCE_LANES * k..REDUCE_LANES * (k + 1)];
+        for (a, x) in acc.iter_mut().zip(c) {
+            *a += x;
+        }
+    }
+    let mut tail = 0.0;
+    for x in &v[REDUCE_LANES * chunks..] {
+        tail += x;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Deterministic 4-lane dot product (same lane structure as
+/// [`lane_sum`]).
+fn lane_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; REDUCE_LANES];
+    let chunks = a.len() / REDUCE_LANES;
+    for k in 0..chunks {
+        let ca = &a[REDUCE_LANES * k..REDUCE_LANES * (k + 1)];
+        let cb = &b[REDUCE_LANES * k..REDUCE_LANES * (k + 1)];
+        for l in 0..REDUCE_LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[REDUCE_LANES * chunks..]
+        .iter()
+        .zip(&b[REDUCE_LANES * chunks..])
+    {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 /// Reusable ping-pong buffers for allocation-free inference through an
@@ -133,6 +364,16 @@ pub struct MlpCache {
     activations: Vec<Vec<f64>>,
     /// Pre-activation vectors per layer.
     pre_activations: Vec<Vec<f64>>,
+}
+
+/// Batched forward-pass cache needed by [`Mlp::backward_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct MlpBatchCache {
+    /// Input and all post-activation batches (`activations[0]` is the
+    /// input batch).
+    activations: Vec<Batch>,
+    /// Pre-activation batches per layer.
+    pre_activations: Vec<Batch>,
 }
 
 /// A multi-layer perceptron: `dims[0] → dims[1] → … → dims[last]`, with the
@@ -268,6 +509,89 @@ impl Mlp {
             grad = layer.backward(input, &grad);
         }
         grad
+    }
+
+    /// Batched inference: push a whole [`Batch`] through the network.
+    ///
+    /// Column `e` of the result is **bit-identical** to
+    /// `self.forward(x.example(e))` — the batched layer loops perform the
+    /// same floating-point operations in the same order per example (see
+    /// [`Batch`] for the layout argument).
+    pub fn forward_batch(&self, x: &Batch) -> Batch {
+        let n = x.n();
+        let num_layers = self.layers.len();
+        let mut current: Option<Batch> = None;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut out = Batch::zeros(layer.out_dim, n);
+            layer.forward_batch(current.as_ref().unwrap_or(x), &mut out);
+            if l + 1 < num_layers {
+                for v in out.data_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            current = Some(out);
+        }
+        current.unwrap_or_else(|| x.clone())
+    }
+
+    /// Batched forward pass recording the cache needed by
+    /// [`Mlp::backward_batch`].  Takes the input by value (callers build
+    /// mini-batch inputs fresh per call) — it becomes part of the cache
+    /// without a copy.  Outputs are bit-identical to
+    /// [`Mlp::forward_batch`] (and therefore to per-example forwards).
+    pub fn forward_batch_cached(&self, x: Batch) -> (Batch, MlpBatchCache) {
+        let n = x.n();
+        let num_layers = self.layers.len();
+        let mut cache = MlpBatchCache {
+            activations: Vec::with_capacity(num_layers),
+            pre_activations: Vec::with_capacity(num_layers.saturating_sub(1)),
+        };
+        let mut current = x;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut out = Batch::zeros(layer.out_dim, n);
+            layer.forward_batch(&current, &mut out);
+            // The cache keeps each layer's *input*; the final output is
+            // returned to the caller and never needed for backprop.
+            cache.activations.push(current);
+            if l + 1 < num_layers {
+                cache.pre_activations.push(out.clone());
+                for v in out.data_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            current = out;
+        }
+        (current, cache)
+    }
+
+    /// Batched backpropagation: push `d_out` (gradient w.r.t. the batched
+    /// output) back through the network, accumulating parameter gradients
+    /// with a fixed lane-split reduction order, and return the gradient
+    /// w.r.t. the input batch.
+    pub fn backward_batch(&mut self, cache: &MlpBatchCache, d_out: &Batch) -> Batch {
+        let n = d_out.n();
+        let num_layers = self.layers.len();
+        let mut grad = d_out.clone();
+        for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+            let is_last = l + 1 == num_layers;
+            if !is_last {
+                let pre = &cache.pre_activations[l];
+                for (g, p) in grad.data_mut().iter_mut().zip(pre.data()) {
+                    *g *= self.activation.derivative(*p);
+                }
+            }
+            let mut dx = Batch::zeros(layer.in_dim, n);
+            layer.backward_batch(&cache.activations[l], &grad, &mut dx);
+            grad = dx;
+        }
+        grad
+    }
+
+    /// Read-only access to every parameter buffer, in the same order as
+    /// [`Mlp::params_mut`] (weights then bias, layer by layer) — the fixed
+    /// order used for flat gradient export/reduction.
+    pub fn params(&self) -> Vec<&ParamBuf> {
+        self.layers.iter().flat_map(|l| [&l.w, &l.b]).collect()
     }
 
     /// Mutable access to every parameter buffer (for the optimizer).
@@ -509,6 +833,154 @@ mod tests {
     #[should_panic(expected = "at least input and output")]
     fn single_dim_mlp_rejected() {
         Mlp::new(&[4], Activation::Relu, 0);
+    }
+
+    fn trial_examples(dim: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|e| {
+                (0..dim)
+                    .map(|f| ((e * dim + f) as f64 * 0.731).sin() * 1.7)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_per_example_forward() {
+        for activation in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Identity,
+        ] {
+            let mlp = Mlp::new(&[7, 13, 9, 2], activation, 21);
+            for n in [1, 2, 5, 32] {
+                let examples = trial_examples(7, n);
+                let batch = Batch::from_examples(7, examples.iter().map(|v| v.as_slice()));
+                let out = mlp.forward_batch(&batch);
+                let (cached_out, _) = mlp.forward_batch_cached(batch.clone());
+                for (e, x) in examples.iter().enumerate() {
+                    let reference = mlp.forward(x);
+                    for (f, r) in reference.iter().enumerate() {
+                        assert_eq!(out.get(f, e).to_bits(), r.to_bits());
+                        assert_eq!(cached_out.get(f, e).to_bits(), r.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backward_gradients_match_summed_per_example_gradients() {
+        // The batched backward must compute the same *mathematical*
+        // gradient as accumulating per-example backwards (the summation
+        // order differs, so compare with a tolerance, not bits).
+        let n = 6;
+        let examples = trial_examples(4, n);
+        let targets: Vec<f64> = (0..n).map(|e| (e as f64 * 0.37).cos()).collect();
+
+        let mut per_example = Mlp::new(&[4, 8, 1], Activation::LeakyRelu, 3);
+        per_example.zero_grad();
+        for (x, t) in examples.iter().zip(&targets) {
+            let (out, cache) = per_example.forward_cached(x);
+            per_example.backward(&cache, &[2.0 * (out[0] - t)]);
+        }
+        let reference: Vec<f64> = per_example
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.grad.clone())
+            .collect();
+
+        let mut batched = Mlp::new(&[4, 8, 1], Activation::LeakyRelu, 3);
+        batched.zero_grad();
+        let batch = Batch::from_examples(4, examples.iter().map(|v| v.as_slice()));
+        let (out, cache) = batched.forward_batch_cached(batch.clone());
+        let mut d_out = Batch::zeros(1, n);
+        for (e, t) in targets.iter().enumerate() {
+            d_out.set(0, e, 2.0 * (out.get(0, e) - t));
+        }
+        let d_in = batched.backward_batch(&cache, &d_out);
+        assert_eq!(d_in.dim(), 4);
+        assert_eq!(d_in.n(), n);
+        let got: Vec<f64> = batched
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.grad.clone())
+            .collect();
+
+        assert_eq!(reference.len(), got.len());
+        for (r, g) in reference.iter().zip(&got) {
+            assert!(
+                (r - g).abs() < 1e-10 * (1.0 + r.abs()),
+                "per-example {r} vs batched {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_input_gradient_matches_per_example_input_gradient() {
+        let mlp_ref = Mlp::new(&[3, 6, 2], Activation::LeakyRelu, 11);
+        let mut mlp = mlp_ref.clone();
+        let examples = trial_examples(3, 4);
+        let batch = Batch::from_examples(3, examples.iter().map(|v| v.as_slice()));
+        let (_, cache) = mlp.forward_batch_cached(batch.clone());
+        let mut d_out = Batch::zeros(2, 4);
+        for e in 0..4 {
+            d_out.set(0, e, 1.0);
+            d_out.set(1, e, -0.5);
+        }
+        let d_in = mlp.backward_batch(&cache, &d_out);
+
+        for (e, x) in examples.iter().enumerate() {
+            let mut single = mlp_ref.clone();
+            let (_, cache) = single.forward_cached(x);
+            let d = single.backward(&cache, &[1.0, -0.5]);
+            for (f, dv) in d.iter().enumerate() {
+                assert!(
+                    (d_in.get(f, e) - dv).abs() < 1e-12 * (1.0 + dv.abs()),
+                    "input grad ({f},{e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_training_learns_the_same_simple_function() {
+        // The batched fit counterpart of `mlp_learns_a_simple_function`.
+        let mut mlp = Mlp::new(&[2, 16, 1], Activation::LeakyRelu, 5);
+        let mut adam = crate::optim::Adam::new(0.01);
+        let data: Vec<([f64; 2], f64)> = (0..64)
+            .map(|i| {
+                let x0 = (i % 8) as f64 / 8.0;
+                let x1 = (i / 8) as f64 / 8.0;
+                ([x0, x1], 2.0 * x0 - x1)
+            })
+            .collect();
+        let batch = Batch::from_examples(2, data.iter().map(|(x, _)| x.as_slice()));
+        for _ in 0..400 {
+            mlp.zero_grad();
+            let (out, cache) = mlp.forward_batch_cached(batch.clone());
+            let mut d_out = Batch::zeros(1, data.len());
+            for (e, (_, y)) in data.iter().enumerate() {
+                d_out.set(0, e, 2.0 * (out.get(0, e) - y) / data.len() as f64);
+            }
+            mlp.backward_batch(&cache, &d_out);
+            adam.step(&mut mlp.params_mut());
+        }
+        let mse: f64 = data
+            .iter()
+            .map(|(x, y)| (mlp.forward(x)[0] - y).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(mse < 0.01, "mse = {mse}");
+    }
+
+    #[test]
+    fn params_and_params_mut_agree_on_order() {
+        let mut mlp = Mlp::new(&[3, 4, 1], Activation::Relu, 9);
+        let ro: Vec<usize> = mlp.params().iter().map(|p| p.len()).collect();
+        let rw: Vec<usize> = mlp.params_mut().iter().map(|p| p.len()).collect();
+        assert_eq!(ro, rw);
+        assert_eq!(ro, vec![12, 4, 4, 1]);
     }
 
     #[test]

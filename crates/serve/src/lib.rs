@@ -46,6 +46,9 @@ pub mod server;
 
 pub use cache::{CacheStats, FeatureCache};
 pub use error::ServeError;
-pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use metrics::{MetricsSnapshot, ServeMetrics, BATCH_SIZE_BUCKET_LABELS};
 pub use registry::{ArtifactManifest, IntegrityProbe, ModelRegistry, ARTIFACT_FORMAT_VERSION};
-pub use server::{Prediction, PredictionServer, PredictionTicket, RejectedRequest, ServerConfig};
+pub use server::{
+    BatchPredictionTicket, Prediction, PredictionServer, PredictionTicket, RejectedRequest,
+    ServerConfig,
+};

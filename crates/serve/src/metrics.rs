@@ -13,6 +13,25 @@ use std::time::{Duration, Instant};
 /// tracked separately over the whole lifetime.
 pub const LATENCY_WINDOW: usize = 65_536;
 
+/// Human-readable labels of the batch-size histogram buckets reported in
+/// [`MetricsSnapshot::batch_size_histogram`].  Bucket `i` counts batches
+/// whose size falls in the labelled range; single-plan requests count as
+/// batches of size 1.
+pub const BATCH_SIZE_BUCKET_LABELS: [&str; 8] = [
+    "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
+];
+
+/// Bucket index of a batch size (log₂ buckets, capped at the last).
+fn batch_size_bucket(batch_size: usize) -> usize {
+    let mut bucket = 0usize;
+    let mut bound = 2usize;
+    while bucket + 1 < BATCH_SIZE_BUCKET_LABELS.len() && batch_size >= bound {
+        bucket += 1;
+        bound *= 2;
+    }
+    bucket
+}
+
 /// Bounded ring of recent latencies (nanoseconds).
 struct LatencyRing {
     samples: Vec<u64>,
@@ -26,6 +45,8 @@ pub struct ServeMetrics {
     started: Instant,
     completed: AtomicU64,
     ring: Mutex<LatencyRing>,
+    /// Batch-size histogram (see [`BATCH_SIZE_BUCKET_LABELS`]).
+    batch_sizes: [AtomicU64; BATCH_SIZE_BUCKET_LABELS.len()],
 }
 
 impl ServeMetrics {
@@ -39,22 +60,39 @@ impl ServeMetrics {
                 next: 0,
                 max_ns: 0,
             }),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    /// Record one completed request and its queue-to-response latency.
+    /// Record one completed single-plan request and its queue-to-response
+    /// latency (a batch of size 1 in the histogram).
     pub fn record(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.record_batch(1, latency);
+    }
+
+    /// Record one completed batch of `batch_size` requests that shared a
+    /// single enqueue-to-response latency.  Every request of the batch
+    /// contributes a latency sample and counts toward throughput; the
+    /// batch itself lands in one histogram bucket.
+    pub fn record_batch(&self, batch_size: usize, latency: Duration) {
+        if batch_size == 0 {
+            return;
+        }
+        self.batch_sizes[batch_size_bucket(batch_size)].fetch_add(1, Ordering::Relaxed);
+        self.completed
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
         let ns = latency.as_nanos() as u64;
         let mut ring = self.ring.lock().expect("metrics poisoned");
         ring.max_ns = ring.max_ns.max(ns);
-        if ring.samples.len() < LATENCY_WINDOW {
-            ring.samples.push(ns);
-        } else {
-            let slot = ring.next;
-            ring.samples[slot] = ns;
+        for _ in 0..batch_size {
+            if ring.samples.len() < LATENCY_WINDOW {
+                ring.samples.push(ns);
+            } else {
+                let slot = ring.next;
+                ring.samples[slot] = ns;
+            }
+            ring.next = (ring.next + 1) % LATENCY_WINDOW;
         }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
     }
 
     /// Snapshot the current metrics, combining them with cache statistics
@@ -92,6 +130,11 @@ impl ServeMetrics {
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
             workers,
+            batch_size_histogram: self
+                .batch_sizes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -124,7 +167,7 @@ impl Default for ServeMetrics {
 ///
 /// Latency percentiles are `NaN` until at least one request completed
 /// (serde_json renders them as `null`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Requests fully served since the server started.
     pub total_requests: u64,
@@ -148,6 +191,10 @@ pub struct MetricsSnapshot {
     pub cache_hit_rate: f64,
     /// Number of worker threads serving predictions.
     pub workers: usize,
+    /// Batch-size histogram: bucket `i` counts completed batches whose
+    /// size falls in `BATCH_SIZE_BUCKET_LABELS[i]` (single requests are
+    /// size-1 batches).
+    pub batch_size_histogram: Vec<u64>,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -239,6 +286,45 @@ mod tests {
             );
         }
         assert!(percentile_of_sorted(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn batch_sizes_land_in_log2_buckets() {
+        assert_eq!(batch_size_bucket(1), 0);
+        assert_eq!(batch_size_bucket(2), 1);
+        assert_eq!(batch_size_bucket(3), 1);
+        assert_eq!(batch_size_bucket(4), 2);
+        assert_eq!(batch_size_bucket(7), 2);
+        assert_eq!(batch_size_bucket(32), 5);
+        assert_eq!(batch_size_bucket(63), 5);
+        assert_eq!(batch_size_bucket(127), 6);
+        assert_eq!(batch_size_bucket(128), 7);
+        assert_eq!(batch_size_bucket(100_000), 7);
+    }
+
+    #[test]
+    fn record_batch_updates_histogram_and_throughput() {
+        let metrics = ServeMetrics::new();
+        metrics.record(Duration::from_micros(10)); // size 1
+        metrics.record_batch(32, Duration::from_micros(500));
+        metrics.record_batch(32, Duration::from_micros(450));
+        metrics.record_batch(3, Duration::from_micros(40));
+        let snap = metrics.snapshot(cache_stats(0, 0), 2);
+        // 1 + 32 + 32 + 3 requests completed.
+        assert_eq!(snap.total_requests, 68);
+        assert_eq!(
+            snap.batch_size_histogram.len(),
+            BATCH_SIZE_BUCKET_LABELS.len()
+        );
+        assert_eq!(snap.batch_size_histogram[0], 1); // "1"
+        assert_eq!(snap.batch_size_histogram[1], 1); // "2-3"
+        assert_eq!(snap.batch_size_histogram[5], 2); // "32-63"
+        assert_eq!(snap.batch_size_histogram.iter().sum::<u64>(), 4);
+        // Every request of a batch contributes one latency sample.
+        assert_eq!(metrics.ring.lock().unwrap().samples.len(), 68);
+        // Zero-size batches are ignored.
+        metrics.record_batch(0, Duration::from_micros(1));
+        assert_eq!(metrics.snapshot(cache_stats(0, 0), 2).total_requests, 68);
     }
 
     #[test]

@@ -29,7 +29,16 @@ use zsdb_core::train::TrainedModel;
 use zsdb_core::FeaturizerConfig;
 
 /// On-disk artifact format version understood by this build.
-pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — initial format.
+/// * **2** — `TrainedModel` gained the `validation_curve` and
+///   `stopped_early` training-statistics fields (batched trainer);
+///   version-1 artifacts lack them and cannot be deserialized, so they
+///   are rejected with a clean
+///   [`ServeError::FormatVersionMismatch`](crate::ServeError) instead of
+///   a parse error.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 2;
 
 /// Maximum number of integrity probes stored per artifact.
 const MAX_PROBES: usize = 8;
@@ -421,11 +430,9 @@ mod tests {
             .join("v0001")
             .join("manifest.json");
         let raw = fs::read_to_string(&path).unwrap();
-        fs::write(
-            &path,
-            raw.replacen("\"format_version\":1", "\"format_version\":99", 1),
-        )
-        .unwrap();
+        let current = format!("\"format_version\":{ARTIFACT_FORMAT_VERSION}");
+        assert!(raw.contains(&current), "manifest records current version");
+        fs::write(&path, raw.replacen(&current, "\"format_version\":99", 1)).unwrap();
         assert!(matches!(
             registry.load("cost", v),
             Err(ServeError::FormatVersionMismatch { found: 99, .. })

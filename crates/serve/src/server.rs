@@ -16,6 +16,14 @@
 //!   the same floating-point operations as the single-threaded path, so a
 //!   served prediction is bit-identical to
 //!   `model.predict(featurize_plan(...))`.
+//! * **Batched submission** — [`PredictionServer::submit_batch`] enqueues
+//!   a batch as one queue entry per [`ServerConfig::max_batch_size`]
+//!   chunk; a worker featurizes each chunk in one cache-assisted sweep
+//!   and answers it with a single batched forward pass
+//!   ([`zsdb_core::batch`]), amortising per-request overhead while
+//!   staying bit-identical to per-request submission — and since every
+//!   chunk occupies a bounded-queue slot, `queue_capacity` keeps
+//!   bounding in-flight work for batches too.
 
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
@@ -40,6 +48,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Capacity of the feature cache (entries; 0 disables caching).
     pub cache_capacity: usize,
+    /// Largest batch answered as one unit: `submit_batch` splits bigger
+    /// submissions into chunks of at most this many plans, each occupying
+    /// one bounded-queue slot — so `queue_capacity` bounds in-flight work
+    /// for batches too (within a factor of `max_batch_size`), instead of
+    /// a single huge batch bypassing backpressure.
+    pub max_batch_size: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +62,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 256,
             cache_capacity: 1024,
+            max_batch_size: 256,
         }
     }
 }
@@ -76,6 +91,30 @@ impl PredictionTicket {
     /// [`ServeError::Closed`] if the server shut down before answering.
     pub fn wait(self) -> Result<Prediction, ServeError> {
         self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// Claim ticket for an in-flight batch request; redeem with
+/// [`BatchPredictionTicket::wait`].
+///
+/// A submission larger than
+/// [`max_batch_size`](ServerConfig::max_batch_size) is answered in
+/// several chunks (possibly by different workers); the ticket stitches
+/// them back together in submission order.
+pub struct BatchPredictionTicket {
+    parts: Vec<mpsc::Receiver<Vec<Prediction>>>,
+}
+
+impl BatchPredictionTicket {
+    /// Block until all predictions of the batch are ready and return them
+    /// in submission order.  Fails with [`ServeError::Closed`] if the
+    /// server shut down before answering.
+    pub fn wait(self) -> Result<Vec<Prediction>, ServeError> {
+        let mut predictions = Vec::new();
+        for part in self.parts {
+            predictions.extend(part.recv().map_err(|_| ServeError::Closed)?);
+        }
+        Ok(predictions)
     }
 }
 
@@ -112,10 +151,19 @@ impl std::error::Error for RejectedRequest {
     }
 }
 
-struct Job {
-    plan: PlanNode,
-    enqueued: Instant,
-    reply: mpsc::Sender<Prediction>,
+/// A unit of queued work: one plan, or a whole batch of plans that shares
+/// one featurization/inference pass.
+enum Job {
+    Single {
+        plan: PlanNode,
+        enqueued: Instant,
+        reply: mpsc::Sender<Prediction>,
+    },
+    Batch {
+        plans: Vec<PlanNode>,
+        enqueued: Instant,
+        reply: mpsc::Sender<Vec<Prediction>>,
+    },
 }
 
 struct Shared {
@@ -176,7 +224,7 @@ impl PredictionServer {
     /// (backpressure).
     pub fn submit(&self, plan: PlanNode) -> Result<PredictionTicket, ServeError> {
         let (reply, rx) = mpsc::channel();
-        let job = Job {
+        let job = Job::Single {
             plan,
             enqueued: Instant::now(),
             reply,
@@ -189,6 +237,50 @@ impl PredictionServer {
         Ok(PredictionTicket { rx })
     }
 
+    /// Enqueue a batch of plans, blocking while the queue is full
+    /// (backpressure).
+    ///
+    /// The batch is split into chunks of at most
+    /// [`ServerConfig::max_batch_size`] plans; each chunk occupies one
+    /// bounded-queue slot and is answered by a single worker in one
+    /// pass — one featurization sweep (cache-assisted) and one batched
+    /// forward through the model's (level, kind) schedule — so
+    /// per-request overhead is amortised across the batch while
+    /// `queue_capacity` still bounds in-flight work.  Every prediction
+    /// is bit-identical to submitting the same plan through
+    /// [`PredictionServer::submit`]; results come back in submission
+    /// order.
+    pub fn submit_batch(&self, plans: Vec<PlanNode>) -> Result<BatchPredictionTicket, ServeError> {
+        // Split oversized submissions into max_batch_size chunks, each a
+        // bounded-queue entry of its own: queue_capacity keeps bounding
+        // in-flight work, and an over-large batch experiences the same
+        // blocking backpressure as a burst of single requests.
+        let max = self.config.max_batch_size.max(1);
+        let mut parts = Vec::with_capacity(plans.len().div_ceil(max).max(1));
+        let mut remaining = plans;
+        while !remaining.is_empty() {
+            let rest = if remaining.len() > max {
+                remaining.split_off(max)
+            } else {
+                Vec::new()
+            };
+            let chunk = std::mem::replace(&mut remaining, rest);
+            let (reply, rx) = mpsc::channel();
+            let job = Job::Batch {
+                plans: chunk,
+                enqueued: Instant::now(),
+                reply,
+            };
+            self.sender
+                .as_ref()
+                .ok_or(ServeError::Closed)?
+                .send(job)
+                .map_err(|_| ServeError::Closed)?;
+            parts.push(rx);
+        }
+        Ok(BatchPredictionTicket { parts })
+    }
+
     /// Enqueue a prediction request without blocking; fails with a
     /// [`RejectedRequest`] carrying [`ServeError::Overloaded`] when the
     /// queue is full, returning the plan to the caller for retry.
@@ -198,18 +290,22 @@ impl PredictionServer {
             None => return Err(RejectedRequest::new(plan, ServeError::Closed)),
         };
         let (reply, rx) = mpsc::channel();
-        let job = Job {
+        let job = Job::Single {
             plan,
             enqueued: Instant::now(),
             reply,
         };
+        let take_plan = |job: Job| match job {
+            Job::Single { plan, .. } => plan,
+            Job::Batch { .. } => unreachable!("single submission cannot hold a batch"),
+        };
         match sender.try_send(job) {
             Ok(()) => Ok(PredictionTicket { rx }),
             Err(TrySendError::Full(job)) => {
-                Err(RejectedRequest::new(job.plan, ServeError::Overloaded))
+                Err(RejectedRequest::new(take_plan(job), ServeError::Overloaded))
             }
             Err(TrySendError::Disconnected(job)) => {
-                Err(RejectedRequest::new(job.plan, ServeError::Closed))
+                Err(RejectedRequest::new(take_plan(job), ServeError::Closed))
             }
         }
     }
@@ -269,20 +365,64 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shutdown
         };
-        let fingerprint = plan_fingerprint(&job.plan);
-        let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
-            featurize_plan(&shared.catalog, &job.plan, shared.model.featurizer)
-        });
-        let runtime_secs = shared.model.model.predict_with(&graph, &mut scratch);
-        let latency = job.enqueued.elapsed();
-        shared.metrics.record(latency);
-        // A dropped ticket just means the client stopped waiting.
-        let _ = job.reply.send(Prediction {
-            runtime_secs,
-            fingerprint,
-            cache_hit,
-            latency,
-        });
+        match job {
+            Job::Single {
+                plan,
+                enqueued,
+                reply,
+            } => {
+                let fingerprint = plan_fingerprint(&plan);
+                let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
+                    featurize_plan(&shared.catalog, &plan, shared.model.featurizer)
+                });
+                let runtime_secs = shared.model.model.predict_with(&graph, &mut scratch);
+                let latency = enqueued.elapsed();
+                shared.metrics.record(latency);
+                // A dropped ticket just means the client stopped waiting.
+                let _ = reply.send(Prediction {
+                    runtime_secs,
+                    fingerprint,
+                    cache_hit,
+                    latency,
+                });
+            }
+            Job::Batch {
+                plans,
+                enqueued,
+                reply,
+            } => {
+                // One featurization sweep (cache-assisted), then a single
+                // batched forward over the whole request batch.
+                let mut fingerprints = Vec::with_capacity(plans.len());
+                let mut cache_hits = Vec::with_capacity(plans.len());
+                let mut graphs = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    let fingerprint = plan_fingerprint(plan);
+                    let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
+                        featurize_plan(&shared.catalog, plan, shared.model.featurizer)
+                    });
+                    fingerprints.push(fingerprint);
+                    cache_hits.push(cache_hit);
+                    graphs.push(graph);
+                }
+                let refs: Vec<&zsdb_core::PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
+                let runtimes = shared.model.model.predict_batch(&refs);
+                let latency = enqueued.elapsed();
+                shared.metrics.record_batch(plans.len(), latency);
+                let predictions = runtimes
+                    .into_iter()
+                    .zip(fingerprints)
+                    .zip(cache_hits)
+                    .map(|((runtime_secs, fingerprint), cache_hit)| Prediction {
+                        runtime_secs,
+                        fingerprint,
+                        cache_hit,
+                        latency,
+                    })
+                    .collect();
+                let _ = reply.send(predictions);
+            }
+        }
     }
 }
 
@@ -354,6 +494,86 @@ mod tests {
     }
 
     #[test]
+    fn submit_batch_matches_single_submission_bit_for_bit() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        // Reference: every plan served individually.
+        let singles: Vec<Prediction> = plans
+            .iter()
+            .map(|p| server.predict_blocking(p.clone()).unwrap())
+            .collect();
+        // Same plans as one batch.
+        let batch = server
+            .submit_batch(plans.clone())
+            .expect("submit batch")
+            .wait()
+            .expect("batch answered");
+        assert_eq!(batch.len(), plans.len());
+        for (single, batched) in singles.iter().zip(&batch) {
+            assert_eq!(
+                single.runtime_secs.to_bits(),
+                batched.runtime_secs.to_bits()
+            );
+            assert_eq!(single.fingerprint, batched.fingerprint);
+            // The singles warmed the cache, so the batch hits it.
+            assert!(batched.cache_hit);
+        }
+        // Histogram: |plans| singles in bucket "1", one batch in its
+        // own bucket.
+        let metrics = server.metrics();
+        assert_eq!(metrics.batch_size_histogram[0], plans.len() as u64);
+        assert_eq!(
+            metrics.batch_size_histogram.iter().sum::<u64>(),
+            plans.len() as u64 + 1
+        );
+        assert_eq!(metrics.total_requests, 2 * plans.len() as u64);
+
+        // Empty batches answer immediately with no work recorded.
+        let empty = server.submit_batch(Vec::new()).unwrap().wait().unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(server.metrics().total_requests, 2 * plans.len() as u64);
+    }
+
+    #[test]
+    fn oversized_batches_are_split_but_answered_in_order() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 2,
+                max_batch_size: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let expected: Vec<u64> = plans
+            .iter()
+            .map(|p| server.predict_blocking(p.clone()).unwrap().runtime_secs)
+            .map(f64::to_bits)
+            .collect();
+        // |plans| = 15 with max_batch_size 4 → chunks of 4, 4, 4, 3.
+        let batch = server.submit_batch(plans.clone()).unwrap().wait().unwrap();
+        assert_eq!(batch.len(), plans.len());
+        for (p, e) in batch.iter().zip(&expected) {
+            assert_eq!(
+                p.runtime_secs.to_bits(),
+                *e,
+                "order preserved across chunks"
+            );
+        }
+        let hist = server.metrics().batch_size_histogram;
+        assert_eq!(hist[2], 3, "three full chunks of 4 in the 4-7 bucket");
+        assert_eq!(hist[1], 1, "one tail chunk of 3 in the 2-3 bucket");
+    }
+
+    #[test]
     fn try_submit_sheds_load_when_the_queue_is_full() {
         let (model, catalog, plans) = tiny_server_fixture();
         // One worker and a one-slot queue: a burst must eventually see
@@ -365,6 +585,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 cache_capacity: 0,
+                ..ServerConfig::default()
             },
         );
         let mut overloaded = 0;
@@ -420,6 +641,7 @@ mod tests {
                 workers: 4,
                 queue_capacity: 16,
                 cache_capacity: 128,
+                ..ServerConfig::default()
             },
         ));
         let mut clients = Vec::new();

@@ -70,6 +70,7 @@ fn main() {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 256,
+            ..ServerConfig::default()
         },
     );
 

@@ -1,0 +1,115 @@
+//! ISSUE 3 acceptance: the batched training & inference engine is
+//! bit-consistent with the per-example path and deterministic across
+//! thread counts.
+//!
+//! * batched `predict_batch` output equals per-example `predict` output
+//!   **exactly** (fixed summation order), end to end through a trained
+//!   model on an unseen database;
+//! * training with 1 thread and with 2 threads produces identical
+//!   weights for the same seed (fixed micro-batch shard reduction
+//!   order);
+//! * the validation-split and early-stopping knobs of `TrainingConfig`
+//!   are live.
+
+use zero_shot_db::catalog::presets;
+use zero_shot_db::query::WorkloadGenerator;
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::features::featurize_execution;
+use zero_shot_db::zeroshot::{FeaturizerConfig, ModelConfig, PlanGraph, Trainer, TrainingConfig};
+use zsdb_engine::QueryRunner;
+
+fn corpus(db: &Database, queries: usize, seed: u64) -> Vec<PlanGraph> {
+    let runner = QueryRunner::with_defaults(db);
+    let workload = WorkloadGenerator::with_defaults().generate(db.catalog(), queries, seed);
+    runner
+        .run_workload(&workload, 0)
+        .iter()
+        .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact()))
+        .collect()
+}
+
+#[test]
+fn batched_inference_is_bit_identical_to_per_example_inference() {
+    let train_db = Database::generate(presets::ssb_like(0.02), 5);
+    let graphs = corpus(&train_db, 25, 3);
+    let trained = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 2,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    )
+    .train(&graphs);
+
+    // Unseen database: the serving scenario.
+    let unseen = Database::generate(presets::imdb_like(0.02), 77);
+    let eval_graphs = corpus(&unseen, 30, 11);
+
+    for batch_len in [1usize, 2, 7, 30] {
+        let refs: Vec<&PlanGraph> = eval_graphs.iter().take(batch_len).collect();
+        let batched = trained.predict_batch(&refs);
+        assert_eq!(batched.len(), refs.len());
+        for (g, p) in refs.iter().zip(&batched) {
+            assert_eq!(
+                p.to_bits(),
+                trained.predict(g).to_bits(),
+                "batched prediction must equal per-example prediction exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_trained_weights() {
+    let db = Database::generate(presets::imdb_like(0.02), 13);
+    let graphs = corpus(&db, 40, 7);
+    let config = TrainingConfig {
+        epochs: 2,
+        batch_size: 16,
+        microbatch_size: 4,
+        validation_fraction: 0.2,
+        early_stopping_patience: 0,
+        ..TrainingConfig::tiny()
+    };
+    let train_with = |threads: usize| {
+        Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig { threads, ..config },
+            FeaturizerConfig::exact(),
+        )
+        .train(&graphs)
+    };
+    let single = train_with(1);
+    let dual = train_with(2);
+    assert_eq!(
+        single.model.to_json(),
+        dual.model.to_json(),
+        "1-thread and 2-thread training must produce identical weights"
+    );
+    for g in graphs.iter().take(8) {
+        assert_eq!(single.predict(g).to_bits(), dual.predict(g).to_bits());
+    }
+    assert_eq!(single.training_curve, dual.training_curve);
+}
+
+#[test]
+fn validation_and_early_stopping_are_live_through_the_facade() {
+    let db = Database::generate(presets::imdb_like(0.02), 17);
+    let graphs = corpus(&db, 40, 19);
+    let trained = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 30,
+            validation_fraction: 0.25,
+            early_stopping_patience: 2,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    )
+    .train(&graphs);
+    assert!(trained.final_validation_qerror.is_some());
+    assert_eq!(trained.validation_curve.len(), trained.training_curve.len());
+    assert!(trained.training_curve.len() <= 30);
+}

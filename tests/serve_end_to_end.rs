@@ -81,6 +81,7 @@ fn train_register_and_serve_concurrently() {
             workers: WORKERS,
             queue_capacity: 64,
             cache_capacity: 512,
+            ..ServerConfig::default()
         },
     ));
     let clients = 8;
@@ -154,6 +155,96 @@ fn train_register_and_serve_concurrently() {
 }
 
 #[test]
+fn batched_submission_matches_single_submission_over_1000_requests() {
+    // ISSUE 3 acceptance: 1000 requests in batches of 32 through
+    // `submit_batch`, bit-identical to `submit`, with the batch sizes
+    // showing up in the metrics histogram.
+    const TOTAL: usize = 1000;
+    const BATCH: usize = 32;
+
+    let db = Database::generate(presets::imdb_like(0.02), 21);
+    let runner = QueryRunner::with_defaults(&db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 40, 9);
+    let executions = runner.run_workload(&queries, 0);
+    let graphs: Vec<PlanGraph> = executions
+        .iter()
+        .map(|e| {
+            zero_shot_db::zeroshot::features::featurize_execution(
+                db.catalog(),
+                e,
+                FeaturizerConfig::exact(),
+            )
+        })
+        .collect();
+    let model = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    )
+    .train(&graphs);
+    let plans = runner.plan_workload(&queries);
+
+    let server = PredictionServer::start(
+        model,
+        db.catalog().clone(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Single-submission reference, keyed by fingerprint.
+    let reference: HashMap<u64, u64> = plans
+        .iter()
+        .map(|p| {
+            let served = server.submit(p.clone()).unwrap().wait().unwrap();
+            (served.fingerprint, served.runtime_secs.to_bits())
+        })
+        .collect();
+    let singles = plans.len() as u64;
+
+    // The same request stream as 32-plan batches.
+    let request_stream: Vec<_> = (0..TOTAL).map(|i| plans[i % plans.len()].clone()).collect();
+    let mut tickets = Vec::new();
+    for chunk in request_stream.chunks(BATCH) {
+        tickets.push(server.submit_batch(chunk.to_vec()).expect("submit batch"));
+    }
+    let mut served = 0usize;
+    for ticket in tickets {
+        for prediction in ticket.wait().expect("batch answered") {
+            let expected = reference
+                .get(&prediction.fingerprint)
+                .expect("known fingerprint");
+            assert_eq!(
+                prediction.runtime_secs.to_bits(),
+                *expected,
+                "batched prediction diverged from single submission"
+            );
+            served += 1;
+        }
+    }
+    assert_eq!(served, TOTAL);
+
+    // Histogram: 31 full batches of 32 in "32-63", one tail batch of 8 in
+    // "8-15", plus the single-submission warmup in "1".
+    let metrics = server.shutdown();
+    assert_eq!(metrics.total_requests, TOTAL as u64 + singles);
+    let labels = zero_shot_db::serve::BATCH_SIZE_BUCKET_LABELS;
+    let hist = &metrics.batch_size_histogram;
+    assert_eq!(hist.len(), labels.len());
+    let bucket_of = |label: &str| labels.iter().position(|l| *l == label).unwrap();
+    assert_eq!(hist[bucket_of("1")], singles);
+    assert_eq!(hist[bucket_of("32-63")], (TOTAL / BATCH) as u64);
+    assert_eq!(hist[bucket_of("8-15")], 1, "tail batch of 8");
+}
+
+#[test]
 fn backpressure_sheds_load_under_a_burst() {
     // A tiny queue and a single worker: a fast burst of try_submit calls
     // must observe `Overloaded` instead of queueing without bound, while
@@ -191,6 +282,7 @@ fn backpressure_sheds_load_under_a_burst() {
             workers: 1,
             queue_capacity: 2,
             cache_capacity: 0,
+            ..ServerConfig::default()
         },
     );
     let mut accepted = Vec::new();
