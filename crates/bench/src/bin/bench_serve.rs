@@ -97,7 +97,6 @@ fn main() {
     println!("{snapshot}");
     println!("(prediction checksum {checksum:.6})");
 
-    let json = serde_json::to_string_pretty(&snapshot).expect("metrics serialize");
-    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
-    println!("\nwrote {}", args.out);
+    println!();
+    zsdb_bench::write_json_report(&args.out, &snapshot);
 }

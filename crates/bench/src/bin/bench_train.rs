@@ -222,7 +222,5 @@ fn main() {
         "batched predictions diverged from the per-example path"
     );
 
-    let json = serde_json::to_string_pretty(&report).expect("report serialize");
-    std::fs::write(&args.out, &json).expect("write BENCH_train.json");
-    println!("wrote {}", args.out);
+    zsdb_bench::write_json_report(&args.out, &report);
 }

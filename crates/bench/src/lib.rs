@@ -196,6 +196,20 @@ pub fn print_row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
 }
 
+/// Write a machine-readable benchmark report as pretty-printed JSON and
+/// print the artifact path — the one emitter shared by every `BENCH_*`
+/// binary (`bench_serve`, `bench_train`, `bench_multitask`), so all
+/// reports are formatted identically and every run ends by naming its
+/// artifact.
+pub fn write_json_report<T: serde::Serialize>(path: &str, report: &T) {
+    let json = serde_json::to_string_pretty(report).expect("benchmark report serialization");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let shown = std::fs::canonicalize(path)
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|_| path.to_string());
+    println!("wrote {shown}");
+}
+
 /// Shared fixture of the serving bench targets: execute a `num_queries`
 /// random workload on a small IMDB-like database, train a tiny model on
 /// it, and return the model together with the workload's optimizer plans

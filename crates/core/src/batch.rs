@@ -1,5 +1,5 @@
-//! Batched execution of the zero-shot model over mini-batches of plan
-//! graphs.
+//! Batched execution of the shared plan-graph encoder over mini-batches of
+//! plan graphs.
 //!
 //! The per-example path walks one DAG at a time, calling the encoder and
 //! combine MLPs once **per node** — thousands of tiny mat-vec products and
@@ -9,6 +9,15 @@
 //! pushed through the node-type encoder and the combine MLP in **one
 //! batched call** — one fused matrix loop per (level, kind) instead of one
 //! mat-vec per node.
+//!
+//! The batched message passing is implemented on [`PlanEncoder`], the
+//! task-independent half of every zero-shot model: it produces one hidden
+//! state per node ([`NodeStates`]), and any number of task heads can read
+//! those states and push gradients back through
+//! [`PlanEncoder::backward_batch`].  The single-head
+//! [`ZeroShotCostModel`] composes exactly these primitives; the
+//! multi-task model (`zsdb_multitask`) attaches several heads to the same
+//! encoder pass.
 //!
 //! Bit-consistency: the batched MLP loops in `zsdb_nn` perform, per
 //! example, exactly the floating-point operations of the per-example path
@@ -25,7 +34,7 @@
 //! order across examples necessarily differs).
 
 use crate::features::{NodeKind, PlanGraph};
-use crate::model::ZeroShotCostModel;
+use crate::model::{PlanEncoder, ZeroShotCostModel};
 use zsdb_nn::{Batch, MlpBatchCache};
 
 /// One batched unit of work: all nodes of one [`NodeKind`] at one
@@ -150,34 +159,94 @@ impl BatchSchedule {
     pub fn num_nodes(&self) -> usize {
         self.total_nodes
     }
+
+    /// Flat node id of each graph's root, in graph order.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Flat-node-id offset of each graph: node `ni` of graph `gi` has flat
+    /// id `offsets()[gi] + ni`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
 }
 
 /// Node-major storage of one hidden vector per flat node:
 /// `data[flat * hidden..]` is node `flat`'s state — contiguous, so the
 /// DeepSets child-state sums and their backward counterparts are
 /// vectorised adds over whole rows.
-struct NodeStates {
+///
+/// Task heads consume states through [`NodeStates::gather`] (rows →
+/// feature-major [`Batch`]) and push gradients back through
+/// [`NodeStates::scatter_add`] before handing the accumulated per-node
+/// gradients to [`PlanEncoder::backward_batch`].
+pub struct NodeStates {
     data: Vec<f64>,
     hidden: usize,
 }
 
 impl NodeStates {
-    fn zeros(hidden: usize, total: usize) -> Self {
+    /// All-zero states for `total` nodes of dimension `hidden`.
+    pub fn zeros(hidden: usize, total: usize) -> Self {
         NodeStates {
             data: vec![0.0; hidden * total],
             hidden,
         }
     }
 
+    /// State dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of node rows.
+    pub fn num_nodes(&self) -> usize {
+        self.data.len().checked_div(self.hidden).unwrap_or(0)
+    }
+
+    /// The state row of flat node `flat`.
     #[inline]
-    fn row(&self, flat: usize) -> &[f64] {
+    pub fn row(&self, flat: usize) -> &[f64] {
         &self.data[flat * self.hidden..(flat + 1) * self.hidden]
     }
 
+    /// Mutable state row of flat node `flat`.
     #[inline]
-    fn row_mut(&mut self, flat: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, flat: usize) -> &mut [f64] {
         &mut self.data[flat * self.hidden..(flat + 1) * self.hidden]
     }
+
+    /// Gather the rows of `flats` into a feature-major batch (column `e`
+    /// is the state of `flats[e]`) — the input layout of a task-head MLP.
+    pub fn gather(&self, flats: &[usize]) -> Batch {
+        let mut batch = Batch::zeros(self.hidden, flats.len());
+        for (e, &flat) in flats.iter().enumerate() {
+            for (f, &v) in self.row(flat).iter().enumerate() {
+                batch.set(f, e, v);
+            }
+        }
+        batch
+    }
+
+    /// Add column `e` of `grads` onto the row of `flats[e]` for every
+    /// member — how a task head deposits its state gradients (columns in
+    /// ascending example order, so accumulation is deterministic).
+    pub fn scatter_add(&mut self, flats: &[usize], grads: &Batch) {
+        for (e, &flat) in flats.iter().enumerate() {
+            let row = self.row_mut(flat);
+            for (f, d) in row.iter_mut().enumerate() {
+                *d += grads.get(f, e);
+            }
+        }
+    }
+}
+
+/// Per-group backprop caches recorded by
+/// [`PlanEncoder::encode_batch_cached`], consumed (by reference) by
+/// [`PlanEncoder::backward_batch`].
+pub struct EncoderTrace {
+    groups: Vec<GroupTrace>,
 }
 
 /// Per-group backprop caches recorded by the batched forward pass.
@@ -186,19 +255,7 @@ struct GroupTrace {
     combine_cache: MlpBatchCache,
 }
 
-/// Result of one batched gradient-accumulation pass.
-pub struct BatchBackprop {
-    /// Summed squared error on `ln(runtime)` over the mini-batch (same
-    /// convention as per-example [`ZeroShotCostModel::accumulate_gradients`]).
-    pub loss: f64,
-    /// Per-graph runtime predictions (seconds) from the training forward
-    /// pass, bit-identical to [`ZeroShotCostModel::predict`] under the
-    /// pre-step weights.  Lets trainers track a running training metric
-    /// without a separate evaluation pass.
-    pub predictions: Vec<f64>,
-}
-
-impl ZeroShotCostModel {
+impl PlanEncoder {
     /// Gather the feature vectors of a group into a batch.
     fn group_features(&self, graphs: &[&PlanGraph], group: &KindGroup) -> Batch {
         let dim = NodeKind::ALL[group.kind].feature_dim();
@@ -224,7 +281,7 @@ impl ZeroShotCostModel {
         enc_out: &Batch,
         states: &NodeStates,
     ) -> Batch {
-        let h = self.config.hidden_dim;
+        let h = self.hidden_dim;
         let n = group.members.len();
         let mut combine_in = Batch::zeros(2 * h, n);
         combine_in.copy_rows_from(0, enc_out, h);
@@ -251,18 +308,119 @@ impl ZeroShotCostModel {
     fn scatter_group_states(
         &self,
         group: &KindGroup,
-        flat_of: impl Fn(usize) -> usize,
+        offsets: &[usize],
         out: &Batch,
         states: &mut NodeStates,
     ) {
         for e in 0..group.members.len() {
-            let row = states.row_mut(flat_of(e));
+            let (gi, ni) = group.members[e];
+            let row = states.row_mut(offsets[gi] + ni);
             for (f, s) in row.iter_mut().enumerate() {
                 *s = out.get(f, e);
             }
         }
     }
 
+    /// Batched encoder forward: one hidden state per node, no backprop
+    /// caches (the inference path).  Bit-identical per node to the
+    /// per-example message passing.
+    pub fn encode_batch(&self, graphs: &[&PlanGraph], schedule: &BatchSchedule) -> NodeStates {
+        let mut states = NodeStates::zeros(self.hidden_dim, schedule.total_nodes);
+        for group in &schedule.groups {
+            let features = self.group_features(graphs, group);
+            let enc_out = self.encoders[group.kind].forward_batch(&features);
+            let combine_in = self.group_combine_input(group, &enc_out, &states);
+            let out = self.combine.forward_batch(&combine_in);
+            self.scatter_group_states(group, &schedule.offsets, &out, &mut states);
+        }
+        states
+    }
+
+    /// Batched encoder forward with per-group backprop caches (the
+    /// training path).  States are bit-identical to
+    /// [`PlanEncoder::encode_batch`].
+    pub fn encode_batch_cached(
+        &self,
+        graphs: &[&PlanGraph],
+        schedule: &BatchSchedule,
+    ) -> (NodeStates, EncoderTrace) {
+        let mut states = NodeStates::zeros(self.hidden_dim, schedule.total_nodes);
+        let mut traces = Vec::with_capacity(schedule.groups.len());
+        for group in &schedule.groups {
+            let features = self.group_features(graphs, group);
+            let (enc_out, enc_cache) = self.encoders[group.kind].forward_batch_cached(features);
+            let combine_in = self.group_combine_input(group, &enc_out, &states);
+            let (out, combine_cache) = self.combine.forward_batch_cached(combine_in);
+            self.scatter_group_states(group, &schedule.offsets, &out, &mut states);
+            traces.push(GroupTrace {
+                enc_cache,
+                combine_cache,
+            });
+        }
+        (states, EncoderTrace { groups: traces })
+    }
+
+    /// Backpropagate per-node state gradients (accumulated by one or more
+    /// task heads via [`NodeStates::scatter_add`]) through the message
+    /// passing, *accumulating* encoder parameter gradients.
+    ///
+    /// The reduction order is fixed — groups in reverse schedule order,
+    /// examples ascending within a group — making the accumulated
+    /// gradients a deterministic function of the input.
+    pub fn backward_batch(
+        &mut self,
+        schedule: &BatchSchedule,
+        trace: &EncoderTrace,
+        mut d_states: NodeStates,
+    ) {
+        let h = self.hidden_dim;
+        for (group, trace) in schedule.groups.iter().zip(&trace.groups).rev() {
+            let n = group.members.len();
+            let mut d_out = Batch::zeros(h, n);
+            for e in 0..n {
+                let (gi, ni) = group.members[e];
+                let flat = schedule.offsets[gi] + ni;
+                for (f, &v) in d_states.row(flat).iter().enumerate() {
+                    d_out.set(f, e, v);
+                }
+            }
+            let d_combine_in = self.combine.backward_batch(&trace.combine_cache, &d_out);
+            let d_enc = d_combine_in.sub_rows(0, h);
+            self.encoders[group.kind].backward_batch(&trace.enc_cache, &d_enc);
+            // Sum pooling: every child receives the parent's child-sum
+            // gradient.  Transpose the child-sum half once into node-major
+            // rows, then add whole rows per edge (vectorised).
+            let mut d_sums = vec![0.0f64; h * n];
+            for f in 0..h {
+                for (e, &g) in d_combine_in.feature_row(h + f).iter().enumerate() {
+                    d_sums[e * h + f] = g;
+                }
+            }
+            for e in 0..n {
+                let src = &d_sums[e * h..(e + 1) * h];
+                for &c in &group.children[group.child_offsets[e]..group.child_offsets[e + 1]] {
+                    for (d, &g) in d_states.row_mut(c).iter_mut().zip(src) {
+                        *d += g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of one batched gradient-accumulation pass.
+pub struct BatchBackprop {
+    /// Summed squared error on `ln(runtime)` over the mini-batch (same
+    /// convention as per-example [`ZeroShotCostModel::accumulate_gradients`]).
+    pub loss: f64,
+    /// Per-graph runtime predictions (seconds) from the training forward
+    /// pass, bit-identical to [`ZeroShotCostModel::predict`] under the
+    /// pre-step weights.  Lets trainers track a running training metric
+    /// without a separate evaluation pass.
+    pub predictions: Vec<f64>,
+}
+
+impl ZeroShotCostModel {
     /// Batched log-runtime prediction over a mini-batch of graphs,
     /// **bit-identical** per graph to
     /// [`ZeroShotCostModel::predict_log`].
@@ -282,31 +440,8 @@ impl ZeroShotCostModel {
         graphs: &[&PlanGraph],
         schedule: &BatchSchedule,
     ) -> Vec<f64> {
-        let h = self.config.hidden_dim;
-        let offsets = &schedule.offsets;
-        let mut states = NodeStates::zeros(h, schedule.total_nodes);
-        for group in &schedule.groups {
-            let features = self.group_features(graphs, group);
-            let enc_out = self.encoders[group.kind].forward_batch(&features);
-            let combine_in = self.group_combine_input(group, &enc_out, &states);
-            let out = self.combine.forward_batch(&combine_in);
-            self.scatter_group_states(
-                group,
-                |e| {
-                    let (gi, ni) = group.members[e];
-                    offsets[gi] + ni
-                },
-                &out,
-                &mut states,
-            );
-        }
-
-        let mut root_states = Batch::zeros(h, schedule.roots.len());
-        for (e, &flat) in schedule.roots.iter().enumerate() {
-            for (f, &v) in states.row(flat).iter().enumerate() {
-                root_states.set(f, e, v);
-            }
-        }
+        let states = self.encoder.encode_batch(graphs, schedule);
+        let root_states = states.gather(schedule.roots());
         let out = self.output.forward_batch(&root_states);
         out.feature_row(0).to_vec()
     }
@@ -343,41 +478,14 @@ impl ZeroShotCostModel {
         }
         let h = self.config.hidden_dim;
         let schedule = BatchSchedule::build(graphs);
-        let offsets = &schedule.offsets;
 
         // ---- Forward with caches -------------------------------------
-        let mut states = NodeStates::zeros(h, schedule.total_nodes);
-        let mut traces = Vec::with_capacity(schedule.groups.len());
-        for group in &schedule.groups {
-            let features = self.group_features(graphs, group);
-            let (enc_out, enc_cache) = self.encoders[group.kind].forward_batch_cached(features);
-            let combine_in = self.group_combine_input(group, &enc_out, &states);
-            let (out, combine_cache) = self.combine.forward_batch_cached(combine_in);
-            self.scatter_group_states(
-                group,
-                |e| {
-                    let (gi, ni) = group.members[e];
-                    offsets[gi] + ni
-                },
-                &out,
-                &mut states,
-            );
-            traces.push(GroupTrace {
-                enc_cache,
-                combine_cache,
-            });
-        }
-
-        let n_graphs = graphs.len();
-        let mut root_states = Batch::zeros(h, n_graphs);
-        for (e, &flat) in schedule.roots.iter().enumerate() {
-            for (f, &v) in states.row(flat).iter().enumerate() {
-                root_states.set(f, e, v);
-            }
-        }
+        let (states, trace) = self.encoder.encode_batch_cached(graphs, &schedule);
+        let root_states = states.gather(schedule.roots());
         let (out, output_cache) = self.output.forward_batch_cached(root_states);
 
         // ---- Loss ----------------------------------------------------
+        let n_graphs = graphs.len();
         let mut loss = 0.0;
         let mut predictions = Vec::with_capacity(n_graphs);
         let mut d_pred = Batch::zeros(1, n_graphs);
@@ -392,45 +500,9 @@ impl ZeroShotCostModel {
 
         // ---- Backward ------------------------------------------------
         let d_root = self.output.backward_batch(&output_cache, &d_pred);
-        let mut d_states = NodeStates::zeros(h, schedule.total_nodes);
-        for (e, &flat) in schedule.roots.iter().enumerate() {
-            let row = d_states.row_mut(flat);
-            for (f, d) in row.iter_mut().enumerate() {
-                *d += d_root.get(f, e);
-            }
-        }
-
-        for (group, trace) in schedule.groups.iter().zip(&traces).rev() {
-            let n = group.members.len();
-            let mut d_out = Batch::zeros(h, n);
-            for e in 0..n {
-                let (gi, ni) = group.members[e];
-                let flat = offsets[gi] + ni;
-                for (f, &v) in d_states.row(flat).iter().enumerate() {
-                    d_out.set(f, e, v);
-                }
-            }
-            let d_combine_in = self.combine.backward_batch(&trace.combine_cache, &d_out);
-            let d_enc = d_combine_in.sub_rows(0, h);
-            self.encoders[group.kind].backward_batch(&trace.enc_cache, &d_enc);
-            // Sum pooling: every child receives the parent's child-sum
-            // gradient.  Transpose the child-sum half once into node-major
-            // rows, then add whole rows per edge (vectorised).
-            let mut d_sums = vec![0.0f64; h * n];
-            for f in 0..h {
-                for (e, &g) in d_combine_in.feature_row(h + f).iter().enumerate() {
-                    d_sums[e * h + f] = g;
-                }
-            }
-            for e in 0..n {
-                let src = &d_sums[e * h..(e + 1) * h];
-                for &c in &group.children[group.child_offsets[e]..group.child_offsets[e + 1]] {
-                    for (d, &g) in d_states.row_mut(c).iter_mut().zip(src) {
-                        *d += g;
-                    }
-                }
-            }
-        }
+        let mut d_states = NodeStates::zeros(h, schedule.num_nodes());
+        d_states.scatter_add(schedule.roots(), &d_root);
+        self.encoder.backward_batch(&schedule, &trace, d_states);
         BatchBackprop { loss, predictions }
     }
 }
@@ -468,7 +540,7 @@ mod tests {
         // Every node appears exactly once across all groups, and every
         // child has been scheduled in an earlier group than its parent.
         let mut seen = vec![false; schedule.num_nodes()];
-        let offsets = &schedule.offsets;
+        let offsets = schedule.offsets();
         for group in &schedule.groups {
             for (e, &(gi, ni)) in group.members.iter().enumerate() {
                 let flat = offsets[gi] + ni;
@@ -498,6 +570,26 @@ mod tests {
                 assert_eq!(p.to_bits(), model.predict(g).to_bits());
                 assert_eq!(lp.to_bits(), model.predict_log(g).to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn encoder_states_match_per_example_hidden_states() {
+        // The exposed NodeStates rows are exactly the per-node combined
+        // hidden states the per-example path computes — the contract the
+        // multi-task heads build on.
+        let graphs = graphs();
+        let refs: Vec<&PlanGraph> = graphs.iter().take(5).collect();
+        let model = ZeroShotCostModel::new(ModelConfig::tiny());
+        let schedule = BatchSchedule::build(&refs);
+        let states = model.encoder().encode_batch(&refs, &schedule);
+        // Root rows pushed through the output MLP must reproduce the
+        // model's own predictions bit for bit.
+        for (gi, g) in refs.iter().enumerate() {
+            let flat = schedule.offsets()[gi] + g.root;
+            let root = states.row(flat).to_vec();
+            let out = model.output.forward(&root);
+            assert_eq!(out[0].to_bits(), model.predict_log(g).to_bits());
         }
     }
 

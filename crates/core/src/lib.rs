@@ -36,7 +36,7 @@ pub mod model;
 pub mod train;
 pub mod whatif;
 
-pub use batch::{BatchBackprop, BatchSchedule};
+pub use batch::{BatchBackprop, BatchSchedule, EncoderTrace, NodeStates};
 pub use dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
 pub use eval::{
     evaluate, evaluate_graphs, evaluate_predictions, median_qerror_of, predict_runtime,
@@ -44,6 +44,8 @@ pub use eval::{
 };
 pub use features::{CardinalityMode, FeatureMode, FeaturizerConfig, NodeKind, PlanGraph};
 pub use fingerprint::{graph_fingerprint, plan_fingerprint};
-pub use model::{InferenceScratch, ModelConfig, ZeroShotCostModel};
-pub use train::{few_shot_finetune, TrainedModel, Trainer, TrainingConfig};
+pub use model::{InferenceScratch, ModelConfig, PlanEncoder, ZeroShotCostModel};
+pub use train::{
+    compute_shard_results, few_shot_finetune, ReplicaSync, TrainedModel, Trainer, TrainingConfig,
+};
 pub use whatif::WhatIfCostEstimator;

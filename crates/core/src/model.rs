@@ -52,14 +52,99 @@ impl ModelConfig {
     }
 }
 
-/// The zero-shot cost model.
+/// The shared plan-graph encoder: per-node-kind encoder MLPs plus the
+/// DeepSets combine MLP, producing one hidden state per graph node.
+///
+/// This is the *task-independent* part of every zero-shot model.  The
+/// single-head [`ZeroShotCostModel`] puts one output MLP on top of the
+/// root state; the multi-task model (`zsdb_multitask`) attaches several
+/// task heads to the same states.  The batched (level, kind)-scheduled
+/// message passing lives in [`crate::batch`] as methods on this type.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ZeroShotCostModel {
-    pub(crate) config: ModelConfig,
+pub struct PlanEncoder {
+    /// Hidden dimension of node states.
+    pub(crate) hidden_dim: usize,
     /// One encoder per node kind, indexed by `NodeKind::index()`.
     pub(crate) encoders: Vec<Mlp>,
     /// Combine MLP: `[own encoding ‖ sum of child states] → hidden`.
     pub(crate) combine: Mlp,
+}
+
+impl PlanEncoder {
+    /// Create a freshly initialised encoder.  The per-kind encoder seeds
+    /// and the combine seed are derived from `seed` exactly as the
+    /// original single-head model derived them, so a `PlanEncoder` built
+    /// with the same `(hidden_dim, seed)` is weight-identical to the
+    /// encoder half of a pre-refactor `ZeroShotCostModel`.
+    pub fn new(hidden_dim: usize, seed: u64) -> Self {
+        let encoders = NodeKind::ALL
+            .iter()
+            .map(|kind| {
+                Mlp::new(
+                    &[kind.feature_dim(), hidden_dim, hidden_dim],
+                    Activation::LeakyRelu,
+                    seed ^ (kind.index() as u64 + 1),
+                )
+            })
+            .collect();
+        let combine = Mlp::new(
+            &[2 * hidden_dim, hidden_dim, hidden_dim],
+            Activation::LeakyRelu,
+            seed ^ 0x10,
+        );
+        PlanEncoder {
+            hidden_dim,
+            encoders,
+            combine,
+        }
+    }
+
+    /// Hidden dimension of the node states this encoder produces.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Total number of trainable encoder parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.encoders.iter().map(Mlp::num_parameters).sum::<usize>() + self.combine.num_parameters()
+    }
+
+    /// Every parameter buffer in canonical order (encoders by node kind,
+    /// then combine; weights before bias per layer).
+    pub fn params(&self) -> Vec<&zsdb_nn::ParamBuf> {
+        let mut params = Vec::new();
+        for e in &self.encoders {
+            params.extend(e.params());
+        }
+        params.extend(self.combine.params());
+        params
+    }
+
+    /// Mutable counterpart of [`PlanEncoder::params`], same order.
+    pub fn params_mut(&mut self) -> Vec<&mut zsdb_nn::ParamBuf> {
+        let mut params = Vec::new();
+        for e in &mut self.encoders {
+            params.extend(e.params_mut());
+        }
+        params.extend(self.combine.params_mut());
+        params
+    }
+
+    /// Zero all encoder parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.encoders {
+            e.zero_grad();
+        }
+        self.combine.zero_grad();
+    }
+}
+
+/// The zero-shot cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZeroShotCostModel {
+    pub(crate) config: ModelConfig,
+    /// Shared plan-graph encoder (node-kind encoders + combine MLP).
+    pub(crate) encoder: PlanEncoder,
     /// Output MLP: root hidden state → predicted `ln(runtime_secs)`.
     pub(crate) output: Mlp,
 }
@@ -99,27 +184,15 @@ struct ForwardTrace {
 impl ZeroShotCostModel {
     /// Create a freshly initialised model.
     pub fn new(config: ModelConfig) -> Self {
-        let h = config.hidden_dim;
-        let encoders = NodeKind::ALL
-            .iter()
-            .map(|kind| {
-                Mlp::new(
-                    &[kind.feature_dim(), h, h],
-                    Activation::LeakyRelu,
-                    config.seed ^ (kind.index() as u64 + 1),
-                )
-            })
-            .collect();
-        let combine = Mlp::new(&[2 * h, h, h], Activation::LeakyRelu, config.seed ^ 0x10);
+        let encoder = PlanEncoder::new(config.hidden_dim, config.seed);
         let output = Mlp::new(
-            &[h, config.output_hidden_dim, 1],
+            &[config.hidden_dim, config.output_hidden_dim, 1],
             Activation::LeakyRelu,
             config.seed ^ 0x20,
         );
         ZeroShotCostModel {
             config,
-            encoders,
-            combine,
+            encoder,
             output,
         }
     }
@@ -129,11 +202,14 @@ impl ZeroShotCostModel {
         &self.config
     }
 
+    /// The shared plan-graph encoder.
+    pub fn encoder(&self) -> &PlanEncoder {
+        &self.encoder
+    }
+
     /// Total number of trainable parameters.
     pub fn num_parameters(&self) -> usize {
-        self.encoders.iter().map(Mlp::num_parameters).sum::<usize>()
-            + self.combine.num_parameters()
-            + self.output.num_parameters()
+        self.encoder.num_parameters() + self.output.num_parameters()
     }
 
     /// Predict the runtime (in seconds) of a featurized plan.
@@ -174,7 +250,8 @@ impl ZeroShotCostModel {
             combine_input.clear();
             combine_input.reserve(2 * h);
             combine_input.extend_from_slice(
-                self.encoders[node.kind.index()].forward_into(&node.features, &mut scratch.mlp),
+                self.encoder.encoders[node.kind.index()]
+                    .forward_into(&node.features, &mut scratch.mlp),
             );
             combine_input.resize(2 * h, 0.0);
             let (_, sum) = combine_input.split_at_mut(h);
@@ -183,7 +260,10 @@ impl ZeroShotCostModel {
                     *s += v;
                 }
             }
-            let state = self.combine.forward_into(combine_input, &mut scratch.mlp);
+            let state = self
+                .encoder
+                .combine
+                .forward_into(combine_input, &mut scratch.mlp);
             scratch.states[idx].clear();
             scratch.states[idx].extend_from_slice(state);
         }
@@ -199,7 +279,7 @@ impl ZeroShotCostModel {
         let mut combine: Vec<(Vec<f64>, MlpCache)> = Vec::with_capacity(graph.len());
 
         for node in &graph.nodes {
-            let enc = self.encoders[node.kind.index()].forward_cached(&node.features);
+            let enc = self.encoder.encoders[node.kind.index()].forward_cached(&node.features);
             // Children appear before parents, so their combined states exist.
             let mut sum = vec![0.0; h];
             for &c in &node.children {
@@ -210,7 +290,7 @@ impl ZeroShotCostModel {
             }
             let mut combine_input = enc.0.clone();
             combine_input.extend_from_slice(&sum);
-            let comb = self.combine.forward_cached(&combine_input);
+            let comb = self.encoder.combine.forward_cached(&combine_input);
             encoder.push(enc);
             child_sums.push(sum);
             combine.push(comb);
@@ -252,10 +332,10 @@ impl ZeroShotCostModel {
                 continue;
             }
             // Backprop through the combine MLP of this node.
-            let d_combine_input = self.combine.backward(&trace.combine[idx].1, &grad);
+            let d_combine_input = self.encoder.combine.backward(&trace.combine[idx].1, &grad);
             let (d_enc, d_children_sum) = d_combine_input.split_at(h);
             // Encoder gradient.
-            self.encoders[node.kind.index()].backward(&trace.encoder[idx].1, d_enc);
+            self.encoder.encoders[node.kind.index()].backward(&trace.encoder[idx].1, d_enc);
             // Each child receives the same gradient (sum pooling).
             for &c in &node.children {
                 for (acc, g) in d_state[c].iter_mut().zip(d_children_sum) {
@@ -271,10 +351,7 @@ impl ZeroShotCostModel {
 
     /// Zero all parameter gradients.
     pub fn zero_grad(&mut self) {
-        for e in &mut self.encoders {
-            e.zero_grad();
-        }
-        self.combine.zero_grad();
+        self.encoder.zero_grad();
         self.output.zero_grad();
     }
 
@@ -290,11 +367,7 @@ impl ZeroShotCostModel {
     /// layer).  This order defines the layout of the flat gradient vectors
     /// used by the deterministic shard reduction in the trainer.
     pub(crate) fn all_params(&self) -> Vec<&zsdb_nn::ParamBuf> {
-        let mut params = Vec::new();
-        for e in &self.encoders {
-            params.extend(e.params());
-        }
-        params.extend(self.combine.params());
+        let mut params = self.encoder.params();
         params.extend(self.output.params());
         params
     }
@@ -302,11 +375,7 @@ impl ZeroShotCostModel {
     /// Mutable counterpart of [`ZeroShotCostModel::all_params`], same
     /// order.
     pub(crate) fn all_params_mut(&mut self) -> Vec<&mut zsdb_nn::ParamBuf> {
-        let mut params = Vec::new();
-        for e in &mut self.encoders {
-            params.extend(e.params_mut());
-        }
-        params.extend(self.combine.params_mut());
+        let mut params = self.encoder.params_mut();
         params.extend(self.output.params_mut());
         params
     }

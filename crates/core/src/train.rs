@@ -386,31 +386,104 @@ struct ShardResult {
     qerrors: Vec<f64>,
 }
 
-/// Compute the flat gradient vector of every micro-batch shard, in shard
-/// order, using up to `replicas.len()` worker threads.
+/// A model whose weights can be mirrored into per-thread training
+/// replicas — the only capability the generic sharded gradient scheduler
+/// ([`compute_shard_results`]) needs from a model.
 ///
-/// Every shard's gradient is accumulated into a zeroed replica and
-/// exported as a flat vector; the caller reduces the vectors in ascending
-/// shard order.  Work distribution across threads is dynamic (an atomic
-/// cursor), but since each shard is computed independently, the *results*
-/// — and therefore training — do not depend on which thread computed
-/// which shard.
-fn compute_shard_gradients(
-    model: &ZeroShotCostModel,
-    replicas: &mut [ZeroShotCostModel],
-    train_graphs: &[PlanGraph],
+/// Implemented by the single-head [`ZeroShotCostModel`] and by the
+/// multi-task model in `zsdb_multitask`, so both trainers share one
+/// deterministic data-parallel engine regardless of how many task heads
+/// hang off the encoder.
+pub trait ReplicaSync: Clone + Send {
+    /// Copy the parameter *values* (not gradients or optimizer moments)
+    /// from `src` into `self`.
+    fn sync_weights_from(&mut self, src: &Self);
+}
+
+impl ReplicaSync for ZeroShotCostModel {
+    fn sync_weights_from(&mut self, src: &Self) {
+        self.copy_weights_from(src);
+    }
+}
+
+/// Run `run_shard` over every micro-batch shard, in shard order, using up
+/// to `replicas.len()` worker threads, and return the per-shard results in
+/// ascending shard order.
+///
+/// This is the deterministic data-parallel core shared by every trainer in
+/// the workspace (single-head and multi-task): each shard is computed
+/// against a replica freshly synced to `model`'s weights, work
+/// distribution across threads is dynamic (an atomic cursor), but since
+/// each shard is computed independently and results are returned in shard
+/// order, the *outcome* — and therefore training — does not depend on
+/// which thread computed which shard or how many threads ran.
+///
+/// `run_shard` is expected to zero the replica's gradients, accumulate the
+/// shard and export whatever the trainer reduces (typically a flat
+/// gradient vector plus metrics).
+pub fn compute_shard_results<M, R, F>(
+    model: &M,
+    replicas: &mut [M],
     micro_batches: &[&[usize]],
-) -> Vec<ShardResult> {
+    run_shard: F,
+) -> Vec<R>
+where
+    M: ReplicaSync,
+    R: Send,
+    F: Fn(&mut M, &[usize]) -> R + Sync,
+{
     // Only the replicas that will actually run a shard need this step's
     // weights (e.g. the final partial mini-batch of an epoch may have a
     // single shard).
     let used = replicas.len().min(micro_batches.len()).max(1);
     let replicas = &mut replicas[..used];
     for replica in replicas.iter_mut() {
-        replica.copy_weights_from(model);
+        replica.sync_weights_from(model);
     }
 
-    let run_shard = |replica: &mut ZeroShotCostModel, shard: &[usize]| -> ShardResult {
+    if replicas.len() <= 1 || micro_batches.len() <= 1 {
+        let replica = replicas.first_mut().expect("at least one replica");
+        return micro_batches
+            .iter()
+            .map(|shard| run_shard(replica, shard))
+            .collect();
+    }
+
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..micro_batches.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for replica in replicas.iter_mut() {
+            let slots = &slots;
+            let cursor = &cursor;
+            let run_shard = &run_shard;
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= micro_batches.len() {
+                    break;
+                }
+                let result = run_shard(replica, micro_batches[k]);
+                slots.lock().expect("shard slots poisoned")[k] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("shard slots poisoned")
+        .into_iter()
+        .map(|s| s.expect("every shard computed"))
+        .collect()
+}
+
+/// Compute the flat gradient vector of every micro-batch shard of the
+/// single-head cost model (see [`compute_shard_results`] for the
+/// scheduling and determinism contract).
+fn compute_shard_gradients(
+    model: &ZeroShotCostModel,
+    replicas: &mut [ZeroShotCostModel],
+    train_graphs: &[PlanGraph],
+    micro_batches: &[&[usize]],
+) -> Vec<ShardResult> {
+    compute_shard_results(model, replicas, micro_batches, |replica, shard| {
         let refs: Vec<&PlanGraph> = shard.iter().map(|&i| &train_graphs[i]).collect();
         let targets: Vec<f64> = refs
             .iter()
@@ -429,39 +502,7 @@ fn compute_shard_gradients(
                 .map(|(p, t)| q_error(*p, *t))
                 .collect(),
         }
-    };
-
-    if replicas.len() <= 1 || micro_batches.len() <= 1 {
-        let replica = replicas.first_mut().expect("at least one replica");
-        return micro_batches
-            .iter()
-            .map(|shard| run_shard(replica, shard))
-            .collect();
-    }
-
-    let slots: Mutex<Vec<Option<ShardResult>>> =
-        Mutex::new((0..micro_batches.len()).map(|_| None).collect());
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for replica in replicas.iter_mut() {
-            let slots = &slots;
-            let cursor = &cursor;
-            scope.spawn(move || loop {
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                if k >= micro_batches.len() {
-                    break;
-                }
-                let flat = run_shard(replica, micro_batches[k]);
-                slots.lock().expect("gradient slots poisoned")[k] = Some(flat);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("gradient slots poisoned")
-        .into_iter()
-        .map(|s| s.expect("every shard computed"))
-        .collect()
+    })
 }
 
 /// Median Q-error of a model over labelled graphs, evaluated through the

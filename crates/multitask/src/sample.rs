@@ -1,0 +1,183 @@
+//! Multi-task training samples: a featurized plan graph plus the per-task
+//! labels extracted from an executed query.
+//!
+//! The featurizer in `zsdb_core` emits plan-operator nodes in **post-order
+//! of the physical plan tree** (children before parents, attached
+//! table/column/predicate nodes interleaved).  The executed tree
+//! ([`ExecutedNode`]) has exactly the plan's shape, so walking it in the
+//! same post-order aligns the true per-operator cardinalities with the
+//! graph's plan-operator nodes — verified by a structural assertion on
+//! every sample.
+
+use serde::{Deserialize, Serialize};
+use zsdb_catalog::SchemaCatalog;
+use zsdb_core::features::{featurize_execution, FeaturizerConfig, NodeKind, PlanGraph};
+use zsdb_engine::{ExecutedNode, QueryExecution};
+
+/// Per-task regression targets of one executed query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTargets {
+    /// Simulated runtime in seconds (the cost head's target).
+    pub runtime_secs: f64,
+    /// True number of rows entering the root aggregate — the query's
+    /// result cardinality before aggregation (the root-cardinality head's
+    /// target).
+    pub root_rows: f64,
+    /// True output cardinality of every plan operator, aligned with the
+    /// graph's [`NodeKind::PlanOperator`] nodes in node-index order (the
+    /// per-operator head's targets).
+    pub operator_rows: Vec<f64>,
+}
+
+/// One multi-task training example: the featurized plan graph together
+/// with all task labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTaskSample {
+    /// The featurized plan graph (shared input of every task head).
+    pub graph: PlanGraph,
+    /// The per-task labels.
+    pub targets: TaskTargets,
+}
+
+/// Indices of the plan-operator nodes of `graph`, ascending — the nodes
+/// whose hidden states feed the per-operator cardinality head, aligned
+/// with [`TaskTargets::operator_rows`].
+pub fn operator_node_indices(graph: &PlanGraph) -> Vec<usize> {
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.kind == NodeKind::PlanOperator)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// True output cardinalities of the executed tree in post-order (children
+/// first, in child order) — the order the featurizer emits plan-operator
+/// nodes in.
+fn post_order_cardinalities(node: &ExecutedNode, out: &mut Vec<f64>) {
+    for child in &node.children {
+        post_order_cardinalities(child, out);
+    }
+    out.push(node.actual_cardinality as f64);
+}
+
+/// Build a multi-task sample from an executed query: featurize the plan
+/// against `catalog` and extract all task labels from the executed tree.
+///
+/// The root-cardinality label is the true cardinality *entering* the root
+/// operator (the result of the join tree before the scalar aggregation
+/// collapses it) — for the workspace's aggregate-rooted plans that is the
+/// root's single child; a plan without children labels the root itself.
+pub fn sample_from_execution(
+    catalog: &SchemaCatalog,
+    execution: &QueryExecution,
+    featurizer: FeaturizerConfig,
+) -> MultiTaskSample {
+    let graph = featurize_execution(catalog, execution, featurizer);
+    let mut operator_rows = Vec::with_capacity(execution.executed.size());
+    post_order_cardinalities(&execution.executed, &mut operator_rows);
+    assert_eq!(
+        operator_rows.len(),
+        graph.count_kind(NodeKind::PlanOperator),
+        "executed tree and featurized graph disagree on the operator count"
+    );
+    let root_rows = execution
+        .executed
+        .children
+        .first()
+        .map(|c| c.actual_cardinality)
+        .unwrap_or(execution.executed.actual_cardinality) as f64;
+    MultiTaskSample {
+        graph,
+        targets: TaskTargets {
+            runtime_secs: execution.runtime_secs,
+            root_rows,
+            operator_rows,
+        },
+    }
+}
+
+/// Featurize a whole corpus of executions against per-database catalogs
+/// (mirrors [`zsdb_core::Trainer::featurize_corpus`] for multi-task
+/// samples).
+pub fn samples_from_executions<'a, F>(
+    executions: &[QueryExecution],
+    mut catalog_of: F,
+    featurizer: FeaturizerConfig,
+) -> Vec<MultiTaskSample>
+where
+    F: FnMut(&str) -> &'a SchemaCatalog,
+{
+    executions
+        .iter()
+        .map(|e| sample_from_execution(catalog_of(&e.database), e, featurizer))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::presets;
+    use zsdb_engine::QueryRunner;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    fn executions() -> (Database, Vec<QueryExecution>) {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 12, 1);
+        let execs = runner.run_workload(&queries, 0);
+        (db, execs)
+    }
+
+    #[test]
+    fn operator_labels_align_with_graph_operator_nodes() {
+        let (db, execs) = executions();
+        for e in &execs {
+            let sample = sample_from_execution(db.catalog(), e, FeaturizerConfig::exact());
+            let ops = operator_node_indices(&sample.graph);
+            assert_eq!(ops.len(), sample.targets.operator_rows.len());
+            assert_eq!(ops.len(), e.plan.size());
+            // The graph root is the last plan-operator node, and its label
+            // is the executed root's cardinality.
+            assert_eq!(*ops.last().unwrap(), sample.graph.root);
+            assert_eq!(
+                *sample.targets.operator_rows.last().unwrap(),
+                e.executed.actual_cardinality as f64
+            );
+            // With exact-cardinality featurization, every operator node's
+            // cardinality feature is exactly log1p of its label — the
+            // strongest possible alignment check.
+            let kind_slots = zsdb_engine::PhysOperatorKind::ALL.len();
+            for (k, &ni) in ops.iter().enumerate() {
+                let feat = sample.graph.nodes[ni].features[kind_slots];
+                let expected = (sample.targets.operator_rows[k] + 1.0).ln();
+                assert!(
+                    (feat - expected).abs() < 1e-9,
+                    "operator {k}: feature {feat} vs label-derived {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_rows_is_the_aggregate_input() {
+        let (db, execs) = executions();
+        for e in &execs {
+            let sample = sample_from_execution(db.catalog(), e, FeaturizerConfig::exact());
+            let expected = e.executed.children[0].actual_cardinality as f64;
+            assert_eq!(sample.targets.root_rows, expected);
+            assert_eq!(sample.targets.runtime_secs, e.runtime_secs);
+        }
+    }
+
+    #[test]
+    fn samples_serialize_roundtrip() {
+        let (db, execs) = executions();
+        let sample = sample_from_execution(db.catalog(), &execs[0], FeaturizerConfig::estimated());
+        let json = serde_json::to_string(&sample).unwrap();
+        let back: MultiTaskSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(sample, back);
+    }
+}

@@ -14,6 +14,11 @@
 //!   pool consuming a **bounded** MPSC queue (backpressure instead of
 //!   unbounded growth), sharing one read-only model and answering each
 //!   request bit-identically to the single-threaded path.
+//! * [`multitask`] — the same worker-pool serving for multi-task models
+//!   (`zsdb_multitask`): one submitted plan answers **every** task head
+//!   (cost, root cardinality, per-operator cardinalities) from a single
+//!   shared-encoder pass; the registry stores multi-task artifacts with
+//!   per-head integrity probes.
 //! * [`cache`] — an LRU feature cache keyed by the structural plan
 //!   fingerprint ([`zsdb_core::fingerprint`]), so repeated query shapes
 //!   skip featurization entirely.
@@ -41,13 +46,21 @@
 pub mod cache;
 pub mod error;
 pub mod metrics;
+pub mod multitask;
 pub mod registry;
 pub mod server;
 
 pub use cache::{CacheStats, FeatureCache};
 pub use error::ServeError;
 pub use metrics::{MetricsSnapshot, ServeMetrics, BATCH_SIZE_BUCKET_LABELS};
-pub use registry::{ArtifactManifest, IntegrityProbe, ModelRegistry, ARTIFACT_FORMAT_VERSION};
+pub use multitask::{
+    MultiTaskBatchTicket, MultiTaskPredictionServer, MultiTaskPredictionTicket,
+    ServedMultiTaskPrediction,
+};
+pub use registry::{
+    ArtifactManifest, IntegrityProbe, ModelRegistry, MultiTaskArtifactManifest,
+    MultiTaskIntegrityProbe, ARTIFACT_FORMAT_VERSION,
+};
 pub use server::{
     BatchPredictionTicket, Prediction, PredictionServer, PredictionTicket, RejectedRequest,
     ServerConfig,

@@ -1,0 +1,407 @@
+//! Concurrent serving of multi-task models: one submitted plan, **all**
+//! task heads answered.
+//!
+//! Same architecture as the single-task [`PredictionServer`]: a
+//! `std::thread` worker pool over a bounded MPSC queue (blocking
+//! backpressure on [`MultiTaskPredictionServer::submit`]), one shared
+//! read-only model, the fingerprint-keyed LRU [`FeatureCache`] so repeated
+//! plan shapes skip featurization, and the same [`ServeMetrics`].  A
+//! request is featurized **once** and pushed through the shared encoder
+//! **once**; the cost, root-cardinality and per-operator heads all read
+//! that single pass — which is the point of the multi-task subsystem: the
+//! marginal cost of an extra task at serving time is one tiny head MLP,
+//! not another model.
+//!
+//! Served predictions are bit-identical to the single-threaded
+//! `model.predict(featurize_plan(…))` path, for every head.
+//!
+//! Implementation note: this module deliberately mirrors the worker-pool
+//! machinery of [`server`](crate::server) instead of making that server
+//! generic — the single-task `Prediction`/ticket types are pinned public
+//! API.  When changing queue handling, metrics recording or shutdown
+//! ordering in either module, mirror the change in the other.
+//!
+//! [`PredictionServer`]: crate::PredictionServer
+
+use crate::cache::{CacheStats, FeatureCache};
+use crate::error::ServeError;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::server::ServerConfig;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zsdb_catalog::SchemaCatalog;
+use zsdb_core::features::featurize_plan;
+use zsdb_core::fingerprint::plan_fingerprint;
+use zsdb_core::PlanGraph;
+use zsdb_engine::PlanNode;
+use zsdb_multitask::{MultiTaskPrediction, TrainedMultiTaskModel};
+
+/// One answered multi-task request: every head's output from one submit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedMultiTaskPrediction {
+    /// All task-head outputs (runtime, root cardinality, per-operator
+    /// cardinalities).
+    pub tasks: MultiTaskPrediction,
+    /// Structural fingerprint of the request plan.
+    pub fingerprint: u64,
+    /// Whether featurization was skipped thanks to the feature cache.
+    pub cache_hit: bool,
+    /// Enqueue-to-response latency.
+    pub latency: Duration,
+}
+
+/// Claim ticket for an in-flight multi-task request; redeem with
+/// [`MultiTaskPredictionTicket::wait`].
+pub struct MultiTaskPredictionTicket {
+    rx: mpsc::Receiver<ServedMultiTaskPrediction>,
+}
+
+impl MultiTaskPredictionTicket {
+    /// Block until the prediction is ready.  Fails with
+    /// [`ServeError::Closed`] if the server shut down before answering.
+    pub fn wait(self) -> Result<ServedMultiTaskPrediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// Claim ticket for an in-flight multi-task batch; redeem with
+/// [`MultiTaskBatchTicket::wait`].
+pub struct MultiTaskBatchTicket {
+    parts: Vec<mpsc::Receiver<Vec<ServedMultiTaskPrediction>>>,
+}
+
+impl MultiTaskBatchTicket {
+    /// Block until all predictions of the batch are ready, in submission
+    /// order.
+    pub fn wait(self) -> Result<Vec<ServedMultiTaskPrediction>, ServeError> {
+        let mut predictions = Vec::new();
+        for part in self.parts {
+            predictions.extend(part.recv().map_err(|_| ServeError::Closed)?);
+        }
+        Ok(predictions)
+    }
+}
+
+enum Job {
+    Single {
+        plan: PlanNode,
+        enqueued: Instant,
+        reply: mpsc::Sender<ServedMultiTaskPrediction>,
+    },
+    Batch {
+        plans: Vec<PlanNode>,
+        enqueued: Instant,
+        reply: mpsc::Sender<Vec<ServedMultiTaskPrediction>>,
+    },
+}
+
+struct Shared {
+    model: TrainedMultiTaskModel,
+    catalog: SchemaCatalog,
+    cache: FeatureCache,
+    metrics: ServeMetrics,
+}
+
+/// A running all-heads prediction service over one trained multi-task
+/// model and one database catalog.
+pub struct MultiTaskPredictionServer {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+}
+
+impl MultiTaskPredictionServer {
+    /// Spawn the worker pool and start accepting requests.  Reuses the
+    /// single-task [`ServerConfig`] tunables.
+    pub fn start(
+        model: TrainedMultiTaskModel,
+        catalog: SchemaCatalog,
+        config: ServerConfig,
+    ) -> Self {
+        assert!(config.workers > 0, "a server needs at least one worker");
+        assert!(
+            config.queue_capacity > 0,
+            "a zero-capacity queue would reject every request"
+        );
+        let shared = Arc::new(Shared {
+            model,
+            catalog,
+            cache: FeatureCache::new(config.cache_capacity),
+            metrics: ServeMetrics::new(),
+        });
+        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("zsdb-serve-mt-{i}"))
+                    .spawn(move || worker_loop(&shared, &receiver))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        MultiTaskPredictionServer {
+            sender: Some(sender),
+            workers,
+            shared,
+            config,
+        }
+    }
+
+    /// Enqueue a prediction request, blocking while the queue is full
+    /// (backpressure).  One submit answers **every** task head.
+    pub fn submit(&self, plan: PlanNode) -> Result<MultiTaskPredictionTicket, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        let job = Job::Single {
+            plan,
+            enqueued: Instant::now(),
+            reply,
+        };
+        self.sender
+            .as_ref()
+            .ok_or(ServeError::Closed)?
+            .send(job)
+            .map_err(|_| ServeError::Closed)?;
+        Ok(MultiTaskPredictionTicket { rx })
+    }
+
+    /// Enqueue a batch of plans (split into
+    /// [`ServerConfig::max_batch_size`] chunks, each one bounded-queue
+    /// slot); a worker featurizes each chunk in one cache-assisted sweep
+    /// and answers all heads with a single shared-encoder batched pass.
+    pub fn submit_batch(&self, plans: Vec<PlanNode>) -> Result<MultiTaskBatchTicket, ServeError> {
+        let max = self.config.max_batch_size.max(1);
+        let mut parts = Vec::with_capacity(plans.len().div_ceil(max).max(1));
+        let mut remaining = plans;
+        while !remaining.is_empty() {
+            let rest = if remaining.len() > max {
+                remaining.split_off(max)
+            } else {
+                Vec::new()
+            };
+            let chunk = std::mem::replace(&mut remaining, rest);
+            let (reply, rx) = mpsc::channel();
+            let job = Job::Batch {
+                plans: chunk,
+                enqueued: Instant::now(),
+                reply,
+            };
+            self.sender
+                .as_ref()
+                .ok_or(ServeError::Closed)?
+                .send(job)
+                .map_err(|_| ServeError::Closed)?;
+            parts.push(rx);
+        }
+        Ok(MultiTaskBatchTicket { parts })
+    }
+
+    /// Submit and wait for the all-heads answer.
+    pub fn predict_blocking(
+        &self,
+        plan: PlanNode,
+    ) -> Result<ServedMultiTaskPrediction, ServeError> {
+        self.submit(plan)?.wait()
+    }
+
+    /// Current serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.stats(), self.config.workers)
+    }
+
+    /// Feature-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Drain the queue, stop all workers and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_workers();
+        self.metrics()
+    }
+
+    fn stop_workers(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MultiTaskPredictionServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn featurize_cached(shared: &Shared, plan: &PlanNode) -> (Arc<PlanGraph>, u64, bool) {
+    let fingerprint = plan_fingerprint(plan);
+    let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
+        featurize_plan(&shared.catalog, plan, shared.model.featurizer)
+    });
+    (graph, fingerprint, cache_hit)
+}
+
+fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never during
+        // inference.
+        let job = match receiver.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: shutdown
+        };
+        match job {
+            Job::Single {
+                plan,
+                enqueued,
+                reply,
+            } => {
+                let (graph, fingerprint, cache_hit) = featurize_cached(shared, &plan);
+                let tasks = shared.model.predict(&graph);
+                let latency = enqueued.elapsed();
+                shared.metrics.record(latency);
+                let _ = reply.send(ServedMultiTaskPrediction {
+                    tasks,
+                    fingerprint,
+                    cache_hit,
+                    latency,
+                });
+            }
+            Job::Batch {
+                plans,
+                enqueued,
+                reply,
+            } => {
+                let mut fingerprints = Vec::with_capacity(plans.len());
+                let mut cache_hits = Vec::with_capacity(plans.len());
+                let mut graphs = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    let (graph, fingerprint, cache_hit) = featurize_cached(shared, plan);
+                    fingerprints.push(fingerprint);
+                    cache_hits.push(cache_hit);
+                    graphs.push(graph);
+                }
+                let refs: Vec<&PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
+                let all_tasks = shared.model.predict_batch(&refs);
+                let latency = enqueued.elapsed();
+                shared.metrics.record_batch(plans.len(), latency);
+                let predictions = all_tasks
+                    .into_iter()
+                    .zip(fingerprints)
+                    .zip(cache_hits)
+                    .map(
+                        |((tasks, fingerprint), cache_hit)| ServedMultiTaskPrediction {
+                            tasks,
+                            fingerprint,
+                            cache_hit,
+                            latency,
+                        },
+                    )
+                    .collect();
+                let _ = reply.send(predictions);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsdb_catalog::presets;
+    use zsdb_core::features::FeaturizerConfig;
+    use zsdb_core::TrainingConfig;
+    use zsdb_engine::QueryRunner;
+    use zsdb_multitask::{sample_from_execution, MultiTaskConfig, MultiTaskTrainer};
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    fn fixture() -> (TrainedMultiTaskModel, SchemaCatalog, Vec<PlanNode>) {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 15, 1);
+        let samples: Vec<_> = runner
+            .run_workload(&queries, 0)
+            .iter()
+            .map(|e| sample_from_execution(db.catalog(), e, FeaturizerConfig::estimated()))
+            .collect();
+        let trainer = MultiTaskTrainer::new(
+            MultiTaskConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                validation_fraction: 0.0,
+                early_stopping_patience: 0,
+                batch_size: 8,
+                microbatch_size: 4,
+                ..TrainingConfig::default()
+            },
+            FeaturizerConfig::estimated(),
+        );
+        let model = trainer.train(&samples);
+        let plans = runner.plan_workload(&queries);
+        (model, db.catalog().clone(), plans)
+    }
+
+    #[test]
+    fn one_submit_answers_every_head_bit_identically() {
+        let (model, catalog, plans) = fixture();
+        let server = MultiTaskPredictionServer::start(
+            model.clone(),
+            catalog.clone(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        for plan in &plans {
+            let served = server.predict_blocking(plan.clone()).unwrap();
+            let reference = model.predict(&featurize_plan(&catalog, plan, model.featurizer));
+            assert_eq!(
+                served.tasks.runtime_secs.to_bits(),
+                reference.runtime_secs.to_bits()
+            );
+            assert_eq!(
+                served.tasks.root_rows.to_bits(),
+                reference.root_rows.to_bits()
+            );
+            assert_eq!(served.tasks.operator_rows, reference.operator_rows);
+            assert_eq!(served.fingerprint, plan_fingerprint(plan));
+        }
+    }
+
+    #[test]
+    fn batch_submission_matches_singles_and_hits_the_cache() {
+        let (model, catalog, plans) = fixture();
+        let server = MultiTaskPredictionServer::start(model, catalog, ServerConfig::default());
+        let singles: Vec<ServedMultiTaskPrediction> = plans
+            .iter()
+            .map(|p| server.predict_blocking(p.clone()).unwrap())
+            .collect();
+        let batch = server.submit_batch(plans.clone()).unwrap().wait().unwrap();
+        assert_eq!(batch.len(), plans.len());
+        for (single, batched) in singles.iter().zip(&batch) {
+            assert_eq!(
+                single.tasks.runtime_secs.to_bits(),
+                batched.tasks.runtime_secs.to_bits()
+            );
+            assert_eq!(
+                single.tasks.root_rows.to_bits(),
+                batched.tasks.root_rows.to_bits()
+            );
+            assert_eq!(single.tasks.operator_rows, batched.tasks.operator_rows);
+            assert!(batched.cache_hit, "singles warmed the cache");
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.total_requests, 2 * plans.len() as u64);
+    }
+}

@@ -17,6 +17,13 @@
 //! refuses to return a model whose outputs changed — catching artifact
 //! corruption, lossy float round-trips, or a drifted inference
 //! implementation before bad predictions ever reach a client.
+//!
+//! **Multi-task artifacts.**  A [`TrainedMultiTaskModel`] is
+//! registered through [`ModelRegistry::register_multitask`] into the same
+//! name/version scheme, as `multitask_manifest.json` +
+//! `multitask_model.json`; its integrity probes record the bit-patterns of
+//! **every head** (cost, root cardinality, per-operator cardinalities),
+//! all re-verified on [`ModelRegistry::load_multitask`].
 
 use crate::error::ServeError;
 use serde::{Deserialize, Serialize};
@@ -27,6 +34,7 @@ use zsdb_core::fingerprint::graph_fingerprint;
 use zsdb_core::model::ModelConfig;
 use zsdb_core::train::TrainedModel;
 use zsdb_core::FeaturizerConfig;
+use zsdb_multitask::{MultiTaskConfig, TaskHead, TrainedMultiTaskModel};
 
 /// On-disk artifact format version understood by this build.
 ///
@@ -38,7 +46,16 @@ use zsdb_core::FeaturizerConfig;
 ///   are rejected with a clean
 ///   [`ServeError::FormatVersionMismatch`](crate::ServeError) instead of
 ///   a parse error.
-pub const ARTIFACT_FORMAT_VERSION: u32 = 2;
+/// * **3** — the model weights are restructured around the shared
+///   [`PlanEncoder`](zsdb_core::PlanEncoder) (the `zsdb_multitask`
+///   subsystem), changing the serialized `ZeroShotCostModel` layout, and
+///   multi-task artifacts (`multitask_manifest.json` /
+///   `multitask_model.json` with per-head integrity probes) are
+///   introduced.  Version-2 artifacts use the flat pre-encoder weight
+///   layout and are rejected with a clean
+///   [`ServeError::FormatVersionMismatch`](crate::ServeError) instead of
+///   a parse error.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 3;
 
 /// Maximum number of integrity probes stored per artifact.
 const MAX_PROBES: usize = 8;
@@ -76,6 +93,48 @@ pub struct ArtifactManifest {
     pub final_train_qerror: f64,
     /// Prediction round-trip probes verified on every load.
     pub probes: Vec<IntegrityProbe>,
+}
+
+/// One all-heads prediction round-trip probe of a multi-task artifact: a
+/// featurized plan graph plus the bit-exact outputs *every* task head
+/// produced at registration time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTaskIntegrityProbe {
+    /// Stable fingerprint of the probe graph (diagnostics).
+    pub graph_fingerprint: u64,
+    /// The probe graph itself.
+    pub graph: PlanGraph,
+    /// `f64::to_bits` of the cost head's runtime prediction.
+    pub cost_bits: u64,
+    /// `f64::to_bits` of the root-cardinality head's prediction.
+    pub root_rows_bits: u64,
+    /// `f64::to_bits` of every per-operator cardinality prediction, in
+    /// operator-node order.
+    pub operator_rows_bits: Vec<u64>,
+}
+
+/// Provenance and integrity metadata of a multi-task artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiTaskArtifactManifest {
+    /// Registry format version (see [`ARTIFACT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Model name this artifact is registered under.
+    pub name: String,
+    /// Artifact version (1-based, monotonically increasing).
+    pub version: u32,
+    /// Architecture hyper-parameters (including the per-task loss weights
+    /// the model was trained with).
+    pub model_config: MultiTaskConfig,
+    /// Featurizer configuration required at serving time.
+    pub featurizer: FeaturizerConfig,
+    /// Number of trainable parameters (sanity metadata).
+    pub num_parameters: usize,
+    /// Names of the task heads this artifact serves, in head order.
+    pub task_heads: Vec<String>,
+    /// Median training cost q-error recorded at training time.
+    pub final_cost_qerror: f64,
+    /// All-heads prediction round-trip probes verified on every load.
+    pub probes: Vec<MultiTaskIntegrityProbe>,
 }
 
 /// A directory-backed registry of versioned model artifacts.
@@ -123,21 +182,7 @@ impl ModelRegistry {
                 prediction_bits: model.predict(g).to_bits(),
             })
             .collect();
-        // Claim the next version atomically: `create_dir` (unlike
-        // `create_dir_all`) fails on an existing directory, so two
-        // concurrent registrations of the same name can never compute the
-        // same version and silently overwrite each other — the loser just
-        // retries with the next number.
-        fs::create_dir_all(self.root.join(name))?;
-        let mut version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
-        let dir = loop {
-            let dir = self.version_dir(name, version);
-            match fs::create_dir(&dir) {
-                Ok(()) => break dir,
-                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => version += 1,
-                Err(e) => return Err(e.into()),
-            }
-        };
+        let (version, dir) = self.claim_next_version(name)?;
 
         let manifest = ArtifactManifest {
             format_version: ARTIFACT_FORMAT_VERSION,
@@ -152,6 +197,72 @@ impl ModelRegistry {
         fs::write(dir.join("manifest.json"), serde_json::to_string(&manifest)?)?;
         fs::write(dir.join("model.json"), model.to_json())?;
         Ok(version)
+    }
+
+    /// Register a trained **multi-task** model under `name`, returning the
+    /// new version.  Shares the single-task name/version scheme; the
+    /// integrity probes record the bit-exact outputs of every head.
+    pub fn register_multitask(
+        &self,
+        name: &str,
+        model: &TrainedMultiTaskModel,
+        probe_graphs: &[PlanGraph],
+    ) -> Result<u32, ServeError> {
+        assert!(
+            !probe_graphs.is_empty(),
+            "at least one integrity probe graph is required"
+        );
+        let probes = probe_graphs
+            .iter()
+            .take(MAX_PROBES)
+            .map(|g| {
+                let p = model.predict(g);
+                MultiTaskIntegrityProbe {
+                    graph_fingerprint: graph_fingerprint(g),
+                    graph: g.clone(),
+                    cost_bits: p.runtime_secs.to_bits(),
+                    root_rows_bits: p.root_rows.to_bits(),
+                    operator_rows_bits: p.operator_rows.iter().map(|r| r.to_bits()).collect(),
+                }
+            })
+            .collect();
+        let (version, dir) = self.claim_next_version(name)?;
+
+        let manifest = MultiTaskArtifactManifest {
+            format_version: ARTIFACT_FORMAT_VERSION,
+            name: name.to_string(),
+            version,
+            model_config: *model.model.config(),
+            featurizer: model.featurizer,
+            num_parameters: model.model.num_parameters(),
+            task_heads: TaskHead::ALL.iter().map(|h| h.name().to_string()).collect(),
+            final_cost_qerror: model.final_train_qerrors.cost,
+            probes,
+        };
+        fs::write(
+            dir.join("multitask_manifest.json"),
+            serde_json::to_string(&manifest)?,
+        )?;
+        fs::write(dir.join("multitask_model.json"), model.to_json())?;
+        Ok(version)
+    }
+
+    /// Claim the next version directory atomically: `create_dir` (unlike
+    /// `create_dir_all`) fails on an existing directory, so two concurrent
+    /// registrations of the same name can never compute the same version
+    /// and silently overwrite each other — the loser just retries with the
+    /// next number.
+    fn claim_next_version(&self, name: &str) -> Result<(u32, PathBuf), ServeError> {
+        fs::create_dir_all(self.root.join(name))?;
+        let mut version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        loop {
+            let dir = self.version_dir(name, version);
+            match fs::create_dir(&dir) {
+                Ok(()) => return Ok((version, dir)),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => version += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// All registered versions of `name`, ascending.  A name with no
@@ -255,6 +366,92 @@ impl ModelRegistry {
     pub fn load_latest(&self, name: &str) -> Result<TrainedModel, ServeError> {
         let version = self.latest(name)?;
         self.load(name, version)
+    }
+
+    /// Read a multi-task artifact's manifest without loading the weights.
+    pub fn multitask_manifest(
+        &self,
+        name: &str,
+        version: u32,
+    ) -> Result<MultiTaskArtifactManifest, ServeError> {
+        let path = self
+            .version_dir(name, version)
+            .join("multitask_manifest.json");
+        let raw = fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                ServeError::NotFound {
+                    name: name.to_string(),
+                    version: Some(version),
+                }
+            } else {
+                e.into()
+            }
+        })?;
+        let manifest: MultiTaskArtifactManifest = serde_json::from_str(&raw)?;
+        if manifest.format_version != ARTIFACT_FORMAT_VERSION {
+            return Err(ServeError::FormatVersionMismatch {
+                found: manifest.format_version,
+                supported: ARTIFACT_FORMAT_VERSION,
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Load a specific version of a multi-task model and re-verify the
+    /// recorded outputs of **every** head bit for bit.
+    pub fn load_multitask(
+        &self,
+        name: &str,
+        version: u32,
+    ) -> Result<TrainedMultiTaskModel, ServeError> {
+        let manifest = self.multitask_manifest(name, version)?;
+        let raw = fs::read_to_string(self.version_dir(name, version).join("multitask_model.json"))?;
+        let model = TrainedMultiTaskModel::from_json(&raw)?;
+        for (i, probe) in manifest.probes.iter().enumerate() {
+            let p = model.predict(&probe.graph);
+            let operator_bits: Vec<u64> = p.operator_rows.iter().map(|r| r.to_bits()).collect();
+            let mismatch = if p.runtime_secs.to_bits() != probe.cost_bits {
+                Some(("cost", probe.cost_bits, p.runtime_secs.to_bits()))
+            } else if p.root_rows.to_bits() != probe.root_rows_bits {
+                Some((
+                    "root_cardinality",
+                    probe.root_rows_bits,
+                    p.root_rows.to_bits(),
+                ))
+            } else if operator_bits != probe.operator_rows_bits {
+                let j = operator_bits
+                    .iter()
+                    .zip(&probe.operator_rows_bits)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                Some((
+                    "operator_cardinality",
+                    probe.operator_rows_bits.get(j).copied().unwrap_or(0),
+                    operator_bits.get(j).copied().unwrap_or(0),
+                ))
+            } else {
+                None
+            };
+            if let Some((head, stored, got)) = mismatch {
+                return Err(ServeError::IntegrityViolation {
+                    name: name.to_string(),
+                    version,
+                    details: format!(
+                        "probe {i} (graph {:#018x}), head {head}: stored prediction bits \
+                         {stored:#018x}, recomputed {got:#018x}",
+                        probe.graph_fingerprint
+                    ),
+                });
+            }
+        }
+        Ok(model)
+    }
+
+    /// Load the newest multi-task version of `name` (with the all-heads
+    /// integrity check).
+    pub fn load_latest_multitask(&self, name: &str) -> Result<TrainedMultiTaskModel, ServeError> {
+        let version = self.latest(name)?;
+        self.load_multitask(name, version)
     }
 
     fn version_dir(&self, name: &str, version: u32) -> PathBuf {

@@ -15,6 +15,10 @@
 //! * [`nn`] — minimal neural-network library used by all learned models.
 //! * [`zeroshot`] — the paper's contribution: transferable graph encoding and
 //!   the zero-shot cost model, training / few-shot / what-if pipelines.
+//! * [`multitask`] — the "one model": a shared plan-graph encoder with
+//!   per-task heads (cost, root cardinality, per-operator cardinality),
+//!   jointly trained, and the learned-cardinality estimator that closes the
+//!   loop into the optimizer.
 //! * [`serve`] — production serving: persistent model registry, concurrent
 //!   worker-pool inference with a fingerprint-keyed feature cache, metrics.
 //! * [`baselines`] — workload-driven baselines (MSCN, E2E, scaled optimizer
@@ -27,6 +31,7 @@ pub use zsdb_cardest as cardest;
 pub use zsdb_catalog as catalog;
 pub use zsdb_core as zeroshot;
 pub use zsdb_engine as engine;
+pub use zsdb_multitask as multitask;
 pub use zsdb_nn as nn;
 pub use zsdb_query as query;
 pub use zsdb_serve as serve;

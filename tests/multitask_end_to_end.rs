@@ -1,0 +1,186 @@
+//! End-to-end multi-task pipeline: train the joint model on a
+//! multi-database corpus, register the artifact in the persistent
+//! registry, load it back through the all-heads integrity check, serve it
+//! concurrently (one submit → every head), and **close the loop**: drive
+//! the System-R optimizer and the what-if planner with the registry-loaded
+//! model's learned cardinality head on a database the model never saw.
+
+use std::sync::Arc;
+use zero_shot_db::cardest::{CardinalityEstimator, PostgresLikeEstimator};
+use zero_shot_db::catalog::presets;
+use zero_shot_db::engine::{EngineConfig, Optimizer, PhysOperatorKind, QueryRunner};
+use zero_shot_db::multitask::{
+    sample_from_execution, LearnedCardEstimator, MultiTaskConfig, MultiTaskSample,
+    MultiTaskTrainer, TrainedMultiTaskModel,
+};
+use zero_shot_db::query::{CmpOp, Predicate, WorkloadGenerator};
+use zero_shot_db::serve::{ModelRegistry, MultiTaskPredictionServer, ServerConfig};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::features::featurize_plan;
+use zero_shot_db::zeroshot::{FeaturizerConfig, TrainingConfig};
+use zsdb_catalog::Value;
+
+/// Train a small multi-task model on two synthetic databases (estimated
+/// featurization, so the cardinality heads can run at planning time).
+fn train_small_model() -> TrainedMultiTaskModel {
+    let mut samples: Vec<MultiTaskSample> = Vec::new();
+    for seed in [31u64, 32] {
+        let db = Database::generate(presets::imdb_like(0.02), seed);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 40, seed);
+        samples.extend(
+            runner
+                .run_workload(&queries, 0)
+                .iter()
+                .map(|e| sample_from_execution(db.catalog(), e, FeaturizerConfig::estimated())),
+        );
+    }
+    MultiTaskTrainer::new(
+        MultiTaskConfig::tiny(),
+        TrainingConfig {
+            epochs: 10,
+            validation_fraction: 0.0,
+            early_stopping_patience: 0,
+            ..TrainingConfig::default()
+        },
+        FeaturizerConfig::estimated(),
+    )
+    .train(&samples)
+}
+
+#[test]
+fn registry_serve_and_optimizer_close_the_loop() {
+    let trained = train_small_model();
+
+    // --- A database the model has never seen -------------------------
+    let db = Database::generate(presets::imdb_like(0.02), 77);
+    let runner = QueryRunner::with_defaults(&db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 20, 13);
+    let plans = runner.plan_workload(&queries);
+    let probe_graphs: Vec<_> = plans
+        .iter()
+        .take(4)
+        .map(|p| featurize_plan(db.catalog(), p, trained.featurizer))
+        .collect();
+
+    // --- Register + integrity-checked load ---------------------------
+    let dir = std::env::temp_dir().join(format!("zsdb_multitask_e2e_{}", std::process::id()));
+    let registry = ModelRegistry::open(&dir).expect("open registry");
+    let version = registry
+        .register_multitask("one-model", &trained, &probe_graphs)
+        .expect("register multitask artifact");
+    let manifest = registry
+        .multitask_manifest("one-model", version)
+        .expect("read manifest");
+    assert_eq!(
+        manifest.task_heads,
+        vec!["cost", "root_cardinality", "operator_cardinality"]
+    );
+    assert_eq!(manifest.probes.len(), 4);
+    let loaded = registry
+        .load_multitask("one-model", version)
+        .expect("integrity-checked load");
+
+    // --- Serve: one submit answers all heads, bit-identical ----------
+    let server = Arc::new(MultiTaskPredictionServer::start(
+        loaded.clone(),
+        db.catalog().clone(),
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    ));
+    let mut clients = Vec::new();
+    for c in 0..3usize {
+        let server = Arc::clone(&server);
+        let plans = plans.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut served = Vec::new();
+            for round in 0..10 {
+                let idx = (c + round) % plans.len();
+                served.push((idx, server.predict_blocking(plans[idx].clone()).unwrap()));
+            }
+            served
+        }));
+    }
+    for client in clients {
+        for (idx, served) in client.join().unwrap() {
+            let graph = featurize_plan(db.catalog(), &plans[idx], loaded.featurizer);
+            let reference = trained.predict(&graph);
+            assert_eq!(
+                served.tasks.runtime_secs.to_bits(),
+                reference.runtime_secs.to_bits(),
+                "served cost differs from the trained model"
+            );
+            assert_eq!(
+                served.tasks.root_rows.to_bits(),
+                reference.root_rows.to_bits(),
+                "served root cardinality differs"
+            );
+            assert_eq!(served.tasks.operator_rows, reference.operator_rows);
+        }
+    }
+    assert_eq!(server.metrics().total_requests, 30);
+
+    // --- Close the loop: optimizer driven by the served model --------
+    let fallback = PostgresLikeEstimator::new(db.catalog().clone());
+    let learned = LearnedCardEstimator::new(&loaded, fallback);
+    let optimizer = Optimizer::new(&db, EngineConfig::default(), &learned);
+    for (query, _) in queries.iter().zip(&plans) {
+        let plan = optimizer.plan(query);
+        assert_eq!(plan.op.kind(), PhysOperatorKind::Aggregate);
+        assert_eq!(plan.scanned_tables().len(), query.num_tables());
+        assert!(plan.est_cost.is_finite() && plan.est_cost > 0.0);
+        assert!(plan.est_cardinality.is_finite() && plan.est_cardinality >= 1.0);
+        // The learned plan executes to the same results as the classical
+        // plan — cardinality estimates may change the shape, never the
+        // answer.
+        let learned_run = runner.run_plan(query, plan, 5);
+        let classical_run = runner.run(query, 5);
+        assert_eq!(learned_run.aggregates, classical_run.aggregates);
+    }
+
+    // --- What-if planning with learned cardinalities ------------------
+    let year = db
+        .catalog()
+        .resolve_column("title", "production_year")
+        .unwrap();
+    let (title, _) = db.catalog().table_by_name("title").unwrap();
+    let whatif_query = zero_shot_db::query::Query {
+        tables: vec![title],
+        joins: vec![],
+        predicates: vec![Predicate::new(year, CmpOp::Gt, Value::Int(2018))],
+        aggregates: vec![zero_shot_db::query::Aggregate::count_star()],
+    };
+    let mut whatif = Optimizer::new(&db, EngineConfig::default(), &learned);
+    whatif.add_hypothetical_index(year);
+    let whatif_plan = whatif.plan(&whatif_query);
+    assert!(whatif_plan.est_cost.is_finite() && whatif_plan.est_cost > 0.0);
+    assert!(
+        whatif_plan
+            .iter()
+            .any(|n| n.op.kind() == PhysOperatorKind::IndexScan),
+        "hypothetical index should be picked for a selective predicate:\n{}",
+        whatif_plan.explain()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn learned_estimates_are_sane_on_an_unseen_database() {
+    let trained = train_small_model();
+    let db = Database::generate(presets::imdb_like(0.03), 91);
+    let learned =
+        LearnedCardEstimator::new(&trained, PostgresLikeEstimator::new(db.catalog().clone()));
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 15, 21);
+    for q in &queries {
+        let card = learned.query_cardinality(q);
+        assert!(card.is_finite() && card >= 1.0, "query cardinality {card}");
+        for &t in &q.tables {
+            let rows = learned.table_cardinality(t, &q.predicates);
+            let upper = db.catalog().table(t).num_tuples as f64;
+            assert!(rows.is_finite() && rows >= 1.0 && rows <= upper + 0.5);
+        }
+    }
+}

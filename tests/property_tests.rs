@@ -1,15 +1,30 @@
 //! Property-based tests over the core invariants of the workspace:
 //! generated schemas/workloads are always valid, plans always cover their
 //! queries, executions are deterministic, featurization is structurally
-//! sound and Q-errors behave like a metric.
+//! sound, Q-errors behave like a metric, and **every cardinality
+//! estimator** — classical and learned — stays sane on arbitrary
+//! predicates.
 
 use proptest::prelude::*;
-use zero_shot_db::catalog::{GeneratorConfig, SchemaGenerator};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use zero_shot_db::cardest::{
+    CardinalityEstimator, ExactEstimator, HistogramEstimator, PostgresLikeEstimator,
+    SamplingEstimator,
+};
+use zero_shot_db::catalog::{presets, GeneratorConfig, SchemaGenerator, Value};
 use zero_shot_db::engine::QueryRunner;
+use zero_shot_db::multitask::{
+    sample_from_execution, LearnedCardEstimator, MultiTaskConfig, MultiTaskTrainer,
+    TrainedMultiTaskModel,
+};
 use zero_shot_db::nn::{percentile, q_error};
-use zero_shot_db::query::{WorkloadGenerator, WorkloadSpec};
+use zero_shot_db::query::{CmpOp, Predicate, Query, WorkloadGenerator, WorkloadSpec};
 use zero_shot_db::storage::Database;
 use zero_shot_db::zeroshot::features::{featurize_execution, FeaturizerConfig};
+use zero_shot_db::zeroshot::TrainingConfig;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -65,6 +80,56 @@ proptest! {
         prop_assert!(q_error(actual, actual) >= 1.0);
     }
 
+    /// Every [`CardinalityEstimator`] implementation — the classical four
+    /// and the learned multi-task estimator — returns finite, non-NaN,
+    /// non-negative estimates for arbitrary generated predicates,
+    /// including hostile literal values (extreme integers/floats, NULLs,
+    /// booleans, out-of-domain category codes).
+    #[test]
+    fn all_cardinality_estimators_stay_sane_on_arbitrary_predicates(seed in 0u64..5_000) {
+        let (db, trained) = estimator_fixture();
+        let learned =
+            LearnedCardEstimator::new(trained, PostgresLikeEstimator::new(db.catalog().clone()));
+        let postgres = PostgresLikeEstimator::new(db.catalog().clone());
+        let (histogram, sampling, exact) = classical_fixture();
+        let estimators: [&dyn CardinalityEstimator; 5] =
+            [&postgres, histogram, sampling, exact, &learned];
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A structurally valid (connected) query whose predicates are then
+        // replaced by arbitrary — possibly hostile — ones.
+        let base = WorkloadGenerator::new(WorkloadSpec {
+            max_tables: 3,
+            ..WorkloadSpec::default()
+        })
+        .generate(db.catalog(), 1, seed)
+        .remove(0);
+        let mut query = Query { predicates: Vec::new(), ..base };
+        let num_predicates = rng.random_range(0..4);
+        for _ in 0..num_predicates {
+            query.predicates.push(arbitrary_predicate(&mut rng, db.catalog(), &query));
+        }
+
+        for est in estimators {
+            for p in &query.predicates {
+                let s = est.predicate_selectivity(p);
+                prop_assert!(s.is_finite(), "selectivity {s} not finite");
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s), "selectivity {s} out of range");
+            }
+            for &t in &query.tables {
+                let rows = est.table_cardinality(t, &query.predicates);
+                prop_assert!(rows.is_finite() && !rows.is_nan(), "table rows {rows}");
+                prop_assert!(rows >= 0.0, "negative table cardinality {rows}");
+            }
+            let card = est.query_cardinality(&query);
+            prop_assert!(card.is_finite() && !card.is_nan(), "query cardinality {card}");
+            prop_assert!(card > 0.0, "non-positive query cardinality {card}");
+        }
+        // The learned estimator additionally guarantees optimizer-ready
+        // (≥ 1) join estimates.
+        prop_assert!(learned.query_cardinality(&query) >= 1.0);
+    }
+
     /// Percentiles are monotone in `p` and bounded by min/max.
     #[test]
     fn percentiles_are_monotone(mut values in prop::collection::vec(0.0f64..1e6, 1..50)) {
@@ -77,4 +142,91 @@ proptest! {
         prop_assert!(p100 <= values[values.len() - 1] + 1e-9);
         prop_assert!(percentile(&values, 0.0) >= values[0] - 1e-9);
     }
+}
+
+/// Shared fixtures for the estimator property test: databases, classical
+/// estimators and a small trained multi-task model are expensive, so they
+/// are built once and reused across all proptest cases.
+struct ClassicalEstimators {
+    histogram: HistogramEstimator,
+    sampling: SamplingEstimator,
+    exact: ExactEstimator,
+}
+
+fn property_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| Database::generate(presets::imdb_like(0.02), 55))
+}
+
+fn estimator_fixture() -> (&'static Database, &'static TrainedMultiTaskModel) {
+    static MODEL: OnceLock<TrainedMultiTaskModel> = OnceLock::new();
+    let db = property_db();
+    let model = MODEL.get_or_init(|| {
+        let train_db = Database::generate(presets::imdb_like(0.02), 56);
+        let runner = QueryRunner::with_defaults(&train_db);
+        let queries = WorkloadGenerator::with_defaults().generate(train_db.catalog(), 30, 8);
+        let samples: Vec<_> = runner
+            .run_workload(&queries, 0)
+            .iter()
+            .map(|e| sample_from_execution(train_db.catalog(), e, FeaturizerConfig::estimated()))
+            .collect();
+        MultiTaskTrainer::new(
+            MultiTaskConfig::tiny(),
+            TrainingConfig {
+                epochs: 4,
+                validation_fraction: 0.0,
+                early_stopping_patience: 0,
+                ..TrainingConfig::default()
+            },
+            FeaturizerConfig::estimated(),
+        )
+        .train(&samples)
+    });
+    (db, model)
+}
+
+fn classical_fixture() -> (
+    &'static HistogramEstimator,
+    &'static SamplingEstimator,
+    &'static ExactEstimator,
+) {
+    static CLASSICAL: OnceLock<ClassicalEstimators> = OnceLock::new();
+    let all = CLASSICAL.get_or_init(|| {
+        let db = property_db();
+        ClassicalEstimators {
+            histogram: HistogramEstimator::build(db, 3),
+            sampling: SamplingEstimator::build(db, 1_000, 4),
+            exact: ExactEstimator::build(db),
+        }
+    });
+    (&all.histogram, &all.sampling, &all.exact)
+}
+
+/// An arbitrary — possibly hostile — predicate on one of the query's
+/// tables: random column, random comparison, and a literal drawn from a
+/// pool including extreme integers/floats, NULL, booleans and
+/// out-of-domain category codes.
+fn arbitrary_predicate(
+    rng: &mut StdRng,
+    catalog: &zero_shot_db::catalog::SchemaCatalog,
+    query: &Query,
+) -> Predicate {
+    let table = query.tables[rng.random_range(0..query.tables.len())];
+    let meta = catalog.table(table);
+    let column = zero_shot_db::catalog::ColumnRef::new(
+        table,
+        zero_shot_db::catalog::ColumnId(rng.random_range(0..meta.num_columns() as u32)),
+    );
+    let op = CmpOp::ALL[rng.random_range(0..CmpOp::ALL.len())];
+    let value = match rng.random_range(0..8) {
+        0 => Value::Int(i64::MAX / 2),
+        1 => Value::Int(i64::MIN / 2),
+        2 => Value::Int(0),
+        3 => Value::Float(1e300),
+        4 => Value::Float(-1e300),
+        5 => Value::Null,
+        6 => Value::Bool(rng.random_range(0..2) == 0),
+        _ => Value::Cat(u32::MAX),
+    };
+    Predicate::new(column, op, value)
 }
