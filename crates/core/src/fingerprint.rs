@@ -1,7 +1,9 @@
 //! Structural fingerprints of physical plans and featurized plan graphs.
 //!
 //! The serving layer caches featurized [`PlanGraph`]s keyed by a
-//! fingerprint of the incoming [`PlanNode`], so repeated query shapes skip
+//! fingerprint of the incoming [`PlanNode`](zsdb_engine::PlanNode) (and
+//! the engine's observation log keys observed executions the same way),
+//! so repeated query shapes skip
 //! re-featurization entirely.  The fingerprint therefore hashes exactly the
 //! plan structure the featurizer reads (operator kinds, tables, columns,
 //! predicates, aggregates, cardinality/width annotations and child order)
@@ -10,170 +12,15 @@
 //! guaranteed between Rust releases.
 
 use crate::features::PlanGraph;
-use zsdb_engine::{PhysOperator, PlanNode};
-use zsdb_query::{Aggregate, Predicate};
-
-/// Incremental FNV-1a (64-bit) hasher with the standard offset basis and
-/// prime, specified byte-for-byte so fingerprints can be persisted.
-#[derive(Debug, Clone)]
-struct Fnv64(u64);
-
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-const FNV_PRIME: u64 = 0x100000001b3;
-
-impl Fnv64 {
-    fn new() -> Self {
-        Fnv64(FNV_OFFSET)
-    }
-
-    fn write_u8(&mut self, byte: u8) {
-        self.0 ^= byte as u64;
-        self.0 = self.0.wrapping_mul(FNV_PRIME);
-    }
-
-    fn write_u64(&mut self, value: u64) {
-        for byte in value.to_le_bytes() {
-            self.write_u8(byte);
-        }
-    }
-
-    fn write_u32(&mut self, value: u32) {
-        for byte in value.to_le_bytes() {
-            self.write_u8(byte);
-        }
-    }
-
-    fn write_f64(&mut self, value: f64) {
-        self.write_u64(value.to_bits());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
+use zsdb_engine::fingerprint::Fnv64;
 
 /// Stable structural fingerprint of a physical plan.
 ///
-/// Two plans receive the same fingerprint exactly when the featurizer
-/// would produce the same graph from them (against a fixed catalog): the
-/// hash covers operator kinds and parameters, predicate/aggregate
-/// structure, literal values, estimated cardinalities and output widths,
-/// and the tree shape.  Optimizer cost annotations are *excluded* — they
-/// never reach the feature vectors.
-pub fn plan_fingerprint(plan: &PlanNode) -> u64 {
-    let mut h = Fnv64::new();
-    hash_plan_node(plan, &mut h);
-    h.finish()
-}
-
-fn hash_plan_node(plan: &PlanNode, h: &mut Fnv64) {
-    h.write_u8(plan.op.kind().index() as u8);
-    h.write_f64(plan.est_cardinality);
-    h.write_f64(plan.output_width);
-    match &plan.op {
-        PhysOperator::SeqScan { table, predicates } => {
-            h.write_u32(table.0);
-            hash_predicates(predicates, h);
-        }
-        PhysOperator::IndexScan {
-            table,
-            index_column,
-            lo,
-            hi,
-            residual,
-        } => {
-            h.write_u32(table.0);
-            h.write_u32(index_column.table.0);
-            h.write_u32(index_column.column.0);
-            hash_opt_f64(*lo, h);
-            hash_opt_f64(*hi, h);
-            hash_predicates(residual, h);
-        }
-        PhysOperator::HashJoin {
-            build_key,
-            probe_key,
-        } => {
-            h.write_u32(build_key.table.0);
-            h.write_u32(build_key.column.0);
-            h.write_u32(probe_key.table.0);
-            h.write_u32(probe_key.column.0);
-        }
-        PhysOperator::NestedLoopJoin {
-            outer_key,
-            inner_key,
-        } => {
-            h.write_u32(outer_key.table.0);
-            h.write_u32(outer_key.column.0);
-            h.write_u32(inner_key.table.0);
-            h.write_u32(inner_key.column.0);
-        }
-        PhysOperator::Aggregate { aggregates } => {
-            h.write_u8(aggregates.len() as u8);
-            for agg in aggregates {
-                hash_aggregate(agg, h);
-            }
-        }
-    }
-    h.write_u8(plan.children.len() as u8);
-    for child in &plan.children {
-        hash_plan_node(child, h);
-    }
-}
-
-fn hash_opt_f64(value: Option<f64>, h: &mut Fnv64) {
-    match value {
-        Some(v) => {
-            h.write_u8(1);
-            h.write_f64(v);
-        }
-        None => h.write_u8(0),
-    }
-}
-
-fn hash_predicates(predicates: &[Predicate], h: &mut Fnv64) {
-    h.write_u8(predicates.len() as u8);
-    for p in predicates {
-        h.write_u32(p.column.table.0);
-        h.write_u32(p.column.column.0);
-        h.write_u8(p.op.index() as u8);
-        hash_value(&p.value, h);
-    }
-}
-
-fn hash_aggregate(agg: &Aggregate, h: &mut Fnv64) {
-    h.write_u8(agg.func.index() as u8);
-    match agg.column {
-        Some(c) => {
-            h.write_u8(1);
-            h.write_u32(c.table.0);
-            h.write_u32(c.column.0);
-        }
-        None => h.write_u8(0),
-    }
-}
-
-fn hash_value(value: &zsdb_catalog::Value, h: &mut Fnv64) {
-    use zsdb_catalog::Value;
-    match value {
-        Value::Null => h.write_u8(0),
-        Value::Int(v) => {
-            h.write_u8(1);
-            h.write_u64(*v as u64);
-        }
-        Value::Float(v) => {
-            h.write_u8(2);
-            h.write_f64(*v);
-        }
-        Value::Cat(v) => {
-            h.write_u8(3);
-            h.write_u32(*v);
-        }
-        Value::Bool(v) => {
-            h.write_u8(4);
-            h.write_u8(*v as u8);
-        }
-    }
-}
+/// Implemented in [`zsdb_engine::fingerprint`] (the engine fingerprints
+/// its own executed plans for the observation log) and re-exported here
+/// unchanged, so the serving cache and the engine key by the identical
+/// hash.
+pub use zsdb_engine::fingerprint::plan_fingerprint;
 
 /// Stable fingerprint of a featurized plan graph (node kinds, feature
 /// bits, edges).  Used by the model registry to identify integrity-probe
@@ -202,7 +49,7 @@ mod tests {
     use crate::features::{featurize_plan, FeaturizerConfig};
     use std::collections::HashMap;
     use zsdb_catalog::presets;
-    use zsdb_engine::QueryRunner;
+    use zsdb_engine::{PhysOperator, PlanNode, QueryRunner};
     use zsdb_query::WorkloadGenerator;
     use zsdb_storage::Database;
 

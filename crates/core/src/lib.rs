@@ -46,6 +46,7 @@ pub use features::{CardinalityMode, FeatureMode, FeaturizerConfig, NodeKind, Pla
 pub use fingerprint::{graph_fingerprint, plan_fingerprint};
 pub use model::{InferenceScratch, ModelConfig, PlanEncoder, ZeroShotCostModel};
 pub use train::{
-    compute_shard_results, few_shot_finetune, ReplicaSync, TrainedModel, Trainer, TrainingConfig,
+    compute_shard_results, few_shot_finetune, few_shot_finetune_with, FinetuneConfig, ReplicaSync,
+    TrainedModel, Trainer, TrainingConfig,
 };
 pub use whatif::WhatIfCostEstimator;

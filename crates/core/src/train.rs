@@ -100,6 +100,63 @@ impl TrainingConfig {
     }
 }
 
+/// Hyper-parameters of incremental fine-tuning: continuing training from
+/// an already-trained model on a (typically small) set of newly observed
+/// executions, e.g. few-shot adaptation to an unseen database or an online
+/// adaptation round inside the serving layer.
+///
+/// Fine-tuning runs on the same batched, sharded gradient engine as
+/// [`Trainer::train`], so the 1-thread ≡ N-thread bit-determinism
+/// guarantee carries over: the shard boundaries depend only on
+/// [`FinetuneConfig::microbatch_size`], never on
+/// [`FinetuneConfig::threads`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneConfig {
+    /// Number of passes over the fine-tuning set.
+    pub epochs: usize,
+    /// Adam learning rate (fine-tuning wants a smaller step than initial
+    /// training — the model starts near a good optimum).
+    pub learning_rate: f64,
+    /// Mini-batch size; `0` means full-batch (one optimizer step per
+    /// epoch), the natural choice for few-shot-sized sets.
+    pub batch_size: usize,
+    /// Micro-batch shard granularity of the deterministic data-parallel
+    /// gradient accumulation (see [`TrainingConfig::microbatch_size`]).
+    pub microbatch_size: usize,
+    /// Worker threads (0 = one per core); any value produces bit-identical
+    /// weights.
+    pub threads: usize,
+    /// Shuffling seed (only relevant when `batch_size` splits the set).
+    pub seed: u64,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            epochs: 30,
+            learning_rate: 3e-4,
+            batch_size: 0,
+            microbatch_size: 8,
+            threads: 1,
+            seed: 17,
+        }
+    }
+}
+
+impl FinetuneConfig {
+    /// Effective number of worker threads (resolves the `0 = auto`
+    /// setting, mirroring [`TrainingConfig::effective_threads`]).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
 /// A trained zero-shot model together with its featurizer configuration and
 /// training statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -312,6 +369,73 @@ impl Trainer {
             training_curve,
             validation_curve,
             stopped_early,
+        }
+    }
+
+    /// Incrementally fine-tune an already-trained model on newly observed
+    /// (labelled) plan graphs, returning a new [`TrainedModel`]; `trained`
+    /// is not modified.
+    ///
+    /// This is the one fine-tuning path in the workspace: few-shot
+    /// adaptation ([`few_shot_finetune`]) and the online adaptation loop
+    /// in `zsdb_serve` both run through it.  It reuses the batched shard
+    /// engine of [`Trainer::train`], so fine-tuning with 1 thread and
+    /// with N threads produces **bit-identical** weights.
+    pub fn finetune_from(
+        trained: &TrainedModel,
+        graphs: &[PlanGraph],
+        config: FinetuneConfig,
+    ) -> TrainedModel {
+        assert!(
+            graphs.iter().all(|g| g.runtime_secs.is_some()),
+            "all fine-tuning graphs must carry runtime labels"
+        );
+        assert!(!graphs.is_empty(), "fine-tuning needs at least one graph");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut model = trained.model.clone();
+        let mut adam = Adam::new(config.learning_rate);
+        let batch_size = if config.batch_size == 0 {
+            graphs.len()
+        } else {
+            config.batch_size.max(1)
+        };
+        let microbatch = config.microbatch_size.max(1);
+        let threads = config.effective_threads();
+        let mut replicas: Vec<ZeroShotCostModel> =
+            (0..threads.min(batch_size.div_ceil(microbatch)).max(1))
+                .map(|_| model.clone())
+                .collect();
+
+        let mut indices: Vec<usize> = (0..graphs.len()).collect();
+        let mut training_curve = Vec::with_capacity(config.epochs);
+        let mut epoch_qerrors: Vec<f64> = Vec::with_capacity(graphs.len());
+        for _epoch in 0..config.epochs {
+            indices.shuffle(&mut rng);
+            epoch_qerrors.clear();
+            for step in indices.chunks(batch_size) {
+                let micro_batches: Vec<&[usize]> = step.chunks(microbatch).collect();
+                let shards = compute_shard_gradients(&model, &mut replicas, graphs, &micro_batches);
+                model.zero_grad();
+                for shard in &shards {
+                    model.add_gradients(&shard.gradients);
+                }
+                model.apply_step(&mut adam);
+                for shard in shards {
+                    epoch_qerrors.extend(shard.qerrors);
+                }
+            }
+            training_curve.push(median(&epoch_qerrors));
+        }
+
+        let final_train_qerror = median_q_error(&model, graphs);
+        TrainedModel {
+            model,
+            featurizer: trained.featurizer,
+            final_train_qerror,
+            final_validation_qerror: None,
+            training_curve,
+            validation_curve: Vec::new(),
+            stopped_early: false,
         }
     }
 
@@ -531,8 +655,9 @@ fn median_q_error_per_example(model: &ZeroShotCostModel, graphs: &[PlanGraph]) -
 /// a small number of executions from the (previously unseen) target
 /// database.  Returns a new `TrainedModel`; the original is not modified.
 ///
-/// Fine-tuning sets are tiny by definition, so this path intentionally
-/// keeps the simple full-batch per-example loop.
+/// Featurizes the executions with the model's own featurizer and runs
+/// [`few_shot_finetune_with`] (full-batch by default — fine-tuning sets
+/// are tiny by definition) with the given epoch/learning-rate overrides.
 pub fn few_shot_finetune(
     trained: &TrainedModel,
     target_db: &Database,
@@ -540,29 +665,32 @@ pub fn few_shot_finetune(
     epochs: usize,
     learning_rate: f64,
 ) -> TrainedModel {
+    few_shot_finetune_with(
+        trained,
+        target_db,
+        executions,
+        FinetuneConfig {
+            epochs,
+            learning_rate,
+            ..FinetuneConfig::default()
+        },
+    )
+}
+
+/// [`few_shot_finetune`] with full control over the fine-tuning
+/// hyper-parameters: featurize the target-database executions with the
+/// model's own featurizer, then run [`Trainer::finetune_from`].
+pub fn few_shot_finetune_with(
+    trained: &TrainedModel,
+    target_db: &Database,
+    executions: &[QueryExecution],
+    config: FinetuneConfig,
+) -> TrainedModel {
     let graphs: Vec<PlanGraph> = executions
         .iter()
         .map(|e| featurize_execution(target_db.catalog(), e, trained.featurizer))
         .collect();
-    let mut model = trained.model.clone();
-    let mut adam = Adam::new(learning_rate);
-    for _ in 0..epochs {
-        model.zero_grad();
-        for g in &graphs {
-            model.accumulate_gradients(g, g.runtime_secs.expect("labelled"));
-        }
-        model.apply_step(&mut adam);
-    }
-    let final_train_qerror = median_q_error(&model, &graphs);
-    TrainedModel {
-        model,
-        featurizer: trained.featurizer,
-        final_train_qerror,
-        final_validation_qerror: None,
-        training_curve: vec![final_train_qerror],
-        validation_curve: Vec::new(),
-        stopped_early: false,
-    }
+    Trainer::finetune_from(trained, &graphs, config)
 }
 
 #[cfg(test)]
@@ -668,6 +796,76 @@ mod tests {
             after <= before * 1.15,
             "few-shot should not make things much worse: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn finetune_from_is_thread_count_deterministic() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                validation_fraction: 0.0,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let base = trainer.train(&graphs);
+        let finetune_set = &graphs[..12];
+        let tune = |threads: usize| {
+            Trainer::finetune_from(
+                &base,
+                finetune_set,
+                FinetuneConfig {
+                    epochs: 4,
+                    batch_size: 8,
+                    microbatch_size: 3,
+                    threads,
+                    ..FinetuneConfig::default()
+                },
+            )
+        };
+        let one = tune(1);
+        let two = tune(2);
+        let four = tune(4);
+        assert_eq!(one.model.to_json(), two.model.to_json());
+        assert_eq!(one.model.to_json(), four.model.to_json());
+        assert_eq!(one.training_curve, two.training_curve);
+        // Fine-tuning actually moved the weights.
+        assert_ne!(one.model.to_json(), base.model.to_json());
+        // The input model is untouched and the featurizer rides along.
+        assert_eq!(one.featurizer, base.featurizer);
+    }
+
+    #[test]
+    fn finetune_from_improves_fit_on_the_finetuning_set() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                validation_fraction: 0.0,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let base = trainer.train(&graphs);
+        let finetune_set = &graphs[..16];
+        let before = median_q_error(&base.model, finetune_set);
+        let tuned = Trainer::finetune_from(
+            &base,
+            finetune_set,
+            FinetuneConfig {
+                epochs: 25,
+                ..FinetuneConfig::default()
+            },
+        );
+        assert!(
+            tuned.final_train_qerror <= before * 1.05,
+            "fine-tuning should not hurt the set it fits: {before} -> {}",
+            tuned.final_train_qerror
+        );
+        assert_eq!(tuned.training_curve.len(), 25);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 pub mod config;
 pub mod cost;
 pub mod executor;
+pub mod fingerprint;
+pub mod observation;
 pub mod observed;
 pub mod optimizer;
 pub mod physical;
@@ -38,6 +40,8 @@ pub mod whatif;
 pub use config::EngineConfig;
 pub use cost::CostModel;
 pub use executor::{ExecutedNode, Executor, WorkMetrics};
+pub use fingerprint::plan_fingerprint;
+pub use observation::{Observation, ObservationLog};
 pub use observed::QueryExecution;
 pub use optimizer::Optimizer;
 pub use physical::{PhysOperator, PhysOperatorKind, PlanNode};

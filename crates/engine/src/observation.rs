@@ -1,0 +1,246 @@
+//! Bounded log of observed query executions — the feedback half of the
+//! online adaptation loop.
+//!
+//! A live system continuously executes queries; each execution is ground
+//! truth the learned cost models could fine-tune on.  The
+//! [`ObservationLog`] is the bounded, thread-safe buffer between the
+//! executor and whatever consumes that feedback (the adaptation loop in
+//! `zsdb_serve`): executions are recorded as
+//! `(plan fingerprint, observation)` pairs, and when the log is full a
+//! **deterministic reservoir sample** decides which observations survive —
+//! every execution ever recorded has an equal chance of being retained,
+//! so a bursty workload cannot crowd the sample with its latest shape,
+//! yet memory stays constant no matter how long the server runs.
+//!
+//! Determinism: the reservoir is driven by a seeded [`StdRng`] stream
+//! (the workspace's stable-by-contract generator), so
+//! the same insert sequence against the same seed always retains exactly
+//! the same observations (property-tested).  [`ObservationLog::drain`]
+//! hands the current sample to the consumer and restarts the reservoir,
+//! so each adaptation round sees a fresh, unbiased sample of the traffic
+//! since the previous round.
+
+use crate::fingerprint::plan_fingerprint;
+use crate::observed::QueryExecution;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::Mutex;
+
+/// One observed execution retained by the log: the stable structural
+/// fingerprint of the executed plan plus the payload (by default the full
+/// [`QueryExecution`], carrying the plan, the true per-operator
+/// cardinalities and the observed runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation<T = QueryExecution> {
+    /// Structural fingerprint of the executed plan
+    /// ([`plan_fingerprint`]).
+    pub fingerprint: u64,
+    /// The observation payload.
+    pub payload: T,
+}
+
+struct LogInner<T> {
+    slots: Vec<Observation<T>>,
+    /// Observations recorded since the last drain (reservoir clock).
+    seen: u64,
+    rng: StdRng,
+}
+
+/// A bounded, thread-safe observation buffer with deterministic
+/// reservoir-style eviction (Algorithm R over the workspace's seeded
+/// [`StdRng`] stream, which is stable by contract).
+///
+/// Invariants (property-tested in `tests/property_tests.rs`):
+/// * `len() ≤ capacity()` at all times;
+/// * `total_seen()` counts every `record` since the last drain;
+/// * while `total_seen() ≤ capacity()` nothing is ever evicted;
+/// * the retained set is a pure function of `(seed, insert sequence)`.
+pub struct ObservationLog<T = QueryExecution> {
+    inner: Mutex<LogInner<T>>,
+    capacity: usize,
+    seed: u64,
+}
+
+impl<T> ObservationLog<T> {
+    /// Create a log retaining at most `capacity` observations.  `seed`
+    /// drives the deterministic reservoir eviction.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "a zero-capacity log could never observe");
+        ObservationLog {
+            inner: Mutex::new(LogInner {
+                slots: Vec::new(),
+                seen: 0,
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            capacity,
+            seed,
+        }
+    }
+
+    /// Maximum number of retained observations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Observations currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("observation log poisoned")
+            .slots
+            .len()
+    }
+
+    /// Whether the log currently retains nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Observations recorded since the last [`ObservationLog::drain`]
+    /// (including ones the reservoir has already evicted).
+    pub fn total_seen(&self) -> u64 {
+        self.inner.lock().expect("observation log poisoned").seen
+    }
+
+    /// Record one observation under the given plan fingerprint.
+    ///
+    /// While the log holds fewer than `capacity` observations, every
+    /// record is retained.  Once full, the new observation replaces a
+    /// uniformly chosen slot with probability `capacity / seen` — the
+    /// classic reservoir step, driven by the log's own deterministic
+    /// random stream.
+    pub fn record(&self, fingerprint: u64, payload: T) {
+        let mut inner = self.inner.lock().expect("observation log poisoned");
+        inner.seen += 1;
+        let observation = Observation {
+            fingerprint,
+            payload,
+        };
+        if inner.slots.len() < self.capacity {
+            inner.slots.push(observation);
+            return;
+        }
+        let slot = (inner.rng.next_u64() % inner.seen) as usize;
+        if slot < self.capacity {
+            inner.slots[slot] = observation;
+        }
+    }
+
+    /// Take the current reservoir sample and restart the log: the
+    /// retained observations are returned (in retention order), `seen`
+    /// resets to zero and the random stream restarts from the seed, so a
+    /// drained log behaves exactly like a freshly created one.
+    pub fn drain(&self) -> Vec<Observation<T>> {
+        let mut inner = self.inner.lock().expect("observation log poisoned");
+        inner.seen = 0;
+        inner.rng = StdRng::seed_from_u64(self.seed);
+        std::mem::take(&mut inner.slots)
+    }
+}
+
+impl ObservationLog<QueryExecution> {
+    /// Record an executed query, fingerprinting its plan.
+    pub fn record_execution(&self, execution: QueryExecution) {
+        let fingerprint = plan_fingerprint(&execution.plan);
+        self.record(fingerprint, execution);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::QueryRunner;
+    use zsdb_catalog::presets;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    #[test]
+    fn below_capacity_everything_is_retained_in_order() {
+        let log: ObservationLog<u32> = ObservationLog::new(8, 1);
+        for i in 0..5u32 {
+            log.record(i as u64, i);
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total_seen(), 5);
+        let drained = log.drain();
+        assert_eq!(
+            drained.iter().map(|o| o.payload).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.total_seen(), 0);
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_deterministic() {
+        let run = |_: ()| -> Vec<u64> {
+            let log: ObservationLog<u64> = ObservationLog::new(16, 99);
+            for i in 0..1000u64 {
+                log.record(i, i);
+            }
+            assert_eq!(log.len(), 16);
+            assert_eq!(log.total_seen(), 1000);
+            log.drain().iter().map(|o| o.fingerprint).collect()
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a, b, "same seed + sequence must retain the same sample");
+        // The reservoir keeps a spread of the stream, not just a prefix
+        // or suffix.
+        assert!(a.iter().any(|&f| f < 500));
+        assert!(a.iter().any(|&f| f >= 500));
+    }
+
+    #[test]
+    fn drain_restarts_the_reservoir() {
+        let log: ObservationLog<u64> = ObservationLog::new(4, 7);
+        for i in 0..100 {
+            log.record(i, i);
+        }
+        let first = log.drain();
+        for i in 0..100 {
+            log.record(i, i);
+        }
+        let second = log.drain();
+        assert_eq!(
+            first.iter().map(|o| o.fingerprint).collect::<Vec<_>>(),
+            second.iter().map(|o| o.fingerprint).collect::<Vec<_>>(),
+            "a drained log behaves like a fresh one"
+        );
+    }
+
+    #[test]
+    fn record_execution_fingerprints_the_plan() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 3, 1);
+        let log = ObservationLog::new(8, 0);
+        for e in runner.run_workload(&queries, 5) {
+            log.record_execution(e);
+        }
+        assert_eq!(log.len(), 3);
+        for o in log.drain() {
+            assert_eq!(o.fingerprint, plan_fingerprint(&o.payload.plan));
+            assert!(o.payload.runtime_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_stays_bounded() {
+        let log = std::sync::Arc::new(ObservationLog::<u64>::new(32, 5));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    log.record(t * 1000 + i, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.total_seen(), 2000);
+        assert_eq!(log.len(), 32);
+    }
+}

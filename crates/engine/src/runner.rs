@@ -93,6 +93,36 @@ impl<'a> QueryRunner<'a> {
             .map(|(i, q)| self.run(q, base_seed.wrapping_add(i as u64)))
             .collect()
     }
+
+    /// Run one query and record the execution (fingerprinted plan +
+    /// observed runtime/cardinalities) into an
+    /// [`ObservationLog`](crate::observation::ObservationLog) — the
+    /// feedback hook of the online adaptation loop.
+    pub fn run_observed(
+        &self,
+        query: &Query,
+        noise_seed: u64,
+        log: &crate::observation::ObservationLog,
+    ) -> QueryExecution {
+        let execution = self.run(query, noise_seed);
+        log.record_execution(execution.clone());
+        execution
+    }
+
+    /// Run a whole workload, recording every execution into the
+    /// observation log (see [`QueryRunner::run_observed`]).
+    pub fn run_workload_observed(
+        &self,
+        queries: &[Query],
+        base_seed: u64,
+        log: &crate::observation::ObservationLog,
+    ) -> Vec<QueryExecution> {
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| self.run_observed(q, base_seed.wrapping_add(i as u64), log))
+            .collect()
+    }
 }
 
 #[cfg(test)]

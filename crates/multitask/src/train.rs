@@ -18,7 +18,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use zsdb_core::features::{FeaturizerConfig, PlanGraph};
-use zsdb_core::{compute_shard_results, TrainingConfig};
+use zsdb_core::{compute_shard_results, FinetuneConfig, TrainingConfig};
 use zsdb_nn::{median, q_error, Adam};
 
 /// Median q-error of every task head over one evaluation set.
@@ -135,6 +135,73 @@ struct ShardResult {
     op_qerrors: Vec<f64>,
 }
 
+/// Per-epoch accumulator of the q-errors observed by the epoch's own
+/// training forwards, one bucket per task head.
+#[derive(Default)]
+struct EpochQErrors {
+    cost: Vec<f64>,
+    root: Vec<f64>,
+    op: Vec<f64>,
+}
+
+impl EpochQErrors {
+    fn clear(&mut self) {
+        self.cost.clear();
+        self.root.clear();
+        self.op.clear();
+    }
+
+    fn medians(&self) -> TaskQErrors {
+        TaskQErrors {
+            cost: median(&self.cost),
+            root_card: median(&self.root),
+            op_card: median(&self.op),
+        }
+    }
+}
+
+/// One optimizer step of the joint loss, shared by [`MultiTaskTrainer::train`]
+/// and [`MultiTaskTrainer::finetune_from`]: split `step` into micro-batch
+/// shards, compute each shard's gradients on the deterministic scheduler
+/// ([`compute_shard_results`]), reduce them in ascending shard order,
+/// apply Adam, and collect the step's per-task training q-errors.
+fn joint_optimizer_step(
+    model: &mut MultiTaskModel,
+    adam: &mut Adam,
+    replicas: &mut [MultiTaskModel],
+    samples: &[MultiTaskSample],
+    step: &[usize],
+    microbatch: usize,
+    epoch: &mut EpochQErrors,
+) {
+    let micro_batches: Vec<&[usize]> = step.chunks(microbatch).collect();
+    let shards = compute_shard_results(model, replicas, &micro_batches, |replica, shard| {
+        let refs: Vec<&MultiTaskSample> = shard.iter().map(|&i| &samples[i]).collect();
+        replica.zero_grad();
+        let backprop = replica.accumulate_gradients_batch(&refs);
+        let mut gradients = Vec::new();
+        replica.export_gradients(&mut gradients);
+        let (mut cost, mut root, mut op) = (Vec::new(), Vec::new(), Vec::new());
+        collect_qerrors(&backprop.predictions, &refs, &mut cost, &mut root, &mut op);
+        ShardResult {
+            gradients,
+            cost_qerrors: cost,
+            root_qerrors: root,
+            op_qerrors: op,
+        }
+    });
+    model.zero_grad();
+    for shard in &shards {
+        model.add_gradients(&shard.gradients);
+    }
+    model.apply_step(adam);
+    for shard in shards {
+        epoch.cost.extend(shard.cost_qerrors);
+        epoch.root.extend(shard.root_qerrors);
+        epoch.op.extend(shard.op_qerrors);
+    }
+}
+
 impl MultiTaskTrainer {
     /// Create a trainer.  The `TrainingConfig` is the same type the
     /// single-task trainer uses — epochs, batch and micro-batch sizes,
@@ -193,58 +260,23 @@ impl MultiTaskTrainer {
         let mut epochs_without_improvement = 0usize;
         let mut stopped_early = false;
 
-        let (mut epoch_cost, mut epoch_root, mut epoch_op) = (Vec::new(), Vec::new(), Vec::new());
+        let mut epoch = EpochQErrors::default();
         for _epoch in 0..cfg.epochs {
             indices.shuffle(&mut rng);
-            epoch_cost.clear();
-            epoch_root.clear();
-            epoch_op.clear();
+            epoch.clear();
             for step in indices.chunks(batch_size) {
-                let micro_batches: Vec<&[usize]> = step.chunks(microbatch).collect();
-                let shards = compute_shard_results(
-                    &model,
+                joint_optimizer_step(
+                    &mut model,
+                    &mut adam,
                     &mut replicas,
-                    &micro_batches,
-                    |replica, shard| {
-                        let refs: Vec<&MultiTaskSample> =
-                            shard.iter().map(|&i| &train_samples[i]).collect();
-                        replica.zero_grad();
-                        let backprop = replica.accumulate_gradients_batch(&refs);
-                        let mut gradients = Vec::new();
-                        replica.export_gradients(&mut gradients);
-                        let (mut cost, mut root, mut op) = (Vec::new(), Vec::new(), Vec::new());
-                        collect_qerrors(
-                            &backprop.predictions,
-                            &refs,
-                            &mut cost,
-                            &mut root,
-                            &mut op,
-                        );
-                        ShardResult {
-                            gradients,
-                            cost_qerrors: cost,
-                            root_qerrors: root,
-                            op_qerrors: op,
-                        }
-                    },
+                    train_samples,
+                    step,
+                    microbatch,
+                    &mut epoch,
                 );
-                model.zero_grad();
-                for shard in &shards {
-                    model.add_gradients(&shard.gradients);
-                }
-                model.apply_step(&mut adam);
-                for shard in shards {
-                    epoch_cost.extend(shard.cost_qerrors);
-                    epoch_root.extend(shard.root_qerrors);
-                    epoch_op.extend(shard.op_qerrors);
-                }
             }
 
-            let train_q = TaskQErrors {
-                cost: median(&epoch_cost),
-                root_card: median(&epoch_root),
-                op_card: median(&epoch_op),
-            };
+            let train_q = epoch.medians();
             training_curve.push(train_q);
             let monitored = if val_samples.is_empty() {
                 train_q.cost
@@ -287,6 +319,67 @@ impl MultiTaskTrainer {
             training_curve,
             validation_curve,
             stopped_early,
+        }
+    }
+
+    /// Incrementally fine-tune an already-trained multi-task model on
+    /// newly observed samples, returning a new [`TrainedMultiTaskModel`];
+    /// `trained` is not modified.
+    ///
+    /// Mirrors [`zsdb_core::Trainer::finetune_from`] — the same
+    /// [`FinetuneConfig`], the same full-batch default, and the same
+    /// deterministic shard engine, so fine-tuning with 1 thread and with
+    /// N threads produces **bit-identical** weights for every head.
+    pub fn finetune_from(
+        trained: &TrainedMultiTaskModel,
+        samples: &[MultiTaskSample],
+        config: FinetuneConfig,
+    ) -> TrainedMultiTaskModel {
+        assert!(!samples.is_empty(), "fine-tuning needs at least one sample");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut model = trained.model.clone();
+        let mut adam = Adam::new(config.learning_rate);
+        let batch_size = if config.batch_size == 0 {
+            samples.len()
+        } else {
+            config.batch_size.max(1)
+        };
+        let microbatch = config.microbatch_size.max(1);
+        let threads = config.effective_threads();
+        let mut replicas: Vec<MultiTaskModel> =
+            (0..threads.min(batch_size.div_ceil(microbatch)).max(1))
+                .map(|_| model.clone())
+                .collect();
+
+        let mut indices: Vec<usize> = (0..samples.len()).collect();
+        let mut training_curve = Vec::with_capacity(config.epochs);
+        let mut epoch = EpochQErrors::default();
+        for _epoch in 0..config.epochs {
+            indices.shuffle(&mut rng);
+            epoch.clear();
+            for step in indices.chunks(batch_size) {
+                joint_optimizer_step(
+                    &mut model,
+                    &mut adam,
+                    &mut replicas,
+                    samples,
+                    step,
+                    microbatch,
+                    &mut epoch,
+                );
+            }
+            training_curve.push(epoch.medians());
+        }
+
+        let final_train_qerrors = task_qerrors(&model, samples);
+        TrainedMultiTaskModel {
+            model,
+            featurizer: trained.featurizer,
+            final_train_qerrors,
+            final_validation_qerrors: None,
+            training_curve,
+            validation_curve: Vec::new(),
+            stopped_early: false,
         }
     }
 }
@@ -428,6 +521,47 @@ mod tests {
             "returned model should be the best epoch: best {best_seen}, got {}",
             final_val.cost
         );
+    }
+
+    #[test]
+    fn multitask_finetune_is_thread_count_deterministic() {
+        let samples = tiny_samples();
+        let trainer = MultiTaskTrainer::new(
+            MultiTaskConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                ..tiny_training_config()
+            },
+            FeaturizerConfig::estimated(),
+        );
+        let base = trainer.train(&samples);
+        let finetune_set = &samples[..12];
+        let tune = |threads: usize| {
+            MultiTaskTrainer::finetune_from(
+                &base,
+                finetune_set,
+                FinetuneConfig {
+                    epochs: 3,
+                    batch_size: 8,
+                    microbatch_size: 3,
+                    threads,
+                    ..FinetuneConfig::default()
+                },
+            )
+        };
+        let one = tune(1);
+        let two = tune(2);
+        let four = tune(4);
+        assert_eq!(one.model.to_json(), two.model.to_json());
+        assert_eq!(one.model.to_json(), four.model.to_json());
+        assert_ne!(one.model.to_json(), base.model.to_json());
+        for s in finetune_set.iter().take(4) {
+            let a = one.predict(&s.graph);
+            let b = four.predict(&s.graph);
+            assert_eq!(a.runtime_secs.to_bits(), b.runtime_secs.to_bits());
+            assert_eq!(a.root_rows.to_bits(), b.root_rows.to_bits());
+            assert_eq!(a.operator_rows, b.operator_rows);
+        }
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Online adaptation: the execute → observe → fine-tune → hot-swap loop.
+//!
+//! The paper's promise is a model that works on unseen databases
+//! *out of the box* and then gets cheaply better once it sees a handful
+//! of real executions.  This module closes that loop **without stopping
+//! inference**:
+//!
+//! ```text
+//!            requests                    observed executions
+//!               │                                │
+//!               ▼                                ▼
+//!      ┌─────────────────┐             ┌──────────────────┐
+//!      │ PredictionServer│◀─Arc swap──┐│  ObservationLog  │ (zsdb_engine,
+//!      │  (worker pool)  │            ││ bounded reservoir│  deterministic
+//!      └────────┬────────┘            │└────────┬─────────┘  eviction)
+//!               │ live predictions    │         │ drain
+//!               ▼                     │         ▼
+//!      ┌─────────────────┐           ┌┴─────────────────────┐
+//!      │  DriftDetector  │──drifted─▶│ Trainer::finetune_from│
+//!      │ rolling median  │           │  (batched shard engine)│
+//!      │    q-error      │           └┬─────────────────────┘
+//!      └─────────────────┘            │ register + promote
+//!                                     ▼
+//!                              ┌──────────────┐
+//!                              │ ModelRegistry │  v1 → v2 → v3 …
+//!                              │ promote /     │  (integrity probes
+//!                              │ rollback      │   on every version)
+//!                              └──────────────┘
+//! ```
+//!
+//! The [`AdaptationLoop`] is a background thread that periodically drains
+//! the engine's [`ObservationLog`], featurizes the observations with the
+//! *live* model's featurizer, and feeds the [`DriftDetector`] with the
+//! q-errors of the live model's predictions against the observed
+//! runtimes.  When the rolling median q-error crosses the configured
+//! threshold and enough observations have accumulated, the loop
+//! fine-tunes from the live weights ([`Trainer::finetune_from`] — the
+//! same deterministic shard engine as offline training), registers the
+//! result as a **new registry version** (with fresh integrity probes,
+//! same artifact format), promotes it, and atomically hot-swaps it into
+//! the server ([`PredictionServer::swap_model`]).  In-flight batches
+//! finish on the old weights; the feature cache is invalidated; no
+//! request is ever dropped.
+//!
+//! [`rollback_and_swap`] is the inverse: pop the promotion history and
+//! swap the prior version (freshly loaded and integrity-checked) back
+//! in — predictions then return bit-identical to that version's original
+//! tenure.
+
+use crate::error::ServeError;
+use crate::registry::ModelRegistry;
+use crate::server::PredictionServer;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use zsdb_core::features::featurize_execution;
+use zsdb_core::{FinetuneConfig, PlanGraph, Trainer};
+use zsdb_engine::ObservationLog;
+use zsdb_nn::q_error;
+
+/// Rolling-window drift detector over prediction q-errors.
+///
+/// Each observed execution contributes one sample: the q-error of the
+/// live model's prediction against the observed runtime.  The detector
+/// reports drift when the **median** of the most recent
+/// [`window`](DriftDetector::new) samples crosses the threshold — the
+/// median (not the mean) so a single pathological query cannot trigger a
+/// fine-tune, and a genuine distribution shift cannot hide behind a few
+/// lucky hits.
+///
+/// Monotonicity (property-tested): inflating every observed runtime by a
+/// sufficiently large constant factor drives every q-error, hence the
+/// median, above any threshold — a systematic runtime shift *must*
+/// trigger.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    window: VecDeque<f64>,
+    window_size: usize,
+    min_samples: usize,
+    threshold: f64,
+}
+
+impl DriftDetector {
+    /// Create a detector that reports drift once the rolling median
+    /// q-error over the last `window_size` samples (with at least
+    /// `min_samples` recorded) reaches `threshold`.
+    pub fn new(threshold: f64, window_size: usize, min_samples: usize) -> Self {
+        assert!(threshold >= 1.0, "q-errors are ≥ 1, so thresholds must be");
+        assert!(window_size > 0, "a zero-size window can never detect");
+        DriftDetector {
+            window: VecDeque::with_capacity(window_size),
+            window_size,
+            // A minimum above the window size could never be met (the
+            // window caps at window_size samples), silently disabling
+            // detection forever — clamp instead.
+            min_samples: min_samples.clamp(1, window_size),
+            threshold,
+        }
+    }
+
+    /// Record one (live prediction, observed runtime) pair.
+    pub fn record(&mut self, predicted: f64, observed: f64) {
+        if self.window.len() == self.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(q_error(predicted, observed));
+    }
+
+    /// Median q-error of the current window (`NaN` when empty).
+    pub fn rolling_median(&self) -> f64 {
+        let samples: Vec<f64> = self.window.iter().copied().collect();
+        zsdb_nn::median(&samples)
+    }
+
+    /// Whether the rolling median has crossed the threshold (with the
+    /// minimum sample count met).
+    pub fn drifted(&self) -> bool {
+        self.window.len() >= self.min_samples && self.rolling_median() >= self.threshold
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Forget all samples (called after a successful adaptation: the new
+    /// model must earn its own drift evidence).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Tunables of the background [`AdaptationLoop`].
+#[derive(Debug, Clone)]
+pub struct AdaptationConfig {
+    /// Rolling-median q-error at which the live model counts as drifted.
+    pub drift_threshold: f64,
+    /// Size of the drift detector's rolling window.
+    pub drift_window: usize,
+    /// Minimum q-error samples before drift may be declared **and**
+    /// minimum accumulated observations before a fine-tune may run.
+    pub min_observations: usize,
+    /// How often the loop drains the observation log.
+    pub poll_interval: Duration,
+    /// Fine-tuning hyper-parameters of each adaptation round.
+    pub finetune: FinetuneConfig,
+    /// Integrity probes stored with each adapted version (drawn from the
+    /// round's own observations).
+    pub max_probe_graphs: usize,
+    /// Stop adapting after this many successful swaps (0 = unbounded) —
+    /// once reached the loop idles and stops consuming the observation
+    /// log (which stays bounded by its own reservoir); tests and
+    /// benchmarks use this as a deterministic cut-off.
+    pub max_swaps: u64,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        AdaptationConfig {
+            drift_threshold: 1.5,
+            drift_window: 256,
+            min_observations: 16,
+            poll_interval: Duration::from_millis(250),
+            finetune: FinetuneConfig::default(),
+            max_probe_graphs: 4,
+            max_swaps: 0,
+        }
+    }
+}
+
+/// Point-in-time progress report of an [`AdaptationLoop`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdaptationStatus {
+    /// Poll rounds that drained at least one observation.
+    pub rounds: u64,
+    /// Observations consumed (drained and featurized) so far.
+    pub observations_consumed: u64,
+    /// Fine-tune → register → promote → swap cycles completed.
+    pub swaps: u64,
+    /// Registry version currently being served (as of the last swap; 0
+    /// before the first).
+    pub last_version: u32,
+    /// Rolling median q-error at the last drift check (`NaN` before any).
+    pub last_median_qerror: f64,
+    /// Last registry/serving error the loop survived, if any.
+    pub last_error: Option<String>,
+}
+
+struct LoopShared {
+    status: Mutex<AdaptationStatus>,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// The background adaptation thread: drains observations, detects drift,
+/// fine-tunes, registers + promotes, hot-swaps.  See the module docs for
+/// the full loop diagram.
+pub struct AdaptationLoop {
+    handle: Option<JoinHandle<()>>,
+    shared: Arc<LoopShared>,
+}
+
+impl AdaptationLoop {
+    /// Spawn the loop against a running server.
+    ///
+    /// `model_name` is the registry name adapted versions are registered
+    /// and promoted under; the server's current version should already be
+    /// the registry's active version of that name (e.g. started via
+    /// [`PredictionServer::start_versioned`] from
+    /// [`ModelRegistry::active_version`]).
+    pub fn start(
+        server: Arc<PredictionServer>,
+        registry: ModelRegistry,
+        model_name: impl Into<String>,
+        log: Arc<ObservationLog>,
+        config: AdaptationConfig,
+    ) -> Self {
+        let shared = Arc::new(LoopShared {
+            status: Mutex::new(AdaptationStatus {
+                last_median_qerror: f64::NAN,
+                last_version: server.model_version(),
+                ..AdaptationStatus::default()
+            }),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let model_name = model_name.into();
+        let handle = std::thread::Builder::new()
+            .name("zsdb-adapt".to_string())
+            .spawn(move || {
+                adaptation_loop(
+                    &server,
+                    &registry,
+                    &model_name,
+                    &log,
+                    &config,
+                    &thread_shared,
+                )
+            })
+            .expect("failed to spawn adaptation loop");
+        AdaptationLoop {
+            handle: Some(handle),
+            shared,
+        }
+    }
+
+    /// Current progress snapshot.
+    pub fn status(&self) -> AdaptationStatus {
+        self.shared
+            .status
+            .lock()
+            .expect("adaptation status poisoned")
+            .clone()
+    }
+
+    /// Signal the loop to stop, wait for it to finish its current round,
+    /// and return the final status.
+    pub fn stop(mut self) -> AdaptationStatus {
+        self.signal_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.status()
+    }
+
+    fn signal_stop(&self) {
+        *self.shared.stop.lock().expect("adaptation stop poisoned") = true;
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for AdaptationLoop {
+    fn drop(&mut self) {
+        self.signal_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn adaptation_loop(
+    server: &PredictionServer,
+    registry: &ModelRegistry,
+    model_name: &str,
+    log: &ObservationLog,
+    config: &AdaptationConfig,
+    shared: &LoopShared,
+) {
+    let catalog = server.catalog().clone();
+    let mut detector = DriftDetector::new(
+        config.drift_threshold,
+        config.drift_window.max(1),
+        config.min_observations,
+    );
+    // Observations accumulated across polls until a fine-tune consumes
+    // them.  Bounded: when fine-tuning cannot run for a while (e.g. the
+    // registry keeps erroring), only the newest `max_pending` graphs are
+    // kept — fine-tuning wants recent traffic anyway.
+    let max_pending = config
+        .min_observations
+        .max(config.drift_window)
+        .saturating_mul(2)
+        .max(1);
+    let mut pending: Vec<PlanGraph> = Vec::new();
+
+    loop {
+        // Interruptible sleep: `stop()` wakes the loop immediately.
+        {
+            let stop = shared.stop.lock().expect("adaptation stop poisoned");
+            if *stop {
+                return;
+            }
+            let (stop, _) = shared
+                .wake
+                .wait_timeout(stop, config.poll_interval)
+                .expect("adaptation stop poisoned");
+            if *stop {
+                return;
+            }
+        }
+
+        // Once the swap cap is reached the loop is done adapting: stop
+        // consuming (and featurizing) observations entirely — the log
+        // itself stays bounded by its reservoir.
+        let swaps_done = shared
+            .status
+            .lock()
+            .expect("adaptation status poisoned")
+            .swaps;
+        if config.max_swaps > 0 && swaps_done >= config.max_swaps {
+            continue;
+        }
+
+        let drained = log.drain();
+        if drained.is_empty() {
+            continue;
+        }
+
+        // Featurize against the *live* model's featurizer and score the
+        // live model's predictions against the observed runtimes.
+        let served = server.model();
+        let graphs: Vec<PlanGraph> = drained
+            .iter()
+            .map(|o| featurize_execution(&catalog, &o.payload, served.model.featurizer))
+            .collect();
+        let refs: Vec<&PlanGraph> = graphs.iter().collect();
+        let predictions = served.model.predict_batch(&refs);
+        for (prediction, observation) in predictions.iter().zip(&drained) {
+            detector.record(*prediction, observation.payload.runtime_secs);
+        }
+        let median = detector.rolling_median();
+        pending.extend(graphs);
+        if pending.len() > max_pending {
+            let excess = pending.len() - max_pending;
+            pending.drain(..excess);
+        }
+
+        {
+            let mut status = shared.status.lock().expect("adaptation status poisoned");
+            status.rounds += 1;
+            status.observations_consumed += drained.len() as u64;
+            status.last_median_qerror = median;
+        }
+
+        if !detector.drifted() || pending.len() < config.min_observations.max(1) {
+            continue;
+        }
+
+        // Drift confirmed: fine-tune from the live weights, register the
+        // result as a new version, promote it and swap it in.
+        let finetuned = Trainer::finetune_from(&served.model, &pending, config.finetune);
+        let probe_count = config.max_probe_graphs.clamp(1, pending.len());
+        let outcome = registry
+            .register(model_name, &finetuned, &pending[..probe_count])
+            .and_then(|version| {
+                registry.promote(model_name, version)?;
+                Ok(version)
+            });
+        let mut status = shared.status.lock().expect("adaptation status poisoned");
+        match outcome {
+            Ok(version) => {
+                server.swap_model(finetuned, version);
+                detector.reset();
+                pending.clear();
+                status.swaps += 1;
+                status.last_version = version;
+            }
+            Err(e) => {
+                // Keep serving the old model; surface the error and let
+                // the next round retry with fresh observations.
+                status.last_error = Some(e.to_string());
+            }
+        }
+    }
+}
+
+/// Roll the registry's promotion history back one step and hot-swap the
+/// prior version (freshly loaded, integrity-checked) into the server.
+/// Returns the version now being served; predictions are bit-identical
+/// to that version's original tenure.
+pub fn rollback_and_swap(
+    server: &PredictionServer,
+    registry: &ModelRegistry,
+    model_name: &str,
+) -> Result<u32, ServeError> {
+    let version = registry.rollback(model_name)?;
+    let model = registry.load(model_name, version)?;
+    server.swap_model(model, version);
+    Ok(version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_detector_needs_min_samples_and_threshold() {
+        let mut detector = DriftDetector::new(2.0, 8, 3);
+        assert!(detector.is_empty());
+        detector.record(1.0, 10.0); // q-error 10
+        detector.record(1.0, 10.0);
+        assert!(!detector.drifted(), "below min_samples");
+        detector.record(1.0, 10.0);
+        assert!(detector.drifted());
+        assert!(detector.rolling_median() >= 2.0);
+        detector.reset();
+        assert!(!detector.drifted());
+        assert_eq!(detector.len(), 0);
+    }
+
+    #[test]
+    fn accurate_predictions_never_drift() {
+        let mut detector = DriftDetector::new(1.5, 16, 1);
+        for i in 1..=100 {
+            let runtime = i as f64;
+            detector.record(runtime * 1.05, runtime); // 5% error
+        }
+        assert!(!detector.drifted());
+        assert!(detector.len() <= 16, "window is bounded");
+    }
+
+    #[test]
+    fn median_resists_outliers_but_not_systematic_shift() {
+        let mut detector = DriftDetector::new(2.0, 9, 5);
+        // Eight good predictions, one catastrophic outlier: no drift.
+        for _ in 0..8 {
+            detector.record(1.0, 1.1);
+        }
+        detector.record(1.0, 1000.0);
+        assert!(!detector.drifted(), "one outlier must not trigger");
+        // A systematic 3× shift floods the window: drift.
+        for _ in 0..9 {
+            detector.record(1.0, 3.0);
+        }
+        assert!(detector.drifted());
+    }
+}

@@ -1,10 +1,17 @@
 //! Thread-safe LRU cache of featurized plan graphs.
 //!
-//! Serving workers key the cache by the structural
+//! Serving workers key the cache by the **model version** they have
+//! pinned plus the structural
 //! [`plan_fingerprint`](zsdb_core::fingerprint::plan_fingerprint) of an
 //! incoming plan, so repeated query shapes skip re-featurization and go
-//! straight to model inference.  Hit/miss counters feed the serving
-//! metrics.
+//! straight to model inference.  Qualifying every entry by the version
+//! that featurized it makes hot-swaps race-free by construction: a
+//! worker that featurized against the old model can only ever insert —
+//! and hit — entries under the old version's key, so a graph featurized
+//! with one model's `FeaturizerConfig` is never served under another,
+//! regardless of how inserts interleave with a concurrent
+//! [`swap_model`](crate::PredictionServer::swap_model).  Hit/miss
+//! counters feed the serving metrics.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -12,17 +19,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use zsdb_core::features::PlanGraph;
 
+/// Cache key: the model version the graph was featurized for, plus the
+/// structural plan fingerprint.
+type VersionedKey = (u32, u64);
+
 /// Interior LRU bookkeeping: recency is a monotonically increasing tick;
 /// the `BTreeMap` orders keys by last use so eviction pops its first
 /// (oldest) entry in `O(log n)`.
 struct LruInner {
-    entries: HashMap<u64, (Arc<PlanGraph>, u64)>,
-    by_tick: BTreeMap<u64, u64>,
+    entries: HashMap<VersionedKey, (Arc<PlanGraph>, u64)>,
+    by_tick: BTreeMap<u64, VersionedKey>,
     next_tick: u64,
 }
 
 impl LruInner {
-    fn touch(&mut self, key: u64) {
+    fn touch(&mut self, key: VersionedKey) {
         if let Some((_, tick)) = self.entries.get_mut(&key) {
             self.by_tick.remove(tick);
             *tick = self.next_tick;
@@ -32,13 +43,14 @@ impl LruInner {
     }
 }
 
-/// A bounded, thread-safe LRU cache mapping plan fingerprints to their
-/// featurized graphs.
+/// A bounded, thread-safe LRU cache mapping (model version, plan
+/// fingerprint) pairs to featurized graphs.
 pub struct FeatureCache {
     inner: Mutex<LruInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl FeatureCache {
@@ -54,15 +66,30 @@ impl FeatureCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
-    /// Look up a fingerprint, counting a hit or miss.
-    pub fn get(&self, key: u64) -> Option<Arc<PlanGraph>> {
+    /// Drop every cached graph (hit/miss counters are lifetime counters
+    /// and survive).  Correctness never depends on this — entries are
+    /// version-qualified — but the serving layer calls it on every model
+    /// hot-swap as memory hygiene: the old version's entries are dead
+    /// weight the LRU would otherwise evict one miss at a time.
+    pub fn invalidate(&self) {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
-        match inner.entries.get(&key).map(|(g, _)| Arc::clone(g)) {
+        inner.entries.clear();
+        inner.by_tick.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Look up a fingerprint under a model version, counting a hit or
+    /// miss.
+    pub fn get(&self, version: u32, key: u64) -> Option<Arc<PlanGraph>> {
+        let full_key = (version, key);
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        match inner.entries.get(&full_key).map(|(g, _)| Arc::clone(g)) {
             Some(graph) => {
-                inner.touch(key);
+                inner.touch(full_key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(graph)
             }
@@ -73,15 +100,16 @@ impl FeatureCache {
         }
     }
 
-    /// Insert a graph, evicting the least recently used entry if the
-    /// cache is full.
-    pub fn insert(&self, key: u64, graph: Arc<PlanGraph>) {
+    /// Insert a graph under a model version, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&self, version: u32, key: u64, graph: Arc<PlanGraph>) {
         if self.capacity == 0 {
             return;
         }
+        let full_key = (version, key);
         let mut inner = self.inner.lock().expect("feature cache poisoned");
-        if inner.entries.contains_key(&key) {
-            inner.touch(key);
+        if inner.entries.contains_key(&full_key) {
+            inner.touch(full_key);
             return;
         }
         if inner.entries.len() >= self.capacity {
@@ -91,26 +119,32 @@ impl FeatureCache {
         }
         let tick = inner.next_tick;
         inner.next_tick += 1;
-        inner.entries.insert(key, (graph, tick));
-        inner.by_tick.insert(tick, key);
+        inner.entries.insert(full_key, (graph, tick));
+        inner.by_tick.insert(tick, full_key);
     }
 
-    /// Fetch the graph for `key`, computing and inserting it on a miss.
-    /// Returns the graph and whether the lookup was a cache hit.
+    /// Fetch the graph for `(version, key)`, computing and inserting it
+    /// on a miss.  Returns the graph and whether the lookup was a cache
+    /// hit.
     ///
     /// The featurization closure runs *outside* the cache lock, so
     /// concurrent misses never serialise on each other; two threads
     /// missing the same key may both featurize, with one result winning —
     /// harmless, because featurization is deterministic.
-    pub fn get_or_insert_with<F>(&self, key: u64, featurize: F) -> (Arc<PlanGraph>, bool)
+    pub fn get_or_insert_with<F>(
+        &self,
+        version: u32,
+        key: u64,
+        featurize: F,
+    ) -> (Arc<PlanGraph>, bool)
     where
         F: FnOnce() -> PlanGraph,
     {
-        if let Some(graph) = self.get(key) {
+        if let Some(graph) = self.get(version, key) {
             return (graph, true);
         }
         let graph = Arc::new(featurize());
-        self.insert(key, Arc::clone(&graph));
+        self.insert(version, key, Arc::clone(&graph));
         (graph, false)
     }
 
@@ -127,6 +161,7 @@ impl FeatureCache {
             misses: self.misses.load(Ordering::Relaxed),
             len,
             capacity: self.capacity,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -142,6 +177,8 @@ pub struct CacheStats {
     pub len: usize,
     /// Maximum number of entries.
     pub capacity: usize,
+    /// Times the cache was wholesale invalidated (model hot-swaps).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -176,9 +213,9 @@ mod tests {
     #[test]
     fn hit_and_miss_counting() {
         let cache = FeatureCache::new(4);
-        assert!(cache.get(1).is_none());
-        cache.insert(1, Arc::new(graph(1.0)));
-        assert!(cache.get(1).is_some());
+        assert!(cache.get(1, 1).is_none());
+        cache.insert(1, 1, Arc::new(graph(1.0)));
+        assert!(cache.get(1, 1).is_some());
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
@@ -188,14 +225,17 @@ mod tests {
     #[test]
     fn least_recently_used_entry_is_evicted() {
         let cache = FeatureCache::new(2);
-        cache.insert(1, Arc::new(graph(1.0)));
-        cache.insert(2, Arc::new(graph(2.0)));
+        cache.insert(1, 1, Arc::new(graph(1.0)));
+        cache.insert(1, 2, Arc::new(graph(2.0)));
         // Touch 1 so 2 becomes the LRU victim.
-        assert!(cache.get(1).is_some());
-        cache.insert(3, Arc::new(graph(3.0)));
-        assert!(cache.get(1).is_some());
-        assert!(cache.get(2).is_none(), "LRU entry should have been evicted");
-        assert!(cache.get(3).is_some());
+        assert!(cache.get(1, 1).is_some());
+        cache.insert(1, 3, Arc::new(graph(3.0)));
+        assert!(cache.get(1, 1).is_some());
+        assert!(
+            cache.get(1, 2).is_none(),
+            "LRU entry should have been evicted"
+        );
+        assert!(cache.get(1, 3).is_some());
         assert_eq!(cache.stats().len, 2);
     }
 
@@ -204,7 +244,7 @@ mod tests {
         let cache = FeatureCache::new(8);
         let mut featurizations = 0;
         for _ in 0..5 {
-            let (g, _hit) = cache.get_or_insert_with(42, || {
+            let (g, _hit) = cache.get_or_insert_with(1, 42, || {
                 featurizations += 1;
                 graph(42.0)
             });
@@ -217,11 +257,48 @@ mod tests {
     }
 
     #[test]
+    fn entries_are_scoped_to_their_model_version() {
+        let cache = FeatureCache::new(8);
+        let (_, hit) = cache.get_or_insert_with(1, 7, || graph(1.0));
+        assert!(!hit);
+        // The same fingerprint under another version is a distinct
+        // entry: a late insert from a worker still holding the old
+        // version can never be served to the new one.
+        let (g, hit) = cache.get_or_insert_with(2, 7, || graph(2.0));
+        assert!(!hit, "version 2 must not see version 1's graph");
+        assert_eq!(g.nodes[0].features[0], 2.0);
+        let (g, hit) = cache.get_or_insert_with(1, 7, || graph(9.0));
+        assert!(hit, "version 1's own entry is still there");
+        assert_eq!(g.nodes[0].features[0], 1.0);
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn invalidate_clears_entries_but_keeps_lifetime_counters() {
+        let cache = FeatureCache::new(8);
+        let (_, hit) = cache.get_or_insert_with(1, 1, || graph(1.0));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_insert_with(1, 1, || graph(1.0));
+        assert!(hit);
+        cache.invalidate();
+        let stats = cache.stats();
+        assert_eq!(stats.len, 0, "entries dropped");
+        assert_eq!(stats.hits, 1, "lifetime hits survive");
+        assert_eq!(stats.invalidations, 1);
+        // The same key misses again and repopulates cleanly.
+        let (_, hit) = cache.get_or_insert_with(1, 1, || graph(2.0));
+        assert!(!hit);
+        let (g, hit) = cache.get_or_insert_with(1, 1, || graph(3.0));
+        assert!(hit);
+        assert_eq!(g.nodes[0].features[0], 2.0, "post-invalidation value wins");
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let cache = FeatureCache::new(0);
-        let (_, hit) = cache.get_or_insert_with(7, || graph(7.0));
+        let (_, hit) = cache.get_or_insert_with(1, 7, || graph(7.0));
         assert!(!hit);
-        let (_, hit) = cache.get_or_insert_with(7, || graph(7.0));
+        let (_, hit) = cache.get_or_insert_with(1, 7, || graph(7.0));
         assert!(!hit);
         assert_eq!(cache.stats().len, 0);
     }
@@ -235,7 +312,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u64 {
                     let key = (t * 31 + i) % 100;
-                    let (g, _) = cache.get_or_insert_with(key, || graph(key as f64));
+                    let (g, _) = cache.get_or_insert_with(1, key, || graph(key as f64));
                     assert_eq!(g.nodes[0].features[0], key as f64);
                 }
             }));

@@ -35,6 +35,12 @@ pub enum ServeError {
         /// Format version this build supports.
         supported: u32,
     },
+    /// A rollback was requested but the promotion history holds no
+    /// earlier version to fall back to.
+    RollbackUnavailable {
+        /// Model name whose history is too short.
+        name: String,
+    },
     /// The request queue is full (backpressure): the caller should retry
     /// later or shed load.
     Overloaded,
@@ -63,6 +69,10 @@ impl fmt::Display for ServeError {
             ServeError::FormatVersionMismatch { found, supported } => write!(
                 f,
                 "artifact format version {found} is not supported (this build reads {supported})"
+            ),
+            ServeError::RollbackUnavailable { name } => write!(
+                f,
+                "model '{name}' has no earlier promoted version to roll back to"
             ),
             ServeError::Overloaded => write!(f, "request queue is full"),
             ServeError::Closed => write!(f, "prediction server is shut down"),

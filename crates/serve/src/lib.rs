@@ -24,6 +24,13 @@
 //!   skip featurization entirely.
 //! * [`metrics`] — throughput and p50/p95/p99 latency, exportable as the
 //!   machine-readable `BENCH_serve.json` report.
+//! * [`adapt`] — the online adaptation loop: observed executions (the
+//!   engine's [`ObservationLog`](zsdb_engine::ObservationLog)) feed a
+//!   rolling-median [`DriftDetector`]; on drift a background thread
+//!   fine-tunes from the live weights, registers + promotes the result
+//!   as a new registry version and **hot-swaps** it into the running
+//!   server with zero downtime.  `promote`/`rollback` are first-class
+//!   registry operations.
 //!
 //! ```no_run
 //! use zsdb_serve::{ModelRegistry, PredictionServer, ServerConfig};
@@ -43,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod cache;
 pub mod error;
 pub mod metrics;
@@ -50,12 +58,15 @@ pub mod multitask;
 pub mod registry;
 pub mod server;
 
+pub use adapt::{
+    rollback_and_swap, AdaptationConfig, AdaptationLoop, AdaptationStatus, DriftDetector,
+};
 pub use cache::{CacheStats, FeatureCache};
 pub use error::ServeError;
 pub use metrics::{MetricsSnapshot, ServeMetrics, BATCH_SIZE_BUCKET_LABELS};
 pub use multitask::{
     MultiTaskBatchTicket, MultiTaskPredictionServer, MultiTaskPredictionTicket,
-    ServedMultiTaskPrediction,
+    ServedMultiTaskModel, ServedMultiTaskPrediction,
 };
 pub use registry::{
     ArtifactManifest, IntegrityProbe, ModelRegistry, MultiTaskArtifactManifest,
@@ -63,5 +74,5 @@ pub use registry::{
 };
 pub use server::{
     BatchPredictionTicket, Prediction, PredictionServer, PredictionTicket, RejectedRequest,
-    ServerConfig,
+    ServedModel, ServerConfig,
 };

@@ -47,6 +47,8 @@ pub struct ServeMetrics {
     ring: Mutex<LatencyRing>,
     /// Batch-size histogram (see [`BATCH_SIZE_BUCKET_LABELS`]).
     batch_sizes: [AtomicU64; BATCH_SIZE_BUCKET_LABELS.len()],
+    /// Model hot-swaps performed over the server's lifetime.
+    swaps: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -61,7 +63,13 @@ impl ServeMetrics {
                 max_ns: 0,
             }),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            swaps: AtomicU64::new(0),
         }
+    }
+
+    /// Record one model hot-swap.
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one completed single-plan request and its queue-to-response
@@ -129,6 +137,8 @@ impl ServeMetrics {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
+            cache_invalidations: cache.invalidations,
+            model_swaps: self.swaps.load(Ordering::Relaxed),
             workers,
             batch_size_histogram: self
                 .batch_sizes
@@ -189,6 +199,10 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// `hits / (hits + misses)`, 0 before any traffic.
     pub cache_hit_rate: f64,
+    /// Times the feature cache was wholesale invalidated (hot-swaps).
+    pub cache_invalidations: u64,
+    /// Model hot-swaps performed over the server's lifetime.
+    pub model_swaps: u64,
     /// Number of worker threads serving predictions.
     pub workers: usize,
     /// Batch-size histogram: bucket `i` counts completed batches whose
@@ -225,6 +239,7 @@ mod tests {
             misses,
             len: 0,
             capacity: 16,
+            invalidations: 0,
         }
     }
 

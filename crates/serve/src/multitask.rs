@@ -28,7 +28,7 @@ use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::server::ServerConfig;
 use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zsdb_catalog::SchemaCatalog;
@@ -50,6 +50,19 @@ pub struct ServedMultiTaskPrediction {
     pub cache_hit: bool,
     /// Enqueue-to-response latency.
     pub latency: Duration,
+    /// Version of the model that answered (changes across hot-swaps).
+    pub model_version: u32,
+}
+
+/// A versioned, immutable served multi-task model — the unit of an atomic
+/// hot-swap (the multi-task mirror of
+/// [`ServedModel`](crate::server::ServedModel)).
+#[derive(Debug)]
+pub struct ServedMultiTaskModel {
+    /// Registry version of this model.
+    pub version: u32,
+    /// The model itself.
+    pub model: TrainedMultiTaskModel,
 }
 
 /// Claim ticket for an in-flight multi-task request; redeem with
@@ -98,10 +111,18 @@ enum Job {
 }
 
 struct Shared {
-    model: TrainedMultiTaskModel,
+    /// The currently served model, swappable at runtime (see
+    /// [`MultiTaskPredictionServer::swap_model`]).
+    model: RwLock<Arc<ServedMultiTaskModel>>,
     catalog: SchemaCatalog,
     cache: FeatureCache,
     metrics: ServeMetrics,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<ServedMultiTaskModel> {
+        Arc::clone(&self.model.read().expect("served model lock poisoned"))
+    }
 }
 
 /// A running all-heads prediction service over one trained multi-task
@@ -121,13 +142,25 @@ impl MultiTaskPredictionServer {
         catalog: SchemaCatalog,
         config: ServerConfig,
     ) -> Self {
+        MultiTaskPredictionServer::start_versioned(model, 1, catalog, config)
+    }
+
+    /// [`MultiTaskPredictionServer::start`] with an explicit initial
+    /// model version (use the registry version the model was loaded
+    /// from).
+    pub fn start_versioned(
+        model: TrainedMultiTaskModel,
+        version: u32,
+        catalog: SchemaCatalog,
+        config: ServerConfig,
+    ) -> Self {
         assert!(config.workers > 0, "a server needs at least one worker");
         assert!(
             config.queue_capacity > 0,
             "a zero-capacity queue would reject every request"
         );
         let shared = Arc::new(Shared {
-            model,
+            model: RwLock::new(Arc::new(ServedMultiTaskModel { version, model })),
             catalog,
             cache: FeatureCache::new(config.cache_capacity),
             metrics: ServeMetrics::new(),
@@ -208,6 +241,36 @@ impl MultiTaskPredictionServer {
         self.submit(plan)?.wait()
     }
 
+    /// Atomically replace the served model with a new version (see
+    /// [`PredictionServer::swap_model`](crate::PredictionServer::swap_model)
+    /// — identical semantics: in-flight batches finish on the old
+    /// weights, the feature cache is invalidated, no request is lost).
+    pub fn swap_model(&self, model: TrainedMultiTaskModel, version: u32) {
+        let next = Arc::new(ServedMultiTaskModel { version, model });
+        *self
+            .shared
+            .model
+            .write()
+            .expect("served model lock poisoned") = next;
+        self.shared.cache.invalidate();
+        self.shared.metrics.record_swap();
+    }
+
+    /// The currently served model (and its version), pinned.
+    pub fn model(&self) -> Arc<ServedMultiTaskModel> {
+        self.shared.current()
+    }
+
+    /// Version of the currently served model.
+    pub fn model_version(&self) -> u32 {
+        self.shared.current().version
+    }
+
+    /// The catalog requests are featurized against.
+    pub fn catalog(&self) -> &SchemaCatalog {
+        &self.shared.catalog
+    }
+
     /// Current serving metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared
@@ -245,11 +308,17 @@ impl Drop for MultiTaskPredictionServer {
     }
 }
 
-fn featurize_cached(shared: &Shared, plan: &PlanNode) -> (Arc<PlanGraph>, u64, bool) {
+fn featurize_cached(
+    shared: &Shared,
+    served: &ServedMultiTaskModel,
+    plan: &PlanNode,
+) -> (Arc<PlanGraph>, u64, bool) {
     let fingerprint = plan_fingerprint(plan);
-    let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
-        featurize_plan(&shared.catalog, plan, shared.model.featurizer)
-    });
+    let (graph, cache_hit) = shared
+        .cache
+        .get_or_insert_with(served.version, fingerprint, || {
+            featurize_plan(&shared.catalog, plan, served.model.featurizer)
+        });
     (graph, fingerprint, cache_hit)
 }
 
@@ -267,8 +336,11 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                 enqueued,
                 reply,
             } => {
-                let (graph, fingerprint, cache_hit) = featurize_cached(shared, &plan);
-                let tasks = shared.model.predict(&graph);
+                // Pin the current model for the whole job: a concurrent
+                // hot-swap never changes weights mid-request.
+                let served = shared.current();
+                let (graph, fingerprint, cache_hit) = featurize_cached(shared, &served, &plan);
+                let tasks = served.model.predict(&graph);
                 let latency = enqueued.elapsed();
                 shared.metrics.record(latency);
                 let _ = reply.send(ServedMultiTaskPrediction {
@@ -276,6 +348,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                     fingerprint,
                     cache_hit,
                     latency,
+                    model_version: served.version,
                 });
             }
             Job::Batch {
@@ -283,17 +356,18 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                 enqueued,
                 reply,
             } => {
+                let served = shared.current();
                 let mut fingerprints = Vec::with_capacity(plans.len());
                 let mut cache_hits = Vec::with_capacity(plans.len());
                 let mut graphs = Vec::with_capacity(plans.len());
                 for plan in &plans {
-                    let (graph, fingerprint, cache_hit) = featurize_cached(shared, plan);
+                    let (graph, fingerprint, cache_hit) = featurize_cached(shared, &served, plan);
                     fingerprints.push(fingerprint);
                     cache_hits.push(cache_hit);
                     graphs.push(graph);
                 }
                 let refs: Vec<&PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
-                let all_tasks = shared.model.predict_batch(&refs);
+                let all_tasks = served.model.predict_batch(&refs);
                 let latency = enqueued.elapsed();
                 shared.metrics.record_batch(plans.len(), latency);
                 let predictions = all_tasks
@@ -306,6 +380,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                             fingerprint,
                             cache_hit,
                             latency,
+                            model_version: served.version,
                         },
                     )
                     .collect();
@@ -326,7 +401,12 @@ mod tests {
     use zsdb_query::WorkloadGenerator;
     use zsdb_storage::Database;
 
-    fn fixture() -> (TrainedMultiTaskModel, SchemaCatalog, Vec<PlanNode>) {
+    fn fixture() -> (
+        TrainedMultiTaskModel,
+        SchemaCatalog,
+        Vec<PlanNode>,
+        Vec<zsdb_multitask::MultiTaskSample>,
+    ) {
         let db = Database::generate(presets::imdb_like(0.02), 3);
         let runner = QueryRunner::with_defaults(&db);
         let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 15, 1);
@@ -349,12 +429,12 @@ mod tests {
         );
         let model = trainer.train(&samples);
         let plans = runner.plan_workload(&queries);
-        (model, db.catalog().clone(), plans)
+        (model, db.catalog().clone(), plans, samples)
     }
 
     #[test]
     fn one_submit_answers_every_head_bit_identically() {
-        let (model, catalog, plans) = fixture();
+        let (model, catalog, plans, _) = fixture();
         let server = MultiTaskPredictionServer::start(
             model.clone(),
             catalog.clone(),
@@ -380,8 +460,49 @@ mod tests {
     }
 
     #[test]
+    fn hot_swap_serves_the_new_heads_and_invalidates_the_cache() {
+        let (model, catalog, plans, samples) = fixture();
+        let tuned = MultiTaskTrainer::finetune_from(
+            &model,
+            &samples[..8],
+            zsdb_core::FinetuneConfig {
+                epochs: 3,
+                learning_rate: 1e-3,
+                ..zsdb_core::FinetuneConfig::default()
+            },
+        );
+        let server = MultiTaskPredictionServer::start(
+            model.clone(),
+            catalog.clone(),
+            ServerConfig::default(),
+        );
+        assert_eq!(server.model_version(), 1);
+        let before = server.predict_blocking(plans[0].clone()).unwrap();
+        assert_eq!(before.model_version, 1);
+
+        server.swap_model(tuned.clone(), 2);
+        assert_eq!(server.model_version(), 2);
+        let after = server.predict_blocking(plans[0].clone()).unwrap();
+        assert_eq!(after.model_version, 2);
+        assert!(!after.cache_hit, "swap invalidated the feature cache");
+        let reference = tuned.predict(&featurize_plan(&catalog, &plans[0], tuned.featurizer));
+        assert_eq!(
+            after.tasks.runtime_secs.to_bits(),
+            reference.runtime_secs.to_bits()
+        );
+        assert_eq!(
+            after.tasks.root_rows.to_bits(),
+            reference.root_rows.to_bits()
+        );
+        assert_eq!(after.tasks.operator_rows, reference.operator_rows);
+        let metrics = server.metrics();
+        assert_eq!(metrics.model_swaps, 1);
+        assert_eq!(metrics.cache_invalidations, 1);
+    }
+
+    #[test]
     fn batch_submission_matches_singles_and_hits_the_cache() {
-        let (model, catalog, plans) = fixture();
+        let (model, catalog, plans, _) = fixture();
         let server = MultiTaskPredictionServer::start(model, catalog, ServerConfig::default());
         let singles: Vec<ServedMultiTaskPrediction> = plans
             .iter()

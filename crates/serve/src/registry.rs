@@ -24,6 +24,22 @@
 //! `multitask_model.json`; its integrity probes record the bit-patterns of
 //! **every head** (cost, root cardinality, per-operator cardinalities),
 //! all re-verified on [`ModelRegistry::load_multitask`].
+//!
+//! **Version lifecycle.**  Every version moves through three states:
+//!
+//! 1. **registered** — the artifact exists on disk and passes its
+//!    integrity probes, but nothing serves it;
+//! 2. **promoted (active)** — [`ModelRegistry::promote`] appended it to
+//!    the model's promotion history (`<root>/<name>/promotions.json`,
+//!    written atomically); [`ModelRegistry::active_version`] resolves to
+//!    the newest promoted version (falling back to the newest registered
+//!    one when nothing was ever promoted).  The online adaptation loop
+//!    promotes every fine-tuned version it hot-swaps in;
+//! 3. **superseded / rolled back** — a later promotion supersedes the
+//!    version, or [`ModelRegistry::rollback`] pops the history back to
+//!    its predecessor.  Artifacts are never deleted, so any historical
+//!    version can be inspected, re-promoted, or served again
+//!    bit-identically.
 
 use crate::error::ServeError;
 use serde::{Deserialize, Serialize};
@@ -454,6 +470,95 @@ impl ModelRegistry {
         self.load_multitask(name, version)
     }
 
+    // ── Version lifecycle ────────────────────────────────────────────
+    //
+    // A version moves through three states:
+    //
+    // * **registered** — the artifact exists on disk and passes its
+    //   integrity probes, but nothing serves it;
+    // * **promoted (active)** — the version was appended to the model's
+    //   promotion history (`promotions.json`) and is what
+    //   `active_version` resolves to; the adaptation loop promotes every
+    //   fine-tuned version it hot-swaps in;
+    // * **rolled back / superseded** — a later promotion (supersede) or
+    //   a `rollback` (pop) ended the version's active tenure.  The
+    //   artifact itself is never deleted, so any historical version can
+    //   be re-promoted or inspected.
+
+    /// Promote a registered version to *active*: append it to the
+    /// model's promotion history.  Promoting the already-active version
+    /// is a no-op.  Fails with [`ServeError::NotFound`] if the version
+    /// was never registered.
+    pub fn promote(&self, name: &str, version: u32) -> Result<(), ServeError> {
+        let dir = self.version_dir(name, version);
+        if !dir.join("manifest.json").exists() && !dir.join("multitask_manifest.json").exists() {
+            return Err(ServeError::NotFound {
+                name: name.to_string(),
+                version: Some(version),
+            });
+        }
+        let mut history = self.promotion_history(name)?;
+        if history.last() == Some(&version) {
+            return Ok(());
+        }
+        history.push(version);
+        self.write_promotions(name, &history)
+    }
+
+    /// The full promotion history of `name`, oldest first (empty when
+    /// nothing was ever promoted).
+    pub fn promotion_history(&self, name: &str) -> Result<Vec<u32>, ServeError> {
+        let path = self.root.join(name).join("promotions.json");
+        match fs::read_to_string(&path) {
+            Ok(raw) => Ok(serde_json::from_str(&raw)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The currently promoted (active) version, or `None` when nothing
+    /// was ever promoted.
+    pub fn promoted(&self, name: &str) -> Result<Option<u32>, ServeError> {
+        Ok(self.promotion_history(name)?.last().copied())
+    }
+
+    /// Roll the active version back to its predecessor in the promotion
+    /// history, returning the version that is now active.  Fails with
+    /// [`ServeError::RollbackUnavailable`] when the history holds fewer
+    /// than two entries (there is nothing to fall back to).
+    pub fn rollback(&self, name: &str) -> Result<u32, ServeError> {
+        let mut history = self.promotion_history(name)?;
+        if history.len() < 2 {
+            return Err(ServeError::RollbackUnavailable {
+                name: name.to_string(),
+            });
+        }
+        history.pop();
+        let active = *history.last().expect("checked non-empty");
+        self.write_promotions(name, &history)?;
+        Ok(active)
+    }
+
+    /// The version a server should serve: the promoted version when one
+    /// exists, otherwise the newest registered version.
+    pub fn active_version(&self, name: &str) -> Result<u32, ServeError> {
+        match self.promoted(name)? {
+            Some(v) => Ok(v),
+            None => self.latest(name),
+        }
+    }
+
+    /// Write the promotion history atomically (temp file + rename), so a
+    /// crash mid-write can never leave a torn history behind.
+    fn write_promotions(&self, name: &str, history: &[u32]) -> Result<(), ServeError> {
+        let dir = self.root.join(name);
+        fs::create_dir_all(&dir)?;
+        let tmp = dir.join("promotions.json.tmp");
+        fs::write(&tmp, serde_json::to_string(&history.to_vec())?)?;
+        fs::rename(&tmp, dir.join("promotions.json"))?;
+        Ok(())
+    }
+
     fn version_dir(&self, name: &str, version: u32) -> PathBuf {
         self.root.join(name).join(format!("v{version:04}"))
     }
@@ -554,6 +659,50 @@ mod tests {
         for v in versions {
             registry.load("cost", v).unwrap();
         }
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn promote_and_rollback_walk_the_lifecycle() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let v1 = registry.register("cost", &model, &graphs[..2]).unwrap();
+        let v2 = registry.register("cost", &model, &graphs[..2]).unwrap();
+        let v3 = registry.register("cost", &model, &graphs[..2]).unwrap();
+
+        // Nothing promoted yet: active falls back to latest.
+        assert_eq!(registry.promoted("cost").unwrap(), None);
+        assert_eq!(registry.active_version("cost").unwrap(), v3);
+
+        registry.promote("cost", v1).unwrap();
+        assert_eq!(registry.promoted("cost").unwrap(), Some(v1));
+        assert_eq!(registry.active_version("cost").unwrap(), v1);
+
+        // Promoting the active version again is a no-op.
+        registry.promote("cost", v1).unwrap();
+        assert_eq!(registry.promotion_history("cost").unwrap(), vec![v1]);
+
+        registry.promote("cost", v2).unwrap();
+        registry.promote("cost", v3).unwrap();
+        assert_eq!(
+            registry.promotion_history("cost").unwrap(),
+            vec![v1, v2, v3]
+        );
+
+        // Rollback pops back through the history.
+        assert_eq!(registry.rollback("cost").unwrap(), v2);
+        assert_eq!(registry.active_version("cost").unwrap(), v2);
+        assert_eq!(registry.rollback("cost").unwrap(), v1);
+        assert!(matches!(
+            registry.rollback("cost"),
+            Err(ServeError::RollbackUnavailable { .. })
+        ));
+
+        // Promoting an unregistered version is refused.
+        assert!(matches!(
+            registry.promote("cost", 99),
+            Err(ServeError::NotFound { .. })
+        ));
         let _ = fs::remove_dir_all(registry.root());
     }
 

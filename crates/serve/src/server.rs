@@ -29,7 +29,7 @@ use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zsdb_catalog::SchemaCatalog;
@@ -78,6 +78,24 @@ pub struct Prediction {
     pub cache_hit: bool,
     /// Enqueue-to-response latency.
     pub latency: Duration,
+    /// Version of the model that answered (changes across hot-swaps).
+    pub model_version: u32,
+}
+
+/// A versioned, immutable served model — the unit of an atomic hot-swap.
+///
+/// Workers pin the current `Arc<ServedModel>` per dequeued job, so a
+/// concurrent [`PredictionServer::swap_model`] never changes the weights
+/// under an in-flight request or batch: work that already started
+/// finishes on the old version, work dequeued after the swap runs on the
+/// new one.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Registry version of this model (1 for a model served directly
+    /// without a registry).
+    pub version: u32,
+    /// The model itself.
+    pub model: TrainedModel,
 }
 
 /// Claim ticket for an in-flight request; redeem with
@@ -167,10 +185,20 @@ enum Job {
 }
 
 struct Shared {
-    model: TrainedModel,
+    /// The currently served model, swappable at runtime.  Workers take
+    /// the read lock only long enough to clone the `Arc`; a swap takes
+    /// the write lock only long enough to replace it — neither ever
+    /// blocks on inference.
+    model: RwLock<Arc<ServedModel>>,
     catalog: SchemaCatalog,
     cache: FeatureCache,
     metrics: ServeMetrics,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<ServedModel> {
+        Arc::clone(&self.model.read().expect("served model lock poisoned"))
+    }
 }
 
 /// A running prediction service over one trained model and one database
@@ -189,13 +217,25 @@ impl PredictionServer {
     /// optimised for — it supplies the table/column statistics the
     /// transferable featurization reads.
     pub fn start(model: TrainedModel, catalog: SchemaCatalog, config: ServerConfig) -> Self {
+        PredictionServer::start_versioned(model, 1, catalog, config)
+    }
+
+    /// [`PredictionServer::start`] with an explicit initial model version
+    /// (use the registry version the model was loaded from, so
+    /// [`Prediction::model_version`] matches the registry lifecycle).
+    pub fn start_versioned(
+        model: TrainedModel,
+        version: u32,
+        catalog: SchemaCatalog,
+        config: ServerConfig,
+    ) -> Self {
         assert!(config.workers > 0, "a server needs at least one worker");
         assert!(
             config.queue_capacity > 0,
             "a zero-capacity queue would reject every request"
         );
         let shared = Arc::new(Shared {
-            model,
+            model: RwLock::new(Arc::new(ServedModel { version, model })),
             catalog,
             cache: FeatureCache::new(config.cache_capacity),
             metrics: ServeMetrics::new(),
@@ -316,6 +356,46 @@ impl PredictionServer {
         self.submit(plan)?.wait()
     }
 
+    /// Atomically replace the served model with a new version — the
+    /// zero-downtime half of the online adaptation loop.
+    ///
+    /// In-flight requests and batches finish on the weights they started
+    /// with (workers pin the model `Arc` per job); requests dequeued
+    /// after the swap are answered by the new version.  Cached features
+    /// are keyed by the version that produced them, so a new artifact
+    /// that featurizes differently can never be served a stale graph;
+    /// the swap additionally clears the cache so the old version's
+    /// entries don't linger as dead weight.  Submission is never paused
+    /// and no queued request is lost.
+    pub fn swap_model(&self, model: TrainedModel, version: u32) {
+        let next = Arc::new(ServedModel { version, model });
+        *self
+            .shared
+            .model
+            .write()
+            .expect("served model lock poisoned") = next;
+        self.shared.cache.invalidate();
+        self.shared.metrics.record_swap();
+    }
+
+    /// The currently served model (and its version), pinned.  The
+    /// adaptation loop uses this to fine-tune *from* the live weights;
+    /// holding the `Arc` keeps those weights alive across a concurrent
+    /// swap.
+    pub fn model(&self) -> Arc<ServedModel> {
+        self.shared.current()
+    }
+
+    /// Version of the currently served model.
+    pub fn model_version(&self) -> u32 {
+        self.shared.current().version
+    }
+
+    /// The catalog requests are featurized against.
+    pub fn catalog(&self) -> &SchemaCatalog {
+        &self.shared.catalog
+    }
+
     /// Current serving metrics (throughput, latency percentiles, cache
     /// effectiveness).
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -371,11 +451,17 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                 enqueued,
                 reply,
             } => {
+                // Pin the current model for the whole job: a concurrent
+                // hot-swap never changes weights mid-request.
+                let served = shared.current();
                 let fingerprint = plan_fingerprint(&plan);
-                let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
-                    featurize_plan(&shared.catalog, &plan, shared.model.featurizer)
-                });
-                let runtime_secs = shared.model.model.predict_with(&graph, &mut scratch);
+                let (graph, cache_hit) =
+                    shared
+                        .cache
+                        .get_or_insert_with(served.version, fingerprint, || {
+                            featurize_plan(&shared.catalog, &plan, served.model.featurizer)
+                        });
+                let runtime_secs = served.model.model.predict_with(&graph, &mut scratch);
                 let latency = enqueued.elapsed();
                 shared.metrics.record(latency);
                 // A dropped ticket just means the client stopped waiting.
@@ -384,6 +470,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                     fingerprint,
                     cache_hit,
                     latency,
+                    model_version: served.version,
                 });
             }
             Job::Batch {
@@ -392,21 +479,26 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                 reply,
             } => {
                 // One featurization sweep (cache-assisted), then a single
-                // batched forward over the whole request batch.
+                // batched forward over the whole request batch — all on
+                // one pinned model version.
+                let served = shared.current();
                 let mut fingerprints = Vec::with_capacity(plans.len());
                 let mut cache_hits = Vec::with_capacity(plans.len());
                 let mut graphs = Vec::with_capacity(plans.len());
                 for plan in &plans {
                     let fingerprint = plan_fingerprint(plan);
-                    let (graph, cache_hit) = shared.cache.get_or_insert_with(fingerprint, || {
-                        featurize_plan(&shared.catalog, plan, shared.model.featurizer)
-                    });
+                    let (graph, cache_hit) =
+                        shared
+                            .cache
+                            .get_or_insert_with(served.version, fingerprint, || {
+                                featurize_plan(&shared.catalog, plan, served.model.featurizer)
+                            });
                     fingerprints.push(fingerprint);
                     cache_hits.push(cache_hit);
                     graphs.push(graph);
                 }
                 let refs: Vec<&zsdb_core::PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
-                let runtimes = shared.model.model.predict_batch(&refs);
+                let runtimes = served.model.model.predict_batch(&refs);
                 let latency = enqueued.elapsed();
                 shared.metrics.record_batch(plans.len(), latency);
                 let predictions = runtimes
@@ -418,6 +510,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                         fingerprint,
                         cache_hit,
                         latency,
+                        model_version: served.version,
                     })
                     .collect();
                 let _ = reply.send(predictions);
@@ -571,6 +664,58 @@ mod tests {
         let hist = server.metrics().batch_size_histogram;
         assert_eq!(hist[2], 3, "three full chunks of 4 in the 4-7 bucket");
         assert_eq!(hist[1], 1, "one tail chunk of 3 in the 2-3 bucket");
+    }
+
+    #[test]
+    fn hot_swap_switches_versions_and_invalidates_the_cache() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        // A second, distinguishable model: fine-tune the first.
+        let graphs: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                let mut g = featurize_plan(&catalog, p, model.featurizer);
+                g.runtime_secs = Some(1.0);
+                g
+            })
+            .collect();
+        let tuned = zsdb_core::Trainer::finetune_from(
+            &model,
+            &graphs,
+            zsdb_core::FinetuneConfig {
+                epochs: 3,
+                learning_rate: 1e-3,
+                ..zsdb_core::FinetuneConfig::default()
+            },
+        );
+        assert_ne!(
+            model.predict(&graphs[0]).to_bits(),
+            tuned.predict(&graphs[0]).to_bits(),
+            "the two versions must answer differently"
+        );
+
+        let server =
+            PredictionServer::start(model.clone(), catalog.clone(), ServerConfig::default());
+        assert_eq!(server.model_version(), 1);
+        let before = server.predict_blocking(plans[0].clone()).unwrap();
+        assert_eq!(before.model_version, 1);
+        let reference = model.predict(&featurize_plan(&catalog, &plans[0], model.featurizer));
+        assert_eq!(before.runtime_secs.to_bits(), reference.to_bits());
+
+        // Warm the cache, then swap.
+        let warmed = server.predict_blocking(plans[0].clone()).unwrap();
+        assert!(warmed.cache_hit);
+        server.swap_model(tuned.clone(), 2);
+        assert_eq!(server.model_version(), 2);
+
+        let after = server.predict_blocking(plans[0].clone()).unwrap();
+        assert_eq!(after.model_version, 2);
+        assert!(!after.cache_hit, "swap invalidated the feature cache");
+        let tuned_reference = tuned.predict(&featurize_plan(&catalog, &plans[0], tuned.featurizer));
+        assert_eq!(after.runtime_secs.to_bits(), tuned_reference.to_bits());
+
+        let metrics = server.metrics();
+        assert_eq!(metrics.model_swaps, 1);
+        assert_eq!(metrics.cache_invalidations, 1);
     }
 
     #[test]

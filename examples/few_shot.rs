@@ -11,7 +11,8 @@ use zero_shot_db::zeroshot::dataset::{
     collect_for_database, collect_training_corpus, TrainingDataConfig,
 };
 use zero_shot_db::zeroshot::{
-    evaluate, few_shot_finetune, FeaturizerConfig, ModelConfig, Trainer, TrainingConfig,
+    evaluate, few_shot_finetune_with, FeaturizerConfig, FinetuneConfig, ModelConfig, Trainer,
+    TrainingConfig,
 };
 
 fn main() {
@@ -48,8 +49,22 @@ fn main() {
     let before = evaluate(&zero_shot, &imdb, "holdout", holdout);
     println!("\nZero-shot (no queries on the target database): {before}");
 
+    // Few-shot fine-tuning runs through the same incremental
+    // `FinetuneConfig` path the online adaptation loop in `zsdb_serve`
+    // uses: the batched shard engine, full-batch by default, and
+    // bit-identical results for any thread count.
+    let finetune_config = FinetuneConfig {
+        epochs: 40,
+        learning_rate: 1e-3,
+        ..FinetuneConfig::default()
+    };
     for budget in [5usize, 20, 40] {
-        let finetuned = few_shot_finetune(&zero_shot, &imdb, &few_shot_budget[..budget], 40, 1e-3);
+        let finetuned = few_shot_finetune_with(
+            &zero_shot,
+            &imdb,
+            &few_shot_budget[..budget],
+            finetune_config,
+        );
         let after = evaluate(&finetuned, &imdb, "holdout", holdout);
         println!("Few-shot with {budget:>2} target-database queries:      {after}");
     }

@@ -1,0 +1,233 @@
+//! Hot-swap soak test (ISSUE 5 acceptance): drive ≥ 1000 concurrent
+//! requests through a running `PredictionServer` while the background
+//! `AdaptationLoop` performs ≥ 3 fine-tune → register → promote →
+//! hot-swap cycles and one rollback, asserting
+//!
+//! (a) no ticket is ever lost or failed — every submitted request is
+//!     answered, across every swap,
+//! (b) post-swap predictions are bit-identical to loading the promoted
+//!     registry version fresh (and post-rollback predictions to the
+//!     prior version),
+//! (c) the feature cache is invalidated on each swap and its hit-rate
+//!     recovers under repeated traffic afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zero_shot_db::catalog::presets;
+use zero_shot_db::engine::{ObservationLog, QueryRunner};
+use zero_shot_db::query::WorkloadGenerator;
+use zero_shot_db::serve::{
+    rollback_and_swap, AdaptationConfig, AdaptationLoop, ModelRegistry, PredictionServer,
+    ServerConfig,
+};
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::features::{featurize_execution, featurize_plan};
+use zero_shot_db::zeroshot::{
+    FeaturizerConfig, FinetuneConfig, ModelConfig, PlanGraph, Trainer, TrainingConfig,
+};
+
+const CLIENTS: usize = 4;
+const MIN_REQUESTS_PER_CLIENT: usize = 250;
+const TARGET_SWAPS: u64 = 3;
+
+#[test]
+fn soak_hot_swaps_and_rollback_under_concurrent_traffic() {
+    // ---- A served base model on one database -------------------------
+    let db = Database::generate(presets::imdb_like(0.02), 3);
+    let runner = QueryRunner::with_defaults(&db);
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 20, 1);
+    let executions = runner.run_workload(&queries, 0);
+    let graphs: Vec<PlanGraph> = executions
+        .iter()
+        .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact()))
+        .collect();
+    let trainer = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 2,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    );
+    let model = trainer.train(&graphs);
+
+    let dir = std::env::temp_dir().join(format!("zsdb_adapt_e2e_{}", std::process::id()));
+    let registry = ModelRegistry::open(&dir).expect("open registry");
+    let v1 = registry
+        .register("adaptive", &model, &graphs[..3])
+        .expect("register base model");
+    registry.promote("adaptive", v1).expect("promote v1");
+    let served = registry.load("adaptive", v1).expect("load v1");
+    let server = Arc::new(PredictionServer::start_versioned(
+        served,
+        v1,
+        db.catalog().clone(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            ..ServerConfig::default()
+        },
+    ));
+    let plans = runner.plan_workload(&queries);
+
+    // ---- Background adaptation over a live observation log -----------
+    let log = Arc::new(ObservationLog::new(64, 9));
+    let adaptation = AdaptationLoop::start(
+        Arc::clone(&server),
+        registry.clone(),
+        "adaptive",
+        Arc::clone(&log),
+        AdaptationConfig {
+            // Threshold 1.0 = any observed traffic counts as drift; the
+            // test exercises the machinery, not the detector's judgement.
+            drift_threshold: 1.0,
+            drift_window: 64,
+            min_observations: 4,
+            poll_interval: Duration::from_millis(10),
+            finetune: FinetuneConfig {
+                epochs: 2,
+                learning_rate: 1e-4,
+                ..FinetuneConfig::default()
+            },
+            max_probe_graphs: 2,
+            max_swaps: TARGET_SWAPS,
+        },
+    );
+
+    // ---- Concurrent clients: ≥ 1000 requests across the swaps --------
+    let stop_clients = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let server = Arc::clone(&server);
+        let plans = plans.clone();
+        let stop = Arc::clone(&stop_clients);
+        let answered = Arc::clone(&answered);
+        clients.push(std::thread::spawn(move || {
+            let mut i = 0usize;
+            loop {
+                let plan = plans[(c + i) % plans.len()].clone();
+                // Every ticket must be answered: a lost or failed
+                // request across a swap fails the test here.
+                let prediction = server
+                    .submit(plan)
+                    .expect("submit must succeed while serving")
+                    .wait()
+                    .expect("every ticket must be answered");
+                assert!(prediction.runtime_secs.is_finite());
+                answered.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                if i >= MIN_REQUESTS_PER_CLIENT && stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Safety valve: never spin forever if the main thread
+                // panicked before flipping the stop flag.
+                if i >= 100 * MIN_REQUESTS_PER_CLIENT {
+                    break;
+                }
+            }
+        }));
+    }
+
+    // ---- Feed observations until three swaps happened ----------------
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut feed_round = 0u64;
+    while adaptation.status().swaps < TARGET_SWAPS {
+        runner.run_workload_observed(&queries, 1000 + feed_round, &log);
+        feed_round += 1;
+        std::thread::sleep(Duration::from_millis(15));
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    stop_clients.store(true, Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("client thread must not panic");
+    }
+    let status = adaptation.stop();
+    assert!(
+        status.swaps >= TARGET_SWAPS,
+        "expected ≥ {TARGET_SWAPS} hot-swaps, got {} (status: {status:?})",
+        status.swaps
+    );
+    assert_eq!(status.last_error, None, "the loop must never hit an error");
+    assert!(
+        answered.load(Ordering::Relaxed) >= (CLIENTS * MIN_REQUESTS_PER_CLIENT) as u64,
+        "≥ 1000 concurrent requests must have been answered"
+    );
+
+    // ---- The server serves the promoted version, bit-identically -----
+    let promoted = registry
+        .promoted("adaptive")
+        .expect("read promotion history")
+        .expect("the loop promoted its versions");
+    assert_eq!(promoted, status.last_version);
+    assert_eq!(server.model_version(), promoted);
+    assert_eq!(
+        registry.promotion_history("adaptive").unwrap().len() as u64,
+        1 + TARGET_SWAPS,
+        "v1 plus one promotion per swap"
+    );
+    let fresh = registry
+        .load("adaptive", promoted)
+        .expect("promoted version reloads through the integrity check");
+    for plan in &plans {
+        let served = server.predict_blocking(plan.clone()).expect("serve");
+        let reference = fresh.predict(&featurize_plan(db.catalog(), plan, fresh.featurizer));
+        assert_eq!(
+            served.runtime_secs.to_bits(),
+            reference.to_bits(),
+            "post-swap prediction must equal a fresh load of the promoted version"
+        );
+        assert_eq!(served.model_version, promoted);
+    }
+
+    // ---- Cache: invalidated per swap, recovers under traffic ---------
+    let stats = server.cache_stats();
+    assert!(
+        stats.invalidations >= TARGET_SWAPS,
+        "each swap must invalidate the feature cache (got {})",
+        stats.invalidations
+    );
+    let warm = server.cache_stats();
+    for plan in &plans {
+        server.predict_blocking(plan.clone()).unwrap();
+    }
+    let after = server.cache_stats();
+    assert_eq!(
+        after.hits - warm.hits,
+        plans.len() as u64,
+        "hit-rate recovers: a warmed shape set hits on every repeat"
+    );
+
+    // ---- Rollback: the prior version returns, bit for bit ------------
+    let rolled_back_to = rollback_and_swap(&server, &registry, "adaptive")
+        .expect("rollback to the previous promoted version");
+    assert_eq!(rolled_back_to, promoted - 1);
+    assert_eq!(server.model_version(), rolled_back_to);
+    let prior = registry
+        .load("adaptive", rolled_back_to)
+        .expect("prior version reloads");
+    for plan in plans.iter().take(10) {
+        let served = server.predict_blocking(plan.clone()).expect("serve");
+        let reference = prior.predict(&featurize_plan(db.catalog(), plan, prior.featurizer));
+        assert_eq!(
+            served.runtime_secs.to_bits(),
+            reference.to_bits(),
+            "post-rollback prediction must equal the prior version"
+        );
+        assert_eq!(served.model_version, rolled_back_to);
+    }
+
+    let metrics = server.metrics();
+    assert!(metrics.model_swaps > TARGET_SWAPS, "swaps + rollback");
+    assert_eq!(
+        metrics.total_requests,
+        answered.load(Ordering::Relaxed) + plans.len() as u64 * 2 + 10
+    );
+
+    let _ = std::fs::remove_dir_all(registry.root());
+}

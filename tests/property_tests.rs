@@ -15,6 +15,7 @@ use zero_shot_db::cardest::{
     SamplingEstimator,
 };
 use zero_shot_db::catalog::{presets, GeneratorConfig, SchemaGenerator, Value};
+use zero_shot_db::engine::ObservationLog;
 use zero_shot_db::engine::QueryRunner;
 use zero_shot_db::multitask::{
     sample_from_execution, LearnedCardEstimator, MultiTaskConfig, MultiTaskTrainer,
@@ -22,6 +23,7 @@ use zero_shot_db::multitask::{
 };
 use zero_shot_db::nn::{percentile, q_error};
 use zero_shot_db::query::{CmpOp, Predicate, Query, WorkloadGenerator, WorkloadSpec};
+use zero_shot_db::serve::DriftDetector;
 use zero_shot_db::storage::Database;
 use zero_shot_db::zeroshot::features::{featurize_execution, FeaturizerConfig};
 use zero_shot_db::zeroshot::TrainingConfig;
@@ -128,6 +130,85 @@ proptest! {
         // The learned estimator additionally guarantees optimizer-ready
         // (≥ 1) join estimates.
         prop_assert!(learned.query_cardinality(&query) >= 1.0);
+    }
+
+    /// The observation log's reservoir honours its invariants under
+    /// arbitrary insert sequences: never more than `capacity` retained,
+    /// `total_seen` counts everything, nothing is evicted below
+    /// capacity, every retained observation was actually inserted, and
+    /// the retained set is a pure function of `(seed, sequence)`.
+    #[test]
+    fn observation_log_eviction_invariants(
+        seed in 0u64..10_000,
+        capacity in 1usize..24,
+        fingerprints in prop::collection::vec(0u64..1_000, 0..120),
+    ) {
+        let run = || {
+            let log: ObservationLog<u64> = ObservationLog::new(capacity, seed);
+            for (i, &f) in fingerprints.iter().enumerate() {
+                log.record(f, i as u64);
+                prop_assert!(log.len() <= capacity, "len must never exceed capacity");
+            }
+            prop_assert_eq!(log.len(), fingerprints.len().min(capacity));
+            prop_assert_eq!(log.total_seen(), fingerprints.len() as u64);
+            Ok(log.drain())
+        };
+        let first = run()?;
+        // Everything retained was inserted (fingerprint and payload
+        // index agree with the insert sequence).
+        for o in &first {
+            prop_assert_eq!(fingerprints[o.payload as usize], o.fingerprint);
+        }
+        // Below capacity the log is lossless and ordered.
+        if fingerprints.len() <= capacity {
+            prop_assert_eq!(
+                first.iter().map(|o| o.fingerprint).collect::<Vec<_>>(),
+                fingerprints.clone()
+            );
+        }
+        // Determinism: a second identical run retains the same sample.
+        let second = run()?;
+        prop_assert_eq!(
+            first.iter().map(|o| (o.fingerprint, o.payload)).collect::<Vec<_>>(),
+            second.iter().map(|o| (o.fingerprint, o.payload)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Drift-detector monotonicity: a well-predicted workload never
+    /// drifts, and inflating every observed runtime by a sufficiently
+    /// large constant factor *must* trigger, whatever the workload.
+    #[test]
+    fn drift_detector_inflation_must_trigger(
+        threshold in 1.1f64..4.0,
+        predictions in prop::collection::vec(1e-3f64..1e3, 1..40),
+        observations in prop::collection::vec(1e-3f64..1e3, 1..40),
+    ) {
+        let pairs: Vec<(f64, f64)> = predictions
+            .iter()
+            .zip(&observations)
+            .map(|(&p, &o)| (p, o))
+            .collect();
+
+        // Perfect predictions: rolling median is exactly 1 < threshold.
+        let mut perfect = DriftDetector::new(threshold, pairs.len(), 1);
+        for &(p, _) in &pairs {
+            perfect.record(p, p);
+        }
+        prop_assert!(!perfect.drifted(), "perfect predictions must never drift");
+
+        // Inflate every observation by a factor large enough that even
+        // the most over-predicted pair (p/o ≤ 1e6) lands above the
+        // threshold: q(p, F·o) ≥ F·o/p ≥ F·1e-6 ≥ threshold.
+        let factor = threshold * 1e7;
+        let mut inflated = DriftDetector::new(threshold, pairs.len(), pairs.len());
+        for &(p, o) in &pairs {
+            inflated.record(p, o * factor);
+        }
+        prop_assert!(
+            inflated.drifted(),
+            "systematic {factor}x runtime inflation must trigger (median {})",
+            inflated.rolling_median()
+        );
     }
 
     /// Percentiles are monotone in `p` and bounded by min/max.

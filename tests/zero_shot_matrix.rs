@@ -1,0 +1,139 @@
+//! Cross-preset generalization matrix (ISSUE 5 satellite): leave-one-out
+//! over the benchmark-style schema presets.  For every preset P the model
+//! is trained on executions from all *other* presets (plus the tiny
+//! generated-schema corpus) and evaluated zero-shot on P — asserting that
+//! the transferable representation carries across schema families, and
+//! that few-shot fine-tuning with a handful of P's own executions never
+//! makes the held-out accuracy worse.
+
+use zero_shot_db::catalog::{presets, SchemaCatalog};
+use zero_shot_db::engine::QueryExecution;
+use zero_shot_db::query::WorkloadSpec;
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::dataset::{
+    collect_for_database, collect_training_corpus, TrainingDataConfig,
+};
+use zero_shot_db::zeroshot::features::featurize_execution;
+use zero_shot_db::zeroshot::train::median_q_error;
+use zero_shot_db::zeroshot::{
+    few_shot_finetune_with, FeaturizerConfig, FinetuneConfig, ModelConfig, PlanGraph, Trainer,
+    TrainingConfig,
+};
+use zsdb_nn::{median, q_error};
+
+type PresetFn = fn(f64) -> SchemaCatalog;
+
+/// The schema-preset axis of the matrix.  Adding a preset to
+/// `zsdb_catalog::presets` and listing it here automatically extends the
+/// leave-one-out sweep.
+const PRESETS: [(&str, PresetFn); 2] = [
+    ("imdb_like", presets::imdb_like),
+    ("ssb_like", presets::ssb_like),
+];
+
+const PRESET_SCALE: f64 = 0.02;
+const QUERIES_PER_PRESET: usize = 50;
+const EVAL_QUERIES: usize = 40;
+const FEW_SHOT_BUDGET: usize = 20;
+
+fn preset_executions(build: PresetFn, db_seed: u64, n: usize) -> (Database, Vec<QueryExecution>) {
+    let db = Database::generate(build(PRESET_SCALE), db_seed);
+    let executions = collect_for_database(&db, &WorkloadSpec::paper_training(), n, db_seed ^ 0x5A);
+    (db, executions)
+}
+
+#[test]
+fn leave_one_out_over_presets_with_few_shot_never_worse() {
+    // The generated-schema corpus is shared by every matrix cell (it
+    // contains no preset), so build it once.
+    let data_config = TrainingDataConfig::tiny();
+    let corpus = collect_training_corpus(&data_config);
+    let schemas = zero_shot_db::catalog::SchemaGenerator::new(data_config.schema_config.clone())
+        .generate_corpus("train", data_config.num_databases, data_config.seed);
+    let trainer = Trainer::new(
+        ModelConfig::tiny(),
+        TrainingConfig {
+            epochs: 15,
+            validation_fraction: 0.0,
+            ..TrainingConfig::tiny()
+        },
+        FeaturizerConfig::exact(),
+    );
+    let base_graphs = trainer.featurize_corpus(&corpus, |name| {
+        schemas.iter().find(|s| s.name == name).expect("catalog")
+    });
+
+    for (held_out_name, held_out_preset) in PRESETS {
+        // ---- Train on every preset except the held-out one -----------
+        let mut train_graphs = base_graphs.clone();
+        for (name, build) in PRESETS {
+            if name == held_out_name {
+                continue;
+            }
+            let (db, executions) = preset_executions(build, 11, QUERIES_PER_PRESET);
+            train_graphs.extend(
+                executions
+                    .iter()
+                    .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact())),
+            );
+        }
+        let model = trainer.train(&train_graphs);
+
+        // ---- Zero-shot on the held-out preset ------------------------
+        let (held_db, held_execs) =
+            preset_executions(held_out_preset, 42, FEW_SHOT_BUDGET + EVAL_QUERIES);
+        let (few_shot_set, holdout) = held_execs.split_at(FEW_SHOT_BUDGET);
+        let holdout_graphs: Vec<PlanGraph> = holdout
+            .iter()
+            .map(|e| featurize_execution(held_db.catalog(), e, FeaturizerConfig::exact()))
+            .collect();
+        let zero_shot_q = median_q_error(&model.model, &holdout_graphs);
+
+        // Naive baseline: always predict the mean training runtime.
+        let mean_runtime = train_graphs
+            .iter()
+            .filter_map(|g| g.runtime_secs)
+            .sum::<f64>()
+            / train_graphs.len() as f64;
+        let naive_q = median(
+            &holdout
+                .iter()
+                .map(|e| q_error(mean_runtime, e.runtime_secs))
+                .collect::<Vec<_>>(),
+        );
+        // A mean-runtime predictor can be accidentally competitive when
+        // the holdout's median runtime lands near the training mean, so
+        // require beating it *or* an absolutely-good median q-error.
+        assert!(
+            zero_shot_q < naive_q || zero_shot_q < 2.0,
+            "[hold out {held_out_name}] zero-shot {zero_shot_q:.3} must beat naive {naive_q:.3} \
+             or be < 2.0"
+        );
+        assert!(
+            zero_shot_q < 6.0,
+            "[hold out {held_out_name}] zero-shot median q-error too high: {zero_shot_q:.3}"
+        );
+
+        // ---- Few-shot fine-tuning never makes it worse ---------------
+        let finetuned = few_shot_finetune_with(
+            &model,
+            &held_db,
+            few_shot_set,
+            FinetuneConfig {
+                epochs: 30,
+                learning_rate: 3e-4,
+                ..FinetuneConfig::default()
+            },
+        );
+        let few_shot_q = median_q_error(&finetuned.model, &holdout_graphs);
+        assert!(
+            few_shot_q <= zero_shot_q * 1.05,
+            "[hold out {held_out_name}] few-shot must never make it worse: \
+             {zero_shot_q:.3} -> {few_shot_q:.3}"
+        );
+        println!(
+            "hold out {held_out_name}: naive {naive_q:.3} · zero-shot {zero_shot_q:.3} · \
+             few-shot({FEW_SHOT_BUDGET}) {few_shot_q:.3}"
+        );
+    }
+}
