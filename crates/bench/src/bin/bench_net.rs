@@ -1,0 +1,246 @@
+//! Network serving benchmark: stands up the multi-tenant TCP gateway,
+//! drives it with many concurrent `zsdb_client` connections (64 by
+//! default, per the acceptance criteria) and emits a machine-readable
+//! `BENCH_net.json` report: sustained end-to-end throughput,
+//! client-observed p50/p95/p99 latency, a bit-identity check of every
+//! remote prediction against the in-process `predict_blocking` path,
+//! and the gateway's per-tenant admission counters.
+//!
+//! Usage:
+//! `cargo run -p zsdb_bench --release --bin bench_net -- \
+//!    [--clients N] [--per-client N] [--distinct N] [--workers N] \
+//!    [--queue N] [--cache N] [--out PATH]`
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use zsdb_bench::tiny_serving_fixture;
+use zsdb_catalog::presets;
+use zsdb_client::{Client, ClientConfig, ClientError};
+use zsdb_engine::PlanNode;
+use zsdb_protocol::GatewayMetrics;
+use zsdb_serve::{NetServer, NetServerConfig, PredictionServer, ServerConfig, TenantPolicy};
+use zsdb_storage::Database;
+
+struct Args {
+    clients: usize,
+    per_client: usize,
+    distinct: usize,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1).cloned())
+        };
+        let num = |flag: &str, default: usize| {
+            value_of(flag)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Args {
+            clients: num("--clients", 64),
+            per_client: num("--per-client", 100),
+            distinct: num("--distinct", 50),
+            workers: num("--workers", 4),
+            queue: num("--queue", 256),
+            cache: num("--cache", 1_024),
+            out: value_of("--out").unwrap_or_else(|| "BENCH_net.json".to_string()),
+        }
+    }
+}
+
+/// What `BENCH_net.json` contains.
+#[derive(Serialize)]
+struct BenchNetReport {
+    clients: usize,
+    requests: u64,
+    retried_rejections: u64,
+    wall_secs: f64,
+    throughput_qps: f64,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
+    bit_identical: bool,
+    gateway: GatewayMetrics,
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ClientOutcome {
+    latencies_ms: Vec<f64>,
+    retried: u64,
+    mismatches: u64,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    offset: usize,
+    per_client: usize,
+    plans: &[PlanNode],
+    reference: &HashMap<u64, u64>,
+) -> ClientOutcome {
+    let client = Client::connect(addr, ClientConfig::tenant(tenant)).expect("connect client");
+    let mut outcome = ClientOutcome {
+        latencies_ms: Vec::with_capacity(per_client),
+        retried: 0,
+        mismatches: 0,
+    };
+    for i in 0..per_client {
+        let plan = &plans[(offset + i) % plans.len()];
+        // Retry on backpressure (quota / shed): the gateway answers with a
+        // structured retryable error frame instead of queueing unboundedly.
+        let remote = loop {
+            let started = Instant::now();
+            match client.predict(plan) {
+                Ok(remote) => {
+                    outcome
+                        .latencies_ms
+                        .push(started.elapsed().as_secs_f64() * 1e3);
+                    break remote;
+                }
+                Err(ClientError::Server { code, .. }) if code.is_retryable() => {
+                    outcome.retried += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => panic!("client request failed: {e}"),
+            }
+        };
+        if reference.get(&remote.fingerprint) != Some(&remote.runtime_secs.to_bits()) {
+            outcome.mismatches += 1;
+        }
+    }
+    outcome
+}
+
+fn main() {
+    let args = Args::parse();
+    let total_requests = (args.clients * args.per_client) as u64;
+    println!(
+        "# Network serving benchmark: {} clients x {} requests over {} distinct plans, {} workers\n",
+        args.clients, args.per_client, args.distinct, args.workers
+    );
+
+    // 1. Train a small model and plan the request stream (the benchmark
+    //    measures the serving path, not zero-shot accuracy).
+    let db = Database::generate(presets::imdb_like(0.02), 11);
+    let (model, plans) = tiny_serving_fixture(&db, args.distinct, 5);
+
+    // 2. Gateway in front of the worker pool; clients split across two
+    //    tenants so the per-tenant counters show up in the report.
+    let gateway = NetServer::start(
+        "127.0.0.1:0",
+        PredictionServer::start(
+            model,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: args.workers,
+                queue_capacity: args.queue,
+                cache_capacity: args.cache,
+                ..ServerConfig::default()
+            },
+        ),
+        NetServerConfig::default()
+            .with_tenant("analytics", TenantPolicy { max_in_flight: 512 })
+            .with_tenant("dashboard", TenantPolicy { max_in_flight: 512 }),
+    )
+    .expect("bind gateway");
+    let addr = gateway.local_addr();
+
+    // 3. In-process reference predictions for the bit-identity check.
+    let reference: Arc<HashMap<u64, u64>> = Arc::new(
+        plans
+            .iter()
+            .map(|p| {
+                let r = gateway
+                    .server()
+                    .predict_blocking(p.clone())
+                    .expect("in-process prediction");
+                (r.fingerprint, r.runtime_secs.to_bits())
+            })
+            .collect(),
+    );
+
+    // 4. Fire the concurrent client fleet, one TCP connection each.
+    let plans = Arc::new(plans);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let plans = Arc::clone(&plans);
+        let reference = Arc::clone(&reference);
+        let per_client = args.per_client;
+        let tenant = if c % 2 == 0 { "analytics" } else { "dashboard" };
+        handles.push(std::thread::spawn(move || {
+            drive_client(addr, tenant, c, per_client, &plans, &reference)
+        }));
+    }
+    let outcomes: Vec<ClientOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ms.clone())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let retried: u64 = outcomes.iter().map(|o| o.retried).sum();
+    let mismatches: u64 = outcomes.iter().map(|o| o.mismatches).sum();
+    assert_eq!(latencies.len() as u64, total_requests);
+
+    let report = BenchNetReport {
+        clients: args.clients,
+        requests: total_requests,
+        retried_rejections: retried,
+        wall_secs,
+        throughput_qps: total_requests as f64 / wall_secs.max(f64::EPSILON),
+        latency_p50_ms: percentile_ms(&latencies, 50.0),
+        latency_p95_ms: percentile_ms(&latencies, 95.0),
+        latency_p99_ms: percentile_ms(&latencies, 99.0),
+        bit_identical: mismatches == 0,
+        gateway: gateway.shutdown(),
+    };
+    println!(
+        "{} requests in {:.2}s ({:.0} q/s) · latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.requests,
+        report.wall_secs,
+        report.throughput_qps,
+        report.latency_p50_ms,
+        report.latency_p95_ms,
+        report.latency_p99_ms
+    );
+    for t in &report.gateway.tenants {
+        println!(
+            "tenant {}: admitted {} completed {} rejected_quota {} rejected_shed {}",
+            t.tenant, t.admitted, t.completed, t.rejected_quota, t.rejected_shed
+        );
+    }
+    println!(
+        "bit-identical to predict_blocking: {} ({} retried rejections)",
+        report.bit_identical, report.retried_rejections
+    );
+    assert!(
+        report.bit_identical,
+        "{mismatches} remote predictions diverged from predict_blocking"
+    );
+
+    println!();
+    zsdb_bench::write_json_report(&args.out, &report);
+}

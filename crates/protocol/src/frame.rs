@@ -1,0 +1,439 @@
+//! Frame codec: pure functions between [`Frame`]s and bytes, plus thin
+//! `io::Read`/`io::Write` adapters.
+
+use crate::error::ProtocolError;
+use crate::message::{
+    ErrorResponse, GatewayMetrics, HealthResponse, HelloAck, HelloRequest, Message, WirePrediction,
+};
+use std::io::{Read, Write};
+use zsdb_engine::PlanNode;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"ZSDB";
+
+/// Protocol version this build encodes and accepts.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed size of the frame header in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Upper bound on a frame's payload.  Anything larger is treated as
+/// corruption or hostility and fails decoding with
+/// [`ProtocolError::PayloadTooLarge`].
+pub const MAX_PAYLOAD_LEN: u32 = 32 * 1024 * 1024;
+
+/// One protocol frame: a request id plus a typed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Client-chosen id echoed by the server's response, so many
+    /// in-flight requests can share one connection.
+    pub request_id: u64,
+    /// The typed message body.
+    pub message: Message,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(request_id: u64, message: Message) -> Self {
+        Frame {
+            request_id,
+            message,
+        }
+    }
+}
+
+fn payload_json(message: &Message) -> Result<String, ProtocolError> {
+    let encode = |r: Result<String, serde_json::Error>| {
+        r.map_err(|e| ProtocolError::MalformedPayload {
+            op: message.op_name(),
+            detail: e.to_string(),
+        })
+    };
+    Ok(match message {
+        Message::Hello(m) => encode(serde_json::to_string(m))?,
+        Message::HelloAck(m) => encode(serde_json::to_string(m))?,
+        Message::Predict(plan) => encode(serde_json::to_string(plan.as_ref()))?,
+        Message::PredictBatch(plans) => encode(serde_json::to_string(plans))?,
+        Message::PredictOk(m) => encode(serde_json::to_string(m))?,
+        Message::PredictBatchOk(m) => encode(serde_json::to_string(m))?,
+        Message::Metrics | Message::Health => String::new(),
+        Message::MetricsOk(m) => encode(serde_json::to_string(m.as_ref()))?,
+        Message::HealthOk(m) => encode(serde_json::to_string(m))?,
+        Message::Error(m) => encode(serde_json::to_string(m))?,
+    })
+}
+
+fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, ProtocolError> {
+    fn parse<T: serde::Deserialize>(op: &'static str, payload: &[u8]) -> Result<T, ProtocolError> {
+        let text = std::str::from_utf8(payload).map_err(|e| ProtocolError::MalformedPayload {
+            op,
+            detail: format!("payload is not UTF-8: {e}"),
+        })?;
+        serde_json::from_str(text).map_err(|e| ProtocolError::MalformedPayload {
+            op,
+            detail: e.to_string(),
+        })
+    }
+    Ok(match opcode {
+        0x01 => Message::Hello(parse::<HelloRequest>("Hello", payload)?),
+        0x02 => Message::HelloAck(parse::<HelloAck>("HelloAck", payload)?),
+        0x10 => Message::Predict(Box::new(parse::<PlanNode>("Predict", payload)?)),
+        0x11 => Message::PredictBatch(parse::<Vec<PlanNode>>("PredictBatch", payload)?),
+        0x12 => Message::PredictOk(parse::<WirePrediction>("PredictOk", payload)?),
+        0x13 => Message::PredictBatchOk(parse::<Vec<WirePrediction>>("PredictBatchOk", payload)?),
+        0x20 => Message::Metrics,
+        0x21 => Message::MetricsOk(Box::new(parse::<GatewayMetrics>("MetricsOk", payload)?)),
+        0x30 => Message::Health,
+        0x31 => Message::HealthOk(parse::<HealthResponse>("HealthOk", payload)?),
+        0x3F => Message::Error(parse::<ErrorResponse>("Error", payload)?),
+        other => return Err(ProtocolError::UnknownOpcode(other)),
+    })
+}
+
+/// Encode one frame into bytes (header + JSON payload).
+///
+/// Fails only when the payload would exceed [`MAX_PAYLOAD_LEN`] — e.g. an
+/// absurdly large `PredictBatch`.
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtocolError> {
+    let payload = payload_json(&frame.message)?;
+    let payload = payload.as_bytes();
+    if payload.len() as u64 > MAX_PAYLOAD_LEN as u64 {
+        return Err(ProtocolError::PayloadTooLarge {
+            declared: payload.len() as u32,
+            limit: MAX_PAYLOAD_LEN,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(frame.message.opcode());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+    out.extend_from_slice(&frame.request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Decode the first frame of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` when a complete frame starts the
+/// buffer (`consumed` bytes of it), `Ok(None)` when the buffer holds only
+/// a prefix of a frame (read more bytes and retry), and an error when the
+/// bytes can never become a valid frame.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtocolError> {
+    if buf.len() < HEADER_LEN {
+        // Reject garbage as early as its first bytes arrive.
+        if !MAGIC.starts_with(&buf[..buf.len().min(4)]) {
+            let mut found = [0u8; 4];
+            found[..buf.len().min(4)].copy_from_slice(&buf[..buf.len().min(4)]);
+            return Err(ProtocolError::BadMagic(found));
+        }
+        return Ok(None);
+    }
+    if buf[..4] != MAGIC {
+        return Err(ProtocolError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+    }
+    if buf[4] != PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion(buf[4]));
+    }
+    let opcode = buf[5];
+    let flags = u16::from_le_bytes([buf[6], buf[7]]);
+    if flags != 0 {
+        return Err(ProtocolError::NonZeroFlags(flags));
+    }
+    let request_id = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice"));
+    let payload_len = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte slice"));
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(ProtocolError::PayloadTooLarge {
+            declared: payload_len,
+            limit: MAX_PAYLOAD_LEN,
+        });
+    }
+    let total = HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let message = decode_payload(opcode, &buf[HEADER_LEN..total])?;
+    Ok(Some((Frame::new(request_id, message), total)))
+}
+
+/// Read one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary and
+/// [`ProtocolError::Truncated`] when the stream ends mid-frame.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Frame>, ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(ProtocolError::Truncated)
+            };
+        }
+        filled += n;
+    }
+    // Validate the header alone first (payload length is at a fixed
+    // offset), then read exactly the payload.
+    match decode_frame(&header)? {
+        Some((frame, consumed)) => {
+            debug_assert_eq!(consumed, HEADER_LEN, "empty-payload frame");
+            Ok(Some(frame))
+        }
+        None => {
+            let payload_len =
+                u32::from_le_bytes(header[16..20].try_into().expect("4-byte slice")) as usize;
+            let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
+            buf.extend_from_slice(&header);
+            buf.resize(HEADER_LEN + payload_len, 0);
+            reader
+                .read_exact(&mut buf[HEADER_LEN..])
+                .map_err(|e| match e.kind() {
+                    std::io::ErrorKind::UnexpectedEof => ProtocolError::Truncated,
+                    _ => ProtocolError::Io(e),
+                })?;
+            match decode_frame(&buf)? {
+                Some((frame, _)) => Ok(Some(frame)),
+                None => unreachable!("header + full payload must decode"),
+            }
+        }
+    }
+}
+
+/// Encode and write one frame to a blocking stream (no flush — callers
+/// batching several frames flush once at the end).
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
+    let bytes = encode_frame(frame)?;
+    writer.write_all(&bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ErrorCode;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello(HelloRequest {
+                protocol_version: PROTOCOL_VERSION,
+                tenant: "analytics".into(),
+            }),
+            Message::HelloAck(HelloAck {
+                protocol_version: PROTOCOL_VERSION,
+                model_version: 7,
+                tenant_quota: 256,
+            }),
+            Message::Metrics,
+            Message::Health,
+            Message::HealthOk(HealthResponse {
+                healthy: true,
+                model_version: 7,
+            }),
+            Message::PredictOk(WirePrediction {
+                runtime_secs: 0.1 + 0.2, // not exactly representable
+                fingerprint: u64::MAX,
+                cache_hit: true,
+                server_latency_micros: 12345,
+                model_version: 7,
+            }),
+            Message::PredictBatchOk(vec![
+                WirePrediction {
+                    runtime_secs: f64::MIN_POSITIVE,
+                    fingerprint: 0,
+                    cache_hit: false,
+                    server_latency_micros: 0,
+                    model_version: 1,
+                },
+                WirePrediction {
+                    runtime_secs: 1e300,
+                    fingerprint: 42,
+                    cache_hit: true,
+                    server_latency_micros: 9,
+                    model_version: 2,
+                },
+            ]),
+            Message::Error(ErrorResponse {
+                code: ErrorCode::Overloaded,
+                message: "queue full — retry with backoff".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for (i, message) in sample_messages().into_iter().enumerate() {
+            let frame = Frame::new(i as u64 * 1_000_003, message);
+            let bytes = encode_frame(&frame).unwrap();
+            let (back, consumed) = decode_frame(&bytes).unwrap().expect("complete frame");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn f64_predictions_round_trip_bit_exactly() {
+        for bits in [
+            0x3FB999999999999Au64, // 0.1
+            0x0010000000000000,    // smallest normal
+            0x000FFFFFFFFFFFFF,    // largest subnormal
+            0x7FEFFFFFFFFFFFFF,    // f64::MAX
+            0x3FF0000000000001,    // 1.0 + ulp
+        ] {
+            let value = f64::from_bits(bits);
+            let frame = Frame::new(
+                1,
+                Message::PredictOk(WirePrediction {
+                    runtime_secs: value,
+                    fingerprint: bits,
+                    cache_hit: false,
+                    server_latency_micros: 1,
+                    model_version: 1,
+                }),
+            );
+            let bytes = encode_frame(&frame).unwrap();
+            let (back, _) = decode_frame(&bytes).unwrap().unwrap();
+            match back.message {
+                Message::PredictOk(p) => assert_eq!(p.runtime_secs.to_bits(), bits),
+                other => panic!("unexpected message {}", other.op_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_buffers_ask_for_more_bytes() {
+        let frame = Frame::new(
+            9,
+            Message::Hello(HelloRequest {
+                protocol_version: PROTOCOL_VERSION,
+                tenant: "t".into(),
+            }),
+        );
+        let bytes = encode_frame(&frame).unwrap();
+        for cut in 0..bytes.len() {
+            let r = decode_frame(&bytes[..cut]).unwrap();
+            assert!(r.is_none(), "prefix of {cut} bytes must be incomplete");
+        }
+        assert!(decode_frame(&bytes).unwrap().is_some());
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_sequence() {
+        let frames: Vec<Frame> = sample_messages()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Frame::new(i as u64, m))
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f).unwrap());
+        }
+        let mut offset = 0;
+        for expected in &frames {
+            let (frame, used) = decode_frame(&stream[offset..]).unwrap().unwrap();
+            assert_eq!(&frame, expected);
+            offset += used;
+        }
+        assert_eq!(offset, stream.len());
+    }
+
+    #[test]
+    fn garbage_is_rejected_early() {
+        assert!(matches!(
+            decode_frame(b"GET / HTTP/1.1\r\n"),
+            Err(ProtocolError::BadMagic(_))
+        ));
+        // Even a two-byte prefix that can't extend to the magic fails.
+        assert!(matches!(
+            decode_frame(b"GE"),
+            Err(ProtocolError::BadMagic(_))
+        ));
+        // A two-byte prefix of the magic is just incomplete.
+        assert!(decode_frame(b"ZS").unwrap().is_none());
+    }
+
+    #[test]
+    fn wrong_version_flags_opcode_and_oversize_are_rejected() {
+        let frame = Frame::new(1, Message::Health);
+        let bytes = encode_frame(&frame).unwrap();
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            decode_frame(&wrong_version),
+            Err(ProtocolError::UnsupportedVersion(99))
+        ));
+
+        let mut wrong_flags = bytes.clone();
+        wrong_flags[6] = 1;
+        assert!(matches!(
+            decode_frame(&wrong_flags),
+            Err(ProtocolError::NonZeroFlags(1))
+        ));
+
+        let mut wrong_opcode = bytes.clone();
+        wrong_opcode[5] = 0x7E;
+        assert!(matches!(
+            decode_frame(&wrong_opcode),
+            Err(ProtocolError::UnknownOpcode(0x7E))
+        ));
+
+        let mut oversize = bytes;
+        oversize[16..20].copy_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&oversize),
+            Err(ProtocolError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_payload_names_the_op() {
+        let frame = Frame::new(
+            1,
+            Message::HealthOk(HealthResponse {
+                healthy: true,
+                model_version: 1,
+            }),
+        );
+        let mut bytes = encode_frame(&frame).unwrap();
+        // Corrupt the JSON payload.
+        let last = bytes.len() - 1;
+        bytes[last] = b'!';
+        match decode_frame(&bytes) {
+            Err(ProtocolError::MalformedPayload { op, .. }) => assert_eq!(op, "HealthOk"),
+            other => panic!("expected MalformedPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_round_trip_and_clean_eof() {
+        let frames: Vec<Frame> = sample_messages()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Frame::new(i as u64, m))
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        for expected in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap().unwrap(), expected);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        // A stream cut mid-frame reports Truncated, not clean EOF.
+        let cut = stream.len() - 3;
+        let mut cursor = std::io::Cursor::new(&stream[..cut]);
+        let mut result = Ok(Some(Frame::new(0, Message::Health)));
+        for _ in 0..frames.len() {
+            result = read_frame(&mut cursor);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(ProtocolError::Truncated)));
+    }
+}

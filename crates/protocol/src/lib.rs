@@ -1,0 +1,63 @@
+//! # zsdb-protocol — framed wire protocol of the prediction service
+//!
+//! The serving stack's network layer speaks a length-prefixed framed
+//! binary protocol over any ordered byte stream (TCP in practice).  This
+//! crate is the *pure* half of that layer: frame layout, typed messages,
+//! and encode/decode functions that never touch a socket — everything is
+//! unit-testable (and property-testable) on byte slices.
+//!
+//! ## Frame layout
+//!
+//! Every frame is a fixed 20-byte header followed by the payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ZSDB"
+//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 5       1     opcode (see Message::opcode)
+//! 6       2     flags, reserved — must be zero (little endian)
+//! 8       8     request id (little endian)
+//! 16      4     payload length n (little endian)
+//! 20      n     payload — UTF-8 JSON of the op's payload type
+//! ```
+//!
+//! Request ids are chosen by the client and echoed verbatim by the
+//! server, so many in-flight requests can share one connection
+//! (pipelining) and responses may be matched out of order.  Payloads are
+//! JSON: the vendored serializer emits shortest-round-trip floats, so an
+//! `f64` crosses the wire bit-exactly — the served prediction a client
+//! decodes is bit-identical to the in-process one.
+//!
+//! ## Ops
+//!
+//! * [`Message::Hello`] / [`Message::HelloAck`] — connection handshake;
+//!   carries the tenant id the gateway authenticates and meters.
+//! * [`Message::Predict`] / [`Message::PredictOk`] — one plan, one
+//!   prediction.
+//! * [`Message::PredictBatch`] / [`Message::PredictBatchOk`] — many plans
+//!   answered by one batched forward pass.
+//! * [`Message::Metrics`] / [`Message::MetricsOk`] — gateway + per-tenant
+//!   serving metrics.
+//! * [`Message::Health`] / [`Message::HealthOk`] — liveness probe.
+//! * [`Message::Error`] — structured failure (code + human message) for
+//!   any request; carries the rejected request's id.
+//!
+//! Use [`encode_frame`]/[`decode_frame`] on buffers and
+//! [`read_frame`]/[`write_frame`] on `io` streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod frame;
+pub mod message;
+
+pub use error::ProtocolError;
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, HEADER_LEN, MAGIC, MAX_PAYLOAD_LEN,
+    PROTOCOL_VERSION,
+};
+pub use message::{
+    ErrorCode, ErrorResponse, GatewayMetrics, HealthResponse, HelloAck, HelloRequest, Message,
+    TenantMetrics, WirePrediction,
+};

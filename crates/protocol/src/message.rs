@@ -1,0 +1,312 @@
+//! Typed protocol messages and their JSON payload types.
+
+use serde::{Deserialize, Serialize};
+use zsdb_engine::PlanNode;
+
+/// Handshake request — the first frame a client must send on a fresh
+/// connection.  The gateway authenticates and meters the `tenant`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelloRequest {
+    /// Protocol version the client speaks.
+    pub protocol_version: u8,
+    /// Tenant identifier the connection's requests are accounted to.
+    pub tenant: String,
+}
+
+/// Handshake acknowledgement — the server accepted the connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelloAck {
+    /// Protocol version the server speaks.
+    pub protocol_version: u8,
+    /// Version of the model currently served (changes across hot-swaps).
+    pub model_version: u32,
+    /// The tenant's admission-control quota: maximum in-flight requests
+    /// before the gateway rejects with [`ErrorCode::QuotaExceeded`].
+    pub tenant_quota: u64,
+}
+
+/// One served prediction as it crosses the wire — the network mirror of
+/// `zsdb_serve::Prediction` (latency travels as integer microseconds;
+/// `runtime_secs` round-trips bit-exactly through the JSON encoding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirePrediction {
+    /// Predicted runtime in seconds.
+    pub runtime_secs: f64,
+    /// Structural fingerprint of the request plan.
+    pub fingerprint: u64,
+    /// Whether featurization was skipped thanks to the feature cache.
+    pub cache_hit: bool,
+    /// Server-side enqueue-to-response latency in microseconds.
+    pub server_latency_micros: u64,
+    /// Version of the model that answered.
+    pub model_version: u32,
+}
+
+/// Machine-readable failure category of an [`ErrorResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The connection has not completed the `Hello` handshake.
+    Unauthenticated,
+    /// The request frame could not be interpreted.
+    BadRequest,
+    /// The tenant exceeded its in-flight admission quota; retry after
+    /// outstanding requests complete.
+    QuotaExceeded,
+    /// The server's bounded request queue is full (load shedding); retry
+    /// with backoff.
+    Overloaded,
+    /// The server is shutting down and no longer answers requests.
+    Closed,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Whether a client may retry the identical request and expect it to
+    /// eventually succeed (backpressure conditions, not hard failures).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::QuotaExceeded | ErrorCode::Overloaded)
+    }
+}
+
+/// Structured error frame: answers any request that could not be served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Liveness probe response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Whether the server is accepting and answering requests.
+    pub healthy: bool,
+    /// Version of the model currently served.
+    pub model_version: u32,
+}
+
+/// Per-tenant gateway accounting, reported by the `Metrics` op.
+///
+/// `admitted = completed + in_flight` at all times; rejections are *not*
+/// admitted.  Latency percentiles are over the tenant's recent completed
+/// requests and are `0.0` until the tenant completes one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// Tenant identifier from the handshake.
+    pub tenant: String,
+    /// Requests admitted past admission control (includes in-flight).
+    pub admitted: u64,
+    /// Requests fully answered.
+    pub completed: u64,
+    /// Requests rejected by the per-tenant admission quota.
+    pub rejected_quota: u64,
+    /// Admitted requests shed by the server's bounded queue
+    /// (`Overloaded`).
+    pub rejected_shed: u64,
+    /// Requests currently admitted but not yet answered.
+    pub in_flight: u64,
+    /// The tenant's admission quota (maximum `in_flight`).
+    pub quota: u64,
+    /// Median response latency (gateway-observed) in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile response latency in milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile response latency in milliseconds.
+    pub latency_p99_ms: f64,
+}
+
+/// Gateway-wide metrics: the network front-end's view of the serving
+/// stack, including every tenant's accounting.  All floats are finite
+/// (empty percentiles are reported as `0.0`) so the payload always
+/// round-trips through JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayMetrics {
+    /// Connections accepted over the gateway's lifetime.
+    pub connections_total: u64,
+    /// Currently open connections.
+    pub connections_active: u64,
+    /// Requests fully served by the prediction server behind the gateway.
+    pub server_total_requests: u64,
+    /// Requests rejected by the prediction server's load shedding.
+    pub server_rejected_requests: u64,
+    /// Prediction-server throughput (completed requests per second of
+    /// serving time, measured from the first request).
+    pub server_throughput_qps: f64,
+    /// Server-side median latency in milliseconds.
+    pub server_latency_p50_ms: f64,
+    /// Server-side 95th-percentile latency in milliseconds.
+    pub server_latency_p95_ms: f64,
+    /// Server-side 99th-percentile latency in milliseconds.
+    pub server_latency_p99_ms: f64,
+    /// Version of the model currently served.
+    pub model_version: u32,
+    /// Per-tenant accounting, sorted by tenant id.
+    pub tenants: Vec<TenantMetrics>,
+}
+
+/// A typed protocol message — the body of a [`Frame`](crate::Frame).
+///
+/// Requests (`Hello`, `Predict`, `PredictBatch`, `Metrics`, `Health`)
+/// flow client → server; everything else flows server → client, echoing
+/// the request's id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Handshake request (must be the first frame on a connection).
+    Hello(HelloRequest),
+    /// Handshake acknowledgement.
+    HelloAck(HelloAck),
+    /// Predict the runtime of one plan.
+    Predict(Box<PlanNode>),
+    /// Predict the runtimes of a batch of plans in one forward pass.
+    PredictBatch(Vec<PlanNode>),
+    /// Answer to [`Message::Predict`].
+    PredictOk(WirePrediction),
+    /// Answer to [`Message::PredictBatch`], in submission order.
+    PredictBatchOk(Vec<WirePrediction>),
+    /// Request the gateway + per-tenant metrics snapshot.
+    Metrics,
+    /// Answer to [`Message::Metrics`].
+    MetricsOk(Box<GatewayMetrics>),
+    /// Liveness probe.
+    Health,
+    /// Answer to [`Message::Health`].
+    HealthOk(HealthResponse),
+    /// Structured failure answering any request.
+    Error(ErrorResponse),
+}
+
+impl Message {
+    /// The wire opcode of this message (byte 5 of the frame header).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Message::Hello(_) => 0x01,
+            Message::HelloAck(_) => 0x02,
+            Message::Predict(_) => 0x10,
+            Message::PredictBatch(_) => 0x11,
+            Message::PredictOk(_) => 0x12,
+            Message::PredictBatchOk(_) => 0x13,
+            Message::Metrics => 0x20,
+            Message::MetricsOk(_) => 0x21,
+            Message::Health => 0x30,
+            Message::HealthOk(_) => 0x31,
+            Message::Error(_) => 0x3F,
+        }
+    }
+
+    /// Human-readable operation name (for logs and error messages).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Message::Hello(_) => "Hello",
+            Message::HelloAck(_) => "HelloAck",
+            Message::Predict(_) => "Predict",
+            Message::PredictBatch(_) => "PredictBatch",
+            Message::PredictOk(_) => "PredictOk",
+            Message::PredictBatchOk(_) => "PredictBatchOk",
+            Message::Metrics => "Metrics",
+            Message::MetricsOk(_) => "MetricsOk",
+            Message::Health => "Health",
+            Message::HealthOk(_) => "HealthOk",
+            Message::Error(_) => "Error",
+        }
+    }
+
+    /// Whether this message is a request (client → server).
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Message::Hello(_)
+                | Message::Predict(_)
+                | Message::PredictBatch(_)
+                | Message::Metrics
+                | Message::Health
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_are_unique() {
+        let msgs = [
+            Message::Hello(HelloRequest {
+                protocol_version: 1,
+                tenant: "t".into(),
+            }),
+            Message::HelloAck(HelloAck {
+                protocol_version: 1,
+                model_version: 1,
+                tenant_quota: 1,
+            }),
+            Message::Predict(Box::new(test_plan())),
+            Message::PredictBatch(vec![]),
+            Message::PredictOk(WirePrediction {
+                runtime_secs: 1.0,
+                fingerprint: 0,
+                cache_hit: false,
+                server_latency_micros: 0,
+                model_version: 1,
+            }),
+            Message::PredictBatchOk(vec![]),
+            Message::Metrics,
+            Message::MetricsOk(Box::new(empty_gateway_metrics())),
+            Message::Health,
+            Message::HealthOk(HealthResponse {
+                healthy: true,
+                model_version: 1,
+            }),
+            Message::Error(ErrorResponse {
+                code: ErrorCode::Internal,
+                message: String::new(),
+            }),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for m in &msgs {
+            assert!(
+                seen.insert(m.opcode()),
+                "duplicate opcode for {}",
+                m.op_name()
+            );
+        }
+    }
+
+    #[test]
+    fn retryability_covers_backpressure_only() {
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::QuotaExceeded.is_retryable());
+        assert!(!ErrorCode::BadRequest.is_retryable());
+        assert!(!ErrorCode::Closed.is_retryable());
+        assert!(!ErrorCode::Unauthenticated.is_retryable());
+        assert!(!ErrorCode::Internal.is_retryable());
+    }
+
+    fn test_plan() -> PlanNode {
+        PlanNode::leaf(
+            zsdb_engine::PhysOperator::SeqScan {
+                table: zsdb_catalog::TableId(0),
+                predicates: vec![],
+            },
+            1.0,
+            1.0,
+            8.0,
+        )
+    }
+
+    fn empty_gateway_metrics() -> GatewayMetrics {
+        GatewayMetrics {
+            connections_total: 0,
+            connections_active: 0,
+            server_total_requests: 0,
+            server_rejected_requests: 0,
+            server_throughput_qps: 0.0,
+            server_latency_p50_ms: 0.0,
+            server_latency_p95_ms: 0.0,
+            server_latency_p99_ms: 0.0,
+            model_version: 0,
+            tenants: Vec::new(),
+        }
+    }
+}

@@ -24,6 +24,11 @@
 //!   skip featurization entirely.
 //! * [`metrics`] — throughput and p50/p95/p99 latency, exportable as the
 //!   machine-readable `BENCH_serve.json` report.
+//! * [`net`] — a TCP front-end over the worker pool: the framed
+//!   [`zsdb_protocol`] wire protocol, a tenant handshake, per-tenant
+//!   admission quotas on top of the bounded queue's load shedding,
+//!   pipelined request coalescing into batched submissions, and
+//!   per-tenant request/rejection/latency metrics.
 //! * [`adapt`] — the online adaptation loop: observed executions (the
 //!   engine's [`ObservationLog`](zsdb_engine::ObservationLog)) feed a
 //!   rolling-median [`DriftDetector`]; on drift a background thread
@@ -55,6 +60,7 @@ pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod multitask;
+pub mod net;
 pub mod registry;
 pub mod server;
 
@@ -68,11 +74,12 @@ pub use multitask::{
     MultiTaskBatchTicket, MultiTaskPredictionServer, MultiTaskPredictionTicket,
     ServedMultiTaskModel, ServedMultiTaskPrediction,
 };
+pub use net::{NetServer, NetServerConfig, TenantPolicy};
 pub use registry::{
     ArtifactManifest, IntegrityProbe, ModelRegistry, MultiTaskArtifactManifest,
     MultiTaskIntegrityProbe, ARTIFACT_FORMAT_VERSION,
 };
 pub use server::{
-    BatchPredictionTicket, Prediction, PredictionServer, PredictionTicket, RejectedRequest,
-    ServedModel, ServerConfig,
+    BatchPredictionTicket, Prediction, PredictionServer, PredictionTicket, RejectedBatch,
+    RejectedRequest, ServedModel, ServerConfig,
 };

@@ -43,7 +43,15 @@ struct LatencyRing {
 /// Shared latency/throughput recorder, updated by every worker thread.
 pub struct ServeMetrics {
     started: Instant,
+    /// Nanoseconds after `started` at which the first request completed,
+    /// plus one (`0` = no request yet).  Throughput is measured from this
+    /// instant, not from construction — a server that idled for an hour
+    /// before its first request would otherwise report a near-zero q/s
+    /// forever.
+    first_request_ns: AtomicU64,
     completed: AtomicU64,
+    /// Requests turned away at admission (queue full or server closed).
+    rejected: AtomicU64,
     ring: Mutex<LatencyRing>,
     /// Batch-size histogram (see [`BATCH_SIZE_BUCKET_LABELS`]).
     batch_sizes: [AtomicU64; BATCH_SIZE_BUCKET_LABELS.len()],
@@ -52,11 +60,14 @@ pub struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    /// Create a recorder; throughput is measured from this instant.
+    /// Create a recorder; throughput is measured from the first recorded
+    /// request.
     pub fn new() -> Self {
         ServeMetrics {
             started: Instant::now(),
+            first_request_ns: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             ring: Mutex::new(LatencyRing {
                 samples: Vec::new(),
                 next: 0,
@@ -70,6 +81,13 @@ impl ServeMetrics {
     /// Record one model hot-swap.
     pub fn record_swap(&self) {
         self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request (or batch) turned away at admission — a
+    /// `try_submit` that answered `Overloaded`, or any submission against
+    /// a closed server.
+    pub fn record_rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one completed single-plan request and its queue-to-response
@@ -86,6 +104,15 @@ impl ServeMetrics {
         if batch_size == 0 {
             return;
         }
+        // First request ever: pin the throughput clock (the +1 keeps 0 as
+        // the "unset" sentinel; a race just picks one of two near-equal
+        // instants).
+        let _ = self.first_request_ns.compare_exchange(
+            0,
+            (self.started.elapsed().as_nanos() as u64).saturating_add(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
         self.batch_sizes[batch_size_bucket(batch_size)].fetch_add(1, Ordering::Relaxed);
         self.completed
             .fetch_add(batch_size as u64, Ordering::Relaxed);
@@ -118,11 +145,20 @@ impl ServeMetrics {
         // One sort serves every percentile.
         latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let total_requests = self.completed.load(Ordering::Relaxed);
+        // Throughput over the active window (first completed request →
+        // now), so pre-traffic idle time does not dilute q/s.
+        let first_ns = self.first_request_ns.load(Ordering::Relaxed);
+        let active_secs = if first_ns == 0 {
+            0.0
+        } else {
+            (elapsed - (first_ns - 1) as f64 / 1e9).max(0.0)
+        };
         MetricsSnapshot {
             total_requests,
             elapsed_secs: elapsed,
-            throughput_qps: if elapsed > 0.0 {
-                total_requests as f64 / elapsed
+            rejected_requests: self.rejected.load(Ordering::Relaxed),
+            throughput_qps: if active_secs > 0.0 {
+                total_requests as f64 / active_secs
             } else {
                 0.0
             },
@@ -152,7 +188,7 @@ impl ServeMetrics {
 /// Linear-interpolation percentile of an already-sorted sample (same
 /// definition as [`zsdb_nn::percentile`], without the per-call clone and
 /// sort).  Returns `NaN` for empty input.
-fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
@@ -181,9 +217,14 @@ impl Default for ServeMetrics {
 pub struct MetricsSnapshot {
     /// Requests fully served since the server started.
     pub total_requests: u64,
+    /// Requests turned away at admission (queue full / server closed)
+    /// since the server started.
+    pub rejected_requests: u64,
     /// Wall-clock seconds since the server started.
     pub elapsed_secs: f64,
-    /// Completed requests per second of server lifetime.
+    /// Completed requests per second, measured from the first completed
+    /// request (0 before any traffic) — idle time before the first
+    /// request does not dilute the rate.
     pub throughput_qps: f64,
     /// Median request latency (enqueue → response) in milliseconds.
     pub latency_p50_ms: f64,
@@ -211,18 +252,29 @@ pub struct MetricsSnapshot {
     pub batch_size_histogram: Vec<u64>,
 }
 
+/// Render a millisecond value for display: `-` when no samples exist yet
+/// (the percentile is `NaN`) instead of the literal string `NaN ms`.
+fn fmt_ms(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3} ms")
+    } else {
+        "-".to_string()
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests in {:.2}s ({:.0} q/s) · latency p50 {:.3} ms, p95 {:.3} ms, \
-             p99 {:.3} ms · cache hit-rate {:.1}% ({} workers)",
+            "{} requests ({} rejected) in {:.2}s ({:.0} q/s) · latency p50 {}, p95 {}, \
+             p99 {} · cache hit-rate {:.1}% ({} workers)",
             self.total_requests,
+            self.rejected_requests,
             self.elapsed_secs,
             self.throughput_qps,
-            self.latency_p50_ms,
-            self.latency_p95_ms,
-            self.latency_p99_ms,
+            fmt_ms(self.latency_p50_ms),
+            fmt_ms(self.latency_p95_ms),
+            fmt_ms(self.latency_p99_ms),
             self.cache_hit_rate * 100.0,
             self.workers
         )
@@ -368,5 +420,46 @@ mod tests {
         let text = metrics.snapshot(cache_stats(1, 0), 8).to_string();
         assert!(text.contains("8 workers"));
         assert!(text.contains("hit-rate"));
+        assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn display_renders_empty_percentiles_as_dash_not_nan() {
+        let metrics = ServeMetrics::new();
+        let text = metrics.snapshot(cache_stats(0, 0), 1).to_string();
+        assert!(!text.contains("NaN"), "no literal NaN in: {text}");
+        assert!(text.contains("p50 -"), "dash placeholder in: {text}");
+    }
+
+    #[test]
+    fn rejections_are_counted_independently_of_completions() {
+        let metrics = ServeMetrics::new();
+        metrics.record(Duration::from_micros(10));
+        metrics.record_rejection();
+        metrics.record_rejection();
+        let snap = metrics.snapshot(cache_stats(0, 0), 1);
+        assert_eq!(snap.total_requests, 1);
+        assert_eq!(snap.rejected_requests, 2);
+        assert!(snap.to_string().contains("(2 rejected)"));
+    }
+
+    #[test]
+    fn throughput_is_measured_from_the_first_request_not_construction() {
+        let metrics = ServeMetrics::new();
+        // Idle before the first request: this gap must not dilute q/s.
+        std::thread::sleep(Duration::from_millis(120));
+        for _ in 0..10 {
+            metrics.record(Duration::from_micros(5));
+        }
+        let snap = metrics.snapshot(cache_stats(0, 0), 1);
+        let diluted = snap.total_requests as f64 / snap.elapsed_secs;
+        assert!(
+            snap.throughput_qps > 10.0 * diluted,
+            "active-window q/s ({}) should dwarf the lifetime rate ({diluted})",
+            snap.throughput_qps
+        );
+        // No traffic yet → a defined 0, not NaN or a division by ~0.
+        let idle = ServeMetrics::new().snapshot(cache_stats(0, 0), 1);
+        assert_eq!(idle.throughput_qps, 0.0);
     }
 }

@@ -26,8 +26,8 @@
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::server::ServerConfig;
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use crate::server::{RejectedRequest, ServerConfig};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -67,6 +67,7 @@ pub struct ServedMultiTaskModel {
 
 /// Claim ticket for an in-flight multi-task request; redeem with
 /// [`MultiTaskPredictionTicket::wait`].
+#[derive(Debug)]
 pub struct MultiTaskPredictionTicket {
     rx: mpsc::Receiver<ServedMultiTaskPrediction>,
 }
@@ -81,6 +82,7 @@ impl MultiTaskPredictionTicket {
 
 /// Claim ticket for an in-flight multi-task batch; redeem with
 /// [`MultiTaskBatchTicket::wait`].
+#[derive(Debug)]
 pub struct MultiTaskBatchTicket {
     parts: Vec<mpsc::Receiver<Vec<ServedMultiTaskPrediction>>>,
 }
@@ -231,6 +233,44 @@ impl MultiTaskPredictionServer {
             parts.push(rx);
         }
         Ok(MultiTaskBatchTicket { parts })
+    }
+
+    /// Enqueue a prediction request without blocking; fails with a
+    /// [`RejectedRequest`] carrying [`ServeError::Overloaded`] when the
+    /// queue is full, returning the plan to the caller for retry — the
+    /// multi-task mirror of
+    /// [`PredictionServer::try_submit`](crate::PredictionServer::try_submit).
+    /// Every rejection is counted in
+    /// [`MetricsSnapshot::rejected_requests`](crate::MetricsSnapshot).
+    pub fn try_submit(&self, plan: PlanNode) -> Result<MultiTaskPredictionTicket, RejectedRequest> {
+        let sender = match self.sender.as_ref() {
+            Some(s) => s,
+            None => {
+                self.shared.metrics.record_rejection();
+                return Err(RejectedRequest::new(plan, ServeError::Closed));
+            }
+        };
+        let (reply, rx) = mpsc::channel();
+        let job = Job::Single {
+            plan,
+            enqueued: Instant::now(),
+            reply,
+        };
+        let take_plan = |job: Job| match job {
+            Job::Single { plan, .. } => plan,
+            Job::Batch { .. } => unreachable!("single submission cannot hold a batch"),
+        };
+        match sender.try_send(job) {
+            Ok(()) => Ok(MultiTaskPredictionTicket { rx }),
+            Err(TrySendError::Full(job)) => {
+                self.shared.metrics.record_rejection();
+                Err(RejectedRequest::new(take_plan(job), ServeError::Overloaded))
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                self.shared.metrics.record_rejection();
+                Err(RejectedRequest::new(take_plan(job), ServeError::Closed))
+            }
+        }
     }
 
     /// Submit and wait for the all-heads answer.
@@ -524,5 +564,47 @@ mod tests {
         }
         let metrics = server.shutdown();
         assert_eq!(metrics.total_requests, 2 * plans.len() as u64);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_and_counts_rejections() {
+        let (model, catalog, plans, _) = fixture();
+        let server = MultiTaskPredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                cache_capacity: 0,
+                ..ServerConfig::default()
+            },
+        );
+        let mut overloaded = 0u64;
+        let mut tickets = Vec::new();
+        for _ in 0..200 {
+            match server.try_submit(plans[1].clone()) {
+                Ok(t) => tickets.push(t),
+                Err(RejectedRequest {
+                    plan,
+                    reason: ServeError::Overloaded,
+                }) => {
+                    overloaded += 1;
+                    assert_eq!(&*plan, &plans[1], "plan returned for retry");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert!(overloaded > 0, "a 200-request burst should overflow");
+        assert_eq!(server.metrics().rejected_requests, overloaded);
+
+        // A closed server rejects (and counts) too.
+        let mut server = server;
+        server.stop_workers();
+        let rejected = server.try_submit(plans[0].clone()).unwrap_err();
+        assert!(matches!(rejected.reason, ServeError::Closed));
+        assert_eq!(server.metrics().rejected_requests, overloaded + 1);
     }
 }

@@ -548,15 +548,45 @@ impl ModelRegistry {
         }
     }
 
-    /// Write the promotion history atomically (temp file + rename), so a
-    /// crash mid-write can never leave a torn history behind.
+    /// Write the promotion history atomically *and durably*: a uniquely
+    /// named temp file (two concurrent writers never share one), fsync'd
+    /// before the rename, then the parent directory fsync'd after it —
+    /// without the directory sync a crash shortly after the rename can
+    /// still resurrect the old history (the rename itself lives in the
+    /// directory's metadata).  A crash mid-write leaves at worst a stale
+    /// `promotions.json.<pid>.<n>.tmp` behind, never a torn
+    /// `promotions.json`.
     fn write_promotions(&self, name: &str, history: &[u32]) -> Result<(), ServeError> {
+        use std::io::Write as _;
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let dir = self.root.join(name);
         fs::create_dir_all(&dir)?;
-        let tmp = dir.join("promotions.json.tmp");
-        fs::write(&tmp, serde_json::to_string(&history.to_vec())?)?;
-        fs::rename(&tmp, dir.join("promotions.json"))?;
-        Ok(())
+        let tmp = dir.join(format!(
+            "promotions.json.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let payload = serde_json::to_string(&history.to_vec())?;
+        let result = (|| -> Result<(), ServeError> {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(payload.as_bytes())?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&tmp, dir.join("promotions.json"))?;
+            // Persist the rename itself. Directories cannot be fsync'd on
+            // every platform (e.g. Windows); treat that as best-effort.
+            if let Ok(dir_handle) = fs::File::open(&dir) {
+                let _ = dir_handle.sync_all();
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            // Never leave a half-written temp file to be confused for
+            // data; ignore cleanup failure (the unique name keeps it
+            // inert either way).
+            let _ = fs::remove_file(&tmp);
+        }
+        result
     }
 
     fn version_dir(&self, name: &str, version: u32) -> PathBuf {
@@ -703,6 +733,47 @@ mod tests {
             registry.promote("cost", 99),
             Err(ServeError::NotFound { .. })
         ));
+        let _ = fs::remove_dir_all(registry.root());
+    }
+
+    #[test]
+    fn partially_written_tmp_never_shadows_the_promotion_history() {
+        let registry = temp_registry();
+        let (model, graphs) = tiny_trained_model_and_graphs();
+        let v1 = registry.register("cost", &model, &graphs[..2]).unwrap();
+        let v2 = registry.register("cost", &model, &graphs[..2]).unwrap();
+        registry.promote("cost", v1).unwrap();
+
+        // Simulate a crash mid-write: torn temp files in every naming
+        // scheme a crashed writer could have left behind.
+        let dir = registry.root().join("cost");
+        fs::write(dir.join("promotions.json.tmp"), b"[1, 2, 9").unwrap();
+        fs::write(
+            dir.join(format!("promotions.json.{}.7.tmp", std::process::id())),
+            b"{torn",
+        )
+        .unwrap();
+
+        // The valid history is untouched by the debris...
+        assert_eq!(registry.promotion_history("cost").unwrap(), vec![v1]);
+        assert_eq!(registry.promoted("cost").unwrap(), Some(v1));
+
+        // ...and further promotions neither read nor trip over it.
+        registry.promote("cost", v2).unwrap();
+        assert_eq!(registry.promotion_history("cost").unwrap(), vec![v1, v2]);
+        let raw = fs::read_to_string(dir.join("promotions.json")).unwrap();
+        let parsed: Vec<u32> = serde_json::from_str(&raw).unwrap();
+        assert_eq!(parsed, vec![v1, v2], "promotions.json is whole JSON");
+
+        // A fresh write leaves no *new* temp debris behind (the planted
+        // files are someone else's crash, not ours).
+        let tmp_files: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert_eq!(tmp_files.len(), 2, "only the planted debris: {tmp_files:?}");
         let _ = fs::remove_dir_all(registry.root());
     }
 

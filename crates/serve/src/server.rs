@@ -100,6 +100,7 @@ pub struct ServedModel {
 
 /// Claim ticket for an in-flight request; redeem with
 /// [`PredictionTicket::wait`].
+#[derive(Debug)]
 pub struct PredictionTicket {
     rx: mpsc::Receiver<Prediction>,
 }
@@ -119,6 +120,7 @@ impl PredictionTicket {
 /// [`max_batch_size`](ServerConfig::max_batch_size) is answered in
 /// several chunks (possibly by different workers); the ticket stitches
 /// them back together in submission order.
+#[derive(Debug)]
 pub struct BatchPredictionTicket {
     parts: Vec<mpsc::Receiver<Vec<Prediction>>>,
 }
@@ -149,7 +151,7 @@ pub struct RejectedRequest {
 }
 
 impl RejectedRequest {
-    fn new(plan: PlanNode, reason: ServeError) -> Self {
+    pub(crate) fn new(plan: PlanNode, reason: ServeError) -> Self {
         RejectedRequest {
             plan: Box::new(plan),
             reason,
@@ -166,6 +168,60 @@ impl std::fmt::Display for RejectedRequest {
 impl std::error::Error for RejectedRequest {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.reason)
+    }
+}
+
+/// A batch that [`PredictionServer::try_submit_batch`] could not fully
+/// enqueue.
+///
+/// Chunked admission cannot be undone once a chunk is in the queue, so a
+/// partial failure is reported honestly: [`RejectedBatch::plans`] holds
+/// the unsent remainder (in submission order, for retry) and
+/// [`RejectedBatch::answered`] the ticket for chunks that *were*
+/// admitted before the queue filled up — `None` when nothing was.
+pub struct RejectedBatch {
+    /// The plans that were not enqueued, in submission order.
+    pub plans: Vec<PlanNode>,
+    /// Why admission stopped ([`ServeError::Overloaded`] or
+    /// [`ServeError::Closed`]).
+    pub reason: ServeError,
+    /// Ticket for the prefix of the batch that was admitted before the
+    /// rejection, if any.
+    pub answered: Option<BatchPredictionTicket>,
+}
+
+impl RejectedBatch {
+    fn new(
+        plans: Vec<PlanNode>,
+        reason: ServeError,
+        parts: Vec<mpsc::Receiver<Vec<Prediction>>>,
+    ) -> Self {
+        RejectedBatch {
+            plans,
+            reason,
+            answered: (!parts.is_empty()).then_some(BatchPredictionTicket { parts }),
+        }
+    }
+}
+
+impl std::fmt::Debug for RejectedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RejectedBatch")
+            .field("plans", &self.plans.len())
+            .field("reason", &self.reason)
+            .field("answered", &self.answered.is_some())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for RejectedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch rejected: {} ({} plans unsent)",
+            self.reason,
+            self.plans.len()
+        )
     }
 }
 
@@ -323,11 +379,16 @@ impl PredictionServer {
 
     /// Enqueue a prediction request without blocking; fails with a
     /// [`RejectedRequest`] carrying [`ServeError::Overloaded`] when the
-    /// queue is full, returning the plan to the caller for retry.
+    /// queue is full, returning the plan to the caller for retry.  Every
+    /// rejection is counted in
+    /// [`MetricsSnapshot::rejected_requests`](crate::MetricsSnapshot).
     pub fn try_submit(&self, plan: PlanNode) -> Result<PredictionTicket, RejectedRequest> {
         let sender = match self.sender.as_ref() {
             Some(s) => s,
-            None => return Err(RejectedRequest::new(plan, ServeError::Closed)),
+            None => {
+                self.shared.metrics.record_rejection();
+                return Err(RejectedRequest::new(plan, ServeError::Closed));
+            }
         };
         let (reply, rx) = mpsc::channel();
         let job = Job::Single {
@@ -342,12 +403,77 @@ impl PredictionServer {
         match sender.try_send(job) {
             Ok(()) => Ok(PredictionTicket { rx }),
             Err(TrySendError::Full(job)) => {
+                self.shared.metrics.record_rejection();
                 Err(RejectedRequest::new(take_plan(job), ServeError::Overloaded))
             }
             Err(TrySendError::Disconnected(job)) => {
+                self.shared.metrics.record_rejection();
                 Err(RejectedRequest::new(take_plan(job), ServeError::Closed))
             }
         }
+    }
+
+    /// Enqueue a batch of plans without blocking — the load-shedding
+    /// sibling of [`PredictionServer::submit_batch`].
+    ///
+    /// The batch is split into `max_batch_size` chunks exactly like
+    /// `submit_batch`, but each chunk is enqueued with a non-blocking
+    /// `try_send`.  On the first full-queue (or closed-server) chunk the
+    /// submission stops and the *unsent remainder* comes back in
+    /// [`RejectedBatch::plans`]; chunks already enqueued keep running and
+    /// are claimable through [`RejectedBatch::answered`], so no accepted
+    /// work is lost and no rejected plan is silently dropped.  A batch
+    /// no larger than `max_batch_size` is a single chunk, making the
+    /// admission decision all-or-nothing.  Each rejection counts once in
+    /// [`MetricsSnapshot::rejected_requests`](crate::MetricsSnapshot).
+    pub fn try_submit_batch(
+        &self,
+        plans: Vec<PlanNode>,
+    ) -> Result<BatchPredictionTicket, RejectedBatch> {
+        let max = self.config.max_batch_size.max(1);
+        let mut parts = Vec::with_capacity(plans.len().div_ceil(max));
+        let mut remaining = plans;
+        while !remaining.is_empty() {
+            let sender = match self.sender.as_ref() {
+                Some(s) => s,
+                None => {
+                    self.shared.metrics.record_rejection();
+                    return Err(RejectedBatch::new(remaining, ServeError::Closed, parts));
+                }
+            };
+            let rest = if remaining.len() > max {
+                remaining.split_off(max)
+            } else {
+                Vec::new()
+            };
+            let chunk = std::mem::replace(&mut remaining, rest);
+            let (reply, rx) = mpsc::channel();
+            let job = Job::Batch {
+                plans: chunk,
+                enqueued: Instant::now(),
+                reply,
+            };
+            let take_plans = |job: Job| match job {
+                Job::Batch { plans, .. } => plans,
+                Job::Single { .. } => unreachable!("batch submission cannot hold a single"),
+            };
+            match sender.try_send(job) {
+                Ok(()) => parts.push(rx),
+                Err(TrySendError::Full(job)) => {
+                    self.shared.metrics.record_rejection();
+                    let mut unsent = take_plans(job);
+                    unsent.append(&mut remaining);
+                    return Err(RejectedBatch::new(unsent, ServeError::Overloaded, parts));
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    self.shared.metrics.record_rejection();
+                    let mut unsent = take_plans(job);
+                    unsent.append(&mut remaining);
+                    return Err(RejectedBatch::new(unsent, ServeError::Closed, parts));
+                }
+            }
+        }
+        Ok(BatchPredictionTicket { parts })
     }
 
     /// Submit and wait for the answer (convenience for sequential
@@ -753,6 +879,139 @@ mod tests {
             t.wait().unwrap();
         }
         assert!(overloaded > 0, "a 200-request burst should overflow");
+        // Every shed request is visible in the metrics.
+        assert_eq!(server.metrics().rejected_requests, overloaded);
+    }
+
+    #[test]
+    fn try_submit_batch_is_atomic_up_to_max_batch_size() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                cache_capacity: 0,
+                max_batch_size: 64,
+            },
+        );
+        // A batch within max_batch_size is one queue slot: it is either
+        // admitted whole or rejected whole with every plan returned.
+        let mut admitted = Vec::new();
+        let mut rejected_whole = 0usize;
+        for _ in 0..100 {
+            match server.try_submit_batch(plans.clone()) {
+                Ok(t) => admitted.push(t),
+                Err(rej) => {
+                    assert!(matches!(rej.reason, ServeError::Overloaded));
+                    assert_eq!(rej.plans, plans, "whole batch returned for retry");
+                    assert!(rej.answered.is_none(), "nothing partially admitted");
+                    rejected_whole += 1;
+                }
+            }
+        }
+        let admitted_count = admitted.len();
+        for t in admitted {
+            assert_eq!(t.wait().unwrap().len(), plans.len());
+        }
+        assert!(rejected_whole > 0, "a 100-batch burst should overflow");
+        let metrics = server.metrics();
+        assert_eq!(metrics.rejected_requests, rejected_whole as u64);
+        assert_eq!(
+            metrics.total_requests,
+            (admitted_count * plans.len()) as u64
+        );
+
+        // Empty batches are admitted without consuming a queue slot.
+        let empty = server.try_submit_batch(Vec::new()).unwrap().wait().unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn try_submit_batch_reports_partial_admission_honestly() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        // Tiny chunks over a tiny queue: an oversized batch will get some
+        // chunks in before the queue fills.
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                cache_capacity: 0,
+                max_batch_size: 2,
+            },
+        );
+        // Keep submitting the 15-plan batch (8 chunks) until one lands on
+        // a full queue mid-way.
+        let mut saw_partial = false;
+        for _ in 0..200 {
+            match server.try_submit_batch(plans.clone()) {
+                Ok(t) => {
+                    t.wait().unwrap();
+                }
+                Err(rej) => {
+                    assert!(matches!(rej.reason, ServeError::Overloaded));
+                    if let Some(answered) = rej.answered {
+                        // Admitted prefix + unsent remainder = the batch,
+                        // in order.
+                        let prefix = answered.wait().unwrap();
+                        assert_eq!(prefix.len() + rej.plans.len(), plans.len());
+                        let sent = plans.len() - rej.plans.len();
+                        assert_eq!(rej.plans, plans[sent..].to_vec());
+                        saw_partial = true;
+                    } else {
+                        assert_eq!(rej.plans, plans);
+                    }
+                    if saw_partial {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(saw_partial, "an 8-chunk batch over a 2-slot queue splits");
+    }
+
+    #[test]
+    fn closed_server_rejections_are_counted() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let mut server = PredictionServer::start(model, catalog, ServerConfig::default());
+        server.stop_workers();
+        let rejected = server.try_submit(plans[0].clone()).unwrap_err();
+        assert!(matches!(rejected.reason, ServeError::Closed));
+        let rejected_batch = server.try_submit_batch(plans.clone()).unwrap_err();
+        assert!(matches!(rejected_batch.reason, ServeError::Closed));
+        assert_eq!(rejected_batch.plans, plans);
+        assert_eq!(server.metrics().rejected_requests, 2);
+    }
+
+    #[test]
+    fn dropped_tickets_do_not_wedge_workers_or_leak_queue_slots() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 4,
+                ..ServerConfig::default()
+            },
+        );
+        // Clients that give up: submit and immediately drop the ticket —
+        // single and batch — more times than the queue holds.
+        for plan in plans.iter().cycle().take(12) {
+            drop(server.submit(plan.clone()).unwrap());
+        }
+        drop(server.submit_batch(plans.clone()).unwrap());
+        // Workers must still drain the queue and answer new requests.
+        let answered = server.predict_blocking(plans[0].clone()).unwrap();
+        assert!(answered.runtime_secs.is_finite());
+        let metrics = server.metrics();
+        // Every abandoned request was still fully processed (no wedged
+        // worker, no leaked slot): 12 singles + one 15-plan batch + 1.
+        assert_eq!(metrics.total_requests, 12 + plans.len() as u64 + 1);
+        assert_eq!(metrics.rejected_requests, 0);
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   jointly trained, and the learned-cardinality estimator that closes the
 //!   loop into the optimizer.
 //! * [`serve`] — production serving: persistent model registry, concurrent
-//!   worker-pool inference with a fingerprint-keyed feature cache, metrics.
+//!   worker-pool inference with a fingerprint-keyed feature cache, metrics,
+//!   and the multi-tenant TCP gateway.
+//! * [`protocol`] — the framed binary wire protocol the gateway speaks
+//!   (pure encode/decode, usable without sockets).
+//! * [`client`] — blocking connection-pooled network client with pipelined
+//!   request ids and reconnect-on-broken-pipe.
 //! * [`baselines`] — workload-driven baselines (MSCN, E2E, scaled optimizer
 //!   cost).
 
@@ -29,10 +34,12 @@
 pub use zsdb_baselines as baselines;
 pub use zsdb_cardest as cardest;
 pub use zsdb_catalog as catalog;
+pub use zsdb_client as client;
 pub use zsdb_core as zeroshot;
 pub use zsdb_engine as engine;
 pub use zsdb_multitask as multitask;
 pub use zsdb_nn as nn;
+pub use zsdb_protocol as protocol;
 pub use zsdb_query as query;
 pub use zsdb_serve as serve;
 pub use zsdb_storage as storage;

@@ -1,0 +1,217 @@
+//! End-to-end network serving test (ISSUE 6 acceptance): train a tiny
+//! model, put a [`NetServer`] gateway in front of the worker pool, and
+//! talk to it through the pooled `zsdb_client` over real TCP sockets,
+//! asserting
+//!
+//! (a) every remote prediction — single and batched — is bit-identical
+//!     to the in-process `predict_blocking` path,
+//! (b) the gateway meters each tenant separately (admitted / completed /
+//!     in-flight visible over the wire through the `Metrics` op), and
+//! (c) quota rejections surface as structured, retryable error frames
+//!     and are counted per tenant.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use zero_shot_db::catalog::presets;
+use zero_shot_db::client::{Client, ClientConfig, ClientError};
+use zero_shot_db::protocol::{ErrorCode, GatewayMetrics, TenantMetrics};
+use zero_shot_db::serve::{
+    NetServer, NetServerConfig, PredictionServer, ServerConfig, TenantPolicy,
+};
+use zero_shot_db::storage::Database;
+use zsdb_bench::tiny_serving_fixture;
+
+/// Poll the gateway's metrics until `done` accepts a snapshot (the
+/// responder decrements `in_flight` *after* writing the response, so a
+/// client can observe its own answer a beat before the gauges settle).
+fn wait_for_metrics(client: &Client, done: impl Fn(&GatewayMetrics) -> bool) -> GatewayMetrics {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = client.metrics().expect("metrics over the wire");
+        if done(&snapshot) || Instant::now() > deadline {
+            return snapshot;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn tenant<'a>(metrics: &'a GatewayMetrics, name: &str) -> &'a TenantMetrics {
+    metrics
+        .tenants
+        .iter()
+        .find(|t| t.tenant == name)
+        .unwrap_or_else(|| panic!("tenant {name} missing from gateway metrics"))
+}
+
+#[test]
+fn remote_predictions_match_in_process_and_tenants_are_metered() {
+    let db = Database::generate(presets::imdb_like(0.02), 11);
+    let (model, plans) = tiny_serving_fixture(&db, 20, 5);
+
+    let gateway = NetServer::start(
+        "127.0.0.1:0",
+        PredictionServer::start(
+            model,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                cache_capacity: 128,
+                ..ServerConfig::default()
+            },
+        ),
+        NetServerConfig::default()
+            .with_tenant("alpha", TenantPolicy { max_in_flight: 64 })
+            .with_tenant("beta", TenantPolicy { max_in_flight: 64 }),
+    )
+    .expect("bind gateway");
+    let addr = gateway.local_addr();
+
+    // In-process reference through the same worker pool, keyed by the
+    // structural fingerprint the wire protocol echoes back.
+    let reference: HashMap<u64, u64> = plans
+        .iter()
+        .map(|p| {
+            let r = gateway
+                .server()
+                .predict_blocking(p.clone())
+                .expect("in-process prediction");
+            (r.fingerprint, r.runtime_secs.to_bits())
+        })
+        .collect();
+
+    // (a) Bit-identity for the single-request path…
+    let alpha = Client::connect(
+        addr,
+        ClientConfig {
+            connections: 2,
+            ..ClientConfig::tenant("alpha")
+        },
+    )
+    .expect("connect alpha");
+    assert_eq!(alpha.handshake_model_version().unwrap(), 1);
+    assert_eq!(alpha.handshake_tenant_quota().unwrap(), 64);
+    for plan in &plans {
+        let remote = alpha.predict(plan).expect("remote predict");
+        assert_eq!(
+            remote.runtime_secs.to_bits(),
+            reference[&remote.fingerprint],
+            "remote single prediction diverged from predict_blocking"
+        );
+        assert_eq!(remote.model_version, 1);
+    }
+    // …and for the batched path.
+    let batch = alpha.predict_batch(&plans).expect("remote batch");
+    assert_eq!(batch.len(), plans.len());
+    for remote in &batch {
+        assert_eq!(
+            remote.runtime_secs.to_bits(),
+            reference[&remote.fingerprint],
+            "remote batched prediction diverged from predict_blocking"
+        );
+    }
+
+    // A second tenant on the same gateway.
+    let beta = Client::connect(addr, ClientConfig::tenant("beta")).expect("connect beta");
+    for plan in plans.iter().take(5) {
+        let remote = beta.predict(plan).expect("beta predict");
+        assert_eq!(
+            remote.runtime_secs.to_bits(),
+            reference[&remote.fingerprint]
+        );
+    }
+
+    // (b) Per-tenant accounting over the wire.
+    let alpha_total = (plans.len() * 2) as u64; // singles + batch
+    let metrics = wait_for_metrics(&alpha, |m| {
+        let a = tenant(m, "alpha");
+        let b = tenant(m, "beta");
+        a.completed == alpha_total && b.completed == 5 && a.in_flight == 0 && b.in_flight == 0
+    });
+    let a = tenant(&metrics, "alpha");
+    assert_eq!(a.admitted, alpha_total);
+    assert_eq!(a.completed, alpha_total);
+    assert_eq!(a.rejected_quota + a.rejected_shed, 0);
+    assert_eq!(a.quota, 64);
+    let b = tenant(&metrics, "beta");
+    assert_eq!(b.admitted, 5);
+    assert_eq!(b.completed, 5);
+    assert!(metrics.server_total_requests >= alpha_total + 5 + plans.len() as u64);
+    assert_eq!(metrics.model_version, 1);
+
+    let health = alpha.health().expect("health over the wire");
+    assert!(health.healthy);
+    assert_eq!(health.model_version, 1);
+
+    drop(alpha);
+    drop(beta);
+    let fin = gateway.shutdown();
+    assert_eq!(tenant(&fin, "alpha").completed, alpha_total);
+    assert_eq!(tenant(&fin, "beta").completed, 5);
+}
+
+#[test]
+fn quota_rejections_are_retryable_structured_errors_and_counted() {
+    let db = Database::generate(presets::imdb_like(0.02), 13);
+    let (model, plans) = tiny_serving_fixture(&db, 6, 2);
+
+    let gateway = NetServer::start(
+        "127.0.0.1:0",
+        PredictionServer::start(
+            model,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 16,
+                ..ServerConfig::default()
+            },
+        ),
+        // `starved` may never have a request in flight; `vip` is roomy.
+        NetServerConfig::default()
+            .with_tenant("starved", TenantPolicy { max_in_flight: 0 })
+            .with_tenant("vip", TenantPolicy { max_in_flight: 32 }),
+    )
+    .expect("bind gateway");
+    let addr = gateway.local_addr();
+
+    let starved = Client::connect(addr, ClientConfig::tenant("starved")).expect("connect");
+    for plan in &plans {
+        match starved.predict(plan) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::QuotaExceeded);
+                assert!(code.is_retryable(), "quota pressure must be retryable");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+    }
+    // Batches are admitted all-or-nothing against the quota.
+    match starved.predict_batch(&plans) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::QuotaExceeded),
+        other => panic!("expected QuotaExceeded for the batch, got {other:?}"),
+    }
+
+    // The starved tenant's rejections don't touch the vip tenant.
+    let vip = Client::connect(addr, ClientConfig::tenant("vip")).expect("connect vip");
+    let remote = vip.predict(&plans[0]).expect("vip predicts fine");
+    let local = gateway
+        .server()
+        .predict_blocking(plans[0].clone())
+        .expect("in-process");
+    assert_eq!(remote.runtime_secs.to_bits(), local.runtime_secs.to_bits());
+
+    let metrics = wait_for_metrics(&vip, |m| tenant(m, "vip").completed == 1);
+    let s = tenant(&metrics, "starved");
+    assert_eq!(s.admitted, 0);
+    // Each request counts: 6 singles + every plan of the rejected batch.
+    assert_eq!(s.rejected_quota, 2 * plans.len() as u64);
+    assert_eq!(s.in_flight, 0);
+    let v = tenant(&metrics, "vip");
+    assert_eq!(v.completed, 1);
+    assert_eq!(v.rejected_quota + v.rejected_shed, 0);
+
+    drop(starved);
+    drop(vip);
+    gateway.shutdown();
+}
