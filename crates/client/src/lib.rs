@@ -295,6 +295,31 @@ impl Drop for Connection {
 fn reader_loop(conn: &Arc<Connection>, stream: TcpStream) {
     let mut reader = std::io::BufReader::new(stream);
     while let Ok(Some(frame)) = read_frame(&mut reader) {
+        // An error on the reserved id 0 is connection-level: the server
+        // could not attribute the failure to any request (request ids
+        // start at 1) and is about to hang up.  Fan the structured error
+        // out to every pending caller rather than letting them discover
+        // a bare ConnectionLost or time out.
+        if frame.request_id == 0 {
+            if let Message::Error(e) = frame.message {
+                conn.alive.store(false, Ordering::Release);
+                let pending: Vec<ReplySender> = conn
+                    .pending
+                    .lock()
+                    .expect("pending lock")
+                    .drain()
+                    .map(|(_, tx)| tx)
+                    .collect();
+                for tx in pending {
+                    let _ = tx.send(Err(ClientError::Server {
+                        code: e.code,
+                        message: e.message.clone(),
+                    }));
+                }
+                break;
+            }
+            continue;
+        }
         // A sender may be gone (caller timed out) — discard late
         // responses silently.
         if let Some(tx) = conn
@@ -564,6 +589,66 @@ mod tests {
             },
         );
         assert!(matches!(result, Err(ClientError::Io(_))));
+    }
+
+    #[test]
+    fn id_zero_error_frames_fail_all_pending_requests() {
+        use zsdb_protocol::{write_frame, ErrorResponse, HelloAck};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let hello = read_frame(&mut stream).expect("read hello").expect("hello");
+            assert!(matches!(hello.message, Message::Hello(_)));
+            write_frame(
+                &mut stream,
+                &Frame::new(
+                    hello.request_id,
+                    Message::HelloAck(HelloAck {
+                        protocol_version: PROTOCOL_VERSION,
+                        model_version: 1,
+                        tenant_quota: 7,
+                    }),
+                ),
+            )
+            .expect("ack");
+            // Wait for the first real request so the caller's pending slot
+            // exists, then fail the connection with an error on the
+            // reserved id 0 — the way the server reports unframeable
+            // bytes before hanging up.
+            let _request = read_frame(&mut stream).expect("read request").expect("req");
+            write_frame(
+                &mut stream,
+                &Frame::new(
+                    0,
+                    Message::Error(ErrorResponse {
+                        code: ErrorCode::BadRequest,
+                        message: "unreadable frame: fake".into(),
+                    }),
+                ),
+            )
+            .expect("error frame");
+            stream.flush().expect("flush");
+        });
+        let client = Client::connect(
+            addr,
+            ClientConfig {
+                request_timeout: Duration::from_secs(5),
+                ..ClientConfig::tenant("t")
+            },
+        )
+        .expect("handshake with fake server");
+        match client.metrics() {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("unreadable"), "got: {message}");
+            }
+            other => panic!(
+                "expected the structured connection-level error, got {:?}",
+                other.map(|_| "MetricsOk")
+            ),
+        }
+        server.join().expect("fake server thread");
     }
 
     #[test]

@@ -24,11 +24,13 @@
 //!   already buffered on a connection (a pipelining client), the reader
 //!   coalesces up to [`NetServerConfig::max_coalesce`] of them into one
 //!   [`submit_batch`](crate::PredictionServer::submit_batch)-style group
-//!   answered by a single batched forward pass.  The group size is
-//!   clamped to the worker pool's `max_batch_size`, so a coalesced group
-//!   is exactly one bounded-queue slot and its admission is
-//!   all-or-nothing.  Predictions stay bit-identical to the in-process
-//!   path either way.
+//!   answered by a single batched forward pass.  Coalescing never reads
+//!   the socket itself — it drains the frames a blocking read already
+//!   pulled into the decode buffer — so the reader can never perturb the
+//!   responder's writes.  The group size is clamped to the worker pool's
+//!   `max_batch_size`, so a coalesced group is exactly one bounded-queue
+//!   slot and its admission is all-or-nothing.  Predictions stay
+//!   bit-identical to the in-process path either way.
 //! * **Per-tenant metrics** — admitted/completed/rejected counts (quota
 //!   and shed separately), in-flight gauge and latency percentiles per
 //!   tenant, served over the wire via the `Metrics` op.
@@ -46,7 +48,7 @@ use std::time::{Duration, Instant};
 use zsdb_engine::PlanNode;
 use zsdb_protocol::{
     decode_frame, encode_frame, ErrorCode, ErrorResponse, Frame, GatewayMetrics, HealthResponse,
-    HelloAck, Message, TenantMetrics, WirePrediction, PROTOCOL_VERSION,
+    HelloAck, Message, ProtocolError, TenantMetrics, WirePrediction, PROTOCOL_VERSION,
 };
 
 /// Per-tenant latency samples retained for the percentile estimates
@@ -413,14 +415,19 @@ fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
             Ok(stream) => stream,
             Err(_) => continue,
         };
+        // A socket we cannot clone cannot be registered for forced close,
+        // and shutdown() would then block joining a connection it has no
+        // way to interrupt — refuse service instead.
+        let clone = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
         let conn_id = shared.connections_total.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared
-                .conns
-                .lock()
-                .expect("connection table poisoned")
-                .insert(conn_id, clone);
-        }
+        shared
+            .conns
+            .lock()
+            .expect("connection table poisoned")
+            .insert(conn_id, clone);
         shared.connections_active.fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
@@ -437,11 +444,21 @@ fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
                     .fetch_sub(1, Ordering::Relaxed);
             });
         match spawned {
-            Ok(handle) => shared
-                .handles
-                .lock()
-                .expect("connection handles poisoned")
-                .push(handle),
+            Ok(handle) => {
+                let mut handles = shared.handles.lock().expect("connection handles poisoned");
+                // Reap finished connection threads as we go, or a
+                // long-lived gateway accumulates one handle per
+                // connection ever served.
+                let mut i = 0;
+                while i < handles.len() {
+                    if handles[i].is_finished() {
+                        let _ = handles.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                handles.push(handle);
+            }
             Err(_) => {
                 shared
                     .conns
@@ -504,6 +521,16 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
     let hello = match zsdb_protocol::read_frame(&mut stream) {
         Ok(Some(frame)) => frame,
         Ok(None) => return Ok(()), // connected and left silently
+        Err(ProtocolError::Io(e))
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            // The handshake timer (SO_RCVTIMEO) expired: a slow client,
+            // not a protocol violation — hang up without a BadRequest.
+            return Ok(());
+        }
         Err(_) => {
             write_frame_ignore_proto(
                 &mut stream,
@@ -610,13 +637,16 @@ fn read_requests(
                     buf.drain(..used);
                     break frame;
                 }
-                Ok(None) => match read_into(stream, &mut buf, &mut scratch, true) {
+                Ok(None) => match read_into(stream, &mut buf, &mut scratch) {
                     Ok(0) | Err(_) => return, // EOF or dead socket
                     Ok(_) => {}
                 },
                 Err(e) => {
-                    // Unframeable bytes: tell the client why, then hang up
-                    // (request ids are unrecoverable at this point).
+                    // Unframeable bytes: tell the client why, then hang
+                    // up.  Request ids are unrecoverable at this point, so
+                    // the error goes out on the reserved id 0 (client ids
+                    // start at 1) — a connection-level failure the client
+                    // reader fans out to every pending request.
                     let _ = out.send(Outbound::Ready(error_frame(
                         0,
                         ErrorCode::BadRequest,
@@ -629,13 +659,7 @@ fn read_requests(
         match frame.message {
             Message::Predict(plan) => {
                 let mut group: Vec<(u64, PlanNode)> = vec![(frame.request_id, *plan)];
-                coalesce_predicts(
-                    stream,
-                    &mut buf,
-                    &mut scratch,
-                    shared.config.max_coalesce,
-                    &mut group,
-                );
+                coalesce_predicts(&mut buf, shared.config.max_coalesce, &mut group);
                 admit_group(shared, tenant, out, group);
             }
             Message::PredictBatch(plans) => {
@@ -667,17 +691,20 @@ fn read_requests(
     }
 }
 
-/// Pull further `Predict` frames that are *already available* (decoded
-/// buffer or kernel socket buffer) into `group`, without blocking — the
-/// pipelining client's burst becomes one batched submission.  A
-/// non-`Predict` frame stays in the buffer for the main loop.
-fn coalesce_predicts(
-    stream: &TcpStream,
-    buf: &mut Vec<u8>,
-    scratch: &mut [u8],
-    max_coalesce: usize,
-    group: &mut Vec<(u64, PlanNode)>,
-) {
+/// Pull further `Predict` frames already decoded-buffer-side into
+/// `group` — the pipelining client's burst becomes one batched
+/// submission.  A non-`Predict` frame stays in the buffer for the main
+/// loop.
+///
+/// This deliberately never touches the socket: the responder thread
+/// writes through a `try_clone` of it, and an opportunistic
+/// `set_nonblocking(true)` read here would be shared with that clone
+/// (non-blocking mode is a property of the underlying file description),
+/// so a concurrent response write could spuriously fail with
+/// `WouldBlock` and look like a dead client.  The main loop's blocking
+/// read pulls up to 16 KiB per syscall, so a burst lands in `buf`
+/// wholesale anyway.
+fn coalesce_predicts(buf: &mut Vec<u8>, max_coalesce: usize, group: &mut Vec<(u64, PlanNode)>) {
     while group.len() < max_coalesce {
         match decode_frame(buf) {
             Ok(Some((frame, used))) => match frame.message {
@@ -687,11 +714,8 @@ fn coalesce_predicts(
                 }
                 _ => return, // leave it for the main loop
             },
-            Ok(None) => match read_into(stream, buf, scratch, false) {
-                Ok(0) | Err(_) => return, // nothing buffered right now
-                Ok(_) => {}
-            },
-            Err(_) => return, // main loop reports the framing error
+            Ok(None) => return, // nothing more buffered right now
+            Err(_) => return,   // main loop reports the framing error
         }
     }
 }
@@ -996,30 +1020,13 @@ fn write_frame_ignore_proto(stream: &mut TcpStream, frame: &Frame) {
     }
 }
 
-/// Read some bytes from `stream` into `buf`.  Blocking mode waits for at
-/// least one byte (`Ok(0)` = EOF); non-blocking mode returns `Ok(0)`
-/// when nothing is currently available.
-fn read_into(
-    stream: &TcpStream,
-    buf: &mut Vec<u8>,
-    scratch: &mut [u8],
-    block: bool,
-) -> io::Result<usize> {
-    if !block {
-        stream.set_nonblocking(true)?;
-    }
-    let result = (&mut (&*stream)).read(scratch);
-    if !block {
-        stream.set_nonblocking(false)?;
-    }
-    match result {
-        Ok(n) => {
-            buf.extend_from_slice(&scratch[..n]);
-            Ok(n)
-        }
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
-        Err(e) => Err(e),
-    }
+/// Blocking read of some bytes from `stream` into `buf`; waits for at
+/// least one byte, `Ok(0)` = EOF.  The stream's blocking mode is never
+/// altered — the responder thread writes through a clone of this socket.
+fn read_into(stream: &TcpStream, buf: &mut Vec<u8>, scratch: &mut [u8]) -> io::Result<usize> {
+    let n = (&mut (&*stream)).read(scratch)?;
+    buf.extend_from_slice(&scratch[..n]);
+    Ok(n)
 }
 
 #[cfg(test)]
