@@ -1,0 +1,226 @@
+//! Observability overhead benchmark: drives the same serving workload
+//! twice through one `zsdb_serve` worker pool — tracer disabled, then
+//! enabled — and emits a machine-readable `BENCH_obs.json` report with
+//! both throughputs, the instrumentation overhead, and the per-stage
+//! latency breakdown gathered by the enabled pass.
+//!
+//! The binary exits non-zero when the instrumented pass regresses
+//! throughput by more than `--max-overhead-pct` (default 10%), so CI
+//! catches an instrumentation path that stops being cheap.
+//!
+//! Usage:
+//! `cargo run -p zsdb_bench --release --bin bench_obs -- \
+//!    [--requests N] [--distinct N] [--workers N] [--queue N] [--cache N] \
+//!    [--rounds N] [--max-overhead-pct P] [--out PATH]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use zsdb_bench::tiny_serving_fixture;
+use zsdb_catalog::presets;
+use zsdb_engine::PlanNode;
+use zsdb_serve::{PredictionServer, ServerConfig};
+use zsdb_storage::Database;
+
+struct Args {
+    requests: usize,
+    distinct: usize,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    rounds: usize,
+    max_overhead_pct: f64,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1).cloned())
+        };
+        let num = |flag: &str, default: usize| {
+            value_of(flag)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Args {
+            requests: num("--requests", 3_000),
+            distinct: num("--distinct", 150),
+            workers: num("--workers", 4),
+            queue: num("--queue", 256),
+            cache: num("--cache", 1_024),
+            rounds: num("--rounds", 3).max(1),
+            max_overhead_pct: value_of("--max-overhead-pct")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10.0),
+            out: value_of("--out").unwrap_or_else(|| "BENCH_obs.json".to_string()),
+        }
+    }
+}
+
+/// One stage of the per-stage latency breakdown, aggregated from the
+/// instrumented pass's `serve.stage.*_ns` histograms.
+#[derive(Serialize)]
+struct StageBreakdown {
+    stage: String,
+    count: u64,
+    mean_ns: f64,
+    max_ns: u64,
+    share_pct: f64,
+}
+
+#[derive(Serialize)]
+struct BenchObsReport {
+    requests_per_pass: usize,
+    distinct_plans: usize,
+    workers: usize,
+    rounds: usize,
+    /// Best round's throughput with the tracer disabled (requests/sec).
+    baseline_qps: f64,
+    /// Best round's throughput with the tracer enabled.
+    instrumented_qps: f64,
+    /// Throughput lost to instrumentation, in percent of the baseline
+    /// (negative means the instrumented pass happened to run faster).
+    overhead_pct: f64,
+    /// The failure threshold this run was checked against.
+    max_overhead_pct: f64,
+    /// Per-stage latency breakdown from the instrumented pass.
+    stages: Vec<StageBreakdown>,
+}
+
+/// Fire `requests` predictions from `clients` producer threads through
+/// the shared worker pool and return the wall-clock seconds the pass
+/// took.  When the tracer is enabled each request carries a trace; the
+/// producer finishes it and feeds the per-stage histograms, exactly as
+/// the network responder does.
+fn run_pass(
+    server: &Arc<PredictionServer>,
+    plans: &[PlanNode],
+    requests: usize,
+    clients: usize,
+) -> f64 {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let per_client = requests / clients + usize::from(c < requests % clients);
+            let server = Arc::clone(server);
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let plan = plans[(c + i * clients) % plans.len()].clone();
+                    let trace = server.tracer().begin();
+                    let ticket = server.submit_traced(plan, trace).unwrap();
+                    let (_prediction, trace) = ticket.wait_traced().unwrap();
+                    if let Some(t) = trace {
+                        let done = server.tracer().finish(t);
+                        server.recorder().stage_recorder().record_trace(&done);
+                    }
+                }
+            });
+        }
+    });
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "# Observability overhead: {} requests/pass over {} distinct plans, {} workers, {} rounds\n",
+        args.requests, args.distinct, args.workers, args.rounds
+    );
+
+    let db = Database::generate(presets::imdb_like(0.02), 11);
+    let (model, plans) = tiny_serving_fixture(&db, args.distinct, 5);
+    let server = Arc::new(PredictionServer::start(
+        model,
+        db.catalog().clone(),
+        ServerConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+            ..ServerConfig::default()
+        },
+    ));
+
+    // Warm the feature cache and the thread pool outside the clock.
+    server.tracer().set_enabled(false);
+    run_pass(&server, &plans, args.requests / 4, args.workers.max(1));
+
+    // Alternate baseline/instrumented rounds so slow-machine noise hits
+    // both sides, and score each side by its best round.
+    let mut baseline_qps = 0.0f64;
+    let mut instrumented_qps = 0.0f64;
+    for round in 0..args.rounds {
+        server.tracer().set_enabled(false);
+        let off =
+            args.requests as f64 / run_pass(&server, &plans, args.requests, args.workers.max(1));
+        server.tracer().set_enabled(true);
+        let on =
+            args.requests as f64 / run_pass(&server, &plans, args.requests, args.workers.max(1));
+        baseline_qps = baseline_qps.max(off);
+        instrumented_qps = instrumented_qps.max(on);
+        println!("round {round}: tracer off {off:.0} req/s, tracer on {on:.0} req/s");
+    }
+    let overhead_pct = (baseline_qps - instrumented_qps) / baseline_qps * 100.0;
+
+    // Per-stage breakdown from the instrumented rounds' histograms.
+    let snapshot = server.recorder().registry().snapshot();
+    let stage_total: u64 = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve.stage."))
+        .map(|(_, h)| h.sum)
+        .sum();
+    let stages: Vec<StageBreakdown> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, h)| name.starts_with("serve.stage.") && h.count > 0)
+        .map(|(name, h)| StageBreakdown {
+            stage: name
+                .trim_start_matches("serve.stage.")
+                .trim_end_matches("_ns")
+                .to_string(),
+            count: h.count,
+            mean_ns: h.sum as f64 / h.count as f64,
+            max_ns: h.max,
+            share_pct: h.sum as f64 / stage_total.max(1) as f64 * 100.0,
+        })
+        .collect();
+
+    println!(
+        "\nbaseline {baseline_qps:.0} req/s, instrumented {instrumented_qps:.0} req/s \
+         => overhead {overhead_pct:+.2}% (limit {:.1}%)",
+        args.max_overhead_pct
+    );
+    for s in &stages {
+        println!(
+            "  {:<14} {:>9} samples  mean {:>10.0} ns  max {:>10} ns  {:>5.1}% of stage time",
+            s.stage, s.count, s.mean_ns, s.max_ns, s.share_pct
+        );
+    }
+
+    let report = BenchObsReport {
+        requests_per_pass: args.requests,
+        distinct_plans: args.distinct,
+        workers: args.workers,
+        rounds: args.rounds,
+        baseline_qps,
+        instrumented_qps,
+        overhead_pct,
+        max_overhead_pct: args.max_overhead_pct,
+        stages,
+    };
+    println!();
+    zsdb_bench::write_json_report(&args.out, &report);
+
+    if overhead_pct > args.max_overhead_pct {
+        eprintln!(
+            "FAIL: instrumentation overhead {overhead_pct:.2}% exceeds the {:.1}% budget",
+            args.max_overhead_pct
+        );
+        std::process::exit(1);
+    }
+}

@@ -42,8 +42,17 @@ use std::time::Duration;
 use zsdb_engine::PlanNode;
 use zsdb_protocol::{
     encode_frame, read_frame, ErrorCode, Frame, GatewayMetrics, HealthResponse, HelloRequest,
-    Message, ProtocolError, WirePrediction, PROTOCOL_VERSION,
+    Message, ProtocolError, WirePrediction, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+
+/// Client-side trace-id mint: nonzero, process-wide unique.  The id is
+/// attached to request frames on protocol-v2 connections so the server's
+/// tracer records the request under an id the client already knows.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn mint_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Everything that can go wrong on the client side of the wire.
 #[derive(Debug)]
@@ -73,6 +82,9 @@ pub enum ClientError {
         /// What actually arrived.
         got: &'static str,
     },
+    /// The connection negotiated an older protocol version that cannot
+    /// express the request (e.g. `MetricsText` against a v1 server).
+    Unsupported(String),
 }
 
 impl fmt::Display for ClientError {
@@ -88,6 +100,12 @@ impl fmt::Display for ClientError {
             ClientError::ConnectionLost => write!(f, "connection lost with request in flight"),
             ClientError::UnexpectedResponse { expected, got } => {
                 write!(f, "expected a {expected} response, got {got}")
+            }
+            ClientError::Unsupported(detail) => {
+                write!(
+                    f,
+                    "unsupported on the negotiated protocol version: {detail}"
+                )
             }
         }
     }
@@ -164,6 +182,10 @@ pub struct RemotePrediction {
     pub server_latency: Duration,
     /// Version of the model that answered.
     pub model_version: u32,
+    /// Trace id echoed on the response frame — the id the server's
+    /// tracer recorded this request under.  `0` when the connection
+    /// negotiated protocol v1 or the server's tracer was disabled.
+    pub trace_id: u64,
 }
 
 impl From<WirePrediction> for RemotePrediction {
@@ -174,12 +196,13 @@ impl From<WirePrediction> for RemotePrediction {
             cache_hit: p.cache_hit,
             server_latency: Duration::from_micros(p.server_latency_micros),
             model_version: p.model_version,
+            trace_id: 0,
         }
     }
 }
 
-type ReplySender = mpsc::Sender<Result<Message, ClientError>>;
-type ReplyReceiver = mpsc::Receiver<Result<Message, ClientError>>;
+type ReplySender = mpsc::Sender<Result<(Message, u64), ClientError>>;
+type ReplyReceiver = mpsc::Receiver<Result<(Message, u64), ClientError>>;
 
 /// One live connection: a shared writer and a reader thread demuxing
 /// responses to waiting callers by request id.
@@ -191,10 +214,33 @@ struct Connection {
     reader: Mutex<Option<std::thread::JoinHandle<()>>>,
     model_version: u32,
     tenant_quota: u64,
+    /// Protocol version the server acknowledged; trace ids ride on
+    /// request frames only when this is ≥ 2.
+    protocol_version: u8,
 }
 
 impl Connection {
+    /// Open and handshake, falling back to the oldest supported protocol
+    /// version when the server rejects the current one — a new client
+    /// keeps working against an old server (it simply cannot carry trace
+    /// ids on the wire).
     fn open(addr: SocketAddr, config: &ClientConfig) -> Result<Arc<Connection>, ClientError> {
+        match Connection::open_with_version(addr, config, PROTOCOL_VERSION) {
+            Err(ClientError::Handshake(detail))
+                if detail.contains("unsupported protocol version")
+                    && MIN_PROTOCOL_VERSION < PROTOCOL_VERSION =>
+            {
+                Connection::open_with_version(addr, config, MIN_PROTOCOL_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    fn open_with_version(
+        addr: SocketAddr,
+        config: &ClientConfig,
+        protocol_version: u8,
+    ) -> Result<Arc<Connection>, ClientError> {
         let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
         stream.set_nodelay(true)?;
 
@@ -205,7 +251,7 @@ impl Connection {
         let hello = Frame::new(
             0,
             Message::Hello(HelloRequest {
-                protocol_version: PROTOCOL_VERSION,
+                protocol_version,
                 tenant: config.tenant.clone(),
             }),
         );
@@ -219,8 +265,15 @@ impl Connection {
                 ))
             }
         };
-        let (model_version, tenant_quota) = match ack.message {
-            Message::HelloAck(ack) => (ack.model_version, ack.tenant_quota),
+        let (model_version, tenant_quota, protocol_version) = match ack.message {
+            // Trust the ack's version but never exceed what we asked for:
+            // an old server that blindly echoes a newer number must not
+            // trick the client into v2 framing.
+            Message::HelloAck(ack) => (
+                ack.model_version,
+                ack.tenant_quota,
+                ack.protocol_version.min(protocol_version),
+            ),
             Message::Error(e) => {
                 return Err(ClientError::Handshake(format!(
                     "{:?}: {}",
@@ -244,6 +297,7 @@ impl Connection {
             reader: Mutex::new(None),
             model_version,
             tenant_quota,
+            protocol_version,
         });
         let reader_conn = Arc::clone(&conn);
         let handle = std::thread::Builder::new()
@@ -254,15 +308,25 @@ impl Connection {
         Ok(conn)
     }
 
-    /// Write one request frame and register a reply slot for its id.
-    fn send(self: &Arc<Connection>, message: Message) -> Result<(u64, ReplyReceiver), ClientError> {
+    /// Write one request frame (carrying `trace_id` when nonzero and the
+    /// connection speaks v2) and register a reply slot for its id.
+    fn send(
+        self: &Arc<Connection>,
+        message: Message,
+        trace_id: u64,
+    ) -> Result<(u64, ReplyReceiver), ClientError> {
         if !self.alive.load(Ordering::Acquire) {
             return Err(ClientError::ConnectionLost);
         }
+        let trace_id = if self.protocol_version >= 2 {
+            trace_id
+        } else {
+            0
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         self.pending.lock().expect("pending lock").insert(id, tx);
-        let bytes = encode_frame(&Frame::new(id, message))?;
+        let bytes = encode_frame(&Frame::traced(id, trace_id, message))?;
         let write_result = {
             let mut writer = self.writer.lock().expect("writer lock");
             writer.write_all(&bytes).and_then(|()| writer.flush())
@@ -328,7 +392,7 @@ fn reader_loop(conn: &Arc<Connection>, stream: TcpStream) {
             .expect("pending lock")
             .remove(&frame.request_id)
         {
-            let _ = tx.send(Ok(frame.message));
+            let _ = tx.send(Ok((frame.message, frame.trace_id)));
         }
     }
     conn.alive.store(false, Ordering::Release);
@@ -355,7 +419,7 @@ struct PendingReply {
 }
 
 impl PendingReply {
-    fn wait_message(self) -> Result<Message, ClientError> {
+    fn wait_message(self) -> Result<(Message, u64), ClientError> {
         match self.rx.recv_timeout(self.timeout) {
             Ok(result) => result,
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -368,9 +432,13 @@ impl PendingReply {
     }
 }
 
-fn expect_prediction(message: Message) -> Result<RemotePrediction, ClientError> {
+fn expect_prediction(message: Message, trace_id: u64) -> Result<RemotePrediction, ClientError> {
     match message {
-        Message::PredictOk(p) => Ok(p.into()),
+        Message::PredictOk(p) => {
+            let mut prediction = RemotePrediction::from(p);
+            prediction.trace_id = trace_id;
+            Ok(prediction)
+        }
         Message::Error(e) => Err(ClientError::Server {
             code: e.code,
             message: e.message,
@@ -388,7 +456,8 @@ pub struct PendingPrediction(PendingReply);
 impl PendingPrediction {
     /// Block (bounded by the request timeout) until the prediction is in.
     pub fn wait(self) -> Result<RemotePrediction, ClientError> {
-        expect_prediction(self.0.wait_message()?)
+        let (message, trace_id) = self.0.wait_message()?;
+        expect_prediction(message, trace_id)
     }
 }
 
@@ -399,8 +468,16 @@ impl PendingBatch {
     /// Block (bounded by the request timeout) until all predictions of
     /// the batch are in, in submission order.
     pub fn wait(self) -> Result<Vec<RemotePrediction>, ClientError> {
-        match self.0.wait_message()? {
-            Message::PredictBatchOk(ps) => Ok(ps.into_iter().map(Into::into).collect()),
+        let (message, trace_id) = self.0.wait_message()?;
+        match message {
+            Message::PredictBatchOk(ps) => Ok(ps
+                .into_iter()
+                .map(|p| {
+                    let mut prediction = RemotePrediction::from(p);
+                    prediction.trace_id = trace_id;
+                    prediction
+                })
+                .collect()),
             Message::Error(e) => Err(ClientError::Server {
                 code: e.code,
                 message: e.message,
@@ -461,6 +538,13 @@ impl Client {
         Ok(self.connection()?.tenant_quota)
     }
 
+    /// Protocol version negotiated by the most recently opened
+    /// connection's handshake.  `2` means request frames carry trace ids;
+    /// `1` means the client fell back for an older server.
+    pub fn negotiated_protocol_version(&self) -> Result<u8, ClientError> {
+        Ok(self.connection()?.protocol_version)
+    }
+
     fn connection_for_slot(&self, slot: usize) -> Result<Arc<Connection>, ClientError> {
         let mut guard = self.slots[slot].lock().expect("pool slot lock");
         if let Some(conn) = guard.as_ref() {
@@ -482,7 +566,9 @@ impl Client {
 
     /// Send one request, retrying once on a fresh connection if the
     /// failure was connection-level (the send never reached the server).
-    fn send(&self, make: impl Fn() -> Message) -> Result<PendingReply, ClientError> {
+    /// A nonzero `trace_id` rides on the request frame when the
+    /// connection negotiated protocol v2.
+    fn send(&self, make: impl Fn() -> Message, trace_id: u64) -> Result<PendingReply, ClientError> {
         let mut last_err = None;
         for _attempt in 0..2 {
             let conn = match self.connection() {
@@ -493,7 +579,7 @@ impl Client {
                 }
                 Err(e) => return Err(e),
             };
-            match conn.send(make()) {
+            match conn.send(make(), trace_id) {
                 Ok((id, rx)) => {
                     return Ok(PendingReply {
                         conn,
@@ -510,18 +596,24 @@ impl Client {
     }
 
     /// Enqueue one prediction without waiting — the pipelined entry
-    /// point.  Many pending tickets can share one connection.
+    /// point.  Many pending tickets can share one connection.  On a
+    /// protocol-v2 connection the request carries a fresh trace id; the
+    /// server echoes it on the response
+    /// ([`RemotePrediction::trace_id`]) and records the per-stage trace
+    /// under it.
     pub fn submit(&self, plan: &PlanNode) -> Result<PendingPrediction, ClientError> {
-        Ok(PendingPrediction(
-            self.send(|| Message::Predict(Box::new(plan.clone())))?,
-        ))
+        Ok(PendingPrediction(self.send(
+            || Message::Predict(Box::new(plan.clone())),
+            mint_trace_id(),
+        )?))
     }
 
     /// Enqueue a batch of plans answered by one batched forward pass.
     pub fn submit_batch(&self, plans: &[PlanNode]) -> Result<PendingBatch, ClientError> {
-        Ok(PendingBatch(
-            self.send(|| Message::PredictBatch(plans.to_vec()))?,
-        ))
+        Ok(PendingBatch(self.send(
+            || Message::PredictBatch(plans.to_vec()),
+            mint_trace_id(),
+        )?))
     }
 
     /// Predict one plan and wait for the answer.
@@ -537,7 +629,8 @@ impl Client {
 
     /// Fetch the gateway + per-tenant metrics snapshot.
     pub fn metrics(&self) -> Result<GatewayMetrics, ClientError> {
-        match self.send(|| Message::Metrics)?.wait_message()? {
+        let (message, _) = self.send(|| Message::Metrics, 0)?.wait_message()?;
+        match message {
             Message::MetricsOk(m) => Ok(*m),
             Message::Error(e) => Err(ClientError::Server {
                 code: e.code,
@@ -550,9 +643,36 @@ impl Client {
         }
     }
 
+    /// Fetch the Prometheus text exposition of the gateway + serving
+    /// metrics.  Requires a protocol-v2 server — against a v1 server the
+    /// call fails client-side with [`ClientError::Unsupported`] instead
+    /// of sending an op the server would treat as an unreadable frame.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        let conn = self.connection()?;
+        if conn.protocol_version < 2 {
+            return Err(ClientError::Unsupported(format!(
+                "MetricsText needs protocol v2, server negotiated v{}",
+                conn.protocol_version
+            )));
+        }
+        let (message, _) = self.send(|| Message::MetricsText, 0)?.wait_message()?;
+        match message {
+            Message::MetricsTextOk(text) => Ok(text),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::UnexpectedResponse {
+                expected: "MetricsTextOk",
+                got: other.op_name(),
+            }),
+        }
+    }
+
     /// Liveness probe.
     pub fn health(&self) -> Result<HealthResponse, ClientError> {
-        match self.send(|| Message::Health)?.wait_message()? {
+        let (message, _) = self.send(|| Message::Health, 0)?.wait_message()?;
+        match message {
             Message::HealthOk(h) => Ok(h),
             Message::Error(e) => Err(ClientError::Server {
                 code: e.code,
@@ -648,6 +768,119 @@ mod tests {
                 other.map(|_| "MetricsOk")
             ),
         }
+        server.join().expect("fake server thread");
+    }
+
+    #[test]
+    fn new_client_falls_back_to_a_v1_only_server() {
+        use zsdb_catalog::TableId;
+        use zsdb_engine::PhysOperator;
+        use zsdb_protocol::{write_frame, ErrorResponse, HelloAck};
+
+        // A fake pre-trace-extension server: it only accepts protocol
+        // version 1, answers Predict with a plain (untraced) v1 frame and
+        // has never heard of MetricsText.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: reject the v2 Hello the way the old
+            // server did.
+            let (mut stream, _) = listener.accept().expect("accept v2 attempt");
+            let hello = read_frame(&mut stream).expect("read hello").expect("hello");
+            let version = match &hello.message {
+                Message::Hello(h) => h.protocol_version,
+                other => panic!("expected Hello, got {}", other.op_name()),
+            };
+            assert_eq!(version, PROTOCOL_VERSION, "client leads with the newest");
+            write_frame(
+                &mut stream,
+                &Frame::new(
+                    hello.request_id,
+                    Message::Error(ErrorResponse {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "unsupported protocol version {version} (server speaks 1)"
+                        ),
+                    }),
+                ),
+            )
+            .expect("reject");
+            drop(stream);
+
+            // Second connection: the fallback handshake, now at v1.
+            let (mut stream, _) = listener.accept().expect("accept v1 fallback");
+            let hello = read_frame(&mut stream).expect("read hello").expect("hello");
+            match &hello.message {
+                Message::Hello(h) => assert_eq!(h.protocol_version, 1, "fallback speaks v1"),
+                other => panic!("expected Hello, got {}", other.op_name()),
+            }
+            write_frame(
+                &mut stream,
+                &Frame::new(
+                    hello.request_id,
+                    Message::HelloAck(HelloAck {
+                        protocol_version: 1,
+                        model_version: 3,
+                        tenant_quota: 9,
+                    }),
+                ),
+            )
+            .expect("ack");
+
+            let request = read_frame(&mut stream).expect("read request").expect("req");
+            assert_eq!(
+                request.trace_id, 0,
+                "a v1 connection must never carry trace ids"
+            );
+            assert!(matches!(request.message, Message::Predict(_)));
+            write_frame(
+                &mut stream,
+                &Frame::new(
+                    request.request_id,
+                    Message::PredictOk(WirePrediction {
+                        runtime_secs: 0.25,
+                        fingerprint: 42,
+                        cache_hit: false,
+                        server_latency_micros: 10,
+                        model_version: 3,
+                    }),
+                ),
+            )
+            .expect("answer");
+            stream.flush().expect("flush");
+        });
+
+        let client = Client::connect(
+            addr,
+            ClientConfig {
+                request_timeout: Duration::from_secs(5),
+                ..ClientConfig::tenant("t")
+            },
+        )
+        .expect("fallback handshake succeeds");
+        assert_eq!(client.negotiated_protocol_version().unwrap(), 1);
+        assert_eq!(client.handshake_model_version().unwrap(), 3);
+
+        let plan = PlanNode {
+            op: PhysOperator::SeqScan {
+                table: TableId(0),
+                predicates: vec![],
+            },
+            children: vec![],
+            est_cardinality: 1.0,
+            est_cost: 1.0,
+            output_width: 1.0,
+        };
+        let prediction = client.predict(&plan).expect("v1 predict works");
+        assert_eq!(prediction.fingerprint, 42);
+        assert_eq!(prediction.trace_id, 0, "no trace id over a v1 connection");
+
+        // MetricsText cannot be expressed at v1: the client refuses
+        // locally instead of poisoning the connection.
+        assert!(matches!(
+            client.metrics_text(),
+            Err(ClientError::Unsupported(_))
+        ));
         server.join().expect("fake server thread");
     }
 

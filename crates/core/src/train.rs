@@ -22,8 +22,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 use zsdb_engine::QueryExecution;
 use zsdb_nn::{median, q_error, Adam};
+use zsdb_obs::Tracer;
 use zsdb_storage::Database;
 
 /// Hyper-parameters of the training loop.
@@ -211,6 +213,7 @@ pub struct Trainer {
     model_config: ModelConfig,
     training_config: TrainingConfig,
     featurizer: FeaturizerConfig,
+    tracer: Option<Tracer>,
 }
 
 impl Trainer {
@@ -224,7 +227,18 @@ impl Trainer {
             model_config,
             training_config,
             featurizer,
+            tracer: None,
         }
+    }
+
+    /// Attach a [`Tracer`]: [`Trainer::train`] then emits one
+    /// `train.epoch_secs` event per epoch (wall time, shard-gradient time
+    /// and the epoch's median q-error in the detail).  Tracing never
+    /// changes the trained weights.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Trainer with default hyper-parameters and exact-cardinality
@@ -305,13 +319,17 @@ impl Trainer {
         let mut stopped_early = false;
 
         let mut epoch_qerrors: Vec<f64> = Vec::with_capacity(train_graphs.len());
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let epoch_started = Instant::now();
+            let mut shard_secs = 0.0f64;
             indices.shuffle(&mut rng);
             epoch_qerrors.clear();
             for step in indices.chunks(batch_size) {
                 let micro_batches: Vec<&[usize]> = step.chunks(microbatch).collect();
+                let shard_started = Instant::now();
                 let shards =
                     compute_shard_gradients(&model, &mut replicas, train_graphs, &micro_batches);
+                shard_secs += shard_started.elapsed().as_secs_f64();
                 model.zero_grad();
                 for shard in &shards {
                     model.add_gradients(&shard.gradients);
@@ -327,6 +345,15 @@ impl Trainer {
             // separate evaluation pass over the training set).
             let train_q = median(&epoch_qerrors);
             training_curve.push(train_q);
+            if let Some(tracer) = &self.tracer {
+                tracer.event(
+                    "train.epoch_secs",
+                    epoch_started.elapsed().as_secs_f64(),
+                    format!(
+                        "epoch {epoch}: median q-error {train_q:.4}, {shard_secs:.6}s in shard gradients"
+                    ),
+                );
+            }
             let monitored = if val_graphs.is_empty() {
                 train_q
             } else {
@@ -386,6 +413,19 @@ impl Trainer {
         graphs: &[PlanGraph],
         config: FinetuneConfig,
     ) -> TrainedModel {
+        Trainer::finetune_from_traced(trained, graphs, config, None)
+    }
+
+    /// [`Trainer::finetune_from`] emitting one `finetune.epoch_secs`
+    /// event per epoch on the given tracer (wall time, shard-gradient
+    /// time and the epoch's median q-error in the detail).  Tracing never
+    /// changes the fine-tuned weights.
+    pub fn finetune_from_traced(
+        trained: &TrainedModel,
+        graphs: &[PlanGraph],
+        config: FinetuneConfig,
+        tracer: Option<&Tracer>,
+    ) -> TrainedModel {
         assert!(
             graphs.iter().all(|g| g.runtime_secs.is_some()),
             "all fine-tuning graphs must carry runtime labels"
@@ -409,12 +449,16 @@ impl Trainer {
         let mut indices: Vec<usize> = (0..graphs.len()).collect();
         let mut training_curve = Vec::with_capacity(config.epochs);
         let mut epoch_qerrors: Vec<f64> = Vec::with_capacity(graphs.len());
-        for _epoch in 0..config.epochs {
+        for epoch in 0..config.epochs {
+            let epoch_started = Instant::now();
+            let mut shard_secs = 0.0f64;
             indices.shuffle(&mut rng);
             epoch_qerrors.clear();
             for step in indices.chunks(batch_size) {
                 let micro_batches: Vec<&[usize]> = step.chunks(microbatch).collect();
+                let shard_started = Instant::now();
                 let shards = compute_shard_gradients(&model, &mut replicas, graphs, &micro_batches);
+                shard_secs += shard_started.elapsed().as_secs_f64();
                 model.zero_grad();
                 for shard in &shards {
                     model.add_gradients(&shard.gradients);
@@ -424,7 +468,17 @@ impl Trainer {
                     epoch_qerrors.extend(shard.qerrors);
                 }
             }
-            training_curve.push(median(&epoch_qerrors));
+            let epoch_q = median(&epoch_qerrors);
+            training_curve.push(epoch_q);
+            if let Some(tracer) = tracer {
+                tracer.event(
+                    "finetune.epoch_secs",
+                    epoch_started.elapsed().as_secs_f64(),
+                    format!(
+                        "epoch {epoch}: median q-error {epoch_q:.4}, {shard_secs:.6}s in shard gradients"
+                    ),
+                );
+            }
         }
 
         let final_train_qerror = median_q_error(&model, graphs);
@@ -866,6 +920,52 @@ mod tests {
             tuned.final_train_qerror
         );
         assert_eq!(tuned.training_curve.len(), 25);
+    }
+
+    #[test]
+    fn attached_tracer_records_epochs_without_changing_weights() {
+        let graphs = featurized_tiny_corpus();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 3,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let tracer = Tracer::new(64);
+        let plain = trainer.train(&graphs);
+        let traced = trainer.clone().with_tracer(tracer.clone()).train(&graphs);
+        assert_eq!(
+            plain.model.to_json(),
+            traced.model.to_json(),
+            "tracing must not perturb training"
+        );
+        let epochs: Vec<_> = tracer
+            .events(16)
+            .into_iter()
+            .filter(|e| e.name == "train.epoch_secs")
+            .collect();
+        assert_eq!(epochs.len(), 3, "one event per epoch");
+        assert!(epochs.iter().all(|e| e.value >= 0.0));
+        assert!(epochs.iter().any(|e| e.detail.contains("shard gradients")));
+
+        let tuned = Trainer::finetune_from_traced(
+            &plain,
+            &graphs[..8],
+            FinetuneConfig {
+                epochs: 2,
+                ..FinetuneConfig::default()
+            },
+            Some(&tracer),
+        );
+        assert_eq!(tuned.training_curve.len(), 2);
+        let finetune_epochs = tracer
+            .events(32)
+            .into_iter()
+            .filter(|e| e.name == "finetune.epoch_secs")
+            .count();
+        assert_eq!(finetune_epochs, 2);
     }
 
     #[test]

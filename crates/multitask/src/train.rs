@@ -17,9 +17,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use zsdb_core::features::{FeaturizerConfig, PlanGraph};
 use zsdb_core::{compute_shard_results, FinetuneConfig, TrainingConfig};
 use zsdb_nn::{median, q_error, Adam};
+use zsdb_obs::Tracer;
 
 /// Median q-error of every task head over one evaluation set.
 ///
@@ -125,6 +127,7 @@ pub struct MultiTaskTrainer {
     model_config: MultiTaskConfig,
     training_config: TrainingConfig,
     featurizer: FeaturizerConfig,
+    tracer: Option<Tracer>,
 }
 
 /// One shard's contribution to a joint optimizer step.
@@ -216,7 +219,19 @@ impl MultiTaskTrainer {
             model_config,
             training_config,
             featurizer,
+            tracer: None,
         }
+    }
+
+    /// Attach a [`Tracer`]: [`MultiTaskTrainer::train`] then emits one
+    /// `train.epoch_secs` event per epoch (wall time, shard-gradient time
+    /// and the epoch's median cost q-error in the detail), mirroring
+    /// [`zsdb_core::Trainer::with_tracer`].  Tracing never changes the
+    /// trained weights.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The trainer's training configuration.
@@ -261,10 +276,13 @@ impl MultiTaskTrainer {
         let mut stopped_early = false;
 
         let mut epoch = EpochQErrors::default();
-        for _epoch in 0..cfg.epochs {
+        for epoch_idx in 0..cfg.epochs {
+            let epoch_started = Instant::now();
+            let mut shard_secs = 0.0f64;
             indices.shuffle(&mut rng);
             epoch.clear();
             for step in indices.chunks(batch_size) {
+                let step_started = Instant::now();
                 joint_optimizer_step(
                     &mut model,
                     &mut adam,
@@ -274,10 +292,21 @@ impl MultiTaskTrainer {
                     microbatch,
                     &mut epoch,
                 );
+                shard_secs += step_started.elapsed().as_secs_f64();
             }
 
             let train_q = epoch.medians();
             training_curve.push(train_q);
+            if let Some(tracer) = &self.tracer {
+                tracer.event(
+                    "train.epoch_secs",
+                    epoch_started.elapsed().as_secs_f64(),
+                    format!(
+                        "epoch {epoch_idx}: median cost q-error {:.4}, {shard_secs:.6}s in sharded optimizer steps",
+                        train_q.cost
+                    ),
+                );
+            }
             let monitored = if val_samples.is_empty() {
                 train_q.cost
             } else {
@@ -335,6 +364,19 @@ impl MultiTaskTrainer {
         samples: &[MultiTaskSample],
         config: FinetuneConfig,
     ) -> TrainedMultiTaskModel {
+        MultiTaskTrainer::finetune_from_traced(trained, samples, config, None)
+    }
+
+    /// [`MultiTaskTrainer::finetune_from`] emitting one
+    /// `finetune.epoch_secs` event per epoch on the given tracer,
+    /// mirroring [`zsdb_core::Trainer::finetune_from_traced`].  Tracing
+    /// never changes the fine-tuned weights.
+    pub fn finetune_from_traced(
+        trained: &TrainedMultiTaskModel,
+        samples: &[MultiTaskSample],
+        config: FinetuneConfig,
+        tracer: Option<&Tracer>,
+    ) -> TrainedMultiTaskModel {
         assert!(!samples.is_empty(), "fine-tuning needs at least one sample");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut model = trained.model.clone();
@@ -354,10 +396,13 @@ impl MultiTaskTrainer {
         let mut indices: Vec<usize> = (0..samples.len()).collect();
         let mut training_curve = Vec::with_capacity(config.epochs);
         let mut epoch = EpochQErrors::default();
-        for _epoch in 0..config.epochs {
+        for epoch_idx in 0..config.epochs {
+            let epoch_started = Instant::now();
+            let mut shard_secs = 0.0f64;
             indices.shuffle(&mut rng);
             epoch.clear();
             for step in indices.chunks(batch_size) {
+                let step_started = Instant::now();
                 joint_optimizer_step(
                     &mut model,
                     &mut adam,
@@ -367,8 +412,20 @@ impl MultiTaskTrainer {
                     microbatch,
                     &mut epoch,
                 );
+                shard_secs += step_started.elapsed().as_secs_f64();
             }
-            training_curve.push(epoch.medians());
+            let epoch_q = epoch.medians();
+            training_curve.push(epoch_q);
+            if let Some(tracer) = tracer {
+                tracer.event(
+                    "finetune.epoch_secs",
+                    epoch_started.elapsed().as_secs_f64(),
+                    format!(
+                        "epoch {epoch_idx}: median cost q-error {:.4}, {shard_secs:.6}s in sharded optimizer steps",
+                        epoch_q.cost
+                    ),
+                );
+            }
         }
 
         let final_train_qerrors = task_qerrors(&model, samples);
@@ -562,6 +619,49 @@ mod tests {
             assert_eq!(a.root_rows.to_bits(), b.root_rows.to_bits());
             assert_eq!(a.operator_rows, b.operator_rows);
         }
+    }
+
+    #[test]
+    fn attached_tracer_records_epochs_without_changing_weights() {
+        let samples = tiny_samples();
+        let trainer = MultiTaskTrainer::new(
+            MultiTaskConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                ..tiny_training_config()
+            },
+            FeaturizerConfig::estimated(),
+        );
+        let tracer = Tracer::new(64);
+        let plain = trainer.train(&samples);
+        let traced = trainer.clone().with_tracer(tracer.clone()).train(&samples);
+        assert_eq!(
+            plain.model.to_json(),
+            traced.model.to_json(),
+            "tracing must not perturb training"
+        );
+        let train_epochs = tracer
+            .events(16)
+            .into_iter()
+            .filter(|e| e.name == "train.epoch_secs")
+            .count();
+        assert_eq!(train_epochs, 2, "one event per epoch");
+
+        MultiTaskTrainer::finetune_from_traced(
+            &plain,
+            &samples[..8],
+            FinetuneConfig {
+                epochs: 3,
+                ..FinetuneConfig::default()
+            },
+            Some(&tracer),
+        );
+        let finetune_epochs = tracer
+            .events(32)
+            .into_iter()
+            .filter(|e| e.name == "finetune.epoch_secs")
+            .count();
+        assert_eq!(finetune_epochs, 3);
     }
 
     #[test]

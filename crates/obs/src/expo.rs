@@ -1,0 +1,106 @@
+//! Prometheus-style text exposition (text format version 0.0.4).
+//!
+//! Renders a [`RegistrySnapshot`] as the plain-text format every
+//! Prometheus-compatible scraper understands: `# TYPE` headers, one
+//! `name value` line per counter/gauge, and cumulative `_bucket{le=...}`
+//! series plus `_sum`/`_count` per histogram.  Histogram bucket bounds
+//! are the log₂ upper bounds from [`crate::metrics::bucket_upper_bound`],
+//! with the final open bucket rendered as `+Inf`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, RegistrySnapshot};
+
+/// Rewrite a metric name into the Prometheus grammar: `[a-zA-Z_:]` then
+/// `[a-zA-Z0-9_:]*`; every other character becomes `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Render the snapshot as Prometheus exposition text.
+pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, histogram) in &snapshot.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bucket, count) in histogram.buckets.iter().enumerate() {
+            // Skip interior empty buckets to keep the output compact, but
+            // always emit the +Inf bucket so the series is well-formed.
+            cumulative += count;
+            match bucket_upper_bound(bucket) {
+                Some(le) => {
+                    if *count > 0 {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", histogram.sum);
+        let _ = writeln!(out, "{name}_count {}", histogram.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("serve.requests_total").add(3);
+        r.gauge("serve.queue_depth").add(2);
+        r.histogram("serve.latency_ns").record(5);
+        r.histogram("serve.latency_ns").record(1000);
+
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total 3"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("# TYPE serve_latency_ns histogram"));
+        // 5 is in bucket 3 (le = 7); 1000 in bucket 10 (le = 1023).
+        assert!(text.contains("serve_latency_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("serve_latency_ns_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("serve_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_latency_ns_sum 1005"));
+        assert!(text.contains("serve_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn sanitizes_names_into_the_prometheus_grammar() {
+        assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("ok_name:42"), "ok_name:42");
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_inf_sum_and_count() {
+        let r = Registry::new();
+        r.histogram("h");
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("h_sum 0"));
+        assert!(text.contains("h_count 0"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # zsdb-obs — observability primitives for the serving stack
+//!
+//! The serving layers (worker pool, TCP gateway, adaptation loop) need
+//! production-grade visibility — per-stage latency, queue depth, drift
+//! events — without paying for it on the hot path.  This crate supplies
+//! the primitives; the serving crates wire them in.
+//!
+//! * [`metrics`] — counters, gauges and log₂-bucketed histograms whose
+//!   storage is **striped per recording thread** (the internal `stripe` module): recording
+//!   is a few `Relaxed` atomics on the thread's own shard, with no lock
+//!   shared between worker threads; shards merge only at snapshot time.
+//!   [`Registry`] names them and snapshots everything at once.
+//! * [`window`] — [`LatencyWindow`], a striped bounded window of recent
+//!   samples (for percentiles) that also tracks lifetime min/max and
+//!   reports occupancy, so a cold ring is distinguishable from a
+//!   saturated one.
+//! * [`trace`] — a checkpoint [`Tracer`]: a request carries an
+//!   [`ActiveTrace`] through the pipeline, each layer `mark`s its stage,
+//!   and the stage durations tile the end-to-end interval exactly.
+//!   Trace ids are `u64`s sized to ride in a frame-header extension.
+//! * [`expo`] — Prometheus text-format exposition of a registry
+//!   snapshot, alongside whatever JSON export the caller already has.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod metrics;
+mod stripe;
+pub mod trace;
+pub mod window;
+
+pub use expo::render_prometheus;
+pub use metrics::{
+    bucket_upper_bound, log2_bucket, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    RegistrySnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{ActiveTrace, Trace, TraceEvent, TraceStage, Tracer};
+pub use window::{LatencyWindow, WindowSnapshot};

@@ -1,0 +1,148 @@
+//! Per-thread striped shards.
+//!
+//! The classic metrics bottleneck is a single shared cell (a mutex-guarded
+//! ring, a contended atomic) that every worker thread hits on every
+//! request.  [`ShardSet`] removes the sharing: each *thread* that records
+//! into a metric registers its own shard on first use, and from then on
+//! writes only to that shard.  Readers merge all shards at snapshot time.
+//!
+//! The only lock in the structure is a registration/snapshot mutex that a
+//! recording thread takes exactly once in its lifetime (to append its
+//! shard); the steady-state record path touches a thread-local map and the
+//! thread's own shard — no lock shared between worker threads.
+//!
+//! Shards of exited threads are kept: their accumulated values stay part
+//! of every later snapshot, which is exactly what lifetime counters want.
+//! The thread-local cache is keyed by a process-unique shard-set id, so
+//! any number of independent metrics coexist.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Process-wide id source so every [`ShardSet`] gets a distinct
+/// thread-local cache key.
+static NEXT_SHARD_SET_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Map from shard-set id to this thread's shard (type-erased so one
+    /// cache serves every shard type).  Entries live for the thread's
+    /// lifetime; each is a single `Arc`.
+    static LOCAL_SHARDS: RefCell<HashMap<u64, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// A growable set of per-thread shards of type `S`.
+///
+/// `S` is the per-thread storage (atomic counters, a ring, ...).  Writers
+/// call [`ShardSet::with_local`] to reach *their* shard; readers call
+/// [`ShardSet::fold`] to merge all shards.
+#[derive(Debug)]
+pub(crate) struct ShardSet<S> {
+    id: u64,
+    shards: Mutex<Vec<Arc<S>>>,
+}
+
+impl<S: Default + Send + Sync + 'static> Default for ShardSet<S> {
+    fn default() -> Self {
+        ShardSet {
+            id: NEXT_SHARD_SET_ID.fetch_add(1, Ordering::Relaxed),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<S: Default + Send + Sync + 'static> ShardSet<S> {
+    /// Run `f` against the calling thread's shard, creating and
+    /// registering it on first use.
+    pub(crate) fn with_local<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        LOCAL_SHARDS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(entry) = cache.get(&self.id) {
+                let shard = entry
+                    .downcast_ref::<Arc<S>>()
+                    .expect("shard-set id collision across types");
+                return f(shard);
+            }
+            let shard = Arc::new(S::default());
+            self.shards
+                .lock()
+                .expect("shard registration poisoned")
+                .push(Arc::clone(&shard));
+            let result = f(&shard);
+            cache.insert(self.id, Box::new(shard));
+            result
+        })
+    }
+
+    /// Fold over every registered shard (including those of exited
+    /// threads).  Holds the registration mutex for the duration, which is
+    /// fine: snapshots are rare and registration is once per thread.
+    pub(crate) fn fold<A>(&self, init: A, mut f: impl FnMut(A, &S) -> A) -> A {
+        let shards = self.shards.lock().expect("shard registration poisoned");
+        shards.iter().fold(init, |acc, s| f(acc, s))
+    }
+
+    /// Number of shards registered so far (== distinct recording threads).
+    #[cfg(test)]
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards
+            .lock()
+            .expect("shard registration poisoned")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[derive(Default)]
+    struct Cell(AtomicU64);
+
+    #[test]
+    fn each_thread_gets_its_own_shard() {
+        let set = Arc::new(ShardSet::<Cell>::default());
+        set.with_local(|c| c.0.fetch_add(1, Ordering::Relaxed));
+        set.with_local(|c| c.0.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(set.shard_count(), 1);
+
+        let set2 = Arc::clone(&set);
+        std::thread::spawn(move || {
+            set2.with_local(|c| c.0.fetch_add(5, Ordering::Relaxed));
+        })
+        .join()
+        .unwrap();
+
+        assert_eq!(set.shard_count(), 2);
+        let total = set.fold(0, |acc, c| acc + c.0.load(Ordering::Relaxed));
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn values_of_exited_threads_survive() {
+        let set = Arc::new(ShardSet::<Cell>::default());
+        for _ in 0..4 {
+            let set = Arc::clone(&set);
+            std::thread::spawn(move || {
+                set.with_local(|c| c.0.fetch_add(10, Ordering::Relaxed));
+            })
+            .join()
+            .unwrap();
+        }
+        let total = set.fold(0, |acc, c| acc + c.0.load(Ordering::Relaxed));
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn two_shard_sets_do_not_collide_in_the_thread_local_cache() {
+        let a = ShardSet::<Cell>::default();
+        let b = ShardSet::<Cell>::default();
+        a.with_local(|c| c.0.fetch_add(1, Ordering::Relaxed));
+        b.with_local(|c| c.0.fetch_add(2, Ordering::Relaxed));
+        assert_eq!(a.fold(0, |acc, c| acc + c.0.load(Ordering::Relaxed)), 1);
+        assert_eq!(b.fold(0, |acc, c| acc + c.0.load(Ordering::Relaxed)), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! A striped bounded window of recent samples.
+//!
+//! Replacement for the old mutex-guarded `LatencyRing`: each recording
+//! thread owns a private ring of the configured capacity and overwrites
+//! its own oldest entries, so recording is a few `Relaxed` stores with no
+//! lock shared between worker threads.  Snapshots merge every ring (the
+//! union of each thread's most recent samples) plus lifetime count,
+//! minimum and maximum, and report *occupancy* so a reader can tell a
+//! cold, half-filled window from a saturated one.
+//!
+//! Because each thread keeps its own ring, the merged window holds up to
+//! `capacity × recording-threads` samples — "the last `capacity` samples
+//! per thread", which for percentile estimation is as good as a global
+//! ring and much cheaper to maintain.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::stripe::ShardSet;
+
+#[derive(Debug)]
+struct WindowShard {
+    capacity: usize,
+    samples: Vec<AtomicU64>,
+    /// Next write slot (owner-only).
+    next: AtomicUsize,
+    /// Lifetime number of samples recorded by this shard.
+    count: AtomicU64,
+    /// Lifetime minimum; `u64::MAX` while empty.
+    min: AtomicU64,
+    /// Lifetime maximum.
+    max: AtomicU64,
+}
+
+impl WindowShard {
+    fn with_capacity(capacity: usize) -> Self {
+        WindowShard {
+            capacity,
+            samples: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicUsize::new(0),
+            count: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+// ShardSet requires Default; thread the capacity through a wrapper that
+// reads it from the owning window at construction time is not possible, so
+// shards allocate lazily on first record instead.
+#[derive(Debug, Default)]
+struct LazyShard {
+    inner: std::sync::OnceLock<WindowShard>,
+}
+
+/// Striped bounded sample window with lifetime min/max (see module docs).
+#[derive(Clone, Debug)]
+pub struct LatencyWindow {
+    capacity: usize,
+    shards: Arc<ShardSet<LazyShard>>,
+}
+
+/// Merged view of a [`LatencyWindow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// The merged window samples, in no particular order.
+    pub samples: Vec<u64>,
+    /// Number of samples currently held (== `samples.len()`).
+    pub occupancy: usize,
+    /// Total slots across the rings of every recording thread so far.
+    pub capacity: usize,
+    /// Lifetime number of samples ever recorded.
+    pub count: u64,
+    /// Lifetime minimum sample, if anything was recorded.
+    pub min: Option<u64>,
+    /// Lifetime maximum sample (0 while empty).
+    pub max: u64,
+}
+
+impl WindowSnapshot {
+    /// True once every ring slot has been written at least once.
+    pub fn is_saturated(&self) -> bool {
+        self.capacity > 0 && self.occupancy == self.capacity
+    }
+}
+
+impl LatencyWindow {
+    /// Create a window keeping up to `capacity` samples per recording
+    /// thread.  `capacity` must be non-zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        LatencyWindow {
+            capacity,
+            shards: Arc::new(ShardSet::default()),
+        }
+    }
+
+    /// Per-thread ring capacity this window was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one sample into the calling thread's ring.
+    pub fn record(&self, value: u64) {
+        let capacity = self.capacity;
+        self.shards.with_local(|lazy| {
+            let shard = lazy
+                .inner
+                .get_or_init(|| WindowShard::with_capacity(capacity));
+            let slot = shard.next.load(Ordering::Relaxed);
+            shard.samples[slot].store(value, Ordering::Relaxed);
+            shard
+                .next
+                .store((slot + 1) % shard.capacity, Ordering::Relaxed);
+            shard.count.fetch_add(1, Ordering::Relaxed);
+            if value < shard.min.load(Ordering::Relaxed) {
+                shard.min.store(value, Ordering::Relaxed);
+            }
+            if value > shard.max.load(Ordering::Relaxed) {
+                shard.max.store(value, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Merge every thread's ring into a snapshot.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let mut snap = WindowSnapshot {
+            samples: Vec::new(),
+            occupancy: 0,
+            capacity: 0,
+            count: 0,
+            min: None,
+            max: 0,
+        };
+        self.shards.fold((), |(), lazy| {
+            let Some(shard) = lazy.inner.get() else {
+                return;
+            };
+            snap.capacity += shard.capacity;
+            let recorded = shard.count.load(Ordering::Relaxed);
+            snap.count += recorded;
+            let held = (recorded as usize).min(shard.capacity);
+            snap.occupancy += held;
+            for slot in shard.samples.iter().take(held) {
+                snap.samples.push(slot.load(Ordering::Relaxed));
+            }
+            let shard_min = shard.min.load(Ordering::Relaxed);
+            if shard_min != u64::MAX {
+                snap.min = Some(snap.min.map_or(shard_min, |m| m.min(shard_min)));
+            }
+            snap.max = snap.max.max(shard.max.load(Ordering::Relaxed));
+        });
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reports_cold() {
+        let w = LatencyWindow::new(8);
+        let snap = w.snapshot();
+        assert_eq!(snap.occupancy, 0);
+        assert_eq!(snap.capacity, 0, "no thread recorded yet");
+        assert_eq!(snap.min, None);
+        assert!(!snap.is_saturated());
+    }
+
+    #[test]
+    fn window_wraps_but_min_max_are_lifetime() {
+        let w = LatencyWindow::new(4);
+        // First lap: 100, 1, 200, 50.  Second lap overwrites with 7, 8.
+        for v in [100u64, 1, 200, 50, 7, 8] {
+            w.record(v);
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.occupancy, 4, "window bounded at capacity");
+        assert_eq!(snap.capacity, 4);
+        assert!(snap.is_saturated());
+        assert_eq!(snap.count, 6, "lifetime count keeps growing");
+        // Ring now holds [7, 8, 200, 50]; 1 and 100 were overwritten...
+        let mut held = snap.samples.clone();
+        held.sort_unstable();
+        assert_eq!(held, vec![7, 8, 50, 200]);
+        // ...but the lifetime extremes remember them.
+        assert_eq!(snap.min, Some(1));
+        assert_eq!(snap.max, 200);
+    }
+
+    #[test]
+    fn wraparound_lands_exactly_on_slot_zero() {
+        let w = LatencyWindow::new(3);
+        for v in 1..=3u64 {
+            w.record(v);
+        }
+        assert!(w.snapshot().is_saturated());
+        w.record(99); // overwrites slot 0 (value 1)
+        let mut held = w.snapshot().samples;
+        held.sort_unstable();
+        assert_eq!(held, vec![2, 3, 99]);
+    }
+
+    #[test]
+    fn partial_fill_reports_occupancy_below_capacity() {
+        let w = LatencyWindow::new(16);
+        w.record(5);
+        w.record(9);
+        let snap = w.snapshot();
+        assert_eq!(snap.occupancy, 2);
+        assert_eq!(snap.capacity, 16);
+        assert!(!snap.is_saturated());
+        assert_eq!(snap.samples.len(), 2);
+    }
+
+    #[test]
+    fn multi_thread_rings_merge_and_extremes_combine() {
+        let w = LatencyWindow::new(8);
+        w.record(500);
+        let w2 = w.clone();
+        std::thread::spawn(move || {
+            w2.record(1);
+            w2.record(10_000);
+        })
+        .join()
+        .unwrap();
+        let snap = w.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.occupancy, 3);
+        assert_eq!(snap.capacity, 16, "two rings of 8");
+        assert_eq!(snap.min, Some(1));
+        assert_eq!(snap.max, 10_000);
+    }
+}

@@ -11,10 +11,24 @@ use zsdb_engine::PlanNode;
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"ZSDB";
 
-/// Protocol version this build encodes and accepts.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Highest protocol version this build speaks.  Version 2 adds the
+/// [`FLAG_TRACE_ID`] header extension; frames without a trace id are
+/// still emitted as version 1 so old peers interoperate.
+pub const PROTOCOL_VERSION: u8 = 2;
 
-/// Fixed size of the frame header in bytes.
+/// Baseline protocol version: the fixed 20-byte header with zero flags
+/// and no extensions.  Always accepted, and always emitted when a frame
+/// carries no trace id.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
+
+/// Version-2 flag bit: an 8-byte little-endian trace id immediately
+/// follows the fixed header, before the payload.
+pub const FLAG_TRACE_ID: u16 = 0x0001;
+
+/// Size of the trace-id header extension selected by [`FLAG_TRACE_ID`].
+pub const TRACE_ID_EXT_LEN: usize = 8;
+
+/// Fixed size of the frame header in bytes (extensions excluded).
 pub const HEADER_LEN: usize = 20;
 
 /// Upper bound on a frame's payload.  Anything larger is treated as
@@ -22,21 +36,37 @@ pub const HEADER_LEN: usize = 20;
 /// [`ProtocolError::PayloadTooLarge`].
 pub const MAX_PAYLOAD_LEN: u32 = 32 * 1024 * 1024;
 
-/// One protocol frame: a request id plus a typed message.
+/// One protocol frame: a request id plus a typed message, optionally
+/// tagged with a request-scoped trace id.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Client-chosen id echoed by the server's response, so many
     /// in-flight requests can share one connection.
     pub request_id: u64,
+    /// Request-scoped trace id propagated end to end; 0 means untraced.
+    /// Non-zero ids ride in a version-2 header extension
+    /// ([`FLAG_TRACE_ID`]), so untraced frames stay version-1 compatible.
+    pub trace_id: u64,
     /// The typed message body.
     pub message: Message,
 }
 
 impl Frame {
-    /// Build a frame.
+    /// Build an untraced frame (encoded as protocol version 1).
     pub fn new(request_id: u64, message: Message) -> Self {
         Frame {
             request_id,
+            trace_id: 0,
+            message,
+        }
+    }
+
+    /// Build a frame carrying a trace id (encoded as protocol version 2
+    /// when `trace_id` is non-zero).
+    pub fn traced(request_id: u64, trace_id: u64, message: Message) -> Self {
+        Frame {
+            request_id,
+            trace_id,
             message,
         }
     }
@@ -56,8 +86,10 @@ fn payload_json(message: &Message) -> Result<String, ProtocolError> {
         Message::PredictBatch(plans) => encode(serde_json::to_string(plans))?,
         Message::PredictOk(m) => encode(serde_json::to_string(m))?,
         Message::PredictBatchOk(m) => encode(serde_json::to_string(m))?,
-        Message::Metrics | Message::Health => String::new(),
+        Message::Metrics | Message::MetricsText | Message::Health => String::new(),
         Message::MetricsOk(m) => encode(serde_json::to_string(m.as_ref()))?,
+        // Raw Prometheus exposition text, not JSON.
+        Message::MetricsTextOk(text) => text.clone(),
         Message::HealthOk(m) => encode(serde_json::to_string(m))?,
         Message::Error(m) => encode(serde_json::to_string(m))?,
     })
@@ -83,6 +115,15 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, ProtocolError> 
         0x13 => Message::PredictBatchOk(parse::<Vec<WirePrediction>>("PredictBatchOk", payload)?),
         0x20 => Message::Metrics,
         0x21 => Message::MetricsOk(Box::new(parse::<GatewayMetrics>("MetricsOk", payload)?)),
+        0x22 => Message::MetricsText,
+        0x23 => Message::MetricsTextOk(
+            std::str::from_utf8(payload)
+                .map_err(|e| ProtocolError::MalformedPayload {
+                    op: "MetricsTextOk",
+                    detail: format!("payload is not UTF-8: {e}"),
+                })?
+                .to_string(),
+        ),
         0x30 => Message::Health,
         0x31 => Message::HealthOk(parse::<HealthResponse>("HealthOk", payload)?),
         0x3F => Message::Error(parse::<ErrorResponse>("Error", payload)?),
@@ -103,15 +144,39 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtocolError> {
             limit: MAX_PAYLOAD_LEN,
         });
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    // Untraced frames stay on the baseline version so version-1 peers
+    // keep decoding them; only a trace id needs the v2 extension.
+    let (version, flags) = if frame.trace_id == 0 {
+        (MIN_PROTOCOL_VERSION, 0u16)
+    } else {
+        (PROTOCOL_VERSION, FLAG_TRACE_ID)
+    };
+    let ext_len = if flags & FLAG_TRACE_ID != 0 {
+        TRACE_ID_EXT_LEN
+    } else {
+        0
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + ext_len + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(PROTOCOL_VERSION);
+    out.push(version);
     out.push(frame.message.opcode());
-    out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+    out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&frame.request_id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    if flags & FLAG_TRACE_ID != 0 {
+        out.extend_from_slice(&frame.trace_id.to_le_bytes());
+    }
     out.extend_from_slice(payload);
     Ok(out)
+}
+
+/// Bytes of header extension selected by a frame's version + flags.
+fn header_ext_len(version: u8, flags: u16) -> usize {
+    if version >= 2 && flags & FLAG_TRACE_ID != 0 {
+        TRACE_ID_EXT_LEN
+    } else {
+        0
+    }
 }
 
 /// Decode the first frame of `buf`.
@@ -133,14 +198,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtocolError>
     if buf[..4] != MAGIC {
         return Err(ProtocolError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
     }
-    if buf[4] != PROTOCOL_VERSION {
-        return Err(ProtocolError::UnsupportedVersion(buf[4]));
+    let version = buf[4];
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(ProtocolError::UnsupportedVersion(version));
     }
     let opcode = buf[5];
     let flags = u16::from_le_bytes([buf[6], buf[7]]);
-    if flags != 0 {
+    let known_flags = if version >= 2 { FLAG_TRACE_ID } else { 0 };
+    if flags & !known_flags != 0 {
         return Err(ProtocolError::NonZeroFlags(flags));
     }
+    let ext_len = header_ext_len(version, flags);
     let request_id = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice"));
     let payload_len = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte slice"));
     if payload_len > MAX_PAYLOAD_LEN {
@@ -149,12 +217,21 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtocolError>
             limit: MAX_PAYLOAD_LEN,
         });
     }
-    let total = HEADER_LEN + payload_len as usize;
+    let total = HEADER_LEN + ext_len + payload_len as usize;
     if buf.len() < total {
         return Ok(None);
     }
-    let message = decode_payload(opcode, &buf[HEADER_LEN..total])?;
-    Ok(Some((Frame::new(request_id, message), total)))
+    let trace_id = if ext_len == TRACE_ID_EXT_LEN {
+        u64::from_le_bytes(
+            buf[HEADER_LEN..HEADER_LEN + TRACE_ID_EXT_LEN]
+                .try_into()
+                .expect("8-byte slice"),
+        )
+    } else {
+        0
+    };
+    let message = decode_payload(opcode, &buf[HEADER_LEN + ext_len..total])?;
+    Ok(Some((Frame::traced(request_id, trace_id, message), total)))
 }
 
 /// Read one frame from a blocking stream.
@@ -183,11 +260,12 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Frame>, ProtocolErro
             Ok(Some(frame))
         }
         None => {
+            let ext_len = header_ext_len(header[4], u16::from_le_bytes([header[6], header[7]]));
             let payload_len =
                 u32::from_le_bytes(header[16..20].try_into().expect("4-byte slice")) as usize;
-            let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
+            let mut buf = Vec::with_capacity(HEADER_LEN + ext_len + payload_len);
             buf.extend_from_slice(&header);
-            buf.resize(HEADER_LEN + payload_len, 0);
+            buf.resize(HEADER_LEN + ext_len + payload_len, 0);
             reader
                 .read_exact(&mut buf[HEADER_LEN..])
                 .map_err(|e| match e.kind() {
@@ -386,6 +464,86 @@ mod tests {
             decode_frame(&oversize),
             Err(ProtocolError::PayloadTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn untraced_frames_stay_on_the_baseline_version() {
+        // Compatibility contract: a frame without a trace id must be
+        // byte-identical to what a version-1 build emits, so old peers
+        // keep decoding everything an untracing client sends.
+        let bytes = encode_frame(&Frame::new(5, Message::Health)).unwrap();
+        assert_eq!(bytes[4], MIN_PROTOCOL_VERSION);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 0);
+        assert_eq!(bytes.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn traced_frames_round_trip_via_the_v2_extension() {
+        let frame = Frame::traced(
+            42,
+            0xDEAD_BEEF_CAFE_F00D,
+            Message::Hello(HelloRequest {
+                protocol_version: PROTOCOL_VERSION,
+                tenant: "t".into(),
+            }),
+        );
+        let bytes = encode_frame(&frame).unwrap();
+        assert_eq!(bytes[4], PROTOCOL_VERSION);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), FLAG_TRACE_ID);
+        let (back, consumed) = decode_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, frame);
+        assert_eq!(back.trace_id, 0xDEAD_BEEF_CAFE_F00D);
+
+        // Every prefix is incomplete, including cuts inside the trace-id
+        // extension.
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn traced_empty_payload_frames_survive_the_streaming_reader() {
+        // MetricsText has an empty payload; with a trace id the frame is
+        // header + extension only, which exercises read_frame's
+        // extension-aware second read.
+        let frame = Frame::traced(7, 99, Message::MetricsText);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &frame).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn trace_flag_on_a_v1_frame_is_rejected() {
+        let mut bytes = encode_frame(&Frame::new(1, Message::Health)).unwrap();
+        assert_eq!(bytes[4], MIN_PROTOCOL_VERSION);
+        bytes[6] = FLAG_TRACE_ID as u8; // v1 knows no flags at all
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtocolError::NonZeroFlags(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_flag_bits_on_a_v2_frame_are_rejected() {
+        let mut bytes = encode_frame(&Frame::traced(1, 9, Message::Health)).unwrap();
+        assert_eq!(bytes[4], PROTOCOL_VERSION);
+        bytes[6] |= 0x02; // undefined bit alongside the trace flag
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtocolError::NonZeroFlags(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_text_payload_is_raw_utf8_not_json() {
+        let text = "# TYPE serve_requests_total counter\nserve_requests_total 3\n";
+        let frame = Frame::new(3, Message::MetricsTextOk(text.to_string()));
+        let bytes = encode_frame(&frame).unwrap();
+        assert_eq!(&bytes[HEADER_LEN..], text.as_bytes());
+        let (back, _) = decode_frame(&bytes).unwrap().unwrap();
+        assert_eq!(back, frame);
     }
 
     #[test]

@@ -8,18 +8,27 @@
 //!
 //! ## Frame layout
 //!
-//! Every frame is a fixed 20-byte header followed by the payload:
+//! Every frame is a fixed 20-byte header, optional header extensions,
+//! then the payload:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"ZSDB"
-//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 4       1     protocol version (1 or 2)
 //! 5       1     opcode (see Message::opcode)
-//! 6       2     flags, reserved — must be zero (little endian)
+//! 6       2     flags (little endian) — zero in version 1
 //! 8       8     request id (little endian)
 //! 16      4     payload length n (little endian)
-//! 20      n     payload — UTF-8 JSON of the op's payload type
+//! 20      8     trace id (little endian) — only when flag 0x0001 is set
+//! 20|28   n     payload — UTF-8 JSON of the op's payload type
 //! ```
+//!
+//! Version 2 defines flag bit `0x0001` ([`FLAG_TRACE_ID`]): an 8-byte
+//! request-scoped trace id follows the fixed header, letting a client
+//! correlate its request with the server-side per-stage trace.  Frames
+//! without a trace id are emitted as version 1 regardless of the build,
+//! so tracing-unaware peers interoperate untouched; decoders accept both
+//! versions and reject unknown flag bits.
 //!
 //! Request ids are chosen by the client and echoed verbatim by the
 //! server, so many in-flight requests can share one connection
@@ -37,7 +46,9 @@
 //! * [`Message::PredictBatch`] / [`Message::PredictBatchOk`] — many plans
 //!   answered by one batched forward pass.
 //! * [`Message::Metrics`] / [`Message::MetricsOk`] — gateway + per-tenant
-//!   serving metrics.
+//!   serving metrics (JSON).
+//! * [`Message::MetricsText`] / [`Message::MetricsTextOk`] — the same
+//!   metrics in Prometheus text-exposition form (raw UTF-8 payload).
 //! * [`Message::Health`] / [`Message::HealthOk`] — liveness probe.
 //! * [`Message::Error`] — structured failure (code + human message) for
 //!   any request; carries the rejected request's id.
@@ -54,8 +65,8 @@ pub mod message;
 
 pub use error::ProtocolError;
 pub use frame::{
-    decode_frame, encode_frame, read_frame, write_frame, Frame, HEADER_LEN, MAGIC, MAX_PAYLOAD_LEN,
-    PROTOCOL_VERSION,
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FLAG_TRACE_ID, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, TRACE_ID_EXT_LEN,
 };
 pub use message::{
     ErrorCode, ErrorResponse, GatewayMetrics, HealthResponse, HelloAck, HelloRequest, Message,

@@ -92,7 +92,7 @@ pub struct HealthResponse {
 /// `admitted = completed + in_flight` at all times; rejections are *not*
 /// admitted.  Latency percentiles are over the tenant's recent completed
 /// requests and are `0.0` until the tenant completes one.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TenantMetrics {
     /// Tenant identifier from the handshake.
     pub tenant: String,
@@ -115,13 +115,68 @@ pub struct TenantMetrics {
     pub latency_p95_ms: f64,
     /// 99th-percentile response latency in milliseconds.
     pub latency_p99_ms: f64,
+    /// Fastest response the tenant ever saw, in milliseconds (lifetime
+    /// minimum; `0.0` until the tenant completes a request).
+    pub latency_min_ms: f64,
+    /// Slowest response the tenant ever saw, in milliseconds (lifetime
+    /// maximum).
+    pub latency_max_ms: f64,
+}
+
+/// Deserialization helper: read a struct field, substituting the type's
+/// default when the field is absent.  Lets this build decode metrics
+/// payloads from servers predating the field (the reverse direction is
+/// free — old builds ignore unknown fields).
+fn field_or_default<T: serde::Deserialize + Default>(
+    value: &serde::Value,
+    name: &str,
+) -> Result<T, serde::Error> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| serde::Error::custom(format!("expected object, found {}", value.kind())))?;
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
+impl serde::Deserialize for TenantMetrics {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(TenantMetrics {
+            tenant: serde::Deserialize::from_value(serde::__field(value, "tenant")?)?,
+            admitted: serde::Deserialize::from_value(serde::__field(value, "admitted")?)?,
+            completed: serde::Deserialize::from_value(serde::__field(value, "completed")?)?,
+            rejected_quota: serde::Deserialize::from_value(serde::__field(
+                value,
+                "rejected_quota",
+            )?)?,
+            rejected_shed: serde::Deserialize::from_value(serde::__field(value, "rejected_shed")?)?,
+            in_flight: serde::Deserialize::from_value(serde::__field(value, "in_flight")?)?,
+            quota: serde::Deserialize::from_value(serde::__field(value, "quota")?)?,
+            latency_p50_ms: serde::Deserialize::from_value(serde::__field(
+                value,
+                "latency_p50_ms",
+            )?)?,
+            latency_p95_ms: serde::Deserialize::from_value(serde::__field(
+                value,
+                "latency_p95_ms",
+            )?)?,
+            latency_p99_ms: serde::Deserialize::from_value(serde::__field(
+                value,
+                "latency_p99_ms",
+            )?)?,
+            // Added after protocol v1 shipped; absent from old servers.
+            latency_min_ms: field_or_default(value, "latency_min_ms")?,
+            latency_max_ms: field_or_default(value, "latency_max_ms")?,
+        })
+    }
 }
 
 /// Gateway-wide metrics: the network front-end's view of the serving
 /// stack, including every tenant's accounting.  All floats are finite
 /// (empty percentiles are reported as `0.0`) so the payload always
 /// round-trips through JSON.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GatewayMetrics {
     /// Connections accepted over the gateway's lifetime.
     pub connections_total: u64,
@@ -144,6 +199,67 @@ pub struct GatewayMetrics {
     pub model_version: u32,
     /// Per-tenant accounting, sorted by tenant id.
     pub tenants: Vec<TenantMetrics>,
+    /// Seconds the prediction server has been up (since construction).
+    pub uptime_seconds: f64,
+    /// Requests currently sitting in the server's bounded queue.
+    pub queue_depth: u64,
+    /// Fastest server-side latency ever observed, in milliseconds
+    /// (lifetime minimum; `0.0` until a request completes).
+    pub server_latency_min_ms: f64,
+    /// Slowest server-side latency ever observed, in milliseconds.
+    pub server_latency_max_ms: f64,
+    /// Samples currently held by the server's latency window.
+    pub window_occupancy: u64,
+    /// Total latency-window capacity across recording threads.
+    pub window_capacity: u64,
+}
+
+impl serde::Deserialize for GatewayMetrics {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(GatewayMetrics {
+            connections_total: serde::Deserialize::from_value(serde::__field(
+                value,
+                "connections_total",
+            )?)?,
+            connections_active: serde::Deserialize::from_value(serde::__field(
+                value,
+                "connections_active",
+            )?)?,
+            server_total_requests: serde::Deserialize::from_value(serde::__field(
+                value,
+                "server_total_requests",
+            )?)?,
+            server_rejected_requests: serde::Deserialize::from_value(serde::__field(
+                value,
+                "server_rejected_requests",
+            )?)?,
+            server_throughput_qps: serde::Deserialize::from_value(serde::__field(
+                value,
+                "server_throughput_qps",
+            )?)?,
+            server_latency_p50_ms: serde::Deserialize::from_value(serde::__field(
+                value,
+                "server_latency_p50_ms",
+            )?)?,
+            server_latency_p95_ms: serde::Deserialize::from_value(serde::__field(
+                value,
+                "server_latency_p95_ms",
+            )?)?,
+            server_latency_p99_ms: serde::Deserialize::from_value(serde::__field(
+                value,
+                "server_latency_p99_ms",
+            )?)?,
+            model_version: serde::Deserialize::from_value(serde::__field(value, "model_version")?)?,
+            tenants: serde::Deserialize::from_value(serde::__field(value, "tenants")?)?,
+            // Added after protocol v1 shipped; absent from old servers.
+            uptime_seconds: field_or_default(value, "uptime_seconds")?,
+            queue_depth: field_or_default(value, "queue_depth")?,
+            server_latency_min_ms: field_or_default(value, "server_latency_min_ms")?,
+            server_latency_max_ms: field_or_default(value, "server_latency_max_ms")?,
+            window_occupancy: field_or_default(value, "window_occupancy")?,
+            window_capacity: field_or_default(value, "window_capacity")?,
+        })
+    }
 }
 
 /// A typed protocol message — the body of a [`Frame`](crate::Frame).
@@ -169,6 +285,11 @@ pub enum Message {
     Metrics,
     /// Answer to [`Message::Metrics`].
     MetricsOk(Box<GatewayMetrics>),
+    /// Request the metrics in Prometheus text-exposition form.
+    MetricsText,
+    /// Answer to [`Message::MetricsText`]; the payload is the raw UTF-8
+    /// exposition text (not JSON).
+    MetricsTextOk(String),
     /// Liveness probe.
     Health,
     /// Answer to [`Message::Health`].
@@ -189,6 +310,8 @@ impl Message {
             Message::PredictBatchOk(_) => 0x13,
             Message::Metrics => 0x20,
             Message::MetricsOk(_) => 0x21,
+            Message::MetricsText => 0x22,
+            Message::MetricsTextOk(_) => 0x23,
             Message::Health => 0x30,
             Message::HealthOk(_) => 0x31,
             Message::Error(_) => 0x3F,
@@ -206,6 +329,8 @@ impl Message {
             Message::PredictBatchOk(_) => "PredictBatchOk",
             Message::Metrics => "Metrics",
             Message::MetricsOk(_) => "MetricsOk",
+            Message::MetricsText => "MetricsText",
+            Message::MetricsTextOk(_) => "MetricsTextOk",
             Message::Health => "Health",
             Message::HealthOk(_) => "HealthOk",
             Message::Error(_) => "Error",
@@ -220,6 +345,7 @@ impl Message {
                 | Message::Predict(_)
                 | Message::PredictBatch(_)
                 | Message::Metrics
+                | Message::MetricsText
                 | Message::Health
         )
     }
@@ -253,6 +379,8 @@ mod tests {
             Message::PredictBatchOk(vec![]),
             Message::Metrics,
             Message::MetricsOk(Box::new(empty_gateway_metrics())),
+            Message::MetricsText,
+            Message::MetricsTextOk(String::new()),
             Message::Health,
             Message::HealthOk(HealthResponse {
                 healthy: true,
@@ -307,6 +435,59 @@ mod tests {
             server_latency_p99_ms: 0.0,
             model_version: 0,
             tenants: Vec::new(),
+            uptime_seconds: 0.0,
+            queue_depth: 0,
+            server_latency_min_ms: 0.0,
+            server_latency_max_ms: 0.0,
+            window_occupancy: 0,
+            window_capacity: 0,
         }
+    }
+
+    #[test]
+    fn metrics_payloads_from_old_servers_still_deserialize() {
+        // A server predating this build omits the fields added alongside
+        // tracing; decoding must substitute defaults, not fail.
+        let old_tenant = r#"{
+            "tenant": "t", "admitted": 5, "completed": 4,
+            "rejected_quota": 1, "rejected_shed": 0, "in_flight": 1,
+            "quota": 8, "latency_p50_ms": 1.5, "latency_p95_ms": 2.0,
+            "latency_p99_ms": 3.0
+        }"#;
+        let tenant: TenantMetrics = serde_json::from_str(old_tenant).unwrap();
+        assert_eq!(tenant.latency_min_ms, 0.0);
+        assert_eq!(tenant.latency_max_ms, 0.0);
+        assert_eq!(tenant.latency_p99_ms, 3.0);
+
+        let old_gateway = format!(
+            r#"{{
+                "connections_total": 2, "connections_active": 1,
+                "server_total_requests": 10, "server_rejected_requests": 0,
+                "server_throughput_qps": 100.0,
+                "server_latency_p50_ms": 1.0, "server_latency_p95_ms": 2.0,
+                "server_latency_p99_ms": 3.0, "model_version": 7,
+                "tenants": [{old_tenant}]
+            }}"#
+        );
+        let gateway: GatewayMetrics = serde_json::from_str(&old_gateway).unwrap();
+        assert_eq!(gateway.uptime_seconds, 0.0);
+        assert_eq!(gateway.queue_depth, 0);
+        assert_eq!(gateway.window_capacity, 0);
+        assert_eq!(gateway.server_total_requests, 10);
+        assert_eq!(gateway.tenants.len(), 1);
+    }
+
+    #[test]
+    fn metrics_payloads_round_trip_with_the_new_fields() {
+        let mut metrics = empty_gateway_metrics();
+        metrics.uptime_seconds = 12.5;
+        metrics.queue_depth = 3;
+        metrics.server_latency_min_ms = 0.25;
+        metrics.server_latency_max_ms = 9.75;
+        metrics.window_occupancy = 17;
+        metrics.window_capacity = 64;
+        let json = serde_json::to_string(&metrics).unwrap();
+        let back: GatewayMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
     }
 }

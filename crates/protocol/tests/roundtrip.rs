@@ -134,7 +134,7 @@ impl Gen {
     }
 
     fn message(&mut self) -> Message {
-        match self.below(11) {
+        match self.below(13) {
             0 => Message::Hello(HelloRequest {
                 protocol_version: PROTOCOL_VERSION,
                 tenant: self.tenant_name(),
@@ -171,9 +171,23 @@ impl Gen {
                         latency_p50_ms: self.finite_f64().abs(),
                         latency_p95_ms: self.finite_f64().abs(),
                         latency_p99_ms: self.finite_f64().abs(),
+                        latency_min_ms: self.finite_f64().abs(),
+                        latency_max_ms: self.finite_f64().abs(),
                     })
                     .collect(),
+                uptime_seconds: self.finite_f64().abs(),
+                queue_depth: self.next(),
+                server_latency_min_ms: self.finite_f64().abs(),
+                server_latency_max_ms: self.finite_f64().abs(),
+                window_occupancy: self.next(),
+                window_capacity: self.next(),
             })),
+            11 => Message::MetricsText,
+            12 => Message::MetricsTextOk(
+                (0..self.below(64))
+                    .map(|_| ['#', ' ', 'a', '_', '0', '\n', '"', 'é'][self.below(8) as usize])
+                    .collect(),
+            ),
             8 => Message::Health,
             9 => Message::HealthOk(HealthResponse {
                 healthy: self.next().is_multiple_of(2),
@@ -198,8 +212,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn decode_encode_is_identity(seed in 0u64..u64::MAX, request_id in 0u64..u64::MAX) {
-        let frame = Frame::new(request_id, Gen(seed).message());
+    fn decode_encode_is_identity(
+        seed in 0u64..u64::MAX,
+        request_id in 0u64..u64::MAX,
+        trace_id in 0u64..u64::MAX,
+    ) {
+        // trace_id 0 exercises the baseline v1 encoding, everything else
+        // the v2 trace-id extension.
+        let trace_id = if seed.is_multiple_of(2) { 0 } else { trace_id };
+        let frame = Frame::traced(request_id, trace_id, Gen(seed).message());
         let bytes = encode_frame(&frame).expect("encode");
         let decoded = decode_frame(&bytes).expect("decode");
         let (back, consumed) = decoded.expect("complete frame");

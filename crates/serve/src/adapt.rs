@@ -53,7 +53,7 @@ use crate::server::PredictionServer;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use zsdb_core::features::featurize_execution;
 use zsdb_core::{FinetuneConfig, PlanGraph, Trainer};
 use zsdb_engine::ObservationLog;
@@ -361,6 +361,17 @@ fn adaptation_loop(
             detector.record(*prediction, observation.payload.runtime_secs);
         }
         let median = detector.rolling_median();
+        // Structured trace event per scoring round: the drift signal is
+        // queryable next to the serving stages it explains.
+        server.tracer().event(
+            "adapt.drift_score",
+            median,
+            format!(
+                "rolling median q-error over {} samples (threshold {})",
+                detector.len(),
+                detector.threshold()
+            ),
+        );
         pending.extend(graphs);
         if pending.len() > max_pending {
             let excess = pending.len() - max_pending;
@@ -380,7 +391,18 @@ fn adaptation_loop(
 
         // Drift confirmed: fine-tune from the live weights, register the
         // result as a new version, promote it and swap it in.
+        let finetune_started = Instant::now();
         let finetuned = Trainer::finetune_from(&served.model, &pending, config.finetune);
+        let finetune_secs = finetune_started.elapsed().as_secs_f64();
+        server.tracer().event(
+            "adapt.finetune_secs",
+            finetune_secs,
+            format!(
+                "fine-tuned from version {} on {} observations",
+                served.version,
+                pending.len()
+            ),
+        );
         let probe_count = config.max_probe_graphs.clamp(1, pending.len());
         let outcome = registry
             .register(model_name, &finetuned, &pending[..probe_count])
@@ -392,6 +414,14 @@ fn adaptation_loop(
         match outcome {
             Ok(version) => {
                 server.swap_model(finetuned, version);
+                server.tracer().event(
+                    "adapt.swap",
+                    f64::from(version),
+                    format!(
+                        "adaptation swapped version {} -> {} (median q-error {median:.3})",
+                        served.version, version
+                    ),
+                );
                 detector.reset();
                 pending.clear();
                 status.swaps += 1;
@@ -400,6 +430,9 @@ fn adaptation_loop(
             Err(e) => {
                 // Keep serving the old model; surface the error and let
                 // the next round retry with fresh observations.
+                server
+                    .tracer()
+                    .event("adapt.error", 0.0, format!("adaptation round failed: {e}"));
                 status.last_error = Some(e.to_string());
             }
         }

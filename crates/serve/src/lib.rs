@@ -23,7 +23,12 @@
 //!   fingerprint ([`zsdb_core::fingerprint`]), so repeated query shapes
 //!   skip featurization entirely.
 //! * [`metrics`] — throughput and p50/p95/p99 latency, exportable as the
-//!   machine-readable `BENCH_serve.json` report.
+//!   machine-readable `BENCH_serve.json` report.  Recording is wait-free
+//!   across worker threads (per-thread striped shards from [`zsdb_obs`],
+//!   merged only at snapshot time), every request decomposes into named
+//!   pipeline stages (`admission → queue_wait → cache_lookup/featurize →
+//!   forward → respond`), and the whole registry renders as
+//!   Prometheus-style text exposition alongside the JSON snapshot.
 //! * [`net`] — a TCP front-end over the worker pool: the framed
 //!   [`zsdb_protocol`] wire protocol, a tenant handshake, per-tenant
 //!   admission quotas on top of the bounded queue's load shedding,
@@ -69,7 +74,10 @@ pub use adapt::{
 };
 pub use cache::{CacheStats, FeatureCache};
 pub use error::ServeError;
-pub use metrics::{MetricsSnapshot, ServeMetrics, BATCH_SIZE_BUCKET_LABELS};
+pub use metrics::{
+    MetricsSnapshot, ServeMetrics, StageRecorder, BATCH_SIZE_BUCKET_LABELS, STAGE_ADMISSION,
+    STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD, STAGE_QUEUE_WAIT, STAGE_RESPOND,
+};
 pub use multitask::{
     MultiTaskBatchTicket, MultiTaskPredictionServer, MultiTaskPredictionTicket,
     ServedMultiTaskModel, ServedMultiTaskPrediction,

@@ -1,16 +1,26 @@
-//! Serving metrics: request throughput and latency percentiles.
+//! Serving metrics: request throughput, latency percentiles and
+//! per-stage breakdowns.
+//!
+//! Recording is wait-free on the hot path: every mutable piece of
+//! [`ServeMetrics`] is either a plain atomic or a per-thread striped
+//! structure from [`zsdb_obs`] (counters, the queue-depth gauge, the
+//! latency window, the per-stage histograms), so no worker thread ever
+//! takes a lock shared with another worker to record a sample.  The old
+//! design — a global `Mutex<LatencyRing>` hit on every request — was the
+//! named bottleneck past a few hundred thousand q/s; shards are now
+//! merged only when a snapshot or exposition is requested.
 
 use crate::cache::CacheStats;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use zsdb_obs::{render_prometheus, Counter, Gauge, Histogram, LatencyWindow, Registry, Trace};
 
-/// How many of the most recent request latencies are retained for the
-/// percentile estimates.  A bounded ring keeps a long-running server's
-/// memory constant (a naive grow-forever log at ~50k q/s leaks ≈ 1.5
-/// GB/hour) and keeps `snapshot()` cost independent of uptime; `max` is
-/// tracked separately over the whole lifetime.
+/// How many of the most recent request latencies are retained *per
+/// recording thread* for the percentile estimates.  A bounded ring keeps
+/// a long-running server's memory constant (a naive grow-forever log at
+/// ~50k q/s leaks ≈ 1.5 GB/hour) and keeps `snapshot()` cost independent
+/// of uptime; lifetime min/max are tracked separately.
 pub const LATENCY_WINDOW: usize = 65_536;
 
 /// Human-readable labels of the batch-size histogram buckets reported in
@@ -20,6 +30,19 @@ pub const LATENCY_WINDOW: usize = 65_536;
 pub const BATCH_SIZE_BUCKET_LABELS: [&str; 8] = [
     "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
 ];
+
+/// Stage name: admission control (quota + queue reservation).
+pub const STAGE_ADMISSION: &str = "admission";
+/// Stage name: time spent queued before a worker picked the job up.
+pub const STAGE_QUEUE_WAIT: &str = "queue_wait";
+/// Stage name: feature-cache probe (hit or miss decision).
+pub const STAGE_CACHE_LOOKUP: &str = "cache_lookup";
+/// Stage name: plan featurization on a cache miss.
+pub const STAGE_FEATURIZE: &str = "featurize";
+/// Stage name: the (possibly batched) model forward pass.
+pub const STAGE_FORWARD: &str = "forward";
+/// Stage name: response encode + socket write.
+pub const STAGE_RESPOND: &str = "respond";
 
 /// Bucket index of a batch size (log₂ buckets, capped at the last).
 fn batch_size_bucket(batch_size: usize) -> usize {
@@ -32,12 +55,53 @@ fn batch_size_bucket(batch_size: usize) -> usize {
     bucket
 }
 
-/// Bounded ring of recent latencies (nanoseconds).
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
-    /// Lifetime maximum, independent of the window.
-    max_ns: u64,
+/// Pre-resolved histogram handles for the per-stage latency breakdown,
+/// so recording a finished trace never takes the registry lock.  Cheap to
+/// clone; worker and responder threads keep their own copy.
+#[derive(Clone, Debug)]
+pub struct StageRecorder {
+    admission: Histogram,
+    queue_wait: Histogram,
+    cache_lookup: Histogram,
+    featurize: Histogram,
+    forward: Histogram,
+    respond: Histogram,
+    other: Histogram,
+}
+
+impl StageRecorder {
+    fn new(registry: &Registry) -> Self {
+        StageRecorder {
+            admission: registry.histogram("serve.stage.admission_ns"),
+            queue_wait: registry.histogram("serve.stage.queue_wait_ns"),
+            cache_lookup: registry.histogram("serve.stage.cache_lookup_ns"),
+            featurize: registry.histogram("serve.stage.featurize_ns"),
+            forward: registry.histogram("serve.stage.forward_ns"),
+            respond: registry.histogram("serve.stage.respond_ns"),
+            other: registry.histogram("serve.stage.other_ns"),
+        }
+    }
+
+    /// Record one stage duration (nanoseconds).
+    pub fn record(&self, stage: &str, ns: u64) {
+        let histogram = match stage {
+            STAGE_ADMISSION => &self.admission,
+            STAGE_QUEUE_WAIT => &self.queue_wait,
+            STAGE_CACHE_LOOKUP => &self.cache_lookup,
+            STAGE_FEATURIZE => &self.featurize,
+            STAGE_FORWARD => &self.forward,
+            STAGE_RESPOND => &self.respond,
+            _ => &self.other,
+        };
+        histogram.record(ns);
+    }
+
+    /// Feed every stage of a finished trace into the stage histograms.
+    pub fn record_trace(&self, trace: &Trace) {
+        for stage in &trace.stages {
+            self.record(stage.name, stage.duration_ns);
+        }
+    }
 }
 
 /// Shared latency/throughput recorder, updated by every worker thread.
@@ -49,45 +113,54 @@ pub struct ServeMetrics {
     /// before its first request would otherwise report a near-zero q/s
     /// forever.
     first_request_ns: AtomicU64,
-    completed: AtomicU64,
+    completed: Counter,
     /// Requests turned away at admission (queue full or server closed).
-    rejected: AtomicU64,
-    ring: Mutex<LatencyRing>,
+    rejected: Counter,
+    /// Recent latencies (per-thread rings) + lifetime min/max.
+    window: LatencyWindow,
+    /// Jobs currently sitting in the bounded queue (enqueue/dequeue
+    /// deltas, possibly from different threads).
+    queue_depth: Gauge,
     /// Batch-size histogram (see [`BATCH_SIZE_BUCKET_LABELS`]).
     batch_sizes: [AtomicU64; BATCH_SIZE_BUCKET_LABELS.len()],
     /// Model hot-swaps performed over the server's lifetime.
-    swaps: AtomicU64,
+    swaps: Counter,
+    /// Named registry behind the counters/gauge/stage histograms — the
+    /// source of the Prometheus exposition.
+    registry: Registry,
+    stages: StageRecorder,
 }
 
 impl ServeMetrics {
     /// Create a recorder; throughput is measured from the first recorded
     /// request.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let stages = StageRecorder::new(&registry);
         ServeMetrics {
             started: Instant::now(),
             first_request_ns: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            ring: Mutex::new(LatencyRing {
-                samples: Vec::new(),
-                next: 0,
-                max_ns: 0,
-            }),
+            completed: registry.counter("serve.requests_total"),
+            rejected: registry.counter("serve.rejected_total"),
+            window: LatencyWindow::new(LATENCY_WINDOW),
+            queue_depth: registry.gauge("serve.queue_depth"),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
-            swaps: AtomicU64::new(0),
+            swaps: registry.counter("serve.model_swaps_total"),
+            registry,
+            stages,
         }
     }
 
     /// Record one model hot-swap.
     pub fn record_swap(&self) {
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swaps.inc();
     }
 
     /// Record one request (or batch) turned away at admission — a
     /// `try_submit` that answered `Overloaded`, or any submission against
     /// a closed server.
     pub fn record_rejection(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Record one completed single-plan request and its queue-to-response
@@ -114,37 +187,58 @@ impl ServeMetrics {
             Ordering::Relaxed,
         );
         self.batch_sizes[batch_size_bucket(batch_size)].fetch_add(1, Ordering::Relaxed);
-        self.completed
-            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.completed.add(batch_size as u64);
         let ns = latency.as_nanos() as u64;
-        let mut ring = self.ring.lock().expect("metrics poisoned");
-        ring.max_ns = ring.max_ns.max(ns);
         for _ in 0..batch_size {
-            if ring.samples.len() < LATENCY_WINDOW {
-                ring.samples.push(ns);
-            } else {
-                let slot = ring.next;
-                ring.samples[slot] = ns;
-            }
-            ring.next = (ring.next + 1) % LATENCY_WINDOW;
+            self.window.record(ns);
         }
+    }
+
+    /// Handle on the queue-depth gauge (incremented at enqueue,
+    /// decremented at dequeue — possibly by different threads).
+    pub fn queue_gauge(&self) -> Gauge {
+        self.queue_depth.clone()
+    }
+
+    /// One job entered the bounded queue.
+    pub fn queue_inc(&self) {
+        self.queue_depth.inc();
+    }
+
+    /// One job left the bounded queue (dequeued by a worker).
+    pub fn queue_dec(&self) {
+        self.queue_depth.dec();
+    }
+
+    /// Handle on the per-stage histogram recorder.
+    pub fn stage_recorder(&self) -> StageRecorder {
+        self.stages.clone()
+    }
+
+    /// The named-metric registry behind this recorder (counters, queue
+    /// gauge, stage histograms) — snapshot it for custom exports.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Wall-clock seconds since the recorder (server) was constructed.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// Snapshot the current metrics, combining them with cache statistics
     /// and the worker count for a complete serving report.
     ///
-    /// Percentiles are computed over the most recent [`LATENCY_WINDOW`]
-    /// requests; `latency_max_ms` covers the whole server lifetime.
+    /// Percentiles are computed over each recording thread's most recent
+    /// [`LATENCY_WINDOW`] requests; `latency_min_ms`/`latency_max_ms`
+    /// cover the whole server lifetime.
     pub fn snapshot(&self, cache: CacheStats, workers: usize) -> MetricsSnapshot {
         let elapsed = self.started.elapsed().as_secs_f64();
-        let (mut latencies_ms, max_ns) = {
-            let ring = self.ring.lock().expect("metrics poisoned");
-            let ms: Vec<f64> = ring.samples.iter().map(|&ns| ns as f64 / 1e6).collect();
-            (ms, ring.max_ns)
-        };
+        let window = self.window.snapshot();
+        let mut latencies_ms: Vec<f64> = window.samples.iter().map(|&ns| ns as f64 / 1e6).collect();
         // One sort serves every percentile.
         latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let total_requests = self.completed.load(Ordering::Relaxed);
+        let total_requests = self.completed.value();
         // Throughput over the active window (first completed request →
         // now), so pre-traffic idle time does not dilute q/s.
         let first_ns = self.first_request_ns.load(Ordering::Relaxed);
@@ -156,25 +250,30 @@ impl ServeMetrics {
         MetricsSnapshot {
             total_requests,
             elapsed_secs: elapsed,
-            rejected_requests: self.rejected.load(Ordering::Relaxed),
+            uptime_seconds: elapsed,
+            rejected_requests: self.rejected.value(),
             throughput_qps: if active_secs > 0.0 {
                 total_requests as f64 / active_secs
             } else {
                 0.0
             },
+            queue_depth: self.queue_depth.value().max(0) as u64,
             latency_p50_ms: percentile_of_sorted(&latencies_ms, 50.0),
             latency_p95_ms: percentile_of_sorted(&latencies_ms, 95.0),
             latency_p99_ms: percentile_of_sorted(&latencies_ms, 99.0),
-            latency_max_ms: if total_requests == 0 {
+            latency_min_ms: window.min.map_or(f64::NAN, |ns| ns as f64 / 1e6),
+            latency_max_ms: if window.count == 0 {
                 f64::NAN
             } else {
-                max_ns as f64 / 1e6
+                window.max as f64 / 1e6
             },
+            window_occupancy: window.occupancy,
+            window_capacity: window.capacity,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
             cache_invalidations: cache.invalidations,
-            model_swaps: self.swaps.load(Ordering::Relaxed),
+            model_swaps: self.swaps.value(),
             workers,
             batch_size_histogram: self
                 .batch_sizes
@@ -182,6 +281,47 @@ impl ServeMetrics {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
         }
+    }
+
+    /// Render everything as Prometheus text exposition: the registry
+    /// (request counters, queue gauge, per-stage histograms) plus derived
+    /// summary series (percentiles, throughput, cache stats, the labelled
+    /// batch-size histogram).
+    pub fn prometheus_text(&self, cache: CacheStats, workers: usize) -> String {
+        use std::fmt::Write as _;
+        let snap = self.snapshot(cache, workers);
+        let mut out = render_prometheus(&self.registry.snapshot());
+        let mut gauge = |name: &str, value: f64| {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(
+                out,
+                "{name} {}",
+                if value.is_finite() { value } else { 0.0 }
+            );
+        };
+        gauge("serve_uptime_seconds", snap.uptime_seconds);
+        gauge("serve_throughput_qps", snap.throughput_qps);
+        gauge("serve_latency_p50_ms", snap.latency_p50_ms);
+        gauge("serve_latency_p95_ms", snap.latency_p95_ms);
+        gauge("serve_latency_p99_ms", snap.latency_p99_ms);
+        gauge("serve_latency_min_ms", snap.latency_min_ms);
+        gauge("serve_latency_max_ms", snap.latency_max_ms);
+        gauge("serve_window_occupancy", snap.window_occupancy as f64);
+        gauge("serve_window_capacity", snap.window_capacity as f64);
+        gauge("serve_cache_hit_rate", snap.cache_hit_rate);
+        gauge("serve_workers", snap.workers as f64);
+        let _ = writeln!(out, "# TYPE serve_cache_hits_total counter");
+        let _ = writeln!(out, "serve_cache_hits_total {}", snap.cache_hits);
+        let _ = writeln!(out, "# TYPE serve_cache_misses_total counter");
+        let _ = writeln!(out, "serve_cache_misses_total {}", snap.cache_misses);
+        let _ = writeln!(out, "# TYPE serve_batch_size counter");
+        for (label, count) in BATCH_SIZE_BUCKET_LABELS
+            .iter()
+            .zip(&snap.batch_size_histogram)
+        {
+            let _ = writeln!(out, "serve_batch_size{{bucket=\"{label}\"}} {count}");
+        }
+        out
     }
 }
 
@@ -222,18 +362,32 @@ pub struct MetricsSnapshot {
     pub rejected_requests: u64,
     /// Wall-clock seconds since the server started.
     pub elapsed_secs: f64,
+    /// Wall-clock seconds since the server started (same clock as
+    /// `elapsed_secs`; kept as its own field so wire consumers get the
+    /// conventional name).
+    pub uptime_seconds: f64,
     /// Completed requests per second, measured from the first completed
     /// request (0 before any traffic) — idle time before the first
     /// request does not dilute the rate.
     pub throughput_qps: f64,
+    /// Requests sitting in the bounded queue right now (live gauge).
+    pub queue_depth: u64,
     /// Median request latency (enqueue → response) in milliseconds.
     pub latency_p50_ms: f64,
     /// 95th-percentile latency in milliseconds.
     pub latency_p95_ms: f64,
     /// 99th-percentile latency in milliseconds.
     pub latency_p99_ms: f64,
-    /// Worst observed latency in milliseconds.
+    /// Best observed latency in milliseconds, over the whole lifetime
+    /// (`NaN` until a request completes).
+    pub latency_min_ms: f64,
+    /// Worst observed latency in milliseconds, over the whole lifetime.
     pub latency_max_ms: f64,
+    /// Latency samples currently held in the percentile window — with
+    /// `window_capacity`, distinguishes a cold ring from a saturated one.
+    pub window_occupancy: usize,
+    /// Total window slots across the rings of every recording thread.
+    pub window_capacity: usize,
     /// Feature-cache hits.
     pub cache_hits: u64,
     /// Feature-cache misses.
@@ -266,12 +420,14 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests ({} rejected) in {:.2}s ({:.0} q/s) · latency p50 {}, p95 {}, \
-             p99 {} · cache hit-rate {:.1}% ({} workers)",
+            "{} requests ({} rejected, {} queued) in {:.2}s up ({:.0} q/s) · latency \
+             min {}, p50 {}, p95 {}, p99 {} · cache hit-rate {:.1}% ({} workers)",
             self.total_requests,
             self.rejected_requests,
-            self.elapsed_secs,
+            self.queue_depth,
+            self.uptime_seconds,
             self.throughput_qps,
+            fmt_ms(self.latency_min_ms),
             fmt_ms(self.latency_p50_ms),
             fmt_ms(self.latency_p95_ms),
             fmt_ms(self.latency_p99_ms),
@@ -307,8 +463,11 @@ mod tests {
         assert!(snap.latency_p50_ms >= 2.0 && snap.latency_p50_ms <= 4.0);
         assert!(snap.latency_p99_ms <= snap.latency_max_ms);
         assert!(snap.latency_max_ms >= 99.0);
+        assert!(snap.latency_min_ms <= 1.1, "lifetime min tracked");
         assert!((snap.cache_hit_rate - 0.6).abs() < 1e-12);
         assert!(snap.throughput_qps > 0.0);
+        assert!(snap.uptime_seconds > 0.0);
+        assert_eq!(snap.window_occupancy, 5);
     }
 
     #[test]
@@ -317,28 +476,75 @@ mod tests {
         let snap = metrics.snapshot(cache_stats(0, 0), 1);
         assert_eq!(snap.total_requests, 0);
         assert!(snap.latency_p50_ms.is_nan());
+        assert!(snap.latency_min_ms.is_nan());
         assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.window_occupancy, 0);
+        assert_eq!(snap.queue_depth, 0);
     }
 
     #[test]
-    fn latency_window_is_bounded_but_max_is_lifetime() {
+    fn latency_window_is_bounded_but_min_max_are_lifetime() {
         let metrics = ServeMetrics::new();
-        // One early outlier, then far more than LATENCY_WINDOW fast
-        // requests: the ring forgets the outlier for percentiles, but the
-        // lifetime max keeps it.
+        // One early outlier and one early best-case, then far more than
+        // LATENCY_WINDOW mid-range requests: the ring forgets both for
+        // percentiles, but the lifetime extremes keep them.
         metrics.record(Duration::from_secs(2));
+        metrics.record(Duration::from_nanos(500));
         for _ in 0..(LATENCY_WINDOW + 100) {
             metrics.record(Duration::from_micros(50));
         }
         let snap = metrics.snapshot(cache_stats(0, 0), 1);
-        assert_eq!(snap.total_requests, (LATENCY_WINDOW + 101) as u64);
+        assert_eq!(snap.total_requests, (LATENCY_WINDOW + 102) as u64);
         assert!(snap.latency_p99_ms < 1.0, "window forgot the outlier");
         assert!(snap.latency_max_ms >= 2_000.0, "lifetime max retained");
+        assert!(snap.latency_min_ms <= 0.001, "lifetime min retained");
         assert_eq!(
-            metrics.ring.lock().unwrap().samples.len(),
-            LATENCY_WINDOW,
+            snap.window_occupancy, LATENCY_WINDOW,
             "sample storage is bounded"
         );
+        assert_eq!(snap.window_capacity, LATENCY_WINDOW, "single-thread ring");
+    }
+
+    #[test]
+    fn window_occupancy_distinguishes_cold_from_saturated() {
+        let metrics = ServeMetrics::new();
+        metrics.record(Duration::from_micros(10));
+        let cold = metrics.snapshot(cache_stats(0, 0), 1);
+        assert_eq!(cold.window_occupancy, 1);
+        assert_eq!(cold.window_capacity, LATENCY_WINDOW);
+        assert!(cold.window_occupancy < cold.window_capacity, "cold ring");
+    }
+
+    #[test]
+    fn recording_from_many_threads_matches_single_thread_totals() {
+        // Striped-shard merge determinism: the same samples recorded from
+        // 1 thread and from N threads must yield identical totals and
+        // identical lifetime extremes.
+        let single = ServeMetrics::new();
+        for i in 0..400u64 {
+            single.record(Duration::from_micros(10 + i % 90));
+        }
+        let striped = std::sync::Arc::new(ServeMetrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = std::sync::Arc::clone(&striped);
+                std::thread::spawn(move || {
+                    for i in (t * 100)..((t + 1) * 100) {
+                        m.record(Duration::from_micros(10 + i % 90));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let a = single.snapshot(cache_stats(0, 0), 1);
+        let b = striped.snapshot(cache_stats(0, 0), 4);
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.latency_min_ms, b.latency_min_ms);
+        assert_eq!(a.latency_max_ms, b.latency_max_ms);
+        assert_eq!(a.window_occupancy, b.window_occupancy);
+        assert_eq!(b.window_capacity, 4 * LATENCY_WINDOW, "one ring per thread");
     }
 
     #[test]
@@ -362,11 +568,17 @@ mod tests {
         assert_eq!(batch_size_bucket(3), 1);
         assert_eq!(batch_size_bucket(4), 2);
         assert_eq!(batch_size_bucket(7), 2);
+        assert_eq!(batch_size_bucket(8), 3);
+        assert_eq!(batch_size_bucket(15), 3);
+        assert_eq!(batch_size_bucket(16), 4);
+        assert_eq!(batch_size_bucket(31), 4);
         assert_eq!(batch_size_bucket(32), 5);
         assert_eq!(batch_size_bucket(63), 5);
+        assert_eq!(batch_size_bucket(64), 6);
         assert_eq!(batch_size_bucket(127), 6);
         assert_eq!(batch_size_bucket(128), 7);
         assert_eq!(batch_size_bucket(100_000), 7);
+        assert_eq!(batch_size_bucket(usize::MAX), 7);
     }
 
     #[test]
@@ -388,10 +600,43 @@ mod tests {
         assert_eq!(snap.batch_size_histogram[5], 2); // "32-63"
         assert_eq!(snap.batch_size_histogram.iter().sum::<u64>(), 4);
         // Every request of a batch contributes one latency sample.
-        assert_eq!(metrics.ring.lock().unwrap().samples.len(), 68);
+        assert_eq!(snap.window_occupancy, 68);
         // Zero-size batches are ignored.
         metrics.record_batch(0, Duration::from_micros(1));
         assert_eq!(metrics.snapshot(cache_stats(0, 0), 2).total_requests, 68);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_enqueue_dequeue_across_threads() {
+        let metrics = ServeMetrics::new();
+        let gauge = metrics.queue_gauge();
+        gauge.inc();
+        gauge.inc();
+        gauge.inc();
+        let dec_side = metrics.queue_gauge();
+        std::thread::spawn(move || dec_side.dec()).join().unwrap();
+        assert_eq!(metrics.snapshot(cache_stats(0, 0), 1).queue_depth, 2);
+    }
+
+    #[test]
+    fn stage_recorder_feeds_named_histograms() {
+        let metrics = ServeMetrics::new();
+        let stages = metrics.stage_recorder();
+        stages.record(STAGE_QUEUE_WAIT, 1_000);
+        stages.record(STAGE_FORWARD, 5_000);
+        stages.record("never_heard_of_it", 9);
+        let snap = metrics.registry().snapshot();
+        let histogram = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(histogram("serve.stage.queue_wait_ns").count, 1);
+        assert_eq!(histogram("serve.stage.queue_wait_ns").sum, 1_000);
+        assert_eq!(histogram("serve.stage.forward_ns").count, 1);
+        assert_eq!(histogram("serve.stage.other_ns").count, 1);
     }
 
     #[test]
@@ -405,12 +650,32 @@ mod tests {
             "latency_p50_ms",
             "latency_p95_ms",
             "latency_p99_ms",
+            "latency_min_ms",
             "cache_hit_rate",
+            "uptime_seconds",
+            "queue_depth",
+            "window_occupancy",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.total_requests, 1);
+    }
+
+    #[test]
+    fn prometheus_text_covers_registry_and_derived_series() {
+        let metrics = ServeMetrics::new();
+        metrics.record(Duration::from_micros(100));
+        metrics.record_batch(3, Duration::from_micros(200));
+        metrics.stage_recorder().record(STAGE_FORWARD, 42_000);
+        let text = metrics.prometheus_text(cache_stats(1, 1), 2);
+        assert!(text.contains("serve_requests_total 4"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_stage_forward_ns_count 1"));
+        assert!(text.contains("serve_uptime_seconds"));
+        assert!(text.contains("serve_throughput_qps"));
+        assert!(text.contains("serve_batch_size{bucket=\"2-3\"} 1"));
+        assert!(!text.contains("NaN"), "non-finite values render as 0");
     }
 
     #[test]
@@ -421,6 +686,7 @@ mod tests {
         assert!(text.contains("8 workers"));
         assert!(text.contains("hit-rate"));
         assert!(text.contains("ms"));
+        assert!(text.contains("queued"));
     }
 
     #[test]
@@ -429,6 +695,7 @@ mod tests {
         let text = metrics.snapshot(cache_stats(0, 0), 1).to_string();
         assert!(!text.contains("NaN"), "no literal NaN in: {text}");
         assert!(text.contains("p50 -"), "dash placeholder in: {text}");
+        assert!(text.contains("min -"), "dash placeholder for min: {text}");
     }
 
     #[test]
@@ -440,7 +707,7 @@ mod tests {
         let snap = metrics.snapshot(cache_stats(0, 0), 1);
         assert_eq!(snap.total_requests, 1);
         assert_eq!(snap.rejected_requests, 2);
-        assert!(snap.to_string().contains("(2 rejected)"));
+        assert!(snap.to_string().contains("(2 rejected"));
     }
 
     #[test]

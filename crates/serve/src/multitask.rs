@@ -25,7 +25,10 @@
 
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{
+    MetricsSnapshot, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD,
+    STAGE_QUEUE_WAIT,
+};
 use crate::server::{RejectedRequest, ServerConfig};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -37,6 +40,10 @@ use zsdb_core::fingerprint::plan_fingerprint;
 use zsdb_core::PlanGraph;
 use zsdb_engine::PlanNode;
 use zsdb_multitask::{MultiTaskPrediction, TrainedMultiTaskModel};
+use zsdb_obs::{ActiveTrace, Tracer};
+
+/// Traces retained by the in-process tracer ring (per thread).
+const TRACE_RING: usize = 256;
 
 /// One answered multi-task request: every head's output from one submit.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,13 +76,22 @@ pub struct ServedMultiTaskModel {
 /// [`MultiTaskPredictionTicket::wait`].
 #[derive(Debug)]
 pub struct MultiTaskPredictionTicket {
-    rx: mpsc::Receiver<ServedMultiTaskPrediction>,
+    rx: mpsc::Receiver<(ServedMultiTaskPrediction, Option<ActiveTrace>)>,
 }
 
 impl MultiTaskPredictionTicket {
     /// Block until the prediction is ready.  Fails with
     /// [`ServeError::Closed`] if the server shut down before answering.
     pub fn wait(self) -> Result<ServedMultiTaskPrediction, ServeError> {
+        self.wait_traced().map(|(prediction, _)| prediction)
+    }
+
+    /// [`MultiTaskPredictionTicket::wait`], also yielding the in-flight
+    /// trace (if the request was traced) so the caller can close the
+    /// respond stage.
+    pub fn wait_traced(
+        self,
+    ) -> Result<(ServedMultiTaskPrediction, Option<ActiveTrace>), ServeError> {
         self.rx.recv().map_err(|_| ServeError::Closed)
     }
 }
@@ -84,18 +100,29 @@ impl MultiTaskPredictionTicket {
 /// [`MultiTaskBatchTicket::wait`].
 #[derive(Debug)]
 pub struct MultiTaskBatchTicket {
-    parts: Vec<mpsc::Receiver<Vec<ServedMultiTaskPrediction>>>,
+    parts: Vec<mpsc::Receiver<(Vec<ServedMultiTaskPrediction>, Option<ActiveTrace>)>>,
 }
 
 impl MultiTaskBatchTicket {
     /// Block until all predictions of the batch are ready, in submission
     /// order.
     pub fn wait(self) -> Result<Vec<ServedMultiTaskPrediction>, ServeError> {
+        self.wait_traced().map(|(predictions, _)| predictions)
+    }
+
+    /// [`MultiTaskBatchTicket::wait`], also yielding the in-flight trace
+    /// (carried by the first traced chunk, if any).
+    pub fn wait_traced(
+        self,
+    ) -> Result<(Vec<ServedMultiTaskPrediction>, Option<ActiveTrace>), ServeError> {
         let mut predictions = Vec::new();
+        let mut trace = None;
         for part in self.parts {
-            predictions.extend(part.recv().map_err(|_| ServeError::Closed)?);
+            let (chunk, chunk_trace) = part.recv().map_err(|_| ServeError::Closed)?;
+            predictions.extend(chunk);
+            trace = trace.or(chunk_trace);
         }
-        Ok(predictions)
+        Ok((predictions, trace))
     }
 }
 
@@ -103,12 +130,14 @@ enum Job {
     Single {
         plan: PlanNode,
         enqueued: Instant,
-        reply: mpsc::Sender<ServedMultiTaskPrediction>,
+        trace: Option<ActiveTrace>,
+        reply: mpsc::Sender<(ServedMultiTaskPrediction, Option<ActiveTrace>)>,
     },
     Batch {
         plans: Vec<PlanNode>,
         enqueued: Instant,
-        reply: mpsc::Sender<Vec<ServedMultiTaskPrediction>>,
+        trace: Option<ActiveTrace>,
+        reply: mpsc::Sender<(Vec<ServedMultiTaskPrediction>, Option<ActiveTrace>)>,
     },
 }
 
@@ -119,6 +148,7 @@ struct Shared {
     catalog: SchemaCatalog,
     cache: FeatureCache,
     metrics: ServeMetrics,
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -166,6 +196,7 @@ impl MultiTaskPredictionServer {
             catalog,
             cache: FeatureCache::new(config.cache_capacity),
             metrics: ServeMetrics::new(),
+            tracer: Tracer::new(TRACE_RING),
         });
         let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
         let receiver = Arc::new(Mutex::new(receiver));
@@ -190,10 +221,23 @@ impl MultiTaskPredictionServer {
     /// Enqueue a prediction request, blocking while the queue is full
     /// (backpressure).  One submit answers **every** task head.
     pub fn submit(&self, plan: PlanNode) -> Result<MultiTaskPredictionTicket, ServeError> {
+        self.submit_traced(plan, None)
+    }
+
+    /// [`MultiTaskPredictionServer::submit`] carrying an in-flight trace:
+    /// workers mark the queue-wait/cache/featurize/forward stages on it,
+    /// and the trace comes back through
+    /// [`MultiTaskPredictionTicket::wait_traced`].
+    pub fn submit_traced(
+        &self,
+        plan: PlanNode,
+        trace: Option<ActiveTrace>,
+    ) -> Result<MultiTaskPredictionTicket, ServeError> {
         let (reply, rx) = mpsc::channel();
         let job = Job::Single {
             plan,
             enqueued: Instant::now(),
+            trace,
             reply,
         };
         self.sender
@@ -201,6 +245,7 @@ impl MultiTaskPredictionServer {
             .ok_or(ServeError::Closed)?
             .send(job)
             .map_err(|_| ServeError::Closed)?;
+        self.shared.metrics.queue_inc();
         Ok(MultiTaskPredictionTicket { rx })
     }
 
@@ -223,6 +268,7 @@ impl MultiTaskPredictionServer {
             let job = Job::Batch {
                 plans: chunk,
                 enqueued: Instant::now(),
+                trace: None,
                 reply,
             };
             self.sender
@@ -230,6 +276,7 @@ impl MultiTaskPredictionServer {
                 .ok_or(ServeError::Closed)?
                 .send(job)
                 .map_err(|_| ServeError::Closed)?;
+            self.shared.metrics.queue_inc();
             parts.push(rx);
         }
         Ok(MultiTaskBatchTicket { parts })
@@ -243,6 +290,18 @@ impl MultiTaskPredictionServer {
     /// Every rejection is counted in
     /// [`MetricsSnapshot::rejected_requests`](crate::MetricsSnapshot).
     pub fn try_submit(&self, plan: PlanNode) -> Result<MultiTaskPredictionTicket, RejectedRequest> {
+        self.try_submit_traced(plan, None)
+    }
+
+    /// [`MultiTaskPredictionServer::try_submit`] carrying an in-flight
+    /// trace (see
+    /// [`submit_traced`](MultiTaskPredictionServer::submit_traced)).  A
+    /// rejected request's trace is dropped unfinished.
+    pub fn try_submit_traced(
+        &self,
+        plan: PlanNode,
+        trace: Option<ActiveTrace>,
+    ) -> Result<MultiTaskPredictionTicket, RejectedRequest> {
         let sender = match self.sender.as_ref() {
             Some(s) => s,
             None => {
@@ -254,6 +313,7 @@ impl MultiTaskPredictionServer {
         let job = Job::Single {
             plan,
             enqueued: Instant::now(),
+            trace,
             reply,
         };
         let take_plan = |job: Job| match job {
@@ -261,7 +321,10 @@ impl MultiTaskPredictionServer {
             Job::Batch { .. } => unreachable!("single submission cannot hold a batch"),
         };
         match sender.try_send(job) {
-            Ok(()) => Ok(MultiTaskPredictionTicket { rx }),
+            Ok(()) => {
+                self.shared.metrics.queue_inc();
+                Ok(MultiTaskPredictionTicket { rx })
+            }
             Err(TrySendError::Full(job)) => {
                 self.shared.metrics.record_rejection();
                 Err(RejectedRequest::new(take_plan(job), ServeError::Overloaded))
@@ -294,6 +357,11 @@ impl MultiTaskPredictionServer {
             .expect("served model lock poisoned") = next;
         self.shared.cache.invalidate();
         self.shared.metrics.record_swap();
+        self.shared.tracer.event(
+            "serve.model_swap",
+            f64::from(version),
+            format!("hot-swapped to multi-task model version {version}"),
+        );
     }
 
     /// The currently served model (and its version), pinned.
@@ -321,6 +389,27 @@ impl MultiTaskPredictionServer {
     /// Feature-cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The server's trace collector: begin traces to attach to
+    /// [`submit_traced`](MultiTaskPredictionServer::submit_traced), look
+    /// finished ones up by id, and record standalone events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// The live metrics recorder behind [`metrics`](Self::metrics) —
+    /// exposes the queue gauge, per-stage histogram recorder and the
+    /// named-metric registry.
+    pub fn recorder(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Prometheus text exposition of the serving metrics.
+    pub fn prometheus_text(&self) -> String {
+        self.shared
+            .metrics
+            .prometheus_text(self.shared.cache.stats(), self.config.workers)
     }
 
     /// The server's configuration.
@@ -370,32 +459,68 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shutdown
         };
+        shared.metrics.queue_dec();
         match job {
             Job::Single {
                 plan,
                 enqueued,
+                mut trace,
                 reply,
             } => {
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_QUEUE_WAIT);
+                }
                 // Pin the current model for the whole job: a concurrent
                 // hot-swap never changes weights mid-request.
                 let served = shared.current();
-                let (graph, fingerprint, cache_hit) = featurize_cached(shared, &served, &plan);
+                let fingerprint = plan_fingerprint(&plan);
+                let (graph, cache_hit) = {
+                    // On a miss the closure runs: its entry checkpoint
+                    // closes the cache-lookup stage, so featurization gets
+                    // its own stage below.
+                    let miss_trace = &mut trace;
+                    shared
+                        .cache
+                        .get_or_insert_with(served.version, fingerprint, || {
+                            if let Some(t) = miss_trace.as_mut() {
+                                t.mark(STAGE_CACHE_LOOKUP);
+                            }
+                            featurize_plan(&shared.catalog, &plan, served.model.featurizer)
+                        })
+                };
+                if let Some(t) = trace.as_mut() {
+                    if cache_hit {
+                        t.mark(STAGE_CACHE_LOOKUP);
+                    } else {
+                        t.mark(STAGE_FEATURIZE);
+                    }
+                }
                 let tasks = served.model.predict(&graph);
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_FORWARD);
+                }
                 let latency = enqueued.elapsed();
                 shared.metrics.record(latency);
-                let _ = reply.send(ServedMultiTaskPrediction {
-                    tasks,
-                    fingerprint,
-                    cache_hit,
-                    latency,
-                    model_version: served.version,
-                });
+                let _ = reply.send((
+                    ServedMultiTaskPrediction {
+                        tasks,
+                        fingerprint,
+                        cache_hit,
+                        latency,
+                        model_version: served.version,
+                    },
+                    trace,
+                ));
             }
             Job::Batch {
                 plans,
                 enqueued,
+                mut trace,
                 reply,
             } => {
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_QUEUE_WAIT);
+                }
                 let served = shared.current();
                 let mut fingerprints = Vec::with_capacity(plans.len());
                 let mut cache_hits = Vec::with_capacity(plans.len());
@@ -406,8 +531,16 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                     cache_hits.push(cache_hit);
                     graphs.push(graph);
                 }
+                if let Some(t) = trace.as_mut() {
+                    // Lookups and featurization interleave across the
+                    // sweep, so the whole sweep is one featurize stage.
+                    t.mark(STAGE_FEATURIZE);
+                }
                 let refs: Vec<&PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
                 let all_tasks = served.model.predict_batch(&refs);
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_FORWARD);
+                }
                 let latency = enqueued.elapsed();
                 shared.metrics.record_batch(plans.len(), latency);
                 let predictions = all_tasks
@@ -424,7 +557,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                         },
                     )
                     .collect();
-                let _ = reply.send(predictions);
+                let _ = reply.send((predictions, trace));
             }
         }
     }
@@ -564,6 +697,50 @@ mod tests {
         }
         let metrics = server.shutdown();
         assert_eq!(metrics.total_requests, 2 * plans.len() as u64);
+    }
+
+    #[test]
+    fn traced_submit_marks_the_pipeline_stages() {
+        let (model, catalog, plans, _) = fixture();
+        let server = MultiTaskPredictionServer::start(model, catalog, ServerConfig::default());
+        // Warm the cache so the traced request takes the hit path.
+        server.predict_blocking(plans[0].clone()).unwrap();
+        let active = server.tracer().begin().expect("tracer starts enabled");
+        let id = active.id();
+        let ticket = server
+            .submit_traced(plans[0].clone(), Some(active))
+            .unwrap();
+        let (prediction, trace) = ticket.wait_traced().unwrap();
+        assert!(prediction.cache_hit);
+        let done = server.tracer().finish(trace.expect("trace rides the job"));
+        assert_eq!(done.id, id);
+        let stages: Vec<&str> = done.stages.iter().map(|s| s.name).collect();
+        assert_eq!(
+            stages,
+            vec![STAGE_QUEUE_WAIT, STAGE_CACHE_LOOKUP, STAGE_FORWARD]
+        );
+        assert_eq!(
+            done.total_ns,
+            done.stages.iter().map(|s| s.duration_ns).sum::<u64>(),
+            "stages tile the trace"
+        );
+        // The finished trace is queryable by id.
+        assert_eq!(server.tracer().find(id).expect("retained").id, id);
+    }
+
+    #[test]
+    fn queue_depth_gauge_returns_to_zero_after_drain() {
+        let (model, catalog, plans, _) = fixture();
+        let server = MultiTaskPredictionServer::start(model, catalog, ServerConfig::default());
+        let tickets: Vec<_> = (0..16)
+            .map(|_| server.submit(plans[0].clone()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let batch = server.submit_batch(plans.clone()).unwrap();
+        batch.wait().unwrap();
+        assert_eq!(server.metrics().queue_depth, 0, "all dequeued");
     }
 
     #[test]

@@ -36,7 +36,10 @@
 //!   tenant, served over the wire via the `Metrics` op.
 
 use crate::error::ServeError;
-use crate::metrics::percentile_of_sorted;
+use crate::metrics::{
+    percentile_of_sorted, StageRecorder, STAGE_ADMISSION, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE,
+    STAGE_FORWARD, STAGE_QUEUE_WAIT, STAGE_RESPOND,
+};
 use crate::server::{BatchPredictionTicket, PredictionServer, PredictionTicket};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -46,14 +49,30 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zsdb_engine::PlanNode;
+use zsdb_obs::{ActiveTrace, LatencyWindow, Trace, Tracer};
 use zsdb_protocol::{
     decode_frame, encode_frame, ErrorCode, ErrorResponse, Frame, GatewayMetrics, HealthResponse,
-    HelloAck, Message, ProtocolError, TenantMetrics, WirePrediction, PROTOCOL_VERSION,
+    HelloAck, Message, ProtocolError, TenantMetrics, WirePrediction, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 
 /// Per-tenant latency samples retained for the percentile estimates
 /// (bounded ring, like the server-wide window but smaller).
 const TENANT_LATENCY_WINDOW: usize = 8_192;
+
+/// The request stages broken down per tenant (exposition order).
+const TENANT_STAGES: [&str; 6] = [
+    STAGE_ADMISSION,
+    STAGE_QUEUE_WAIT,
+    STAGE_CACHE_LOOKUP,
+    STAGE_FEATURIZE,
+    STAGE_FORWARD,
+    STAGE_RESPOND,
+];
+
+fn tenant_stage_index(name: &str) -> Option<usize> {
+    TENANT_STAGES.iter().position(|&s| s == name)
+}
 
 /// Admission policy of one tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,12 +121,6 @@ impl NetServerConfig {
     }
 }
 
-/// Bounded ring of recent per-tenant latencies (microseconds).
-struct TenantRing {
-    samples_us: Vec<u64>,
-    next: usize,
-}
-
 /// Live accounting of one tenant, shared by all its connections.
 struct TenantState {
     name: String,
@@ -117,7 +130,12 @@ struct TenantState {
     rejected_quota: AtomicU64,
     rejected_shed: AtomicU64,
     in_flight: AtomicU64,
-    latencies: Mutex<TenantRing>,
+    /// Recent latencies (striped bounded rings) + lifetime min/max.
+    latencies: LatencyWindow,
+    /// Per-stage cumulative nanoseconds / sample counts, indexed by
+    /// [`TENANT_STAGES`] — the tenant's latency-breakdown exposition.
+    stage_ns: [AtomicU64; TENANT_STAGES.len()],
+    stage_count: [AtomicU64; TENANT_STAGES.len()],
 }
 
 impl TenantState {
@@ -130,10 +148,9 @@ impl TenantState {
             rejected_quota: AtomicU64::new(0),
             rejected_shed: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
-            latencies: Mutex::new(TenantRing {
-                samples_us: Vec::new(),
-                next: 0,
-            }),
+            latencies: LatencyWindow::new(TENANT_LATENCY_WINDOW),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_count: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -154,16 +171,19 @@ impl TenantState {
     }
 
     fn record_latency(&self, latency: Duration, count: usize) {
-        let us = latency.as_micros() as u64;
-        let mut ring = self.latencies.lock().expect("tenant latency ring poisoned");
+        let ns = latency.as_nanos() as u64;
         for _ in 0..count {
-            if ring.samples_us.len() < TENANT_LATENCY_WINDOW {
-                ring.samples_us.push(us);
-            } else {
-                let slot = ring.next;
-                ring.samples_us[slot] = us;
+            self.latencies.record(ns);
+        }
+    }
+
+    /// Fold a finished trace's stages into the tenant's breakdown.
+    fn record_stages(&self, trace: &Trace) {
+        for stage in &trace.stages {
+            if let Some(i) = tenant_stage_index(stage.name) {
+                self.stage_ns[i].fetch_add(stage.duration_ns, Ordering::Relaxed);
+                self.stage_count[i].fetch_add(1, Ordering::Relaxed);
             }
-            ring.next = (ring.next + 1) % TENANT_LATENCY_WINDOW;
         }
     }
 
@@ -171,14 +191,8 @@ impl TenantState {
     /// the wire encoding maps non-finite floats to `null`, so an empty
     /// sample reports `0.0` rather than `NaN`.
     fn wire_metrics(&self) -> TenantMetrics {
-        let mut ms: Vec<f64> = self
-            .latencies
-            .lock()
-            .expect("tenant latency ring poisoned")
-            .samples_us
-            .iter()
-            .map(|&us| us as f64 / 1e3)
-            .collect();
+        let window = self.latencies.snapshot();
+        let mut ms: Vec<f64> = window.samples.iter().map(|&ns| ns as f64 / 1e6).collect();
         ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         TenantMetrics {
             tenant: self.name.clone(),
@@ -191,6 +205,12 @@ impl TenantState {
             latency_p50_ms: finite_or_zero(percentile_of_sorted(&ms, 50.0)),
             latency_p95_ms: finite_or_zero(percentile_of_sorted(&ms, 95.0)),
             latency_p99_ms: finite_or_zero(percentile_of_sorted(&ms, 99.0)),
+            latency_min_ms: window.min.map_or(0.0, |ns| ns as f64 / 1e6),
+            latency_max_ms: if window.count == 0 {
+                0.0
+            } else {
+                window.max as f64 / 1e6
+            },
         }
     }
 }
@@ -283,8 +303,82 @@ impl NetShared {
             server_latency_p99_ms: finite_or_zero(snap.latency_p99_ms),
             model_version: self.server.model_version(),
             tenants,
+            uptime_seconds: snap.uptime_seconds,
+            queue_depth: snap.queue_depth,
+            server_latency_min_ms: finite_or_zero(snap.latency_min_ms),
+            server_latency_max_ms: finite_or_zero(snap.latency_max_ms),
+            window_occupancy: snap.window_occupancy as u64,
+            window_capacity: snap.window_capacity as u64,
         }
     }
+
+    /// Prometheus text exposition: the worker pool's metrics plus gateway
+    /// connection gauges and the per-tenant latency/stage breakdowns.
+    fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.server.prometheus_text();
+        let _ = writeln!(out, "# TYPE zsdb_gateway_connections_total counter");
+        let _ = writeln!(
+            out,
+            "zsdb_gateway_connections_total {}",
+            self.connections_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE zsdb_gateway_connections_active gauge");
+        let _ = writeln!(
+            out,
+            "zsdb_gateway_connections_active {}",
+            self.connections_active.load(Ordering::Relaxed)
+        );
+        let tenants: Vec<Arc<TenantState>> = self
+            .tenants
+            .lock()
+            .expect("tenant table poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let _ = writeln!(out, "# TYPE zsdb_tenant_completed_total counter");
+        let _ = writeln!(out, "# TYPE zsdb_tenant_stage_ns_total counter");
+        let _ = writeln!(out, "# TYPE zsdb_tenant_stage_samples_total counter");
+        for tenant in tenants {
+            let label = escape_label(&tenant.name);
+            let _ = writeln!(
+                out,
+                "zsdb_tenant_completed_total{{tenant=\"{label}\"}} {}",
+                tenant.completed.load(Ordering::Relaxed)
+            );
+            for (i, stage) in TENANT_STAGES.iter().enumerate() {
+                let count = tenant.stage_count[i].load(Ordering::Relaxed);
+                if count == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "zsdb_tenant_stage_ns_total{{tenant=\"{label}\",stage=\"{stage}\"}} {}",
+                    tenant.stage_ns[i].load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    out,
+                    "zsdb_tenant_stage_samples_total{{tenant=\"{label}\",stage=\"{stage}\"}} {count}",
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Escape a string for use as a Prometheus label value (backslash, quote
+/// and newline per the text-exposition grammar).
+fn escape_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// A running TCP gateway in front of a [`PredictionServer`].
@@ -356,6 +450,20 @@ impl NetServer {
     /// same payload the `Metrics` wire op serves.
     pub fn gateway_metrics(&self) -> GatewayMetrics {
         self.shared.gateway_metrics()
+    }
+
+    /// Prometheus text exposition of the full gateway (worker pool,
+    /// connection gauges, per-tenant latency/stage breakdowns) — the same
+    /// payload the `MetricsText` wire op serves.
+    pub fn prometheus_text(&self) -> String {
+        self.shared.prometheus_text()
+    }
+
+    /// The trace collector of the underlying worker pool: finished
+    /// per-request traces (locatable by the trace id echoed on response
+    /// frames) and standalone events.
+    pub fn tracer(&self) -> &Tracer {
+        self.shared.server.tracer()
     }
 
     /// Stop accepting, force-close live connections, join every
@@ -482,6 +590,8 @@ enum Outbound {
         ticket: PredictionTicket,
         tenant: Arc<TenantState>,
         accepted: Instant,
+        /// Trace id echoed on the response frame (0 = untraced wire).
+        trace_id: u64,
     },
     /// A coalesced group of pipelined singles answered by one batch
     /// ticket — one `PredictOk` per original request id.
@@ -490,6 +600,9 @@ enum Outbound {
         ticket: BatchPredictionTicket,
         tenant: Arc<TenantState>,
         accepted: Instant,
+        /// The group shares one batched span, so every member's response
+        /// echoes the group's trace id (0 = untraced wire).
+        trace_id: u64,
     },
     /// One admitted client batch answered as `PredictBatchOk`.
     Batch {
@@ -498,6 +611,8 @@ enum Outbound {
         ticket: BatchPredictionTicket,
         tenant: Arc<TenantState>,
         accepted: Instant,
+        /// Trace id echoed on the response frame (0 = untraced wire).
+        trace_id: u64,
     },
     /// A client batch whose admission failed part-way: the admitted
     /// prefix still runs (and must be awaited for honest accounting)
@@ -540,7 +655,12 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
         }
     };
     let tenant = match hello.message {
-        Message::Hello(h) if h.protocol_version != PROTOCOL_VERSION => {
+        // Anything in [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] is spoken
+        // here; the ack echoes the client's version so an older client
+        // proceeds on the wire format it understands.
+        Message::Hello(h)
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&h.protocol_version) =>
+        {
             write_frame_ignore_proto(
                 &mut stream,
                 &error_frame(
@@ -565,7 +685,7 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
             );
             return Ok(());
         }
-        Message::Hello(h) => h.tenant,
+        Message::Hello(h) => (h.tenant, h.protocol_version),
         other => {
             write_frame_ignore_proto(
                 &mut stream,
@@ -578,6 +698,7 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
             return Ok(());
         }
     };
+    let (tenant, negotiated_version) = tenant;
     let tenant = match shared.tenant_state(&tenant) {
         Some(state) => state,
         None => {
@@ -597,7 +718,7 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
         &Frame::new(
             hello.request_id,
             Message::HelloAck(HelloAck {
-                protocol_version: PROTOCOL_VERSION,
+                protocol_version: negotiated_version,
                 model_version: shared.server.model_version(),
                 tenant_quota: tenant.quota,
             }),
@@ -605,15 +726,22 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
     );
     stream.set_read_timeout(None)?;
 
+    // Trace ids ride a v2 frame extension, so they are echoed only to
+    // clients that negotiated v2; a v1 client gets byte-identical v1
+    // frames (server-side traces still run, they just stay server-side).
+    let wire_traces = negotiated_version >= 2;
+
     // --- Steady state: reader (this thread) + responder ------------------
     let (out_tx, out_rx) = mpsc::channel::<Outbound>();
     let responder = {
         let write_stream = stream.try_clone()?;
+        let tracer = shared.server.tracer().clone();
+        let stages = shared.server.recorder().stage_recorder();
         std::thread::Builder::new()
             .name("zsdb-net-respond".into())
-            .spawn(move || responder_loop(&out_rx, write_stream))?
+            .spawn(move || responder_loop(&out_rx, write_stream, &tracer, &stages))?
     };
-    read_requests(shared, &stream, &tenant, &out_tx);
+    read_requests(shared, &stream, &tenant, &out_tx, wire_traces);
     drop(out_tx); // responder drains what is left, then exits
     let _ = responder.join();
     Ok(())
@@ -626,6 +754,7 @@ fn read_requests(
     stream: &TcpStream,
     tenant: &Arc<TenantState>,
     out: &mpsc::Sender<Outbound>,
+    wire_traces: bool,
 ) {
     let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut scratch = [0u8; 16 * 1024];
@@ -656,19 +785,50 @@ fn read_requests(
                 }
             }
         };
+        // A trace begins at frame decode, under the client-supplied id
+        // when one rode the frame header (the tracer mints one otherwise).
+        let tracer = shared.server.tracer();
+        let begin_trace = |trace_id: u64| -> Option<ActiveTrace> {
+            tracer
+                .enabled()
+                .then(|| tracer.begin_with_id(if wire_traces { trace_id } else { 0 }))
+        };
         match frame.message {
             Message::Predict(plan) => {
+                let trace = begin_trace(frame.trace_id);
                 let mut group: Vec<(u64, PlanNode)> = vec![(frame.request_id, *plan)];
                 coalesce_predicts(&mut buf, shared.config.max_coalesce, &mut group);
-                admit_group(shared, tenant, out, group);
+                if group.len() > 1 {
+                    tracer.event(
+                        "net.coalesced_batch",
+                        group.len() as f64,
+                        format!("tenant {:?}", tenant.name),
+                    );
+                }
+                admit_group(shared, tenant, out, group, trace, wire_traces);
             }
             Message::PredictBatch(plans) => {
-                admit_batch(shared, tenant, out, frame.request_id, plans)
+                let trace = begin_trace(frame.trace_id);
+                admit_batch(
+                    shared,
+                    tenant,
+                    out,
+                    frame.request_id,
+                    plans,
+                    trace,
+                    wire_traces,
+                )
             }
             Message::Metrics => {
                 let _ = out.send(Outbound::Ready(Frame::new(
                     frame.request_id,
                     Message::MetricsOk(Box::new(shared.gateway_metrics())),
+                )));
+            }
+            Message::MetricsText => {
+                let _ = out.send(Outbound::Ready(Frame::new(
+                    frame.request_id,
+                    Message::MetricsTextOk(shared.prometheus_text()),
                 )));
             }
             Message::Health => {
@@ -727,6 +887,8 @@ fn admit_group(
     tenant: &Arc<TenantState>,
     out: &mpsc::Sender<Outbound>,
     group: Vec<(u64, PlanNode)>,
+    mut trace: Option<ActiveTrace>,
+    wire_traces: bool,
 ) {
     let accepted = Instant::now();
     let mut ids = Vec::with_capacity(group.len());
@@ -750,8 +912,19 @@ fn admit_group(
     if ids.is_empty() {
         return;
     }
+    // The admission stage closes here: quota charged, about to enqueue.
+    if let Some(t) = trace.as_mut() {
+        t.mark(STAGE_ADMISSION);
+    }
+    let trace_id = match (&trace, wire_traces) {
+        (Some(t), true) => t.id(),
+        _ => 0,
+    };
     if ids.len() == 1 {
-        match shared.server.try_submit(plans.pop().expect("one plan")) {
+        match shared
+            .server
+            .try_submit_traced(plans.pop().expect("one plan"), trace)
+        {
             Ok(ticket) => {
                 tenant.admitted.fetch_add(1, Ordering::Relaxed);
                 let _ = out.send(Outbound::Single {
@@ -759,6 +932,7 @@ fn admit_group(
                     ticket,
                     tenant: Arc::clone(tenant),
                     accepted,
+                    trace_id,
                 });
             }
             Err(rejected) => {
@@ -774,7 +948,7 @@ fn admit_group(
         return;
     }
     let n = ids.len() as u64;
-    match shared.server.try_submit_batch(plans) {
+    match shared.server.try_submit_batch_traced(plans, trace) {
         Ok(ticket) => {
             tenant.admitted.fetch_add(n, Ordering::Relaxed);
             let _ = out.send(Outbound::Coalesced {
@@ -782,6 +956,7 @@ fn admit_group(
                 ticket,
                 tenant: Arc::clone(tenant),
                 accepted,
+                trace_id,
             });
         }
         Err(rejected) => {
@@ -799,6 +974,7 @@ fn admit_group(
                     ticket,
                     tenant: Arc::clone(tenant),
                     accepted,
+                    trace_id,
                 });
             }
             tenant.release(err_ids.len() as u64);
@@ -814,12 +990,15 @@ fn admit_group(
 
 /// Admit one explicit client batch (`PredictBatch`): the whole batch
 /// charges the quota at once and answers with one frame.
+#[allow(clippy::too_many_arguments)]
 fn admit_batch(
     shared: &Arc<NetShared>,
     tenant: &Arc<TenantState>,
     out: &mpsc::Sender<Outbound>,
     id: u64,
     plans: Vec<PlanNode>,
+    mut trace: Option<ActiveTrace>,
+    wire_traces: bool,
 ) {
     let accepted = Instant::now();
     let n = plans.len() as u64;
@@ -842,7 +1021,14 @@ fn admit_batch(
         )));
         return;
     }
-    match shared.server.try_submit_batch(plans) {
+    if let Some(t) = trace.as_mut() {
+        t.mark(STAGE_ADMISSION);
+    }
+    let trace_id = match (&trace, wire_traces) {
+        (Some(t), true) => t.id(),
+        _ => 0,
+    };
+    match shared.server.try_submit_batch_traced(plans, trace) {
         Ok(ticket) => {
             tenant.admitted.fetch_add(n, Ordering::Relaxed);
             let _ = out.send(Outbound::Batch {
@@ -851,6 +1037,7 @@ fn admit_batch(
                 ticket,
                 tenant: Arc::clone(tenant),
                 accepted,
+                trace_id,
             });
         }
         Err(rejected) => {
@@ -875,9 +1062,24 @@ fn admit_batch(
 /// admission order (the client demultiplexes by request id).  Keeps
 /// draining for accounting even after the socket dies, so a client that
 /// disconnects mid-flight never wedges tenant gauges.
-fn responder_loop(rx: &mpsc::Receiver<Outbound>, stream: TcpStream) {
+fn responder_loop(
+    rx: &mpsc::Receiver<Outbound>,
+    stream: TcpStream,
+    tracer: &Tracer,
+    stages: &StageRecorder,
+) {
     let mut writer = io::BufWriter::new(stream);
     let mut socket_dead = false;
+    // Close the respond stage (response encode + write) and finish the
+    // trace: per-stage histograms globally, stage sums per tenant.
+    let finish_trace = |trace: Option<ActiveTrace>, tenant: &TenantState| {
+        if let Some(mut t) = trace {
+            t.mark(STAGE_RESPOND);
+            let done = tracer.finish(t);
+            stages.record_trace(&done);
+            tenant.record_stages(&done);
+        }
+    };
     loop {
         // Batch flushes: only flush when there is momentarily nothing to
         // write, so a pipelined burst goes out in few syscalls.
@@ -914,15 +1116,21 @@ fn responder_loop(rx: &mpsc::Receiver<Outbound>, stream: TcpStream) {
                 ticket,
                 tenant,
                 accepted,
+                trace_id,
             } => {
-                match ticket.wait() {
-                    Ok(prediction) => {
+                match ticket.wait_traced() {
+                    Ok((prediction, trace)) => {
                         tenant.completed.fetch_add(1, Ordering::Relaxed);
                         tenant.record_latency(accepted.elapsed(), 1);
                         emit(
-                            &Frame::new(id, Message::PredictOk(wire_prediction(&prediction))),
+                            &Frame::traced(
+                                id,
+                                trace_id,
+                                Message::PredictOk(wire_prediction(&prediction)),
+                            ),
                             &mut socket_dead,
                         );
+                        finish_trace(trace, &tenant);
                     }
                     Err(e) => emit(
                         &error_frame(id, error_code_of(&e), e.to_string()),
@@ -936,18 +1144,24 @@ fn responder_loop(rx: &mpsc::Receiver<Outbound>, stream: TcpStream) {
                 ticket,
                 tenant,
                 accepted,
+                trace_id,
             } => {
                 let n = ids.len();
-                match ticket.wait() {
-                    Ok(predictions) => {
+                match ticket.wait_traced() {
+                    Ok((predictions, trace)) => {
                         tenant.completed.fetch_add(n as u64, Ordering::Relaxed);
                         tenant.record_latency(accepted.elapsed(), n);
                         for (id, prediction) in ids.iter().zip(&predictions) {
                             emit(
-                                &Frame::new(*id, Message::PredictOk(wire_prediction(prediction))),
+                                &Frame::traced(
+                                    *id,
+                                    trace_id,
+                                    Message::PredictOk(wire_prediction(prediction)),
+                                ),
                                 &mut socket_dead,
                             );
                         }
+                        finish_trace(trace, &tenant);
                     }
                     Err(e) => {
                         for id in &ids {
@@ -966,16 +1180,18 @@ fn responder_loop(rx: &mpsc::Receiver<Outbound>, stream: TcpStream) {
                 ticket,
                 tenant,
                 accepted,
+                trace_id,
             } => {
-                match ticket.wait() {
-                    Ok(predictions) => {
+                match ticket.wait_traced() {
+                    Ok((predictions, trace)) => {
                         tenant.completed.fetch_add(n, Ordering::Relaxed);
                         tenant.record_latency(accepted.elapsed(), n as usize);
                         let wire = predictions.iter().map(wire_prediction).collect();
                         emit(
-                            &Frame::new(id, Message::PredictBatchOk(wire)),
+                            &Frame::traced(id, trace_id, Message::PredictBatchOk(wire)),
                             &mut socket_dead,
                         );
+                        finish_trace(trace, &tenant);
                     }
                     Err(e) => emit(
                         &error_frame(id, error_code_of(&e), e.to_string()),

@@ -27,7 +27,10 @@
 
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{
+    MetricsSnapshot, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD,
+    STAGE_QUEUE_WAIT,
+};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -38,6 +41,11 @@ use zsdb_core::fingerprint::plan_fingerprint;
 use zsdb_core::model::InferenceScratch;
 use zsdb_core::train::TrainedModel;
 use zsdb_engine::PlanNode;
+use zsdb_obs::{ActiveTrace, Tracer};
+
+/// Finished traces (and standalone events) the server's [`Tracer`] keeps
+/// per recording thread.
+const TRACE_RING: usize = 256;
 
 /// Tunables of a [`PredictionServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,13 +110,20 @@ pub struct ServedModel {
 /// [`PredictionTicket::wait`].
 #[derive(Debug)]
 pub struct PredictionTicket {
-    rx: mpsc::Receiver<Prediction>,
+    rx: mpsc::Receiver<(Prediction, Option<ActiveTrace>)>,
 }
 
 impl PredictionTicket {
     /// Block until the prediction is ready.  Fails with
     /// [`ServeError::Closed`] if the server shut down before answering.
     pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.wait_traced().map(|(prediction, _)| prediction)
+    }
+
+    /// Like [`PredictionTicket::wait`], but also hands back the request's
+    /// in-flight trace (when the request was submitted with one) so the
+    /// caller can mark its own final stages and finish it.
+    pub fn wait_traced(self) -> Result<(Prediction, Option<ActiveTrace>), ServeError> {
         self.rx.recv().map_err(|_| ServeError::Closed)
     }
 }
@@ -122,7 +137,7 @@ impl PredictionTicket {
 /// them back together in submission order.
 #[derive(Debug)]
 pub struct BatchPredictionTicket {
-    parts: Vec<mpsc::Receiver<Vec<Prediction>>>,
+    parts: Vec<mpsc::Receiver<(Vec<Prediction>, Option<ActiveTrace>)>>,
 }
 
 impl BatchPredictionTicket {
@@ -130,11 +145,22 @@ impl BatchPredictionTicket {
     /// in submission order.  Fails with [`ServeError::Closed`] if the
     /// server shut down before answering.
     pub fn wait(self) -> Result<Vec<Prediction>, ServeError> {
+        self.wait_traced().map(|(predictions, _)| predictions)
+    }
+
+    /// Like [`BatchPredictionTicket::wait`], but also hands back the
+    /// batch's in-flight trace.  A traced batch submission attaches its
+    /// trace to the first chunk; the returned trace is the first one any
+    /// chunk carried.
+    pub fn wait_traced(self) -> Result<(Vec<Prediction>, Option<ActiveTrace>), ServeError> {
         let mut predictions = Vec::new();
+        let mut trace = None;
         for part in self.parts {
-            predictions.extend(part.recv().map_err(|_| ServeError::Closed)?);
+            let (chunk, chunk_trace) = part.recv().map_err(|_| ServeError::Closed)?;
+            predictions.extend(chunk);
+            trace = trace.or(chunk_trace);
         }
-        Ok(predictions)
+        Ok((predictions, trace))
     }
 }
 
@@ -194,7 +220,7 @@ impl RejectedBatch {
     fn new(
         plans: Vec<PlanNode>,
         reason: ServeError,
-        parts: Vec<mpsc::Receiver<Vec<Prediction>>>,
+        parts: Vec<mpsc::Receiver<(Vec<Prediction>, Option<ActiveTrace>)>>,
     ) -> Self {
         RejectedBatch {
             plans,
@@ -231,12 +257,14 @@ enum Job {
     Single {
         plan: PlanNode,
         enqueued: Instant,
-        reply: mpsc::Sender<Prediction>,
+        reply: mpsc::Sender<(Prediction, Option<ActiveTrace>)>,
+        trace: Option<ActiveTrace>,
     },
     Batch {
         plans: Vec<PlanNode>,
         enqueued: Instant,
-        reply: mpsc::Sender<Vec<Prediction>>,
+        reply: mpsc::Sender<(Vec<Prediction>, Option<ActiveTrace>)>,
+        trace: Option<ActiveTrace>,
     },
 }
 
@@ -249,6 +277,7 @@ struct Shared {
     catalog: SchemaCatalog,
     cache: FeatureCache,
     metrics: ServeMetrics,
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -295,6 +324,7 @@ impl PredictionServer {
             catalog,
             cache: FeatureCache::new(config.cache_capacity),
             metrics: ServeMetrics::new(),
+            tracer: Tracer::new(TRACE_RING),
         });
         let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
         let receiver = Arc::new(Mutex::new(receiver));
@@ -319,17 +349,30 @@ impl PredictionServer {
     /// Enqueue a prediction request, blocking while the queue is full
     /// (backpressure).
     pub fn submit(&self, plan: PlanNode) -> Result<PredictionTicket, ServeError> {
+        self.submit_traced(plan, None)
+    }
+
+    /// [`PredictionServer::submit`] carrying an in-flight trace: workers
+    /// mark the queue-wait/cache/featurize/forward stages on it, and the
+    /// trace comes back through [`PredictionTicket::wait_traced`].
+    pub fn submit_traced(
+        &self,
+        plan: PlanNode,
+        trace: Option<ActiveTrace>,
+    ) -> Result<PredictionTicket, ServeError> {
         let (reply, rx) = mpsc::channel();
         let job = Job::Single {
             plan,
             enqueued: Instant::now(),
             reply,
+            trace,
         };
         self.sender
             .as_ref()
             .ok_or(ServeError::Closed)?
             .send(job)
             .map_err(|_| ServeError::Closed)?;
+        self.shared.metrics.queue_inc();
         Ok(PredictionTicket { rx })
     }
 
@@ -366,12 +409,14 @@ impl PredictionServer {
                 plans: chunk,
                 enqueued: Instant::now(),
                 reply,
+                trace: None,
             };
             self.sender
                 .as_ref()
                 .ok_or(ServeError::Closed)?
                 .send(job)
                 .map_err(|_| ServeError::Closed)?;
+            self.shared.metrics.queue_inc();
             parts.push(rx);
         }
         Ok(BatchPredictionTicket { parts })
@@ -383,6 +428,17 @@ impl PredictionServer {
     /// rejection is counted in
     /// [`MetricsSnapshot::rejected_requests`](crate::MetricsSnapshot).
     pub fn try_submit(&self, plan: PlanNode) -> Result<PredictionTicket, RejectedRequest> {
+        self.try_submit_traced(plan, None)
+    }
+
+    /// [`PredictionServer::try_submit`] carrying an in-flight trace (see
+    /// [`submit_traced`](PredictionServer::submit_traced)).  A rejected
+    /// request's trace is dropped unfinished.
+    pub fn try_submit_traced(
+        &self,
+        plan: PlanNode,
+        trace: Option<ActiveTrace>,
+    ) -> Result<PredictionTicket, RejectedRequest> {
         let sender = match self.sender.as_ref() {
             Some(s) => s,
             None => {
@@ -395,13 +451,17 @@ impl PredictionServer {
             plan,
             enqueued: Instant::now(),
             reply,
+            trace,
         };
         let take_plan = |job: Job| match job {
             Job::Single { plan, .. } => plan,
             Job::Batch { .. } => unreachable!("single submission cannot hold a batch"),
         };
         match sender.try_send(job) {
-            Ok(()) => Ok(PredictionTicket { rx }),
+            Ok(()) => {
+                self.shared.metrics.queue_inc();
+                Ok(PredictionTicket { rx })
+            }
             Err(TrySendError::Full(job)) => {
                 self.shared.metrics.record_rejection();
                 Err(RejectedRequest::new(take_plan(job), ServeError::Overloaded))
@@ -430,6 +490,19 @@ impl PredictionServer {
         &self,
         plans: Vec<PlanNode>,
     ) -> Result<BatchPredictionTicket, RejectedBatch> {
+        self.try_submit_batch_traced(plans, None)
+    }
+
+    /// [`PredictionServer::try_submit_batch`] carrying an in-flight
+    /// trace.  The trace rides on the first chunk (a batch within
+    /// `max_batch_size` is exactly one chunk) and comes back through
+    /// [`BatchPredictionTicket::wait_traced`]; if the first chunk is
+    /// rejected the trace is dropped unfinished.
+    pub fn try_submit_batch_traced(
+        &self,
+        plans: Vec<PlanNode>,
+        mut trace: Option<ActiveTrace>,
+    ) -> Result<BatchPredictionTicket, RejectedBatch> {
         let max = self.config.max_batch_size.max(1);
         let mut parts = Vec::with_capacity(plans.len().div_ceil(max));
         let mut remaining = plans;
@@ -452,13 +525,17 @@ impl PredictionServer {
                 plans: chunk,
                 enqueued: Instant::now(),
                 reply,
+                trace: trace.take(),
             };
             let take_plans = |job: Job| match job {
                 Job::Batch { plans, .. } => plans,
                 Job::Single { .. } => unreachable!("batch submission cannot hold a single"),
             };
             match sender.try_send(job) {
-                Ok(()) => parts.push(rx),
+                Ok(()) => {
+                    self.shared.metrics.queue_inc();
+                    parts.push(rx);
+                }
                 Err(TrySendError::Full(job)) => {
                     self.shared.metrics.record_rejection();
                     let mut unsent = take_plans(job);
@@ -502,6 +579,11 @@ impl PredictionServer {
             .expect("served model lock poisoned") = next;
         self.shared.cache.invalidate();
         self.shared.metrics.record_swap();
+        self.shared.tracer.event(
+            "serve.model_swap",
+            f64::from(version),
+            format!("hot-swapped to model version {version}"),
+        );
     }
 
     /// The currently served model (and its version), pinned.  The
@@ -533,6 +615,27 @@ impl PredictionServer {
     /// Feature-cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The server's trace collector: begin traces to attach to
+    /// [`submit_traced`](PredictionServer::submit_traced), look finished
+    /// ones up by id, and record standalone events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// The live metrics recorder behind [`metrics`](Self::metrics) —
+    /// exposes the queue gauge, per-stage histogram recorder and the
+    /// named-metric registry.
+    pub fn recorder(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Prometheus text exposition of the serving metrics.
+    pub fn prometheus_text(&self) -> String {
+        self.shared
+            .metrics
+            .prometheus_text(self.shared.cache.stats(), self.config.workers)
     }
 
     /// The server's configuration.
@@ -571,39 +674,69 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shutdown
         };
+        shared.metrics.queue_dec();
         match job {
             Job::Single {
                 plan,
                 enqueued,
                 reply,
+                mut trace,
             } => {
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_QUEUE_WAIT);
+                }
                 // Pin the current model for the whole job: a concurrent
                 // hot-swap never changes weights mid-request.
                 let served = shared.current();
                 let fingerprint = plan_fingerprint(&plan);
-                let (graph, cache_hit) =
+                let (graph, cache_hit) = {
+                    // On a miss the closure runs: its entry checkpoint
+                    // closes the cache-lookup stage, so featurization gets
+                    // its own stage below.
+                    let miss_trace = &mut trace;
                     shared
                         .cache
                         .get_or_insert_with(served.version, fingerprint, || {
+                            if let Some(t) = miss_trace.as_mut() {
+                                t.mark(STAGE_CACHE_LOOKUP);
+                            }
                             featurize_plan(&shared.catalog, &plan, served.model.featurizer)
-                        });
+                        })
+                };
+                if let Some(t) = trace.as_mut() {
+                    if cache_hit {
+                        t.mark(STAGE_CACHE_LOOKUP);
+                    } else {
+                        t.mark(STAGE_FEATURIZE);
+                    }
+                }
                 let runtime_secs = served.model.model.predict_with(&graph, &mut scratch);
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_FORWARD);
+                }
                 let latency = enqueued.elapsed();
                 shared.metrics.record(latency);
                 // A dropped ticket just means the client stopped waiting.
-                let _ = reply.send(Prediction {
-                    runtime_secs,
-                    fingerprint,
-                    cache_hit,
-                    latency,
-                    model_version: served.version,
-                });
+                let _ = reply.send((
+                    Prediction {
+                        runtime_secs,
+                        fingerprint,
+                        cache_hit,
+                        latency,
+                        model_version: served.version,
+                    },
+                    trace,
+                ));
             }
             Job::Batch {
                 plans,
                 enqueued,
                 reply,
+                mut trace,
             } => {
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_QUEUE_WAIT);
+                }
                 // One featurization sweep (cache-assisted), then a single
                 // batched forward over the whole request batch — all on
                 // one pinned model version.
@@ -623,8 +756,16 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                     cache_hits.push(cache_hit);
                     graphs.push(graph);
                 }
+                if let Some(t) = trace.as_mut() {
+                    // Lookups and featurization interleave across the
+                    // sweep, so the whole sweep is one featurize stage.
+                    t.mark(STAGE_FEATURIZE);
+                }
                 let refs: Vec<&zsdb_core::PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
                 let runtimes = served.model.model.predict_batch(&refs);
+                if let Some(t) = trace.as_mut() {
+                    t.mark(STAGE_FORWARD);
+                }
                 let latency = enqueued.elapsed();
                 shared.metrics.record_batch(plans.len(), latency);
                 let predictions = runtimes
@@ -639,7 +780,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                         model_version: served.version,
                     })
                     .collect();
-                let _ = reply.send(predictions);
+                let _ = reply.send((predictions, trace));
             }
         }
     }

@@ -22,6 +22,9 @@
 //! * [`serve`] — production serving: persistent model registry, concurrent
 //!   worker-pool inference with a fingerprint-keyed feature cache, metrics,
 //!   and the multi-tenant TCP gateway.
+//! * [`obs`] — observability primitives: per-thread striped counters /
+//!   gauges / log-bucketed histograms, a checkpoint span tracer with
+//!   wire-propagatable trace ids, and Prometheus text exposition.
 //! * [`protocol`] — the framed binary wire protocol the gateway speaks
 //!   (pure encode/decode, usable without sockets).
 //! * [`client`] — blocking connection-pooled network client with pipelined
@@ -39,6 +42,7 @@ pub use zsdb_core as zeroshot;
 pub use zsdb_engine as engine;
 pub use zsdb_multitask as multitask;
 pub use zsdb_nn as nn;
+pub use zsdb_obs as obs;
 pub use zsdb_protocol as protocol;
 pub use zsdb_query as query;
 pub use zsdb_serve as serve;

@@ -8,16 +8,24 @@
 //! (b) the gateway meters each tenant separately (admitted / completed /
 //!     in-flight visible over the wire through the `Metrics` op), and
 //! (c) quota rejections surface as structured, retryable error frames
-//!     and are counted per tenant.
+//!     and are counted per tenant,
+//!
+//! plus the ISSUE 7 observability acceptance:
+//!
+//! (d) a traced remote `predict` decomposes into named pipeline stages
+//!     whose durations sum to the end-to-end latency, and
+//! (e) latency/stage recording stays striped (no shared lock) under
+//!     concurrent tenants and snapshot pressure.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use zero_shot_db::catalog::presets;
 use zero_shot_db::client::{Client, ClientConfig, ClientError};
-use zero_shot_db::protocol::{ErrorCode, GatewayMetrics, TenantMetrics};
+use zero_shot_db::protocol::{ErrorCode, GatewayMetrics, TenantMetrics, PROTOCOL_VERSION};
 use zero_shot_db::serve::{
-    NetServer, NetServerConfig, PredictionServer, ServerConfig, TenantPolicy,
+    NetServer, NetServerConfig, PredictionServer, ServerConfig, TenantPolicy, STAGE_ADMISSION,
+    STAGE_FEATURIZE, STAGE_FORWARD, STAGE_QUEUE_WAIT, STAGE_RESPOND,
 };
 use zero_shot_db::storage::Database;
 use zsdb_bench::tiny_serving_fixture;
@@ -213,5 +221,206 @@ fn quota_rejections_are_retryable_structured_errors_and_counted() {
 
     drop(starved);
     drop(vip);
+    gateway.shutdown();
+}
+
+/// ISSUE 7 acceptance: a remote `predict` yields an end-to-end trace.
+/// The client mints a trace id, the id rides the v2 frame header both
+/// ways, and the gateway's tracer decomposes the request into named
+/// pipeline stages whose durations tile — and therefore sum to — the
+/// reported end-to-end latency.
+#[test]
+fn remote_predict_trace_decomposes_end_to_end_latency() {
+    let db = Database::generate(presets::imdb_like(0.02), 17);
+    let (model, plans) = tiny_serving_fixture(&db, 8, 3);
+
+    let gateway = NetServer::start(
+        "127.0.0.1:0",
+        PredictionServer::start(
+            model,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 16,
+                ..ServerConfig::default()
+            },
+        ),
+        NetServerConfig::default().with_tenant("obs", TenantPolicy { max_in_flight: 16 }),
+    )
+    .expect("bind gateway");
+
+    let client =
+        Client::connect(gateway.local_addr(), ClientConfig::tenant("obs")).expect("connect");
+    assert_eq!(
+        client.negotiated_protocol_version().unwrap(),
+        PROTOCOL_VERSION,
+        "a current client against a current server negotiates v2"
+    );
+
+    let started = Instant::now();
+    let remote = client.predict(&plans[0]).expect("remote predict");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    assert_ne!(
+        remote.trace_id, 0,
+        "v2 connections mint a trace id per request"
+    );
+
+    // The responder finishes the trace just *after* writing the response
+    // frame, so the client can see its answer a beat before the trace
+    // lands in the ring — poll briefly.
+    let trace = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(t) = gateway.tracer().find(remote.trace_id) {
+                break t;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "trace {} never finished",
+                remote.trace_id
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+
+    // At least four named stages decompose the request; a cold cache
+    // makes featurization explicit.
+    let names: Vec<&str> = trace.stages.iter().map(|s| s.name).collect();
+    assert!(
+        names.len() >= 4,
+        "expected >= 4 pipeline stages, got {names:?}"
+    );
+    for expected in [
+        STAGE_ADMISSION,
+        STAGE_QUEUE_WAIT,
+        STAGE_FEATURIZE,
+        STAGE_FORWARD,
+        STAGE_RESPOND,
+    ] {
+        assert!(
+            names.contains(&expected),
+            "stage {expected} missing from {names:?}"
+        );
+    }
+
+    // The stages are checkpoints, so their durations tile start..finish:
+    // the sum *is* the reported end-to-end latency (the 20% acceptance
+    // bound holds with zero slack), and it can never exceed what the
+    // client observed around the whole round trip.
+    let stage_sum: u64 = trace.stages.iter().map(|s| s.duration_ns).sum();
+    assert_eq!(stage_sum, trace.total_ns, "stage durations tile the trace");
+    assert!(
+        (stage_sum as f64 - trace.total_ns as f64).abs() <= 0.2 * trace.total_ns as f64,
+        "stage sum {stage_sum}ns strays >20% from end-to-end {}ns",
+        trace.total_ns
+    );
+    assert!(
+        trace.total_ns <= wall_ns,
+        "server-side trace ({}ns) cannot exceed the client's wall clock ({wall_ns}ns)",
+        trace.total_ns
+    );
+
+    // The gateway's independent end-to-end measurement (admission stamp
+    // to response write, surfaced as the tenant's lifetime-max latency —
+    // this tenant completed exactly one request) agrees with the stage
+    // sum up to the decode/encode edges outside one clock but inside the
+    // other: 20% relative or half a millisecond, whichever is larger.
+    let metrics = wait_for_metrics(&client, |m| tenant(m, "obs").completed == 1);
+    let reported_ns = tenant(&metrics, "obs").latency_max_ms * 1e6;
+    assert!(reported_ns > 0.0, "gateway recorded the request's latency");
+    let slack = (0.2 * reported_ns).max(500_000.0);
+    assert!(
+        (stage_sum as f64 - reported_ns).abs() <= slack,
+        "stage sum {stage_sum}ns vs gateway-reported {reported_ns}ns exceeds {slack}ns slack"
+    );
+
+    drop(client);
+    gateway.shutdown();
+}
+
+/// Latency/stage recording is striped per thread — no lock shared
+/// between worker threads — so concurrent tenants hammering the gateway
+/// while another thread repeatedly merges snapshots (JSON and
+/// Prometheus text over the wire) can never serialize or wedge, and no
+/// sample is lost.
+#[test]
+fn concurrent_recording_under_snapshot_pressure_loses_nothing() {
+    let db = Database::generate(presets::imdb_like(0.02), 19);
+    let (model, plans) = tiny_serving_fixture(&db, 10, 4);
+
+    let gateway = NetServer::start(
+        "127.0.0.1:0",
+        PredictionServer::start(
+            model,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                cache_capacity: 64,
+                ..ServerConfig::default()
+            },
+        ),
+        NetServerConfig::default()
+            .with_tenant("alpha", TenantPolicy { max_in_flight: 64 })
+            .with_tenant("beta", TenantPolicy { max_in_flight: 64 }),
+    )
+    .expect("bind gateway");
+    let addr = gateway.local_addr();
+
+    const THREADS_PER_TENANT: usize = 2;
+    const ROUNDS: usize = 8;
+    let alpha = Client::connect(
+        addr,
+        ClientConfig {
+            connections: 2,
+            ..ClientConfig::tenant("alpha")
+        },
+    )
+    .expect("connect alpha");
+    let beta = Client::connect(addr, ClientConfig::tenant("beta")).expect("connect beta");
+
+    std::thread::scope(|scope| {
+        for client in [&alpha, &beta] {
+            for worker in 0..THREADS_PER_TENANT {
+                let plans = &plans;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let plan = &plans[(worker + round) % plans.len()];
+                        client.predict(plan).expect("remote predict");
+                    }
+                });
+            }
+        }
+        // Merge snapshots as fast as possible while recording is hot:
+        // a shared recording lock would show up here as serialization
+        // (or a deadlock); striped shards only ever merge on this path.
+        scope.spawn(|| {
+            for _ in 0..50 {
+                let _ = alpha.metrics().expect("metrics mid-flight");
+                let text = alpha.metrics_text().expect("prometheus mid-flight");
+                assert!(text.contains("serve_stage_forward_ns"));
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+
+    let per_tenant = (THREADS_PER_TENANT * ROUNDS) as u64;
+    let metrics = wait_for_metrics(&alpha, |m| {
+        tenant(m, "alpha").completed == per_tenant && tenant(m, "beta").completed == per_tenant
+    });
+    for name in ["alpha", "beta"] {
+        let t = tenant(&metrics, name);
+        assert_eq!(t.completed, per_tenant, "{name} lost completions");
+        assert_eq!(t.rejected_quota + t.rejected_shed, 0);
+        assert_eq!(t.in_flight, 0);
+        assert!(t.latency_max_ms >= t.latency_min_ms);
+        assert!(t.latency_min_ms > 0.0, "{name} recorded real latencies");
+    }
+    assert!(metrics.server_total_requests >= 2 * per_tenant);
+    assert!(metrics.window_capacity >= metrics.window_occupancy);
+
+    drop(alpha);
+    drop(beta);
     gateway.shutdown();
 }
