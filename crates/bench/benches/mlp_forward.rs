@@ -1,12 +1,16 @@
 //! Microbenchmark for the MLP inference hot path: per-call allocation
-//! (`Mlp::forward`) versus a reused scratch buffer (`Mlp::forward_into`).
+//! (`Mlp::forward`) versus a reused scratch buffer (`Mlp::forward_into`),
+//! and the SIMD-shaped versus scalar micro-kernels on both the
+//! per-example and the batched path.
 //!
-//! The scratch variant is what the serving worker pool uses; this bench
-//! documents the win of not reallocating per layer on every prediction.
+//! The scratch + SIMD variant is what the serving worker pool uses; the
+//! kernel pairs document the win of the lane-blocked loops over the
+//! scalar fallback (their outputs are bit-identical — see
+//! `zsdb_nn::kernel`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use zsdb_nn::{Activation, ForwardScratch, Mlp};
+use zsdb_nn::{Activation, Batch, ForwardScratch, KernelKind, Mlp};
 
 fn bench_mlp_forward(c: &mut Criterion) {
     // The combine MLP of the default zero-shot model ([96, 48, 48]) is the
@@ -22,6 +26,28 @@ fn bench_mlp_forward(c: &mut Criterion) {
     c.bench_function("mlp_forward_reused_scratch", |b| {
         b.iter(|| black_box(mlp.forward_into(black_box(&x), &mut scratch)[0]))
     });
+
+    for kind in [KernelKind::Simd, KernelKind::Scalar] {
+        c.bench_function(&format!("mlp_forward_kernel_{}", kind.name()), |b| {
+            b.iter(|| black_box(mlp.forward_into_with(kind, black_box(&x), &mut scratch)[0]))
+        });
+    }
+
+    // Batched forward over a serving-sized tile (32 examples).
+    let examples: Vec<Vec<f64>> = (0..32)
+        .map(|e| {
+            (0..96)
+                .map(|i| ((e * 96 + i) as f64 * 0.173).sin())
+                .collect()
+        })
+        .collect();
+    let batch = Batch::from_examples(96, examples.iter().map(|v| v.as_slice()));
+    for kind in [KernelKind::Simd, KernelKind::Scalar] {
+        c.bench_function(
+            &format!("mlp_forward_batch32_kernel_{}", kind.name()),
+            |b| b.iter(|| black_box(mlp.forward_batch_with(kind, black_box(&batch)))),
+        );
+    }
 }
 
 criterion_group!(benches, bench_mlp_forward);

@@ -1,24 +1,36 @@
 //! Serving benchmark: drives a concurrent request stream through the
-//! `zsdb_serve` worker pool and emits a machine-readable
+//! sharded `zsdb_serve` server and emits a machine-readable
 //! `BENCH_serve.json` report (throughput, p50/p95/p99 latency, cache
-//! hit-rate).
+//! hit-rate) together with the configuration that produced it (shard
+//! count, kernel, queue/cache sizing) and a bit-stable prediction
+//! checksum, so two runs can be compared for numeric identity.
 //!
 //! Usage:
 //! `cargo run -p zsdb_bench --release --bin bench_serve -- \
-//!    [--requests N] [--distinct N] [--workers N] [--queue N] [--cache N] [--out PATH]`
+//!    [--scale tiny|full] [--requests N] [--distinct N] [--shards N] \
+//!    [--queue N] [--cache N] [--out PATH]`
+//!
+//! `--workers` is accepted as an alias for `--shards` (the server runs
+//! thread-per-core: one worker per shard).  Explicit flags override the
+//! `--scale` preset.  The kernel is selected by the `ZSDB_KERNEL`
+//! environment variable (`simd` default, `scalar` fallback); both must
+//! produce the identical `prediction_checksum_bits`.
 
 use std::sync::Arc;
+use std::time::Instant;
 use zsdb_bench::tiny_serving_fixture;
 use zsdb_catalog::presets;
-use zsdb_serve::{PredictionServer, ServerConfig};
+use zsdb_serve::{MetricsSnapshot, PredictionServer, ServerConfig};
 use zsdb_storage::Database;
 
 struct Args {
+    scale: String,
     requests: usize,
     distinct: usize,
-    workers: usize,
+    shards: usize,
     queue: usize,
     cache: usize,
+    batch: usize,
     out: String,
 }
 
@@ -30,27 +42,69 @@ impl Args {
                 .position(|a| a == flag)
                 .and_then(|i| argv.get(i + 1).cloned())
         };
+        let scale = value_of("--scale").unwrap_or_else(|| "full".to_string());
+        // Scale presets; any explicit flag overrides its preset value.
+        let (requests, distinct, shards, queue, cache) = match scale.as_str() {
+            "tiny" => (500, 50, 2, 64, 256),
+            "full" => (5_000, 200, 4, 256, 1_024),
+            other => panic!("unknown --scale {other:?} (expected tiny|full)"),
+        };
         let num = |flag: &str, default: usize| {
             value_of(flag)
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(default)
         };
         Args {
-            requests: num("--requests", 5_000),
-            distinct: num("--distinct", 200),
-            workers: num("--workers", 4),
-            queue: num("--queue", 256),
-            cache: num("--cache", 1_024),
+            requests: num("--requests", requests),
+            distinct: num("--distinct", distinct),
+            shards: num("--shards", num("--workers", shards)),
+            queue: num("--queue", queue),
+            cache: num("--cache", cache),
+            batch: num("--batch", 1).max(1),
             out: value_of("--out").unwrap_or_else(|| "BENCH_serve.json".to_string()),
+            scale,
         }
     }
 }
 
+/// Configuration stanza embedded in the report so a stored
+/// `BENCH_serve.json` is self-describing.
+#[derive(serde::Serialize)]
+struct BenchConfig {
+    scale: String,
+    requests: usize,
+    distinct_plans: usize,
+    shards: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    /// Client-side submission batch size: 1 means one ticket per
+    /// request; larger values go through `submit_batch`, the load shape
+    /// the coalescing TCP gateway produces.
+    batch: usize,
+    /// Active MLP kernel (`"simd"` or `"scalar"`, from `ZSDB_KERNEL`).
+    kernel: &'static str,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    config: BenchConfig,
+    /// End-to-end request throughput over the firing window.
+    throughput_qps: f64,
+    /// Sum of all predicted runtimes, in deterministic (thread-index)
+    /// order — bit-stable for a fixed seed and request schedule.
+    prediction_checksum: f64,
+    /// The checksum's exact IEEE-754 bit pattern: two runs agree
+    /// numerically iff these strings are equal.
+    prediction_checksum_bits: String,
+    metrics: MetricsSnapshot,
+}
+
 fn main() {
     let args = Args::parse();
+    let kernel = zsdb_nn::active_kernel().name();
     println!(
-        "# Serving benchmark: {} requests over {} distinct plans, {} workers\n",
-        args.requests, args.distinct, args.workers
+        "# Serving benchmark ({}): {} requests over {} distinct plans, {} shards, {} kernel\n",
+        args.scale, args.requests, args.distinct, args.shards, kernel
     );
 
     // 1. Train a small model on executions from the target database (the
@@ -63,17 +117,21 @@ fn main() {
         model,
         db.catalog().clone(),
         ServerConfig {
-            workers: args.workers,
+            workers: args.shards,
             queue_capacity: args.queue,
             cache_capacity: args.cache,
             ..ServerConfig::default()
         },
     ));
 
-    // 3. Fire from as many client threads as workers; `submit` blocks on
-    //    the bounded queue, so producers experience backpressure instead
-    //    of queueing without limit.
-    let clients = args.workers.max(1);
+    // 2. Fire from as many client threads as shards.  Each client
+    //    pipelines: it submits eagerly (the bounded queue blocks it when
+    //    the server is saturated — backpressure instead of unbounded
+    //    growth) and waits for the replies in submission order, so the
+    //    measurement is server capacity, not one-in-flight round-trip
+    //    latency, and the checksum accumulates deterministically.
+    let clients = args.shards.max(1);
+    let started = Instant::now();
     let mut handles = Vec::new();
     for c in 0..clients {
         // Spread the remainder over the first `requests % clients`
@@ -81,22 +139,70 @@ fn main() {
         let per_client = args.requests / clients + usize::from(c < args.requests % clients);
         let server = Arc::clone(&server);
         let plans = plans.clone();
+        let batch = args.batch;
         handles.push(std::thread::spawn(move || {
-            let mut checksum = 0.0f64;
-            for i in 0..per_client {
-                let plan = plans[(c + i * clients) % plans.len()].clone();
-                let prediction = server.submit(plan).unwrap().wait().unwrap();
-                checksum += prediction.runtime_secs;
+            let plan_at = |i: usize| plans[(c + i * clients) % plans.len()].clone();
+            if batch == 1 {
+                let mut tickets = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    tickets.push(server.submit(plan_at(i)).unwrap());
+                }
+                let mut checksum = 0.0f64;
+                for ticket in tickets {
+                    checksum += ticket.wait().unwrap().runtime_secs;
+                }
+                checksum
+            } else {
+                // Batched mode: the shape of load the TCP gateway
+                // produces when it coalesces a pipelined connection.
+                let mut tickets = Vec::with_capacity(per_client.div_ceil(batch));
+                let mut fired = 0;
+                while fired < per_client {
+                    let n = batch.min(per_client - fired);
+                    let chunk: Vec<_> = (0..n).map(|j| plan_at(fired + j)).collect();
+                    tickets.push(server.submit_batch(chunk).unwrap());
+                    fired += n;
+                }
+                let mut checksum = 0.0f64;
+                for ticket in tickets {
+                    for prediction in ticket.wait().unwrap() {
+                        checksum += prediction.runtime_secs;
+                    }
+                }
+                checksum
             }
-            checksum
         }));
     }
+    // Per-thread sums accumulate in submission order and the outer sum in
+    // thread-index order, so the checksum is bit-reproducible.
     let checksum: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = started.elapsed();
 
     let snapshot = server.metrics();
+    let throughput = args.requests as f64 / elapsed.as_secs_f64();
     println!("{snapshot}");
-    println!("(prediction checksum {checksum:.6})");
+    println!("(end-to-end throughput {throughput:.0} q/s)");
+    println!(
+        "(prediction checksum {checksum:.6} bits {:016x})",
+        checksum.to_bits()
+    );
 
     println!();
-    zsdb_bench::write_json_report(&args.out, &snapshot);
+    let report = BenchReport {
+        config: BenchConfig {
+            scale: args.scale.clone(),
+            requests: args.requests,
+            distinct_plans: args.distinct,
+            shards: args.shards,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+            batch: args.batch,
+            kernel,
+        },
+        throughput_qps: throughput,
+        prediction_checksum: checksum,
+        prediction_checksum_bits: format!("{:016x}", checksum.to_bits()),
+        metrics: snapshot,
+    };
+    zsdb_bench::write_json_report(&args.out, &report);
 }

@@ -871,16 +871,19 @@ mod tests {
             est_cost: 1.0,
             output_width: 1.0,
         };
-        let prediction = client.predict(&plan).expect("v1 predict works");
-        assert_eq!(prediction.fingerprint, 42);
-        assert_eq!(prediction.trace_id, 0, "no trace id over a v1 connection");
-
         // MetricsText cannot be expressed at v1: the client refuses
-        // locally instead of poisoning the connection.
+        // locally instead of poisoning the connection.  Checked before
+        // the predict round-trip — the refusal puts nothing on the wire,
+        // and afterwards the fake server has hung up, which would race
+        // the client's dead-connection detection into a reconnect error.
         assert!(matches!(
             client.metrics_text(),
             Err(ClientError::Unsupported(_))
         ));
+
+        let prediction = client.predict(&plan).expect("v1 predict works");
+        assert_eq!(prediction.fingerprint, 42);
+        assert_eq!(prediction.trace_id, 0, "no trace id over a v1 connection");
         server.join().expect("fake server thread");
     }
 

@@ -1,0 +1,149 @@
+//! A reusable bump arena for plan-graph construction.
+//!
+//! Featurizing a plan allocates one [`GraphNode`] per operator, table,
+//! column, predicate and aggregation — plus a feature `Vec` and a child
+//! `Vec` inside each node, plus the dedup hash maps of the builder.  On
+//! the serving hot path that is dozens of heap allocations per request
+//! for buffers whose sizes repeat almost exactly from plan to plan.
+//!
+//! [`GraphArena`] turns all of that into pooled reuse: recycled graphs
+//! donate their nodes back to the arena, nodes are *cleared* (capacity
+//! retained) rather than dropped, and the dedup maps live in the arena
+//! so their tables survive across requests.  After a short warm-up —
+//! once every pooled buffer has grown to the workload's high-water mark —
+//! [`featurize_plan_into`](crate::features::featurize_plan_into) and
+//! [`featurize_execution_into`](crate::features::featurize_execution_into)
+//! perform **zero heap allocations**, the property the allocation-
+//! regression test pins.
+//!
+//! The arena never changes *what* is built: an arena-built graph is
+//! equal (`==`, and therefore bit-identical in every feature) to the
+//! graph the allocating [`featurize_plan`](crate::features::featurize_plan)
+//! produces.
+
+use crate::features::{GraphNode, NodeKind, PlanGraph};
+use std::collections::HashMap;
+use zsdb_catalog::{ColumnRef, TableId};
+
+/// Pooled storage for plan-graph construction: spare nodes, spare graph
+/// shells and the featurizer's dedup maps.
+///
+/// One arena per worker thread is the intended pattern (the sharded
+/// prediction server owns one per shard); the arena is cheap when cold
+/// and allocation-free when warm.
+#[derive(Debug, Default)]
+pub struct GraphArena {
+    /// Cleared nodes ready for reuse (feature/child capacity retained).
+    spare_nodes: Vec<GraphNode>,
+    /// Cleared graph shells ready for reuse (node capacity retained).
+    spare_graphs: Vec<PlanGraph>,
+    /// Dedup map: table → node index, cleared per graph build.
+    pub(crate) table_nodes: HashMap<TableId, usize>,
+    /// Dedup map: column → node index, cleared per graph build.
+    pub(crate) column_nodes: HashMap<ColumnRef, usize>,
+}
+
+impl GraphArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        GraphArena::default()
+    }
+
+    /// Number of pooled spare nodes (test/observability hook).
+    pub fn pooled_nodes(&self) -> usize {
+        self.spare_nodes.len()
+    }
+
+    /// Take a recycled graph shell (or a fresh empty one).  The shell's
+    /// `nodes` vector is empty but retains its previous capacity.
+    pub fn take_graph(&mut self) -> PlanGraph {
+        self.spare_graphs.pop().unwrap_or(PlanGraph {
+            nodes: Vec::new(),
+            root: 0,
+            runtime_secs: None,
+        })
+    }
+
+    /// Return a graph to the arena: its nodes are cleared into the spare
+    /// pool and the shell joins the spare-graph pool.
+    pub fn recycle(&mut self, mut graph: PlanGraph) {
+        self.reclaim_nodes(&mut graph);
+        self.spare_graphs.push(graph);
+    }
+
+    /// Drain `graph.nodes` into the spare-node pool (clearing each node's
+    /// buffers, retaining their capacity) and reset the dedup maps —
+    /// called at the start of every `featurize_*_into` build so the
+    /// target graph can be rebuilt in place.
+    pub(crate) fn reclaim_nodes(&mut self, graph: &mut PlanGraph) {
+        for mut node in graph.nodes.drain(..) {
+            node.features.clear();
+            node.children.clear();
+            self.spare_nodes.push(node);
+        }
+        graph.root = 0;
+        graph.runtime_secs = None;
+        self.table_nodes.clear();
+        self.column_nodes.clear();
+    }
+
+    /// Take a cleared node of the given kind from the pool (or a fresh
+    /// one).  `features` and `children` are empty but keep the capacity
+    /// of whatever node they last served.
+    pub(crate) fn take_node(&mut self, kind: NodeKind) -> GraphNode {
+        match self.spare_nodes.pop() {
+            Some(mut node) => {
+                node.kind = kind;
+                debug_assert!(node.features.is_empty() && node.children.is_empty());
+                node
+            }
+            None => GraphNode {
+                kind,
+                features: Vec::new(),
+                children: Vec::new(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_nodes_are_reused() {
+        let mut arena = GraphArena::new();
+        assert_eq!(arena.pooled_nodes(), 0);
+        let mut graph = arena.take_graph();
+        graph.nodes.push(GraphNode {
+            kind: NodeKind::Table,
+            features: vec![1.0; 19],
+            children: Vec::new(),
+        });
+        graph.nodes.push(GraphNode {
+            kind: NodeKind::PlanOperator,
+            features: vec![2.0; 8],
+            children: vec![0],
+        });
+        arena.recycle(graph);
+        assert_eq!(arena.pooled_nodes(), 2);
+
+        let node = arena.take_node(NodeKind::Column);
+        assert_eq!(node.kind, NodeKind::Column);
+        assert!(node.features.is_empty());
+        assert!(node.features.capacity() >= 8);
+        assert_eq!(arena.pooled_nodes(), 1);
+    }
+
+    #[test]
+    fn take_graph_reuses_recycled_shells() {
+        let mut arena = GraphArena::new();
+        let mut g = arena.take_graph();
+        g.nodes.reserve(64);
+        let cap = g.nodes.capacity();
+        arena.recycle(g);
+        let g2 = arena.take_graph();
+        assert!(g2.nodes.is_empty());
+        assert_eq!(g2.nodes.capacity(), cap);
+    }
+}

@@ -35,10 +35,11 @@
 
 use crate::features::{NodeKind, PlanGraph};
 use crate::model::{PlanEncoder, ZeroShotCostModel};
-use zsdb_nn::{Batch, MlpBatchCache};
+use zsdb_nn::{Batch, BatchForwardScratch, MlpBatchCache};
 
 /// One batched unit of work: all nodes of one [`NodeKind`] at one
 /// topological level, across every graph of the mini-batch.
+#[derive(Default)]
 struct KindGroup {
     /// Index into [`NodeKind::ALL`] — selects the encoder MLP.
     kind: usize,
@@ -55,6 +56,13 @@ struct KindGroup {
 /// A batched execution plan for a mini-batch of plan graphs: nodes grouped
 /// by *(topological level, node kind)*, levels ascending, so every group
 /// only depends on states produced by earlier groups.
+///
+/// A schedule is **reusable**: [`BatchSchedule::rebuild`] re-derives the
+/// grouping for a new mini-batch while recycling every internal buffer
+/// (groups, member lists, CSR children, bucketing scratch), so a
+/// long-lived schedule makes repeated scheduling allocation-free once the
+/// buffers have grown to the workload's high-water mark.
+#[derive(Default)]
 pub struct BatchSchedule {
     /// Groups in execution order.
     groups: Vec<KindGroup>,
@@ -65,36 +73,71 @@ pub struct BatchSchedule {
     offsets: Vec<usize>,
     /// Total number of nodes across the mini-batch.
     total_nodes: usize,
+    /// Reusable build scratch: topological level per flat node.
+    level: Vec<usize>,
+    /// Reusable build scratch: `(level, kind)` buckets.
+    buckets: Vec<Vec<(usize, usize)>>,
+    /// Recycled groups (member/children capacity retained).
+    spare_groups: Vec<KindGroup>,
 }
 
 impl BatchSchedule {
+    /// An empty schedule, ready for [`BatchSchedule::rebuild`].
+    pub fn empty() -> Self {
+        BatchSchedule::default()
+    }
+
     /// Build the schedule for a mini-batch.
     ///
     /// Runs in `O(nodes + edges)`: one pass to compute topological levels
     /// (children always precede parents in a `PlanGraph`), one pass to
     /// bucket nodes by `(level, kind)`.
     pub fn build(graphs: &[&PlanGraph]) -> Self {
-        let mut offsets = Vec::with_capacity(graphs.len());
+        let mut schedule = BatchSchedule::empty();
+        schedule.rebuild(graphs);
+        schedule
+    }
+
+    /// Rebuild this schedule in place for a new mini-batch, reusing every
+    /// internal buffer.  Produces exactly the grouping of
+    /// [`BatchSchedule::build`].
+    pub fn rebuild(&mut self, graphs: &[&PlanGraph]) {
+        // Recycle the previous build: groups keep their buffers, buckets
+        // keep their capacity.
+        for mut g in self.groups.drain(..) {
+            g.members.clear();
+            g.child_offsets.clear();
+            g.children.clear();
+            self.spare_groups.push(g);
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.roots.clear();
+        self.offsets.clear();
+
         let mut total_nodes = 0usize;
         for g in graphs {
-            offsets.push(total_nodes);
+            self.offsets.push(total_nodes);
             total_nodes += g.len();
         }
+        self.total_nodes = total_nodes;
 
         // Topological level per flat node: leaves at 0, parents one above
         // their deepest child.
-        let mut level = vec![0usize; total_nodes];
+        self.level.clear();
+        self.level.resize(total_nodes, 0);
         let mut max_level = 0usize;
         for (gi, g) in graphs.iter().enumerate() {
-            let base = offsets[gi];
+            let base = self.offsets[gi];
             for (ni, node) in g.nodes.iter().enumerate() {
                 let l = node
                     .children
                     .iter()
-                    .map(|&c| level[base + c] + 1)
+                    .map(|&c| self.level[base + c] + 1)
                     .max()
                     .unwrap_or(0);
-                level[base + ni] = l;
+                self.level[base + ni] = l;
                 max_level = max_level.max(l);
             }
         }
@@ -102,50 +145,47 @@ impl BatchSchedule {
         // Bucket by (level, kind) in deterministic (level, kind, graph,
         // node) order.
         let num_kinds = NodeKind::ALL.len();
-        let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); (max_level + 1) * num_kinds];
+        let num_buckets = (max_level + 1) * num_kinds;
+        while self.buckets.len() < num_buckets {
+            self.buckets.push(Vec::new());
+        }
         for (gi, g) in graphs.iter().enumerate() {
-            let base = offsets[gi];
+            let base = self.offsets[gi];
             for (ni, node) in g.nodes.iter().enumerate() {
-                buckets[level[base + ni] * num_kinds + node.kind.index()].push((gi, ni));
+                self.buckets[self.level[base + ni] * num_kinds + node.kind.index()].push((gi, ni));
             }
         }
 
-        let mut groups = Vec::new();
         for l in 0..=max_level {
             for k in 0..num_kinds {
-                let members = std::mem::take(&mut buckets[l * num_kinds + k]);
+                // Swap the bucket out so a recycled group can be filled
+                // while the bucket slot stays addressable; swapped back
+                // (cleared, capacity kept) afterwards.
+                let members = std::mem::take(&mut self.buckets[l * num_kinds + k]);
                 if members.is_empty() {
+                    self.buckets[l * num_kinds + k] = members;
                     continue;
                 }
-                let mut child_offsets = Vec::with_capacity(members.len() + 1);
-                let mut children = Vec::new();
-                child_offsets.push(0);
-                for &(gi, ni) in &members {
-                    let base = offsets[gi];
+                let mut group = self.spare_groups.pop().unwrap_or_default();
+                group.kind = k;
+                group.members.extend_from_slice(&members);
+                group.child_offsets.push(0);
+                for &(gi, ni) in &group.members {
+                    let base = self.offsets[gi];
                     for &c in &graphs[gi].nodes[ni].children {
-                        children.push(base + c);
+                        group.children.push(base + c);
                     }
-                    child_offsets.push(children.len());
+                    group.child_offsets.push(group.children.len());
                 }
-                groups.push(KindGroup {
-                    kind: k,
-                    members,
-                    child_offsets,
-                    children,
-                });
+                self.groups.push(group);
+                let mut bucket = members;
+                bucket.clear();
+                self.buckets[l * num_kinds + k] = bucket;
             }
         }
 
-        let roots = graphs
-            .iter()
-            .enumerate()
-            .map(|(gi, g)| offsets[gi] + g.root)
-            .collect();
-        BatchSchedule {
-            groups,
-            roots,
-            offsets,
-            total_nodes,
+        for (gi, g) in graphs.iter().enumerate() {
+            self.roots.push(self.offsets[gi] + g.root);
         }
     }
 
@@ -181,6 +221,7 @@ impl BatchSchedule {
 /// feature-major [`Batch`]) and push gradients back through
 /// [`NodeStates::scatter_add`] before handing the accumulated per-node
 /// gradients to [`PlanEncoder::backward_batch`].
+#[derive(Default)]
 pub struct NodeStates {
     data: Vec<f64>,
     hidden: usize,
@@ -193,6 +234,14 @@ impl NodeStates {
             data: vec![0.0; hidden * total],
             hidden,
         }
+    }
+
+    /// Reshape to `total` zeroed rows of dimension `hidden`, reusing the
+    /// existing allocation (grown to the high-water mark, never shrunk).
+    pub fn resize(&mut self, hidden: usize, total: usize) {
+        self.hidden = hidden;
+        self.data.clear();
+        self.data.resize(hidden * total, 0.0);
     }
 
     /// State dimension.
@@ -220,13 +269,20 @@ impl NodeStates {
     /// Gather the rows of `flats` into a feature-major batch (column `e`
     /// is the state of `flats[e]`) — the input layout of a task-head MLP.
     pub fn gather(&self, flats: &[usize]) -> Batch {
-        let mut batch = Batch::zeros(self.hidden, flats.len());
+        let mut batch = Batch::default();
+        self.gather_into(flats, &mut batch);
+        batch
+    }
+
+    /// [`NodeStates::gather`] into a reusable batch (allocation-free once
+    /// `out` has grown to the high-water mark).
+    pub fn gather_into(&self, flats: &[usize], out: &mut Batch) {
+        out.resize(self.hidden, flats.len());
         for (e, &flat) in flats.iter().enumerate() {
             for (f, &v) in self.row(flat).iter().enumerate() {
-                batch.set(f, e, v);
+                out.set(f, e, v);
             }
         }
-        batch
     }
 
     /// Add column `e` of `grads` onto the row of `flats[e]` for every
@@ -255,17 +311,50 @@ struct GroupTrace {
     combine_cache: MlpBatchCache,
 }
 
+/// Reusable buffers for allocation-free batched encoding
+/// ([`PlanEncoder::encode_batch_into`],
+/// [`ZeroShotCostModel::predict_log_scheduled_into`]).
+///
+/// Every buffer grows to the workload's high-water mark and is never
+/// shrunk, so a long-lived scratch makes repeated batched inference
+/// allocation-free after warm-up — the batched counterpart of
+/// [`crate::model::InferenceScratch`].
+#[derive(Default)]
+pub struct EncodeScratch {
+    /// Per-group feature batch.
+    features: Batch,
+    /// Ping-pong batches for the encoder MLPs.
+    enc_fwd: BatchForwardScratch,
+    /// Per-group `[encoding ‖ child sum]` combine input.
+    combine_in: Batch,
+    /// Ping-pong batches for the combine MLP.
+    combine_fwd: BatchForwardScratch,
+    /// Node-major child-sum accumulator (`h × group members`).
+    sums: Vec<f64>,
+    /// The encoded node states (output of the pass).
+    states: NodeStates,
+    /// Root states gathered for the output head.
+    root_states: Batch,
+    /// Ping-pong batches for the output MLP.
+    out_fwd: BatchForwardScratch,
+}
+
+impl EncodeScratch {
+    /// The node states produced by the last
+    /// [`PlanEncoder::encode_batch_into`] pass.
+    pub fn states(&self) -> &NodeStates {
+        &self.states
+    }
+}
+
 impl PlanEncoder {
-    /// Gather the feature vectors of a group into a batch.
-    fn group_features(&self, graphs: &[&PlanGraph], group: &KindGroup) -> Batch {
+    /// Gather the feature vectors of a group into a reusable batch.
+    fn group_features_into(&self, graphs: &[&PlanGraph], group: &KindGroup, out: &mut Batch) {
         let dim = NodeKind::ALL[group.kind].feature_dim();
-        Batch::from_examples(
-            dim,
-            group
-                .members
-                .iter()
-                .map(|&(gi, ni)| graphs[gi].nodes[ni].features.as_slice()),
-        )
+        out.resize(dim, group.members.len());
+        for (e, &(gi, ni)) in group.members.iter().enumerate() {
+            out.set_example(e, &graphs[gi].nodes[ni].features);
+        }
     }
 
     /// Assemble the combine-MLP input of a group: `[encoder output ‖ sum
@@ -274,18 +363,22 @@ impl PlanEncoder {
     ///
     /// Child states are accumulated into contiguous node-major rows
     /// (vectorised adds over the whole hidden vector per edge), then
-    /// transposed once into the feature-major MLP input.
-    fn group_combine_input(
+    /// transposed once into the feature-major MLP input.  `sums` and the
+    /// output batch are caller-provided reusable buffers.
+    fn group_combine_input_into(
         &self,
         group: &KindGroup,
         enc_out: &Batch,
         states: &NodeStates,
-    ) -> Batch {
+        sums: &mut Vec<f64>,
+        combine_in: &mut Batch,
+    ) {
         let h = self.hidden_dim;
         let n = group.members.len();
-        let mut combine_in = Batch::zeros(2 * h, n);
+        combine_in.resize(2 * h, n);
         combine_in.copy_rows_from(0, enc_out, h);
-        let mut sums = vec![0.0f64; h * n];
+        sums.clear();
+        sums.resize(h * n, 0.0);
         for e in 0..n {
             let row = &mut sums[e * h..(e + 1) * h];
             for &c in &group.children[group.child_offsets[e]..group.child_offsets[e + 1]] {
@@ -300,7 +393,6 @@ impl PlanEncoder {
                 *d = sums[e * h + f];
             }
         }
-        combine_in
     }
 
     /// Scatter a group's combine output columns back into the node-major
@@ -325,15 +417,38 @@ impl PlanEncoder {
     /// caches (the inference path).  Bit-identical per node to the
     /// per-example message passing.
     pub fn encode_batch(&self, graphs: &[&PlanGraph], schedule: &BatchSchedule) -> NodeStates {
-        let mut states = NodeStates::zeros(self.hidden_dim, schedule.total_nodes);
+        let mut scratch = EncodeScratch::default();
+        self.encode_batch_into(graphs, schedule, &mut scratch);
+        scratch.states
+    }
+
+    /// [`PlanEncoder::encode_batch`] into reusable scratch buffers: the
+    /// states land in `scratch.states()` and every intermediate batch is
+    /// recycled, so warm calls perform zero heap allocations.
+    /// Bit-identical to [`PlanEncoder::encode_batch`].
+    pub fn encode_batch_into(
+        &self,
+        graphs: &[&PlanGraph],
+        schedule: &BatchSchedule,
+        scratch: &mut EncodeScratch,
+    ) {
+        scratch.states.resize(self.hidden_dim, schedule.total_nodes);
         for group in &schedule.groups {
-            let features = self.group_features(graphs, group);
-            let enc_out = self.encoders[group.kind].forward_batch(&features);
-            let combine_in = self.group_combine_input(group, &enc_out, &states);
-            let out = self.combine.forward_batch(&combine_in);
-            self.scatter_group_states(group, &schedule.offsets, &out, &mut states);
+            self.group_features_into(graphs, group, &mut scratch.features);
+            let enc_out = self.encoders[group.kind]
+                .forward_batch_into(&scratch.features, &mut scratch.enc_fwd);
+            self.group_combine_input_into(
+                group,
+                enc_out,
+                &scratch.states,
+                &mut scratch.sums,
+                &mut scratch.combine_in,
+            );
+            let out = self
+                .combine
+                .forward_batch_into(&scratch.combine_in, &mut scratch.combine_fwd);
+            self.scatter_group_states(group, &schedule.offsets, out, &mut scratch.states);
         }
-        states
     }
 
     /// Batched encoder forward with per-group backprop caches (the
@@ -346,10 +461,13 @@ impl PlanEncoder {
     ) -> (NodeStates, EncoderTrace) {
         let mut states = NodeStates::zeros(self.hidden_dim, schedule.total_nodes);
         let mut traces = Vec::with_capacity(schedule.groups.len());
+        let mut sums = Vec::new();
         for group in &schedule.groups {
-            let features = self.group_features(graphs, group);
+            let mut features = Batch::default();
+            self.group_features_into(graphs, group, &mut features);
             let (enc_out, enc_cache) = self.encoders[group.kind].forward_batch_cached(features);
-            let combine_in = self.group_combine_input(group, &enc_out, &states);
+            let mut combine_in = Batch::default();
+            self.group_combine_input_into(group, &enc_out, &states, &mut sums, &mut combine_in);
             let (out, combine_cache) = self.combine.forward_batch_cached(combine_in);
             self.scatter_group_states(group, &schedule.offsets, &out, &mut states);
             traces.push(GroupTrace {
@@ -440,10 +558,34 @@ impl ZeroShotCostModel {
         graphs: &[&PlanGraph],
         schedule: &BatchSchedule,
     ) -> Vec<f64> {
-        let states = self.encoder.encode_batch(graphs, schedule);
-        let root_states = states.gather(schedule.roots());
-        let out = self.output.forward_batch(&root_states);
-        out.feature_row(0).to_vec()
+        let mut scratch = EncodeScratch::default();
+        let mut out = Vec::new();
+        self.predict_log_scheduled_into(graphs, schedule, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`ZeroShotCostModel::predict_log_scheduled`] through reusable
+    /// scratch buffers: predictions are written into `out` (cleared
+    /// first).  With a warm [`EncodeScratch`], a rebuilt
+    /// [`BatchSchedule`] and a pre-grown `out`, the whole batched
+    /// inference pass performs zero heap allocations.  Bit-identical to
+    /// the allocating variant.
+    pub fn predict_log_scheduled_into(
+        &self,
+        graphs: &[&PlanGraph],
+        schedule: &BatchSchedule,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.encoder.encode_batch_into(graphs, schedule, scratch);
+        scratch
+            .states
+            .gather_into(schedule.roots(), &mut scratch.root_states);
+        let pred = self
+            .output
+            .forward_batch_into(&scratch.root_states, &mut scratch.out_fwd);
+        out.clear();
+        out.extend_from_slice(pred.feature_row(0));
     }
 
     /// Batched runtime prediction (seconds), bit-identical per graph to
@@ -569,6 +711,27 @@ mod tests {
             for (g, (p, lp)) in refs.iter().zip(batched.iter().zip(&batched_log)) {
                 assert_eq!(p.to_bits(), model.predict(g).to_bits());
                 assert_eq!(lp.to_bits(), model.predict_log(g).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reused_schedule_and_scratch_are_bit_identical_to_fresh_build() {
+        // One schedule + one scratch rebuilt/reused across differently
+        // composed mini-batches must match fresh builds bit for bit.
+        let graphs = graphs();
+        let model = ZeroShotCostModel::new(ModelConfig::tiny());
+        let mut schedule = BatchSchedule::empty();
+        let mut scratch = EncodeScratch::default();
+        let mut out = Vec::new();
+        for batch_len in [7, 2, graphs.len(), 1, 5] {
+            let refs: Vec<&PlanGraph> = graphs.iter().take(batch_len).collect();
+            schedule.rebuild(&refs);
+            model.predict_log_scheduled_into(&refs, &schedule, &mut scratch, &mut out);
+            let fresh = model.predict_log_batch(&refs);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch_len {batch_len}");
             }
         }
     }

@@ -20,9 +20,9 @@
 //! column features by hashed identity one-hots — the *non-transferable*
 //! encoding the paper criticises in workload-driven models.
 
+use crate::arena::GraphArena;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use zsdb_catalog::{ColumnRef, SchemaCatalog, TableId};
 use zsdb_engine::{ExecutedNode, PhysOperator, PhysOperatorKind, PlanNode, QueryExecution};
@@ -174,88 +174,137 @@ impl FeaturizerConfig {
 }
 
 /// Build the plan graph of an executed query (training / evaluation data).
+///
+/// Convenience wrapper over [`featurize_execution_into`] with a
+/// throwaway arena; hot paths should hold a [`GraphArena`] and a
+/// reusable graph and call the `_into` variant directly.
 pub fn featurize_execution(
     catalog: &SchemaCatalog,
     execution: &QueryExecution,
     config: FeaturizerConfig,
 ) -> PlanGraph {
-    let mut builder = GraphBuilder::new(catalog, config);
-    let root = builder.add_plan_node(&execution.plan, Some(&execution.executed));
-    PlanGraph {
-        nodes: builder.nodes,
-        root,
-        runtime_secs: Some(execution.runtime_secs),
-    }
+    let mut arena = GraphArena::new();
+    let mut graph = PlanGraph {
+        nodes: Vec::new(),
+        root: 0,
+        runtime_secs: None,
+    };
+    featurize_execution_into(catalog, execution, config, &mut arena, &mut graph);
+    graph
+}
+
+/// Rebuild `graph` in place as the plan graph of an executed query,
+/// recycling its previous nodes through `arena`.
+///
+/// Produces a graph equal to [`featurize_execution`]'s (bit-identical
+/// features); once the arena's pools have grown to the workload's
+/// high-water mark the call performs **zero heap allocations**.
+pub fn featurize_execution_into(
+    catalog: &SchemaCatalog,
+    execution: &QueryExecution,
+    config: FeaturizerConfig,
+    arena: &mut GraphArena,
+    graph: &mut PlanGraph,
+) {
+    arena.reclaim_nodes(graph);
+    let mut builder = GraphBuilder {
+        catalog,
+        config,
+        arena,
+        nodes: &mut graph.nodes,
+    };
+    graph.root = builder.add_plan_node(&execution.plan, Some(&execution.executed));
+    graph.runtime_secs = Some(execution.runtime_secs);
 }
 
 /// Build the plan graph of a *planned but not executed* query (inference,
 /// e.g. what-if scenarios).  Only estimated cardinalities are available, so
 /// `config.cardinality_mode` is forced to [`CardinalityMode::Estimated`].
+///
+/// Convenience wrapper over [`featurize_plan_into`] with a throwaway
+/// arena (see there for the allocation-free variant).
 pub fn featurize_plan(
     catalog: &SchemaCatalog,
     plan: &PlanNode,
     config: FeaturizerConfig,
 ) -> PlanGraph {
+    let mut arena = GraphArena::new();
+    let mut graph = PlanGraph {
+        nodes: Vec::new(),
+        root: 0,
+        runtime_secs: None,
+    };
+    featurize_plan_into(catalog, plan, config, &mut arena, &mut graph);
+    graph
+}
+
+/// Rebuild `graph` in place as the plan graph of a planned query — the
+/// serving hot path.  `config.cardinality_mode` is forced to
+/// [`CardinalityMode::Estimated`] exactly as in [`featurize_plan`].
+///
+/// The previous contents of `graph` are recycled through `arena` (nodes
+/// cleared into the spare pool, buffer capacity retained), so repeated
+/// featurization over a warm arena performs **zero heap allocations** —
+/// the property the allocation-regression test asserts.
+pub fn featurize_plan_into(
+    catalog: &SchemaCatalog,
+    plan: &PlanNode,
+    config: FeaturizerConfig,
+    arena: &mut GraphArena,
+    graph: &mut PlanGraph,
+) {
     let config = FeaturizerConfig {
         cardinality_mode: CardinalityMode::Estimated,
         ..config
     };
-    let mut builder = GraphBuilder::new(catalog, config);
-    let root = builder.add_plan_node(plan, None);
-    PlanGraph {
-        nodes: builder.nodes,
-        root,
-        runtime_secs: None,
-    }
+    arena.reclaim_nodes(graph);
+    let mut builder = GraphBuilder {
+        catalog,
+        config,
+        arena,
+        nodes: &mut graph.nodes,
+    };
+    graph.root = builder.add_plan_node(plan, None);
+    graph.runtime_secs = None;
 }
 
 struct GraphBuilder<'a> {
     catalog: &'a SchemaCatalog,
     config: FeaturizerConfig,
-    nodes: Vec<GraphNode>,
-    table_nodes: HashMap<TableId, usize>,
-    column_nodes: HashMap<ColumnRef, usize>,
+    arena: &'a mut GraphArena,
+    nodes: &'a mut Vec<GraphNode>,
 }
 
 impl<'a> GraphBuilder<'a> {
-    fn new(catalog: &'a SchemaCatalog, config: FeaturizerConfig) -> Self {
-        GraphBuilder {
-            catalog,
-            config,
-            nodes: Vec::new(),
-            table_nodes: HashMap::new(),
-            column_nodes: HashMap::new(),
-        }
-    }
-
-    fn push(&mut self, kind: NodeKind, features: Vec<f64>, children: Vec<usize>) -> usize {
-        debug_assert_eq!(features.len(), kind.feature_dim());
+    fn push(&mut self, node: GraphNode) -> usize {
+        debug_assert_eq!(node.features.len(), node.kind.feature_dim());
         let idx = self.nodes.len();
-        debug_assert!(children.iter().all(|c| *c < idx));
-        self.nodes.push(GraphNode {
-            kind,
-            features,
-            children,
-        });
+        debug_assert!(node.children.iter().all(|c| *c < idx));
+        self.nodes.push(node);
         idx
     }
 
     /// Recursively add a plan operator with its child operators and its
     /// attached table / column / predicate / aggregation nodes.
+    ///
+    /// The node is taken from the arena *before* recursing so its pooled
+    /// `children` buffer collects the child indices directly; features are
+    /// written in place into the pooled `features` buffer.
     fn add_plan_node(&mut self, plan: &PlanNode, executed: Option<&ExecutedNode>) -> usize {
+        let mut node = self.arena.take_node(NodeKind::PlanOperator);
         // Children first so that indices are a topological order.
-        let mut children: Vec<usize> = plan
-            .children
-            .iter()
-            .enumerate()
-            .map(|(i, child)| self.add_plan_node(child, executed.map(|e| &e.children[i])))
-            .collect();
+        for (i, child) in plan.children.iter().enumerate() {
+            let idx = self.add_plan_node(child, executed.map(|e| &e.children[i]));
+            node.children.push(idx);
+        }
 
         match &plan.op {
             PhysOperator::SeqScan { table, predicates } => {
-                children.push(self.table_node(*table));
+                let t = self.table_node(*table);
+                node.children.push(t);
                 for p in predicates {
-                    children.push(self.predicate_node(p));
+                    let pn = self.predicate_node(p);
+                    node.children.push(pn);
                 }
             }
             PhysOperator::IndexScan {
@@ -264,29 +313,37 @@ impl<'a> GraphBuilder<'a> {
                 residual,
                 ..
             } => {
-                children.push(self.table_node(*table));
-                children.push(self.column_node(*index_column));
+                let t = self.table_node(*table);
+                node.children.push(t);
+                let c = self.column_node(*index_column);
+                node.children.push(c);
                 for p in residual {
-                    children.push(self.predicate_node(p));
+                    let pn = self.predicate_node(p);
+                    node.children.push(pn);
                 }
             }
             PhysOperator::HashJoin {
                 build_key,
                 probe_key,
             } => {
-                children.push(self.column_node(*build_key));
-                children.push(self.column_node(*probe_key));
+                let b = self.column_node(*build_key);
+                node.children.push(b);
+                let p = self.column_node(*probe_key);
+                node.children.push(p);
             }
             PhysOperator::NestedLoopJoin {
                 outer_key,
                 inner_key,
             } => {
-                children.push(self.column_node(*outer_key));
-                children.push(self.column_node(*inner_key));
+                let o = self.column_node(*outer_key);
+                node.children.push(o);
+                let i = self.column_node(*inner_key);
+                node.children.push(i);
             }
             PhysOperator::Aggregate { aggregates } => {
                 for agg in aggregates {
-                    children.push(self.aggregation_node(agg));
+                    let a = self.aggregation_node(agg);
+                    node.children.push(a);
                 }
             }
         }
@@ -295,91 +352,112 @@ impl<'a> GraphBuilder<'a> {
             (CardinalityMode::Exact, Some(e)) => e.actual_cardinality as f64,
             _ => plan.est_cardinality,
         };
-        let mut features = one_hot(plan.op.kind().index(), PhysOperatorKind::ALL.len());
-        features.push(log1p(cardinality));
-        features.push(log1p(plan.output_width));
-        features.push(log1p(plan.est_cardinality * plan.output_width));
-        self.push(NodeKind::PlanOperator, features, children)
+        push_one_hot(
+            &mut node.features,
+            plan.op.kind().index(),
+            PhysOperatorKind::ALL.len(),
+        );
+        node.features.push(log1p(cardinality));
+        node.features.push(log1p(plan.output_width));
+        node.features
+            .push(log1p(plan.est_cardinality * plan.output_width));
+        self.push(node)
     }
 
     fn table_node(&mut self, table: TableId) -> usize {
-        if let Some(&idx) = self.table_nodes.get(&table) {
+        if let Some(&idx) = self.arena.table_nodes.get(&table) {
             return idx;
         }
+        let mut node = self.arena.take_node(NodeKind::Table);
         let meta = self.catalog.table(table);
-        let mut features = vec![
-            log1p(meta.num_tuples as f64),
-            log1p(meta.num_pages() as f64),
-            log1p(meta.row_width_bytes() as f64),
-        ];
         match self.config.feature_mode {
-            FeatureMode::Transferable => features.extend(vec![0.0; HASH_SLOTS]),
+            FeatureMode::Transferable => {
+                node.features.push(log1p(meta.num_tuples as f64));
+                node.features.push(log1p(meta.num_pages() as f64));
+                node.features.push(log1p(meta.row_width_bytes() as f64));
+                push_zeros(&mut node.features, HASH_SLOTS);
+            }
             FeatureMode::HashedOneHot => {
                 // Non-transferable ablation: identity of the table instead of
                 // its statistics.
-                features = vec![0.0; 3];
-                features.extend(hashed_one_hot(&meta.name));
+                push_zeros(&mut node.features, 3);
+                push_hashed_one_hot(&mut node.features, &meta.name);
             }
         }
-        let idx = self.push(NodeKind::Table, features, Vec::new());
-        self.table_nodes.insert(table, idx);
+        let idx = self.push(node);
+        self.arena.table_nodes.insert(table, idx);
         idx
     }
 
     fn column_node(&mut self, column: ColumnRef) -> usize {
-        if let Some(&idx) = self.column_nodes.get(&column) {
+        if let Some(&idx) = self.arena.column_nodes.get(&column) {
             return idx;
         }
+        let mut node = self.arena.take_node(NodeKind::Column);
         let meta = self.catalog.column(column);
-        let mut features = one_hot(meta.data_type.index(), 5);
+        push_one_hot(&mut node.features, meta.data_type.index(), 5);
         match self.config.feature_mode {
             FeatureMode::Transferable => {
-                features.push(meta.width_bytes() as f64 / 8.0);
-                features.push(log1p(meta.stats.distinct_count as f64));
-                features.push(meta.stats.null_fraction);
-                features.extend(vec![0.0; HASH_SLOTS]);
+                node.features.push(meta.width_bytes() as f64 / 8.0);
+                node.features.push(log1p(meta.stats.distinct_count as f64));
+                node.features.push(meta.stats.null_fraction);
+                push_zeros(&mut node.features, HASH_SLOTS);
             }
             FeatureMode::HashedOneHot => {
-                features.extend(vec![0.0; 3]);
+                push_zeros(&mut node.features, 3);
                 let table_name = &self.catalog.table(column.table).name;
-                features.extend(hashed_one_hot(&format!("{table_name}.{}", meta.name)));
+                push_hashed_one_hot(&mut node.features, &format!("{table_name}.{}", meta.name));
             }
         }
-        let idx = self.push(NodeKind::Column, features, Vec::new());
-        self.column_nodes.insert(column, idx);
+        let idx = self.push(node);
+        self.arena.column_nodes.insert(column, idx);
         idx
     }
 
     fn predicate_node(&mut self, predicate: &Predicate) -> usize {
         let column = self.column_node(predicate.column);
-        let mut features = one_hot(predicate.op.index(), CmpOp::ALL.len());
+        let mut node = self.arena.take_node(NodeKind::Predicate);
+        node.children.push(column);
+        push_one_hot(&mut node.features, predicate.op.index(), CmpOp::ALL.len());
         let literal_type = predicate.value.data_type().map(|t| t.index()).unwrap_or(0);
-        features.extend(one_hot(literal_type, 5));
-        self.push(NodeKind::Predicate, features, vec![column])
+        push_one_hot(&mut node.features, literal_type, 5);
+        self.push(node)
     }
 
     fn aggregation_node(&mut self, aggregate: &Aggregate) -> usize {
-        let children = match aggregate.column {
-            Some(c) => vec![self.column_node(c)],
-            None => Vec::new(),
-        };
-        let features = one_hot(aggregate.func.index(), 5);
-        self.push(NodeKind::Aggregation, features, children)
+        let column = aggregate.column.map(|c| self.column_node(c));
+        let mut node = self.arena.take_node(NodeKind::Aggregation);
+        if let Some(c) = column {
+            node.children.push(c);
+        }
+        push_one_hot(&mut node.features, aggregate.func.index(), 5);
+        self.push(node)
     }
 }
 
-fn one_hot(index: usize, len: usize) -> Vec<f64> {
-    let mut v = vec![0.0; len];
+/// Append a one-hot encoding of `index` (length `len`) in place.
+fn push_one_hot(out: &mut Vec<f64>, index: usize, len: usize) {
+    let base = out.len();
+    push_zeros(out, len);
     if index < len {
-        v[index] = 1.0;
+        out[base + index] = 1.0;
     }
-    v
 }
 
-fn hashed_one_hot(name: &str) -> Vec<f64> {
+/// Append `n` zeros in place.
+fn push_zeros(out: &mut Vec<f64>, n: usize) {
+    out.resize(out.len() + n, 0.0);
+}
+
+/// Append the hashed-identity one-hot of `name` in place (ablation mode).
+fn push_hashed_one_hot(out: &mut Vec<f64>, name: &str) {
     let mut hasher = DefaultHasher::new();
     name.hash(&mut hasher);
-    one_hot((hasher.finish() % HASH_SLOTS as u64) as usize, HASH_SLOTS)
+    push_one_hot(
+        out,
+        (hasher.finish() % HASH_SLOTS as u64) as usize,
+        HASH_SLOTS,
+    );
 }
 
 fn log1p(x: f64) -> f64 {
@@ -503,6 +581,33 @@ mod tests {
             assert_eq!(&node.features[0..3], &[0.0, 0.0, 0.0]);
             assert_eq!(node.features[3..].iter().sum::<f64>(), 1.0);
         }
+    }
+
+    #[test]
+    fn arena_featurization_is_identical_to_allocating_featurization() {
+        // One arena + one reusable graph across many plans and both
+        // feature modes: every rebuild must equal the allocating path
+        // (same nodes, same feature bits, same topology).
+        let (db, executions) = sample_executions();
+        let mut arena = GraphArena::new();
+        let mut graph = arena.take_graph();
+        for config in [
+            FeaturizerConfig::exact(),
+            FeaturizerConfig::estimated(),
+            FeaturizerConfig {
+                feature_mode: FeatureMode::HashedOneHot,
+                ..FeaturizerConfig::exact()
+            },
+        ] {
+            for e in &executions {
+                featurize_execution_into(db.catalog(), e, config, &mut arena, &mut graph);
+                assert_eq!(graph, featurize_execution(db.catalog(), e, config));
+                featurize_plan_into(db.catalog(), &e.plan, config, &mut arena, &mut graph);
+                assert_eq!(graph, featurize_plan(db.catalog(), &e.plan, config));
+            }
+        }
+        arena.recycle(graph);
+        assert!(arena.pooled_nodes() > 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod batch;
 pub mod dataset;
 pub mod eval;
@@ -36,13 +37,17 @@ pub mod model;
 pub mod train;
 pub mod whatif;
 
-pub use batch::{BatchBackprop, BatchSchedule, EncoderTrace, NodeStates};
+pub use arena::GraphArena;
+pub use batch::{BatchBackprop, BatchSchedule, EncodeScratch, EncoderTrace, NodeStates};
 pub use dataset::{collect_for_database, collect_training_corpus, TrainingDataConfig};
 pub use eval::{
     evaluate, evaluate_graphs, evaluate_predictions, median_qerror_of, predict_runtime,
     qerror_percentiles, qerror_percentiles_of, EvaluationReport, QErrorPercentiles,
 };
-pub use features::{CardinalityMode, FeatureMode, FeaturizerConfig, NodeKind, PlanGraph};
+pub use features::{
+    featurize_execution_into, featurize_plan_into, CardinalityMode, FeatureMode, FeaturizerConfig,
+    NodeKind, PlanGraph,
+};
 pub use fingerprint::{graph_fingerprint, plan_fingerprint};
 pub use model::{InferenceScratch, ModelConfig, PlanEncoder, ZeroShotCostModel};
 pub use train::{

@@ -158,9 +158,10 @@ pub struct ZeroShotCostModel {
 /// `Arc`) across any number of worker threads, each with its own scratch.
 #[derive(Debug, Clone, Default)]
 pub struct InferenceScratch {
-    /// Combined hidden state per node (grown on demand, inner `Vec`s
-    /// reused).
-    states: Vec<Vec<f64>>,
+    /// Combined hidden state per node, one flat buffer with stride
+    /// `hidden_dim` (node `i`'s state is `states[i*h..(i+1)*h]`) — a
+    /// single reusable allocation instead of one `Vec` per node.
+    states: Vec<f64>,
     /// Ping-pong buffers for the encoder/combine/output MLPs.
     mlp: ForwardScratch,
     /// `[own encoding ‖ sum of child states]` input of the combine MLP.
@@ -239,8 +240,13 @@ impl ZeroShotCostModel {
     /// is what makes concurrent shared-read inference cheap.
     pub fn predict_log_with(&self, graph: &PlanGraph, scratch: &mut InferenceScratch) -> f64 {
         let h = self.config.hidden_dim;
-        if scratch.states.len() < graph.len() {
-            scratch.states.resize_with(graph.len(), Vec::new);
+        // Flat node-state buffer, stride `h`.  Every slot a parent reads is
+        // fully overwritten earlier in this same pass (children precede
+        // parents), so stale values from previous graphs are never read
+        // and the buffer only ever *grows* to the high-water mark.
+        let needed = graph.len() * h;
+        if scratch.states.len() < needed {
+            scratch.states.resize(needed, 0.0);
         }
 
         for (idx, node) in graph.nodes.iter().enumerate() {
@@ -256,7 +262,7 @@ impl ZeroShotCostModel {
             combine_input.resize(2 * h, 0.0);
             let (_, sum) = combine_input.split_at_mut(h);
             for &c in &node.children {
-                for (s, v) in sum.iter_mut().zip(&scratch.states[c]) {
+                for (s, v) in sum.iter_mut().zip(&scratch.states[c * h..(c + 1) * h]) {
                     *s += v;
                 }
             }
@@ -264,12 +270,12 @@ impl ZeroShotCostModel {
                 .encoder
                 .combine
                 .forward_into(combine_input, &mut scratch.mlp);
-            scratch.states[idx].clear();
-            scratch.states[idx].extend_from_slice(state);
+            scratch.states[idx * h..(idx + 1) * h].copy_from_slice(state);
         }
 
+        let root = graph.root;
         self.output
-            .forward_into(&scratch.states[graph.root], &mut scratch.mlp)[0]
+            .forward_into(&scratch.states[root * h..(root + 1) * h], &mut scratch.mlp)[0]
     }
 
     fn forward(&self, graph: &PlanGraph) -> ForwardTrace {

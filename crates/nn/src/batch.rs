@@ -106,6 +106,18 @@ impl Batch {
         out
     }
 
+    /// Reshape this batch to `dim × n`, zero-filled, **reusing** the
+    /// existing allocation (grown once to the high-water mark, never
+    /// shrunk).  The workhorse of the allocation-free batched paths: a
+    /// long-lived scratch batch is `resize`d per group/layer instead of
+    /// constructing a fresh [`Batch::zeros`].
+    pub fn resize(&mut self, dim: usize, n: usize) {
+        self.dim = dim;
+        self.n = n;
+        self.data.clear();
+        self.data.resize(dim * n, 0.0);
+    }
+
     /// The raw feature-major buffer (`data[f * n + e]`).
     pub fn data(&self) -> &[f64] {
         &self.data

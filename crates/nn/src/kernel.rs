@@ -1,0 +1,255 @@
+//! Explicit 4-lane micro-kernels for the MLP hot loops, with a scalar
+//! fallback behind the same dispatch.
+//!
+//! # The canonical reduction order
+//!
+//! Every dot product and sum in the workspace's numeric stack reduces in
+//! one **canonical 4-lane order**: element `i` is accumulated into lane
+//! `i mod 4` (each lane sweeps its elements in ascending index order),
+//! the lanes are combined pairwise as `(l0 + l1) + (l2 + l3)`, and any
+//! tail (`len % 4` trailing elements) is summed sequentially and added
+//! last:
+//!
+//! ```text
+//! dot(w, x) = ((l0 + l1) + (l2 + l3)) + tail
+//!   lane l:   l += w[4k + l] * x[4k + l]   for k = 0, 1, …
+//!   tail:     sequential over the last len % 4 elements
+//! ```
+//!
+//! An affine output unit is `bias + dot(w, x)` — the bias joins *after*
+//! the reduction, never as the lane seed.
+//!
+//! Fixing the order buys two properties at once:
+//!
+//! * **Speed.**  Four independent accumulator chains map directly onto
+//!   SIMD lanes (one AVX2 `f64x4` register) and break the sequential
+//!   floating-point dependency chain, so the [`Simd`](KernelKind::Simd)
+//!   kernel's array-blocked loops auto-vectorise into packed operations.
+//! * **Bit-determinism.**  The reduction order is a function of the input
+//!   length only — never of batch shape, tiling, or thread count — so the
+//!   batched kernels, the per-example path, and both kernel
+//!   implementations all produce **bit-identical** results (IEEE 754
+//!   operations are individually deterministic; only reassociation could
+//!   diverge, and the order is pinned).  `rustc` never contracts
+//!   `a * b + c` into an FMA without explicit opt-in, so optimisation
+//!   level does not break this.
+//!
+//! # Kernel selection
+//!
+//! [`active_kernel`] reads the `ZSDB_KERNEL` environment variable once
+//! per process (`scalar` selects the fallback; anything else — including
+//! unset — selects SIMD).  The scalar fallback performs the *same*
+//! operations in the *same* order through plain scalar code, so switching
+//! kernels never changes a single output bit — the property the
+//! `simd ≡ scalar` tests pin.  The fallback exists for pathological
+//! targets where the blocked loops pessimise, and as the reference
+//! implementation the perf-smoke CI job compares against.
+
+use std::sync::OnceLock;
+
+/// Number of independent accumulator lanes in the canonical reduction
+/// (one AVX2 `f64x4` vector, half an AVX-512 vector).
+pub const LANES: usize = 4;
+
+/// Which micro-kernel implementation the MLP hot loops run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Array-blocked loops shaped for SIMD auto-vectorisation (default).
+    Simd,
+    /// Plain scalar loops in the identical canonical order.
+    Scalar,
+}
+
+impl KernelKind {
+    /// Stable lowercase name (`"simd"` / `"scalar"`), as accepted by the
+    /// `ZSDB_KERNEL` environment variable and reported in benchmark
+    /// artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Simd => "simd",
+            KernelKind::Scalar => "scalar",
+        }
+    }
+}
+
+static ACTIVE: OnceLock<KernelKind> = OnceLock::new();
+
+/// The process-wide kernel, chosen once from the `ZSDB_KERNEL`
+/// environment variable (`scalar` → [`KernelKind::Scalar`]; unset or
+/// anything else → [`KernelKind::Simd`]).
+pub fn active_kernel() -> KernelKind {
+    *ACTIVE.get_or_init(|| match std::env::var("ZSDB_KERNEL").as_deref() {
+        Ok("scalar") => KernelKind::Scalar,
+        _ => KernelKind::Simd,
+    })
+}
+
+/// Canonical-order sum of a slice.
+#[inline]
+pub fn sum(kind: KernelKind, v: &[f64]) -> f64 {
+    match kind {
+        KernelKind::Simd => sum_simd(v),
+        KernelKind::Scalar => sum_scalar(v),
+    }
+}
+
+/// Canonical-order dot product of two equal-length slices.
+#[inline]
+pub fn dot(kind: KernelKind, a: &[f64], b: &[f64]) -> f64 {
+    match kind {
+        KernelKind::Simd => dot_simd(a, b),
+        KernelKind::Scalar => dot_scalar(a, b),
+    }
+}
+
+/// One affine output unit: `bias + dot(w, x)` in canonical order.
+#[inline]
+pub fn affine(kind: KernelKind, bias: f64, w: &[f64], x: &[f64]) -> f64 {
+    bias + dot(kind, w, x)
+}
+
+/// SIMD-shaped canonical sum: a `[f64; LANES]` accumulator block the
+/// compiler keeps in one vector register.
+#[inline]
+fn sum_simd(v: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let chunks = v.len() / LANES;
+    for k in 0..chunks {
+        let c = &v[LANES * k..LANES * (k + 1)];
+        for (a, x) in acc.iter_mut().zip(c) {
+            *a += x;
+        }
+    }
+    let mut tail = 0.0;
+    for x in &v[LANES * chunks..] {
+        tail += x;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Scalar canonical sum: four named scalar accumulators, same order as
+/// [`sum_simd`] operation for operation.
+#[inline]
+fn sum_scalar(v: &[f64]) -> f64 {
+    let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let chunks = v.len() / LANES;
+    for k in 0..chunks {
+        let base = LANES * k;
+        l0 += v[base];
+        l1 += v[base + 1];
+        l2 += v[base + 2];
+        l3 += v[base + 3];
+    }
+    let mut tail = 0.0;
+    for x in &v[LANES * chunks..] {
+        tail += x;
+    }
+    ((l0 + l1) + (l2 + l3)) + tail
+}
+
+/// SIMD-shaped canonical dot product.
+#[inline]
+fn dot_simd(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; LANES];
+    let chunks = a.len() / LANES;
+    for k in 0..chunks {
+        let ca = &a[LANES * k..LANES * (k + 1)];
+        let cb = &b[LANES * k..LANES * (k + 1)];
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[LANES * chunks..].iter().zip(&b[LANES * chunks..]) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Scalar canonical dot product, operation-for-operation identical to
+/// [`dot_simd`].
+#[inline]
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let chunks = a.len() / LANES;
+    for k in 0..chunks {
+        let base = LANES * k;
+        l0 += a[base] * b[base];
+        l1 += a[base + 1] * b[base + 1];
+        l2 += a[base + 2] * b[base + 2];
+        l3 += a[base + 3] * b[base + 3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[LANES * chunks..].iter().zip(&b[LANES * chunks..]) {
+        tail += x * y;
+    }
+    ((l0 + l1) + (l2 + l3)) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i as f64 + seed as f64 * 0.71).sin() * 1.9) + (i % 7) as f64 * 0.013)
+            .collect()
+    }
+
+    #[test]
+    fn simd_and_scalar_sums_are_bit_identical() {
+        for len in [0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 97] {
+            let v = noisy(len, 3);
+            assert_eq!(
+                sum_simd(&v).to_bits(),
+                sum_scalar(&v).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_dots_are_bit_identical() {
+        for len in [0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 97] {
+            let a = noisy(len, 5);
+            let b = noisy(len, 11);
+            assert_eq!(
+                dot_simd(&a, &b).to_bits(),
+                dot_scalar(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_order_is_the_documented_lane_order() {
+        // 6 elements: lanes get v[0..4], tail is v[4] + v[5].
+        let v = [1e16, 1.0, -1e16, 1.0, 0.5, 0.25];
+        let expected: f64 = ((1e16 + 1.0) + (-1e16 + 1.0)) + (0.5 + 0.25);
+        assert_eq!(sum(KernelKind::Simd, &v).to_bits(), expected.to_bits());
+        assert_eq!(sum(KernelKind::Scalar, &v).to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn affine_adds_bias_after_the_reduction() {
+        let w = noisy(9, 1);
+        let x = noisy(9, 2);
+        let expected = 0.37 + dot_simd(&w, &x);
+        assert_eq!(
+            affine(KernelKind::Simd, 0.37, &w, &x).to_bits(),
+            expected.to_bits()
+        );
+        assert_eq!(
+            affine(KernelKind::Scalar, 0.37, &w, &x).to_bits(),
+            expected.to_bits()
+        );
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        assert_eq!(KernelKind::Simd.name(), "simd");
+        assert_eq!(KernelKind::Scalar.name(), "scalar");
+    }
+}

@@ -20,13 +20,15 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod kernel;
 pub mod metrics;
 pub mod mlp;
 pub mod optim;
 pub mod param;
 
 pub use batch::Batch;
+pub use kernel::{active_kernel, KernelKind};
 pub use metrics::{median, percentile, q_error, QErrorSummary};
-pub use mlp::{Activation, ForwardScratch, Mlp, MlpBatchCache, MlpCache};
+pub use mlp::{Activation, BatchForwardScratch, ForwardScratch, Mlp, MlpBatchCache, MlpCache};
 pub use optim::Adam;
 pub use param::ParamBuf;

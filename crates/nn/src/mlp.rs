@@ -12,8 +12,15 @@
 //!   outputs; the batched layout additionally lets the inner loops run
 //!   over independent per-example accumulators in contiguous memory,
 //!   which is what makes batching fast on a CPU.
+//!
+//! Every dot product in both modes reduces in the canonical 4-lane order
+//! of [`crate::kernel`], executed by either the SIMD-shaped or the scalar
+//! micro-kernels — the two are bit-identical, and the process-wide choice
+//! comes from the `ZSDB_KERNEL` environment variable (see
+//! [`crate::kernel::active_kernel`]).
 
 use crate::batch::Batch;
+use crate::kernel::{self, active_kernel, KernelKind, LANES};
 use crate::param::ParamBuf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,17 +98,17 @@ impl Linear {
         }
     }
 
-    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+    /// Per-example forward: `out[o] = b[o] + dot(w[o], x)` in the
+    /// canonical 4-lane reduction order of [`crate::kernel`] — the same
+    /// order every batched kernel uses, which is what keeps batched and
+    /// per-example outputs bit-identical.
+    fn forward(&self, kind: KernelKind, x: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(x.len(), self.in_dim);
         out.clear();
         out.reserve(self.out_dim);
         for o in 0..self.out_dim {
             let row = &self.w.data[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.b.data[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            out.push(acc);
+            out.push(kernel::affine(kind, self.b.data[o], row, x));
         }
     }
 
@@ -124,124 +131,157 @@ impl Linear {
         dx
     }
 
-    /// Batched forward: `out[o][e] = b[o] + Σ_i w[o][i] · x[i][e]`.
-    ///
-    /// For every `(e, o)` the sum over `i` is accumulated sequentially in
-    /// ascending `i` starting from the bias — the exact operation order of
-    /// the per-example [`Linear::forward`] — so each column of `out` is
-    /// bit-identical to a per-example forward of that column.
-    ///
-    /// The computation is register-blocked: tiles of [`TILE_O`] output
-    /// units × [`TILE_E`] examples accumulate in local arrays (mapped to
-    /// SIMD registers), so each input row is streamed once per `TILE_O`
-    /// outputs instead of once per output — the batched path is
-    /// compute-bound where the per-example path is latency-bound.
-    fn forward_batch(&self, x: &Batch, out: &mut Batch) {
+    /// Batched forward: `out[o][e] = b[o] + dot(w[o], x[·][e])` with the
+    /// dot product reduced in the canonical 4-lane order — exactly the
+    /// operation order of the per-example [`Linear::forward`], so each
+    /// column of `out` is bit-identical to a per-example forward of that
+    /// column, under either kernel.
+    fn forward_batch(&self, kind: KernelKind, x: &Batch, out: &mut Batch) {
         debug_assert_eq!(x.dim(), self.in_dim);
         debug_assert_eq!(out.dim(), self.out_dim);
         debug_assert_eq!(x.n(), out.n());
+        match kind {
+            KernelKind::Simd => self.forward_batch_simd(x, out),
+            KernelKind::Scalar => self.forward_batch_unblocked(x, out, 0),
+        }
+    }
+
+    /// SIMD-shaped batched forward: for each output unit, a register
+    /// block of [`LANES`] lane-accumulator rows × [`TILE_E`] examples
+    /// (`LANES × TILE_E` f64 accumulators, i.e. eight AVX2 vectors) sweeps
+    /// the input in lane-interleaved order.  Lane `l` of example `e`
+    /// accumulates `w[o][4k+l] · x[4k+l][e]` over ascending `k`; lanes
+    /// combine pairwise and the `in_dim % 4` tail is added last — the
+    /// canonical order, vectorised across the example tile.
+    fn forward_batch_simd(&self, x: &Batch, out: &mut Batch) {
         let n = x.n();
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        let chunks = in_dim / LANES;
         let mut e = 0;
         while e + TILE_E <= n {
-            let mut o = 0;
-            while o + TILE_O <= out_dim {
-                let mut acc = [[0.0f64; TILE_E]; TILE_O];
-                for (ob, row) in acc.iter_mut().enumerate() {
-                    row.fill(self.b.data[o + ob]);
-                }
-                for i in 0..in_dim {
-                    let xv: &[f64; TILE_E] =
-                        x.feature_row(i)[e..e + TILE_E].try_into().expect("tile");
-                    for (ob, row) in acc.iter_mut().enumerate() {
-                        let w_oi = self.w.data[(o + ob) * in_dim + i];
-                        for (a, &xe) in row.iter_mut().zip(xv) {
+            for o in 0..out_dim {
+                let wrow = &self.w.data[o * in_dim..(o + 1) * in_dim];
+                let mut lanes = [[0.0f64; TILE_E]; LANES];
+                for k in 0..chunks {
+                    for (l, lane) in lanes.iter_mut().enumerate() {
+                        let i = LANES * k + l;
+                        let w_oi = wrow[i];
+                        let xv: &[f64; TILE_E] =
+                            x.feature_row(i)[e..e + TILE_E].try_into().expect("tile");
+                        for (a, &xe) in lane.iter_mut().zip(xv) {
                             *a += w_oi * xe;
                         }
                     }
                 }
-                for (ob, row) in acc.iter().enumerate() {
-                    out.feature_row_mut(o + ob)[e..e + TILE_E].copy_from_slice(row);
-                }
-                o += TILE_O;
-            }
-            // Remaining output units, one at a time over the same tile.
-            while o < out_dim {
-                let mut acc = [self.b.data[o]; TILE_E];
-                for i in 0..in_dim {
+                let mut tail = [0.0f64; TILE_E];
+                for (i, &w_oi) in wrow.iter().enumerate().skip(LANES * chunks) {
                     let xv: &[f64; TILE_E] =
                         x.feature_row(i)[e..e + TILE_E].try_into().expect("tile");
-                    let w_oi = self.w.data[o * in_dim + i];
-                    for (a, &xe) in acc.iter_mut().zip(xv) {
+                    for (a, &xe) in tail.iter_mut().zip(xv) {
                         *a += w_oi * xe;
                     }
                 }
-                out.feature_row_mut(o)[e..e + TILE_E].copy_from_slice(&acc);
-                o += 1;
+                let bias = self.b.data[o];
+                let orow = &mut out.feature_row_mut(o)[e..e + TILE_E];
+                for (j, dst) in orow.iter_mut().enumerate() {
+                    *dst = bias
+                        + (((lanes[0][j] + lanes[1][j]) + (lanes[2][j] + lanes[3][j])) + tail[j]);
+                }
             }
             e += TILE_E;
         }
-        // Remaining examples: plain per-example accumulation (identical
-        // operation order, just unblocked).
-        for e in e..n {
+        // Remaining examples: unblocked canonical-order accumulation.
+        self.forward_batch_unblocked(x, out, e);
+    }
+
+    /// Unblocked batched forward over examples `e0..n`, one example ×
+    /// output unit at a time in the canonical lane order.  Serves as the
+    /// scalar kernel (from `e0 = 0`) and as the `n % TILE_E` remainder of
+    /// the SIMD kernel — identical operations, identical order.
+    fn forward_batch_unblocked(&self, x: &Batch, out: &mut Batch, e0: usize) {
+        let n = x.n();
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        let chunks = in_dim / LANES;
+        for e in e0..n {
             for o in 0..out_dim {
-                let mut acc = self.b.data[o];
                 let wrow = &self.w.data[o * in_dim..(o + 1) * in_dim];
-                for (i, &w_oi) in wrow.iter().enumerate() {
-                    acc += w_oi * x.feature_row(i)[e];
+                let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for k in 0..chunks {
+                    let base = LANES * k;
+                    l0 += wrow[base] * x.feature_row(base)[e];
+                    l1 += wrow[base + 1] * x.feature_row(base + 1)[e];
+                    l2 += wrow[base + 2] * x.feature_row(base + 2)[e];
+                    l3 += wrow[base + 3] * x.feature_row(base + 3)[e];
                 }
-                out.feature_row_mut(o)[e] = acc;
+                let mut tail = 0.0;
+                for (i, &w_oi) in wrow.iter().enumerate().skip(LANES * chunks) {
+                    tail += w_oi * x.feature_row(i)[e];
+                }
+                out.feature_row_mut(o)[e] = self.b.data[o] + (((l0 + l1) + (l2 + l3)) + tail);
             }
         }
     }
 
     /// Batched backward: accumulate parameter gradients over the whole
-    /// batch (reduced with the fixed 4-lane order of [`lane_sum`] /
-    /// [`lane_dot`] — deterministic for any batch) and write the input
-    /// gradients to `dx`.
-    fn backward_batch(&mut self, x: &Batch, dy: &Batch, dx: &mut Batch) {
+    /// batch (reduced with the canonical 4-lane order of
+    /// [`kernel::sum`] / [`kernel::dot`] — deterministic for any batch)
+    /// and write the input gradients to `dx`.
+    fn backward_batch(&mut self, kind: KernelKind, x: &Batch, dy: &Batch, dx: &mut Batch) {
         debug_assert_eq!(x.dim(), self.in_dim);
         debug_assert_eq!(dy.dim(), self.out_dim);
         debug_assert_eq!(dx.dim(), self.in_dim);
         debug_assert_eq!(x.n(), dy.n());
         debug_assert_eq!(x.n(), dx.n());
         // Parameter gradients: block over output units so each input row
-        // is streamed once per TILE_O outputs.
+        // is streamed once per GRAD_TILE_O outputs.  Every (o, i) cell is
+        // an independent canonical-order reduction over examples, so the
+        // blocking never affects a single bit.
         let mut o = 0;
-        while o + TILE_O <= self.out_dim {
-            for ob in 0..TILE_O {
-                self.b.grad[o + ob] += lane_sum(dy.feature_row(o + ob));
+        while o + GRAD_TILE_O <= self.out_dim {
+            for ob in 0..GRAD_TILE_O {
+                self.b.grad[o + ob] += kernel::sum(kind, dy.feature_row(o + ob));
             }
             for i in 0..self.in_dim {
                 let xrow = x.feature_row(i);
-                for ob in 0..TILE_O {
+                for ob in 0..GRAD_TILE_O {
                     self.w.grad[(o + ob) * self.in_dim + i] +=
-                        lane_dot(dy.feature_row(o + ob), xrow);
+                        kernel::dot(kind, dy.feature_row(o + ob), xrow);
                 }
             }
-            o += TILE_O;
+            o += GRAD_TILE_O;
         }
         while o < self.out_dim {
             let dyrow = dy.feature_row(o);
-            self.b.grad[o] += lane_sum(dyrow);
+            self.b.grad[o] += kernel::sum(kind, dyrow);
             let row_start = o * self.in_dim;
             for i in 0..self.in_dim {
-                self.w.grad[row_start + i] += lane_dot(dyrow, x.feature_row(i));
+                self.w.grad[row_start + i] += kernel::dot(kind, dyrow, x.feature_row(i));
             }
             o += 1;
         }
 
-        // Input gradients: same register tiling as the batched forward,
-        // with the roles of inputs and outputs swapped
-        // (`dx[i][e] = Σ_o w[o][i] · dy[o][e]`, summed in ascending `o`).
+        // Input gradients (`dx[i][e] = Σ_o w[o][i] · dy[o][e]`, summed
+        // sequentially in ascending `o` under either kernel — the sum
+        // runs over *output units*, not lanes, so it keeps the
+        // pre-existing sequential order).
+        dx.data_mut().fill(0.0);
+        match kind {
+            KernelKind::Simd => self.input_grad_simd(dy, dx),
+            KernelKind::Scalar => self.input_grad_unblocked(dy, dx, 0),
+        }
+    }
+
+    /// SIMD-shaped input-gradient accumulation: register tiles of
+    /// `GRAD_TILE_O` input features × [`TILE_E`] examples, streaming each
+    /// `dy` row once per tile.
+    fn input_grad_simd(&self, dy: &Batch, dx: &mut Batch) {
         let n = dx.n();
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
-        dx.data_mut().fill(0.0);
         let mut e = 0;
         while e + TILE_E <= n {
             let mut i = 0;
-            while i + TILE_O <= in_dim {
-                let mut acc = [[0.0f64; TILE_E]; TILE_O];
+            while i + GRAD_TILE_O <= in_dim {
+                let mut acc = [[0.0f64; TILE_E]; GRAD_TILE_O];
                 for o in 0..out_dim {
                     let gv: &[f64; TILE_E] =
                         dy.feature_row(o)[e..e + TILE_E].try_into().expect("tile");
@@ -255,7 +295,7 @@ impl Linear {
                 for (ib, row) in acc.iter().enumerate() {
                     dx.feature_row_mut(i + ib)[e..e + TILE_E].copy_from_slice(row);
                 }
-                i += TILE_O;
+                i += GRAD_TILE_O;
             }
             while i < in_dim {
                 let mut acc = [0.0f64; TILE_E];
@@ -272,7 +312,16 @@ impl Linear {
             }
             e += TILE_E;
         }
-        for e in e..n {
+        self.input_grad_unblocked(dy, dx, e);
+    }
+
+    /// Unblocked input gradients over examples `e0..n` — the scalar
+    /// kernel and the SIMD remainder path (same sequential-over-`o`
+    /// order).
+    fn input_grad_unblocked(&self, dy: &Batch, dx: &mut Batch, e0: usize) {
+        let n = dx.n();
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        for e in e0..n {
             for i in 0..in_dim {
                 let mut acc = 0.0;
                 for o in 0..out_dim {
@@ -284,63 +333,15 @@ impl Linear {
     }
 }
 
-/// Number of independent accumulator lanes used by the batched gradient
-/// reductions.  Splitting a sum into a fixed number of interleaved lanes
-/// breaks the floating-point dependency chain (the lanes run as
-/// independent FMA chains, or SIMD lanes) while keeping the reduction
-/// order a *fixed* function of the input length — the property the
-/// deterministic-training guarantee rests on.
-const REDUCE_LANES: usize = 4;
-
 /// Examples per register tile of the batched kernels (one AVX-512 f64
 /// vector, two AVX2 vectors).
 const TILE_E: usize = 8;
 
-/// Output units per register tile of the batched kernels:
-/// `TILE_O × TILE_E` accumulators stay in registers, so every input row
-/// is loaded once per `TILE_O` outputs instead of once per output.
-const TILE_O: usize = 4;
-
-/// Deterministic 4-lane sum: `v[0] + v[4] + …`, `v[1] + v[5] + …`, …,
-/// combined as `((l0 + l1) + (l2 + l3)) + tail`.
-fn lane_sum(v: &[f64]) -> f64 {
-    let mut acc = [0.0f64; REDUCE_LANES];
-    let chunks = v.len() / REDUCE_LANES;
-    for k in 0..chunks {
-        let c = &v[REDUCE_LANES * k..REDUCE_LANES * (k + 1)];
-        for (a, x) in acc.iter_mut().zip(c) {
-            *a += x;
-        }
-    }
-    let mut tail = 0.0;
-    for x in &v[REDUCE_LANES * chunks..] {
-        tail += x;
-    }
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
-}
-
-/// Deterministic 4-lane dot product (same lane structure as
-/// [`lane_sum`]).
-fn lane_dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f64; REDUCE_LANES];
-    let chunks = a.len() / REDUCE_LANES;
-    for k in 0..chunks {
-        let ca = &a[REDUCE_LANES * k..REDUCE_LANES * (k + 1)];
-        let cb = &b[REDUCE_LANES * k..REDUCE_LANES * (k + 1)];
-        for l in 0..REDUCE_LANES {
-            acc[l] += ca[l] * cb[l];
-        }
-    }
-    let mut tail = 0.0;
-    for (x, y) in a[REDUCE_LANES * chunks..]
-        .iter()
-        .zip(&b[REDUCE_LANES * chunks..])
-    {
-        tail += x * y;
-    }
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
-}
+/// Feature/output units per register tile of the gradient kernels:
+/// `GRAD_TILE_O × TILE_E` accumulators stay in registers, so every
+/// streamed row is loaded once per `GRAD_TILE_O` units instead of once
+/// per unit.
+const GRAD_TILE_O: usize = 4;
 
 /// Reusable ping-pong buffers for allocation-free inference through an
 /// [`Mlp`] (see [`Mlp::forward_into`]).
@@ -354,6 +355,17 @@ fn lane_dot(a: &[f64], b: &[f64]) -> f64 {
 pub struct ForwardScratch {
     a: Vec<f64>,
     b: Vec<f64>,
+}
+
+/// Reusable ping-pong [`Batch`] buffers for allocation-free *batched*
+/// inference (see [`Mlp::forward_batch_into`]).  Like [`ForwardScratch`],
+/// a long-lived instance grows to the high-water mark of
+/// `widest layer × largest batch` and is never shrunk, so warm calls
+/// perform zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct BatchForwardScratch {
+    a: Batch,
+    b: Batch,
 }
 
 /// Forward-pass cache needed for backpropagation through an [`Mlp`].
@@ -432,8 +444,21 @@ impl Mlp {
     ///
     /// Produces bit-identical results to [`Mlp::forward`] and to the
     /// output of [`Mlp::forward_cached`] (same operations in the same
-    /// order).
+    /// order), under the process-wide [`active_kernel`].
     pub fn forward_into<'s>(&self, x: &[f64], scratch: &'s mut ForwardScratch) -> &'s [f64] {
+        self.forward_into_with(active_kernel(), x, scratch)
+    }
+
+    /// [`Mlp::forward_into`] with an explicit kernel choice.  Both
+    /// kernels produce bit-identical outputs (the `simd ≡ scalar`
+    /// contract); this entry point exists so tests and benchmarks can
+    /// exercise both paths in one process.
+    pub fn forward_into_with<'s>(
+        &self,
+        kind: KernelKind,
+        x: &[f64],
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
         let num_layers = self.layers.len();
         if num_layers == 0 {
             scratch.a.clear();
@@ -442,7 +467,7 @@ impl Mlp {
         }
         // Layer 0 reads the caller's input; subsequent layers alternate
         // between the two scratch buffers.
-        self.layers[0].forward(x, &mut scratch.a);
+        self.layers[0].forward(kind, x, &mut scratch.a);
         if num_layers > 1 {
             for v in scratch.a.iter_mut() {
                 *v = self.activation.apply(*v);
@@ -455,7 +480,7 @@ impl Mlp {
             } else {
                 (&scratch.b, &mut scratch.a)
             };
-            layer.forward(src, dst);
+            layer.forward(kind, src, dst);
             if i + 1 < num_layers {
                 for v in dst.iter_mut() {
                     *v = self.activation.apply(*v);
@@ -478,8 +503,9 @@ impl Mlp {
         };
         let mut current = x.to_vec();
         let mut buffer = Vec::new();
+        let kind = active_kernel();
         for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(&current, &mut buffer);
+            layer.forward(kind, &current, &mut buffer);
             cache.pre_activations.push(buffer.clone());
             let is_last = i + 1 == self.layers.len();
             current = if is_last {
@@ -518,12 +544,18 @@ impl Mlp {
     /// same floating-point operations in the same order per example (see
     /// [`Batch`] for the layout argument).
     pub fn forward_batch(&self, x: &Batch) -> Batch {
+        self.forward_batch_with(active_kernel(), x)
+    }
+
+    /// [`Mlp::forward_batch`] with an explicit kernel choice (bit-identical
+    /// across kernels — see [`crate::kernel`]).
+    pub fn forward_batch_with(&self, kind: KernelKind, x: &Batch) -> Batch {
         let n = x.n();
         let num_layers = self.layers.len();
         let mut current: Option<Batch> = None;
         for (l, layer) in self.layers.iter().enumerate() {
             let mut out = Batch::zeros(layer.out_dim, n);
-            layer.forward_batch(current.as_ref().unwrap_or(x), &mut out);
+            layer.forward_batch(kind, current.as_ref().unwrap_or(x), &mut out);
             if l + 1 < num_layers {
                 for v in out.data_mut() {
                     *v = self.activation.apply(*v);
@@ -534,12 +566,75 @@ impl Mlp {
         current.unwrap_or_else(|| x.clone())
     }
 
+    /// Allocation-free batched inference: like [`Mlp::forward_batch`] but
+    /// ping-pongs between two reusable scratch batches instead of
+    /// allocating one output batch per layer.  Returns a reference into
+    /// the scratch holding the output batch.  Bit-identical to
+    /// [`Mlp::forward_batch`] (identical layer kernels; buffer identity
+    /// never affects the arithmetic).
+    pub fn forward_batch_into<'s>(
+        &self,
+        x: &Batch,
+        scratch: &'s mut BatchForwardScratch,
+    ) -> &'s Batch {
+        self.forward_batch_into_with(active_kernel(), x, scratch)
+    }
+
+    /// [`Mlp::forward_batch_into`] with an explicit kernel choice.
+    pub fn forward_batch_into_with<'s>(
+        &self,
+        kind: KernelKind,
+        x: &Batch,
+        scratch: &'s mut BatchForwardScratch,
+    ) -> &'s Batch {
+        let n = x.n();
+        let num_layers = self.layers.len();
+        if num_layers == 0 {
+            scratch.a.resize(x.dim(), n);
+            scratch.a.data_mut().copy_from_slice(x.data());
+            return &scratch.a;
+        }
+        scratch.a.resize(self.layers[0].out_dim, n);
+        self.layers[0].forward_batch(kind, x, &mut scratch.a);
+        if num_layers > 1 {
+            for v in scratch.a.data_mut() {
+                *v = self.activation.apply(*v);
+            }
+        }
+        let mut in_a = true;
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let (src, dst) = if in_a {
+                (&scratch.a, &mut scratch.b)
+            } else {
+                (&scratch.b, &mut scratch.a)
+            };
+            dst.resize(layer.out_dim, n);
+            layer.forward_batch(kind, src, dst);
+            if i + 1 < num_layers {
+                for v in dst.data_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            in_a = !in_a;
+        }
+        if in_a {
+            &scratch.a
+        } else {
+            &scratch.b
+        }
+    }
+
     /// Batched forward pass recording the cache needed by
     /// [`Mlp::backward_batch`].  Takes the input by value (callers build
     /// mini-batch inputs fresh per call) — it becomes part of the cache
     /// without a copy.  Outputs are bit-identical to
     /// [`Mlp::forward_batch`] (and therefore to per-example forwards).
     pub fn forward_batch_cached(&self, x: Batch) -> (Batch, MlpBatchCache) {
+        self.forward_batch_cached_with(active_kernel(), x)
+    }
+
+    /// [`Mlp::forward_batch_cached`] with an explicit kernel choice.
+    pub fn forward_batch_cached_with(&self, kind: KernelKind, x: Batch) -> (Batch, MlpBatchCache) {
         let n = x.n();
         let num_layers = self.layers.len();
         let mut cache = MlpBatchCache {
@@ -549,7 +644,7 @@ impl Mlp {
         let mut current = x;
         for (l, layer) in self.layers.iter().enumerate() {
             let mut out = Batch::zeros(layer.out_dim, n);
-            layer.forward_batch(&current, &mut out);
+            layer.forward_batch(kind, &current, &mut out);
             // The cache keeps each layer's *input*; the final output is
             // returned to the caller and never needed for backprop.
             cache.activations.push(current);
@@ -569,6 +664,17 @@ impl Mlp {
     /// with a fixed lane-split reduction order, and return the gradient
     /// w.r.t. the input batch.
     pub fn backward_batch(&mut self, cache: &MlpBatchCache, d_out: &Batch) -> Batch {
+        self.backward_batch_with(active_kernel(), cache, d_out)
+    }
+
+    /// [`Mlp::backward_batch`] with an explicit kernel choice (gradient
+    /// bits are identical across kernels — same canonical reductions).
+    pub fn backward_batch_with(
+        &mut self,
+        kind: KernelKind,
+        cache: &MlpBatchCache,
+        d_out: &Batch,
+    ) -> Batch {
         let n = d_out.n();
         let num_layers = self.layers.len();
         let mut grad = d_out.clone();
@@ -581,7 +687,7 @@ impl Mlp {
                 }
             }
             let mut dx = Batch::zeros(layer.in_dim, n);
-            layer.backward_batch(&cache.activations[l], &grad, &mut dx);
+            layer.backward_batch(kind, &cache.activations[l], &grad, &mut dx);
             grad = dx;
         }
         grad
@@ -981,6 +1087,97 @@ mod tests {
         let rw: Vec<usize> = mlp.params_mut().iter().map(|p| p.len()).collect();
         assert_eq!(ro, rw);
         assert_eq!(ro, vec![12, 4, 4, 1]);
+    }
+
+    /// `simd ≡ scalar` over a spread of held-out models: every forward
+    /// entry point must produce bit-identical outputs under both kernels.
+    #[test]
+    fn simd_and_scalar_forward_are_bit_identical() {
+        for (seed, dims, activation) in [
+            (21u64, vec![7, 13, 9, 2], Activation::LeakyRelu),
+            (97, vec![96, 48, 48], Activation::LeakyRelu),
+            (3, vec![5, 17, 1], Activation::Relu),
+            (54, vec![11, 4], Activation::Identity),
+        ] {
+            let mlp = Mlp::new(&dims, activation, seed);
+            for n in [1, 3, 8, 19] {
+                let examples = trial_examples(dims[0], n);
+                let batch = Batch::from_examples(dims[0], examples.iter().map(|v| v.as_slice()));
+                let simd = mlp.forward_batch_with(KernelKind::Simd, &batch);
+                let scalar = mlp.forward_batch_with(KernelKind::Scalar, &batch);
+                let mut bs = BatchForwardScratch::default();
+                let into_simd = mlp
+                    .forward_batch_into_with(KernelKind::Simd, &batch, &mut bs)
+                    .clone();
+                assert_eq!(into_simd, simd, "forward_batch_into {dims:?} n={n}");
+                assert_eq!(simd.data().len(), scalar.data().len());
+                for (a, b) in simd.data().iter().zip(scalar.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "batched {dims:?} n={n}");
+                }
+                let mut s1 = ForwardScratch::default();
+                let mut s2 = ForwardScratch::default();
+                for x in &examples {
+                    let a = mlp.forward_into_with(KernelKind::Simd, x, &mut s1).to_vec();
+                    let b = mlp.forward_into_with(KernelKind::Scalar, x, &mut s2);
+                    for (va, vb) in a.iter().zip(b) {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "per-example {dims:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched backward must also be bit-identical across kernels:
+    /// parameter gradients, input gradients, and the forward cache all
+    /// reduce in the same canonical order.
+    #[test]
+    fn simd_and_scalar_backward_batch_are_bit_identical() {
+        let n = 11; // exercises both the tiled body and the remainder
+        let examples = trial_examples(7, n);
+        let batch = Batch::from_examples(7, examples.iter().map(|v| v.as_slice()));
+        let mut results = Vec::new();
+        for kind in [KernelKind::Simd, KernelKind::Scalar] {
+            let mut mlp = Mlp::new(&[7, 12, 5, 1], Activation::LeakyRelu, 33);
+            mlp.zero_grad();
+            let (out, cache) = mlp.forward_batch_cached_with(kind, batch.clone());
+            let mut d_out = Batch::zeros(1, n);
+            for e in 0..n {
+                d_out.set(0, e, 2.0 * (out.get(0, e) - (e as f64 * 0.21).sin()));
+            }
+            let dx = mlp.backward_batch_with(kind, &cache, &d_out);
+            let grads: Vec<u64> = mlp
+                .params_mut()
+                .iter()
+                .flat_map(|p| p.grad.iter().map(|g| g.to_bits()))
+                .collect();
+            let dx_bits: Vec<u64> = dx.data().iter().map(|v| v.to_bits()).collect();
+            results.push((grads, dx_bits));
+        }
+        assert_eq!(results[0].0, results[1].0, "parameter gradient bits");
+        assert_eq!(results[0].1, results[1].1, "input gradient bits");
+    }
+
+    /// Pin the canonical order itself: with a catastrophic-cancellation
+    /// weight row, sequential accumulation and the lane order give
+    /// different floats — the kernels must produce the lane-order result.
+    #[test]
+    fn forward_uses_the_canonical_lane_order() {
+        let mut mlp = Mlp::new(&[6, 1], Activation::Identity, 0);
+        let w = [1e16, 1.0, -1e16, 1.0, 0.5, 0.25];
+        mlp.params_mut()[0].data.copy_from_slice(&w);
+        mlp.params_mut()[1].data[0] = 0.125;
+        let x = vec![1.0; 6];
+        let expected: f64 = 0.125 + (((1e16 + 1.0) + (-1e16 + 1.0)) + (0.5 + 0.25));
+        let mut scratch = ForwardScratch::default();
+        for kind in [KernelKind::Simd, KernelKind::Scalar] {
+            let got = mlp.forward_into_with(kind, &x, &mut scratch)[0];
+            assert_eq!(got.to_bits(), expected.to_bits(), "{kind:?}");
+        }
+        let batch = Batch::from_examples(6, std::iter::once(x.as_slice()));
+        for kind in [KernelKind::Simd, KernelKind::Scalar] {
+            let got = mlp.forward_batch_with(kind, &batch).get(0, 0);
+            assert_eq!(got.to_bits(), expected.to_bits(), "batched {kind:?}");
+        }
     }
 
     #[test]

@@ -12,9 +12,20 @@
 //! regardless of how inserts interleave with a concurrent
 //! [`swap_model`](crate::PredictionServer::swap_model).  Hit/miss
 //! counters feed the serving metrics.
+//!
+//! Recency bookkeeping is a **slab + intrusive doubly-linked list**: the
+//! entries live in a preallocated `Vec` of slots chained into LRU order
+//! by index, and the key → slot map is sized for `capacity` up front.
+//! A cache *hit* therefore performs **zero heap allocations** — a hash
+//! lookup, an `Arc` clone and four index writes to splice the slot to
+//! the front of the list.  (The previous design kept recency in a
+//! `BTreeMap<tick, key>`, which allocated a fresh tree node on every
+//! single hit — measurable at sharded-server request rates, and exactly
+//! the kind of steady-state allocation the warm-path regression test
+//! forbids.)
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use zsdb_core::features::PlanGraph;
@@ -23,23 +34,68 @@ use zsdb_core::features::PlanGraph;
 /// structural plan fingerprint.
 type VersionedKey = (u32, u64);
 
-/// Interior LRU bookkeeping: recency is a monotonically increasing tick;
-/// the `BTreeMap` orders keys by last use so eviction pops its first
-/// (oldest) entry in `O(log n)`.
+/// Sentinel slot index: "no neighbour" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One slab slot: the entry plus its intrusive LRU-list links.  Freed
+/// slots drop their graph (`None`) but stay in the slab for reuse.
+struct Slot {
+    key: VersionedKey,
+    graph: Option<Arc<PlanGraph>>,
+    prev: usize,
+    next: usize,
+}
+
+/// Interior LRU bookkeeping: a slab of slots threaded into a doubly
+/// linked recency list (`head` = most recent, `tail` = eviction victim),
+/// plus a key → slot map preallocated for the full capacity so steady-
+/// state operation never rehashes.
 struct LruInner {
-    entries: HashMap<VersionedKey, (Arc<PlanGraph>, u64)>,
-    by_tick: BTreeMap<u64, VersionedKey>,
-    next_tick: u64,
+    map: HashMap<VersionedKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
 }
 
 impl LruInner {
-    fn touch(&mut self, key: VersionedKey) {
-        if let Some((_, tick)) = self.entries.get_mut(&key) {
-            self.by_tick.remove(tick);
-            *tick = self.next_tick;
-            self.by_tick.insert(self.next_tick, key);
-            self.next_tick += 1;
+    /// Remove slot `i` from the recency list (it keeps its slab slot).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
         }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = NIL;
+    }
+
+    /// Splice slot `i` in as the most recently used entry.
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Mark slot `i` as most recently used.
+    fn touch(&mut self, i: usize) {
+        if self.head == i {
+            return;
+        }
+        self.unlink(i);
+        self.push_front(i);
     }
 }
 
@@ -59,15 +115,22 @@ impl FeatureCache {
     pub fn new(capacity: usize) -> Self {
         FeatureCache {
             inner: Mutex::new(LruInner {
-                entries: HashMap::new(),
-                by_tick: BTreeMap::new(),
-                next_tick: 0,
+                map: HashMap::with_capacity(capacity),
+                slots: Vec::with_capacity(capacity),
+                free: Vec::with_capacity(capacity),
+                head: NIL,
+                tail: NIL,
             }),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
+    }
+
+    /// Maximum number of entries (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Drop every cached graph (hit/miss counters are lifetime counters
@@ -77,19 +140,31 @@ impl FeatureCache {
     /// weight the LRU would otherwise evict one miss at a time.
     pub fn invalidate(&self) {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
-        inner.entries.clear();
-        inner.by_tick.clear();
+        inner.map.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        for i in 0..inner.slots.len() {
+            inner.slots[i].graph = None;
+            inner.slots[i].prev = NIL;
+            inner.slots[i].next = NIL;
+            inner.free.push(i);
+        }
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Look up a fingerprint under a model version, counting a hit or
-    /// miss.
+    /// miss.  A hit allocates nothing.
     pub fn get(&self, version: u32, key: u64) -> Option<Arc<PlanGraph>> {
         let full_key = (version, key);
         let mut inner = self.inner.lock().expect("feature cache poisoned");
-        match inner.entries.get(&full_key).map(|(g, _)| Arc::clone(g)) {
-            Some(graph) => {
-                inner.touch(full_key);
+        match inner.map.get(&full_key).copied() {
+            Some(slot) => {
+                let graph = inner.slots[slot]
+                    .graph
+                    .clone()
+                    .expect("mapped cache slot is occupied");
+                inner.touch(slot);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(graph)
             }
@@ -101,26 +176,45 @@ impl FeatureCache {
     }
 
     /// Insert a graph under a model version, evicting the least recently
-    /// used entry if the cache is full.
+    /// used entry if the cache is full.  Re-inserting an existing key
+    /// only refreshes its recency; the cached graph is kept.
     pub fn insert(&self, version: u32, key: u64, graph: Arc<PlanGraph>) {
         if self.capacity == 0 {
             return;
         }
         let full_key = (version, key);
         let mut inner = self.inner.lock().expect("feature cache poisoned");
-        if inner.entries.contains_key(&full_key) {
-            inner.touch(full_key);
+        if let Some(slot) = inner.map.get(&full_key).copied() {
+            inner.touch(slot);
             return;
         }
-        if inner.entries.len() >= self.capacity {
-            if let Some((_, oldest_key)) = inner.by_tick.pop_first() {
-                inner.entries.remove(&oldest_key);
-            }
+        if inner.map.len() >= self.capacity {
+            let victim = inner.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            inner.unlink(victim);
+            let victim_key = inner.slots[victim].key;
+            inner.map.remove(&victim_key);
+            inner.slots[victim].graph = None;
+            inner.free.push(victim);
         }
-        let tick = inner.next_tick;
-        inner.next_tick += 1;
-        inner.entries.insert(full_key, (graph, tick));
-        inner.by_tick.insert(tick, full_key);
+        let slot = match inner.free.pop() {
+            Some(i) => {
+                inner.slots[i].key = full_key;
+                inner.slots[i].graph = Some(graph);
+                i
+            }
+            None => {
+                inner.slots.push(Slot {
+                    key: full_key,
+                    graph: Some(graph),
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.slots.len() - 1
+            }
+        };
+        inner.push_front(slot);
+        inner.map.insert(full_key, slot);
     }
 
     /// Fetch the graph for `(version, key)`, computing and inserting it
@@ -150,12 +244,7 @@ impl FeatureCache {
 
     /// Current cache statistics.
     pub fn stats(&self) -> CacheStats {
-        let len = self
-            .inner
-            .lock()
-            .expect("feature cache poisoned")
-            .entries
-            .len();
+        let len = self.inner.lock().expect("feature cache poisoned").map.len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -167,7 +256,7 @@ impl FeatureCache {
 }
 
 /// Snapshot of cache effectiveness counters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -190,6 +279,20 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Fold another (shard's) stats into this one: hits, misses, lengths
+    /// and capacities are **summed** — so [`CacheStats::hit_rate`] over
+    /// the merge divides total hits by total lookups, never averaging
+    /// per-shard rates — while `invalidations` takes the **max**, because
+    /// a model hot-swap invalidates every shard cache at once and counts
+    /// as one logical invalidation of the (sharded) cache.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.len += other.len;
+        self.capacity += other.capacity;
+        self.invalidations = self.invalidations.max(other.invalidations);
     }
 }
 
@@ -237,6 +340,24 @@ mod tests {
         );
         assert!(cache.get(1, 3).is_some());
         assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn eviction_churn_reuses_slab_slots() {
+        // Insert far more distinct keys than the capacity: the slab must
+        // never grow past `capacity` slots — every eviction frees a slot
+        // the next insert reuses — and LRU order must stay exact.
+        let cache = FeatureCache::new(3);
+        for key in 0..50u64 {
+            cache.insert(1, key, Arc::new(graph(key as f64)));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.len, 3);
+        for key in 47..50u64 {
+            let g = cache.get(1, key).expect("newest entries survive");
+            assert_eq!(g.nodes[0].features[0], key as f64);
+        }
+        assert!(cache.get(1, 46).is_none(), "older entries were evicted");
     }
 
     #[test]
@@ -296,11 +417,51 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = FeatureCache::new(0);
+        assert_eq!(cache.capacity(), 0);
         let (_, hit) = cache.get_or_insert_with(1, 7, || graph(7.0));
         assert!(!hit);
         let (_, hit) = cache.get_or_insert_with(1, 7, || graph(7.0));
         assert!(!hit);
         assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn merged_stats_sum_lookups_before_dividing() {
+        // Shard A: 9 hits / 1 miss (rate 0.9); shard B: 0 hits / 30
+        // misses (rate 0.0).  Summing lookups first gives 9/40 = 0.225;
+        // averaging the per-shard rates would claim 0.45 — the asymmetric
+        // traffic makes the two definitions visibly disagree.
+        let a = CacheStats {
+            hits: 9,
+            misses: 1,
+            len: 4,
+            capacity: 16,
+            invalidations: 1,
+        };
+        let b = CacheStats {
+            hits: 0,
+            misses: 30,
+            len: 2,
+            capacity: 16,
+            invalidations: 1,
+        };
+        let mut merged = CacheStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.hits, 9);
+        assert_eq!(merged.misses, 31);
+        assert!((merged.hit_rate() - 9.0 / 40.0).abs() < 1e-12);
+        let averaged = (a.hit_rate() + b.hit_rate()) / 2.0;
+        assert!(
+            (merged.hit_rate() - averaged).abs() > 0.1,
+            "summed-then-divided must differ from per-shard averaging here"
+        );
+        assert_eq!(merged.len, 6);
+        assert_eq!(merged.capacity, 32);
+        assert_eq!(
+            merged.invalidations, 1,
+            "one hot-swap invalidating every shard is one logical invalidation"
+        );
     }
 
     #[test]

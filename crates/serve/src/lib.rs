@@ -10,10 +10,13 @@
 //!   (architecture, featurizer mode) and *integrity probes*: recorded
 //!   prediction bit-patterns that every load re-verifies, so a corrupted
 //!   or drifted artifact is rejected before it serves a single request.
-//! * [`server`] — a concurrent inference engine: a `std::thread` worker
-//!   pool consuming a **bounded** MPSC queue (backpressure instead of
-//!   unbounded growth), sharing one read-only model and answering each
-//!   request bit-identically to the single-threaded path.
+//! * [`server`] — a concurrent inference engine sharded thread-per-core:
+//!   each worker owns a **bounded** run queue (backpressure instead of
+//!   unbounded growth), a feature-cache slice and preallocated inference
+//!   scratch; requests are routed to shards by plan fingerprint, idle
+//!   workers steal from loaded ones, and every request is answered
+//!   bit-identically to the single-threaded path regardless of shard
+//!   count or stealing.
 //! * [`multitask`] — the same worker-pool serving for multi-task models
 //!   (`zsdb_multitask`): one submitted plan answers **every** task head
 //!   (cost, root cardinality, per-operator cardinalities) from a single

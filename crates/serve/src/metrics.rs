@@ -200,6 +200,17 @@ impl ServeMetrics {
         self.queue_depth.clone()
     }
 
+    /// Handle on the queue-depth gauge of one server shard, registered
+    /// as `serve.shard.N.queue_depth`.  The sharded server increments it
+    /// when a job enters shard `N`'s queue and decrements it at dequeue
+    /// (by the owning worker or a stealer); the gauges surface both in
+    /// the Prometheus exposition and, ordered by shard index, in
+    /// [`MetricsSnapshot::shard_queue_depths`].
+    pub fn shard_queue_gauge(&self, shard: usize) -> Gauge {
+        self.registry
+            .gauge(&format!("serve.shard.{shard}.queue_depth"))
+    }
+
     /// One job entered the bounded queue.
     pub fn queue_inc(&self) {
         self.queue_depth.inc();
@@ -247,6 +258,24 @@ impl ServeMetrics {
         } else {
             (elapsed - (first_ns - 1) as f64 / 1e9).max(0.0)
         };
+        // Per-shard queue depths, collected from the registry's
+        // `serve.shard.N.queue_depth` gauges and ordered by shard index
+        // (empty for unsharded recorders like the multi-task server).
+        let mut shard_depths: Vec<(usize, u64)> = self
+            .registry
+            .snapshot()
+            .gauges
+            .iter()
+            .filter_map(|(name, value)| {
+                let index = name
+                    .strip_prefix("serve.shard.")?
+                    .strip_suffix(".queue_depth")?
+                    .parse()
+                    .ok()?;
+                Some((index, (*value).max(0) as u64))
+            })
+            .collect();
+        shard_depths.sort_unstable_by_key(|&(index, _)| index);
         MetricsSnapshot {
             total_requests,
             elapsed_secs: elapsed,
@@ -275,6 +304,7 @@ impl ServeMetrics {
             cache_invalidations: cache.invalidations,
             model_swaps: self.swaps.value(),
             workers,
+            shard_queue_depths: shard_depths.into_iter().map(|(_, depth)| depth).collect(),
             batch_size_histogram: self
                 .batch_sizes
                 .iter()
@@ -400,6 +430,10 @@ pub struct MetricsSnapshot {
     pub model_swaps: u64,
     /// Number of worker threads serving predictions.
     pub workers: usize,
+    /// Live queue depth of each server shard, ordered by shard index —
+    /// shard `i` corresponds to the `serve.shard.i.queue_depth` gauge.
+    /// Empty for unsharded recorders (e.g. the multi-task server).
+    pub shard_queue_depths: Vec<u64>,
     /// Batch-size histogram: bucket `i` counts completed batches whose
     /// size falls in `BATCH_SIZE_BUCKET_LABELS[i]` (single requests are
     /// size-1 batches).
@@ -616,6 +650,30 @@ mod tests {
         let dec_side = metrics.queue_gauge();
         std::thread::spawn(move || dec_side.dec()).join().unwrap();
         assert_eq!(metrics.snapshot(cache_stats(0, 0), 1).queue_depth, 2);
+    }
+
+    #[test]
+    fn shard_queue_gauges_surface_in_snapshot_ordered_by_index() {
+        let metrics = ServeMetrics::new();
+        // Register out of order to prove the snapshot sorts by index
+        // (registries typically return gauges in registration order).
+        let g2 = metrics.shard_queue_gauge(2);
+        let g0 = metrics.shard_queue_gauge(0);
+        let g1 = metrics.shard_queue_gauge(1);
+        g0.inc();
+        g1.inc();
+        g1.inc();
+        g2.inc();
+        g2.inc();
+        g2.inc();
+        let snap = metrics.snapshot(cache_stats(0, 0), 3);
+        assert_eq!(snap.shard_queue_depths, vec![1, 2, 3]);
+        // An unsharded recorder reports no shard depths.
+        let plain = ServeMetrics::new().snapshot(cache_stats(0, 0), 1);
+        assert!(plain.shard_queue_depths.is_empty());
+        // The gauges also ride along in the Prometheus exposition.
+        let text = metrics.prometheus_text(cache_stats(0, 0), 3);
+        assert!(text.contains("serve_shard_1_queue_depth 2"), "{text}");
     }
 
     #[test]

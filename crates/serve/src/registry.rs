@@ -71,7 +71,15 @@ use zsdb_multitask::{MultiTaskConfig, TaskHead, TrainedMultiTaskModel};
 ///   layout and are rejected with a clean
 ///   [`ServeError::FormatVersionMismatch`](crate::ServeError) instead of
 ///   a parse error.
-pub const ARTIFACT_FORMAT_VERSION: u32 = 3;
+/// * **4** — the MLP kernels adopt the canonical 4-lane reduction order
+///   (`zsdb_nn::kernel`): every dot product reduces lane-interleaved with
+///   the bias added last, instead of sequentially from the bias.  Weights
+///   serialize unchanged, but prediction *bits* shift by a few ulps, so
+///   the bit-exact [`IntegrityProbe`] values recorded by version-3
+///   artifacts would spuriously fail verification; they are rejected with
+///   a clean [`ServeError::FormatVersionMismatch`](crate::ServeError)
+///   (re-register the model to refresh its probes).
+pub const ARTIFACT_FORMAT_VERSION: u32 = 4;
 
 /// Maximum number of integrity probes stored per artifact.
 const MAX_PROBES: usize = 8;

@@ -1,29 +1,45 @@
-//! Concurrent prediction server: a `std::thread` worker pool over a
-//! bounded MPSC request queue.
+//! Concurrent prediction server: a thread-per-core **sharded** worker
+//! pool with fingerprint-routed queues and work stealing.
 //!
 //! Design notes:
 //!
-//! * **Backpressure, not unbounded queueing** — requests enter through a
-//!   [`std::sync::mpsc::sync_channel`] with a fixed capacity.
-//!   [`PredictionServer::submit`] blocks the producer when the queue is
-//!   full; [`PredictionServer::try_submit`] sheds load immediately with
-//!   [`ServeError::Overloaded`].
+//! * **Thread-per-core shards** — the server spawns
+//!   [`ServerConfig::workers`] shards, each owning its *own* bounded
+//!   `VecDeque` job queue, its own [`FeatureCache`] slice, and its own
+//!   inference scratch (an [`InferenceScratch`] plus a
+//!   [`GraphArena`]-backed featurization buffer).  A request is routed to
+//!   shard `fingerprint % N` at submission, so every repetition of a plan
+//!   shape lands on the shard that cached its features — there is no
+//!   single contended queue mutex and no shared LRU on the hot path.
+//! * **Work stealing on overload** — a worker whose queue is empty makes
+//!   one pass over the other shards' queues (oldest job first) before
+//!   parking briefly, so a skewed fingerprint distribution cannot idle
+//!   the rest of the pool.  Stolen jobs still consult the *owner* shard's
+//!   feature cache (keyed by fingerprint), preserving the one-home-per-
+//!   shape cache invariant; only the scratch buffers are the stealer's.
+//! * **Backpressure, not unbounded queueing** — every shard queue is
+//!   bounded at `queue_capacity / N` (rounded up).
+//!   [`PredictionServer::submit`] blocks the producer while the target
+//!   shard is full; [`PredictionServer::try_submit`] sheds load
+//!   immediately with [`ServeError::Overloaded`].
 //! * **Shared-read model** — the trained model is behind an `Arc` and only
-//!   ever read; each worker owns a private [`InferenceScratch`], so
-//!   steady-state inference takes no locks and performs no allocation.
+//!   ever read; each worker owns private scratch, so steady-state
+//!   inference takes no shard-crossing locks, and a warm cache hit (or
+//!   arena-warm featurization) performs no heap allocation.
 //! * **Deterministic results** — workers featurize with the model's own
 //!   [`FeaturizerConfig`](zsdb_core::FeaturizerConfig) and predict with
 //!   the same floating-point operations as the single-threaded path, so a
 //!   served prediction is bit-identical to
-//!   `model.predict(featurize_plan(...))`.
+//!   `model.predict(featurize_plan(...))` — independent of the shard
+//!   count, the routing, and whether the job was stolen.
 //! * **Batched submission** — [`PredictionServer::submit_batch`] enqueues
 //!   a batch as one queue entry per [`ServerConfig::max_batch_size`]
-//!   chunk; a worker featurizes each chunk in one cache-assisted sweep
-//!   and answers it with a single batched forward pass
-//!   ([`zsdb_core::batch`]), amortising per-request overhead while
-//!   staying bit-identical to per-request submission — and since every
-//!   chunk occupies a bounded-queue slot, `queue_capacity` keeps
-//!   bounding in-flight work for batches too.
+//!   chunk (routed by its first plan's fingerprint); a worker featurizes
+//!   each chunk in one cache-assisted sweep and answers it with a single
+//!   batched forward pass ([`zsdb_core::batch`]), amortising per-request
+//!   overhead while staying bit-identical to per-request submission —
+//!   and since every chunk occupies a bounded-queue slot,
+//!   `queue_capacity` keeps bounding in-flight work for batches too.
 
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
@@ -31,30 +47,44 @@ use crate::metrics::{
     MetricsSnapshot, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD,
     STAGE_QUEUE_WAIT,
 };
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zsdb_catalog::SchemaCatalog;
-use zsdb_core::features::featurize_plan;
+use zsdb_core::features::{featurize_plan_into, PlanGraph};
 use zsdb_core::fingerprint::plan_fingerprint;
 use zsdb_core::model::InferenceScratch;
 use zsdb_core::train::TrainedModel;
+use zsdb_core::GraphArena;
 use zsdb_engine::PlanNode;
-use zsdb_obs::{ActiveTrace, Tracer};
+use zsdb_obs::{ActiveTrace, Gauge, Tracer};
 
 /// Finished traces (and standalone events) the server's [`Tracer`] keeps
 /// per recording thread.
 const TRACE_RING: usize = 256;
 
+/// How long an idle worker parks on its own queue's condvar between
+/// steal passes.  Small enough that a job stuck in a busy neighbour's
+/// queue is stolen within a fraction of a millisecond; large enough that
+/// an idle pool burns negligible CPU.
+const STEAL_PARK: Duration = Duration::from_micros(500);
+
 /// Tunables of a [`PredictionServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Number of worker threads.
+    /// Number of worker threads — equivalently, the number of shards:
+    /// every worker owns one shard (queue + cache slice + scratch).  Set
+    /// this to the core count for a thread-per-core deployment.
     pub workers: usize,
-    /// Capacity of the bounded request queue (backpressure threshold).
+    /// Total capacity of the bounded request queues (backpressure
+    /// threshold), split evenly across the shards (rounded up, so each
+    /// shard holds at least one job).
     pub queue_capacity: usize,
-    /// Capacity of the feature cache (entries; 0 disables caching).
+    /// Total capacity of the feature cache (entries; 0 disables
+    /// caching), split evenly across the per-shard cache slices
+    /// (rounded up).
     pub cache_capacity: usize,
     /// Largest batch answered as one unit: `submit_batch` splits bigger
     /// submissions into chunks of at most this many plans, each occupying
@@ -251,11 +281,13 @@ impl std::fmt::Display for RejectedBatch {
     }
 }
 
-/// A unit of queued work: one plan, or a whole batch of plans that shares
+/// A unit of queued work: one plan (with its routing fingerprint,
+/// computed once at submission), or a whole batch of plans that shares
 /// one featurization/inference pass.
 enum Job {
     Single {
         plan: PlanNode,
+        fingerprint: u64,
         enqueued: Instant,
         reply: mpsc::Sender<(Prediction, Option<ActiveTrace>)>,
         trace: Option<ActiveTrace>,
@@ -268,6 +300,141 @@ enum Job {
     },
 }
 
+/// Mutable half of a shard's queue, behind its mutex.
+struct ShardState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// What a worker got when it asked its own queue for work.
+enum Dequeued {
+    /// A job to run.
+    Job(Box<Job>),
+    /// Queue empty and the server is shutting down: exit.
+    Closed,
+    /// Queue empty, park timed out: go try a steal pass.
+    Idle,
+}
+
+/// One server shard: a bounded job queue (mutex + condvars), the shard's
+/// slice of the feature cache, and its queue-depth gauge.  Shard `i` is
+/// owned by worker `i`; other workers touch its queue only to steal and
+/// its cache only for fingerprints that route here.
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Signalled on push; the owning worker parks here when idle.
+    not_empty: Condvar,
+    /// Signalled on pop; blocking producers park here when the shard is
+    /// full.
+    not_full: Condvar,
+    capacity: usize,
+    /// The `serve.shard.N.queue_depth` gauge.
+    depth: Gauge,
+    /// This shard's slice of the feature cache: every fingerprint that
+    /// routes here is cached here and nowhere else.
+    cache: FeatureCache,
+}
+
+impl Shard {
+    fn new(capacity: usize, cache_capacity: usize, depth: Gauge) -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            depth,
+            cache: FeatureCache::new(cache_capacity),
+        }
+    }
+
+    /// Enqueue, blocking while the shard is full (backpressure).  Returns
+    /// the job (boxed — the error path is cold and `Job` is large) if the
+    /// server closed before a slot opened.
+    fn push_wait(&self, job: Job) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        while !state.closed && state.jobs.len() >= self.capacity {
+            state = self
+                .not_full
+                .wait(state)
+                .expect("shard queue poisoned while waiting");
+        }
+        if state.closed {
+            return Err(Box::new(job));
+        }
+        state.jobs.push_back(job);
+        self.depth.inc();
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking enqueue; on failure the job comes back with the
+    /// rejection reason ([`ServeError::Closed`] wins over `Overloaded`,
+    /// matching the unsharded server's admission order).
+    fn try_push(&self, job: Job) -> Result<(), (Box<Job>, ServeError)> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        if state.closed {
+            return Err((Box::new(job), ServeError::Closed));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err((Box::new(job), ServeError::Overloaded));
+        }
+        state.jobs.push_back(job);
+        self.depth.inc();
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking dequeue of the oldest job — used by the owning
+    /// worker's fast path and by stealers.
+    fn try_pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        let job = state.jobs.pop_front()?;
+        self.depth.dec();
+        self.not_full.notify_one();
+        Some(job)
+    }
+
+    /// Dequeue for the owning worker: pop a job, report shutdown once
+    /// the queue is drained and closed, or park for at most `park`
+    /// before the caller's next steal pass.
+    fn pop_or_park(&self, park: Duration) -> Dequeued {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        if let Some(job) = state.jobs.pop_front() {
+            self.depth.dec();
+            self.not_full.notify_one();
+            return Dequeued::Job(Box::new(job));
+        }
+        if state.closed {
+            return Dequeued::Closed;
+        }
+        let (mut state, _timeout) = self
+            .not_empty
+            .wait_timeout(state, park)
+            .expect("shard queue poisoned while parked");
+        if let Some(job) = state.jobs.pop_front() {
+            self.depth.dec();
+            self.not_full.notify_one();
+            return Dequeued::Job(Box::new(job));
+        }
+        if state.closed {
+            return Dequeued::Closed;
+        }
+        Dequeued::Idle
+    }
+
+    /// Close the shard: no further admission; the owning worker exits
+    /// once the queue is drained.  Wakes parked workers and blocked
+    /// producers.
+    fn close(&self) {
+        self.state.lock().expect("shard queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
 struct Shared {
     /// The currently served model, swappable at runtime.  Workers take
     /// the read lock only long enough to clone the `Arc`; a swap takes
@@ -275,7 +442,7 @@ struct Shared {
     /// blocks on inference.
     model: RwLock<Arc<ServedModel>>,
     catalog: SchemaCatalog,
-    cache: FeatureCache,
+    shards: Vec<Shard>,
     metrics: ServeMetrics,
     tracer: Tracer,
 }
@@ -284,12 +451,17 @@ impl Shared {
     fn current(&self) -> Arc<ServedModel> {
         Arc::clone(&self.model.read().expect("served model lock poisoned"))
     }
+
+    /// The shard a fingerprint routes to — the home of its queue slot
+    /// and its cache entry.
+    fn shard_of(&self, fingerprint: u64) -> &Shard {
+        &self.shards[(fingerprint % self.shards.len() as u64) as usize]
+    }
 }
 
 /// A running prediction service over one trained model and one database
 /// catalog.
 pub struct PredictionServer {
-    sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     config: ServerConfig,
@@ -319,27 +491,36 @@ impl PredictionServer {
             config.queue_capacity > 0,
             "a zero-capacity queue would reject every request"
         );
+        let metrics = ServeMetrics::new();
+        // The configured totals are split across the shards; div_ceil
+        // keeps every shard usable (≥ 1 queue slot, and a non-empty
+        // cache slice whenever caching is enabled at all).
+        let shard_queue = config.queue_capacity.div_ceil(config.workers).max(1);
+        let shard_cache = if config.cache_capacity == 0 {
+            0
+        } else {
+            config.cache_capacity.div_ceil(config.workers)
+        };
+        let shards = (0..config.workers)
+            .map(|i| Shard::new(shard_queue, shard_cache, metrics.shard_queue_gauge(i)))
+            .collect();
         let shared = Arc::new(Shared {
             model: RwLock::new(Arc::new(ServedModel { version, model })),
             catalog,
-            cache: FeatureCache::new(config.cache_capacity),
-            metrics: ServeMetrics::new(),
+            shards,
+            metrics,
             tracer: Tracer::new(TRACE_RING),
         });
-        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
-        let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("zsdb-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &receiver))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("failed to spawn serving worker")
             })
             .collect();
         PredictionServer {
-            sender: Some(sender),
             workers,
             shared,
             config,
@@ -360,17 +541,20 @@ impl PredictionServer {
         plan: PlanNode,
         trace: Option<ActiveTrace>,
     ) -> Result<PredictionTicket, ServeError> {
+        // The fingerprint both routes the request (cache affinity) and
+        // keys the cache — computed once here, carried in the job.
+        let fingerprint = plan_fingerprint(&plan);
         let (reply, rx) = mpsc::channel();
         let job = Job::Single {
             plan,
+            fingerprint,
             enqueued: Instant::now(),
             reply,
             trace,
         };
-        self.sender
-            .as_ref()
-            .ok_or(ServeError::Closed)?
-            .send(job)
+        self.shared
+            .shard_of(fingerprint)
+            .push_wait(job)
             .map_err(|_| ServeError::Closed)?;
         self.shared.metrics.queue_inc();
         Ok(PredictionTicket { rx })
@@ -404,6 +588,10 @@ impl PredictionServer {
                 Vec::new()
             };
             let chunk = std::mem::replace(&mut remaining, rest);
+            // Route the chunk by its first plan's fingerprint: a batch of
+            // repeats of one shape gets the same cache affinity as the
+            // equivalent single submissions.
+            let fingerprint = plan_fingerprint(&chunk[0]);
             let (reply, rx) = mpsc::channel();
             let job = Job::Batch {
                 plans: chunk,
@@ -411,10 +599,9 @@ impl PredictionServer {
                 reply,
                 trace: None,
             };
-            self.sender
-                .as_ref()
-                .ok_or(ServeError::Closed)?
-                .send(job)
+            self.shared
+                .shard_of(fingerprint)
+                .push_wait(job)
                 .map_err(|_| ServeError::Closed)?;
             self.shared.metrics.queue_inc();
             parts.push(rx);
@@ -439,16 +626,11 @@ impl PredictionServer {
         plan: PlanNode,
         trace: Option<ActiveTrace>,
     ) -> Result<PredictionTicket, RejectedRequest> {
-        let sender = match self.sender.as_ref() {
-            Some(s) => s,
-            None => {
-                self.shared.metrics.record_rejection();
-                return Err(RejectedRequest::new(plan, ServeError::Closed));
-            }
-        };
+        let fingerprint = plan_fingerprint(&plan);
         let (reply, rx) = mpsc::channel();
         let job = Job::Single {
             plan,
+            fingerprint,
             enqueued: Instant::now(),
             reply,
             trace,
@@ -457,18 +639,14 @@ impl PredictionServer {
             Job::Single { plan, .. } => plan,
             Job::Batch { .. } => unreachable!("single submission cannot hold a batch"),
         };
-        match sender.try_send(job) {
+        match self.shared.shard_of(fingerprint).try_push(job) {
             Ok(()) => {
                 self.shared.metrics.queue_inc();
                 Ok(PredictionTicket { rx })
             }
-            Err(TrySendError::Full(job)) => {
+            Err((job, reason)) => {
                 self.shared.metrics.record_rejection();
-                Err(RejectedRequest::new(take_plan(job), ServeError::Overloaded))
-            }
-            Err(TrySendError::Disconnected(job)) => {
-                self.shared.metrics.record_rejection();
-                Err(RejectedRequest::new(take_plan(job), ServeError::Closed))
+                Err(RejectedRequest::new(take_plan(*job), reason))
             }
         }
     }
@@ -507,19 +685,13 @@ impl PredictionServer {
         let mut parts = Vec::with_capacity(plans.len().div_ceil(max));
         let mut remaining = plans;
         while !remaining.is_empty() {
-            let sender = match self.sender.as_ref() {
-                Some(s) => s,
-                None => {
-                    self.shared.metrics.record_rejection();
-                    return Err(RejectedBatch::new(remaining, ServeError::Closed, parts));
-                }
-            };
             let rest = if remaining.len() > max {
                 remaining.split_off(max)
             } else {
                 Vec::new()
             };
             let chunk = std::mem::replace(&mut remaining, rest);
+            let fingerprint = plan_fingerprint(&chunk[0]);
             let (reply, rx) = mpsc::channel();
             let job = Job::Batch {
                 plans: chunk,
@@ -531,22 +703,16 @@ impl PredictionServer {
                 Job::Batch { plans, .. } => plans,
                 Job::Single { .. } => unreachable!("batch submission cannot hold a single"),
             };
-            match sender.try_send(job) {
+            match self.shared.shard_of(fingerprint).try_push(job) {
                 Ok(()) => {
                     self.shared.metrics.queue_inc();
                     parts.push(rx);
                 }
-                Err(TrySendError::Full(job)) => {
+                Err((job, reason)) => {
                     self.shared.metrics.record_rejection();
-                    let mut unsent = take_plans(job);
+                    let mut unsent = take_plans(*job);
                     unsent.append(&mut remaining);
-                    return Err(RejectedBatch::new(unsent, ServeError::Overloaded, parts));
-                }
-                Err(TrySendError::Disconnected(job)) => {
-                    self.shared.metrics.record_rejection();
-                    let mut unsent = take_plans(job);
-                    unsent.append(&mut remaining);
-                    return Err(RejectedBatch::new(unsent, ServeError::Closed, parts));
+                    return Err(RejectedBatch::new(unsent, reason, parts));
                 }
             }
         }
@@ -577,7 +743,11 @@ impl PredictionServer {
             .model
             .write()
             .expect("served model lock poisoned") = next;
-        self.shared.cache.invalidate();
+        // Every shard's cache slice is cleared; the merged stats count
+        // this as one logical invalidation (see `CacheStats::merge`).
+        for shard in &self.shared.shards {
+            shard.cache.invalidate();
+        }
         self.shared.metrics.record_swap();
         self.shared.tracer.event(
             "serve.model_swap",
@@ -605,16 +775,23 @@ impl PredictionServer {
     }
 
     /// Current serving metrics (throughput, latency percentiles, cache
-    /// effectiveness).
+    /// effectiveness aggregated across the shards).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared
             .metrics
-            .snapshot(self.shared.cache.stats(), self.config.workers)
+            .snapshot(self.cache_stats(), self.config.workers)
     }
 
-    /// Feature-cache statistics.
+    /// Feature-cache statistics, merged over every shard's cache slice:
+    /// hits, misses, lengths and capacities are summed (so the derived
+    /// hit-rate divides total hits by total lookups), invalidations
+    /// count hot-swaps once regardless of the shard count.
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.cache.stats()
+        let mut total = CacheStats::default();
+        for shard in &self.shared.shards {
+            total.merge(&shard.cache.stats());
+        }
+        total
     }
 
     /// The server's trace collector: begin traces to attach to
@@ -631,11 +808,12 @@ impl PredictionServer {
         &self.shared.metrics
     }
 
-    /// Prometheus text exposition of the serving metrics.
+    /// Prometheus text exposition of the serving metrics (including the
+    /// per-shard `serve_shard_N_queue_depth` gauges).
     pub fn prometheus_text(&self) -> String {
         self.shared
             .metrics
-            .prometheus_text(self.shared.cache.stats(), self.config.workers)
+            .prometheus_text(self.cache_stats(), self.config.workers)
     }
 
     /// The server's configuration.
@@ -650,9 +828,12 @@ impl PredictionServer {
     }
 
     fn stop_workers(&mut self) {
-        // Dropping the sole SyncSender disconnects the channel; workers
-        // finish queued jobs and exit when `recv` fails.
-        drop(self.sender.take());
+        // Closing every shard stops admission; each worker drains its
+        // own queue (every shard has exactly one owning worker) and
+        // exits, so no accepted job is dropped.
+        for shard in &self.shared.shards {
+            shard.close();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -665,123 +846,206 @@ impl Drop for PredictionServer {
     }
 }
 
-fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
-    let mut scratch = InferenceScratch::default();
+/// Per-worker reusable buffers: the inference scratch, the featurization
+/// arena with its target graph, and the batch sweep's collection
+/// vectors.  All of them grow to the workload's high-water mark during
+/// warm-up and are then reused allocation-free.
+struct WorkerState {
+    scratch: InferenceScratch,
+    arena: GraphArena,
+    /// Arena-backed featurization target, rebuilt in place per miss.
+    graph: PlanGraph,
+    fingerprints: Vec<u64>,
+    cache_hits: Vec<bool>,
+    graphs: Vec<Arc<PlanGraph>>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        let mut arena = GraphArena::new();
+        let graph = arena.take_graph();
+        WorkerState {
+            scratch: InferenceScratch::default(),
+            arena,
+            graph,
+            fingerprints: Vec::new(),
+            cache_hits: Vec::new(),
+            graphs: Vec::new(),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    let mut state = WorkerState::new();
+    let shard_count = shared.shards.len();
     loop {
-        // Hold the receiver lock only while dequeuing, never during
-        // inference.
-        let job = match receiver.lock().expect("job queue poisoned").recv() {
-            Ok(job) => job,
-            Err(_) => return, // all senders dropped: shutdown
-        };
-        shared.metrics.queue_dec();
-        match job {
-            Job::Single {
-                plan,
-                enqueued,
-                reply,
-                mut trace,
-            } => {
-                if let Some(t) = trace.as_mut() {
-                    t.mark(STAGE_QUEUE_WAIT);
-                }
-                // Pin the current model for the whole job: a concurrent
-                // hot-swap never changes weights mid-request.
-                let served = shared.current();
-                let fingerprint = plan_fingerprint(&plan);
-                let (graph, cache_hit) = {
-                    // On a miss the closure runs: its entry checkpoint
-                    // closes the cache-lookup stage, so featurization gets
-                    // its own stage below.
-                    let miss_trace = &mut trace;
-                    shared
-                        .cache
-                        .get_or_insert_with(served.version, fingerprint, || {
-                            if let Some(t) = miss_trace.as_mut() {
-                                t.mark(STAGE_CACHE_LOOKUP);
-                            }
-                            featurize_plan(&shared.catalog, &plan, served.model.featurizer)
-                        })
-                };
-                if let Some(t) = trace.as_mut() {
-                    if cache_hit {
-                        t.mark(STAGE_CACHE_LOOKUP);
-                    } else {
+        // Fast path: own queue (lock held only to dequeue, never during
+        // inference).
+        if let Some(job) = shared.shards[me].try_pop() {
+            shared.metrics.queue_dec();
+            process_job(shared, &mut state, job);
+            continue;
+        }
+        // Own queue empty: one steal pass over the other shards, oldest
+        // job first, so a fingerprint-skewed burst cannot idle the pool.
+        let mut stole = false;
+        for offset in 1..shard_count {
+            let victim = (me + offset) % shard_count;
+            if let Some(job) = shared.shards[victim].try_pop() {
+                shared.metrics.queue_dec();
+                process_job(shared, &mut state, job);
+                stole = true;
+                break;
+            }
+        }
+        if stole {
+            continue;
+        }
+        // Nothing anywhere: park on the own queue until a push arrives,
+        // the park times out (→ next steal pass) or the server closes.
+        match shared.shards[me].pop_or_park(STEAL_PARK) {
+            Dequeued::Job(job) => {
+                shared.metrics.queue_dec();
+                process_job(shared, &mut state, *job);
+            }
+            Dequeued::Idle => {}
+            Dequeued::Closed => return,
+        }
+    }
+}
+
+fn process_job(shared: &Shared, state: &mut WorkerState, job: Job) {
+    match job {
+        Job::Single {
+            plan,
+            fingerprint,
+            enqueued,
+            reply,
+            mut trace,
+        } => {
+            if let Some(t) = trace.as_mut() {
+                t.mark(STAGE_QUEUE_WAIT);
+            }
+            // Pin the current model for the whole job: a concurrent
+            // hot-swap never changes weights mid-request.
+            let served = shared.current();
+            // The fingerprint's *home* shard holds its cache entry —
+            // also when this worker stole the job from another queue.
+            let cache = &shared.shard_of(fingerprint).cache;
+            let cached = cache.get(served.version, fingerprint);
+            if let Some(t) = trace.as_mut() {
+                t.mark(STAGE_CACHE_LOOKUP);
+            }
+            let cache_hit = cached.is_some();
+            let runtime_secs = match cached {
+                Some(graph) => served.model.model.predict_with(&graph, &mut state.scratch),
+                None => {
+                    featurize_plan_into(
+                        &shared.catalog,
+                        &plan,
+                        served.model.featurizer,
+                        &mut state.arena,
+                        &mut state.graph,
+                    );
+                    // Publishing to the cache clones the graph out of the
+                    // arena buffers (cold path only); with caching
+                    // disabled the miss path stays allocation-free too.
+                    if cache.capacity() > 0 {
+                        cache.insert(served.version, fingerprint, Arc::new(state.graph.clone()));
+                    }
+                    if let Some(t) = trace.as_mut() {
                         t.mark(STAGE_FEATURIZE);
                     }
+                    served
+                        .model
+                        .model
+                        .predict_with(&state.graph, &mut state.scratch)
                 }
-                let runtime_secs = served.model.model.predict_with(&graph, &mut scratch);
-                if let Some(t) = trace.as_mut() {
-                    t.mark(STAGE_FORWARD);
-                }
-                let latency = enqueued.elapsed();
-                shared.metrics.record(latency);
-                // A dropped ticket just means the client stopped waiting.
-                let _ = reply.send((
-                    Prediction {
-                        runtime_secs,
-                        fingerprint,
-                        cache_hit,
-                        latency,
-                        model_version: served.version,
-                    },
-                    trace,
-                ));
+            };
+            if let Some(t) = trace.as_mut() {
+                t.mark(STAGE_FORWARD);
             }
-            Job::Batch {
-                plans,
-                enqueued,
-                reply,
-                mut trace,
-            } => {
-                if let Some(t) = trace.as_mut() {
-                    t.mark(STAGE_QUEUE_WAIT);
-                }
-                // One featurization sweep (cache-assisted), then a single
-                // batched forward over the whole request batch — all on
-                // one pinned model version.
-                let served = shared.current();
-                let mut fingerprints = Vec::with_capacity(plans.len());
-                let mut cache_hits = Vec::with_capacity(plans.len());
-                let mut graphs = Vec::with_capacity(plans.len());
-                for plan in &plans {
-                    let fingerprint = plan_fingerprint(plan);
-                    let (graph, cache_hit) =
-                        shared
-                            .cache
-                            .get_or_insert_with(served.version, fingerprint, || {
-                                featurize_plan(&shared.catalog, plan, served.model.featurizer)
-                            });
-                    fingerprints.push(fingerprint);
-                    cache_hits.push(cache_hit);
-                    graphs.push(graph);
-                }
-                if let Some(t) = trace.as_mut() {
-                    // Lookups and featurization interleave across the
-                    // sweep, so the whole sweep is one featurize stage.
-                    t.mark(STAGE_FEATURIZE);
-                }
-                let refs: Vec<&zsdb_core::PlanGraph> = graphs.iter().map(|g| g.as_ref()).collect();
-                let runtimes = served.model.model.predict_batch(&refs);
-                if let Some(t) = trace.as_mut() {
-                    t.mark(STAGE_FORWARD);
-                }
-                let latency = enqueued.elapsed();
-                shared.metrics.record_batch(plans.len(), latency);
-                let predictions = runtimes
-                    .into_iter()
-                    .zip(fingerprints)
-                    .zip(cache_hits)
-                    .map(|((runtime_secs, fingerprint), cache_hit)| Prediction {
-                        runtime_secs,
-                        fingerprint,
-                        cache_hit,
-                        latency,
-                        model_version: served.version,
-                    })
-                    .collect();
-                let _ = reply.send((predictions, trace));
+            let latency = enqueued.elapsed();
+            shared.metrics.record(latency);
+            // A dropped ticket just means the client stopped waiting.
+            let _ = reply.send((
+                Prediction {
+                    runtime_secs,
+                    fingerprint,
+                    cache_hit,
+                    latency,
+                    model_version: served.version,
+                },
+                trace,
+            ));
+        }
+        Job::Batch {
+            plans,
+            enqueued,
+            reply,
+            mut trace,
+        } => {
+            if let Some(t) = trace.as_mut() {
+                t.mark(STAGE_QUEUE_WAIT);
             }
+            // One featurization sweep (cache-assisted, each plan against
+            // its home shard's cache slice), then a single batched
+            // forward over the whole request batch — all on one pinned
+            // model version.
+            let served = shared.current();
+            state.fingerprints.clear();
+            state.cache_hits.clear();
+            state.graphs.clear();
+            for plan in &plans {
+                let fingerprint = plan_fingerprint(plan);
+                let cache = &shared.shard_of(fingerprint).cache;
+                let (graph, cache_hit) = match cache.get(served.version, fingerprint) {
+                    Some(graph) => (graph, true),
+                    None => {
+                        featurize_plan_into(
+                            &shared.catalog,
+                            plan,
+                            served.model.featurizer,
+                            &mut state.arena,
+                            &mut state.graph,
+                        );
+                        let graph = Arc::new(state.graph.clone());
+                        if cache.capacity() > 0 {
+                            cache.insert(served.version, fingerprint, Arc::clone(&graph));
+                        }
+                        (graph, false)
+                    }
+                };
+                state.fingerprints.push(fingerprint);
+                state.cache_hits.push(cache_hit);
+                state.graphs.push(graph);
+            }
+            if let Some(t) = trace.as_mut() {
+                // Lookups and featurization interleave across the
+                // sweep, so the whole sweep is one featurize stage.
+                t.mark(STAGE_FEATURIZE);
+            }
+            let refs: Vec<&PlanGraph> = state.graphs.iter().map(|g| g.as_ref()).collect();
+            let runtimes = served.model.model.predict_batch(&refs);
+            if let Some(t) = trace.as_mut() {
+                t.mark(STAGE_FORWARD);
+            }
+            let latency = enqueued.elapsed();
+            shared.metrics.record_batch(plans.len(), latency);
+            let predictions = runtimes
+                .into_iter()
+                .zip(state.fingerprints.drain(..))
+                .zip(state.cache_hits.drain(..))
+                .map(|((runtime_secs, fingerprint), cache_hit)| Prediction {
+                    runtime_secs,
+                    fingerprint,
+                    cache_hit,
+                    latency,
+                    model_version: served.version,
+                })
+                .collect();
+            state.graphs.clear();
+            let _ = reply.send((predictions, trace));
         }
     }
 }
@@ -790,6 +1054,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
 mod tests {
     use super::*;
     use zsdb_catalog::presets;
+    use zsdb_core::features::featurize_plan;
     use zsdb_core::features::FeaturizerConfig;
     use zsdb_core::model::ModelConfig;
     use zsdb_core::train::{Trainer, TrainingConfig};
@@ -1145,13 +1410,21 @@ mod tests {
             drop(server.submit(plan.clone()).unwrap());
         }
         drop(server.submit_batch(plans.clone()).unwrap());
-        // Workers must still drain the queue and answer new requests.
+        // Workers must still drain the queues and answer new requests.
         let answered = server.predict_blocking(plans[0].clone()).unwrap();
         assert!(answered.runtime_secs.is_finite());
-        let metrics = server.metrics();
-        // Every abandoned request was still fully processed (no wedged
+        // Every abandoned request is still fully processed (no wedged
         // worker, no leaked slot): 12 singles + one 15-plan batch + 1.
-        assert_eq!(metrics.total_requests, 12 + plans.len() as u64 + 1);
+        // Shards drain independently of the blocking request above, so
+        // poll until the abandoned jobs flush through.
+        let expected = 12 + plans.len() as u64 + 1;
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut metrics = server.metrics();
+        while metrics.total_requests != expected && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            metrics = server.metrics();
+        }
+        assert_eq!(metrics.total_requests, expected);
         assert_eq!(metrics.rejected_requests, 0);
     }
 
@@ -1166,6 +1439,131 @@ mod tests {
         assert_eq!(final_metrics.total_requests, 6);
         assert!(final_metrics.throughput_qps > 0.0);
         assert!(final_metrics.latency_p50_ms > 0.0);
+    }
+
+    #[test]
+    fn sharded_server_matches_one_shard_server_bit_for_bit() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let one = PredictionServer::start(
+            model.clone(),
+            catalog.clone(),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let many = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        );
+        for plan in &plans {
+            let a = one.predict_blocking(plan.clone()).unwrap();
+            let b = many.predict_blocking(plan.clone()).unwrap();
+            assert_eq!(
+                a.runtime_secs.to_bits(),
+                b.runtime_secs.to_bits(),
+                "shard count must not change a single bit"
+            );
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+        // Batched submission too: chunk routing differs between the two
+        // servers, the answers must not.
+        let a = one.submit_batch(plans.clone()).unwrap().wait().unwrap();
+        let b = many.submit_batch(plans.clone()).unwrap().wait().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.runtime_secs.to_bits(), y.runtime_secs.to_bits());
+        }
+    }
+
+    #[test]
+    fn metrics_expose_one_queue_depth_gauge_per_shard() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+        );
+        server.predict_blocking(plans[0].clone()).unwrap();
+        let snap = server.metrics();
+        assert_eq!(snap.shard_queue_depths.len(), 3);
+        assert!(
+            snap.shard_queue_depths.iter().all(|&d| d == 0),
+            "idle server has empty shard queues: {:?}",
+            snap.shard_queue_depths
+        );
+        let text = server.prometheus_text();
+        for shard in 0..3 {
+            assert!(text.contains(&format!("serve_shard_{shard}_queue_depth")));
+        }
+    }
+
+    #[test]
+    fn a_hot_fingerprint_is_drained_by_the_whole_pool() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        // Every request is the same plan, so every job routes to one
+        // shard whose queue holds just one job (queue_capacity 4 over 4
+        // shards); the blocking submits only keep up because idle
+        // workers steal from the hot shard.
+        let server = Arc::new(PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 4,
+                queue_capacity: 4,
+                cache_capacity: 0,
+                ..ServerConfig::default()
+            },
+        ));
+        let mut tickets = Vec::new();
+        for _ in 0..200 {
+            tickets.push(server.submit(plans[0].clone()).unwrap());
+        }
+        let first = tickets.remove(0).wait().unwrap();
+        for t in tickets {
+            let p = t.wait().unwrap();
+            assert_eq!(p.runtime_secs.to_bits(), first.runtime_secs.to_bits());
+        }
+        assert_eq!(server.metrics().total_requests, 200);
+    }
+
+    #[test]
+    fn cache_stats_aggregate_across_shards() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start(
+            model,
+            catalog,
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        );
+        // Two rounds over every plan: round one misses, round two hits,
+        // spread over the per-shard cache slices.
+        for _ in 0..2 {
+            for plan in &plans {
+                server.predict_blocking(plan.clone()).unwrap();
+            }
+        }
+        let stats = server.cache_stats();
+        assert_eq!(stats.hits, plans.len() as u64);
+        assert_eq!(stats.misses, plans.len() as u64);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.len, plans.len(), "every shape cached exactly once");
+        assert_eq!(
+            stats.capacity,
+            ServerConfig::default().cache_capacity,
+            "shard slices sum back to the configured capacity"
+        );
+        let snap = server.metrics();
+        assert_eq!(snap.cache_hits, plans.len() as u64);
+        assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Allocation-regression guard for the serving hot path.
+//!
+//! The raw-speed inference path promises that a **warm** request —
+//! featurization into arena-backed scratch, a cache hit on the slab LRU,
+//! and the forward pass through caller-provided [`InferenceScratch`] —
+//! performs **zero heap allocations**.  This test enforces it with a
+//! counting `#[global_allocator]`: warm the buffers to their high-water
+//! mark, then replay the hot path and assert the allocation counter does
+//! not move.
+//!
+//! Integration tests are separate crates, so installing a global
+//! allocator (and the `unsafe` it requires) here does not relax the
+//! `#![forbid(unsafe_code)]` contract of any library crate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use zero_shot_db::catalog::presets;
+use zero_shot_db::serve::FeatureCache;
+use zero_shot_db::storage::Database;
+use zero_shot_db::zeroshot::features::featurize_plan_into;
+use zero_shot_db::zeroshot::{plan_fingerprint, GraphArena, InferenceScratch};
+use zsdb_bench::tiny_serving_fixture;
+
+/// Pass-through allocator that counts every allocation (fresh and
+/// growing reallocations both count — the hot path must do neither).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_inference_hot_path_does_not_allocate() {
+    // Cold setup: database, trained model, request plans — allocate freely.
+    let db = Database::generate(presets::imdb_like(0.02), 11);
+    let (model, plans) = tiny_serving_fixture(&db, 8, 5);
+    let featurizer = model.featurizer;
+
+    let mut arena = GraphArena::new();
+    let mut graph = arena.take_graph();
+    let mut scratch = InferenceScratch::default();
+    let cache = FeatureCache::new(16);
+
+    // Warm-up: every buffer (arena node pools, flat state vector, MLP
+    // ping-pong buffers, cache slab) grows to its high-water mark here.
+    // Two rounds so re-featurizing an already-seen shape is exercised
+    // warm too.
+    for _ in 0..2 {
+        for plan in &plans {
+            featurize_plan_into(db.catalog(), plan, featurizer, &mut arena, &mut graph);
+            let fingerprint = plan_fingerprint(plan);
+            cache.get_or_insert_with(1, fingerprint, || graph.clone());
+            let prediction = model.model.predict_with(&graph, &mut scratch);
+            assert!(prediction.is_finite());
+        }
+    }
+
+    // Measured section: the exact per-request hot path of a serving
+    // worker — featurize into warm scratch, slab-cache hit, forward
+    // pass — must not touch the allocator at all.
+    let mut checksum = 0.0;
+    let before = allocations();
+    for _ in 0..50 {
+        for plan in &plans {
+            featurize_plan_into(db.catalog(), plan, featurizer, &mut arena, &mut graph);
+            let fingerprint = plan_fingerprint(plan);
+            let cached = cache
+                .get(1, fingerprint)
+                .expect("warmed shape must be cached");
+            checksum += model.model.predict_with(&cached, &mut scratch);
+        }
+    }
+    let after = allocations();
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm hot path allocated {} times over {} requests",
+        after - before,
+        50 * plans.len()
+    );
+}
+
+#[test]
+fn counting_allocator_is_installed() {
+    let before = allocations();
+    let v: Vec<u64> = Vec::with_capacity(1024);
+    drop(v);
+    assert!(allocations() > before, "global allocator hook not active");
+}

@@ -1,9 +1,11 @@
 //! Property-based tests over the core invariants of the workspace:
 //! generated schemas/workloads are always valid, plans always cover their
 //! queries, executions are deterministic, featurization is structurally
-//! sound, Q-errors behave like a metric, and **every cardinality
+//! sound, Q-errors behave like a metric, **every cardinality
 //! estimator** — classical and learned — stays sane on arbitrary
-//! predicates.
+//! predicates, and the sharded prediction server answers any request
+//! schedule bit-identically to a single-shard server, hot-swaps
+//! included.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -23,10 +25,11 @@ use zero_shot_db::multitask::{
 };
 use zero_shot_db::nn::{percentile, q_error};
 use zero_shot_db::query::{CmpOp, Predicate, Query, WorkloadGenerator, WorkloadSpec};
-use zero_shot_db::serve::DriftDetector;
+use zero_shot_db::serve::{DriftDetector, PredictionServer, ServerConfig};
 use zero_shot_db::storage::Database;
 use zero_shot_db::zeroshot::features::{featurize_execution, FeaturizerConfig};
-use zero_shot_db::zeroshot::TrainingConfig;
+use zero_shot_db::zeroshot::{TrainedModel, TrainingConfig};
+use zsdb_bench::tiny_serving_fixture;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -281,6 +284,147 @@ fn classical_fixture() -> (
         }
     });
     (&all.histogram, &all.sampling, &all.exact)
+}
+
+/// One step of a serving schedule: a single blocking prediction or a
+/// batched submission, both indexing into the fixture's plan pool.
+#[derive(Debug, Clone)]
+enum ServeOp {
+    Single(usize),
+    Batch(Vec<usize>),
+}
+
+/// Derive an arbitrary schedule from a seed (the vendored proptest has
+/// no combinator strategies, so structured inputs follow the same
+/// seeded-`StdRng` idiom as the estimator property test above).
+fn arbitrary_schedule(seed: u64) -> (Vec<ServeOp>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5E4E);
+    let len = rng.random_range(1..16);
+    let ops = (0..len)
+        .map(|_| {
+            if rng.random_range(0..3) == 0 {
+                let batch = rng.random_range(1..6);
+                ServeOp::Batch(
+                    (0..batch)
+                        .map(|_| rng.random_range(0..NUM_SERVE_PLANS))
+                        .collect(),
+                )
+            } else {
+                ServeOp::Single(rng.random_range(0..NUM_SERVE_PLANS))
+            }
+        })
+        .collect();
+    let swap_at = rng.random_range(0..16);
+    (ops, swap_at)
+}
+
+/// Serving fixture shared across proptest cases: two small trained
+/// models (the second is the hot-swap target) and the plan pool requests
+/// are drawn from.  Training is expensive, so it happens once.
+fn serving_models() -> &'static (
+    TrainedModel,
+    TrainedModel,
+    Vec<zero_shot_db::engine::PlanNode>,
+) {
+    static FIX: OnceLock<(
+        TrainedModel,
+        TrainedModel,
+        Vec<zero_shot_db::engine::PlanNode>,
+    )> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let db = property_db();
+        let (first, plans) = tiny_serving_fixture(db, NUM_SERVE_PLANS, 5);
+        let (swapped, _) = tiny_serving_fixture(db, NUM_SERVE_PLANS, 9);
+        (first, swapped, plans)
+    })
+}
+
+const NUM_SERVE_PLANS: usize = 10;
+
+/// Replay `ops` against a fresh server with the given shard count,
+/// hot-swapping to the second model before step `swap_at`.  Requests are
+/// issued one at a time (submission order is part of the schedule), and
+/// every observable of every prediction is captured bit-exactly.
+fn replay_schedule(
+    workers: usize,
+    ops: &[ServeOp],
+    swap_at: usize,
+) -> Result<Vec<(u64, u64, u32, bool)>, TestCaseError> {
+    let (first, swapped, plans) = serving_models();
+    let server = PredictionServer::start(
+        first.clone(),
+        property_db().catalog().clone(),
+        ServerConfig {
+            workers,
+            // Large enough that no shard slice ever evicts: the hit/miss
+            // pattern is then a pure function of the schedule.
+            cache_capacity: 64 * workers,
+            ..ServerConfig::default()
+        },
+    );
+    let mut observed = Vec::new();
+    let mut record = |p: &zero_shot_db::serve::Prediction| {
+        observed.push((
+            p.runtime_secs.to_bits(),
+            p.fingerprint,
+            p.model_version,
+            p.cache_hit,
+        ));
+    };
+    for (i, op) in ops.iter().enumerate() {
+        if i == swap_at {
+            server.swap_model(swapped.clone(), 2);
+        }
+        match op {
+            ServeOp::Single(p) => {
+                let prediction = server
+                    .predict_blocking(plans[*p].clone())
+                    .map_err(|e| TestCaseError::fail(format!("predict: {e}")))?;
+                record(&prediction);
+            }
+            ServeOp::Batch(indices) => {
+                let batch: Vec<_> = indices.iter().map(|&p| plans[p].clone()).collect();
+                let predictions = server
+                    .submit_batch(batch)
+                    .and_then(|t| t.wait())
+                    .map_err(|e| TestCaseError::fail(format!("batch: {e}")))?;
+                for prediction in &predictions {
+                    record(prediction);
+                }
+            }
+        }
+    }
+    Ok(observed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// **Sharding is invisible in the numbers.**  Any schedule of single
+    /// and batched submissions — including a mid-stream hot-swap to a
+    /// different model — produces bit-identical predictions, fingerprints,
+    /// model versions and cache-hit flags on a multi-shard server and on
+    /// a single-shard server, whichever shard each request lands on and
+    /// whoever steals it.
+    #[test]
+    fn sharded_serving_is_bit_identical_to_single_shard(
+        seed in 0u64..10_000,
+        workers in 2usize..5,
+    ) {
+        let (ops, swap_at) = arbitrary_schedule(seed);
+        let baseline = replay_schedule(1, &ops, swap_at)?;
+        let sharded = replay_schedule(workers, &ops, swap_at)?;
+        prop_assert_eq!(&baseline, &sharded);
+        // The swap is observable: predictions from step `swap_at` onward
+        // carry the swapped model's version.
+        let steps_before_swap: usize = ops.iter().take(swap_at).map(|op| match op {
+            ServeOp::Single(_) => 1,
+            ServeOp::Batch(b) => b.len(),
+        }).sum();
+        for (i, &(_, _, version, _)) in baseline.iter().enumerate() {
+            prop_assert_eq!(version, if i < steps_before_swap { 1 } else { 2 });
+        }
+    }
 }
 
 /// An arbitrary — possibly hostile — predicate on one of the query's
