@@ -1,12 +1,14 @@
 //! Observability overhead benchmark: drives the same serving workload
-//! twice through one `zsdb_serve` worker pool — tracer disabled, then
-//! enabled — and emits a machine-readable `BENCH_obs.json` report with
-//! both throughputs, the instrumentation overhead, and the per-stage
-//! latency breakdown gathered by the enabled pass.
+//! three times through one `zsdb_serve` worker pool — tracer disabled,
+//! tracer enabled, and tracer + flight recorder + provenance enabled —
+//! and emits a machine-readable `BENCH_obs.json` report with all three
+//! throughputs, both overheads, and the per-stage latency breakdown
+//! gathered by the instrumented passes.
 //!
-//! The binary exits non-zero when the instrumented pass regresses
-//! throughput by more than `--max-overhead-pct` (default 10%), so CI
-//! catches an instrumentation path that stops being cheap.
+//! The binary exits non-zero when either the tracer pass or the
+//! recorder-on pass regresses throughput by more than
+//! `--max-overhead-pct` (default 10%), so CI catches an
+//! instrumentation path that stops being cheap.
 //!
 //! Usage:
 //! `cargo run -p zsdb_bench --release --bin bench_obs -- \
@@ -20,7 +22,7 @@ use serde::Serialize;
 use zsdb_bench::tiny_serving_fixture;
 use zsdb_catalog::presets;
 use zsdb_engine::PlanNode;
-use zsdb_serve::{PredictionServer, ServerConfig};
+use zsdb_serve::{ObservabilityConfig, PredictionServer, ServerConfig};
 use zsdb_storage::Database;
 
 struct Args {
@@ -86,6 +88,15 @@ struct BenchObsReport {
     /// Throughput lost to instrumentation, in percent of the baseline
     /// (negative means the instrumented pass happened to run faster).
     overhead_pct: f64,
+    /// Best round's throughput with the tracer, flight recorder, and
+    /// per-request provenance assembly all enabled.
+    recorder_on_qps: f64,
+    /// Throughput lost to the flight recorder + provenance, in percent
+    /// of the tracer-only (recorder-off) pass.
+    recorder_overhead_pct: f64,
+    /// Slow-ring occupancy after the recorder-on rounds — proof the
+    /// recorder actually retained traces while being measured.
+    slow_requests_retained: usize,
     /// The failure threshold this run was checked against.
     max_overhead_pct: f64,
     /// Per-stage latency breakdown from the instrumented pass.
@@ -102,6 +113,7 @@ fn run_pass(
     plans: &[PlanNode],
     requests: usize,
     clients: usize,
+    provenance: bool,
 ) -> f64 {
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -113,10 +125,16 @@ fn run_pass(
                     let plan = plans[(c + i * clients) % plans.len()].clone();
                     let trace = server.tracer().begin();
                     let ticket = server.submit_traced(plan, trace).unwrap();
-                    let (_prediction, trace) = ticket.wait_traced().unwrap();
+                    let (prediction, trace) = ticket.wait_traced().unwrap();
                     if let Some(t) = trace {
-                        let done = server.tracer().finish(t);
-                        server.recorder().stage_recorder().record_trace(&done);
+                        if provenance {
+                            // Full cold path: stage histograms, flight
+                            // recorder retention, provenance assembly.
+                            server.complete_traced(&prediction, t);
+                        } else {
+                            let done = server.tracer().finish(t);
+                            server.recorder().stage_recorder().record_trace(&done);
+                        }
                     }
                 }
             });
@@ -134,8 +152,9 @@ fn main() {
 
     let db = Database::generate(presets::imdb_like(0.02), 11);
     let (model, plans) = tiny_serving_fixture(&db, args.distinct, 5);
-    let server = Arc::new(PredictionServer::start(
+    let server = Arc::new(PredictionServer::start_observed(
         model,
+        1,
         db.catalog().clone(),
         ServerConfig {
             workers: args.workers,
@@ -143,28 +162,48 @@ fn main() {
             cache_capacity: args.cache,
             ..ServerConfig::default()
         },
+        ObservabilityConfig::default(),
     ));
 
     // Warm the feature cache and the thread pool outside the clock.
     server.tracer().set_enabled(false);
-    run_pass(&server, &plans, args.requests / 4, args.workers.max(1));
+    server.flight_recorder().set_enabled(false);
+    run_pass(
+        &server,
+        &plans,
+        args.requests / 4,
+        args.workers.max(1),
+        false,
+    );
 
-    // Alternate baseline/instrumented rounds so slow-machine noise hits
-    // both sides, and score each side by its best round.
+    // Alternate baseline / tracer-on / recorder-on rounds so
+    // slow-machine noise hits every side, and score each side by its
+    // best round.
     let mut baseline_qps = 0.0f64;
     let mut instrumented_qps = 0.0f64;
+    let mut recorder_on_qps = 0.0f64;
     for round in 0..args.rounds {
         server.tracer().set_enabled(false);
-        let off =
-            args.requests as f64 / run_pass(&server, &plans, args.requests, args.workers.max(1));
+        server.flight_recorder().set_enabled(false);
+        let off = args.requests as f64
+            / run_pass(&server, &plans, args.requests, args.workers.max(1), false);
         server.tracer().set_enabled(true);
-        let on =
-            args.requests as f64 / run_pass(&server, &plans, args.requests, args.workers.max(1));
+        let on = args.requests as f64
+            / run_pass(&server, &plans, args.requests, args.workers.max(1), false);
+        server.flight_recorder().set_enabled(true);
+        let rec = args.requests as f64
+            / run_pass(&server, &plans, args.requests, args.workers.max(1), true);
         baseline_qps = baseline_qps.max(off);
         instrumented_qps = instrumented_qps.max(on);
-        println!("round {round}: tracer off {off:.0} req/s, tracer on {on:.0} req/s");
+        recorder_on_qps = recorder_on_qps.max(rec);
+        println!(
+            "round {round}: tracer off {off:.0} req/s, tracer on {on:.0} req/s, \
+             recorder on {rec:.0} req/s"
+        );
     }
     let overhead_pct = (baseline_qps - instrumented_qps) / baseline_qps * 100.0;
+    let recorder_overhead_pct = (instrumented_qps - recorder_on_qps) / instrumented_qps * 100.0;
+    let slow_requests_retained = server.flight_recorder().slow_len();
 
     // Per-stage breakdown from the instrumented rounds' histograms.
     let snapshot = server.recorder().registry().snapshot();
@@ -195,6 +234,10 @@ fn main() {
          => overhead {overhead_pct:+.2}% (limit {:.1}%)",
         args.max_overhead_pct
     );
+    println!(
+        "recorder on {recorder_on_qps:.0} req/s => overhead {recorder_overhead_pct:+.2}% \
+         vs recorder off ({slow_requests_retained} slow traces retained)"
+    );
     for s in &stages {
         println!(
             "  {:<14} {:>9} samples  mean {:>10.0} ns  max {:>10} ns  {:>5.1}% of stage time",
@@ -210,6 +253,9 @@ fn main() {
         baseline_qps,
         instrumented_qps,
         overhead_pct,
+        recorder_on_qps,
+        recorder_overhead_pct,
+        slow_requests_retained,
         max_overhead_pct: args.max_overhead_pct,
         stages,
     };
@@ -219,6 +265,13 @@ fn main() {
     if overhead_pct > args.max_overhead_pct {
         eprintln!(
             "FAIL: instrumentation overhead {overhead_pct:.2}% exceeds the {:.1}% budget",
+            args.max_overhead_pct
+        );
+        std::process::exit(1);
+    }
+    if recorder_overhead_pct > args.max_overhead_pct {
+        eprintln!(
+            "FAIL: flight recorder overhead {recorder_overhead_pct:.2}% exceeds the {:.1}% budget",
             args.max_overhead_pct
         );
         std::process::exit(1);

@@ -41,8 +41,9 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 use zsdb_engine::PlanNode;
 use zsdb_protocol::{
-    encode_frame, read_frame, ErrorCode, Frame, GatewayMetrics, HealthResponse, HelloRequest,
-    Message, ProtocolError, WirePrediction, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    encode_frame, read_frame, ErrorCode, ExplainRequest, Frame, GatewayMetrics, HealthResponse,
+    HelloRequest, Message, ProtocolError, ProvenanceRecord, SlowLogRequest, WirePrediction,
+    WireSloStatus, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Client-side trace-id mint: nonzero, process-wide unique.  The id is
@@ -648,13 +649,7 @@ impl Client {
     /// call fails client-side with [`ClientError::Unsupported`] instead
     /// of sending an op the server would treat as an unreadable frame.
     pub fn metrics_text(&self) -> Result<String, ClientError> {
-        let conn = self.connection()?;
-        if conn.protocol_version < 2 {
-            return Err(ClientError::Unsupported(format!(
-                "MetricsText needs protocol v2, server negotiated v{}",
-                conn.protocol_version
-            )));
-        }
+        self.require_v2("MetricsText")?;
         let (message, _) = self.send(|| Message::MetricsText, 0)?.wait_message()?;
         match message {
             Message::MetricsTextOk(text) => Ok(text),
@@ -664,6 +659,83 @@ impl Client {
             }),
             other => Err(ClientError::UnexpectedResponse {
                 expected: "MetricsTextOk",
+                got: other.op_name(),
+            }),
+        }
+    }
+
+    /// Fail with [`ClientError::Unsupported`] when the negotiated
+    /// protocol predates `op` (a v2 extension) — refusing locally keeps
+    /// the op off a wire the server cannot frame.
+    fn require_v2(&self, op: &str) -> Result<(), ClientError> {
+        let conn = self.connection()?;
+        if conn.protocol_version < 2 {
+            return Err(ClientError::Unsupported(format!(
+                "{op} needs protocol v2, server negotiated v{}",
+                conn.protocol_version
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fetch the full provenance of one served prediction by its trace
+    /// id (see [`RemotePrediction::trace_id`]): plan fingerprint, model
+    /// name/version, cache hit, shard placement and the per-stage
+    /// latency breakdown.  Requires a protocol-v2 server; the server
+    /// answers `BadRequest` when no record with that id is retained.
+    pub fn explain(&self, trace_id: u64) -> Result<ProvenanceRecord, ClientError> {
+        self.require_v2("Explain")?;
+        let (message, _) = self
+            .send(|| Message::Explain(ExplainRequest { trace_id }), 0)?
+            .wait_message()?;
+        match message {
+            Message::ExplainOk(record) => Ok(*record),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::UnexpectedResponse {
+                expected: "ExplainOk",
+                got: other.op_name(),
+            }),
+        }
+    }
+
+    /// Fetch the server's slow-request log: the retained slow/failed
+    /// requests' provenance, worst (longest total latency) first, up to
+    /// `limit` records.  Requires a protocol-v2 server.
+    pub fn slow_log(&self, limit: u64) -> Result<Vec<ProvenanceRecord>, ClientError> {
+        self.require_v2("SlowLog")?;
+        let (message, _) = self
+            .send(|| Message::SlowLog(SlowLogRequest { limit }), 0)?
+            .wait_message()?;
+        match message {
+            Message::SlowLogOk(records) => Ok(records),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::UnexpectedResponse {
+                expected: "SlowLogOk",
+                got: other.op_name(),
+            }),
+        }
+    }
+
+    /// Fetch the server's SLO burn-rate position: configured objective +
+    /// target and the rolling windows' good/bad counts, error rates and
+    /// burn rates.  Requires a protocol-v2 server.
+    pub fn slo_status(&self) -> Result<WireSloStatus, ClientError> {
+        self.require_v2("SloStatus")?;
+        let (message, _) = self.send(|| Message::SloStatus, 0)?.wait_message()?;
+        match message {
+            Message::SloStatusOk(status) => Ok(status),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::UnexpectedResponse {
+                expected: "SloStatusOk",
                 got: other.op_name(),
             }),
         }
@@ -878,6 +950,20 @@ mod tests {
         // the client's dead-connection detection into a reconnect error.
         assert!(matches!(
             client.metrics_text(),
+            Err(ClientError::Unsupported(_))
+        ));
+        // The provenance/SLO ops are v2 extensions too: all refused
+        // locally, nothing on the wire.
+        assert!(matches!(
+            client.explain(1),
+            Err(ClientError::Unsupported(_))
+        ));
+        assert!(matches!(
+            client.slow_log(10),
+            Err(ClientError::Unsupported(_))
+        ));
+        assert!(matches!(
+            client.slo_status(),
             Err(ClientError::Unsupported(_))
         ));
 

@@ -1,19 +1,26 @@
 //! Prometheus-style text exposition (text format version 0.0.4).
 //!
 //! Renders a [`RegistrySnapshot`] as the plain-text format every
-//! Prometheus-compatible scraper understands: `# TYPE` headers, one
+//! Prometheus-compatible scraper understands: optional `# HELP` lines
+//! (from [`crate::metrics::Registry::describe`]), `# TYPE` headers, one
 //! `name value` line per counter/gauge, and cumulative `_bucket{le=...}`
 //! series plus `_sum`/`_count` per histogram.  Histogram bucket bounds
 //! are the log₂ upper bounds from [`crate::metrics::bucket_upper_bound`],
-//! with the final open bucket rendered as `+Inf`.
+//! with the final open bucket rendered as `+Inf`.  Exemplar trace ids
+//! are part of [`crate::metrics::HistogramSnapshot`] but not of the
+//! 0.0.4 text format, so they are not emitted here — scrape the JSON
+//! snapshot (or the `Explain` wire op) to follow a bucket to its trace.
 
 use std::fmt::Write as _;
 
 use crate::metrics::{bucket_upper_bound, RegistrySnapshot};
 
 /// Rewrite a metric name into the Prometheus grammar: `[a-zA-Z_:]` then
-/// `[a-zA-Z0-9_:]*`; every other character becomes `_`.
-fn sanitize(name: &str) -> String {
+/// `[a-zA-Z0-9_:]*`; every other character (including the `.` used by
+/// the registries' dotted names) becomes `_`.  This is the one shared
+/// sanitizer — every exposition call site routes names through it
+/// instead of hand-replacing characters.
+pub fn sanitize_metric_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for (i, c) in name.chars().enumerate() {
         let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
@@ -22,22 +29,42 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escape `# HELP` text per the exposition grammar (backslash and
+/// newline).
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn write_headers(out: &mut String, snapshot: &RegistrySnapshot, raw_name: &str, kind: &str) {
+    let name = sanitize_metric_name(raw_name);
+    if let Some(help) = snapshot.description(raw_name) {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
 /// Render the snapshot as Prometheus exposition text.
 pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
-        let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
+        write_headers(&mut out, snapshot, name, "counter");
+        let _ = writeln!(out, "{} {value}", sanitize_metric_name(name));
     }
     for (name, value) in &snapshot.gauges {
-        let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        let _ = writeln!(out, "{name} {value}");
+        write_headers(&mut out, snapshot, name, "gauge");
+        let _ = writeln!(out, "{} {value}", sanitize_metric_name(name));
     }
-    for (name, histogram) in &snapshot.histograms {
-        let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} histogram");
+    for (raw_name, histogram) in &snapshot.histograms {
+        write_headers(&mut out, snapshot, raw_name, "histogram");
+        let name = sanitize_metric_name(raw_name);
         let mut cumulative = 0u64;
         for (bucket, count) in histogram.buckets.iter().enumerate() {
             // Skip interior empty buckets to keep the output compact, but
@@ -89,9 +116,9 @@ mod tests {
 
     #[test]
     fn sanitizes_names_into_the_prometheus_grammar() {
-        assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
-        assert_eq!(sanitize("9lives"), "_lives");
-        assert_eq!(sanitize("ok_name:42"), "ok_name:42");
+        assert_eq!(sanitize_metric_name("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("ok_name:42"), "ok_name:42");
     }
 
     #[test]
@@ -102,5 +129,32 @@ mod tests {
         assert!(text.contains("h_bucket{le=\"+Inf\"} 0"));
         assert!(text.contains("h_sum 0"));
         assert!(text.contains("h_count 0"));
+    }
+
+    #[test]
+    fn described_metrics_emit_help_before_type() {
+        let r = Registry::new();
+        r.counter("serve.requests_total").inc();
+        r.describe("serve.requests_total", "Total requests completed");
+        r.gauge("undescribed");
+        r.histogram("serve.latency_ns").record(1);
+        r.describe("serve.latency_ns", "with\nnewline and back\\slash");
+
+        let text = render_prometheus(&r.snapshot());
+        let help_pos = text
+            .find("# HELP serve_requests_total Total requests completed")
+            .expect("HELP line present");
+        let type_pos = text
+            .find("# TYPE serve_requests_total counter")
+            .expect("TYPE line present");
+        assert!(help_pos < type_pos, "HELP precedes TYPE");
+        assert!(
+            !text.contains("# HELP undescribed"),
+            "no HELP without a description"
+        );
+        assert!(
+            text.contains("# HELP serve_latency_ns with\\nnewline and back\\\\slash"),
+            "help text is escaped: {text}"
+        );
     }
 }

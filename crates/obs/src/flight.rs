@@ -1,0 +1,410 @@
+//! Slow-request flight recorder: bounded rings of fully-materialized
+//! traces with threshold- and percentile-triggered retention.
+//!
+//! The recorder answers the operator question "show me the worst
+//! requests and why they were slow" without keeping every trace forever.
+//! It holds two bounded rings:
+//!
+//! * a **recent** ring every offered trace passes through (normal
+//!   requests age out of it quickly), and
+//! * a **slow** ring that only retains anomalous requests — failed ones,
+//!   ones over an absolute latency threshold, and ones in the slow tail
+//!   of the live latency population (above a configured percentile) —
+//!   so a burst of normal traffic cannot evict the interesting entries.
+//!
+//! The warm-path half, [`FlightRecorder::classify`], is wait-free and
+//! performs **zero heap allocations**: it maintains the latency
+//! population in a fixed array of log₂ buckets (plain shared atomics, no
+//! per-thread lazy shard setup) and returns the retention decision.
+//! Materializing a [`FlightRecord`] ([`FlightRecorder::offer`]) clones a
+//! finished [`Trace`] and takes a ring lock — that is the cold path,
+//! taken only for traced or retained requests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::metrics::{log2_bucket, HISTOGRAM_BUCKETS};
+use crate::trace::Trace;
+
+/// Tunables of a [`FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecorderConfig {
+    /// Capacity of the slow ring (retained anomalous requests).
+    pub slow_capacity: usize,
+    /// Capacity of the recent ring (every offered trace, ages out fast).
+    pub recent_capacity: usize,
+    /// Absolute retention trigger: a request at or above this latency
+    /// (nanoseconds) is kept.  `0` disables the threshold trigger.
+    pub slow_threshold_ns: u64,
+    /// Percentile retention trigger: a request whose latency bucket lies
+    /// strictly above the population's percentile bucket is kept (e.g.
+    /// `99.0` keeps roughly the slowest 1%).  `0.0` disables it.
+    pub percentile: f64,
+    /// Observations required before the percentile trigger arms, so a
+    /// cold recorder does not flag its first requests as tail latency.
+    pub min_samples: u64,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> Self {
+        FlightRecorderConfig {
+            slow_capacity: 64,
+            recent_capacity: 128,
+            slow_threshold_ns: 0,
+            percentile: 99.0,
+            min_samples: 100,
+        }
+    }
+}
+
+/// Why a request was (or was not) retained in the slow ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FlightClass {
+    /// Unremarkable request: passes through the recent ring only.
+    Normal,
+    /// At or above the absolute [`FlightRecorderConfig::slow_threshold_ns`].
+    SlowThreshold,
+    /// In the slow tail of the live latency population (percentile
+    /// trigger).
+    SlowTail,
+    /// The request failed; always retained.
+    Failed,
+}
+
+impl FlightClass {
+    /// Whether this class lands in the slow ring.
+    pub fn retained(self) -> bool {
+        !matches!(self, FlightClass::Normal)
+    }
+
+    /// Stable lower-case label (wire / exposition friendly).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightClass::Normal => "normal",
+            FlightClass::SlowThreshold => "slow_threshold",
+            FlightClass::SlowTail => "slow_tail",
+            FlightClass::Failed => "failed",
+        }
+    }
+}
+
+/// One retained flight: a fully-materialized trace plus its retention
+/// class.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FlightRecord {
+    /// The finished per-stage trace.
+    pub trace: Trace,
+    /// Why the recorder kept (or aged) it.
+    pub class: FlightClass,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    config: FlightRecorderConfig,
+    enabled: AtomicBool,
+    /// Live latency population, log₂-bucketed (same layout as
+    /// [`crate::metrics::Histogram`]), in plain shared atomics so the
+    /// warm path never allocates — not even on a thread's first call.
+    population: [AtomicU64; HISTOGRAM_BUCKETS],
+    observed: AtomicU64,
+    slow: Mutex<VecDeque<FlightRecord>>,
+    recent: Mutex<VecDeque<FlightRecord>>,
+}
+
+/// The slow-request flight recorder (see module docs).  Cloning shares
+/// the recorder.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FlightRecorderConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// Create a recorder with the given retention configuration (ring
+    /// capacities are clamped to at least 1).
+    pub fn new(mut config: FlightRecorderConfig) -> Self {
+        config.slow_capacity = config.slow_capacity.max(1);
+        config.recent_capacity = config.recent_capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                config,
+                enabled: AtomicBool::new(true),
+                population: std::array::from_fn(|_| AtomicU64::new(0)),
+                observed: AtomicU64::new(0),
+                slow: Mutex::new(VecDeque::with_capacity(config.slow_capacity)),
+                recent: Mutex::new(VecDeque::with_capacity(config.recent_capacity)),
+            }),
+        }
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &FlightRecorderConfig {
+        &self.inner.config
+    }
+
+    /// Whether the recorder is currently on.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn the recorder on or off.  While off, [`classify`] always
+    /// answers [`FlightClass::Normal`] without touching the population
+    /// and [`offer`] drops the trace.
+    ///
+    /// [`classify`]: FlightRecorder::classify
+    /// [`offer`]: FlightRecorder::offer
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Number of latencies observed so far.
+    pub fn observed(&self) -> u64 {
+        self.inner.observed.load(Ordering::Relaxed)
+    }
+
+    /// Warm-path half: fold one request's latency into the live
+    /// population and decide whether it should be retained.  Wait-free,
+    /// zero heap allocations — safe to call on the zero-allocation
+    /// serving path for every request.
+    pub fn classify(&self, latency_ns: u64, ok: bool) -> FlightClass {
+        if !self.enabled() {
+            return FlightClass::Normal;
+        }
+        let inner = &*self.inner;
+        let bucket = log2_bucket(latency_ns);
+        inner.population[bucket].fetch_add(1, Ordering::Relaxed);
+        let observed = inner.observed.fetch_add(1, Ordering::Relaxed) + 1;
+        if !ok {
+            return FlightClass::Failed;
+        }
+        let threshold = inner.config.slow_threshold_ns;
+        if threshold > 0 && latency_ns >= threshold {
+            return FlightClass::SlowThreshold;
+        }
+        if inner.config.percentile > 0.0 && observed >= inner.config.min_samples.max(1) {
+            if let Some(tail_bucket) = self.percentile_bucket(observed) {
+                if bucket > tail_bucket {
+                    return FlightClass::SlowTail;
+                }
+            }
+        }
+        FlightClass::Normal
+    }
+
+    /// The log₂ bucket holding the configured percentile of the live
+    /// population (`None` while the population is empty).
+    fn percentile_bucket(&self, observed: u64) -> Option<usize> {
+        if observed == 0 {
+            return None;
+        }
+        let pct = self.inner.config.percentile.clamp(0.0, 100.0);
+        // Rank of the percentile sample, 1-based; ceil so p100 = last.
+        let rank = ((observed as f64) * pct / 100.0).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.inner.population.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(i);
+            }
+        }
+        Some(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Cold-path half: materialize a finished trace into the rings.
+    /// Every offered trace enters the recent ring; a retained class
+    /// ([`FlightClass::retained`]) also enters the slow ring.  Allocates
+    /// (trace clone + ring bookkeeping) — never call on the warm path.
+    pub fn offer(&self, trace: Trace, class: FlightClass) {
+        if !self.enabled() {
+            return;
+        }
+        let record = FlightRecord { trace, class };
+        if class.retained() {
+            let mut slow = self.inner.slow.lock().expect("slow ring poisoned");
+            if slow.len() == self.inner.config.slow_capacity {
+                slow.pop_front();
+            }
+            slow.push_back(record.clone());
+        }
+        let mut recent = self.inner.recent.lock().expect("recent ring poisoned");
+        if recent.len() == self.inner.config.recent_capacity {
+            recent.pop_front();
+        }
+        recent.push_back(record);
+    }
+
+    /// The retained (slow/failed) records, worst first (longest total
+    /// duration), up to `limit`.
+    pub fn slow(&self, limit: usize) -> Vec<FlightRecord> {
+        let mut records: Vec<FlightRecord> = self
+            .inner
+            .slow
+            .lock()
+            .expect("slow ring poisoned")
+            .iter()
+            .cloned()
+            .collect();
+        records.sort_by_key(|r| std::cmp::Reverse((r.trace.total_ns, r.trace.seq)));
+        records.truncate(limit);
+        records
+    }
+
+    /// The most recently offered records (any class), newest first, up
+    /// to `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<FlightRecord> {
+        let mut records: Vec<FlightRecord> = self
+            .inner
+            .recent
+            .lock()
+            .expect("recent ring poisoned")
+            .iter()
+            .cloned()
+            .collect();
+        records.sort_by_key(|r| std::cmp::Reverse(r.trace.seq));
+        records.truncate(limit);
+        records
+    }
+
+    /// Look up a record by trace id — the slow ring first (retained
+    /// entries outlive the recent ring), then the recent ring; the most
+    /// recently finished match wins.
+    pub fn find(&self, trace_id: u64) -> Option<FlightRecord> {
+        let best_of = |ring: &Mutex<VecDeque<FlightRecord>>| {
+            ring.lock()
+                .expect("flight ring poisoned")
+                .iter()
+                .filter(|r| r.trace.id == trace_id)
+                .max_by_key(|r| r.trace.seq)
+                .cloned()
+        };
+        match (best_of(&self.inner.slow), best_of(&self.inner.recent)) {
+            (Some(a), Some(b)) => Some(if a.trace.seq >= b.trace.seq { a } else { b }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of records currently retained in the slow ring.
+    pub fn slow_len(&self) -> usize {
+        self.inner.slow.lock().expect("slow ring poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn finished_trace(tracer: &Tracer, id: u64, sleep_ms: u64) -> Trace {
+        let mut t = tracer.begin_with_id(id);
+        if sleep_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+        }
+        t.mark("work");
+        tracer.finish(t)
+    }
+
+    #[test]
+    fn threshold_trigger_retains_and_normal_requests_age_out() {
+        let recorder = FlightRecorder::new(FlightRecorderConfig {
+            slow_capacity: 4,
+            recent_capacity: 2,
+            slow_threshold_ns: 1_000_000,
+            percentile: 0.0,
+            min_samples: 0,
+        });
+        let tracer = Tracer::new(16);
+        // One slow request, then a burst of fast ones.
+        assert_eq!(
+            recorder.classify(5_000_000, true),
+            FlightClass::SlowThreshold
+        );
+        recorder.offer(finished_trace(&tracer, 1, 0), FlightClass::SlowThreshold);
+        for i in 2..10u64 {
+            assert_eq!(recorder.classify(10, true), FlightClass::Normal);
+            recorder.offer(finished_trace(&tracer, i, 0), FlightClass::Normal);
+        }
+        // The fast burst evicted everything from the tiny recent ring,
+        // but the slow request is still held in the slow ring.
+        let kept = recorder.find(1).expect("slow request kept");
+        assert_eq!(kept.class, FlightClass::SlowThreshold);
+        assert_eq!(recorder.slow(10).len(), 1);
+        assert!(recorder.recent(10).len() <= 2);
+    }
+
+    #[test]
+    fn failures_are_always_retained() {
+        let recorder = FlightRecorder::new(FlightRecorderConfig::default());
+        assert_eq!(recorder.classify(1, false), FlightClass::Failed);
+        let tracer = Tracer::new(4);
+        recorder.offer(finished_trace(&tracer, 7, 0), FlightClass::Failed);
+        assert_eq!(recorder.find(7).unwrap().class, FlightClass::Failed);
+    }
+
+    #[test]
+    fn percentile_trigger_arms_after_min_samples_and_flags_the_tail() {
+        let recorder = FlightRecorder::new(FlightRecorderConfig {
+            slow_capacity: 8,
+            recent_capacity: 8,
+            slow_threshold_ns: 0,
+            percentile: 99.0,
+            min_samples: 100,
+        });
+        // Cold recorder: even an outlier is Normal before min_samples.
+        assert_eq!(recorder.classify(1 << 40, true), FlightClass::Normal);
+        // Build a tight population around ~1µs.
+        for _ in 0..200 {
+            recorder.classify(1_000, true);
+        }
+        // Far above every populated bucket: tail.
+        assert_eq!(recorder.classify(1 << 40, true), FlightClass::SlowTail);
+        // In the dominant bucket: normal.
+        assert_eq!(recorder.classify(1_000, true), FlightClass::Normal);
+    }
+
+    #[test]
+    fn slow_is_sorted_worst_first_and_bounded() {
+        let recorder = FlightRecorder::new(FlightRecorderConfig {
+            slow_capacity: 2,
+            recent_capacity: 8,
+            slow_threshold_ns: 1,
+            percentile: 0.0,
+            min_samples: 0,
+        });
+        let tracer = Tracer::new(16);
+        recorder.offer(finished_trace(&tracer, 1, 1), FlightClass::SlowThreshold);
+        recorder.offer(finished_trace(&tracer, 2, 5), FlightClass::SlowThreshold);
+        recorder.offer(finished_trace(&tracer, 3, 2), FlightClass::SlowThreshold);
+        let slow = recorder.slow(10);
+        assert_eq!(slow.len(), 2, "slow ring is bounded");
+        assert!(
+            slow[0].trace.total_ns >= slow[1].trace.total_ns,
+            "worst first"
+        );
+        assert!(
+            slow.iter().all(|r| r.trace.id != 1),
+            "oldest slow entry evicted from the slow ring"
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let recorder = FlightRecorder::new(FlightRecorderConfig {
+            slow_threshold_ns: 1,
+            ..FlightRecorderConfig::default()
+        });
+        recorder.set_enabled(false);
+        assert_eq!(recorder.classify(u64::MAX, false), FlightClass::Normal);
+        let tracer = Tracer::new(4);
+        recorder.offer(finished_trace(&tracer, 9, 0), FlightClass::Failed);
+        assert!(recorder.find(9).is_none());
+        assert_eq!(recorder.observed(), 0);
+    }
+}

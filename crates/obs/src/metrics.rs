@@ -133,6 +133,9 @@ struct HistogramShard {
     /// Lifetime minimum; `u64::MAX` while empty.
     min: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar trace id (0 = none); the most recently minted
+    /// id recorded into each bucket.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for HistogramShard {
@@ -143,6 +146,7 @@ impl Default for HistogramShard {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -168,6 +172,11 @@ pub struct HistogramSnapshot {
     pub min: Option<u64>,
     /// Largest recorded value (0 while empty).
     pub max: u64,
+    /// Per-bucket exemplar trace id (0 = none): a recent trace whose
+    /// value landed in that bucket, recorded via
+    /// [`Histogram::record_with_exemplar`].  Plain [`Histogram::record`]
+    /// calls leave exemplars untouched.
+    pub exemplars: Vec<u64>,
 }
 
 impl HistogramSnapshot {
@@ -203,6 +212,28 @@ impl Histogram {
         });
     }
 
+    /// [`Histogram::record`] that also stamps `trace_id` as the bucket's
+    /// exemplar (ignored when 0), linking the latency bucket to a recent
+    /// trace retrievable from the tracer or flight recorder.  Same
+    /// wait-free cost as a plain record.
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.shards.with_local(|s| {
+            let bucket = log2_bucket(value);
+            s.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            s.count.fetch_add(1, Ordering::Relaxed);
+            s.sum.fetch_add(value, Ordering::Relaxed);
+            if value < s.min.load(Ordering::Relaxed) {
+                s.min.store(value, Ordering::Relaxed);
+            }
+            if value > s.max.load(Ordering::Relaxed) {
+                s.max.store(value, Ordering::Relaxed);
+            }
+            if trace_id != 0 {
+                s.exemplars[bucket].store(trace_id, Ordering::Relaxed);
+            }
+        });
+    }
+
     /// Merge all shards into a snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut merged = HistogramSnapshot {
@@ -211,6 +242,7 @@ impl Histogram {
             sum: 0,
             min: None,
             max: 0,
+            exemplars: vec![0u64; HISTOGRAM_BUCKETS],
         };
         self.shards.fold((), |(), s| {
             for (m, b) in merged.buckets.iter_mut().zip(&s.buckets) {
@@ -223,6 +255,12 @@ impl Histogram {
                 merged.min = Some(merged.min.map_or(shard_min, |m| m.min(shard_min)));
             }
             merged.max = merged.max.max(s.max.load(Ordering::Relaxed));
+            // Trace ids are minted monotonically, so the largest id per
+            // bucket is the most recent exemplar — and the merge stays
+            // deterministic for a given shard state.
+            for (m, e) in merged.exemplars.iter_mut().zip(&s.exemplars) {
+                *m = (*m).max(e.load(Ordering::Relaxed));
+            }
         });
         merged
     }
@@ -237,6 +275,8 @@ struct RegistryInner {
     counters: Mutex<Vec<(String, Counter)>>,
     gauges: Mutex<Vec<(String, Gauge)>>,
     histograms: Mutex<Vec<(String, Histogram)>>,
+    /// Optional `# HELP` text per metric name (any kind).
+    descriptions: Mutex<Vec<(String, String)>>,
 }
 
 /// A named-metric registry.  `counter`/`gauge`/`histogram` return (and on
@@ -256,6 +296,19 @@ pub struct RegistrySnapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, snapshot)` for every histogram, in registration order.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, help)` for every described metric (see
+    /// [`Registry::describe`]), in description order.
+    pub descriptions: Vec<(String, String)>,
+}
+
+impl RegistrySnapshot {
+    /// The `# HELP` text registered for `name`, if any.
+    pub fn description(&self, name: &str) -> Option<&str> {
+        self.descriptions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, help)| help.as_str())
+    }
 }
 
 fn get_or_insert<T: Clone + Default>(slots: &Mutex<Vec<(String, T)>>, name: &str) -> T {
@@ -289,6 +342,18 @@ impl Registry {
         get_or_insert(&self.inner.histograms, name)
     }
 
+    /// Attach (or replace) `# HELP` text for the named metric; the
+    /// exposition layer emits it ahead of the `# TYPE` line.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut descriptions = self.inner.descriptions.lock().expect("registry poisoned");
+        if let Some((_, existing)) = descriptions.iter_mut().find(|(n, _)| n == name) {
+            existing.clear();
+            existing.push_str(help);
+        } else {
+            descriptions.push((name.to_string(), help.to_string()));
+        }
+    }
+
     /// Merge every metric into a snapshot.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let counters = self
@@ -315,10 +380,17 @@ impl Registry {
             .iter()
             .map(|(n, h)| (n.clone(), h.snapshot()))
             .collect();
+        let descriptions = self
+            .inner
+            .descriptions
+            .lock()
+            .expect("registry poisoned")
+            .clone();
         RegistrySnapshot {
             counters,
             gauges,
             histograms,
+            descriptions,
         }
     }
 }
@@ -429,6 +501,84 @@ mod tests {
         assert_eq!(r.counter("requests").value(), 3);
         let snap = r.snapshot();
         assert_eq!(snap.counters, vec![("requests".to_string(), 3)]);
+    }
+
+    #[test]
+    fn histogram_sum_and_mean_are_exact_not_bucket_derived() {
+        // The sum is tracked as an exact atomic alongside the log₂
+        // buckets: values that share a bucket must still contribute
+        // their exact values, not the bucket's upper bound.
+        let h = Histogram::new();
+        h.record(5); // bucket 3 (le=7)
+        h.record(6); // same bucket
+        h.record(1000); // bucket 10 (le=1023)
+        let snap = h.snapshot();
+        assert_eq!(snap.sum, 1011, "exact sum, not 7 + 7 + 1023");
+        assert_eq!(snap.mean(), Some(1011.0 / 3.0));
+    }
+
+    #[test]
+    fn exact_sum_merges_across_threads() {
+        let h = Histogram::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let expected: u64 = (0..4000u64).sum();
+        assert_eq!(h.snapshot().sum, expected);
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_the_latest_trace_id() {
+        let h = Histogram::new();
+        h.record_with_exemplar(5, 41); // bucket 3
+        h.record_with_exemplar(6, 42); // same bucket: newer id wins
+        h.record_with_exemplar(1000, 7); // bucket 10
+        h.record(1000); // plain record never touches exemplars
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars[log2_bucket(5)], 42);
+        assert_eq!(snap.exemplars[log2_bucket(1000)], 7);
+        assert!(
+            snap.exemplars
+                .iter()
+                .enumerate()
+                .all(|(i, &e)| e == 0 || i == log2_bucket(5) || i == log2_bucket(1000)),
+            "untouched buckets have no exemplar"
+        );
+    }
+
+    #[test]
+    fn exemplar_id_zero_is_ignored() {
+        let h = Histogram::new();
+        h.record_with_exemplar(5, 9);
+        h.record_with_exemplar(5, 0); // untraced: keeps the old exemplar
+        assert_eq!(h.snapshot().exemplars[log2_bucket(5)], 9);
+        assert_eq!(h.snapshot().count, 2, "still counted as a sample");
+    }
+
+    #[test]
+    fn registry_descriptions_round_trip_into_the_snapshot() {
+        let r = Registry::new();
+        r.counter("serve.requests_total").inc();
+        r.describe("serve.requests_total", "Requests completed");
+        r.describe("serve.requests_total", "Total requests completed");
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.description("serve.requests_total"),
+            Some("Total requests completed"),
+            "re-describe replaces"
+        );
+        assert_eq!(snap.description("unknown"), None);
+        assert_eq!(snap.descriptions.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! SLO tracking: rolling multi-window good/bad counters with burn-rate
+//! computation against a configured latency/availability objective.
+//!
+//! A request is **good** when it completed successfully within the
+//! latency objective, **bad** otherwise.  The tracker keeps one rolling
+//! window per configured duration (classic multi-window burn-rate
+//! alerting: a short window catches fast burns, a long window slow
+//! ones).  Each window is a fixed array of epoch-tagged slots — the
+//! record path is a handful of relaxed atomics with **zero heap
+//! allocations**, safe on the zero-allocation serving path.
+//!
+//! The *burn rate* of a window is its error rate divided by the error
+//! budget `1 - target`: a burn rate of 1.0 spends the budget exactly at
+//! the sustainable pace, 10.0 spends it ten times too fast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// Tunables of an [`SloTracker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Latency objective in nanoseconds: a slower (or failed) request is
+    /// bad.
+    pub latency_objective_ns: u64,
+    /// Target good fraction (e.g. `0.999` for "three nines"); the error
+    /// budget is `1 - target`.  Must be below 1.0 for burn rates to be
+    /// meaningful; a target of 1.0 is clamped internally.
+    pub target: f64,
+    /// Rolling window durations, one tracked window each.
+    pub windows: Vec<Duration>,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_objective_ns: 50_000_000, // 50 ms
+            target: 0.999,
+            windows: vec![Duration::from_secs(60), Duration::from_secs(3600)],
+        }
+    }
+}
+
+/// Slots per rolling window: finer slots make the window edge smoother
+/// at the cost of a slightly longer snapshot scan.
+const SLOTS_PER_WINDOW: usize = 60;
+
+/// One rolling window's counters over one time slot.
+#[derive(Debug)]
+struct Slot {
+    /// Which epoch (slot-width-sized interval since tracker start) these
+    /// counters belong to; stale slots are lazily zeroed on first touch.
+    epoch: AtomicU64,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+#[derive(Debug)]
+struct RollingWindow {
+    duration: Duration,
+    slot_nanos: u64,
+    slots: Vec<Slot>,
+}
+
+impl RollingWindow {
+    fn new(duration: Duration) -> Self {
+        let duration = duration.max(Duration::from_millis(1));
+        let slot_nanos = (duration.as_nanos() as u64 / SLOTS_PER_WINDOW as u64).max(1);
+        RollingWindow {
+            duration,
+            slot_nanos,
+            slots: (0..SLOTS_PER_WINDOW)
+                .map(|_| Slot {
+                    epoch: AtomicU64::new(u64::MAX),
+                    good: AtomicU64::new(0),
+                    bad: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Fold one observation into the slot owning `now_ns`.  Wait-free
+    /// apart from a benign race when a slot rolls over to a new epoch:
+    /// the CAS winner zeroes the counters, and an observation racing the
+    /// zeroing can be lost or double-kept for that one slot — bounded,
+    /// self-healing noise in a rolling estimate, never a wedged state.
+    fn record(&self, now_ns: u64, good: bool) {
+        let epoch = now_ns / self.slot_nanos;
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        let seen = slot.epoch.load(Ordering::Relaxed);
+        if seen != epoch
+            && slot
+                .epoch
+                .compare_exchange(seen, epoch, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            slot.good.store(0, Ordering::Relaxed);
+            slot.bad.store(0, Ordering::Relaxed);
+        }
+        if good {
+            slot.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            slot.bad.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum the slots still inside the window ending at `now_ns`.
+    fn totals(&self, now_ns: u64) -> (u64, u64) {
+        let current = now_ns / self.slot_nanos;
+        let oldest = current.saturating_sub(self.slots.len() as u64 - 1);
+        let mut good = 0u64;
+        let mut bad = 0u64;
+        for slot in &self.slots {
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            if epoch != u64::MAX && epoch >= oldest && epoch <= current {
+                good += slot.good.load(Ordering::Relaxed);
+                bad += slot.bad.load(Ordering::Relaxed);
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// Point-in-time view of one rolling window.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloWindowSnapshot {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Requests that met the objective inside the window.
+    pub good: u64,
+    /// Requests that missed it (too slow or failed).
+    pub bad: u64,
+    /// `bad / (good + bad)`; 0 while the window is empty.
+    pub error_rate: f64,
+    /// `error_rate / (1 - target)` — 1.0 spends the error budget exactly
+    /// at the sustainable pace.
+    pub burn_rate: f64,
+}
+
+/// Point-in-time view of the whole tracker.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloSnapshot {
+    /// The configured latency objective in nanoseconds.
+    pub latency_objective_ns: u64,
+    /// The configured target good fraction.
+    pub target: f64,
+    /// One entry per configured window, in configuration order.
+    pub windows: Vec<SloWindowSnapshot>,
+}
+
+#[derive(Debug)]
+struct SloInner {
+    latency_objective_ns: u64,
+    target: f64,
+    started: Instant,
+    windows: Vec<RollingWindow>,
+}
+
+/// Rolling multi-window SLO tracker (see module docs).  Cloning shares
+/// the tracker.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    inner: Arc<SloInner>,
+}
+
+impl Default for SloTracker {
+    fn default() -> Self {
+        SloTracker::new(SloConfig::default())
+    }
+}
+
+impl SloTracker {
+    /// Create a tracker; all window storage is allocated here, so
+    /// [`SloTracker::record`] never allocates.
+    pub fn new(config: SloConfig) -> Self {
+        let windows = if config.windows.is_empty() {
+            SloConfig::default().windows
+        } else {
+            config.windows
+        };
+        SloTracker {
+            inner: Arc::new(SloInner {
+                latency_objective_ns: config.latency_objective_ns,
+                // Clamp so the error budget stays positive and burn
+                // rates stay finite.
+                target: config.target.clamp(0.0, 1.0 - 1e-9),
+                started: Instant::now(),
+                windows: windows.into_iter().map(RollingWindow::new).collect(),
+            }),
+        }
+    }
+
+    /// The configured latency objective in nanoseconds.
+    pub fn latency_objective_ns(&self) -> u64 {
+        self.inner.latency_objective_ns
+    }
+
+    /// Fold one request into every window: good iff it completed
+    /// successfully within the latency objective.  Wait-free, zero heap
+    /// allocations.
+    pub fn record(&self, latency_ns: u64, ok: bool) {
+        let good = ok && latency_ns <= self.inner.latency_objective_ns;
+        let now_ns = u64::try_from(self.inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        for window in &self.inner.windows {
+            window.record(now_ns, good);
+        }
+    }
+
+    /// Snapshot every window's counters and burn rates.
+    pub fn snapshot(&self) -> SloSnapshot {
+        let now_ns = u64::try_from(self.inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let budget = (1.0 - self.inner.target).max(1e-12);
+        let windows = self
+            .inner
+            .windows
+            .iter()
+            .map(|w| {
+                let (good, bad) = w.totals(now_ns);
+                let total = good + bad;
+                let error_rate = if total == 0 {
+                    0.0
+                } else {
+                    bad as f64 / total as f64
+                };
+                SloWindowSnapshot {
+                    window_secs: w.duration.as_secs(),
+                    good,
+                    bad,
+                    error_rate,
+                    burn_rate: error_rate / budget,
+                }
+            })
+            .collect();
+        SloSnapshot {
+            latency_objective_ns: self.inner.latency_objective_ns,
+            target: self.inner.target,
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(objective_ns: u64, target: f64) -> SloTracker {
+        SloTracker::new(SloConfig {
+            latency_objective_ns: objective_ns,
+            target,
+            windows: vec![Duration::from_secs(60), Duration::from_secs(3600)],
+        })
+    }
+
+    #[test]
+    fn good_and_bad_split_on_the_latency_objective() {
+        let slo = tracker(1_000_000, 0.99);
+        slo.record(500_000, true); // fast: good
+        slo.record(2_000_000, true); // slow: bad
+        slo.record(100, false); // failed: bad even though fast
+        let snap = slo.snapshot();
+        assert_eq!(snap.windows.len(), 2);
+        for w in &snap.windows {
+            assert_eq!(w.good, 1);
+            assert_eq!(w.bad, 2);
+            assert!((w.error_rate - 2.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn burn_rate_is_error_rate_over_budget() {
+        let slo = tracker(1_000, 0.99); // 1% error budget
+        for _ in 0..90 {
+            slo.record(10, true);
+        }
+        for _ in 0..10 {
+            slo.record(10_000, true);
+        }
+        let snap = slo.snapshot();
+        let w = &snap.windows[0];
+        assert!((w.error_rate - 0.10).abs() < 1e-12);
+        // 10% errors against a 1% budget burns 10x too fast.
+        assert!((w.burn_rate - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_windows_report_zero_rates() {
+        let snap = tracker(1_000, 0.999).snapshot();
+        for w in &snap.windows {
+            assert_eq!(w.good + w.bad, 0);
+            assert_eq!(w.error_rate, 0.0);
+            assert_eq!(w.burn_rate, 0.0);
+        }
+    }
+
+    #[test]
+    fn a_target_of_one_still_yields_finite_burn_rates() {
+        let slo = SloTracker::new(SloConfig {
+            latency_objective_ns: 1,
+            target: 1.0,
+            windows: vec![Duration::from_secs(1)],
+        });
+        slo.record(100, true); // bad: over the 1ns objective
+        let snap = slo.snapshot();
+        assert!(snap.windows[0].burn_rate.is_finite());
+        assert!(snap.target < 1.0);
+    }
+
+    #[test]
+    fn short_windows_roll_their_slots_over() {
+        // 60ms window → 1ms slots; record, wait past the window, verify
+        // the old counts fall out of the rolling view.
+        let slo = SloTracker::new(SloConfig {
+            latency_objective_ns: u64::MAX,
+            target: 0.9,
+            windows: vec![Duration::from_millis(60)],
+        });
+        for _ in 0..50 {
+            slo.record(1, true);
+        }
+        assert_eq!(slo.snapshot().windows[0].good, 50);
+        std::thread::sleep(Duration::from_millis(150));
+        let after = slo.snapshot();
+        assert_eq!(
+            after.windows[0].good + after.windows[0].bad,
+            0,
+            "counts age out of the rolling window"
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_accounted_in_a_long_window() {
+        let slo = tracker(u64::MAX, 0.999);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let slo = slo.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        slo.record(1, true);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The 1-hour window cannot have rolled over mid-test.
+        assert_eq!(slo.snapshot().windows[1].good, 4000);
+    }
+}

@@ -106,6 +106,12 @@ impl ActiveTrace {
     pub fn elapsed_ns(&self) -> u64 {
         as_ns(self.started.elapsed())
     }
+
+    /// The stages closed so far (for mid-flight inspection, e.g.
+    /// assembling provenance before later layers mark their stages).
+    pub fn stages(&self) -> &[TraceStage] {
+        &self.stages
+    }
 }
 
 #[derive(Debug, Default)]
@@ -332,6 +338,63 @@ mod tests {
         let recent = tracer.recent(100);
         assert_eq!(recent.len(), 3, "per-thread ring keeps the newest 3");
         assert_eq!(recent[0].id, 109);
+    }
+
+    #[test]
+    fn find_returns_none_for_an_evicted_id_after_wraparound() {
+        // Ring capacity 3: ids 1..=3 are evicted once 4..=6 finish.
+        let tracer = Tracer::new(3);
+        for id in 1..=6u64 {
+            let mut t = tracer.begin_with_id(id);
+            t.mark("only");
+            tracer.finish(t);
+        }
+        for evicted in 1..=3u64 {
+            assert!(
+                tracer.find(evicted).is_none(),
+                "evicted id {evicted} must answer None, not a stale entry"
+            );
+        }
+        for kept in 4..=6u64 {
+            assert_eq!(tracer.find(kept).expect("retained").id, kept);
+        }
+    }
+
+    #[test]
+    fn reused_id_after_wraparound_answers_the_newest_trace_only() {
+        // The same wire id can legitimately recur (a client reusing its
+        // id space).  After the older trace is evicted, find must answer
+        // the newer one — and even while both are resident, the newest
+        // (highest seq) wins.
+        let tracer = Tracer::new(2);
+        let mut first = tracer.begin_with_id(42);
+        first.mark("old");
+        tracer.finish(first);
+        let mut second = tracer.begin_with_id(42);
+        second.mark("new");
+        tracer.finish(second);
+        let found = tracer.find(42).expect("resident");
+        assert_eq!(found.stages[0].name, "new", "newest finish wins");
+        // One more finish evicts the older duplicate entirely.
+        let mut third = tracer.begin_with_id(7);
+        third.mark("filler");
+        tracer.finish(third);
+        let found = tracer.find(42).expect("newer entry still resident");
+        assert_eq!(found.stages[0].name, "new");
+    }
+
+    #[test]
+    fn recent_never_returns_evicted_traces_after_wraparound() {
+        let tracer = Tracer::new(4);
+        for id in 1..=20u64 {
+            let mut t = tracer.begin_with_id(id);
+            t.mark("only");
+            tracer.finish(t);
+        }
+        let recent = tracer.recent(100);
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u64> = recent.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![20, 19, 18, 17], "newest first, no stale ids");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property coverage for the [`FlightRecorder`] retention invariants:
+//! rings stay bounded, the slow ring only ever holds retained classes,
+//! failures and over-threshold requests are always retained, and
+//! retained entries survive bursts of normal traffic that flush the
+//! recent ring.
+
+use proptest::prelude::*;
+use zsdb_obs::{FlightClass, FlightRecorder, FlightRecorderConfig, Tracer};
+
+/// Deterministic SplitMix64 so one sampled seed expands into a whole
+/// request sequence.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn finished(tracer: &Tracer, id: u64) -> zsdb_obs::Trace {
+    let mut t = tracer.begin_with_id(id);
+    t.mark("work");
+    tracer.finish(t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rings_stay_bounded_and_slow_holds_only_retained_classes(
+        seed in 0u64..u64::MAX,
+        slow_capacity in 1usize..8,
+        recent_capacity in 1usize..8,
+        requests in 1u64..200,
+    ) {
+        let mut gen = Gen(seed);
+        let threshold = 1_000_000u64;
+        let recorder = FlightRecorder::new(FlightRecorderConfig {
+            slow_capacity,
+            recent_capacity,
+            slow_threshold_ns: threshold,
+            percentile: 99.0,
+            min_samples: 50,
+        });
+        let tracer = Tracer::new(512);
+        for id in 1..=requests {
+            let latency = gen.below(2_000_000); // half below, half above
+            let ok = gen.below(10) != 0; // ~10% failures
+            let class = recorder.classify(latency, ok);
+            // Hard classification guarantees, independent of population.
+            if !ok {
+                prop_assert_eq!(class, FlightClass::Failed);
+            } else if latency >= threshold {
+                prop_assert_eq!(class, FlightClass::SlowThreshold);
+            }
+            recorder.offer(finished(&tracer, id), class);
+            prop_assert!(recorder.slow_len() <= slow_capacity);
+            prop_assert!(recorder.recent(usize::MAX).len() <= recent_capacity);
+        }
+        for record in recorder.slow(usize::MAX) {
+            prop_assert!(
+                record.class.retained(),
+                "slow ring held a {:?}", record.class
+            );
+            // Every retained record is findable by its trace id.
+            prop_assert!(recorder.find(record.trace.id).is_some());
+        }
+        // slow() is sorted worst (longest) first.
+        let slow = recorder.slow(usize::MAX);
+        for pair in slow.windows(2) {
+            prop_assert!(pair[0].trace.total_ns >= pair[1].trace.total_ns);
+        }
+        prop_assert_eq!(recorder.observed(), requests);
+    }
+
+    #[test]
+    fn retained_entries_survive_normal_bursts_that_flush_the_recent_ring(
+        seed in 0u64..u64::MAX,
+        burst in 10u64..100,
+    ) {
+        let mut gen = Gen(seed);
+        let recorder = FlightRecorder::new(FlightRecorderConfig {
+            slow_capacity: 8,
+            recent_capacity: 4,
+            slow_threshold_ns: 1_000,
+            percentile: 0.0,
+            min_samples: 0,
+        });
+        let tracer = Tracer::new(512);
+        // One slow request first...
+        let class = recorder.classify(50_000, true);
+        prop_assert_eq!(class, FlightClass::SlowThreshold);
+        recorder.offer(finished(&tracer, 1), class);
+        // ...then a burst of fast ones, far larger than the recent ring.
+        for id in 2..2 + burst {
+            let latency = gen.below(1_000); // strictly under the threshold
+            let class = recorder.classify(latency, true);
+            prop_assert_eq!(class, FlightClass::Normal);
+            recorder.offer(finished(&tracer, id), class);
+        }
+        // The slow request aged out of recent but is retained in slow.
+        let kept = recorder.find(1);
+        prop_assert!(kept.is_some(), "retained entry evicted by normal burst");
+        prop_assert_eq!(kept.unwrap().class, FlightClass::SlowThreshold);
+        // And none of the normal requests leaked into the slow ring.
+        prop_assert_eq!(recorder.slow_len(), 1);
+    }
+}

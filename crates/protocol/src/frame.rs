@@ -3,7 +3,8 @@
 
 use crate::error::ProtocolError;
 use crate::message::{
-    ErrorResponse, GatewayMetrics, HealthResponse, HelloAck, HelloRequest, Message, WirePrediction,
+    ErrorResponse, ExplainRequest, GatewayMetrics, HealthResponse, HelloAck, HelloRequest, Message,
+    ProvenanceRecord, SlowLogRequest, WirePrediction, WireSloStatus,
 };
 use std::io::{Read, Write};
 use zsdb_engine::PlanNode;
@@ -86,11 +87,18 @@ fn payload_json(message: &Message) -> Result<String, ProtocolError> {
         Message::PredictBatch(plans) => encode(serde_json::to_string(plans))?,
         Message::PredictOk(m) => encode(serde_json::to_string(m))?,
         Message::PredictBatchOk(m) => encode(serde_json::to_string(m))?,
-        Message::Metrics | Message::MetricsText | Message::Health => String::new(),
+        Message::Metrics | Message::MetricsText | Message::Health | Message::SloStatus => {
+            String::new()
+        }
         Message::MetricsOk(m) => encode(serde_json::to_string(m.as_ref()))?,
         // Raw Prometheus exposition text, not JSON.
         Message::MetricsTextOk(text) => text.clone(),
         Message::HealthOk(m) => encode(serde_json::to_string(m))?,
+        Message::Explain(m) => encode(serde_json::to_string(m))?,
+        Message::ExplainOk(m) => encode(serde_json::to_string(m.as_ref()))?,
+        Message::SlowLog(m) => encode(serde_json::to_string(m))?,
+        Message::SlowLogOk(m) => encode(serde_json::to_string(m))?,
+        Message::SloStatusOk(m) => encode(serde_json::to_string(m))?,
         Message::Error(m) => encode(serde_json::to_string(m))?,
     })
 }
@@ -126,6 +134,12 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, ProtocolError> 
         ),
         0x30 => Message::Health,
         0x31 => Message::HealthOk(parse::<HealthResponse>("HealthOk", payload)?),
+        0x40 => Message::Explain(parse::<ExplainRequest>("Explain", payload)?),
+        0x41 => Message::ExplainOk(Box::new(parse::<ProvenanceRecord>("ExplainOk", payload)?)),
+        0x42 => Message::SlowLog(parse::<SlowLogRequest>("SlowLog", payload)?),
+        0x43 => Message::SlowLogOk(parse::<Vec<ProvenanceRecord>>("SlowLogOk", payload)?),
+        0x44 => Message::SloStatus,
+        0x45 => Message::SloStatusOk(parse::<WireSloStatus>("SloStatusOk", payload)?),
         0x3F => Message::Error(parse::<ErrorResponse>("Error", payload)?),
         other => return Err(ProtocolError::UnknownOpcode(other)),
     })
@@ -333,6 +347,38 @@ mod tests {
                     model_version: 2,
                 },
             ]),
+            Message::Explain(ExplainRequest { trace_id: 0xBEEF }),
+            Message::ExplainOk(Box::new(ProvenanceRecord {
+                trace_id: 0xBEEF,
+                fingerprint: 77,
+                model_name: "zero-shot-cost".into(),
+                model_version: 7,
+                cache_hit: false,
+                home_shard: 0,
+                executed_shard: 3,
+                stolen: true,
+                predicted_secs: 0.1 + 0.2,
+                total_ns: 2_000,
+                flight_class: "slow_tail".into(),
+                stages: vec![crate::message::ProvenanceStage {
+                    name: "forward".into(),
+                    duration_ns: 2_000,
+                }],
+            })),
+            Message::SlowLog(SlowLogRequest { limit: 16 }),
+            Message::SlowLogOk(vec![]),
+            Message::SloStatus,
+            Message::SloStatusOk(WireSloStatus {
+                latency_objective_ns: 50_000_000,
+                target: 0.999,
+                windows: vec![crate::message::WireSloWindow {
+                    window_secs: 3600,
+                    good: 100,
+                    bad: 1,
+                    error_rate: 1.0 / 101.0,
+                    burn_rate: 9.9,
+                }],
+            }),
             Message::Error(ErrorResponse {
                 code: ErrorCode::Overloaded,
                 message: "queue full — retry with backoff".into(),

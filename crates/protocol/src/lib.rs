@@ -50,6 +50,15 @@
 //! * [`Message::MetricsText`] / [`Message::MetricsTextOk`] — the same
 //!   metrics in Prometheus text-exposition form (raw UTF-8 payload).
 //! * [`Message::Health`] / [`Message::HealthOk`] — liveness probe.
+//! * [`Message::Explain`] / [`Message::ExplainOk`] — full provenance of
+//!   one served prediction by trace id: plan fingerprint, model
+//!   name/version, cache hit, shard placement, per-stage breakdown
+//!   (protocol v2; older servers answer `Error(BadRequest)`).
+//! * [`Message::SlowLog`] / [`Message::SlowLogOk`] — the slowest
+//!   retained requests from the flight recorder, worst first
+//!   (protocol v2).
+//! * [`Message::SloStatus`] / [`Message::SloStatusOk`] — SLO burn-rate
+//!   position over the server's rolling windows (protocol v2).
 //! * [`Message::Error`] — structured failure (code + human message) for
 //!   any request; carries the rejected request's id.
 //!
@@ -69,6 +78,7 @@ pub use frame::{
     MAX_PAYLOAD_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, TRACE_ID_EXT_LEN,
 };
 pub use message::{
-    ErrorCode, ErrorResponse, GatewayMetrics, HealthResponse, HelloAck, HelloRequest, Message,
-    TenantMetrics, WirePrediction,
+    ErrorCode, ErrorResponse, ExplainRequest, GatewayMetrics, HealthResponse, HelloAck,
+    HelloRequest, Message, ProvenanceRecord, ProvenanceStage, SlowLogRequest, TenantMetrics,
+    WirePrediction, WireSloStatus, WireSloWindow,
 };

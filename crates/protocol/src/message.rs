@@ -262,11 +262,103 @@ impl serde::Deserialize for GatewayMetrics {
     }
 }
 
+/// One pipeline stage of a [`ProvenanceRecord`]: the name the serving
+/// layer marked and how long the request spent there.  The stage
+/// durations tile the record's `total_ns` exactly (checkpoint tracing —
+/// no gaps, no overlap).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceStage {
+    /// Stage name (e.g. `queue_wait`, `forward`, `respond`).
+    pub name: String,
+    /// Stage duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Full provenance of one served prediction, answering "where did this
+/// number come from?": which plan, which model, which shard, whether the
+/// feature cache hit, and where the time went.  Returned by
+/// [`Message::ExplainOk`] and listed by [`Message::SlowLogOk`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceRecord {
+    /// Request-scoped trace id the record is keyed by.
+    pub trace_id: u64,
+    /// Structural fingerprint of the predicted plan.
+    pub fingerprint: u64,
+    /// Name of the serving model family.
+    pub model_name: String,
+    /// Version of the model that produced the prediction.
+    pub model_version: u32,
+    /// Whether featurization was skipped thanks to the feature cache.
+    pub cache_hit: bool,
+    /// Shard the plan's fingerprint hashes to.
+    pub home_shard: u32,
+    /// Shard whose worker actually executed the request.
+    pub executed_shard: u32,
+    /// Whether the request was work-stolen (`executed_shard` differs
+    /// from `home_shard`).
+    pub stolen: bool,
+    /// The predicted runtime in seconds (bit-exact over the wire).
+    pub predicted_secs: f64,
+    /// End-to-end server-side latency in nanoseconds.
+    pub total_ns: u64,
+    /// Why the flight recorder retained the request:
+    /// `normal`, `slow_threshold`, `slow_tail`, or `failed`.
+    pub flight_class: String,
+    /// Per-stage latency breakdown; durations sum to `total_ns`.
+    pub stages: Vec<ProvenanceStage>,
+}
+
+/// One rolling window of [`WireSloStatus`]: good/bad counts and the
+/// burn rate over that window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSloWindow {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Requests that met the objective inside the window.
+    pub good: u64,
+    /// Requests that missed the objective inside the window.
+    pub bad: u64,
+    /// `bad / (good + bad)` over the window (`0.0` when empty).
+    pub error_rate: f64,
+    /// `error_rate / (1 - target)` — how many times faster than allowed
+    /// the error budget is burning; `1.0` means exactly on budget.
+    pub burn_rate: f64,
+}
+
+/// Server SLO position, reported by the [`Message::SloStatus`] op: the
+/// configured objective plus burn rates over every rolling window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSloStatus {
+    /// Latency objective in nanoseconds a request must meet to count as
+    /// good.
+    pub latency_objective_ns: u64,
+    /// Availability target in `(0, 1)`, e.g. `0.999`.
+    pub target: f64,
+    /// One entry per configured rolling window, shortest first.
+    pub windows: Vec<WireSloWindow>,
+}
+
+/// Payload of [`Message::Explain`] — look up the provenance of one
+/// served prediction by its trace id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainRequest {
+    /// Trace id the client attached to (or received with) the request.
+    pub trace_id: u64,
+}
+
+/// Payload of [`Message::SlowLog`] — fetch the slowest retained
+/// requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowLogRequest {
+    /// Maximum number of records to return, worst first.
+    pub limit: u64,
+}
+
 /// A typed protocol message — the body of a [`Frame`](crate::Frame).
 ///
-/// Requests (`Hello`, `Predict`, `PredictBatch`, `Metrics`, `Health`)
-/// flow client → server; everything else flows server → client, echoing
-/// the request's id.
+/// Requests (`Hello`, `Predict`, `PredictBatch`, `Metrics`, `Health`,
+/// `Explain`, `SlowLog`, `SloStatus`) flow client → server; everything
+/// else flows server → client, echoing the request's id.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Handshake request (must be the first frame on a connection).
@@ -294,6 +386,20 @@ pub enum Message {
     Health,
     /// Answer to [`Message::Health`].
     HealthOk(HealthResponse),
+    /// Request the provenance of one served prediction by trace id
+    /// (protocol v2; v1 servers answer [`Message::Error`] with
+    /// [`ErrorCode::BadRequest`]).
+    Explain(ExplainRequest),
+    /// Answer to [`Message::Explain`] when the trace is retained.
+    ExplainOk(Box<ProvenanceRecord>),
+    /// Request the slowest retained requests, worst first (protocol v2).
+    SlowLog(SlowLogRequest),
+    /// Answer to [`Message::SlowLog`].
+    SlowLogOk(Vec<ProvenanceRecord>),
+    /// Request the server's SLO burn-rate status (protocol v2).
+    SloStatus,
+    /// Answer to [`Message::SloStatus`].
+    SloStatusOk(WireSloStatus),
     /// Structured failure answering any request.
     Error(ErrorResponse),
 }
@@ -314,6 +420,12 @@ impl Message {
             Message::MetricsTextOk(_) => 0x23,
             Message::Health => 0x30,
             Message::HealthOk(_) => 0x31,
+            Message::Explain(_) => 0x40,
+            Message::ExplainOk(_) => 0x41,
+            Message::SlowLog(_) => 0x42,
+            Message::SlowLogOk(_) => 0x43,
+            Message::SloStatus => 0x44,
+            Message::SloStatusOk(_) => 0x45,
             Message::Error(_) => 0x3F,
         }
     }
@@ -333,6 +445,12 @@ impl Message {
             Message::MetricsTextOk(_) => "MetricsTextOk",
             Message::Health => "Health",
             Message::HealthOk(_) => "HealthOk",
+            Message::Explain(_) => "Explain",
+            Message::ExplainOk(_) => "ExplainOk",
+            Message::SlowLog(_) => "SlowLog",
+            Message::SlowLogOk(_) => "SlowLogOk",
+            Message::SloStatus => "SloStatus",
+            Message::SloStatusOk(_) => "SloStatusOk",
             Message::Error(_) => "Error",
         }
     }
@@ -347,6 +465,9 @@ impl Message {
                 | Message::Metrics
                 | Message::MetricsText
                 | Message::Health
+                | Message::Explain(_)
+                | Message::SlowLog(_)
+                | Message::SloStatus
         )
     }
 }
@@ -386,6 +507,16 @@ mod tests {
                 healthy: true,
                 model_version: 1,
             }),
+            Message::Explain(ExplainRequest { trace_id: 1 }),
+            Message::ExplainOk(Box::new(test_provenance())),
+            Message::SlowLog(SlowLogRequest { limit: 10 }),
+            Message::SlowLogOk(vec![]),
+            Message::SloStatus,
+            Message::SloStatusOk(WireSloStatus {
+                latency_objective_ns: 0,
+                target: 0.999,
+                windows: vec![],
+            }),
             Message::Error(ErrorResponse {
                 code: ErrorCode::Internal,
                 message: String::new(),
@@ -421,6 +552,65 @@ mod tests {
             1.0,
             8.0,
         )
+    }
+
+    fn test_provenance() -> ProvenanceRecord {
+        ProvenanceRecord {
+            trace_id: 42,
+            fingerprint: 0xFEED,
+            model_name: "zero-shot-cost".into(),
+            model_version: 3,
+            cache_hit: true,
+            home_shard: 1,
+            executed_shard: 2,
+            stolen: true,
+            predicted_secs: 0.1 + 0.2, // not exactly representable
+            total_ns: 1_500,
+            flight_class: "slow_threshold".into(),
+            stages: vec![
+                ProvenanceStage {
+                    name: "queue_wait".into(),
+                    duration_ns: 500,
+                },
+                ProvenanceStage {
+                    name: "forward".into(),
+                    duration_ns: 1_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn provenance_and_slo_payloads_round_trip_bit_exactly() {
+        let record = test_provenance();
+        let json = serde_json::to_string(&record).unwrap();
+        let back: ProvenanceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(
+            back.predicted_secs.to_bits(),
+            record.predicted_secs.to_bits(),
+            "predicted value crosses the wire bit-exactly"
+        );
+        assert_eq!(
+            back.stages.iter().map(|s| s.duration_ns).sum::<u64>(),
+            back.total_ns,
+            "stage durations tile the end-to-end latency"
+        );
+
+        let status = WireSloStatus {
+            latency_objective_ns: 50_000_000,
+            target: 0.999,
+            windows: vec![WireSloWindow {
+                window_secs: 60,
+                good: 990,
+                bad: 10,
+                error_rate: 0.01,
+                burn_rate: 10.0,
+            }],
+        };
+        let json = serde_json::to_string(&status).unwrap();
+        let back: WireSloStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
     }
 
     fn empty_gateway_metrics() -> GatewayMetrics {

@@ -457,6 +457,82 @@ pub fn rollback_and_swap(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ObservabilityConfig;
+    use crate::server::ServerConfig;
+    use zsdb_catalog::presets;
+    use zsdb_core::features::FeaturizerConfig;
+    use zsdb_core::model::ModelConfig;
+    use zsdb_core::train::TrainingConfig;
+    use zsdb_engine::QueryRunner;
+    use zsdb_obs::FlightRecorderConfig;
+    use zsdb_query::WorkloadGenerator;
+    use zsdb_storage::Database;
+
+    /// A hot-swap must not blur provenance: each record names the model
+    /// version that actually served its request, so records straddling
+    /// an adaptation swap attribute pre- and post-swap predictions to
+    /// the right weights.
+    #[test]
+    fn provenance_straddling_a_swap_names_the_serving_version() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let runner = QueryRunner::with_defaults(&db);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 6, 1);
+        let graphs: Vec<_> = runner
+            .run_workload(&queries, 0)
+            .iter()
+            .map(|e| featurize_execution(db.catalog(), e, FeaturizerConfig::exact()))
+            .collect();
+        let trainer = Trainer::new(
+            ModelConfig::tiny(),
+            TrainingConfig {
+                epochs: 2,
+                validation_fraction: 0.0,
+                ..TrainingConfig::tiny()
+            },
+            FeaturizerConfig::exact(),
+        );
+        let model = trainer.train(&graphs);
+        let plans = runner.plan_workload(&queries);
+
+        let server = PredictionServer::start_observed(
+            model.clone(),
+            1,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 8,
+                cache_capacity: 8,
+                ..ServerConfig::default()
+            },
+            ObservabilityConfig {
+                flight: FlightRecorderConfig {
+                    // Retain every trace so explain() never races aging.
+                    slow_threshold_ns: 1,
+                    ..FlightRecorderConfig::default()
+                },
+                ..ObservabilityConfig::default()
+            },
+        );
+
+        let explain_one = |plan: &zsdb_engine::PlanNode| {
+            let trace = server.tracer().begin().expect("tracer enabled");
+            let ticket = server.submit_traced(plan.clone(), Some(trace)).unwrap();
+            let (prediction, trace) = ticket.wait_traced().unwrap();
+            let done = server.complete_traced(&prediction, trace.expect("trace travels"));
+            server.explain(done.id).expect("retained by 1ns threshold")
+        };
+
+        let before = explain_one(&plans[0]);
+        assert_eq!(before.model_version, 1);
+
+        // Same weights re-registered as version 2 — an adaptation swap
+        // in miniature, minus the fine-tune.
+        server.swap_model(model, 2);
+        let after = explain_one(&plans[1]);
+        assert_eq!(after.model_version, 2, "post-swap record names v2");
+        assert_eq!(before.model_name, after.model_name);
+        assert_ne!(before.trace_id, after.trace_id);
+    }
 
     #[test]
     fn drift_detector_needs_min_samples_and_threshold() {

@@ -31,7 +31,18 @@
 //!   merged only at snapshot time), every request decomposes into named
 //!   pipeline stages (`admission → queue_wait → cache_lookup/featurize →
 //!   forward → respond`), and the whole registry renders as
-//!   Prometheus-style text exposition alongside the JSON snapshot.
+//!   Prometheus-style text exposition alongside the JSON snapshot.  On
+//!   top ride the diagnosis surfaces: a flight recorder retaining slow
+//!   and failed traces, SLO burn-rate tracking against a latency
+//!   objective, and histogram exemplars linking buckets to trace ids.
+//! * [`provenance`] — a [`ProvenanceRecord`](zsdb_protocol::ProvenanceRecord)
+//!   per traced prediction: plan fingerprint, serving model name +
+//!   version, cache hit/miss, home vs executing shard (work stealing is
+//!   visible), per-stage breakdown and the predicted value — queryable
+//!   in-process (`explain`/`slow_log`/`slo_status` on both servers) and
+//!   over the wire via the v2 `Explain`/`SlowLog`/`SloStatus` ops.
+//!   Assembly is cold-path only; the warm cache-hit request stays
+//!   zero-allocation.
 //! * [`net`] — a TCP front-end over the worker pool: the framed
 //!   [`zsdb_protocol`] wire protocol, a tenant handshake, per-tenant
 //!   admission quotas on top of the bounded queue's load shedding,
@@ -69,6 +80,7 @@ pub mod error;
 pub mod metrics;
 pub mod multitask;
 pub mod net;
+pub mod provenance;
 pub mod registry;
 pub mod server;
 
@@ -78,14 +90,16 @@ pub use adapt::{
 pub use cache::{CacheStats, FeatureCache};
 pub use error::ServeError;
 pub use metrics::{
-    MetricsSnapshot, ServeMetrics, StageRecorder, BATCH_SIZE_BUCKET_LABELS, STAGE_ADMISSION,
-    STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD, STAGE_QUEUE_WAIT, STAGE_RESPOND,
+    MetricsSnapshot, ObservabilityConfig, ServeMetrics, StageRecorder, BATCH_SIZE_BUCKET_LABELS,
+    STAGE_ADMISSION, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD, STAGE_QUEUE_WAIT,
+    STAGE_RESPOND,
 };
 pub use multitask::{
     MultiTaskBatchTicket, MultiTaskPredictionServer, MultiTaskPredictionTicket,
     ServedMultiTaskModel, ServedMultiTaskPrediction,
 };
 pub use net::{NetServer, NetServerConfig, TenantPolicy};
+pub use provenance::{ProvenanceLog, ProvenanceSeed, MODEL_NAME};
 pub use registry::{
     ArtifactManifest, IntegrityProbe, ModelRegistry, MultiTaskArtifactManifest,
     MultiTaskIntegrityProbe, ARTIFACT_FORMAT_VERSION,

@@ -11,10 +11,15 @@
 //! merged only when a snapshot or exposition is requested.
 
 use crate::cache::CacheStats;
+use crate::provenance::{ProvenanceLog, ProvenanceSeed};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use zsdb_obs::{render_prometheus, Counter, Gauge, Histogram, LatencyWindow, Registry, Trace};
+use zsdb_obs::{
+    render_prometheus, sanitize_metric_name, Counter, FlightClass, FlightRecorder,
+    FlightRecorderConfig, Gauge, Histogram, LatencyWindow, Registry, SloConfig, SloTracker, Trace,
+};
+use zsdb_protocol::{WireSloStatus, WireSloWindow};
 
 /// How many of the most recent request latencies are retained *per
 /// recording thread* for the percentile estimates.  A bounded ring keeps
@@ -82,9 +87,8 @@ impl StageRecorder {
         }
     }
 
-    /// Record one stage duration (nanoseconds).
-    pub fn record(&self, stage: &str, ns: u64) {
-        let histogram = match stage {
+    fn of(&self, stage: &str) -> &Histogram {
+        match stage {
             STAGE_ADMISSION => &self.admission,
             STAGE_QUEUE_WAIT => &self.queue_wait,
             STAGE_CACHE_LOOKUP => &self.cache_lookup,
@@ -92,16 +96,34 @@ impl StageRecorder {
             STAGE_FORWARD => &self.forward,
             STAGE_RESPOND => &self.respond,
             _ => &self.other,
-        };
-        histogram.record(ns);
-    }
-
-    /// Feed every stage of a finished trace into the stage histograms.
-    pub fn record_trace(&self, trace: &Trace) {
-        for stage in &trace.stages {
-            self.record(stage.name, stage.duration_ns);
         }
     }
+
+    /// Record one stage duration (nanoseconds).
+    pub fn record(&self, stage: &str, ns: u64) {
+        self.of(stage).record(ns);
+    }
+
+    /// Feed every stage of a finished trace into the stage histograms,
+    /// stamping each bucket with the trace id as its exemplar — a
+    /// latency bucket in the exposition links back to a concrete recent
+    /// request answerable by the `Explain` op.
+    pub fn record_trace(&self, trace: &Trace) {
+        for stage in &trace.stages {
+            self.of(stage.name)
+                .record_with_exemplar(stage.duration_ns, trace.id);
+        }
+    }
+}
+
+/// Observability tunables of a server: flight-recorder retention and the
+/// SLO the burn-rate windows are measured against.
+#[derive(Debug, Clone, Default)]
+pub struct ObservabilityConfig {
+    /// Flight-recorder ring sizes and slow-request triggers.
+    pub flight: FlightRecorderConfig,
+    /// Latency/availability objective and rolling window lengths.
+    pub slo: SloConfig,
 }
 
 /// Shared latency/throughput recorder, updated by every worker thread.
@@ -129,14 +151,37 @@ pub struct ServeMetrics {
     /// source of the Prometheus exposition.
     registry: Registry,
     stages: StageRecorder,
+    /// Slow-request flight recorder: classifies every completion on the
+    /// warm path, retains slow/failed traces on the cold path.
+    flight: FlightRecorder,
+    /// Rolling good/bad windows against the configured latency SLO.
+    slo: SloTracker,
+    /// Assembled provenance records of traced requests.
+    provenance: ProvenanceLog,
 }
 
 impl ServeMetrics {
-    /// Create a recorder; throughput is measured from the first recorded
-    /// request.
+    /// Create a recorder with default observability settings; throughput
+    /// is measured from the first recorded request.
     pub fn new() -> Self {
+        ServeMetrics::with_observability(ObservabilityConfig::default())
+    }
+
+    /// Create a recorder with explicit flight-recorder and SLO settings.
+    pub fn with_observability(config: ObservabilityConfig) -> Self {
         let registry = Registry::new();
+        registry.describe("serve.requests_total", "Requests fully served");
+        registry.describe(
+            "serve.rejected_total",
+            "Requests turned away at admission (queue full or server closed)",
+        );
+        registry.describe("serve.queue_depth", "Jobs in the bounded request queues");
+        registry.describe(
+            "serve.model_swaps_total",
+            "Model hot-swaps over the server lifetime",
+        );
         let stages = StageRecorder::new(&registry);
+        let flight = FlightRecorder::new(config.flight);
         ServeMetrics {
             started: Instant::now(),
             first_request_ns: AtomicU64::new(0),
@@ -148,6 +193,12 @@ impl ServeMetrics {
             swaps: registry.counter("serve.model_swaps_total"),
             registry,
             stages,
+            provenance: ProvenanceLog::new(
+                config.flight.recent_capacity.max(1),
+                config.flight.slow_capacity.max(1),
+            ),
+            flight,
+            slo: SloTracker::new(config.slo),
         }
     }
 
@@ -158,24 +209,28 @@ impl ServeMetrics {
 
     /// Record one request (or batch) turned away at admission — a
     /// `try_submit` that answered `Overloaded`, or any submission against
-    /// a closed server.
+    /// a closed server.  Rejections burn the SLO error budget.
     pub fn record_rejection(&self) {
         self.rejected.inc();
+        self.slo.record(0, false);
     }
 
     /// Record one completed single-plan request and its queue-to-response
-    /// latency (a batch of size 1 in the histogram).
-    pub fn record(&self, latency: Duration) {
-        self.record_batch(1, latency);
+    /// latency (a batch of size 1 in the histogram).  Returns the flight
+    /// recorder's verdict so the caller can attach it to the prediction.
+    pub fn record(&self, latency: Duration) -> FlightClass {
+        self.record_batch(1, latency)
     }
 
     /// Record one completed batch of `batch_size` requests that shared a
     /// single enqueue-to-response latency.  Every request of the batch
-    /// contributes a latency sample and counts toward throughput; the
-    /// batch itself lands in one histogram bucket.
-    pub fn record_batch(&self, batch_size: usize, latency: Duration) {
+    /// contributes a latency sample, an SLO good/bad event and counts
+    /// toward throughput; the batch itself lands in one histogram bucket
+    /// and is classified once by the flight recorder.  Wait-free and
+    /// allocation-free (the warm-path half of slow-request retention).
+    pub fn record_batch(&self, batch_size: usize, latency: Duration) -> FlightClass {
         if batch_size == 0 {
-            return;
+            return FlightClass::Normal;
         }
         // First request ever: pin the throughput clock (the +1 keeps 0 as
         // the "unset" sentinel; a race just picks one of two near-equal
@@ -191,6 +246,54 @@ impl ServeMetrics {
         let ns = latency.as_nanos() as u64;
         for _ in 0..batch_size {
             self.window.record(ns);
+            self.slo.record(ns, true);
+        }
+        self.flight.classify(ns, true)
+    }
+
+    /// Cold-path bookkeeping for one finished traced request: feed the
+    /// stage histograms (with the trace id as exemplar), retain the trace
+    /// in the flight recorder under its classification, and assemble +
+    /// log the prediction's [`ProvenanceRecord`](zsdb_protocol::ProvenanceRecord).
+    pub fn record_completed_trace(&self, seed: &ProvenanceSeed, done: &Trace) {
+        self.stages.record_trace(done);
+        self.flight.offer(done.clone(), seed.class);
+        self.provenance.record(seed, done);
+    }
+
+    /// The slow-request flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The SLO burn-rate tracker.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// The provenance log behind the `Explain`/`SlowLog` ops.
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.provenance
+    }
+
+    /// The server's SLO position in wire form (the `SloStatusOk`
+    /// payload).
+    pub fn slo_status(&self) -> WireSloStatus {
+        let snap = self.slo.snapshot();
+        WireSloStatus {
+            latency_objective_ns: snap.latency_objective_ns,
+            target: snap.target,
+            windows: snap
+                .windows
+                .iter()
+                .map(|w| WireSloWindow {
+                    window_secs: w.window_secs,
+                    good: w.good,
+                    bad: w.bad,
+                    error_rate: w.error_rate,
+                    burn_rate: w.burn_rate,
+                })
+                .collect(),
         }
     }
 
@@ -276,6 +379,7 @@ impl ServeMetrics {
             })
             .collect();
         shard_depths.sort_unstable_by_key(|&(index, _)| index);
+        let slo = self.slo_status();
         MetricsSnapshot {
             total_requests,
             elapsed_secs: elapsed,
@@ -310,6 +414,10 @@ impl ServeMetrics {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            slow_requests_retained: self.flight.slow_len() as u64,
+            slo_latency_objective_ns: slo.latency_objective_ns,
+            slo_target: slo.target,
+            slo_windows: slo.windows,
         }
     }
 
@@ -321,7 +429,11 @@ impl ServeMetrics {
         use std::fmt::Write as _;
         let snap = self.snapshot(cache, workers);
         let mut out = render_prometheus(&self.registry.snapshot());
+        // Derived series run through the same sanitizer as registry
+        // names, so every emitted name obeys the exposition charset no
+        // matter how it was spelled here.
         let mut gauge = |name: &str, value: f64| {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(
                 out,
@@ -350,6 +462,40 @@ impl ServeMetrics {
             .zip(&snap.batch_size_histogram)
         {
             let _ = writeln!(out, "serve_batch_size{{bucket=\"{label}\"}} {count}");
+        }
+        // Slow-request retention and SLO burn rates.
+        let _ = writeln!(out, "# TYPE serve_slow_requests_retained gauge");
+        let _ = writeln!(
+            out,
+            "serve_slow_requests_retained {}",
+            snap.slow_requests_retained
+        );
+        let _ = writeln!(out, "# TYPE serve_slo_latency_objective_ns gauge");
+        let _ = writeln!(
+            out,
+            "serve_slo_latency_objective_ns {}",
+            snap.slo_latency_objective_ns
+        );
+        let _ = writeln!(out, "# TYPE serve_slo_target gauge");
+        let _ = writeln!(out, "serve_slo_target {}", snap.slo_target);
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+        let _ = writeln!(out, "# TYPE serve_slo_error_rate gauge");
+        for window in &snap.slo_windows {
+            let _ = writeln!(
+                out,
+                "serve_slo_error_rate{{window=\"{}s\"}} {}",
+                window.window_secs,
+                finite(window.error_rate)
+            );
+        }
+        let _ = writeln!(out, "# TYPE serve_slo_burn_rate gauge");
+        for window in &snap.slo_windows {
+            let _ = writeln!(
+                out,
+                "serve_slo_burn_rate{{window=\"{}s\"}} {}",
+                window.window_secs,
+                finite(window.burn_rate)
+            );
         }
         out
     }
@@ -438,6 +584,17 @@ pub struct MetricsSnapshot {
     /// size falls in `BATCH_SIZE_BUCKET_LABELS[i]` (single requests are
     /// size-1 batches).
     pub batch_size_histogram: Vec<u64>,
+    /// Slow/failed requests currently retained by the flight recorder
+    /// (answerable through the `SlowLog` op).
+    pub slow_requests_retained: u64,
+    /// Latency objective (nanoseconds) a request must meet to count as
+    /// an SLO-good event.
+    pub slo_latency_objective_ns: u64,
+    /// Configured availability target in `(0, 1)`.
+    pub slo_target: f64,
+    /// SLO good/bad counts and burn rate per rolling window, shortest
+    /// window first.
+    pub slo_windows: Vec<WireSloWindow>,
 }
 
 /// Render a millisecond value for display: `-` when no samples exist yet
@@ -766,6 +923,107 @@ mod tests {
         assert_eq!(snap.total_requests, 1);
         assert_eq!(snap.rejected_requests, 2);
         assert!(snap.to_string().contains("(2 rejected"));
+    }
+
+    fn observed_metrics() -> ServeMetrics {
+        ServeMetrics::with_observability(ObservabilityConfig {
+            flight: FlightRecorderConfig {
+                slow_capacity: 8,
+                recent_capacity: 8,
+                slow_threshold_ns: 1_000_000,
+                percentile: 0.0,
+                min_samples: 0,
+            },
+            slo: SloConfig {
+                latency_objective_ns: 1_000_000,
+                target: 0.99,
+                windows: vec![Duration::from_secs(60)],
+            },
+        })
+    }
+
+    #[test]
+    fn completions_feed_the_slo_and_classify_against_the_threshold() {
+        let metrics = observed_metrics();
+        assert_eq!(
+            metrics.record(Duration::from_micros(10)),
+            FlightClass::Normal
+        );
+        assert_eq!(
+            metrics.record(Duration::from_millis(5)),
+            FlightClass::SlowThreshold
+        );
+        metrics.record_rejection();
+        let slo = metrics.slo_status();
+        assert_eq!(slo.latency_objective_ns, 1_000_000);
+        assert_eq!(slo.windows.len(), 1);
+        // 1 good (fast), 2 bad (over-objective completion + rejection).
+        assert_eq!(slo.windows[0].good, 1);
+        assert_eq!(slo.windows[0].bad, 2);
+        assert!(slo.windows[0].burn_rate > 1.0, "budget burning fast");
+    }
+
+    #[test]
+    fn completed_traces_retain_provenance_and_surface_in_the_snapshot() {
+        let metrics = observed_metrics();
+        let tracer = zsdb_obs::Tracer::new(8);
+        let mut t = tracer.begin_with_id(321);
+        std::thread::sleep(Duration::from_millis(2));
+        t.mark(STAGE_FORWARD);
+        let done = tracer.finish(t);
+        let class = metrics.record(Duration::from_nanos(done.total_ns));
+        assert_eq!(class, FlightClass::SlowThreshold);
+        let seed = crate::provenance::ProvenanceSeed {
+            fingerprint: 7,
+            model_version: 2,
+            cache_hit: false,
+            home_shard: 0,
+            executed_shard: 1,
+            stolen: true,
+            predicted_secs: 0.5,
+            class,
+        };
+        metrics.record_completed_trace(&seed, &done);
+        // Explain path: the record is findable and complete.
+        let record = metrics.provenance().find(321).expect("retained");
+        assert_eq!(record.model_version, 2);
+        assert!(record.stolen);
+        // Flight recorder kept the raw trace too.
+        assert_eq!(metrics.flight().slow_len(), 1);
+        // The stage histogram bucket carries the trace id as exemplar.
+        let snap = metrics.registry().snapshot();
+        let (_, forward) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve.stage.forward_ns")
+            .expect("forward histogram");
+        assert!(forward.exemplars.contains(&321));
+        // And the serving snapshot reports retention + SLO position.
+        let report = metrics.snapshot(cache_stats(0, 0), 1);
+        assert_eq!(report.slow_requests_retained, 1);
+        assert_eq!(report.slo_latency_objective_ns, 1_000_000);
+        assert_eq!(report.slo_windows.len(), 1);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slow_requests_retained, 1);
+        assert_eq!(back.slo_windows, report.slo_windows);
+    }
+
+    #[test]
+    fn prometheus_text_exposes_help_slo_and_slow_log_series() {
+        let metrics = observed_metrics();
+        metrics.record(Duration::from_micros(10));
+        metrics.record(Duration::from_millis(5));
+        let text = metrics.prometheus_text(cache_stats(0, 0), 1);
+        assert!(
+            text.contains("# HELP serve_requests_total Requests fully served"),
+            "described registry metrics emit HELP: {text}"
+        );
+        assert!(text.contains("serve_slow_requests_retained"));
+        assert!(text.contains("serve_slo_target 0.99"));
+        assert!(text.contains("serve_slo_error_rate{window=\"60s\"}"));
+        assert!(text.contains("serve_slo_burn_rate{window=\"60s\"}"));
+        assert!(!text.contains("NaN"));
     }
 
     #[test]

@@ -26,9 +26,10 @@
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
 use crate::metrics::{
-    MetricsSnapshot, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD,
-    STAGE_QUEUE_WAIT,
+    MetricsSnapshot, ObservabilityConfig, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE,
+    STAGE_FORWARD, STAGE_QUEUE_WAIT,
 };
+use crate::provenance::ProvenanceSeed;
 use crate::server::{RejectedRequest, ServerConfig};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -40,7 +41,8 @@ use zsdb_core::fingerprint::plan_fingerprint;
 use zsdb_core::PlanGraph;
 use zsdb_engine::PlanNode;
 use zsdb_multitask::{MultiTaskPrediction, TrainedMultiTaskModel};
-use zsdb_obs::{ActiveTrace, Tracer};
+use zsdb_obs::{ActiveTrace, FlightClass, FlightRecorder, Trace, Tracer};
+use zsdb_protocol::{ProvenanceRecord, WireSloStatus};
 
 /// Traces retained by the in-process tracer ring (per thread).
 const TRACE_RING: usize = 256;
@@ -59,6 +61,28 @@ pub struct ServedMultiTaskPrediction {
     pub latency: Duration,
     /// Version of the model that answered (changes across hot-swaps).
     pub model_version: u32,
+    /// The flight recorder's verdict on this request's latency.
+    pub flight_class: FlightClass,
+}
+
+impl ServedMultiTaskPrediction {
+    /// The provenance seed of this prediction (see
+    /// [`Prediction::provenance_seed`](crate::Prediction::provenance_seed)).
+    /// The multi-task pool is unsharded, so the shard placement fields
+    /// are zero and nothing is ever stolen; the recorded predicted value
+    /// is the cost head's runtime.
+    pub fn provenance_seed(&self) -> ProvenanceSeed {
+        ProvenanceSeed {
+            fingerprint: self.fingerprint,
+            model_version: self.model_version,
+            cache_hit: self.cache_hit,
+            home_shard: 0,
+            executed_shard: 0,
+            stolen: false,
+            predicted_secs: self.tasks.runtime_secs,
+            class: self.flight_class,
+        }
+    }
 }
 
 /// A versioned, immutable served multi-task model — the unit of an atomic
@@ -186,6 +210,26 @@ impl MultiTaskPredictionServer {
         catalog: SchemaCatalog,
         config: ServerConfig,
     ) -> Self {
+        MultiTaskPredictionServer::start_observed(
+            model,
+            version,
+            catalog,
+            config,
+            ObservabilityConfig::default(),
+        )
+    }
+
+    /// [`MultiTaskPredictionServer::start_versioned`] with explicit
+    /// observability tuning (flight-recorder retention + SLO objective),
+    /// mirroring
+    /// [`PredictionServer::start_observed`](crate::PredictionServer::start_observed).
+    pub fn start_observed(
+        model: TrainedMultiTaskModel,
+        version: u32,
+        catalog: SchemaCatalog,
+        config: ServerConfig,
+        observability: ObservabilityConfig,
+    ) -> Self {
         assert!(config.workers > 0, "a server needs at least one worker");
         assert!(
             config.queue_capacity > 0,
@@ -195,7 +239,7 @@ impl MultiTaskPredictionServer {
             model: RwLock::new(Arc::new(ServedMultiTaskModel { version, model })),
             catalog,
             cache: FeatureCache::new(config.cache_capacity),
-            metrics: ServeMetrics::new(),
+            metrics: ServeMetrics::with_observability(observability),
             tracer: Tracer::new(TRACE_RING),
         });
         let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
@@ -398,6 +442,45 @@ impl MultiTaskPredictionServer {
         &self.shared.tracer
     }
 
+    /// The slow-request flight recorder (see
+    /// [`PredictionServer::flight_recorder`](crate::PredictionServer::flight_recorder)).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        self.shared.metrics.flight()
+    }
+
+    /// Finish a traced request end to end: closes the trace, records its
+    /// per-stage breakdown, feeds the flight recorder and stores the
+    /// prediction's [`ProvenanceRecord`] for [`explain`](Self::explain).
+    pub fn complete_traced(
+        &self,
+        prediction: &ServedMultiTaskPrediction,
+        trace: ActiveTrace,
+    ) -> Trace {
+        let done = self.shared.tracer.finish(trace);
+        self.shared
+            .metrics
+            .record_completed_trace(&prediction.provenance_seed(), &done);
+        done
+    }
+
+    /// Full provenance of one served prediction by trace id (see
+    /// [`PredictionServer::explain`](crate::PredictionServer::explain)).
+    pub fn explain(&self, trace_id: u64) -> Option<ProvenanceRecord> {
+        self.shared.metrics.provenance().find(trace_id)
+    }
+
+    /// The retained slow/failed requests' provenance, worst first, up to
+    /// `limit` records.
+    pub fn slow_log(&self, limit: usize) -> Vec<ProvenanceRecord> {
+        self.shared.metrics.provenance().slow_log(limit)
+    }
+
+    /// Current SLO position: objective, target and the rolling windows'
+    /// burn rates.
+    pub fn slo_status(&self) -> WireSloStatus {
+        self.shared.metrics.slo_status()
+    }
+
     /// The live metrics recorder behind [`metrics`](Self::metrics) —
     /// exposes the queue gauge, per-stage histogram recorder and the
     /// named-metric registry.
@@ -500,7 +583,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                     t.mark(STAGE_FORWARD);
                 }
                 let latency = enqueued.elapsed();
-                shared.metrics.record(latency);
+                let flight_class = shared.metrics.record(latency);
                 let _ = reply.send((
                     ServedMultiTaskPrediction {
                         tasks,
@@ -508,6 +591,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                         cache_hit,
                         latency,
                         model_version: served.version,
+                        flight_class,
                     },
                     trace,
                 ));
@@ -542,7 +626,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                     t.mark(STAGE_FORWARD);
                 }
                 let latency = enqueued.elapsed();
-                shared.metrics.record_batch(plans.len(), latency);
+                let flight_class = shared.metrics.record_batch(plans.len(), latency);
                 let predictions = all_tasks
                     .into_iter()
                     .zip(fingerprints)
@@ -554,6 +638,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Job>>) {
                             cache_hit,
                             latency,
                             model_version: served.version,
+                            flight_class,
                         },
                     )
                     .collect();
@@ -712,7 +797,7 @@ mod tests {
             .unwrap();
         let (prediction, trace) = ticket.wait_traced().unwrap();
         assert!(prediction.cache_hit);
-        let done = server.tracer().finish(trace.expect("trace rides the job"));
+        let done = server.complete_traced(&prediction, trace.expect("trace rides the job"));
         assert_eq!(done.id, id);
         let stages: Vec<&str> = done.stages.iter().map(|s| s.name).collect();
         assert_eq!(
@@ -724,8 +809,18 @@ mod tests {
             done.stages.iter().map(|s| s.duration_ns).sum::<u64>(),
             "stages tile the trace"
         );
-        // The finished trace is queryable by id.
+        // The finished trace is queryable by id, and so is its
+        // provenance record.
         assert_eq!(server.tracer().find(id).expect("retained").id, id);
+        let record = server.explain(id).expect("provenance retained");
+        assert_eq!(record.model_version, prediction.model_version);
+        assert_eq!(record.fingerprint, prediction.fingerprint);
+        assert!(record.cache_hit);
+        assert_eq!(
+            record.predicted_secs.to_bits(),
+            prediction.tasks.runtime_secs.to_bits()
+        );
+        assert_eq!((record.home_shard, record.executed_shard), (0, 0));
     }
 
     #[test]

@@ -37,9 +37,10 @@
 
 use crate::error::ServeError;
 use crate::metrics::{
-    percentile_of_sorted, StageRecorder, STAGE_ADMISSION, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE,
-    STAGE_FORWARD, STAGE_QUEUE_WAIT, STAGE_RESPOND,
+    percentile_of_sorted, STAGE_ADMISSION, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD,
+    STAGE_QUEUE_WAIT, STAGE_RESPOND,
 };
+use crate::provenance::ProvenanceSeed;
 use crate::server::{BatchPredictionTicket, PredictionServer, PredictionTicket};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -735,11 +736,10 @@ fn serve_connection(shared: &Arc<NetShared>, mut stream: TcpStream) -> io::Resul
     let (out_tx, out_rx) = mpsc::channel::<Outbound>();
     let responder = {
         let write_stream = stream.try_clone()?;
-        let tracer = shared.server.tracer().clone();
-        let stages = shared.server.recorder().stage_recorder();
+        let resp_shared = Arc::clone(shared);
         std::thread::Builder::new()
             .name("zsdb-net-respond".into())
-            .spawn(move || responder_loop(&out_rx, write_stream, &tracer, &stages))?
+            .spawn(move || responder_loop(&out_rx, write_stream, &resp_shared))?
     };
     read_requests(shared, &stream, &tenant, &out_tx, wire_traces);
     drop(out_tx); // responder drains what is left, then exits
@@ -838,6 +838,37 @@ fn read_requests(
                         healthy: true,
                         model_version: shared.server.model_version(),
                     }),
+                )));
+            }
+            Message::Explain(req) => {
+                let response = match shared.server.explain(req.trace_id) {
+                    Some(record) => {
+                        Frame::new(frame.request_id, Message::ExplainOk(Box::new(record)))
+                    }
+                    None => error_frame(
+                        frame.request_id,
+                        ErrorCode::BadRequest,
+                        format!(
+                            "no provenance retained for trace id {} (never traced, or aged out)",
+                            req.trace_id
+                        ),
+                    ),
+                };
+                let _ = out.send(Outbound::Ready(response));
+            }
+            Message::SlowLog(req) => {
+                // The slow ring is bounded server-side; cap the ask so a
+                // hostile limit cannot make the response frame huge.
+                let limit = req.limit.min(256) as usize;
+                let _ = out.send(Outbound::Ready(Frame::new(
+                    frame.request_id,
+                    Message::SlowLogOk(shared.server.slow_log(limit)),
+                )));
+            }
+            Message::SloStatus => {
+                let _ = out.send(Outbound::Ready(Frame::new(
+                    frame.request_id,
+                    Message::SloStatusOk(shared.server.slo_status()),
                 )));
             }
             other => {
@@ -1062,24 +1093,30 @@ fn admit_batch(
 /// admission order (the client demultiplexes by request id).  Keeps
 /// draining for accounting even after the socket dies, so a client that
 /// disconnects mid-flight never wedges tenant gauges.
-fn responder_loop(
-    rx: &mpsc::Receiver<Outbound>,
-    stream: TcpStream,
-    tracer: &Tracer,
-    stages: &StageRecorder,
-) {
+fn responder_loop(rx: &mpsc::Receiver<Outbound>, stream: TcpStream, shared: &NetShared) {
+    let tracer = shared.server.tracer();
+    let metrics = shared.server.recorder();
+    let stages = metrics.stage_recorder();
     let mut writer = io::BufWriter::new(stream);
     let mut socket_dead = false;
     // Close the respond stage (response encode + write) and finish the
-    // trace: per-stage histograms globally, stage sums per tenant.
-    let finish_trace = |trace: Option<ActiveTrace>, tenant: &TenantState| {
-        if let Some(mut t) = trace {
-            t.mark(STAGE_RESPOND);
-            let done = tracer.finish(t);
-            stages.record_trace(&done);
-            tenant.record_stages(&done);
-        }
-    };
+    // trace: per-stage histograms globally (with the trace id as
+    // exemplar), stage sums per tenant — and, when the work carried a
+    // provenance seed, the assembled record enters the provenance log
+    // and the finished trace the flight recorder.  All of this is the
+    // cold (post-response) path.
+    let finish_trace =
+        |trace: Option<ActiveTrace>, tenant: &TenantState, seed: Option<ProvenanceSeed>| {
+            if let Some(mut t) = trace {
+                t.mark(STAGE_RESPOND);
+                let done = tracer.finish(t);
+                match seed {
+                    Some(seed) => metrics.record_completed_trace(&seed, &done),
+                    None => stages.record_trace(&done),
+                }
+                tenant.record_stages(&done);
+            }
+        };
     loop {
         // Batch flushes: only flush when there is momentarily nothing to
         // write, so a pipelined burst goes out in few syscalls.
@@ -1130,7 +1167,7 @@ fn responder_loop(
                             ),
                             &mut socket_dead,
                         );
-                        finish_trace(trace, &tenant);
+                        finish_trace(trace, &tenant, Some(prediction.provenance_seed()));
                     }
                     Err(e) => emit(
                         &error_frame(id, error_code_of(&e), e.to_string()),
@@ -1161,7 +1198,14 @@ fn responder_loop(
                                 &mut socket_dead,
                             );
                         }
-                        finish_trace(trace, &tenant);
+                        // The group shares one trace/span; its provenance
+                        // is seeded from the first member (same shard,
+                        // class and model version for the whole chunk).
+                        finish_trace(
+                            trace,
+                            &tenant,
+                            predictions.first().map(|p| p.provenance_seed()),
+                        );
                     }
                     Err(e) => {
                         for id in &ids {
@@ -1191,7 +1235,11 @@ fn responder_loop(
                             &Frame::traced(id, trace_id, Message::PredictBatchOk(wire)),
                             &mut socket_dead,
                         );
-                        finish_trace(trace, &tenant);
+                        finish_trace(
+                            trace,
+                            &tenant,
+                            predictions.first().map(|p| p.provenance_seed()),
+                        );
                     }
                     Err(e) => emit(
                         &error_frame(id, error_code_of(&e), e.to_string()),

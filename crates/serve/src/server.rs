@@ -44,9 +44,10 @@
 use crate::cache::{CacheStats, FeatureCache};
 use crate::error::ServeError;
 use crate::metrics::{
-    MetricsSnapshot, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE, STAGE_FORWARD,
-    STAGE_QUEUE_WAIT,
+    MetricsSnapshot, ObservabilityConfig, ServeMetrics, STAGE_CACHE_LOOKUP, STAGE_FEATURIZE,
+    STAGE_FORWARD, STAGE_QUEUE_WAIT,
 };
+use crate::provenance::ProvenanceSeed;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -59,7 +60,8 @@ use zsdb_core::model::InferenceScratch;
 use zsdb_core::train::TrainedModel;
 use zsdb_core::GraphArena;
 use zsdb_engine::PlanNode;
-use zsdb_obs::{ActiveTrace, Gauge, Tracer};
+use zsdb_obs::{ActiveTrace, FlightClass, FlightRecorder, Gauge, Trace, Tracer};
+use zsdb_protocol::{ProvenanceRecord, WireSloStatus};
 
 /// Finished traces (and standalone events) the server's [`Tracer`] keeps
 /// per recording thread.
@@ -118,6 +120,33 @@ pub struct Prediction {
     pub latency: Duration,
     /// Version of the model that answered (changes across hot-swaps).
     pub model_version: u32,
+    /// Shard the plan's fingerprint routes to (its cache home).
+    pub home_shard: u32,
+    /// Shard whose worker executed the request — differs from
+    /// `home_shard` when the job was work-stolen.
+    pub executed_shard: u32,
+    /// Whether the request was stolen off its home queue.
+    pub stolen: bool,
+    /// The flight recorder's verdict on this request's latency.
+    pub flight_class: FlightClass,
+}
+
+impl Prediction {
+    /// The provenance seed of this prediction — everything a finished
+    /// trace needs to become a full
+    /// [`ProvenanceRecord`].
+    pub fn provenance_seed(&self) -> ProvenanceSeed {
+        ProvenanceSeed {
+            fingerprint: self.fingerprint,
+            model_version: self.model_version,
+            cache_hit: self.cache_hit,
+            home_shard: self.home_shard,
+            executed_shard: self.executed_shard,
+            stolen: self.stolen,
+            predicted_secs: self.runtime_secs,
+            class: self.flight_class,
+        }
+    }
 }
 
 /// A versioned, immutable served model — the unit of an atomic hot-swap.
@@ -486,12 +515,31 @@ impl PredictionServer {
         catalog: SchemaCatalog,
         config: ServerConfig,
     ) -> Self {
+        PredictionServer::start_observed(
+            model,
+            version,
+            catalog,
+            config,
+            ObservabilityConfig::default(),
+        )
+    }
+
+    /// [`PredictionServer::start_versioned`] with explicit observability
+    /// tuning: the flight recorder's retention thresholds and the SLO
+    /// objective the burn-rate windows grade against.
+    pub fn start_observed(
+        model: TrainedModel,
+        version: u32,
+        catalog: SchemaCatalog,
+        config: ServerConfig,
+        observability: ObservabilityConfig,
+    ) -> Self {
         assert!(config.workers > 0, "a server needs at least one worker");
         assert!(
             config.queue_capacity > 0,
             "a zero-capacity queue would reject every request"
         );
-        let metrics = ServeMetrics::new();
+        let metrics = ServeMetrics::with_observability(observability);
         // The configured totals are split across the shards; div_ceil
         // keeps every shard usable (≥ 1 queue slot, and a non-empty
         // cache slice whenever caching is enabled at all).
@@ -801,6 +849,48 @@ impl PredictionServer {
         &self.shared.tracer
     }
 
+    /// The slow-request flight recorder: bounded rings of materialized
+    /// traces, retaining threshold-/tail-slow and failed requests past
+    /// the churn of normal traffic.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        self.shared.metrics.flight()
+    }
+
+    /// Finish a traced request end to end: closes the trace, records its
+    /// per-stage breakdown (with exemplars), feeds the flight recorder
+    /// and assembles + stores the prediction's [`ProvenanceRecord`] —
+    /// afterwards [`explain`](Self::explain) can answer for the trace's
+    /// id.  Returns the finished trace.
+    pub fn complete_traced(&self, prediction: &Prediction, trace: ActiveTrace) -> Trace {
+        let done = self.shared.tracer.finish(trace);
+        self.shared
+            .metrics
+            .record_completed_trace(&prediction.provenance_seed(), &done);
+        done
+    }
+
+    /// Full provenance of one served prediction by trace id — plan
+    /// fingerprint, model name/version, cache hit, shard placement
+    /// (home vs. stolen) and the per-stage latency breakdown.  `None`
+    /// when no record with that id is retained (never traced, or aged
+    /// out of both provenance rings).
+    pub fn explain(&self, trace_id: u64) -> Option<ProvenanceRecord> {
+        self.shared.metrics.provenance().find(trace_id)
+    }
+
+    /// The retained slow/failed requests' provenance, worst (longest
+    /// total latency) first, up to `limit` records.
+    pub fn slow_log(&self, limit: usize) -> Vec<ProvenanceRecord> {
+        self.shared.metrics.provenance().slow_log(limit)
+    }
+
+    /// Current SLO position: the configured latency objective + target
+    /// and the rolling windows' good/bad counts, error rates and burn
+    /// rates.
+    pub fn slo_status(&self) -> WireSloStatus {
+        self.shared.metrics.slo_status()
+    }
+
     /// The live metrics recorder behind [`metrics`](Self::metrics) —
     /// exposes the queue gauge, per-stage histogram recorder and the
     /// named-metric registry.
@@ -883,7 +973,7 @@ fn worker_loop(shared: &Shared, me: usize) {
         // inference).
         if let Some(job) = shared.shards[me].try_pop() {
             shared.metrics.queue_dec();
-            process_job(shared, &mut state, job);
+            process_job(shared, &mut state, me, job);
             continue;
         }
         // Own queue empty: one steal pass over the other shards, oldest
@@ -893,7 +983,7 @@ fn worker_loop(shared: &Shared, me: usize) {
             let victim = (me + offset) % shard_count;
             if let Some(job) = shared.shards[victim].try_pop() {
                 shared.metrics.queue_dec();
-                process_job(shared, &mut state, job);
+                process_job(shared, &mut state, me, job);
                 stole = true;
                 break;
             }
@@ -906,7 +996,7 @@ fn worker_loop(shared: &Shared, me: usize) {
         match shared.shards[me].pop_or_park(STEAL_PARK) {
             Dequeued::Job(job) => {
                 shared.metrics.queue_dec();
-                process_job(shared, &mut state, *job);
+                process_job(shared, &mut state, me, *job);
             }
             Dequeued::Idle => {}
             Dequeued::Closed => return,
@@ -914,7 +1004,12 @@ fn worker_loop(shared: &Shared, me: usize) {
     }
 }
 
-fn process_job(shared: &Shared, state: &mut WorkerState, job: Job) {
+/// The shard a fingerprint routes to, as a provenance field.
+fn home_shard_of(shared: &Shared, fingerprint: u64) -> u32 {
+    (fingerprint % shared.shards.len() as u64) as u32
+}
+
+fn process_job(shared: &Shared, state: &mut WorkerState, me: usize, job: Job) {
     match job {
         Job::Single {
             plan,
@@ -966,7 +1061,8 @@ fn process_job(shared: &Shared, state: &mut WorkerState, job: Job) {
                 t.mark(STAGE_FORWARD);
             }
             let latency = enqueued.elapsed();
-            shared.metrics.record(latency);
+            let flight_class = shared.metrics.record(latency);
+            let home_shard = home_shard_of(shared, fingerprint);
             // A dropped ticket just means the client stopped waiting.
             let _ = reply.send((
                 Prediction {
@@ -975,6 +1071,10 @@ fn process_job(shared: &Shared, state: &mut WorkerState, job: Job) {
                     cache_hit,
                     latency,
                     model_version: served.version,
+                    home_shard,
+                    executed_shard: me as u32,
+                    stolen: home_shard != me as u32,
+                    flight_class,
                 },
                 trace,
             ));
@@ -1031,17 +1131,24 @@ fn process_job(shared: &Shared, state: &mut WorkerState, job: Job) {
                 t.mark(STAGE_FORWARD);
             }
             let latency = enqueued.elapsed();
-            shared.metrics.record_batch(plans.len(), latency);
+            let flight_class = shared.metrics.record_batch(plans.len(), latency);
             let predictions = runtimes
                 .into_iter()
                 .zip(state.fingerprints.drain(..))
                 .zip(state.cache_hits.drain(..))
-                .map(|((runtime_secs, fingerprint), cache_hit)| Prediction {
-                    runtime_secs,
-                    fingerprint,
-                    cache_hit,
-                    latency,
-                    model_version: served.version,
+                .map(|((runtime_secs, fingerprint), cache_hit)| {
+                    let home_shard = home_shard_of(shared, fingerprint);
+                    Prediction {
+                        runtime_secs,
+                        fingerprint,
+                        cache_hit,
+                        latency,
+                        model_version: served.version,
+                        home_shard,
+                        executed_shard: me as u32,
+                        stolen: home_shard != me as u32,
+                        flight_class,
+                    }
                 })
                 .collect();
             state.graphs.clear();
@@ -1104,6 +1211,62 @@ mod tests {
             assert_eq!(served.runtime_secs.to_bits(), reference.to_bits());
             assert_eq!(served.fingerprint, plan_fingerprint(plan));
         }
+    }
+
+    #[test]
+    fn traced_requests_are_explainable_end_to_end() {
+        let (model, catalog, plans) = tiny_server_fixture();
+        let server = PredictionServer::start_observed(
+            model,
+            7,
+            catalog,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            ObservabilityConfig {
+                // 1ns threshold: every request classifies as slow, so
+                // the slow log and provenance retention are exercised.
+                flight: zsdb_obs::FlightRecorderConfig {
+                    slow_threshold_ns: 1,
+                    ..zsdb_obs::FlightRecorderConfig::default()
+                },
+                slo: zsdb_obs::SloConfig::default(),
+            },
+        );
+        let trace = server.tracer().begin().expect("tracer enabled");
+        let trace_id = trace.id();
+        let ticket = server.submit_traced(plans[0].clone(), Some(trace)).unwrap();
+        let (prediction, returned) = ticket.wait_traced().unwrap();
+        assert_eq!(prediction.flight_class, FlightClass::SlowThreshold);
+        assert_eq!(
+            prediction.home_shard,
+            (prediction.fingerprint % 2) as u32,
+            "home shard is the fingerprint route"
+        );
+        let done = server.complete_traced(&prediction, returned.expect("trace returned"));
+        assert_eq!(done.id, trace_id);
+
+        let record = server.explain(trace_id).expect("provenance retained");
+        assert_eq!(record.model_version, 7);
+        assert_eq!(record.model_name, crate::provenance::MODEL_NAME);
+        assert_eq!(record.fingerprint, prediction.fingerprint);
+        assert_eq!(record.stolen, prediction.stolen);
+        assert_eq!(
+            record.predicted_secs.to_bits(),
+            prediction.runtime_secs.to_bits()
+        );
+        assert_eq!(
+            record.stages.iter().map(|s| s.duration_ns).sum::<u64>(),
+            record.total_ns,
+            "stages tile the trace"
+        );
+
+        let slow = server.slow_log(16);
+        assert!(slow.iter().any(|r| r.trace_id == trace_id));
+        let slo = server.slo_status();
+        assert!(!slo.windows.is_empty());
+        assert_eq!(slo.windows[0].good + slo.windows[0].bad, 1);
     }
 
     #[test]

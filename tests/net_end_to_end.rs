@@ -15,7 +15,14 @@
 //! (d) a traced remote `predict` decomposes into named pipeline stages
 //!     whose durations sum to the end-to-end latency, and
 //! (e) latency/stage recording stays striped (no shared lock) under
-//!     concurrent tenants and snapshot pressure.
+//!     concurrent tenants and snapshot pressure,
+//!
+//! plus the ISSUE 9 provenance acceptance:
+//!
+//! (f) a deliberately slow request driven over TCP is retrievable via
+//!     the `SlowLog` op, its full `ProvenanceRecord` via `Explain`, the
+//!     record's stage durations tile the end-to-end latency, and the
+//!     record names the serving model (name + version).
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -334,6 +341,139 @@ fn remote_predict_trace_decomposes_end_to_end_latency() {
         (stage_sum as f64 - reported_ns).abs() <= slack,
         "stage sum {stage_sum}ns vs gateway-reported {reported_ns}ns exceeds {slack}ns slack"
     );
+
+    drop(client);
+    gateway.shutdown();
+}
+
+/// ISSUE 9 acceptance: drive a deliberately slow request over TCP,
+/// retrieve it through the `SlowLog` wire op and its full provenance
+/// through `Explain`.  The flight recorder's threshold is set to 1ns so
+/// the request's classification as slow is deterministic, not a race
+/// against the scheduler.
+#[test]
+fn slow_requests_are_retrievable_and_explainable_over_the_wire() {
+    use zero_shot_db::obs::{FlightRecorderConfig, SloConfig};
+    use zero_shot_db::serve::{ObservabilityConfig, MODEL_NAME};
+
+    let db = Database::generate(presets::imdb_like(0.02), 23);
+    let (model, plans) = tiny_serving_fixture(&db, 8, 3);
+
+    let gateway = NetServer::start(
+        "127.0.0.1:0",
+        PredictionServer::start_observed(
+            model,
+            5,
+            db.catalog().clone(),
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 16,
+                ..ServerConfig::default()
+            },
+            ObservabilityConfig {
+                flight: FlightRecorderConfig {
+                    slow_threshold_ns: 1,
+                    ..FlightRecorderConfig::default()
+                },
+                slo: SloConfig {
+                    // Everything violates a 1ns objective, so the burn
+                    // rate is deterministically nonzero.
+                    latency_objective_ns: 1,
+                    ..SloConfig::default()
+                },
+            },
+        ),
+        NetServerConfig::default().with_tenant("prov", TenantPolicy { max_in_flight: 16 }),
+    )
+    .expect("bind gateway");
+
+    let client =
+        Client::connect(gateway.local_addr(), ClientConfig::tenant("prov")).expect("connect");
+    // The deliberately slow request: a cold cache forces featurization,
+    // and the 1ns threshold guarantees retention in the slow ring.
+    let remote = client.predict(&plans[0]).expect("remote predict");
+    assert_ne!(remote.trace_id, 0, "v2 connection mints a trace id");
+
+    // The responder assembles provenance just after writing the
+    // response, so poll briefly for the record to land.
+    let record = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.explain(remote.trace_id) {
+                Ok(record) => break record,
+                Err(ClientError::Server {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "provenance for trace {} never landed",
+                        remote.trace_id
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("explain failed: {e}"),
+            }
+        }
+    };
+
+    // The record names the serving model and carries the prediction.
+    assert_eq!(record.trace_id, remote.trace_id);
+    assert_eq!(record.model_name, MODEL_NAME);
+    assert_eq!(record.model_version, 5, "record names the served version");
+    assert_eq!(record.fingerprint, remote.fingerprint);
+    assert!(!record.cache_hit, "first request was cold");
+    assert_eq!(record.flight_class, "slow_threshold");
+    assert!(record.predicted_secs.is_finite());
+
+    // Its stage durations tile the end-to-end latency exactly.
+    assert!(
+        record.stages.len() >= 4,
+        "named stages: {:?}",
+        record.stages
+    );
+    let stage_sum: u64 = record.stages.iter().map(|s| s.duration_ns).sum();
+    assert_eq!(
+        stage_sum, record.total_ns,
+        "stage durations tile the end-to-end latency"
+    );
+
+    // The slow log retrieves the same record, worst-first.
+    let slow = client.slow_log(16).expect("slow log over the wire");
+    assert!(
+        slow.iter().any(|r| r.trace_id == remote.trace_id),
+        "the slow request is in the slow log"
+    );
+    assert!(
+        slow.windows(2).all(|w| w[0].total_ns >= w[1].total_ns),
+        "slow log is sorted worst-first"
+    );
+
+    // SLO status over the wire: the 1ns objective makes the request bad,
+    // so every window burns.
+    let slo = client.slo_status().expect("slo status over the wire");
+    assert_eq!(slo.latency_objective_ns, 1);
+    assert!(!slo.windows.is_empty());
+    for window in &slo.windows {
+        assert_eq!(window.good + window.bad, 1, "one request graded");
+        assert_eq!(window.bad, 1, "the slow request violates the objective");
+        assert!(window.burn_rate > 1.0, "burning through the error budget");
+    }
+
+    // The snapshot + prometheus surfaces carry the new series too.
+    let text = client.metrics_text().expect("prometheus over the wire");
+    assert!(text.contains("serve_slow_requests_retained"));
+    assert!(text.contains("serve_slo_burn_rate"));
+
+    // Unknown trace ids answer a structured error, not a hang.
+    match client.explain(u64::MAX) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("no provenance"), "got: {message}");
+        }
+        other => panic!("expected BadRequest for unknown trace, got {other:?}"),
+    }
 
     drop(client);
     gateway.shutdown();
