@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use zsdb_cardest::PostgresLikeEstimator;
 use zsdb_catalog::presets;
-use zsdb_engine::{EngineConfig, Executor, Optimizer, QueryRunner};
+use zsdb_engine::{EngineConfig, Executor, Optimizer, QueryRunner, RowExecutor};
 use zsdb_query::WorkloadGenerator;
 use zsdb_storage::Database;
 
@@ -24,6 +24,10 @@ fn bench_engine(c: &mut Criterion) {
     });
     c.bench_function("executor_single_join_query", |b| {
         let executor = Executor::new(&db);
+        b.iter(|| black_box(executor.execute(black_box(&plans[0]))))
+    });
+    c.bench_function("row_executor_single_join_query", |b| {
+        let executor = RowExecutor::new(&db);
         b.iter(|| black_box(executor.execute(black_box(&plans[0]))))
     });
     c.bench_function("runner_end_to_end_query", |b| {

@@ -1,0 +1,205 @@
+//! Executor throughput benchmark: batched vs row-at-a-time.
+//!
+//! Runs the same optimizer-planned workload through both execution
+//! strategies — the vectorized batch executor (`zsdb_engine::Executor`,
+//! the production corpus-generation path) and the row-at-a-time reference
+//! (`zsdb_engine::RowExecutor`) — and emits a machine-readable
+//! `BENCH_exec.json` with per-strategy rows/sec, corpus-generation wall
+//! clock, the speedup, and an equivalence check (aggregates, actual
+//! cardinalities and work metrics must be bit-identical across every
+//! query).
+//!
+//! The binary exits non-zero when the executors diverge on any query, or
+//! when `--min-speedup` (default 1.0; CI smoke uses it loosely, the
+//! committed report targets ≥3×) is not met.
+//!
+//! Usage:
+//! `cargo run -p zsdb_bench --release --bin bench_exec -- \
+//!    [--scale S] [--queries N] [--max-tables N] [--rounds N] \
+//!    [--min-speedup X] [--out PATH]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zsdb_catalog::presets;
+use zsdb_engine::{Executor, Optimizer, PlanNode, QueryResult, RowExecutor};
+use zsdb_query::{WorkloadGenerator, WorkloadSpec};
+use zsdb_storage::Database;
+
+struct Args {
+    scale: f64,
+    queries: usize,
+    max_tables: usize,
+    rounds: usize,
+    min_speedup: f64,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1).cloned())
+        };
+        Args {
+            scale: value_of("--scale")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.08),
+            queries: value_of("--queries")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(60),
+            max_tables: value_of("--max-tables")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3),
+            rounds: value_of("--rounds")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3)
+                .max(1),
+            min_speedup: value_of("--min-speedup")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1.0),
+            out: value_of("--out").unwrap_or_else(|| "BENCH_exec.json".to_string()),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct StrategyReport {
+    /// Total wall clock across all rounds, seconds.
+    wall_secs_total: f64,
+    /// Best (minimum) single-round wall clock, seconds — the number the
+    /// throughput is derived from.
+    wall_secs_best_round: f64,
+    /// Input tuples pushed through plan operators per second, best round.
+    rows_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchExecReport {
+    scale: f64,
+    queries: usize,
+    rounds: usize,
+    /// Total operator input tuples across the workload (one round).
+    corpus_input_tuples: u64,
+    row_at_a_time: StrategyReport,
+    batched: StrategyReport,
+    /// batched rows/sec ÷ row-at-a-time rows/sec.
+    speedup: f64,
+    /// True only if aggregates, actual cardinalities and work metrics were
+    /// bit-identical between the strategies on every query.
+    results_identical: bool,
+}
+
+fn time_rounds<F: FnMut() -> u64>(rounds: usize, mut pass: F) -> (f64, f64, u64) {
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    let mut tuples = 0;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        tuples = pass();
+        let secs = start.elapsed().as_secs_f64();
+        total += secs;
+        best = best.min(secs);
+    }
+    (total, best, tuples)
+}
+
+fn main() {
+    let args = Args::parse();
+    let db = Database::generate(presets::imdb_like(args.scale), 7);
+    let estimator = zsdb_cardest::PostgresLikeEstimator::new(db.catalog().clone());
+    let optimizer = Optimizer::new(&db, zsdb_engine::EngineConfig::default(), &estimator);
+    let queries = WorkloadGenerator::new(WorkloadSpec {
+        max_tables: args.max_tables,
+        ..WorkloadSpec::default()
+    })
+    .generate(db.catalog(), args.queries, 13);
+    let plans: Vec<PlanNode> = queries.iter().map(|q| optimizer.plan(q)).collect();
+    println!(
+        "bench_exec: {} queries on imdb_like(scale={}), {} rounds",
+        plans.len(),
+        args.scale,
+        args.rounds
+    );
+
+    let corpus_tuples = |results: &[QueryResult]| -> u64 {
+        results
+            .iter()
+            .map(|r| r.root.total_work().input_tuples)
+            .sum()
+    };
+
+    // Equivalence check first (also warms both paths).
+    let batched_results: Vec<QueryResult> = plans
+        .iter()
+        .map(|p| Executor::new(&db).execute(p))
+        .collect();
+    let row_results: Vec<QueryResult> = plans
+        .iter()
+        .map(|p| RowExecutor::new(&db).execute(p))
+        .collect();
+    let results_identical = batched_results == row_results;
+
+    let (row_total, row_best, row_tuples) = time_rounds(args.rounds, || {
+        let results: Vec<QueryResult> = plans
+            .iter()
+            .map(|p| RowExecutor::new(&db).execute(p))
+            .collect();
+        corpus_tuples(&results)
+    });
+    let (batched_total, batched_best, batched_tuples) = time_rounds(args.rounds, || {
+        let results: Vec<QueryResult> = plans
+            .iter()
+            .map(|p| Executor::new(&db).execute(p))
+            .collect();
+        corpus_tuples(&results)
+    });
+    assert_eq!(row_tuples, batched_tuples, "work accounting diverged");
+
+    let row_rps = row_tuples as f64 / row_best;
+    let batched_rps = batched_tuples as f64 / batched_best;
+    let speedup = batched_rps / row_rps;
+    let report = BenchExecReport {
+        scale: args.scale,
+        queries: plans.len(),
+        rounds: args.rounds,
+        corpus_input_tuples: batched_tuples,
+        row_at_a_time: StrategyReport {
+            wall_secs_total: row_total,
+            wall_secs_best_round: row_best,
+            rows_per_sec: row_rps,
+        },
+        batched: StrategyReport {
+            wall_secs_total: batched_total,
+            wall_secs_best_round: batched_best,
+            rows_per_sec: batched_rps,
+        },
+        speedup,
+        results_identical,
+    };
+
+    println!(
+        "row-at-a-time: {:.3}s best round ({:.0} rows/sec)",
+        row_best, row_rps
+    );
+    println!(
+        "batched:       {:.3}s best round ({:.0} rows/sec)",
+        batched_best, batched_rps
+    );
+    println!("speedup:       {speedup:.2}x (results identical: {results_identical})");
+    zsdb_bench::write_json_report(&args.out, &report);
+
+    if !results_identical {
+        eprintln!("FAIL: batched and row-at-a-time results diverged");
+        std::process::exit(1);
+    }
+    if speedup < args.min_speedup {
+        eprintln!(
+            "FAIL: speedup {speedup:.2}x below required {:.2}x",
+            args.min_speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,521 @@
+//! Row-at-a-time reference executor.
+//!
+//! [`RowExecutor`] is the original `Vec<Vec<Value>>` execution strategy,
+//! kept as the oracle the vectorized [`crate::Executor`] is checked
+//! against: both must produce bit-identical aggregates, true cardinalities
+//! and [`WorkMetrics`] for every plan (pinned by the `exec_equivalence`
+//! property suite).  It shares the work-accounting helpers with the
+//! batched executor — catalog-derived row widths
+//! ([`crate::executor::row_width_bytes`]), the index heap-fetch cap
+//! ([`crate::executor::index_heap_fetch_pages`]) and typed join keys
+//! ([`crate::executor::typed_join_key`]) — so the bugfixes to those labels
+//! apply to both strategies identically.
+
+use crate::executor::{
+    index_heap_fetch_pages, row_width_bytes, typed_join_key, ExecutedNode, QueryResult, WorkMetrics,
+};
+use crate::physical::{PhysOperator, PhysOperatorKind, PlanNode};
+use std::collections::HashMap;
+use zsdb_catalog::{ColumnId, ColumnRef, DataType, TableId, Value};
+use zsdb_query::{AggFunc, Aggregate, Predicate};
+use zsdb_storage::Database;
+
+/// An intermediate relation flowing between operators.
+struct Relation {
+    columns: Vec<ColumnRef>,
+    types: Vec<DataType>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    fn position(&self, column: ColumnRef) -> usize {
+        self.columns
+            .iter()
+            .position(|c| *c == column)
+            .unwrap_or_else(|| panic!("column {column} not present in intermediate relation"))
+    }
+
+    fn width_bytes(&self) -> u64 {
+        row_width_bytes(&self.types)
+    }
+}
+
+/// Row-at-a-time plan executor over one database (reference oracle for the
+/// vectorized [`crate::Executor`]).
+pub struct RowExecutor<'a> {
+    db: &'a Database,
+}
+
+impl<'a> RowExecutor<'a> {
+    /// Create an executor for the given database.
+    pub fn new(db: &'a Database) -> Self {
+        RowExecutor { db }
+    }
+
+    /// Execute a physical plan and return aggregate values plus the
+    /// executed tree.  The plan's root must be an `Aggregate` operator (the
+    /// optimizer always produces one).
+    pub fn execute(&self, plan: &PlanNode) -> QueryResult {
+        let (relation, node) = self.exec_node(plan);
+        let aggregates = match &plan.op {
+            PhysOperator::Aggregate { .. } => {
+                // The aggregate values were computed by exec_node and stored
+                // in the single output row.
+                relation.rows.first().cloned().unwrap_or_default()
+            }
+            _ => Vec::new(),
+        };
+        QueryResult {
+            aggregates,
+            root: node,
+        }
+    }
+
+    fn exec_node(&self, plan: &PlanNode) -> (Relation, ExecutedNode) {
+        match &plan.op {
+            PhysOperator::SeqScan { table, predicates } => {
+                self.exec_seq_scan(plan, *table, predicates)
+            }
+            PhysOperator::IndexScan {
+                table,
+                index_column,
+                lo,
+                hi,
+                residual,
+            } => self.exec_index_scan(plan, *table, *index_column, *lo, *hi, residual),
+            PhysOperator::HashJoin {
+                build_key,
+                probe_key,
+            } => self.exec_hash_join(plan, *build_key, *probe_key),
+            PhysOperator::NestedLoopJoin {
+                outer_key,
+                inner_key,
+            } => self.exec_nested_loop(plan, *outer_key, *inner_key),
+            PhysOperator::Aggregate { aggregates } => self.exec_aggregate(plan, aggregates),
+        }
+    }
+
+    fn table_columns(&self, table: TableId) -> (Vec<ColumnRef>, Vec<DataType>) {
+        let meta = self.db.catalog().table(table);
+        (
+            (0..meta.num_columns())
+                .map(|i| ColumnRef::new(table, ColumnId(i as u32)))
+                .collect(),
+            meta.columns.iter().map(|c| c.data_type).collect(),
+        )
+    }
+
+    fn exec_seq_scan(
+        &self,
+        plan: &PlanNode,
+        table: TableId,
+        predicates: &[Predicate],
+    ) -> (Relation, ExecutedNode) {
+        let data = self.db.table_data(table);
+        let meta = self.db.catalog().table(table);
+        let (columns, types) = self.table_columns(table);
+        let mut rows = Vec::new();
+        let mut predicate_evals = 0u64;
+        for row in 0..data.num_rows() {
+            let mut keep = true;
+            for p in predicates {
+                predicate_evals += 1;
+                if !p.matches(data.value(row, p.column.column)) {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                rows.push(data.row(row));
+            }
+        }
+        let relation = Relation {
+            columns,
+            types,
+            rows,
+        };
+        let work = WorkMetrics {
+            input_tuples: data.num_rows() as u64,
+            output_tuples: relation.rows.len() as u64,
+            pages_seq: meta.num_pages(),
+            predicate_evals,
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::SeqScan,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: Vec::new(),
+        };
+        (relation, node)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_index_scan(
+        &self,
+        plan: &PlanNode,
+        table: TableId,
+        index_column: ColumnRef,
+        lo: Option<f64>,
+        hi: Option<f64>,
+        residual: &[Predicate],
+    ) -> (Relation, ExecutedNode) {
+        let index_id = self
+            .db
+            .index_on(index_column)
+            .unwrap_or_else(|| panic!("index scan requires a physical index on {index_column}"));
+        let index = self.db.index(index_id);
+        let data = self.db.table_data(table);
+        let meta = self.db.catalog().table(table);
+        let (columns, types) = self.table_columns(table);
+
+        let matched = index.range(lo, hi);
+        let mut rows = Vec::new();
+        let mut predicate_evals = 0u64;
+        for &row in &matched {
+            let row = row as usize;
+            let mut keep = true;
+            for p in residual {
+                predicate_evals += 1;
+                if !p.matches(data.value(row, p.column.column)) {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                rows.push(data.row(row));
+            }
+        }
+        let relation = Relation {
+            columns,
+            types,
+            rows,
+        };
+        let work = WorkMetrics {
+            input_tuples: matched.len() as u64,
+            output_tuples: relation.rows.len() as u64,
+            pages_random: index.height() as u64
+                + index_heap_fetch_pages(matched.len() as u64, meta.num_tuples),
+            index_entries: matched.len() as u64,
+            predicate_evals,
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::IndexScan,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: Vec::new(),
+        };
+        (relation, node)
+    }
+
+    fn exec_hash_join(
+        &self,
+        plan: &PlanNode,
+        build_key: ColumnRef,
+        probe_key: ColumnRef,
+    ) -> (Relation, ExecutedNode) {
+        let (build_rel, build_node) = self.exec_node(&plan.children[0]);
+        let (probe_rel, probe_node) = self.exec_node(&plan.children[1]);
+
+        let build_pos = build_rel.position(build_key);
+        let probe_pos = probe_rel.position(probe_key);
+
+        let mut hash_table = HashMap::new();
+        for (i, row) in build_rel.rows.iter().enumerate() {
+            if let Some(key) = typed_join_key(&row[build_pos]) {
+                hash_table.entry(key).or_insert_with(Vec::new).push(i);
+            }
+        }
+
+        let mut columns = build_rel.columns.clone();
+        columns.extend(probe_rel.columns.iter().copied());
+        let mut types = build_rel.types.clone();
+        types.extend(probe_rel.types.iter().copied());
+        let mut rows = Vec::new();
+        for probe_row in &probe_rel.rows {
+            if let Some(key) = typed_join_key(&probe_row[probe_pos]) {
+                if let Some(matches) = hash_table.get(&key) {
+                    for &build_idx in matches {
+                        let mut row = build_rel.rows[build_idx].clone();
+                        row.extend(probe_row.iter().copied());
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        let relation = Relation {
+            columns,
+            types,
+            rows,
+        };
+        let build_bytes = build_rel.rows.len() as u64 * (build_rel.width_bytes() + 16);
+        let work = WorkMetrics {
+            input_tuples: (build_rel.rows.len() + probe_rel.rows.len()) as u64,
+            output_tuples: relation.rows.len() as u64,
+            hash_build_tuples: build_rel.rows.len() as u64,
+            hash_probe_tuples: probe_rel.rows.len() as u64,
+            build_bytes,
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::HashJoin,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: vec![build_node, probe_node],
+        };
+        (relation, node)
+    }
+
+    fn exec_nested_loop(
+        &self,
+        plan: &PlanNode,
+        outer_key: ColumnRef,
+        inner_key: ColumnRef,
+    ) -> (Relation, ExecutedNode) {
+        let (outer_rel, outer_node) = self.exec_node(&plan.children[0]);
+        let (inner_rel, inner_node) = self.exec_node(&plan.children[1]);
+
+        let outer_pos = outer_rel.position(outer_key);
+        let inner_pos = inner_rel.position(inner_key);
+
+        let mut columns = outer_rel.columns.clone();
+        columns.extend(inner_rel.columns.iter().copied());
+        let mut types = outer_rel.types.clone();
+        types.extend(inner_rel.types.iter().copied());
+        let mut rows = Vec::new();
+        let mut comparisons = 0u64;
+        for outer_row in &outer_rel.rows {
+            for inner_row in &inner_rel.rows {
+                comparisons += 1;
+                let matches = match (
+                    typed_join_key(&outer_row[outer_pos]),
+                    typed_join_key(&inner_row[inner_pos]),
+                ) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                };
+                if matches {
+                    let mut row = outer_row.clone();
+                    row.extend(inner_row.iter().copied());
+                    rows.push(row);
+                }
+            }
+        }
+        let relation = Relation {
+            columns,
+            types,
+            rows,
+        };
+        // The inner relation is rescanned once per outer tuple, so input
+        // tuples are `outer + outer * inner`, not one pass over each side.
+        let input_tuples =
+            outer_rel.rows.len() as u64 + outer_rel.rows.len() as u64 * inner_rel.rows.len() as u64;
+        let work = WorkMetrics {
+            input_tuples,
+            output_tuples: relation.rows.len() as u64,
+            comparisons,
+            build_bytes: inner_rel.rows.len() as u64 * inner_rel.width_bytes(),
+            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::NestedLoopJoin,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: relation.rows.len() as u64,
+            output_width: plan.output_width,
+            work,
+            children: vec![outer_node, inner_node],
+        };
+        (relation, node)
+    }
+
+    fn exec_aggregate(
+        &self,
+        plan: &PlanNode,
+        aggregates: &[Aggregate],
+    ) -> (Relation, ExecutedNode) {
+        let (input, child_node) = self.exec_node(&plan.children[0]);
+        let values: Vec<Value> = aggregates
+            .iter()
+            .map(|agg| compute_aggregate(&input, agg))
+            .collect();
+        let relation = Relation {
+            columns: Vec::new(),
+            types: Vec::new(),
+            rows: vec![values],
+        };
+        let work = WorkMetrics {
+            input_tuples: input.rows.len() as u64,
+            output_tuples: 1,
+            predicate_evals: input.rows.len() as u64 * aggregates.len() as u64,
+            output_bytes: 8 * aggregates.len() as u64,
+            ..WorkMetrics::default()
+        };
+        let node = ExecutedNode {
+            kind: PhysOperatorKind::Aggregate,
+            est_cardinality: plan.est_cardinality,
+            actual_cardinality: 1,
+            output_width: plan.output_width,
+            work,
+            children: vec![child_node],
+        };
+        (relation, node)
+    }
+}
+
+fn compute_aggregate(input: &Relation, agg: &Aggregate) -> Value {
+    match agg.column {
+        None => Value::Int(input.rows.len() as i64),
+        Some(column) => {
+            let pos = input.position(column);
+            let values: Vec<f64> = input
+                .rows
+                .iter()
+                .filter_map(|row| row[pos].as_f64())
+                .collect();
+            if values.is_empty() {
+                return match agg.func {
+                    AggFunc::Count => Value::Int(0),
+                    _ => Value::Null,
+                };
+            }
+            match agg.func {
+                AggFunc::Count => Value::Int(values.len() as i64),
+                AggFunc::Sum => Value::Float(values.iter().sum()),
+                AggFunc::Avg => Value::Float(values.iter().sum::<f64>() / values.len() as f64),
+                AggFunc::Min => Value::Float(values.iter().copied().fold(f64::INFINITY, f64::min)),
+                AggFunc::Max => {
+                    Value::Float(values.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::executor::Executor;
+    use crate::optimizer::Optimizer;
+    use zsdb_cardest::PostgresLikeEstimator;
+    use zsdb_catalog::presets;
+    use zsdb_query::{CmpOp, Query, WorkloadGenerator};
+
+    fn imdb_db() -> Database {
+        Database::generate(presets::imdb_like(0.02), 7)
+    }
+
+    fn run_row(db: &Database, q: &Query) -> QueryResult {
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(db, EngineConfig::default(), &est);
+        let plan = optimizer.plan(q);
+        RowExecutor::new(db).execute(&plan)
+    }
+
+    #[test]
+    fn row_executor_counts_rows() {
+        let db = imdb_db();
+        let (title, meta) = db.catalog().table_by_name("title").unwrap();
+        let result = run_row(&db, &Query::scan(title));
+        assert_eq!(result.aggregates[0], Value::Int(meta.num_tuples as i64));
+    }
+
+    #[test]
+    fn row_and_batched_agree_on_a_small_workload() {
+        let db = imdb_db();
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let workload = WorkloadGenerator::with_defaults().generate(db.catalog(), 10, 3);
+        for q in &workload {
+            let plan = optimizer.plan(q);
+            let row = RowExecutor::new(&db).execute(&plan);
+            let batched = Executor::new(&db).execute(&plan);
+            assert_eq!(row, batched, "executors diverged on {q:?}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_input_tuples_account_rescans() {
+        // Build a plan by hand: NLJ of two small seq scans.  The inner
+        // relation is rescanned once per outer tuple.
+        let db = imdb_db();
+        let catalog = db.catalog();
+        let (title, _) = catalog.table_by_name("title").unwrap();
+        let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
+        let title_id = catalog.resolve_column("title", "id").unwrap();
+        let movie_id = catalog
+            .resolve_column("movie_companies", "movie_id")
+            .unwrap();
+        let scan = |t| PlanNode {
+            op: PhysOperator::SeqScan {
+                table: t,
+                predicates: vec![],
+            },
+            children: vec![],
+            est_cardinality: 1.0,
+            est_cost: 1.0,
+            output_width: 8.0,
+        };
+        let plan = PlanNode {
+            op: PhysOperator::NestedLoopJoin {
+                outer_key: movie_id,
+                inner_key: title_id,
+            },
+            children: vec![scan(mc), scan(title)],
+            est_cardinality: 1.0,
+            est_cost: 1.0,
+            output_width: 16.0,
+        };
+        let result = RowExecutor::new(&db).execute(&plan);
+        let nlj = &result.root;
+        let outer = nlj.children[0].work.output_tuples;
+        let inner = nlj.children[1].work.output_tuples;
+        assert_eq!(nlj.work.input_tuples, outer + outer * inner);
+        // Comparison semantics are unchanged: one per (outer, inner) pair.
+        assert_eq!(nlj.work.comparisons, outer * inner);
+        // And the batched executor agrees.
+        let batched = Executor::new(&db).execute(&plan);
+        assert_eq!(result, batched);
+    }
+
+    #[test]
+    fn predicate_shortcircuit_counts_match_batched() {
+        let db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let kind = db.catalog().resolve_column("title", "kind_id").unwrap();
+        let (title, _) = db.catalog().table_by_name("title").unwrap();
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![
+                Predicate::new(year, CmpOp::Gt, Value::Int(2005)),
+                Predicate::new(kind, CmpOp::Eq, Value::Cat(1)),
+            ],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let plan = optimizer.plan(&q);
+        let row = RowExecutor::new(&db).execute(&plan);
+        let batched = Executor::new(&db).execute(&plan);
+        assert_eq!(
+            row.root.total_work().predicate_evals,
+            batched.root.total_work().predicate_evals
+        );
+        assert_eq!(row, batched);
+    }
+}

@@ -1,22 +1,41 @@
-//! Plan execution with work accounting.
+//! Vectorized plan execution with work accounting.
 //!
-//! The executor evaluates a physical plan against the column store and
-//! records, per operator, both the *true* output cardinality and a set of
-//! [`WorkMetrics`] (tuples, pages, probes, comparisons, bytes).  True
-//! cardinalities feed the zero-shot model's "exact cardinalities" variant;
-//! the work metrics feed the runtime simulator.
+//! The executor evaluates a physical plan against the column store
+//! **batch-at-a-time**: a [`ColumnBatch`] — column-major typed vectors plus
+//! a *select vector* of live lanes — flows between operators instead of
+//! row-major `Vec<Vec<Value>>` relations.  Scans slice batches straight out
+//! of the column store, predicates are evaluated column-at-a-time into the
+//! select vector (filtered-out tuples are never materialised), hash joins
+//! build from and probe on key-column slices producing gather lists, and
+//! aggregation folds over selected column slices.
+//!
+//! Per operator the executor records both the *true* output cardinality and
+//! a set of [`WorkMetrics`] (tuples, pages, probes, comparisons, bytes).
+//! True cardinalities feed the zero-shot model's "exact cardinalities"
+//! variant; the work metrics feed the runtime simulator.  The metrics
+//! contract is execution-strategy independent: the row-at-a-time reference
+//! implementation ([`crate::exec_row::RowExecutor`]) produces bit-identical
+//! aggregates, cardinalities and work counters (pinned by the
+//! `exec_equivalence` property suite), so training labels do not depend on
+//! which executor produced them.
 
 use crate::physical::{PhysOperator, PhysOperatorKind, PlanNode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use zsdb_catalog::{ColumnId, ColumnRef, TableId, Value, PAGE_SIZE_BYTES};
+use zsdb_catalog::table::TUPLE_OVERHEAD_BYTES;
+use zsdb_catalog::{ColumnRef, DataType, TableId, Value, PAGE_SIZE_BYTES};
 use zsdb_query::{AggFunc, Aggregate, Predicate};
-use zsdb_storage::Database;
+use zsdb_storage::{ColumnData, Database, TableData};
+
+/// Number of rows per [`ColumnBatch`] emitted by scans.
+pub const BATCH_ROWS: usize = 1024;
 
 /// Work performed by one operator during execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct WorkMetrics {
-    /// Tuples read from children (or from the base table for scans).
+    /// Tuples read from children (or from the base table for scans).  For
+    /// nested-loop joins this accounts for the inner relation being
+    /// rescanned once per outer tuple: `outer + outer * inner`.
     pub input_tuples: u64,
     /// Tuples produced.
     pub output_tuples: u64,
@@ -113,26 +132,95 @@ pub struct QueryResult {
     pub root: ExecutedNode,
 }
 
-/// An intermediate relation flowing between operators.
-struct Relation {
-    columns: Vec<ColumnRef>,
-    rows: Vec<Vec<Value>>,
+/// A batch of up to [`BATCH_ROWS`] tuples flowing between operators:
+/// column-major typed vectors plus a *select vector* holding the indices of
+/// the lanes that are still alive (ascending).  Predicates shrink the select
+/// vector instead of materialising survivor rows; consumers (joins,
+/// aggregation) only touch selected lanes.
+#[derive(Debug)]
+pub struct ColumnBatch {
+    /// Column data, all of equal length.
+    pub columns: Vec<ColumnData>,
+    /// Indices of live lanes, ascending.
+    pub select: Vec<u32>,
 }
 
-impl Relation {
-    fn position(&self, column: ColumnRef) -> usize {
-        self.columns
-            .iter()
-            .position(|c| *c == column)
-            .unwrap_or_else(|| panic!("column {column} not present in intermediate relation"))
+impl ColumnBatch {
+    /// Number of live (selected) tuples in the batch.
+    pub fn num_live(&self) -> usize {
+        self.select.len()
     }
 
-    fn width_bytes(&self) -> u64 {
-        self.columns.len() as u64 * 8
+    /// Physical number of rows in the batch (live or not).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
     }
 }
 
-/// Plan executor over one database.
+/// Width in bytes of one materialised tuple with the given column types:
+/// the sum of the catalog column widths plus one tuple header.  This is the
+/// single width helper shared by both executors and the runtime simulator's
+/// page/byte accounting ([`pages_for`]), so `output_bytes`/`build_bytes`
+/// labels agree with the optimizer's catalog-derived width estimates
+/// instead of hardcoding 8 bytes per column.
+pub fn row_width_bytes(types: &[DataType]) -> u64 {
+    types.iter().map(|t| t.width_bytes() as u64).sum::<u64>() + TUPLE_OVERHEAD_BYTES
+}
+
+/// Random heap pages fetched by an index scan that matched `matched` index
+/// entries on a table of `num_tuples` tuples: one uncorrelated random page
+/// access per fetched tuple, capped at the table's tuple count (an index
+/// never matches more entries than the table holds, so the cap is a
+/// defensive invariant rather than a modelling fudge).
+pub fn index_heap_fetch_pages(matched: u64, num_tuples: u64) -> u64 {
+    matched.min(num_tuples)
+}
+
+/// A typed join key: the value's variant tag plus its 64-bit payload.
+/// Carrying the tag keeps mistyped join columns from colliding in one key
+/// space — `Int(1)` must not join `Bool(true)` or `Cat(1)`.  Floats and
+/// NULLs are not join keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinKey {
+    /// Variant tag (see [`join_key_tag`]).
+    pub tag: u8,
+    /// 64-bit key payload.
+    pub key: i64,
+}
+
+/// Tag of the join-key space a column of the given type produces, `None`
+/// for types that are not valid join keys (floats).  Date columns share the
+/// integer key space, matching their physical representation.
+pub fn join_key_tag(data_type: DataType) -> Option<u8> {
+    match data_type {
+        DataType::Int | DataType::Date => Some(0),
+        DataType::Categorical => Some(1),
+        DataType::Bool => Some(2),
+        DataType::Float => None,
+    }
+}
+
+/// Typed join key of a value (NULL → no key, floats are not join keys).
+pub fn typed_join_key(value: &Value) -> Option<JoinKey> {
+    let tag = join_key_tag(value.data_type()?)?;
+    match value {
+        Value::Int(v) => Some(JoinKey { tag, key: *v }),
+        Value::Cat(v) => Some(JoinKey {
+            tag,
+            key: *v as i64,
+        }),
+        Value::Bool(v) => Some(JoinKey {
+            tag,
+            key: *v as i64,
+        }),
+        Value::Float(_) | Value::Null => None,
+    }
+}
+
+/// Batch-at-a-time plan executor over one database.
+///
+/// This is the engine's production execution path; the row-at-a-time
+/// reference oracle lives in [`crate::exec_row::RowExecutor`].
 pub struct Executor<'a> {
     db: &'a Database,
 }
@@ -145,334 +233,727 @@ impl<'a> Executor<'a> {
 
     /// Execute a physical plan and return aggregate values plus the
     /// executed tree.  The plan's root must be an `Aggregate` operator (the
-    /// optimizer always produces one).
+    /// optimizer always produces one); plans without a root aggregate are
+    /// executed for their side effects (work metrics) with no aggregate
+    /// values.
     pub fn execute(&self, plan: &PlanNode) -> QueryResult {
-        let (relation, node) = self.exec_node(plan);
-        let aggregates = match &plan.op {
-            PhysOperator::Aggregate { .. } => {
-                // The aggregate values were computed by exec_node and stored
-                // in the single output row.
-                relation.rows.first().cloned().unwrap_or_default()
-            }
-            _ => Vec::new(),
-        };
-        QueryResult {
-            aggregates,
-            root: node,
-        }
-    }
-
-    fn exec_node(&self, plan: &PlanNode) -> (Relation, ExecutedNode) {
         match &plan.op {
-            PhysOperator::SeqScan { table, predicates } => {
-                self.exec_seq_scan(plan, *table, predicates)
-            }
-            PhysOperator::IndexScan {
-                table,
-                index_column,
-                lo,
-                hi,
-                residual,
-            } => self.exec_index_scan(plan, *table, *index_column, *lo, *hi, residual),
-            PhysOperator::HashJoin {
-                build_key,
-                probe_key,
-            } => self.exec_hash_join(plan, *build_key, *probe_key),
-            PhysOperator::NestedLoopJoin {
-                outer_key,
-                inner_key,
-            } => self.exec_nested_loop(plan, *outer_key, *inner_key),
-            PhysOperator::Aggregate { aggregates } => self.exec_aggregate(plan, aggregates),
-        }
-    }
-
-    fn table_columns(&self, table: TableId) -> Vec<ColumnRef> {
-        (0..self.db.catalog().table(table).num_columns())
-            .map(|i| ColumnRef::new(table, ColumnId(i as u32)))
-            .collect()
-    }
-
-    fn exec_seq_scan(
-        &self,
-        plan: &PlanNode,
-        table: TableId,
-        predicates: &[Predicate],
-    ) -> (Relation, ExecutedNode) {
-        let data = self.db.table_data(table);
-        let meta = self.db.catalog().table(table);
-        let columns = self.table_columns(table);
-        let mut rows = Vec::new();
-        let mut predicate_evals = 0u64;
-        for row in 0..data.num_rows() {
-            let mut keep = true;
-            for p in predicates {
-                predicate_evals += 1;
-                if !p.matches(data.value(row, p.column.column)) {
-                    keep = false;
-                    break;
+            PhysOperator::Aggregate { aggregates } => self.execute_aggregate_root(plan, aggregates),
+            _ => {
+                let (mut op, _) = build_operator(self.db, plan);
+                while op.next_batch().is_some() {}
+                QueryResult {
+                    aggregates: Vec::new(),
+                    root: op.finish(),
                 }
             }
-            if keep {
-                rows.push(data.row(row));
-            }
         }
-        let relation = Relation { columns, rows };
-        let work = WorkMetrics {
-            input_tuples: data.num_rows() as u64,
-            output_tuples: relation.rows.len() as u64,
-            pages_seq: meta.num_pages(),
-            predicate_evals,
-            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
-            ..WorkMetrics::default()
-        };
-        let node = ExecutedNode {
-            kind: PhysOperatorKind::SeqScan,
-            est_cardinality: plan.est_cardinality,
-            actual_cardinality: relation.rows.len() as u64,
-            output_width: plan.output_width,
-            work,
-            children: Vec::new(),
-        };
-        (relation, node)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn exec_index_scan(
-        &self,
-        plan: &PlanNode,
-        table: TableId,
-        index_column: ColumnRef,
-        lo: Option<f64>,
-        hi: Option<f64>,
-        residual: &[Predicate],
-    ) -> (Relation, ExecutedNode) {
-        let index_id = self
-            .db
-            .index_on(index_column)
-            .unwrap_or_else(|| panic!("index scan requires a physical index on {index_column}"));
-        let index = self.db.index(index_id);
-        let data = self.db.table_data(table);
-        let meta = self.db.catalog().table(table);
-        let columns = self.table_columns(table);
-
-        let matched = index.range(lo, hi);
-        let mut rows = Vec::new();
-        let mut predicate_evals = 0u64;
-        for &row in &matched {
-            let row = row as usize;
-            let mut keep = true;
-            for p in residual {
-                predicate_evals += 1;
-                if !p.matches(data.value(row, p.column.column)) {
-                    keep = false;
-                    break;
-                }
-            }
-            if keep {
-                rows.push(data.row(row));
-            }
-        }
-        let relation = Relation { columns, rows };
-        // Random pages: index descent + heap fetches, capping heap fetches
-        // at the table size (clustered access would not re-read pages, but
-        // our ordering is uncorrelated with heap order).
-        let heap_fetch_pages = (matched.len() as u64).min(meta.num_pages() * 4);
-        let work = WorkMetrics {
-            input_tuples: matched.len() as u64,
-            output_tuples: relation.rows.len() as u64,
-            pages_random: index.height() as u64 + heap_fetch_pages,
-            index_entries: matched.len() as u64,
-            predicate_evals,
-            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
-            ..WorkMetrics::default()
-        };
-        let node = ExecutedNode {
-            kind: PhysOperatorKind::IndexScan,
-            est_cardinality: plan.est_cardinality,
-            actual_cardinality: relation.rows.len() as u64,
-            output_width: plan.output_width,
-            work,
-            children: Vec::new(),
-        };
-        (relation, node)
-    }
-
-    fn exec_hash_join(
-        &self,
-        plan: &PlanNode,
-        build_key: ColumnRef,
-        probe_key: ColumnRef,
-    ) -> (Relation, ExecutedNode) {
-        let (build_rel, build_node) = self.exec_node(&plan.children[0]);
-        let (probe_rel, probe_node) = self.exec_node(&plan.children[1]);
-
-        let build_pos = build_rel.position(build_key);
-        let probe_pos = probe_rel.position(probe_key);
-
-        let mut hash_table: HashMap<i64, Vec<usize>> = HashMap::new();
-        for (i, row) in build_rel.rows.iter().enumerate() {
-            if let Some(key) = join_key(&row[build_pos]) {
-                hash_table.entry(key).or_default().push(i);
-            }
-        }
-
-        let mut columns = build_rel.columns.clone();
-        columns.extend(probe_rel.columns.iter().copied());
-        let mut rows = Vec::new();
-        for probe_row in &probe_rel.rows {
-            if let Some(key) = join_key(&probe_row[probe_pos]) {
-                if let Some(matches) = hash_table.get(&key) {
-                    for &build_idx in matches {
-                        let mut row = build_rel.rows[build_idx].clone();
-                        row.extend(probe_row.iter().copied());
-                        rows.push(row);
+    fn execute_aggregate_root(&self, plan: &PlanNode, aggregates: &[Aggregate]) -> QueryResult {
+        let (mut child, schema) = build_operator(self.db, &plan.children[0]);
+        let positions: Vec<Option<usize>> = aggregates
+            .iter()
+            .map(|a| a.column.map(|c| schema.position(c)))
+            .collect();
+        let mut accs = vec![AggAccumulator::new(); aggregates.len()];
+        let mut input_rows = 0u64;
+        let mut fvals: Vec<f64> = Vec::with_capacity(BATCH_ROWS);
+        let mut fnulls: Vec<bool> = Vec::with_capacity(BATCH_ROWS);
+        while let Some(batch) = child.next_batch() {
+            input_rows += batch.num_live() as u64;
+            for (agg_idx, pos) in positions.iter().enumerate() {
+                let Some(pos) = pos else { continue };
+                let column = &batch.columns[*pos];
+                column.f64_range_into(0, column.len(), &mut fvals, &mut fnulls);
+                let acc = &mut accs[agg_idx];
+                for &lane in &batch.select {
+                    let lane = lane as usize;
+                    if !fnulls[lane] {
+                        acc.fold(fvals[lane]);
                     }
                 }
             }
         }
-        let relation = Relation { columns, rows };
-        let build_bytes = build_rel.rows.len() as u64 * (build_rel.width_bytes() + 16);
-        let work = WorkMetrics {
-            input_tuples: (build_rel.rows.len() + probe_rel.rows.len()) as u64,
-            output_tuples: relation.rows.len() as u64,
-            hash_build_tuples: build_rel.rows.len() as u64,
-            hash_probe_tuples: probe_rel.rows.len() as u64,
-            build_bytes,
-            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
-            ..WorkMetrics::default()
-        };
-        let node = ExecutedNode {
-            kind: PhysOperatorKind::HashJoin,
-            est_cardinality: plan.est_cardinality,
-            actual_cardinality: relation.rows.len() as u64,
-            output_width: plan.output_width,
-            work,
-            children: vec![build_node, probe_node],
-        };
-        (relation, node)
-    }
-
-    fn exec_nested_loop(
-        &self,
-        plan: &PlanNode,
-        outer_key: ColumnRef,
-        inner_key: ColumnRef,
-    ) -> (Relation, ExecutedNode) {
-        let (outer_rel, outer_node) = self.exec_node(&plan.children[0]);
-        let (inner_rel, inner_node) = self.exec_node(&plan.children[1]);
-
-        let outer_pos = outer_rel.position(outer_key);
-        let inner_pos = inner_rel.position(inner_key);
-
-        let mut columns = outer_rel.columns.clone();
-        columns.extend(inner_rel.columns.iter().copied());
-        let mut rows = Vec::new();
-        let mut comparisons = 0u64;
-        for outer_row in &outer_rel.rows {
-            for inner_row in &inner_rel.rows {
-                comparisons += 1;
-                let matches = match (
-                    join_key(&outer_row[outer_pos]),
-                    join_key(&inner_row[inner_pos]),
-                ) {
-                    (Some(a), Some(b)) => a == b,
-                    _ => false,
-                };
-                if matches {
-                    let mut row = outer_row.clone();
-                    row.extend(inner_row.iter().copied());
-                    rows.push(row);
-                }
-            }
-        }
-        let relation = Relation { columns, rows };
-        let work = WorkMetrics {
-            input_tuples: (outer_rel.rows.len() + inner_rel.rows.len()) as u64,
-            output_tuples: relation.rows.len() as u64,
-            comparisons,
-            build_bytes: inner_rel.rows.len() as u64 * inner_rel.width_bytes(),
-            output_bytes: relation.rows.len() as u64 * relation.width_bytes(),
-            ..WorkMetrics::default()
-        };
-        let node = ExecutedNode {
-            kind: PhysOperatorKind::NestedLoopJoin,
-            est_cardinality: plan.est_cardinality,
-            actual_cardinality: relation.rows.len() as u64,
-            output_width: plan.output_width,
-            work,
-            children: vec![outer_node, inner_node],
-        };
-        (relation, node)
-    }
-
-    fn exec_aggregate(
-        &self,
-        plan: &PlanNode,
-        aggregates: &[Aggregate],
-    ) -> (Relation, ExecutedNode) {
-        let (input, child_node) = self.exec_node(&plan.children[0]);
         let values: Vec<Value> = aggregates
             .iter()
-            .map(|agg| compute_aggregate(&input, agg))
+            .zip(&accs)
+            .map(|(agg, acc)| acc.finalize(agg.func, agg.column.is_some(), input_rows))
             .collect();
-        let relation = Relation {
-            columns: Vec::new(),
-            rows: vec![values],
-        };
         let work = WorkMetrics {
-            input_tuples: input.rows.len() as u64,
+            input_tuples: input_rows,
             output_tuples: 1,
-            predicate_evals: input.rows.len() as u64 * aggregates.len() as u64,
+            predicate_evals: input_rows * aggregates.len() as u64,
             output_bytes: 8 * aggregates.len() as u64,
             ..WorkMetrics::default()
         };
-        let node = ExecutedNode {
+        let root = ExecutedNode {
             kind: PhysOperatorKind::Aggregate,
             est_cardinality: plan.est_cardinality,
             actual_cardinality: 1,
             output_width: plan.output_width,
             work,
-            children: vec![child_node],
+            children: vec![child.finish()],
         };
-        (relation, node)
+        QueryResult {
+            aggregates: values,
+            root,
+        }
     }
 }
 
-/// Integer join key of a value (NULL → no key, floats are not join keys).
-fn join_key(value: &Value) -> Option<i64> {
-    match value {
-        Value::Int(v) => Some(*v),
-        Value::Cat(v) => Some(*v as i64),
-        Value::Bool(v) => Some(*v as i64),
-        Value::Float(_) | Value::Null => None,
+/// Running state of one scalar aggregate.  Folds happen in row order, so
+/// floating-point results are bit-identical to the row-at-a-time reference
+/// (which collects values in the same order before reducing).
+#[derive(Debug, Clone)]
+struct AggAccumulator {
+    non_null: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggAccumulator {
+    fn new() -> Self {
+        AggAccumulator {
+            non_null: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, v: f64) {
+        self.non_null += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn finalize(&self, func: AggFunc, over_column: bool, input_rows: u64) -> Value {
+        if !over_column {
+            // COUNT(*) counts tuples, not non-null values.
+            return Value::Int(input_rows as i64);
+        }
+        if self.non_null == 0 {
+            return match func {
+                AggFunc::Count => Value::Int(0),
+                _ => Value::Null,
+            };
+        }
+        match func {
+            AggFunc::Count => Value::Int(self.non_null as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => Value::Float(self.sum / self.non_null as f64),
+            AggFunc::Min => Value::Float(self.min),
+            AggFunc::Max => Value::Float(self.max),
+        }
     }
 }
 
-fn compute_aggregate(input: &Relation, agg: &Aggregate) -> Value {
-    match agg.column {
-        None => Value::Int(input.rows.len() as i64),
-        Some(column) => {
-            let pos = input.position(column);
-            let values: Vec<f64> = input
-                .rows
-                .iter()
-                .filter_map(|row| row[pos].as_f64())
-                .collect();
-            if values.is_empty() {
-                return match agg.func {
-                    AggFunc::Count => Value::Int(0),
-                    _ => Value::Null,
-                };
+/// Column refs and logical types of the batches an operator produces.
+struct BatchSchema {
+    columns: Vec<ColumnRef>,
+    types: Vec<DataType>,
+}
+
+impl BatchSchema {
+    fn position(&self, column: ColumnRef) -> usize {
+        self.columns
+            .iter()
+            .position(|c| *c == column)
+            .unwrap_or_else(|| panic!("column {column} not present in intermediate relation"))
+    }
+
+    fn width_bytes(&self) -> u64 {
+        row_width_bytes(&self.types)
+    }
+
+    fn concat(&self, other: &BatchSchema) -> BatchSchema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().copied());
+        let mut types = self.types.clone();
+        types.extend(other.types.iter().copied());
+        BatchSchema { columns, types }
+    }
+}
+
+fn table_schema(db: &Database, table: TableId) -> BatchSchema {
+    let meta = db.catalog().table(table);
+    BatchSchema {
+        columns: (0..meta.num_columns())
+            .map(|i| ColumnRef::new(table, zsdb_catalog::ColumnId(i as u32)))
+            .collect(),
+        types: meta.columns.iter().map(|c| c.data_type).collect(),
+    }
+}
+
+/// A pull-based batch operator.  `next_batch` yields batches until
+/// exhausted; `finish` consumes the operator and returns the executed node
+/// (callers must drain the operator first — [`Executor::execute`] does).
+trait BatchOperator {
+    fn next_batch(&mut self) -> Option<ColumnBatch>;
+    fn finish(self: Box<Self>) -> ExecutedNode;
+}
+
+fn build_operator<'a>(
+    db: &'a Database,
+    plan: &'a PlanNode,
+) -> (Box<dyn BatchOperator + 'a>, BatchSchema) {
+    match &plan.op {
+        PhysOperator::SeqScan { table, predicates } => {
+            let schema = table_schema(db, *table);
+            let op = SeqScanBatches::new(db, plan, *table, predicates, schema.width_bytes());
+            (Box::new(op), schema)
+        }
+        PhysOperator::IndexScan {
+            table,
+            index_column,
+            lo,
+            hi,
+            residual,
+        } => {
+            let schema = table_schema(db, *table);
+            let op = IndexScanBatches::new(
+                db,
+                plan,
+                *table,
+                *index_column,
+                *lo,
+                *hi,
+                residual,
+                schema.width_bytes(),
+            );
+            (Box::new(op), schema)
+        }
+        PhysOperator::HashJoin {
+            build_key,
+            probe_key,
+        } => {
+            let (build, build_schema) = build_operator(db, &plan.children[0]);
+            let (probe, probe_schema) = build_operator(db, &plan.children[1]);
+            let schema = build_schema.concat(&probe_schema);
+            let op = HashJoinBatches::new(
+                plan,
+                build,
+                probe,
+                &build_schema,
+                &probe_schema,
+                *build_key,
+                *probe_key,
+            );
+            (Box::new(op), schema)
+        }
+        PhysOperator::NestedLoopJoin {
+            outer_key,
+            inner_key,
+        } => {
+            let (outer, outer_schema) = build_operator(db, &plan.children[0]);
+            let (inner, inner_schema) = build_operator(db, &plan.children[1]);
+            let schema = outer_schema.concat(&inner_schema);
+            let op = NestedLoopBatches::new(
+                plan,
+                outer,
+                inner,
+                &outer_schema,
+                &inner_schema,
+                *outer_key,
+                *inner_key,
+            );
+            (Box::new(op), schema)
+        }
+        PhysOperator::Aggregate { .. } => {
+            panic!("Aggregate operators are only supported at the plan root")
+        }
+    }
+}
+
+/// Sequential scan: batches sliced straight from the column store,
+/// predicates evaluated column-at-a-time into the select vector.
+struct SeqScanBatches<'a> {
+    data: &'a TableData,
+    predicates: &'a [Predicate],
+    plan: &'a PlanNode,
+    width: u64,
+    cursor: usize,
+    work: WorkMetrics,
+    fvals: Vec<f64>,
+    fnulls: Vec<bool>,
+}
+
+impl<'a> SeqScanBatches<'a> {
+    fn new(
+        db: &'a Database,
+        plan: &'a PlanNode,
+        table: TableId,
+        predicates: &'a [Predicate],
+        width: u64,
+    ) -> Self {
+        let data = db.table_data(table);
+        let meta = db.catalog().table(table);
+        let work = WorkMetrics {
+            input_tuples: data.num_rows() as u64,
+            pages_seq: meta.num_pages(),
+            ..WorkMetrics::default()
+        };
+        SeqScanBatches {
+            data,
+            predicates,
+            plan,
+            width,
+            cursor: 0,
+            work,
+            fvals: Vec::with_capacity(BATCH_ROWS),
+            fnulls: Vec::with_capacity(BATCH_ROWS),
+        }
+    }
+}
+
+impl BatchOperator for SeqScanBatches<'_> {
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        loop {
+            let remaining = self.data.num_rows() - self.cursor;
+            if remaining == 0 {
+                return None;
             }
-            match agg.func {
-                AggFunc::Count => Value::Int(values.len() as i64),
-                AggFunc::Sum => Value::Float(values.iter().sum()),
-                AggFunc::Avg => Value::Float(values.iter().sum::<f64>() / values.len() as f64),
-                AggFunc::Min => Value::Float(values.iter().copied().fold(f64::INFINITY, f64::min)),
-                AggFunc::Max => {
-                    Value::Float(values.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            let len = BATCH_ROWS.min(remaining);
+            let start = self.cursor;
+            self.cursor += len;
+
+            let mut select: Vec<u32> = (0..len as u32).collect();
+            for p in self.predicates {
+                if select.is_empty() {
+                    break;
+                }
+                // Conjunction short-circuit: each predicate only runs on
+                // lanes that survived the previous ones, matching the
+                // row-at-a-time per-row early exit count for count.
+                self.work.predicate_evals += select.len() as u64;
+                let column = self.data.column(p.column.column);
+                column.f64_range_into(start, len, &mut self.fvals, &mut self.fnulls);
+                p.filter_batch(&self.fvals, &self.fnulls, &mut select);
+            }
+            if select.is_empty() {
+                continue; // fully filtered: nothing to materialise
+            }
+            self.work.output_tuples += select.len() as u64;
+            self.work.output_bytes += select.len() as u64 * self.width;
+            return Some(ColumnBatch {
+                columns: self.data.slice_columns(start, len),
+                select,
+            });
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ExecutedNode {
+        ExecutedNode {
+            kind: PhysOperatorKind::SeqScan,
+            est_cardinality: self.plan.est_cardinality,
+            actual_cardinality: self.work.output_tuples,
+            output_width: self.plan.output_width,
+            work: self.work,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// Index scan: the index yields matched row ids; heap rows are gathered a
+/// batch at a time and residual predicates run column-at-a-time.
+struct IndexScanBatches<'a> {
+    data: &'a TableData,
+    residual: &'a [Predicate],
+    plan: &'a PlanNode,
+    matched: Vec<u32>,
+    width: u64,
+    cursor: usize,
+    work: WorkMetrics,
+    fvals: Vec<f64>,
+    fnulls: Vec<bool>,
+}
+
+impl<'a> IndexScanBatches<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        db: &'a Database,
+        plan: &'a PlanNode,
+        table: TableId,
+        index_column: ColumnRef,
+        lo: Option<f64>,
+        hi: Option<f64>,
+        residual: &'a [Predicate],
+        width: u64,
+    ) -> Self {
+        let index_id = db
+            .index_on(index_column)
+            .unwrap_or_else(|| panic!("index scan requires a physical index on {index_column}"));
+        let index = db.index(index_id);
+        let data = db.table_data(table);
+        let meta = db.catalog().table(table);
+        let matched = index.range(lo, hi);
+        let work = WorkMetrics {
+            input_tuples: matched.len() as u64,
+            pages_random: index.height() as u64
+                + index_heap_fetch_pages(matched.len() as u64, meta.num_tuples),
+            index_entries: matched.len() as u64,
+            ..WorkMetrics::default()
+        };
+        IndexScanBatches {
+            data,
+            residual,
+            plan,
+            matched,
+            width,
+            cursor: 0,
+            work,
+            fvals: Vec::with_capacity(BATCH_ROWS),
+            fnulls: Vec::with_capacity(BATCH_ROWS),
+        }
+    }
+}
+
+impl BatchOperator for IndexScanBatches<'_> {
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        loop {
+            let remaining = self.matched.len() - self.cursor;
+            if remaining == 0 {
+                return None;
+            }
+            let len = BATCH_ROWS.min(remaining);
+            let rows = &self.matched[self.cursor..self.cursor + len];
+            self.cursor += len;
+
+            let columns = self.data.gather_columns(rows);
+            let mut select: Vec<u32> = (0..len as u32).collect();
+            for p in self.residual {
+                if select.is_empty() {
+                    break;
+                }
+                self.work.predicate_evals += select.len() as u64;
+                let column = &columns[p.column.column.index()];
+                column.f64_range_into(0, len, &mut self.fvals, &mut self.fnulls);
+                p.filter_batch(&self.fvals, &self.fnulls, &mut select);
+            }
+            if select.is_empty() {
+                continue;
+            }
+            self.work.output_tuples += select.len() as u64;
+            self.work.output_bytes += select.len() as u64 * self.width;
+            return Some(ColumnBatch { columns, select });
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ExecutedNode {
+        ExecutedNode {
+            kind: PhysOperatorKind::IndexScan,
+            est_cardinality: self.plan.est_cardinality,
+            actual_cardinality: self.work.output_tuples,
+            output_width: self.plan.output_width,
+            work: self.work,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// Hash join: the build side is drained into columnar key → row-id lists,
+/// then probe batches are matched key-column-at-a-time and survivor pairs
+/// are materialised through gather lists.
+struct HashJoinBatches<'a> {
+    plan: &'a PlanNode,
+    build: Option<Box<dyn BatchOperator + 'a>>,
+    probe: Option<Box<dyn BatchOperator + 'a>>,
+    build_node: Option<ExecutedNode>,
+    build_pos: usize,
+    probe_pos: usize,
+    /// Join keys can only match when both key columns live in the same
+    /// typed key space (see [`join_key_tag`]).
+    tags_match: bool,
+    width: u64,
+    build_width: u64,
+    /// Keyed build rows, columnar (rows without a join key are counted but
+    /// never stored — they cannot match).
+    build_cols: Vec<ColumnData>,
+    table: HashMap<i64, Vec<u32>>,
+    built: bool,
+    work: WorkMetrics,
+    keyed_scratch: Vec<u32>,
+    out_build_rows: Vec<u32>,
+    out_probe_lanes: Vec<u32>,
+}
+
+impl<'a> HashJoinBatches<'a> {
+    fn new(
+        plan: &'a PlanNode,
+        build: Box<dyn BatchOperator + 'a>,
+        probe: Box<dyn BatchOperator + 'a>,
+        build_schema: &BatchSchema,
+        probe_schema: &BatchSchema,
+        build_key: ColumnRef,
+        probe_key: ColumnRef,
+    ) -> Self {
+        let build_pos = build_schema.position(build_key);
+        let probe_pos = probe_schema.position(probe_key);
+        let build_tag = join_key_tag(build_schema.types[build_pos]);
+        let probe_tag = join_key_tag(probe_schema.types[probe_pos]);
+        let build_cols = build_schema
+            .types
+            .iter()
+            .map(|t| ColumnData::new(*t))
+            .collect();
+        HashJoinBatches {
+            plan,
+            build: Some(build),
+            probe: Some(probe),
+            build_node: None,
+            build_pos,
+            probe_pos,
+            tags_match: build_tag.is_some() && build_tag == probe_tag,
+            width: build_schema.concat(probe_schema).width_bytes(),
+            build_width: build_schema.width_bytes(),
+            build_cols,
+            table: HashMap::new(),
+            built: false,
+            work: WorkMetrics::default(),
+            keyed_scratch: Vec::with_capacity(BATCH_ROWS),
+            out_build_rows: Vec::new(),
+            out_probe_lanes: Vec::new(),
+        }
+    }
+
+    fn ensure_built(&mut self) {
+        if self.built {
+            return;
+        }
+        self.built = true;
+        let mut build = self.build.take().expect("build side consumed twice");
+        let mut next_row = 0u32;
+        while let Some(batch) = build.next_batch() {
+            self.work.hash_build_tuples += batch.num_live() as u64;
+            let key_col = &batch.columns[self.build_pos];
+            self.keyed_scratch.clear();
+            for &lane in &batch.select {
+                if let Some(key) = key_col.join_key(lane as usize) {
+                    self.table.entry(key).or_default().push(next_row);
+                    next_row += 1;
+                    self.keyed_scratch.push(lane);
                 }
             }
+            for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
+                dst.append_gather(src, &self.keyed_scratch);
+            }
+        }
+        self.work.build_bytes = self.work.hash_build_tuples * (self.build_width + 16);
+        self.build_node = Some(build.finish());
+    }
+}
+
+impl BatchOperator for HashJoinBatches<'_> {
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        self.ensure_built();
+        loop {
+            let probe = self.probe.as_mut().expect("probe side consumed twice");
+            let batch = probe.next_batch()?;
+            self.work.hash_probe_tuples += batch.num_live() as u64;
+            self.out_build_rows.clear();
+            self.out_probe_lanes.clear();
+            if self.tags_match {
+                let key_col = &batch.columns[self.probe_pos];
+                for &lane in &batch.select {
+                    if let Some(key) = key_col.join_key(lane as usize) {
+                        if let Some(matches) = self.table.get(&key) {
+                            for &build_row in matches {
+                                self.out_build_rows.push(build_row);
+                                self.out_probe_lanes.push(lane);
+                            }
+                        }
+                    }
+                }
+            }
+            if self.out_build_rows.is_empty() {
+                continue;
+            }
+            let n = self.out_build_rows.len();
+            let mut columns = Vec::with_capacity(self.build_cols.len() + batch.columns.len());
+            for col in &self.build_cols {
+                columns.push(col.gather(&self.out_build_rows));
+            }
+            for col in &batch.columns {
+                columns.push(col.gather(&self.out_probe_lanes));
+            }
+            self.work.output_tuples += n as u64;
+            self.work.output_bytes += n as u64 * self.width;
+            return Some(ColumnBatch {
+                columns,
+                select: (0..n as u32).collect(),
+            });
+        }
+    }
+
+    fn finish(mut self: Box<Self>) -> ExecutedNode {
+        self.ensure_built();
+        let build_node = self.build_node.take().expect("build node missing");
+        let probe_node = self
+            .probe
+            .take()
+            .expect("probe side consumed twice")
+            .finish();
+        self.work.input_tuples = self.work.hash_build_tuples + self.work.hash_probe_tuples;
+        ExecutedNode {
+            kind: PhysOperatorKind::HashJoin,
+            est_cardinality: self.plan.est_cardinality,
+            actual_cardinality: self.work.output_tuples,
+            output_width: self.plan.output_width,
+            work: self.work,
+            children: vec![build_node, probe_node],
+        }
+    }
+}
+
+/// Nested-loop join: the inner side is materialised columnar once; outer
+/// batches stream through, comparing key slices against the inner key
+/// column.
+struct NestedLoopBatches<'a> {
+    plan: &'a PlanNode,
+    outer: Option<Box<dyn BatchOperator + 'a>>,
+    inner: Option<Box<dyn BatchOperator + 'a>>,
+    inner_node: Option<ExecutedNode>,
+    outer_pos: usize,
+    tags_match: bool,
+    width: u64,
+    inner_width: u64,
+    inner_pos: usize,
+    inner_cols: Vec<ColumnData>,
+    inner_keys: Vec<Option<i64>>,
+    inner_done: bool,
+    outer_rows: u64,
+    work: WorkMetrics,
+    out_outer_lanes: Vec<u32>,
+    out_inner_rows: Vec<u32>,
+}
+
+impl<'a> NestedLoopBatches<'a> {
+    fn new(
+        plan: &'a PlanNode,
+        outer: Box<dyn BatchOperator + 'a>,
+        inner: Box<dyn BatchOperator + 'a>,
+        outer_schema: &BatchSchema,
+        inner_schema: &BatchSchema,
+        outer_key: ColumnRef,
+        inner_key: ColumnRef,
+    ) -> Self {
+        let outer_pos = outer_schema.position(outer_key);
+        let inner_pos = inner_schema.position(inner_key);
+        let outer_tag = join_key_tag(outer_schema.types[outer_pos]);
+        let inner_tag = join_key_tag(inner_schema.types[inner_pos]);
+        let inner_cols = inner_schema
+            .types
+            .iter()
+            .map(|t| ColumnData::new(*t))
+            .collect();
+        NestedLoopBatches {
+            plan,
+            outer: Some(outer),
+            inner: Some(inner),
+            inner_node: None,
+            outer_pos,
+            tags_match: outer_tag.is_some() && outer_tag == inner_tag,
+            width: outer_schema.concat(inner_schema).width_bytes(),
+            inner_width: inner_schema.width_bytes(),
+            inner_pos,
+            inner_cols,
+            inner_keys: Vec::new(),
+            inner_done: false,
+            outer_rows: 0,
+            work: WorkMetrics::default(),
+            out_outer_lanes: Vec::new(),
+            out_inner_rows: Vec::new(),
+        }
+    }
+
+    fn ensure_inner(&mut self) {
+        if self.inner_done {
+            return;
+        }
+        self.inner_done = true;
+        let mut inner = self.inner.take().expect("inner side consumed twice");
+        while let Some(batch) = inner.next_batch() {
+            let key_col = &batch.columns[self.inner_pos];
+            for &lane in &batch.select {
+                self.inner_keys.push(key_col.join_key(lane as usize));
+            }
+            for (dst, src) in self.inner_cols.iter_mut().zip(&batch.columns) {
+                dst.append_gather(src, &batch.select);
+            }
+        }
+        self.work.build_bytes = self.inner_keys.len() as u64 * self.inner_width;
+        self.inner_node = Some(inner.finish());
+    }
+}
+
+impl BatchOperator for NestedLoopBatches<'_> {
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        self.ensure_inner();
+        loop {
+            let outer = self.outer.as_mut().expect("outer side consumed twice");
+            let batch = outer.next_batch()?;
+            let live = batch.num_live() as u64;
+            self.outer_rows += live;
+            self.work.comparisons += live * self.inner_keys.len() as u64;
+            self.out_outer_lanes.clear();
+            self.out_inner_rows.clear();
+            let key_col = &batch.columns[self.outer_pos];
+            for &lane in &batch.select {
+                let outer_key = if self.tags_match {
+                    key_col.join_key(lane as usize)
+                } else {
+                    None
+                };
+                let Some(outer_key) = outer_key else { continue };
+                for (inner_row, inner_key) in self.inner_keys.iter().enumerate() {
+                    if *inner_key == Some(outer_key) {
+                        self.out_outer_lanes.push(lane);
+                        self.out_inner_rows.push(inner_row as u32);
+                    }
+                }
+            }
+            if self.out_outer_lanes.is_empty() {
+                continue;
+            }
+            let n = self.out_outer_lanes.len();
+            let mut columns = Vec::with_capacity(batch.columns.len() + self.inner_cols.len());
+            for col in &batch.columns {
+                columns.push(col.gather(&self.out_outer_lanes));
+            }
+            for col in &self.inner_cols {
+                columns.push(col.gather(&self.out_inner_rows));
+            }
+            self.work.output_tuples += n as u64;
+            self.work.output_bytes += n as u64 * self.width;
+            return Some(ColumnBatch {
+                columns,
+                select: (0..n as u32).collect(),
+            });
+        }
+    }
+
+    fn finish(mut self: Box<Self>) -> ExecutedNode {
+        self.ensure_inner();
+        let inner_node = self.inner_node.take().expect("inner node missing");
+        let outer_node = self
+            .outer
+            .take()
+            .expect("outer side consumed twice")
+            .finish();
+        // The inner relation is rescanned once per outer tuple; charging
+        // only one pass made the runtime simulator undercount NLJ work.
+        self.work.input_tuples = self.outer_rows + self.outer_rows * self.inner_keys.len() as u64;
+        ExecutedNode {
+            kind: PhysOperatorKind::NestedLoopJoin,
+            est_cardinality: self.plan.est_cardinality,
+            actual_cardinality: self.work.output_tuples,
+            output_width: self.plan.output_width,
+            work: self.work,
+            children: vec![outer_node, inner_node],
         }
     }
 }
@@ -651,5 +1132,94 @@ mod tests {
     fn pages_for_rounds_up() {
         assert_eq!(pages_for(0, 100.0), 1);
         assert_eq!(pages_for(100, 100.0), 2);
+    }
+
+    #[test]
+    fn row_width_derives_from_catalog_types() {
+        // 8 (Int) + 4 (Categorical) + 1 (Bool) + 8 (Date) + tuple header.
+        let types = [
+            DataType::Int,
+            DataType::Categorical,
+            DataType::Bool,
+            DataType::Date,
+        ];
+        assert_eq!(row_width_bytes(&types), 21 + TUPLE_OVERHEAD_BYTES);
+        // The old executor hardcoded 8 bytes per column; these types must
+        // not round-trip through that assumption.
+        assert_ne!(row_width_bytes(&types), 8 * types.len() as u64);
+    }
+
+    #[test]
+    fn seq_scan_output_bytes_use_catalog_widths() {
+        let db = imdb_db();
+        let (title, meta) = db.catalog().table_by_name("title").unwrap();
+        let result = run(&db, &Query::scan(title));
+        let scan = result
+            .root
+            .iter()
+            .into_iter()
+            .find(|n| n.kind == PhysOperatorKind::SeqScan)
+            .expect("plan has a seq scan")
+            .clone();
+        let types: Vec<DataType> = meta.columns.iter().map(|c| c.data_type).collect();
+        assert_eq!(
+            scan.work.output_bytes,
+            scan.work.output_tuples * row_width_bytes(&types)
+        );
+    }
+
+    #[test]
+    fn heap_fetch_pages_cap_at_table_tuples() {
+        assert_eq!(index_heap_fetch_pages(10, 1_000), 10);
+        assert_eq!(index_heap_fetch_pages(5_000, 1_000), 1_000);
+        assert_eq!(index_heap_fetch_pages(0, 1_000), 0);
+    }
+
+    #[test]
+    fn index_scan_random_pages_follow_the_tuple_cap() {
+        let mut db = imdb_db();
+        let year = db
+            .catalog()
+            .resolve_column("title", "production_year")
+            .unwrap();
+        let (title, meta) = db.catalog().table_by_name("title").unwrap();
+        let num_tuples = meta.num_tuples;
+        db.create_index(year);
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Geq, Value::Int(2010))],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let result = run(&db, &q);
+        let index_id = db.index_on(year).unwrap();
+        let height = db.index(index_id).height() as u64;
+        let scan = result
+            .root
+            .iter()
+            .into_iter()
+            .find(|n| n.kind == PhysOperatorKind::IndexScan)
+            .expect("plan uses the index")
+            .clone();
+        // input_tuples == matched index entries for an index scan.
+        let matched = scan.work.input_tuples;
+        assert_eq!(
+            scan.work.pages_random,
+            height + index_heap_fetch_pages(matched, num_tuples)
+        );
+    }
+
+    #[test]
+    fn typed_join_keys_do_not_collide_across_variants() {
+        let int_one = typed_join_key(&Value::Int(1)).unwrap();
+        let bool_true = typed_join_key(&Value::Bool(true)).unwrap();
+        let cat_one = typed_join_key(&Value::Cat(1)).unwrap();
+        assert_ne!(int_one, bool_true);
+        assert_ne!(int_one, cat_one);
+        assert_ne!(bool_true, cat_one);
+        assert_eq!(typed_join_key(&Value::Null), None);
+        assert_eq!(typed_join_key(&Value::Float(1.0)), None);
+        // Date columns are Int-backed and share the integer key space.
+        assert_eq!(join_key_tag(DataType::Date), join_key_tag(DataType::Int));
     }
 }

@@ -21,12 +21,22 @@
 //! The main entry point is [`runner::QueryRunner`], which optimizes,
 //! executes and times a logical query and returns a [`QueryExecution`] —
 //! the unit of training data for all learned cost models in the workspace.
+//!
+//! ## Two execution strategies, one label contract
+//!
+//! Plans execute **batch-at-a-time** over the column store
+//! ([`executor::Executor`], the production path driving corpus
+//! generation) or **row-at-a-time** ([`exec_row::RowExecutor`], the
+//! reference oracle).  Both produce bit-identical aggregates, true
+//! cardinalities and work metrics, so training labels are independent of
+//! the execution strategy that recorded them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod cost;
+pub mod exec_row;
 pub mod executor;
 pub mod fingerprint;
 pub mod observation;
@@ -39,7 +49,8 @@ pub mod whatif;
 
 pub use config::EngineConfig;
 pub use cost::CostModel;
-pub use executor::{ExecutedNode, Executor, WorkMetrics};
+pub use exec_row::RowExecutor;
+pub use executor::{ColumnBatch, ExecutedNode, Executor, QueryResult, WorkMetrics, BATCH_ROWS};
 pub use fingerprint::plan_fingerprint;
 pub use observation::{Observation, ObservationLog};
 pub use observed::QueryExecution;

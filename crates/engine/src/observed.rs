@@ -48,6 +48,11 @@ impl QueryExecution {
             .max()
             .unwrap_or(0)
     }
+
+    /// Total work of the executed plan, summed over all operators.
+    pub fn total_work(&self) -> crate::executor::WorkMetrics {
+        self.executed.total_work()
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +75,7 @@ mod tests {
         assert!(execution.num_operators() >= 2);
         assert!(execution.runtime_secs > 0.0);
         assert_eq!(execution.database, "imdb_like");
+        assert!(execution.total_work().input_tuples > 0);
     }
 
     #[test]

@@ -84,6 +84,28 @@ impl<'a> QueryRunner<'a> {
         }
     }
 
+    /// Execute and time an externally supplied plan with the row-at-a-time
+    /// reference executor ([`crate::exec_row::RowExecutor`]).  Used by the
+    /// equivalence suite and the executor benchmark; training-data paths go
+    /// through the batched [`Executor`] via [`QueryRunner::run_plan`].
+    pub fn run_plan_row_baseline(
+        &self,
+        query: &Query,
+        plan: PlanNode,
+        noise_seed: u64,
+    ) -> QueryExecution {
+        let result = crate::exec_row::RowExecutor::new(self.db).execute(&plan);
+        let runtime_secs = self.profile.plan_runtime_secs(&result.root, noise_seed);
+        QueryExecution {
+            database: self.db.catalog().name.clone(),
+            query: query.clone(),
+            plan,
+            executed: result.root,
+            aggregates: result.aggregates,
+            runtime_secs,
+        }
+    }
+
     /// Run a whole workload; the noise seed is derived from `base_seed`
     /// and the query index.
     pub fn run_workload(&self, queries: &[Query], base_seed: u64) -> Vec<QueryExecution> {
@@ -177,6 +199,22 @@ mod tests {
         assert_eq!(plans.len(), queries.len());
         for (q, p) in queries.iter().zip(&plans) {
             assert_eq!(p, &runner.plan(q));
+        }
+    }
+
+    #[test]
+    fn row_baseline_produces_identical_executions() {
+        let db = Database::generate(presets::imdb_like(0.02), 3);
+        let profile = HardwareProfile::default().noiseless();
+        let runner = QueryRunner::new(&db, EngineConfig::default(), profile);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 5, 2);
+        for (i, q) in queries.iter().enumerate() {
+            let plan = runner.plan(q);
+            let batched = runner.run_plan(q, plan.clone(), i as u64);
+            let row = runner.run_plan_row_baseline(q, plan, i as u64);
+            assert_eq!(batched.aggregates, row.aggregates);
+            assert_eq!(batched.executed, row.executed);
+            assert_eq!(batched.runtime_secs, row.runtime_secs);
         }
     }
 

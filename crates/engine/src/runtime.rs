@@ -104,6 +104,14 @@ impl HardwareProfile {
 
     /// Simulated runtime of a single executed operator in microseconds
     /// (children not included).
+    ///
+    /// `input_tuples` is charged `tuple_cpu_us` per tuple.  For
+    /// nested-loop joins the executor accounts inner-relation rescans
+    /// (`outer + outer * inner` input tuples), so NLJ runtimes grow with
+    /// the full quadratic read volume, and `output_bytes`/`build_bytes`
+    /// are derived from catalog column widths
+    /// ([`crate::executor::row_width_bytes`]), not a fixed 8 bytes per
+    /// column.
     pub fn node_runtime_us(&self, node: &ExecutedNode) -> f64 {
         let w = &node.work;
         let spilled = w.build_bytes > self.cache_bytes;

@@ -209,6 +209,142 @@ impl ColumnData {
         }
     }
 
+    /// Copy rows `[start, start + len)` into a fresh column of the same
+    /// type — the batch-slice primitive of the vectorized executor.  Panics
+    /// if the range is out of bounds.
+    pub fn slice_range(&self, start: usize, len: usize) -> ColumnData {
+        let end = start + len;
+        match self {
+            ColumnData::Int { values, nulls } => ColumnData::Int {
+                values: values[start..end].to_vec(),
+                nulls: nulls[start..end].to_vec(),
+            },
+            ColumnData::Float { values, nulls } => ColumnData::Float {
+                values: values[start..end].to_vec(),
+                nulls: nulls[start..end].to_vec(),
+            },
+            ColumnData::Cat {
+                values,
+                nulls,
+                domain,
+            } => ColumnData::Cat {
+                values: values[start..end].to_vec(),
+                nulls: nulls[start..end].to_vec(),
+                domain: *domain,
+            },
+            ColumnData::Bool { values, nulls } => ColumnData::Bool {
+                values: values[start..end].to_vec(),
+                nulls: nulls[start..end].to_vec(),
+            },
+        }
+    }
+
+    /// Gather the given rows into a fresh column of the same type (index
+    /// scans fetching matched rows, joins materialising match lists).
+    pub fn gather(&self, rows: &[u32]) -> ColumnData {
+        let mut out = ColumnData::new(self.data_type());
+        out.append_gather(self, rows);
+        out
+    }
+
+    /// Append the given rows of `src` to this column.  Both columns must
+    /// have the same physical type (panics otherwise — programmer error);
+    /// categorical domains are merged.
+    pub fn append_gather(&mut self, src: &ColumnData, rows: &[u32]) {
+        match (self, src) {
+            (
+                ColumnData::Int { values, nulls },
+                ColumnData::Int {
+                    values: sv,
+                    nulls: sn,
+                },
+            ) => {
+                values.extend(rows.iter().map(|&r| sv[r as usize]));
+                nulls.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (
+                ColumnData::Float { values, nulls },
+                ColumnData::Float {
+                    values: sv,
+                    nulls: sn,
+                },
+            ) => {
+                values.extend(rows.iter().map(|&r| sv[r as usize]));
+                nulls.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (
+                ColumnData::Cat {
+                    values,
+                    nulls,
+                    domain,
+                },
+                ColumnData::Cat {
+                    values: sv,
+                    nulls: sn,
+                    domain: sd,
+                },
+            ) => {
+                values.extend(rows.iter().map(|&r| sv[r as usize]));
+                nulls.extend(rows.iter().map(|&r| sn[r as usize]));
+                *domain = (*domain).max(*sd);
+            }
+            (
+                ColumnData::Bool { values, nulls },
+                ColumnData::Bool {
+                    values: sv,
+                    nulls: sn,
+                },
+            ) => {
+                values.extend(rows.iter().map(|&r| sv[r as usize]));
+                nulls.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (dst, src) => panic!(
+                "append_gather between mismatched column types {:?} and {:?}",
+                dst.data_type(),
+                src.data_type()
+            ),
+        }
+    }
+
+    /// Write the numeric view (see [`ColumnData::as_f64`]) and null mask of
+    /// rows `[start, start + len)` into the given scratch vectors, which are
+    /// cleared first.  This is the column-at-a-time input of vectorized
+    /// predicate evaluation and aggregation: one typed pass, no per-row
+    /// enum materialisation.
+    pub fn f64_range_into(
+        &self,
+        start: usize,
+        len: usize,
+        values_out: &mut Vec<f64>,
+        nulls_out: &mut Vec<bool>,
+    ) {
+        values_out.clear();
+        nulls_out.clear();
+        let end = start + len;
+        match self {
+            ColumnData::Int { values, nulls } => {
+                values_out.extend(values[start..end].iter().map(|&v| v as f64));
+                nulls_out.extend_from_slice(&nulls[start..end]);
+            }
+            ColumnData::Float { values, nulls } => {
+                values_out.extend_from_slice(&values[start..end]);
+                nulls_out.extend_from_slice(&nulls[start..end]);
+            }
+            ColumnData::Cat { values, nulls, .. } => {
+                values_out.extend(values[start..end].iter().map(|&v| v as f64));
+                nulls_out.extend_from_slice(&nulls[start..end]);
+            }
+            ColumnData::Bool { values, nulls } => {
+                values_out.extend(
+                    values[start..end]
+                        .iter()
+                        .map(|&v| if v { 1.0 } else { 0.0 }),
+                );
+                nulls_out.extend_from_slice(&nulls[start..end]);
+            }
+        }
+    }
+
     /// Number of non-null rows.
     pub fn non_null_count(&self) -> usize {
         let nulls = match self {
@@ -285,5 +421,70 @@ mod tests {
         col.push(Value::Bool(false));
         assert_eq!(col.as_f64(0), Some(1.0));
         assert_eq!(col.as_f64(1), Some(0.0));
+    }
+
+    #[test]
+    fn slice_range_copies_the_window() {
+        let mut col = ColumnData::new(DataType::Int);
+        for v in [Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)] {
+            col.push(v);
+        }
+        let slice = col.slice_range(1, 2);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.get(0), Value::Null);
+        assert_eq!(slice.get(1), Value::Int(3));
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats_rows() {
+        let mut col = ColumnData::new(DataType::Categorical);
+        col.push(Value::Cat(5));
+        col.push(Value::Null);
+        col.push(Value::Cat(9));
+        let gathered = col.gather(&[2, 0, 2]);
+        assert_eq!(gathered.get(0), Value::Cat(9));
+        assert_eq!(gathered.get(1), Value::Cat(5));
+        assert_eq!(gathered.get(2), Value::Cat(9));
+        match gathered {
+            ColumnData::Cat { domain, .. } => assert_eq!(domain, 10),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn append_gather_accumulates_across_batches() {
+        let mut a = ColumnData::new(DataType::Float);
+        a.push(Value::Float(1.5));
+        let mut b = ColumnData::new(DataType::Float);
+        b.push(Value::Float(2.5));
+        b.push(Value::Null);
+        let mut out = ColumnData::new(DataType::Float);
+        out.append_gather(&a, &[0]);
+        out.append_gather(&b, &[1, 0]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.get(0), Value::Float(1.5));
+        assert_eq!(out.get(1), Value::Null);
+        assert_eq!(out.get(2), Value::Float(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "append_gather between mismatched")]
+    fn append_gather_rejects_mismatched_types() {
+        let mut a = ColumnData::new(DataType::Int);
+        let b = ColumnData::new(DataType::Float);
+        a.append_gather(&b, &[]);
+    }
+
+    #[test]
+    fn f64_range_matches_per_row_view() {
+        let mut col = ColumnData::new(DataType::Bool);
+        for v in [Value::Bool(true), Value::Null, Value::Bool(false)] {
+            col.push(v);
+        }
+        let (mut values, mut nulls) = (Vec::new(), Vec::new());
+        col.f64_range_into(0, 3, &mut values, &mut nulls);
+        for row in 0..3 {
+            assert_eq!((!nulls[row]).then_some(values[row]), col.as_f64(row));
+        }
     }
 }

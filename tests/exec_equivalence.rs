@@ -1,0 +1,359 @@
+//! Equivalence of the two execution strategies.
+//!
+//! The vectorized batch executor ([`Executor`]) must be *result-identical*
+//! to the row-at-a-time reference ([`RowExecutor`]): same aggregate values
+//! (bit-identical floats), same true cardinalities, same work metrics on
+//! every operator of every plan.  This is the contract that makes the
+//! batched rewrite safe for training-data generation — observed-runtime
+//! labels cannot depend on which executor produced them.
+//!
+//! The suite covers optimizer-produced plans over random schemas and
+//! workloads (including NULL-heavy databases and with physical indexes),
+//! predicates that filter out every row, hand-built nested-loop plans and
+//! the mistyped-join-key regression.
+
+use proptest::prelude::*;
+use zero_shot_db::cardest::PostgresLikeEstimator;
+use zero_shot_db::catalog::{
+    presets, ColumnMeta, ColumnStatistics, DataType, Distribution, GeneratorConfig, SchemaCatalog,
+    SchemaGenerator, TableMeta, Value,
+};
+use zero_shot_db::engine::{
+    EngineConfig, Executor, Optimizer, PhysOperator, PhysOperatorKind, PlanNode, QueryRunner,
+    RowExecutor,
+};
+use zero_shot_db::query::{
+    Aggregate, CmpOp, JoinCondition, Predicate, Query, WorkloadGenerator, WorkloadSpec,
+};
+use zero_shot_db::storage::{Database, TableData};
+
+/// Plan `q` with the production optimizer and execute it with both
+/// strategies, asserting full `QueryResult` equality (aggregates, actual
+/// cardinalities and work metrics on every node).
+fn assert_equivalent(db: &Database, q: &Query) {
+    let est = PostgresLikeEstimator::new(db.catalog().clone());
+    let optimizer = Optimizer::new(db, EngineConfig::default(), &est);
+    let plan = optimizer.plan(q);
+    assert_plan_equivalent(db, &plan);
+}
+
+fn assert_plan_equivalent(db: &Database, plan: &PlanNode) {
+    let batched = Executor::new(db).execute(plan);
+    let row = RowExecutor::new(db).execute(plan);
+    assert_eq!(batched, row, "batched and row-at-a-time execution diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random schemas × random workloads: both executors agree on every
+    /// optimizer plan.
+    #[test]
+    fn random_workloads_are_equivalent(seed in 0u64..5_000) {
+        let schema = SchemaGenerator::new(GeneratorConfig::tiny()).generate("equiv_db", seed);
+        let db = Database::generate(schema, seed ^ 0xBEEF);
+        let queries = WorkloadGenerator::new(WorkloadSpec {
+            max_tables: 3,
+            ..WorkloadSpec::default()
+        })
+        .generate(db.catalog(), 4, seed);
+        for q in &queries {
+            assert_equivalent(&db, q);
+        }
+    }
+
+    /// NULL-heavy databases: predicates and aggregates must treat NULL
+    /// lanes identically in both strategies.
+    #[test]
+    fn null_heavy_workloads_are_equivalent(seed in 0u64..5_000) {
+        let config = GeneratorConfig {
+            max_null_fraction: 0.9,
+            ..GeneratorConfig::tiny()
+        };
+        let schema = SchemaGenerator::new(config).generate("null_db", seed);
+        let db = Database::generate(schema, seed ^ 0xA0);
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 4, seed);
+        for q in &queries {
+            assert_equivalent(&db, q);
+        }
+    }
+
+    /// With physical indexes present the optimizer may pick index scans;
+    /// both executors must agree on those plans too.
+    #[test]
+    fn indexed_plans_are_equivalent(seed in 0u64..2_000) {
+        let schema = SchemaGenerator::new(GeneratorConfig::tiny()).generate("idx_db", seed);
+        let mut db = Database::generate(schema, seed);
+        // Index every table's first non-key column.
+        let num_tables = db.catalog().tables().len();
+        for t in 0..num_tables {
+            let table = zero_shot_db::catalog::TableId(t as u32);
+            if db.catalog().table(table).num_columns() > 1 {
+                let col = zero_shot_db::catalog::ColumnRef::new(
+                    table,
+                    zero_shot_db::catalog::ColumnId(1),
+                );
+                db.create_index(col);
+            }
+        }
+        let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 4, seed);
+        for q in &queries {
+            assert_equivalent(&db, q);
+        }
+    }
+}
+
+#[test]
+fn all_filtered_batches_are_equivalent() {
+    // A predicate no row satisfies: every batch is fully filtered, the
+    // batched scan must not emit a single batch and the aggregates must be
+    // the empty-input values in both strategies.
+    let db = Database::generate(presets::imdb_like(0.02), 11);
+    let year = db
+        .catalog()
+        .resolve_column("title", "production_year")
+        .unwrap();
+    let (title, _) = db.catalog().table_by_name("title").unwrap();
+    for aggregates in [
+        vec![Aggregate::count_star()],
+        vec![
+            Aggregate::over(zero_shot_db::query::AggFunc::Sum, year),
+            Aggregate::over(zero_shot_db::query::AggFunc::Min, year),
+            Aggregate::over(zero_shot_db::query::AggFunc::Count, year),
+        ],
+    ] {
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![Predicate::new(year, CmpOp::Lt, Value::Int(i64::MIN + 1))],
+            aggregates,
+        };
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let plan = optimizer.plan(&q);
+        let batched = Executor::new(&db).execute(&plan);
+        let row = RowExecutor::new(&db).execute(&plan);
+        assert_eq!(batched, row);
+        assert_eq!(batched.root.children[0].actual_cardinality, 0);
+    }
+}
+
+#[test]
+fn join_workloads_are_equivalent() {
+    let db = Database::generate(presets::imdb_like(0.03), 17);
+    let queries = WorkloadGenerator::new(WorkloadSpec {
+        max_tables: 4,
+        ..WorkloadSpec::default()
+    })
+    .generate(db.catalog(), 12, 23);
+    for q in &queries {
+        assert_equivalent(&db, q);
+    }
+}
+
+#[test]
+fn hand_built_nested_loop_plans_are_equivalent() {
+    let db = Database::generate(presets::imdb_like(0.02), 29);
+    let catalog = db.catalog();
+    let (title, _) = catalog.table_by_name("title").unwrap();
+    let (mc, _) = catalog.table_by_name("movie_companies").unwrap();
+    let title_id = catalog.resolve_column("title", "id").unwrap();
+    let movie_id = catalog
+        .resolve_column("movie_companies", "movie_id")
+        .unwrap();
+    let scan = |t| PlanNode {
+        op: PhysOperator::SeqScan {
+            table: t,
+            predicates: vec![],
+        },
+        children: vec![],
+        est_cardinality: 1.0,
+        est_cost: 1.0,
+        output_width: 8.0,
+    };
+    let plan = PlanNode {
+        op: PhysOperator::NestedLoopJoin {
+            outer_key: movie_id,
+            inner_key: title_id,
+        },
+        children: vec![scan(mc), scan(title)],
+        est_cardinality: 1.0,
+        est_cost: 1.0,
+        output_width: 16.0,
+    };
+    assert_plan_equivalent(&db, &plan);
+}
+
+/// Two-table database whose "join" columns are deliberately mistyped: an
+/// `Int` key on one side, a `Bool` column on the other, with numerically
+/// overlapping values (`1` vs `true`).
+fn mistyped_join_db() -> (Database, Query) {
+    let mut catalog = SchemaCatalog::new("mistyped");
+    let stats = |min: f64, max: f64| ColumnStatistics {
+        distinct_count: 2,
+        null_fraction: 0.0,
+        min: Some(min),
+        max: Some(max),
+        distribution: Distribution::Uniform,
+    };
+    let left = catalog
+        .add_table(TableMeta::new(
+            "left",
+            vec![
+                ColumnMeta::primary_key("id", 4),
+                ColumnMeta::new("k_int", DataType::Int, stats(0.0, 1.0)),
+            ],
+            4,
+        ))
+        .unwrap();
+    let right = catalog
+        .add_table(TableMeta::new(
+            "right",
+            vec![
+                ColumnMeta::primary_key("id", 4),
+                ColumnMeta::new("k_bool", DataType::Bool, stats(0.0, 1.0)),
+            ],
+            4,
+        ))
+        .unwrap();
+    let left_key = catalog.resolve_column("left", "k_int").unwrap();
+    let right_key = catalog.resolve_column("right", "k_bool").unwrap();
+    // Declare the mistyped columns as a foreign key so the workload layer
+    // accepts the join.
+    catalog.add_foreign_key(left_key, right_key).unwrap();
+
+    let mut left_data = TableData::empty(catalog.table(left));
+    let mut right_data = TableData::empty(catalog.table(right));
+    for i in 0..4i64 {
+        left_data.push_row(&[Value::Int(i), Value::Int(i % 2)]);
+        right_data.push_row(&[Value::Int(i), Value::Bool(i % 2 == 1)]);
+    }
+    let db = Database::from_parts(catalog, vec![left_data, right_data]);
+    let q = Query {
+        tables: vec![left, right],
+        joins: vec![JoinCondition::new(left_key, right_key)],
+        predicates: vec![],
+        aggregates: vec![Aggregate::count_star()],
+    };
+    (db, q)
+}
+
+#[test]
+fn mistyped_join_keys_never_match() {
+    // Regression: the old executor coerced Cat and Bool into the Int key
+    // space, so Int(1) joined Bool(true).  Typed join keys must produce
+    // zero matches here — in both executors and in both join algorithms.
+    let (db, q) = mistyped_join_db();
+    let est = PostgresLikeEstimator::new(db.catalog().clone());
+    let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+    let plan = optimizer.plan(&q);
+    let batched = Executor::new(&db).execute(&plan);
+    let row = RowExecutor::new(&db).execute(&plan);
+    assert_eq!(batched, row);
+    assert_eq!(batched.aggregates[0], Value::Int(0));
+
+    let left_key = db.catalog().resolve_column("left", "k_int").unwrap();
+    let right_key = db.catalog().resolve_column("right", "k_bool").unwrap();
+    let scan = |t| PlanNode {
+        op: PhysOperator::SeqScan {
+            table: t,
+            predicates: vec![],
+        },
+        children: vec![],
+        est_cardinality: 4.0,
+        est_cost: 1.0,
+        output_width: 8.0,
+    };
+    let (left, _) = db.catalog().table_by_name("left").unwrap();
+    let (right, _) = db.catalog().table_by_name("right").unwrap();
+    for op in [
+        PhysOperator::HashJoin {
+            build_key: left_key,
+            probe_key: right_key,
+        },
+        PhysOperator::NestedLoopJoin {
+            outer_key: left_key,
+            inner_key: right_key,
+        },
+    ] {
+        let join = PlanNode {
+            op,
+            children: vec![scan(left), scan(right)],
+            est_cardinality: 1.0,
+            est_cost: 1.0,
+            output_width: 16.0,
+        };
+        let batched = Executor::new(&db).execute(&join);
+        let row = RowExecutor::new(&db).execute(&join);
+        assert_eq!(batched, row);
+        assert_eq!(batched.root.actual_cardinality, 0);
+    }
+}
+
+#[test]
+fn runner_baselines_agree_across_a_workload() {
+    // End-to-end through QueryRunner: simulated runtimes (noiseless) are
+    // identical because the executed trees are identical.
+    let db = Database::generate(presets::imdb_like(0.02), 41);
+    let runner = QueryRunner::new(
+        &db,
+        EngineConfig::default(),
+        zero_shot_db::engine::HardwareProfile::default().noiseless(),
+    );
+    let queries = WorkloadGenerator::with_defaults().generate(db.catalog(), 15, 7);
+    for (i, q) in queries.iter().enumerate() {
+        let plan = runner.plan(q);
+        let batched = runner.run_plan(q, plan.clone(), i as u64);
+        let row = runner.run_plan_row_baseline(q, plan, i as u64);
+        assert_eq!(batched.executed, row.executed);
+        assert_eq!(batched.aggregates, row.aggregates);
+        assert_eq!(batched.runtime_secs, row.runtime_secs);
+    }
+    // Work-metric identity must also hold operator-kind by operator-kind.
+    let plan = runner.plan(&queries[0]);
+    let batched = Executor::new(&db).execute(&plan);
+    for node in batched.root.iter() {
+        assert!(matches!(
+            node.kind,
+            PhysOperatorKind::SeqScan
+                | PhysOperatorKind::IndexScan
+                | PhysOperatorKind::HashJoin
+                | PhysOperatorKind::NestedLoopJoin
+                | PhysOperatorKind::Aggregate
+        ));
+    }
+}
+
+#[test]
+fn batched_executor_matches_brute_force_counts() {
+    // Independent oracle: COUNT(*) with a predicate must equal a direct
+    // scan over the column data (not just agree with the row executor).
+    let db = Database::generate(presets::imdb_like(0.02), 53);
+    let year = db
+        .catalog()
+        .resolve_column("title", "production_year")
+        .unwrap();
+    let (title, _) = db.catalog().table_by_name("title").unwrap();
+    for (op, lit) in [
+        (CmpOp::Gt, Value::Int(2000)),
+        (CmpOp::Leq, Value::Int(1990)),
+        (CmpOp::Eq, Value::Null),
+    ] {
+        let predicate = Predicate::new(year, op, lit);
+        let q = Query {
+            tables: vec![title],
+            joins: vec![],
+            predicates: vec![predicate],
+            aggregates: vec![Aggregate::count_star()],
+        };
+        let est = PostgresLikeEstimator::new(db.catalog().clone());
+        let optimizer = Optimizer::new(&db, EngineConfig::default(), &est);
+        let plan = optimizer.plan(&q);
+        let result = Executor::new(&db).execute(&plan);
+        let column = db.table_data(title).column(year.column);
+        let expected = (0..column.len())
+            .filter(|&r| predicate.matches(column.get(r)))
+            .count() as i64;
+        assert_eq!(result.aggregates[0], Value::Int(expected), "op {op}");
+    }
+}
